@@ -1,0 +1,179 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These quantify the knobs the paper's environment exposes (or that our
+implementation adds):
+
+* FSL FIFO depth — deeper FIFOs allow larger data sets per pass,
+  amortizing pass overhead (paper Section IV-A sizes sets to the FIFO),
+* ISS decode cache — the standard instruction-simulator memoization,
+* compiler register allocation — register-homed locals vs a pure
+  stack machine,
+* blocking vs non-blocking FSL access styles for the same transfer.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit
+
+from repro.apps.cordic.design import CordicDesign
+from repro.cosim.report import format_table
+from repro.iss.cpu import CPUConfig
+from repro.iss.run import make_cpu
+from repro.mcc import CompileOptions, build_executable
+
+
+def test_ablation_fsl_fifo_depth(once):
+    """CORDIC P=4 cycles as a function of FSL FIFO depth."""
+
+    def sweep():
+        rows = []
+        for depth in (4, 8, 16, 32):
+            design = CordicDesign(p=4, iters=24, ndata=32, fifo_depth=depth)
+            result = design.run()
+            rows.append((depth, result.cycles, result.stall_cycles))
+        return rows
+
+    rows = once(sweep)
+    cycles = [r[1] for r in rows]
+    assert cycles[-1] <= cycles[0], "deeper FIFOs must not be slower"
+    emit(
+        "ablation_fsl_depth",
+        "Ablation: FSL FIFO depth (CORDIC P=4, 24 iters, 32 divisions)",
+        format_table(["FIFO depth", "cycles", "stall cycles"], rows),
+    )
+
+
+def test_ablation_decode_cache(once):
+    """ISS wall-clock speed with and without the decode cache."""
+    design = CordicDesign(p=0, iters=24, ndata=32, verify=False)
+
+    def run_with(cache: bool) -> float:
+        cpu = make_cpu(design.program, config=CPUConfig(decode_cache=cache))
+        t0 = time.perf_counter()
+        cpu.run(max_cycles=10_000_000)
+        assert cpu.exit_code == 0
+        return cpu.cycle / (time.perf_counter() - t0)
+
+    speeds = once(lambda: {True: run_with(True), False: run_with(False)})
+    assert speeds[True] > speeds[False], "decode cache must speed up the ISS"
+    emit(
+        "ablation_decode_cache",
+        "Ablation: ISS decode cache",
+        format_table(
+            ["decode cache", "cycles / wall second"],
+            [("on", f"{speeds[True]:,.0f}"), ("off", f"{speeds[False]:,.0f}")],
+        )
+        + f"\n\nspeedup from caching: {speeds[True] / speeds[False]:.2f}x",
+    )
+
+
+def test_ablation_register_locals(once):
+    """Compiler register allocation: cycle count impact on both the
+    software CORDIC and the FSL driver."""
+
+    def measure(register_locals: bool):
+        out = {}
+        for p in (0, 4):
+            design = CordicDesign(p=p, iters=24, ndata=16)
+            # rebuild the program with the ablated compiler option
+            from repro.apps.cordic.software import (
+                cordic_hw_source,
+                cordic_sw_source,
+            )
+
+            source = cordic_sw_source(24, 16) if p == 0 else \
+                cordic_hw_source(4, 24, 16)
+            design.program = build_executable(
+                source, CompileOptions(register_locals=register_locals)
+            )
+            result = design.run()
+            out[p] = result.cycles
+        return out
+
+    on = once(lambda: measure(True))
+    off = measure(False)
+    rows = [
+        ("software (P=0)", on[0], off[0], f"{off[0] / on[0]:.2f}x"),
+        ("P=4 pipeline", on[4], off[4], f"{off[4] / on[4]:.2f}x"),
+    ]
+    assert on[0] < off[0] and on[4] < off[4]
+    emit(
+        "ablation_register_locals",
+        "Ablation: compiler register allocation (cycles)",
+        format_table(["design", "reg-alloc on", "off", "penalty"], rows),
+    )
+
+
+def _doubler_cosim(source: str):
+    """A small echo-doubler design used by the blocking-style ablation."""
+    from repro.cosim import CoSimulation, MicroBlazeBlock
+    from repro.sysgen import Model
+    from repro.sysgen.blocks import Delay, Inverter, Logical, Shift
+
+    model = Model("doubler")
+    mb = MicroBlazeBlock(model)
+    rd = mb.master_fsl(0)
+    wr = mb.slave_fsl(0)
+    shl = model.add(Shift("shl", width=32, amount=1, direction="left"))
+    notfull = model.add(Inverter("notfull", width=1))
+    strobe = model.add(Logical("strobe", width=1, op="and"))
+    model.connect(wr.o("full"), notfull.i("a"))
+    model.connect(rd.o("exists"), strobe.i("d0"))
+    model.connect(notfull.o("out"), strobe.i("d1"))
+    model.connect(rd.o("data"), shl.i("a"))
+    model.connect(strobe.o("out"), rd.i("read"))
+    dly_d = model.add(Delay("dly_d", width=32, n=4))
+    dly_v = model.add(Delay("dly_v", width=1, n=4))
+    model.connect(shl.o("s"), dly_d.i("d"))
+    model.connect(strobe.o("out"), dly_v.i("d"))
+    model.connect(dly_d.o("q"), wr.i("data"))
+    model.connect(dly_v.o("q"), wr.i("write"))
+    program = build_executable(source)
+    return CoSimulation(program, model, mb)
+
+
+_BLOCKING_SRC = """
+int main(void) {
+    int sum = 0;
+    for (int i = 0; i < 64; i++) { putfsl(i, 0); sum += getfsl(0); }
+    return sum == 64 * 63;
+}
+"""
+
+_POLLING_SRC = """
+int main(void) {
+    int sum = 0;
+    for (int i = 0; i < 64; i++) {
+        putfsl(i, 0);
+        int v = ngetfsl(0);
+        while (fsl_isinvalid()) { v = ngetfsl(0); }
+        sum += v;
+    }
+    return sum == 64 * 63;
+}
+"""
+
+
+def test_ablation_blocking_vs_nonblocking(once):
+    def measure():
+        blocking = _doubler_cosim(_BLOCKING_SRC).run()
+        polling = _doubler_cosim(_POLLING_SRC).run()
+        assert blocking.exit_code == 1 and polling.exit_code == 1
+        return blocking, polling
+
+    blocking, polling = once(measure)
+    rows = [
+        ("blocking get", blocking.cycles, blocking.stall_cycles),
+        ("non-blocking poll", polling.cycles, polling.stall_cycles),
+    ]
+    # Blocking waits stall the pipe; polling spends instructions instead.
+    assert blocking.stall_cycles > 0
+    assert polling.instructions > blocking.instructions
+    emit(
+        "ablation_blocking",
+        "Ablation: blocking vs non-blocking FSL round trips (64 words, "
+        "4-cycle peripheral latency)",
+        format_table(["style", "cycles", "stall cycles"], rows),
+    )

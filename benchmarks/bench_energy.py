@@ -1,0 +1,65 @@
+"""Energy-estimation bench — the paper's future-work extension.
+
+Not a table in the 2005 paper (its conclusion promises this exact
+integration); reported here as the natural seventh experiment: energy
+per CORDIC partition from the same co-simulation runs, decomposed into
+software / peripheral / quiescent terms.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.apps.common import run_software_only
+from repro.apps.cordic.design import CordicDesign
+from repro.cosim.environment import CoSimulation
+from repro.cosim.report import format_table
+from repro.energy import ActivityMonitor, estimate_energy
+
+
+def _energy_for(p: int):
+    design = CordicDesign(p=p, iters=24, ndata=16)
+    if p == 0:
+        result, cpu = run_software_only(design.program, design.cpu_config)
+        monitor = model = None
+    else:
+        monitor = ActivityMonitor(design.model).install()
+        sim = CoSimulation(design.program, design.model, design.mb,
+                           cpu_config=design.cpu_config)
+        result = sim.run()
+        cpu = sim.cpu
+        model = design.model
+    assert result.exit_code == 0
+    slices = design.estimate().total.slices
+    return estimate_energy(cpu, model, monitor, slices=slices)
+
+
+def test_energy_per_partition(once):
+    reports = once(lambda: {p: _energy_for(p) for p in (0, 2, 4, 8)})
+    rows = []
+    for p, rep in reports.items():
+        rows.append(
+            (
+                "software" if p == 0 else f"P={p}",
+                rep.cycles,
+                f"{rep.software.total_nj / 1000:.2f}",
+                f"{rep.peripheral_nj / 1000:.2f}",
+                f"{rep.quiescent_nj / 1000:.2f}",
+                f"{rep.total_uj:.2f}",
+            )
+        )
+    # Shape: total energy falls with P for this workload (runtime
+    # shrinks faster than peripheral+leakage grow), and the software
+    # term dominates at P=0.
+    totals = [reports[p].total_uj for p in (0, 2, 4, 8)]
+    assert all(a > b for a, b in zip(totals, totals[1:]))
+    assert reports[0].peripheral_nj == 0.0
+    emit(
+        "energy_partitions",
+        "Energy estimation (paper future-work extension): CORDIC, "
+        "16 divisions x 24 iterations",
+        format_table(
+            ["design", "cycles", "SW uJ", "HW uJ", "leak uJ", "total uJ"],
+            rows,
+        ),
+    )

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Drive the simulated processor the way the paper's environment does:
+through an mb-gdb-style debugger over the GDB Remote Serial Protocol.
+
+The MicroBlaze Simulink block of the paper "communicates with mb-gdb to
+obtain the execution status of the software programs ... It also
+changes the status of the registers of the MicroBlaze processor based
+on the results from the customized hardware designs."  This example
+does exactly that: run to a breakpoint, read the argument registers,
+compute the "hardware" result on the host, patch it back, resume.
+
+Run:  python examples/debugger_session.py
+"""
+
+from repro.gdb import Debugger, GdbClient, GdbServer
+from repro.iss.run import make_cpu
+from repro.mcc import build_executable
+
+SOURCE = """
+/* accelerate() is the stand-in for a hardware call: the debugger
+   intercepts it and supplies the result from "hardware". */
+int accelerate(int x, int y) { return 0; /* patched externally */ }
+
+int main(void) {
+    int total = 0;
+    for (int i = 1; i <= 4; i++)
+        total += accelerate(i, 10 * i);
+    return total;
+}
+"""
+
+program = build_executable(SOURCE)
+cpu = make_cpu(program)
+debugger = Debugger(cpu, program)
+
+server = GdbServer(debugger)
+server.start()
+client = GdbClient(*server.address)
+print(f"RSP server listening on {server.address}")
+
+client.set_breakpoint(program.symbol("accelerate"))
+hits = 0
+while True:
+    reply = client.cont()
+    if reply.startswith("W"):  # process exited
+        exit_code = int(reply[1:], 16)
+        break
+    hits += 1
+    x = client.read_register(5)   # first argument
+    y = client.read_register(6)   # second argument
+    hw_result = x * y + 1         # the "customized hardware" computation
+    print(f"breakpoint hit #{hits}: accelerate({x}, {y}) "
+          f"-> patching r3 = {hw_result}")
+    # skip the function body: set the return value and return address
+    client.write_register(3, hw_result)
+    r15 = client.read_register(15)
+    client.write_register(32, (r15 + 8) & 0xFFFFFFFF)  # pc = return site
+
+client.close()
+server.stop()
+
+expected = sum(i * (10 * i) + 1 for i in range(1, 5))
+print(f"\nprogram exited with {exit_code} (expected {expected & 0xFF})")
+assert exit_code == expected & 0xFF
+print("debugger session OK")

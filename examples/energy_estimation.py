@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The paper's declared future-work extension, implemented: rapid energy
+estimation integrated into the co-simulation environment.
+
+For every CORDIC partition this estimates, from the same high-level
+co-simulation run (no low-level power simulation):
+
+* software energy — instruction-level model over the ISS statistics,
+* peripheral energy — switching-activity model over the hardware model,
+* quiescent energy — leakage proportional to occupied slices × runtime,
+
+exposing the energy trade-off the paper's introduction motivates:
+bigger pipelines finish sooner (less software + leakage *energy*) but
+burn more peripheral power and area.
+
+Run:  python examples/energy_estimation.py
+"""
+
+from repro.apps.common import run_software_only
+from repro.apps.cordic.design import CordicDesign
+from repro.cosim.environment import CoSimulation
+from repro.cosim.report import format_table
+from repro.energy import ActivityMonitor, estimate_energy
+
+ITERS, NDATA = 24, 16
+
+rows = []
+reports = {}
+for p in (0, 2, 4, 8):
+    design = CordicDesign(p=p, iters=ITERS, ndata=NDATA)
+    if p == 0:
+        result, cpu = run_software_only(design.program, design.cpu_config)
+        monitor, model = None, None
+    else:
+        monitor = ActivityMonitor(design.model).install()
+        sim = CoSimulation(design.program, design.model, design.mb,
+                           cpu_config=design.cpu_config)
+        result = sim.run()
+        cpu = sim.cpu
+        model = design.model
+    assert result.exit_code == 0
+    slices = design.estimate().total.slices
+    report = estimate_energy(cpu, model, monitor, slices=slices)
+    reports[p] = report
+    rows.append(
+        (
+            "software" if p == 0 else f"P={p}",
+            result.cycles,
+            f"{report.software.total_nj / 1000:.2f}",
+            f"{report.peripheral_nj / 1000:.2f}",
+            f"{report.quiescent_nj / 1000:.2f}",
+            f"{report.total_uj:.2f}",
+            f"{report.average_power_mw:.1f}",
+        )
+    )
+
+print(f"CORDIC division energy ({NDATA} divisions, {ITERS} iterations):\n")
+print(format_table(
+    ["design", "cycles", "SW uJ", "HW uJ", "leak uJ", "total uJ", "avg mW"],
+    rows,
+))
+
+best = min(reports, key=lambda p: reports[p].total_uj)
+print(f"\nlowest-energy partition: "
+      f"{'software' if best == 0 else f'P={best}'} "
+      f"({reports[best].total_uj:.2f} uJ)")
+
+print("\nper-block peripheral energy for P=4 (top 5):")
+for name, nj in sorted(reports[4].peripheral_by_block_nj.items(),
+                       key=lambda kv: -kv[1])[:5]:
+    print(f"  {name:<14} {nj / 1000:.3f} uJ")

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` works via pyproject.toml where PEP 660 editable
+wheels are available; this shim keeps `setup.py develop` working on
+minimal offline installs.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""repro — MATLAB/Simulink-style HW/SW co-simulation for FPGA soft processors.
+
+A from-scratch Python reproduction of *"MATLAB/Simulink Based
+Hardware/Software Co-Simulation for Designing Using FPGA Configured
+Soft Processors"* (Ou & Prasanna, IPDPS 2005).
+
+The package layers, bottom-up:
+
+* :mod:`repro.fixedpoint` — fixed-point arithmetic substrate
+* :mod:`repro.isa`, :mod:`repro.asm`, :mod:`repro.mcc` — the MB32
+  soft-processor ISA, assembler/linker and mini-C compiler (the
+  ``mb-gcc`` analogue)
+* :mod:`repro.iss` — cycle-accurate instruction-set simulator
+* :mod:`repro.bus` — FSL / LMB / OPB communication models
+* :mod:`repro.sysgen` — System Generator-style arithmetic-level
+  hardware block modeling
+* :mod:`repro.rtl` — event-driven RTL simulation kernel (the ModelSim
+  baseline)
+* :mod:`repro.cosim` — the paper's contribution: the high-level
+  cycle-accurate co-simulation environment
+* :mod:`repro.resources` — rapid resource estimation (Section III-C)
+* :mod:`repro.apps` — the paper's two applications: CORDIC division
+  and block matrix multiplication
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "fixedpoint",
+    "isa",
+    "asm",
+    "mcc",
+    "iss",
+    "bus",
+    "sysgen",
+    "rtl",
+    "cosim",
+    "resources",
+    "apps",
+    "gdb",
+    "pygen",
+]

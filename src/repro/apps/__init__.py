@@ -1,0 +1,3 @@
+"""The paper's illustrative applications (Section IV)."""
+
+__all__ = ["cordic", "matmul"]

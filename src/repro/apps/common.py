@@ -1,0 +1,47 @@
+"""Shared helpers for the application design classes."""
+
+from __future__ import annotations
+
+import time
+
+from repro.asm.linker import Program
+from repro.cosim.environment import CoSimResult
+from repro.iss.cpu import CPU, CPUConfig, HaltReason
+from repro.iss.run import make_cpu
+
+
+def read_int32_array(cpu: CPU, program: Program, symbol: str, n: int) -> list[int]:
+    """Read ``n`` signed 32-bit words from a global array in BRAM."""
+    base = program.symbol(symbol)
+    out = []
+    for i in range(n):
+        raw = cpu.mem.read_u32(base + 4 * i)
+        out.append(raw - 0x100000000 if raw & 0x80000000 else raw)
+    return out
+
+
+def run_software_only(
+    program: Program,
+    config: CPUConfig | None = None,
+    max_cycles: int = 50_000_000,
+) -> tuple[CoSimResult, CPU]:
+    """Run a pure-software program on the bare ISS, reporting the same
+    result record as a co-simulation for uniform comparison."""
+    cpu = make_cpu(program, config=config)
+    start = time.perf_counter()
+    reason = cpu.run(max_cycles=max_cycles)
+    wall = time.perf_counter() - start
+    result = CoSimResult(
+        exit_code=cpu.exit_code,
+        cycles=cpu.cycle,
+        instructions=cpu.stats.instructions,
+        stall_cycles=cpu.stats.stall_cycles,
+        wall_seconds=wall,
+        simulated_seconds=cpu.simulated_time_s(),
+        halt_reason=reason if reason is not HaltReason.EXIT else HaltReason.EXIT,
+    )
+    return result, cpu
+
+
+class VerificationError(AssertionError):
+    """An application produced output differing from the golden model."""

@@ -1,0 +1,236 @@
+"""CORDIC division pipeline as a sysgen block diagram (paper Fig. 4).
+
+Structure::
+
+    FSLRead ──► input sequencer ──► PE_0 ─► PE_1 ─► … ─► PE_{P-1} ──► output
+    (from CPU)  (3 words/datum +                                     sequencer
+                 C0 control word)                                     ──► FSLWrite
+                                                                         (to CPU)
+
+Each datum travels as three FSL words (``XC0 = X >> S0``, ``Y``, ``Z``);
+the control word carries ``C0 = 2^-S0`` (paper: "C_0 is sent out from
+the MicroBlaze processor to the FSL as a control word").  A PE performs
+one CORDIC iteration — two AddSub units plus free shift-by-one wiring —
+and passes ``XC``, ``C`` halved to its successor.  Results return as
+two words (``Y``, ``Z``) per datum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cosim.mb_block import MicroBlazeBlock
+from repro.pygen.generator import DesignGenerator, GeneratedDesign
+from repro.pygen.params import Parameter, ParameterSpace
+from repro.sysgen.blocks import (
+    AddSub,
+    Constant,
+    Counter,
+    Inverter,
+    Logical,
+    Mux,
+    Register,
+    Relational,
+    Shift,
+    Slice,
+)
+from repro.sysgen.model import Model
+
+WIDTH = 32
+
+
+@dataclass
+class _Stage:
+    """Signals leaving one pipeline stage (all PortRefs)."""
+
+    xc: object
+    y: object
+    z: object
+    c: object
+    v: object
+
+
+def _build_input_sequencer(model: Model, rd) -> _Stage:
+    """Collect 3 FSL words into one pipeline injection; latch C0 from
+    control words."""
+    notctrl = model.add(Inverter("in_notctrl", width=1))
+    model.connect(rd.o("control"), notctrl.i("a"))
+    data_consume = model.add(Logical("in_dconsume", width=1, op="and"))
+    model.connect(rd.o("exists"), data_consume.i("d0"))
+    model.connect(notctrl.o("out"), data_consume.i("d1"))
+    ctrl_consume = model.add(Logical("in_cconsume", width=1, op="and"))
+    model.connect(rd.o("exists"), ctrl_consume.i("d0"))
+    model.connect(rd.o("control"), ctrl_consume.i("d1"))
+    # Consume every word as soon as it exists.
+    model.connect(rd.o("exists"), rd.i("read"))
+
+    c0 = model.add(Register("in_c0", width=WIDTH))
+    model.connect(rd.o("data"), c0.i("d"))
+    model.connect(ctrl_consume.o("out"), c0.i("en"))
+
+    cnt = model.add(Counter("in_cnt", width=2))
+    model.connect(data_consume.o("out"), cnt.i("en"))
+    two = model.add(Constant("in_two", 2, width=2))
+    at2 = model.add(Relational("in_at2", width=2, op="eq", signed=False))
+    model.connect(cnt.o("q"), at2.i("a"))
+    model.connect(two.o("out"), at2.i("b"))
+    wraprst = model.add(Logical("in_wrap", width=1, op="and"))
+    model.connect(data_consume.o("out"), wraprst.i("d0"))
+    model.connect(at2.o("out"), wraprst.i("d1"))
+    model.connect(wraprst.o("out"), cnt.i("rst"))
+
+    def word_enable(idx: int):
+        const = model.add(Constant(f"in_k{idx}", idx, width=2))
+        eq = model.add(Relational(f"in_eq{idx}", width=2, op="eq", signed=False))
+        model.connect(cnt.o("q"), eq.i("a"))
+        model.connect(const.o("out"), eq.i("b"))
+        en = model.add(Logical(f"in_en{idx}", width=1, op="and"))
+        model.connect(data_consume.o("out"), en.i("d0"))
+        model.connect(eq.o("out"), en.i("d1"))
+        return en
+
+    en0 = word_enable(0)
+    en1 = word_enable(1)
+    inject = word_enable(2)
+
+    xch = model.add(Register("in_xc", width=WIDTH))
+    model.connect(rd.o("data"), xch.i("d"))
+    model.connect(en0.o("out"), xch.i("en"))
+    yh = model.add(Register("in_y", width=WIDTH))
+    model.connect(rd.o("data"), yh.i("d"))
+    model.connect(en1.o("out"), yh.i("en"))
+
+    return _Stage(
+        xc=xch.o("q"),
+        y=yh.o("q"),
+        z=rd.o("data"),  # third word feeds the pipeline directly
+        c=c0.o("q"),
+        v=inject.o("out"),
+    )
+
+
+def _build_pe(model: Model, idx: int, stage: _Stage) -> _Stage:
+    """One CORDIC processing element + its pipeline registers."""
+    p = f"pe{idx}"
+    sign = model.add(Slice(f"{p}_sign", msb=WIDTH - 1, lsb=WIDTH - 1))
+    model.connect(stage.y, sign.i("a"))
+    nsign = model.add(Inverter(f"{p}_nsign", width=1))
+    model.connect(sign.o("out"), nsign.i("a"))
+
+    # Y' = Y + d*XC  (d=+1 when Y<0): subtract when Y >= 0.
+    ynext = model.add(AddSub(f"{p}_ynext", width=WIDTH))
+    model.connect(stage.y, ynext.i("a"))
+    model.connect(stage.xc, ynext.i("b"))
+    model.connect(nsign.o("out"), ynext.i("sub"))
+    # Z' = Z - d*C: subtract when Y < 0.
+    znext = model.add(AddSub(f"{p}_znext", width=WIDTH))
+    model.connect(stage.z, znext.i("a"))
+    model.connect(stage.c, znext.i("b"))
+    model.connect(sign.o("out"), znext.i("sub"))
+    # XC' = XC >> 1 (arith), C' = C >> 1 (logical) — free wiring.
+    xcnext = model.add(Shift(f"{p}_xcnext", width=WIDTH, amount=1,
+                             direction="right", arithmetic=True))
+    model.connect(stage.xc, xcnext.i("a"))
+    cnext = model.add(Shift(f"{p}_cnext", width=WIDTH, amount=1,
+                            direction="right", arithmetic=False))
+    model.connect(stage.c, cnext.i("a"))
+
+    regs = {}
+    for name, src, width in (
+        ("xc", xcnext.o("s"), WIDTH),
+        ("y", ynext.o("s"), WIDTH),
+        ("z", znext.o("s"), WIDTH),
+        ("c", cnext.o("s"), WIDTH),
+        ("v", stage.v, 1),
+    ):
+        reg = model.add(Register(f"{p}_r{name}", width=width))
+        model.connect(src, reg.i("d"))
+        regs[name] = reg
+
+    return _Stage(
+        xc=regs["xc"].o("q"),
+        y=regs["y"].o("q"),
+        z=regs["z"].o("q"),
+        c=regs["c"].o("q"),
+        v=regs["v"].o("q"),
+    )
+
+
+def _build_output_sequencer(model: Model, stage: _Stage, wr) -> None:
+    """Stream (Y, Z) of each finished datum back over the output FSL."""
+    yh = model.add(Register("out_y", width=WIDTH))
+    model.connect(stage.y, yh.i("d"))
+    model.connect(stage.v, yh.i("en"))
+    zh = model.add(Register("out_z", width=WIDTH))
+    model.connect(stage.z, zh.i("d"))
+    model.connect(stage.v, zh.i("en"))
+
+    busy = model.add(Register("out_busy", width=1))
+    ocnt = model.add(Register("out_ocnt", width=1))
+    nocnt = model.add(Inverter("out_nocnt", width=1))
+    model.connect(ocnt.o("q"), nocnt.i("a"))
+    first_half = model.add(Logical("out_first", width=1, op="and"))
+    model.connect(busy.o("q"), first_half.i("d0"))
+    model.connect(nocnt.o("out"), first_half.i("d1"))
+    busy_next = model.add(Logical("out_busynext", width=1, op="or"))
+    model.connect(stage.v, busy_next.i("d0"))
+    model.connect(first_half.o("out"), busy_next.i("d1"))
+    model.connect(busy_next.o("out"), busy.i("d"))
+    model.connect(first_half.o("out"), ocnt.i("d"))
+
+    sel = model.add(Mux("out_mux", width=WIDTH, n=2))
+    model.connect(ocnt.o("q"), sel.i("sel"))
+    model.connect(yh.o("q"), sel.i("d0"))
+    model.connect(zh.o("q"), sel.i("d1"))
+    model.connect(sel.o("out"), wr.i("data"))
+    model.connect(busy.o("q"), wr.i("write"))
+
+
+def build_cordic_model(
+    p: int, fifo_depth: int = 16
+) -> tuple[Model, MicroBlazeBlock]:
+    """Build the complete CORDIC peripheral with ``p`` PEs."""
+    if p < 1:
+        raise ValueError("need at least one PE")
+    model = Model(f"cordic_p{p}")
+    mb = MicroBlazeBlock(model, fifo_depth=fifo_depth)
+    rd = mb.master_fsl(0)
+    wr = mb.slave_fsl(0)
+    stage = _build_input_sequencer(model, rd)
+    for idx in range(p):
+        stage = _build_pe(model, idx, stage)
+    _build_output_sequencer(model, stage, wr)
+    return model, mb
+
+
+class CordicPipelineGenerator(DesignGenerator):
+    """PyGen-style generator for the parameterized CORDIC pipeline."""
+
+    space = ParameterSpace(
+        parameters=[
+            Parameter("P", default=4, minimum=1, maximum=16,
+                      doc="number of processing elements"),
+            Parameter("ITERS", default=24, minimum=1, maximum=31,
+                      doc="CORDIC iterations to perform"),
+            Parameter("NDATA", default=32, minimum=1,
+                      doc="number of divisions in the workload"),
+            Parameter("FRAC", default=16, minimum=4, maximum=28,
+                      doc="fraction bits of the Q-format data"),
+            Parameter("FIFO_DEPTH", default=16, minimum=4,
+                      doc="FSL FIFO depth"),
+        ],
+    )
+
+    def generate(self, **params) -> GeneratedDesign:
+        from repro.apps.cordic.software import cordic_hw_source
+
+        binding = self.bind(**params)
+        model, mb = build_cordic_model(binding["P"], binding["FIFO_DEPTH"])
+        source = cordic_hw_source(
+            p=binding["P"],
+            iters=binding["ITERS"],
+            ndata=binding["NDATA"],
+            frac=binding["FRAC"],
+            fifo_depth=binding["FIFO_DEPTH"],
+        )
+        return GeneratedDesign(binding, model, mb, source)

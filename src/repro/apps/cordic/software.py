@@ -1,0 +1,147 @@
+"""mini-C sources for the CORDIC division application.
+
+Two variants, both generated from the same dataset so results are
+directly comparable:
+
+* :func:`cordic_sw_source` — the pure-software implementation (the
+  paper's ``P = 0`` baseline in Figure 5),
+* :func:`cordic_hw_source` — the FSL-driver program for the P-PE
+  pipeline: per pass it sends the control word ``C0`` and streams each
+  datum as three words (``X >> s0``, ``Y``, ``Z``), reading back
+  ``(Y, Z)``; data is processed set by set so a set's results never
+  overflow the output FSL FIFO (paper, Section IV-A).
+"""
+
+from __future__ import annotations
+
+from repro.apps.cordic.algorithm import generate_dataset
+
+
+def _format_array(name: str, values: list[int]) -> str:
+    body = ",\n    ".join(
+        ", ".join(str(v) for v in values[i : i + 8])
+        for i in range(0, len(values), 8)
+    )
+    return f"int {name}[{len(values)}] = {{\n    {body}\n}};"
+
+
+def _dataset_decls(ndata: int, frac: int, seed: int) -> str:
+    pairs = generate_dataset(ndata, frac, seed)
+    xa = [a for a, _ in pairs]
+    yb = [b for _, b in pairs]
+    return "\n".join(
+        [
+            _format_array("Xa", xa),
+            _format_array("Yb", yb),
+            f"int Yv[{ndata}];",
+            f"int Zv[{ndata}];",
+        ]
+    )
+
+
+def cordic_sw_source(
+    iters: int = 24,
+    ndata: int = 32,
+    frac: int = 16,
+    seed: int = 2005,
+) -> str:
+    """Pure-software CORDIC division over the whole dataset."""
+    return f"""\
+/* CORDIC division, pure software (P = 0).  Generated. */
+{_dataset_decls(ndata, frac, seed)}
+
+int main(void) {{
+    int *xp = Xa;
+    int *bp = Yb;
+    int *yp = Yv;
+    int *zp = Zv;
+    for (int i = 0; i < {ndata}; i++) {{
+        int xc = *xp;
+        int y = *bp;
+        int z = 0;
+        int c = {1 << frac};
+        for (int j = 0; j < {iters}; j++) {{
+            if (y < 0) {{ y += xc; z -= c; }}
+            else       {{ y -= xc; z += c; }}
+            xc >>= 1;
+            c = (int)((unsigned)c >> 1);
+        }}
+        *yp = y;
+        *zp = z;
+        xp++;
+        bp++;
+        yp++;
+        zp++;
+    }}
+    return 0;
+}}
+"""
+
+
+def cordic_hw_source(
+    p: int = 4,
+    iters: int = 24,
+    ndata: int = 32,
+    frac: int = 16,
+    fifo_depth: int = 16,
+    seed: int = 2005,
+) -> str:
+    """FSL driver for the P-PE CORDIC pipeline.
+
+    The set-transfer loops are unrolled by the set size: the set size
+    is a *structural* constant fixed by the FSL FIFO depth (unlike the
+    adaptive iteration count, which is a run-time quantity and must
+    stay a loop), so unrolling is the natural driver-code style — the
+    Xilinx FSL macros expand to straight-line ``put``/``get``
+    instructions the same way.
+    """
+    passes = -(-iters // p)  # ceil: the pipeline always runs P steps/pass
+    set_size = max(1, fifo_depth // 2)  # 2 result words per datum
+    while ndata % set_size:
+        set_size -= 1  # largest divisor of ndata that fits the FIFO
+
+    put_body = "\n".join(
+        f"""            putfsl(*xp >> s0, 0);           /* XC0 = X * C0 */
+            xp++;
+            putfsl(*yp, 0);
+            yp++;
+            putfsl(*zp, 0);
+            zp++;"""
+        for _ in range(set_size)
+    )
+    get_body = "\n".join(
+        """            *yq = getfsl(0);
+            yq++;
+            *zq = getfsl(0);
+            zq++;"""
+        for _ in range(set_size)
+    )
+    return f"""\
+/* CORDIC division driver for the {p}-PE pipeline ({passes} passes of
+ * {p} iterations = {passes * p} effective iterations; data moves in
+ * sets of {set_size} so results never overflow the output FSL FIFO).
+ * Generated. */
+{_dataset_decls(ndata, frac, seed)}
+
+int main(void) {{
+    int s0 = 0;
+    for (int i = 0; i < {ndata}; i++) {{
+        Yv[i] = Yb[i];
+        Zv[i] = 0;
+    }}
+    for (int pass = 0; pass < {passes}; pass++) {{
+        int *xp = Xa;
+        int *yp = Yv;
+        int *zp = Zv;
+        int *yq = Yv;
+        int *zq = Zv;
+        cputfsl({1 << frac} >> s0, 0);          /* control word: C0 */
+        for (int base = 0; base < {ndata}; base += {set_size}) {{
+{put_body}
+{get_body}
+        }}
+        s0 += {p};
+    }}
+    return 0;
+}}
+"""

@@ -1,0 +1,34 @@
+"""Block matrix multiplication (paper Section IV-B).
+
+The customized peripheral multiplies N×N *blocks*: the elements of a B
+block are loaded once as FSL control words into a register file, then
+A blocks stream through as data words, column by column; N embedded
+multipliers work in parallel (one per result column) and N²
+accumulators collect the products.  The software decomposes the full
+matrices into blocks, drives the peripheral and combines the partial
+products (paper: "the software program is responsible for controlling
+data to and from the customized hardware peripheral, combining the
+multiplication results of these matrix blocks, and generating the
+result matrix").
+"""
+
+from repro.apps.matmul.algorithm import (
+    block_matmul_reference,
+    generate_matrices,
+    matmul_reference,
+)
+from repro.apps.matmul.hardware import MatmulBlockGenerator, build_matmul_model
+from repro.apps.matmul.software import matmul_hw_source, matmul_sw_source
+from repro.apps.matmul.design import MatmulDesign, matmul_design_points
+
+__all__ = [
+    "matmul_reference",
+    "block_matmul_reference",
+    "generate_matrices",
+    "build_matmul_model",
+    "MatmulBlockGenerator",
+    "matmul_sw_source",
+    "matmul_hw_source",
+    "MatmulDesign",
+    "matmul_design_points",
+]

@@ -1,0 +1,245 @@
+"""N×N block-multiplier peripheral (paper Fig. 6), as sysgen blocks.
+
+Dataflow per B-block / A-block pair:
+
+1. N² *control* words load the B block into an 18-bit register file,
+   column by column (paper: "the data elements of matrix blocks from
+   matrix B ... are fed into the hardware peripheral as control
+   words").
+2. N² *data* words stream the A block, column by column.  Each
+   arriving ``a_ik`` drives N embedded multipliers in parallel (one per
+   result column j, fed ``b_kj`` through a k-selected mux); the
+   products accumulate into N² accumulators addressed by the delayed
+   row index (multiplier latency 3).
+3. When the last product lands, the output sequencer streams the N²
+   accumulated ``c_ij`` back over the result FSL and clears the
+   accumulators for the next block.
+
+N must be a power of two (the row/column indices are bit slices of the
+arrival counter).  Multiplier inputs are 18 bits — one MULT18X18 per
+result column, which is why Table I shows 2 extra multipliers for the
+2×2 design and 4 for the 4×4.
+"""
+
+from __future__ import annotations
+
+from repro.cosim.mb_block import MicroBlazeBlock
+from repro.pygen.generator import DesignGenerator, GeneratedDesign
+from repro.pygen.params import Parameter, ParameterSpace
+from repro.sysgen.blocks import (
+    Accumulator,
+    Constant,
+    Counter,
+    Delay,
+    Inverter,
+    Logical,
+    Mult,
+    Mux,
+    Register,
+    Relational,
+    Slice,
+)
+from repro.sysgen.model import Model
+
+MULT_LATENCY = 3
+B_WIDTH = 18
+ACC_WIDTH = 32
+
+
+def _eq_const(model: Model, name: str, signal, value: int, width: int):
+    """signal == value (unsigned), as a 1-bit output ref."""
+    const = model.add(Constant(f"{name}_c", value, width=width))
+    eq = model.add(Relational(name, width=width, op="eq", signed=False))
+    model.connect(signal, eq.i("a"))
+    model.connect(const.o("out"), eq.i("b"))
+    return eq.o("out")
+
+
+def _and2(model: Model, name: str, a, b):
+    g = model.add(Logical(name, width=1, op="and"))
+    model.connect(a, g.i("d0"))
+    model.connect(b, g.i("d1"))
+    return g.o("out")
+
+
+def build_matmul_model(
+    n: int, fifo_depth: int = 16
+) -> tuple[Model, MicroBlazeBlock]:
+    """Build the block-multiplier peripheral for ``n``×``n`` blocks."""
+    if n < 2 or n & (n - 1):
+        raise ValueError("block size must be a power of two >= 2")
+    n2 = n * n
+    ibits = (n - 1).bit_length()  # bits of the row index
+    cbits = (n2 - 1).bit_length()  # bits of the arrival counters
+
+    model = Model(f"matmul_n{n}")
+    mb = MicroBlazeBlock(model, fifo_depth=fifo_depth)
+    rd = mb.master_fsl(0)
+    wr = mb.slave_fsl(0)
+
+    # ---- input gating ------------------------------------------------
+    # `pending` interlocks the block protocol: once a whole A block has
+    # been consumed, no further FSL words (data OR control) are
+    # accepted until its results have streamed out — otherwise the next
+    # block's products would race the output mux and the B reload would
+    # clobber live operands.
+    out_busy = model.add(Register("out_busy", width=1))
+    pending = model.add(Register("pending", width=1))
+    not_busy = model.add(Inverter("not_busy", width=1))
+    model.connect(out_busy.o("q"), not_busy.i("a"))
+    not_pending = model.add(Inverter("not_pending", width=1))
+    model.connect(pending.o("q"), not_pending.i("a"))
+    accept = _and2(model, "accept", not_busy.o("out"), not_pending.o("out"))
+    read = _and2(model, "read_strobe", rd.o("exists"), accept)
+    model.connect(read, rd.i("read"))
+    notctrl = model.add(Inverter("notctrl", width=1))
+    model.connect(rd.o("control"), notctrl.i("a"))
+    data_consume = _and2(model, "data_consume", read, notctrl.o("out"))
+    ctrl_consume = _and2(model, "ctrl_consume", read, rd.o("control"))
+
+    # ---- B register file (loaded by control words, k fast / j slow) --
+    b_cnt = model.add(Counter("b_cnt", width=cbits))
+    model.connect(ctrl_consume, b_cnt.i("en"))
+    b_wrap = _and2(
+        model, "b_wrap", ctrl_consume,
+        _eq_const(model, "b_last", b_cnt.o("q"), n2 - 1, cbits),
+    )
+    model.connect(b_wrap, b_cnt.i("rst"))
+    bregs: dict[tuple[int, int], Register] = {}
+    for j in range(n):
+        for k in range(n):
+            idx = j * n + k
+            reg = model.add(Register(f"b_{k}_{j}", width=B_WIDTH))
+            model.connect(rd.o("data"), reg.i("d"))
+            en = _and2(
+                model, f"b_en_{k}_{j}", ctrl_consume,
+                _eq_const(model, f"b_at_{idx}", b_cnt.o("q"), idx, cbits),
+            )
+            model.connect(en, reg.i("en"))
+            bregs[(k, j)] = reg
+
+    # ---- A arrival counter: i = low bits, k = high bits ---------------
+    a_cnt = model.add(Counter("a_cnt", width=cbits))
+    model.connect(data_consume, a_cnt.i("en"))
+    a_wrap = _and2(
+        model, "a_wrap", data_consume,
+        _eq_const(model, "a_last", a_cnt.o("q"), n2 - 1, cbits),
+    )
+    model.connect(a_wrap, a_cnt.i("rst"))
+    i_idx = model.add(Slice("i_idx", msb=ibits - 1, lsb=0))
+    model.connect(a_cnt.o("q"), i_idx.i("a"))
+    k_idx = model.add(Slice("k_idx", msb=cbits - 1, lsb=ibits))
+    model.connect(a_cnt.o("q"), k_idx.i("a"))
+
+    # ---- N multipliers, one per result column -------------------------
+    mults = []
+    for j in range(n):
+        bmux = model.add(Mux(f"bmux_{j}", width=B_WIDTH, n=n))
+        model.connect(k_idx.o("out"), bmux.i("sel"))
+        for k in range(n):
+            model.connect(bregs[(k, j)].o("q"), bmux.i(f"d{k}"))
+        mult = model.add(
+            Mult(f"mult_{j}", width_a=B_WIDTH, width_b=B_WIDTH,
+                 out_width=ACC_WIDTH, latency=MULT_LATENCY)
+        )
+        model.connect(rd.o("data"), mult.i("a"))
+        model.connect(bmux.o("out"), mult.i("b"))
+        mults.append(mult)
+
+    # ---- alignment delays through the multiplier pipeline -------------
+    valid_d = model.add(Delay("valid_d", width=1, n=MULT_LATENCY))
+    model.connect(data_consume, valid_d.i("d"))
+    i_d = model.add(Delay("i_d", width=ibits, n=MULT_LATENCY))
+    model.connect(i_idx.o("out"), i_d.i("d"))
+
+    # ---- N² accumulators, row-addressed -------------------------------
+    row_en = []
+    for i in range(n):
+        en = _and2(
+            model, f"row_en_{i}", valid_d.o("q"),
+            _eq_const(model, f"row_at_{i}", i_d.o("q"), i, ibits),
+        )
+        row_en.append(en)
+
+    # product completion counter
+    prod_cnt = model.add(Counter("prod_cnt", width=cbits))
+    model.connect(valid_d.o("q"), prod_cnt.i("en"))
+    block_done = _and2(
+        model, "block_done", valid_d.o("q"),
+        _eq_const(model, "prod_last", prod_cnt.o("q"), n2 - 1, cbits),
+    )
+    model.connect(block_done, prod_cnt.i("rst"))
+
+    # ---- output sequencer ---------------------------------------------
+    out_cnt = model.add(Counter("out_cnt", width=cbits))
+    model.connect(out_busy.o("q"), out_cnt.i("en"))
+    last_out = _and2(
+        model, "last_out", out_busy.o("q"),
+        _eq_const(model, "out_at_last", out_cnt.o("q"), n2 - 1, cbits),
+    )
+    model.connect(last_out, out_cnt.i("rst"))
+    not_last = model.add(Inverter("not_last", width=1))
+    model.connect(last_out, not_last.i("a"))
+    keep_busy = _and2(model, "keep_busy", out_busy.o("q"), not_last.o("out"))
+    busy_next = model.add(Logical("busy_next", width=1, op="or"))
+    model.connect(block_done, busy_next.i("d0"))
+    model.connect(keep_busy, busy_next.i("d1"))
+    model.connect(busy_next.o("out"), out_busy.i("d"))
+
+    # pending: set when the last A word of a block is consumed, cleared
+    # when its last result word goes out.
+    keep_pending = _and2(model, "keep_pending", pending.o("q"),
+                         not_last.o("out"))
+    pending_next = model.add(Logical("pending_next", width=1, op="or"))
+    model.connect(a_wrap, pending_next.i("d0"))
+    model.connect(keep_pending, pending_next.i("d1"))
+    model.connect(pending_next.o("out"), pending.i("d"))
+
+    out_mux = model.add(Mux("out_mux", width=ACC_WIDTH, n=n2))
+    model.connect(out_cnt.o("q"), out_mux.i("sel"))
+    for j in range(n):
+        for i in range(n):
+            acc = model.add(Accumulator(f"acc_{i}_{j}", width=ACC_WIDTH))
+            model.connect(mults[j].o("p"), acc.i("d"))
+            model.connect(row_en[i], acc.i("en"))
+            model.connect(last_out, acc.i("rst"))
+            # output order: i fast, j slow (column by column of C)
+            model.connect(acc.o("q"), out_mux.i(f"d{j * n + i}"))
+    model.connect(out_mux.o("out"), wr.i("data"))
+    model.connect(out_busy.o("q"), wr.i("write"))
+
+    return model, mb
+
+
+class MatmulBlockGenerator(DesignGenerator):
+    """PyGen-style generator for the parameterized block multiplier."""
+
+    space = ParameterSpace(
+        parameters=[
+            Parameter("BLOCK", default=2, choices=(2, 4, 8),
+                      doc="block size N (one multiplier per column)"),
+            Parameter("MATN", default=16, minimum=2,
+                      doc="full matrix dimension"),
+            Parameter("FIFO_DEPTH", default=16, minimum=4),
+        ],
+        constraints=[
+            lambda b: (
+                None if b["MATN"] % b["BLOCK"] == 0
+                else f"MATN={b['MATN']} not divisible by BLOCK={b['BLOCK']}"
+            ),
+            lambda b: (
+                None if b["BLOCK"] * b["BLOCK"] <= b["FIFO_DEPTH"]
+                else "a block's results must fit the output FIFO"
+            ),
+        ],
+    )
+
+    def generate(self, **params) -> GeneratedDesign:
+        from repro.apps.matmul.software import matmul_hw_source
+
+        binding = self.bind(**params)
+        model, mb = build_matmul_model(binding["BLOCK"], binding["FIFO_DEPTH"])
+        source = matmul_hw_source(
+            block=binding["BLOCK"], matn=binding["MATN"]
+        )
+        return GeneratedDesign(binding, model, mb, source)

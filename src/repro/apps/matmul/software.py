@@ -1,0 +1,106 @@
+"""mini-C sources for the block matrix multiplication application.
+
+Both variants operate on the same generated global matrices ``A`` and
+``B`` (2-D arrays) and produce ``C``; the verification layer compares
+``C`` in BRAM against the NumPy-style reference.
+
+The software baseline is the standard triple loop with the natural
+pointer hoists a C programmer writes (row pointer for A/C, strided
+column walker for B).  The hardware driver decomposes into blocks: per
+(jj, kk) tile of B it sends N² control words, then for every ii streams
+the A tile and accumulates the returned products into C — the paper's
+"combining the multiplication results of these matrix blocks".
+"""
+
+from __future__ import annotations
+
+from repro.apps.matmul.algorithm import generate_matrices
+
+
+def _format_matrix(name: str, rows: list[list[int]]) -> str:
+    n = len(rows)
+    body = ",\n    ".join(
+        "{" + ", ".join(str(v) for v in row) + "}" for row in rows
+    )
+    return f"int {name}[{n}][{n}] = {{\n    {body}\n}};"
+
+
+def _matrix_decls(matn: int, seed: int) -> str:
+    a, b = generate_matrices(matn, seed)
+    return "\n".join(
+        [
+            _format_matrix("A", a),
+            _format_matrix("B", b),
+            f"int C[{matn}][{matn}];",
+        ]
+    )
+
+
+def matmul_sw_source(matn: int = 16, seed: int = 2005) -> str:
+    """Pure-software triple-loop product."""
+    return f"""\
+/* {matn}x{matn} matrix multiplication, pure software.  Generated. */
+{_matrix_decls(matn, seed)}
+
+int main(void) {{
+    for (int i = 0; i < {matn}; i++) {{
+        int *arow = A[i];
+        int *crow = C[i];
+        for (int j = 0; j < {matn}; j++) {{
+            int acc = 0;
+            int *bp = &B[0][j];
+            for (int k = 0; k < {matn}; k++) {{
+                acc += arow[k] * *bp;
+                bp += {matn};
+            }}
+            crow[j] = acc;
+        }}
+    }}
+    return 0;
+}}
+"""
+
+
+def matmul_hw_source(block: int = 2, matn: int = 16, seed: int = 2005) -> str:
+    """FSL driver for the N×N block-multiplier peripheral."""
+    if matn % block:
+        raise ValueError("matrix size must be divisible by the block size")
+    nb = matn // block
+    return f"""\
+/* {matn}x{matn} matrix multiplication using the {block}x{block} block
+ * multiplier peripheral ({nb}x{nb} blocks).  Generated. */
+{_matrix_decls(matn, seed)}
+
+int main(void) {{
+    for (int jj = 0; jj < {nb}; jj++) {{
+        for (int kk = 0; kk < {nb}; kk++) {{
+            /* load B block (control words, column by column) */
+            for (int j = 0; j < {block}; j++) {{
+                int *bc = &B[kk * {block}][jj * {block} + j];
+                for (int k = 0; k < {block}; k++) {{
+                    cputfsl(*bc, 0);
+                    bc += {matn};
+                }}
+            }}
+            /* stream every A block in this block-column through it */
+            for (int ii = 0; ii < {nb}; ii++) {{
+                for (int k = 0; k < {block}; k++) {{
+                    int *ac = &A[ii * {block}][kk * {block} + k];
+                    for (int i = 0; i < {block}; i++) {{
+                        putfsl(*ac, 0);
+                        ac += {matn};
+                    }}
+                }}
+                for (int j = 0; j < {block}; j++) {{
+                    int *cc = &C[ii * {block}][jj * {block} + j];
+                    for (int i = 0; i < {block}; i++) {{
+                        *cc += getfsl(0);
+                        cc += {matn};
+                    }}
+                }}
+            }}
+        }}
+    }}
+    return 0;
+}}
+"""

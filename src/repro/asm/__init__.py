@@ -1,0 +1,37 @@
+"""MB32 assembler toolchain.
+
+The paper compiles C programs with ``mb-gcc`` into ``.elf`` binaries
+loaded by ``mb-gdb``.  Our equivalent pipeline is::
+
+    mini-C source --repro.mcc--> assembly text
+    assembly text --repro.asm--> ObjectModule
+    ObjectModule(s) --link()--> Program (memory image + symbols)
+
+The assembler is a classic two-pass design: pass 1 lays out sections
+and records symbols and fixups, pass 2 (performed by the linker once
+section bases are known) patches instruction words.  Type-B
+instructions whose immediate operand references a symbol automatically
+get an ``imm``-prefix word reserved (the MicroBlaze way of forming
+32-bit immediates); branch targets are PC-relative 16-bit.
+"""
+
+from repro.asm.objfile import Fixup, FixupKind, ObjectModule, SectionData, Symbol
+from repro.asm.assembler import AsmError, Assembler, assemble
+from repro.asm.linker import LinkError, Program, link
+from repro.asm.disassembler import disassemble, disassemble_program
+
+__all__ = [
+    "Assembler",
+    "AsmError",
+    "assemble",
+    "ObjectModule",
+    "SectionData",
+    "Symbol",
+    "Fixup",
+    "FixupKind",
+    "link",
+    "LinkError",
+    "Program",
+    "disassemble",
+    "disassemble_program",
+]

@@ -1,0 +1,334 @@
+"""Two-pass MB32 assembler.
+
+Accepts the conventional assembly dialect emitted by the mini-C
+compiler (:mod:`repro.mcc`) and hand-written runtime code::
+
+    # comment
+        .text
+        .global main
+    main:
+        addik r1, r1, -8        # prologue
+        li    r5, table         # pseudo: load address (auto imm-prefix)
+        lwi   r3, r5, 0
+        rtsd  r15, 8
+        nop                     # delay slot
+        .data
+    table:
+        .word 1, 2, 3, 4
+
+Layout is deterministic: a type-B instruction whose immediate operand
+references a symbol (or a constant outside the signed-16-bit range)
+assembles to an ``imm``-prefix pair (8 bytes); branch targets are
+PC-relative 16-bit and never get a prefix.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.asm.expr import ExprError, eval_expr, expr_symbols, parse_expr
+from repro.asm.objfile import Fixup, FixupKind, ObjectModule, SectionData, Symbol
+from repro.isa import BY_MNEMONIC, encode
+from repro.isa.instructions import FORMAT_B, InstrSpec
+from repro.isa.registers import parse_reg
+
+_LABEL_RE = re.compile(r"^\s*([A-Za-z_.$][A-Za-z0-9_.$]*)\s*:")
+_COMMENT_RE = re.compile(r"(#|//|;).*$")
+_REG_RE = re.compile(r"^r([0-9]|[12][0-9]|3[01])$")
+_FSL_RE = re.compile(r"^rfsl([0-9]|1[0-5])$")
+
+#: instruction kinds whose immediate is a PC-relative branch target.
+_BRANCH_KINDS = {"br", "bcc"}
+#: kinds whose immediate must be an assemble-time constant (the imm
+#: field carries discriminator bits that an imm-prefix would clobber).
+_CONST_IMM_KINDS = {"bs"}
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", '"': '"', "\\": "\\"}
+
+
+class AsmError(ValueError):
+    """Assembly failure with source line context."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class Assembler:
+    """Assemble one translation unit into an :class:`ObjectModule`."""
+
+    def __init__(self, name: str = "module"):
+        self.module = ObjectModule(name)
+        self.section: SectionData = self.module.section(".text")
+        self.globals: set[str] = set()
+        self.equates: dict[str, int] = {}
+        self.lineno = 0
+
+    # ------------------------------------------------------------------
+    def assemble(self, source: str) -> ObjectModule:
+        for self.lineno, raw in enumerate(source.splitlines(), start=1):
+            self._line(raw)
+        for name in self.globals:
+            if name in self.module.symbols:
+                self.module.symbols[name].is_global = True
+            else:
+                raise AsmError(f".global of undefined symbol {name!r}", self.lineno)
+        return self.module
+
+    # ------------------------------------------------------------------
+    def _err(self, msg: str) -> AsmError:
+        return AsmError(msg, self.lineno)
+
+    def _line(self, raw: str) -> None:
+        line = _COMMENT_RE.sub("", raw).rstrip()
+        while True:
+            m = _LABEL_RE.match(line)
+            if not m:
+                break
+            self._define_label(m.group(1))
+            line = line[m.end() :]
+        line = line.strip()
+        if not line:
+            return
+        parts = line.split(None, 1)
+        head = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        if head.startswith("."):
+            self._directive(head, rest)
+        else:
+            self._instruction(head, rest)
+
+    def _define_label(self, name: str) -> None:
+        try:
+            self.module.define(name, self.section.name, self._offset(), line=self.lineno)
+        except ValueError as exc:
+            raise self._err(str(exc)) from exc
+
+    def _offset(self) -> int:
+        return self.section.size
+
+    # ------------------------------------------------------------------
+    # Directives
+    # ------------------------------------------------------------------
+    def _directive(self, name: str, rest: str) -> None:
+        if name in (".text", ".data", ".bss"):
+            self.section = self.module.section(name)
+            return
+        if name in (".global", ".globl"):
+            for sym in (s.strip() for s in rest.split(",")):
+                if sym:
+                    self.globals.add(sym)
+            return
+        if name == ".equ":
+            try:
+                sym, expr_text = rest.split(",", 1)
+            except ValueError:
+                raise self._err(".equ needs 'name, expression'") from None
+            value = self._const_expr(expr_text)
+            sym = sym.strip()
+            try:
+                self.module.define(sym, "*abs*", value, line=self.lineno)
+            except ValueError as exc:
+                raise self._err(str(exc)) from exc
+            self.equates[sym] = value
+            return
+        if name == ".align":
+            align = self._const_expr(rest)
+            if align <= 0 or align & (align - 1):
+                raise self._err(f".align must be a power of two, got {align}")
+            pad = (-self._offset()) % align
+            self._emit_space(pad)
+            return
+        if name == ".space":
+            args = rest.split(",")
+            size = self._const_expr(args[0])
+            fill = self._const_expr(args[1]) if len(args) > 1 else 0
+            if size < 0:
+                raise self._err(".space size must be non-negative")
+            self._emit_space(size, fill)
+            return
+        if name in (".word", ".half", ".byte"):
+            width = {".word": 4, ".half": 2, ".byte": 1}[name]
+            self._require_data("data emission")
+            for text in self._split_operands(rest):
+                expr = self._parse_operand_expr(text)
+                if expr_symbols(expr):
+                    if width != 4:
+                        raise self._err(
+                            f"symbolic values only allowed in .word, not {name}"
+                        )
+                    self.module.fixups.append(
+                        Fixup(self.section.name, self._offset(), FixupKind.ABS32,
+                              expr, self.lineno)
+                    )
+                    self.section.data += b"\x00\x00\x00\x00"
+                else:
+                    value = eval_expr(expr, self.equates) & ((1 << (8 * width)) - 1)
+                    self.section.data += value.to_bytes(width, "big")
+            return
+        if name in (".ascii", ".asciz"):
+            self._require_data("string emission")
+            text = self._parse_string(rest)
+            self.section.data += text.encode("latin-1")
+            if name == ".asciz":
+                self.section.data += b"\x00"
+            return
+        raise self._err(f"unknown directive {name!r}")
+
+    def _require_data(self, what: str) -> None:
+        if self.section.name == ".bss":
+            raise self._err(f"{what} not allowed in .bss")
+
+    def _emit_space(self, size: int, fill: int = 0) -> None:
+        if self.section.name == ".bss":
+            if fill:
+                raise self._err(".bss fill must be zero")
+            self.section.bss_size += size
+        else:
+            self.section.data += bytes([fill & 0xFF]) * size
+
+    def _parse_string(self, rest: str) -> str:
+        rest = rest.strip()
+        if len(rest) < 2 or rest[0] != '"' or rest[-1] != '"':
+            raise self._err(f"expected quoted string, got {rest!r}")
+        body = rest[1:-1]
+        out: list[str] = []
+        i = 0
+        while i < len(body):
+            ch = body[i]
+            if ch == "\\":
+                i += 1
+                if i >= len(body):
+                    raise self._err("dangling escape in string")
+                esc = _ESCAPES.get(body[i])
+                if esc is None:
+                    raise self._err(f"unknown escape \\{body[i]}")
+                out.append(esc)
+            else:
+                out.append(ch)
+            i += 1
+        return "".join(out)
+
+    def _const_expr(self, text: str) -> int:
+        expr = self._parse_operand_expr(text)
+        syms = expr_symbols(expr)
+        unknown = syms - set(self.equates)
+        if unknown:
+            raise self._err(f"expression must be constant; unknown: {sorted(unknown)}")
+        return eval_expr(expr, self.equates)
+
+    def _parse_operand_expr(self, text: str):
+        try:
+            return parse_expr(text)
+        except ExprError as exc:
+            raise self._err(str(exc)) from exc
+
+    @staticmethod
+    def _split_operands(rest: str) -> list[str]:
+        return [t.strip() for t in rest.split(",") if t.strip()] if rest.strip() else []
+
+    # ------------------------------------------------------------------
+    # Instructions
+    # ------------------------------------------------------------------
+    def _instruction(self, mnemonic: str, rest: str) -> None:
+        if self.section.name != ".text":
+            raise self._err("instructions only allowed in .text")
+        if self._offset() % 4:
+            raise self._err("instruction at unaligned offset")
+        operands = self._split_operands(rest)
+
+        # Pseudo-instructions -----------------------------------------
+        if mnemonic == "nop":
+            if operands:
+                raise self._err("nop takes no operands")
+            self._emit_word(encode(BY_MNEMONIC["or"], rd=0, ra=0, rb=0))
+            return
+        if mnemonic in ("li", "la"):
+            if len(operands) != 2:
+                raise self._err(f"{mnemonic} needs 'rd, expression'")
+            self._encode_spec(BY_MNEMONIC["addik"],
+                              [operands[0], "r0", operands[1]])
+            return
+
+        spec = BY_MNEMONIC.get(mnemonic)
+        if spec is None:
+            raise self._err(f"unknown mnemonic {mnemonic!r}")
+        if len(operands) != len(spec.operands):
+            raise self._err(
+                f"{mnemonic} expects {len(spec.operands)} operands "
+                f"({', '.join(spec.operands)}), got {len(operands)}"
+            )
+        self._encode_spec(spec, operands)
+
+    def _encode_spec(self, spec: InstrSpec, operands: list[str]) -> None:
+        fields: dict[str, int] = {}
+        imm_expr = None
+        for kind, text in zip(spec.operands, operands):
+            if kind in ("rd", "ra", "rb"):
+                if not _REG_RE.match(text.strip().lower()):
+                    raise self._err(f"expected register for {kind}, got {text!r}")
+                fields[kind] = parse_reg(text)
+            elif kind == "fsl":
+                m = _FSL_RE.match(text.strip().lower())
+                if m:
+                    fields["fsl"] = int(m.group(1))
+                else:
+                    fields["fsl"] = self._const_expr(text)
+            elif kind == "imm":
+                imm_expr = self._parse_operand_expr(text)
+            else:  # pragma: no cover - spec sanity
+                raise self._err(f"bad operand kind {kind!r} in spec")
+
+        if spec.fmt == FORMAT_B and imm_expr is not None:
+            self._encode_type_b(spec, fields, imm_expr)
+        else:
+            try:
+                self._emit_word(encode(spec, **fields))
+            except (ValueError, TypeError) as exc:
+                raise self._err(str(exc)) from exc
+
+    def _encode_type_b(self, spec: InstrSpec, fields: dict, imm_expr) -> None:
+        syms = expr_symbols(imm_expr) - set(self.equates)
+        kind = spec.kind
+
+        if kind in _BRANCH_KINDS and syms:
+            # PC-relative 16-bit displacement, patched at link time.
+            self.module.fixups.append(
+                Fixup(self.section.name, self._offset(), FixupKind.PCREL16,
+                      imm_expr, self.lineno)
+            )
+            self._emit_word(encode(spec, imm=0, **fields))
+            return
+
+        if kind in _CONST_IMM_KINDS or not syms:
+            value = eval_expr(imm_expr, self.equates, location=self._offset())
+            if kind in _CONST_IMM_KINDS:
+                if not 0 <= value <= 31:
+                    raise self._err(f"shift amount {value} out of range 0..31")
+                self._emit_word(encode(spec, imm=value, **fields))
+                return
+            # The imm prefix itself takes a raw (unsigned) 16-bit field.
+            hi = 0xFFFF if kind == "imm" else 0x7FFF
+            if -0x8000 <= value <= hi:
+                self._emit_word(encode(spec, imm=value, **fields))
+            else:
+                value &= 0xFFFFFFFF
+                self._emit_word(encode(BY_MNEMONIC["imm"], imm=(value >> 16) & 0xFFFF))
+                self._emit_word(encode(spec, imm=value & 0xFFFF, **fields))
+            return
+
+        # Symbolic non-branch immediate: reserve an imm-prefix pair.
+        self.module.fixups.append(
+            Fixup(self.section.name, self._offset(), FixupKind.IMM32,
+                  imm_expr, self.lineno)
+        )
+        self._emit_word(encode(BY_MNEMONIC["imm"], imm=0))
+        self._emit_word(encode(spec, imm=0, **fields))
+
+    def _emit_word(self, word: int) -> None:
+        self.section.data += word.to_bytes(4, "big")
+
+
+def assemble(source: str, name: str = "module") -> ObjectModule:
+    """Assemble ``source`` into a relocatable :class:`ObjectModule`."""
+    return Assembler(name).assemble(source)

@@ -1,0 +1,48 @@
+"""MB32 disassembler (the ``mb-objdump`` analogue).
+
+Used by the debugger for listing code around the PC and by tests to
+round-trip the assembler/encoder.
+"""
+
+from __future__ import annotations
+
+from repro.isa.decoder import DecodeError, decode
+
+
+def disassemble(word: int, addr: int | None = None) -> str:
+    """Disassemble a single 32-bit instruction word."""
+    try:
+        instr = decode(word)
+    except DecodeError:
+        prefix = f"{addr:08x}:  " if addr is not None else ""
+        return f"{prefix}.word 0x{word:08x}"
+    text = str(instr)
+    if addr is not None:
+        return f"{addr:08x}:  {text}"
+    return text
+
+
+def disassemble_program(
+    image: bytes,
+    start: int = 0,
+    end: int | None = None,
+    symbols: dict[str, int] | None = None,
+) -> str:
+    """Disassemble ``image[start:end]`` word by word.
+
+    Known symbol addresses are printed as labels, giving output close
+    to ``mb-objdump -d``.
+    """
+    if end is None:
+        end = len(image)
+    by_addr: dict[int, list[str]] = {}
+    if symbols:
+        for name, value in symbols.items():
+            by_addr.setdefault(value, []).append(name)
+    lines: list[str] = []
+    for addr in range(start, end, 4):
+        for label in sorted(by_addr.get(addr, ())):
+            lines.append(f"{label}:")
+        word = int.from_bytes(image[addr : addr + 4], "big")
+        lines.append("    " + disassemble(word, addr))
+    return "\n".join(lines)

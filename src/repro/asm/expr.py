@@ -1,0 +1,191 @@
+"""Operand expressions for the assembler.
+
+Grammar (standard precedence, lowest first)::
+
+    expr    := or
+    or      := xor ('|' xor)*
+    xor     := and ('^' and)*
+    and     := shift ('&' shift)*
+    shift   := addsub (('<<' | '>>') addsub)*
+    addsub  := muldiv (('+' | '-') muldiv)*
+    muldiv  := unary (('*' | '/') unary)*
+    unary   := ('-' | '~')? primary
+    primary := NUMBER | IDENT | '(' expr ')' | '.'
+
+``.`` evaluates to the current location counter.  Expressions are
+parsed eagerly into a small AST of tuples and evaluated lazily once the
+symbol table is complete (link time).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+Expr = tuple  # ('num', v) | ('sym', name) | ('bin', op, l, r) | ('un', op, e)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<num>0[xX][0-9a-fA-F]+|0[bB][01]+|\d+|'(?:\\.|[^'\\])')"
+    r"|(?P<ident>[A-Za-z_.$][A-Za-z0-9_.$]*)"
+    r"|(?P<op><<|>>|[-+*/()&|^~])"
+    r")"
+)
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", "'": "'"}
+
+
+class ExprError(ValueError):
+    """Raised for malformed or unresolvable expressions."""
+
+
+def tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m or m.end() == pos:
+            rest = text[pos:].strip()
+            if not rest:
+                break
+            raise ExprError(f"bad token at {rest!r} in expression {text!r}")
+        tokens.append(m.group(m.lastgroup))  # type: ignore[arg-type]
+        pos = m.end()
+    return tokens
+
+
+def _parse_number(tok: str) -> int:
+    if tok.startswith("'"):
+        body = tok[1:-1]
+        if body.startswith("\\"):
+            ch = _ESCAPES.get(body[1])
+            if ch is None:
+                raise ExprError(f"unknown escape {body!r}")
+            return ord(ch)
+        return ord(body)
+    return int(tok, 0)
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]):
+        self.toks = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.toks[self.pos] if self.pos < len(self.toks) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise ExprError("unexpected end of expression")
+        self.pos += 1
+        return tok
+
+    def parse(self) -> Expr:
+        e = self._or()
+        if self.peek() is not None:
+            raise ExprError(f"trailing tokens: {self.toks[self.pos:]}")
+        return e
+
+    def _binop(self, sub, ops) -> Expr:
+        left = sub()
+        while self.peek() in ops:
+            op = self.next()
+            left = ("bin", op, left, sub())
+        return left
+
+    def _or(self):
+        return self._binop(self._xor, ("|",))
+
+    def _xor(self):
+        return self._binop(self._and, ("^",))
+
+    def _and(self):
+        return self._binop(self._shift, ("&",))
+
+    def _shift(self):
+        return self._binop(self._addsub, ("<<", ">>"))
+
+    def _addsub(self):
+        return self._binop(self._muldiv, ("+", "-"))
+
+    def _muldiv(self):
+        return self._binop(self._unary, ("*", "/"))
+
+    def _unary(self) -> Expr:
+        tok = self.peek()
+        if tok in ("-", "~"):
+            self.next()
+            return ("un", tok, self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        tok = self.next()
+        if tok == "(":
+            e = self._or()
+            if self.next() != ")":
+                raise ExprError("missing closing parenthesis")
+            return e
+        if re.fullmatch(r"0[xX][0-9a-fA-F]+|0[bB][01]+|\d+|'(?:\\.|[^'\\])'", tok):
+            return ("num", _parse_number(tok))
+        if re.fullmatch(r"[A-Za-z_.$][A-Za-z0-9_.$]*", tok):
+            return ("sym", tok)
+        raise ExprError(f"unexpected token {tok!r}")
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse ``text`` into an expression AST."""
+    return _Parser(tokenize(text)).parse()
+
+
+def expr_symbols(expr: Expr) -> set[str]:
+    """All symbol names referenced by ``expr``."""
+    kind = expr[0]
+    if kind == "num":
+        return set()
+    if kind == "sym":
+        return {expr[1]}
+    if kind == "un":
+        return expr_symbols(expr[2])
+    return expr_symbols(expr[2]) | expr_symbols(expr[3])
+
+
+def eval_expr(expr: Expr, symbols: Mapping[str, int], location: int = 0) -> int:
+    """Evaluate ``expr`` with ``symbols`` (``.`` maps to ``location``)."""
+    kind = expr[0]
+    if kind == "num":
+        return expr[1]
+    if kind == "sym":
+        name = expr[1]
+        if name == ".":
+            return location
+        if name not in symbols:
+            raise ExprError(f"undefined symbol {name!r}")
+        return symbols[name]
+    if kind == "un":
+        v = eval_expr(expr[2], symbols, location)
+        return -v if expr[1] == "-" else ~v
+    op = expr[1]
+    left = eval_expr(expr[2], symbols, location)
+    right = eval_expr(expr[3], symbols, location)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ExprError("division by zero in expression")
+        return left // right
+    if op == "<<":
+        return left << right
+    if op == ">>":
+        return left >> right
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    raise ExprError(f"unknown operator {op!r}")  # pragma: no cover

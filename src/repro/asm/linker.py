@@ -1,0 +1,188 @@
+"""Linker: combine object modules into an executable memory image.
+
+Section placement follows the paper's LMB BRAM layout: ``.text`` at
+address 0 (the reset vector), ``.data`` directly after (16-byte
+aligned), ``.bss`` after that.  The resulting :class:`Program` carries
+everything downstream consumers need:
+
+* the memory image to load into BRAM,
+* an absolute symbol table (debugger, tests),
+* section sizes — used by the resource estimator to compute the number
+  of BRAMs occupied by the software program, exactly as Section III-C
+  computes it from ``mb-objdump`` output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.expr import ExprError, eval_expr
+from repro.asm.objfile import FixupKind, ObjectModule
+
+
+class LinkError(ValueError):
+    """Raised for unresolved symbols, range errors or layout problems."""
+
+
+_SECTION_ORDER = (".text", ".data", ".bss")
+
+
+@dataclass
+class Program:
+    """A linked, loadable MB32 program."""
+
+    image: bytes
+    symbols: dict[str, int]
+    entry: int
+    text_size: int
+    data_size: int
+    bss_size: int
+    stack_size: int = 4096
+    #: total BRAM size the program was linked for (stack at its top);
+    #: set by the compiler driver, None for bare assembly programs.
+    memory_size: int | None = None
+
+    @property
+    def load_size(self) -> int:
+        """Bytes that must be initialized in memory."""
+        return len(self.image)
+
+    @property
+    def footprint(self) -> int:
+        """Total memory footprint including .bss (excluding stack)."""
+        return len(self.image) + self.bss_size
+
+    @property
+    def memory_required(self) -> int:
+        """Minimum BRAM size to run: image + bss + stack, word aligned."""
+        total = self.footprint + self.stack_size
+        return (total + 3) & ~3
+
+    def load_into(self, memory) -> None:
+        """Copy the image into a BRAM-like object (``load`` method)."""
+        memory.load(0, self.image)
+
+    def symbol(self, name: str) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise LinkError(f"no such symbol: {name!r}") from None
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def link(
+    modules: list[ObjectModule] | ObjectModule,
+    entry_symbol: str = "_start",
+    stack_size: int = 4096,
+) -> Program:
+    """Link ``modules`` into a :class:`Program`.
+
+    Symbols must be unique across modules (local symbols are kept —
+    our compiler name-mangles statics, so collisions indicate bugs).
+    """
+    if isinstance(modules, ObjectModule):
+        modules = [modules]
+    if not modules:
+        raise LinkError("no modules to link")
+
+    # ---- place sections --------------------------------------------
+    # Per-module base offset within each output section.
+    placement: dict[tuple[str, str], int] = {}
+    section_sizes = {name: 0 for name in _SECTION_ORDER}
+    for mod in modules:
+        for sect_name in _SECTION_ORDER:
+            sect = mod.sections.get(sect_name)
+            if sect is None:
+                continue
+            base = _align(section_sizes[sect_name], sect.align)
+            placement[(mod.name, sect_name)] = base
+            section_sizes[sect_name] = base + sect.size
+        for sect_name in mod.sections:
+            if sect_name not in _SECTION_ORDER:
+                raise LinkError(f"unknown section {sect_name!r} in {mod.name}")
+
+    text_base = 0
+    data_base = _align(text_base + section_sizes[".text"], 16)
+    bss_base = _align(data_base + section_sizes[".data"], 16)
+    section_bases = {".text": text_base, ".data": data_base, ".bss": bss_base}
+
+    # ---- build the symbol table -------------------------------------
+    symbols: dict[str, int] = {}
+    for mod in modules:
+        for sym in mod.symbols.values():
+            if sym.name in symbols:
+                raise LinkError(
+                    f"duplicate symbol {sym.name!r} (module {mod.name})"
+                )
+            if sym.section == "*abs*":
+                symbols[sym.name] = sym.offset
+            else:
+                base = section_bases[sym.section] + placement.get(
+                    (mod.name, sym.section), 0
+                )
+                symbols[sym.name] = base + sym.offset
+
+    # ---- assemble the image ------------------------------------------
+    image = bytearray(bss_base)  # text + padding + data
+    for mod in modules:
+        for sect_name in (".text", ".data"):
+            sect = mod.sections.get(sect_name)
+            if sect is None or not sect.data:
+                continue
+            start = section_bases[sect_name] + placement[(mod.name, sect_name)]
+            image[start : start + len(sect.data)] = sect.data
+
+    # ---- apply fixups --------------------------------------------------
+    for mod in modules:
+        for fix in mod.fixups:
+            addr = section_bases[fix.section] + placement[
+                (mod.name, fix.section)
+            ] + fix.offset
+            try:
+                value = eval_expr(fix.expr, symbols, location=addr)
+            except ExprError as exc:
+                raise LinkError(
+                    f"{mod.name}:{fix.line}: {exc}"
+                ) from exc
+            if fix.kind is FixupKind.ABS32:
+                image[addr : addr + 4] = (value & 0xFFFFFFFF).to_bytes(4, "big")
+            elif fix.kind is FixupKind.SIMM16:
+                _patch_imm16(image, addr, value, mod.name, fix.line)
+            elif fix.kind is FixupKind.PCREL16:
+                disp = value - addr
+                if not -0x8000 <= disp <= 0x7FFF:
+                    raise LinkError(
+                        f"{mod.name}:{fix.line}: branch displacement {disp} "
+                        "out of 16-bit range"
+                    )
+                _patch_imm16(image, addr, disp, mod.name, fix.line)
+            elif fix.kind is FixupKind.IMM32:
+                value &= 0xFFFFFFFF
+                _patch_imm16(image, addr, (value >> 16) & 0xFFFF, mod.name, fix.line)
+                _patch_imm16(image, addr + 4, value & 0xFFFF, mod.name, fix.line)
+            else:  # pragma: no cover
+                raise LinkError(f"unknown fixup kind {fix.kind}")
+
+    if entry_symbol not in symbols:
+        raise LinkError(f"entry symbol {entry_symbol!r} undefined")
+
+    return Program(
+        image=bytes(image),
+        symbols=symbols,
+        entry=symbols[entry_symbol],
+        text_size=section_sizes[".text"],
+        data_size=section_sizes[".data"],
+        bss_size=section_sizes[".bss"],
+        stack_size=stack_size,
+    )
+
+
+def _patch_imm16(image: bytearray, addr: int, value: int, mod: str, line: int) -> None:
+    if not -0x8000 <= value <= 0xFFFF:
+        raise LinkError(f"{mod}:{line}: immediate {value} does not fit in 16 bits")
+    word = int.from_bytes(image[addr : addr + 4], "big")
+    word = (word & 0xFFFF0000) | (value & 0xFFFF)
+    image[addr : addr + 4] = word.to_bytes(4, "big")

@@ -1,0 +1,28 @@
+"""Communication-interface models.
+
+The paper's co-simulation environment contains "cycle-accurate
+arithmetic-level bus models for simulating the communication
+interface".  This package provides:
+
+* :mod:`repro.bus.fsl` — Fast Simplex Link unidirectional FIFO
+  channels with blocking/non-blocking semantics and the
+  ``exists``/``full`` handshake flags described in Section III-B,
+* :mod:`repro.bus.lmb` — Local Memory Bus controllers with the fixed
+  one-cycle BRAM access latency the MicroBlaze cycle-accurate
+  simulator requires,
+* :mod:`repro.bus.opb` — an On-chip Peripheral Bus model with
+  address-mapped slaves and a fixed transaction latency.
+"""
+
+from repro.bus.fsl import FSLChannel, FSLWord
+from repro.bus.lmb import LMBController
+from repro.bus.opb import OPBBus, OPBSlave, OPBRegisterSlave
+
+__all__ = [
+    "FSLChannel",
+    "FSLWord",
+    "LMBController",
+    "OPBBus",
+    "OPBSlave",
+    "OPBRegisterSlave",
+]

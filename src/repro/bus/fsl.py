@@ -1,0 +1,132 @@
+"""Fast Simplex Link (FSL) channel model.
+
+An FSL is a unidirectional FIFO carrying 32-bit data words plus one
+*control* bit per word (Section III-B of the paper).  MicroBlaze
+supports up to 16 FSLs — eight inputs and eight outputs.  Both blocking
+and non-blocking access are supported: a blocking read/write stalls the
+processor until it can complete; a non-blocking access never stalls and
+reports failure through the carry flag.
+
+The channel exposes both endpoints:
+
+* the *master* side pushes words (``push``) — the processor for
+  processor→peripheral channels, the peripheral for the reverse,
+* the *slave* side pops words (``pop``) and can ``peek`` the head.
+
+Handshake flags match the paper's signal names: ``exists`` (data
+available at the slave side, the paper's ``Out#_exists``) and ``full``
+(FIFO cannot accept more data, the paper's ``In#_full``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque
+
+
+@dataclass(frozen=True)
+class FSLWord:
+    """One FIFO entry: a 32-bit data word plus the control bit."""
+
+    data: int
+    control: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.data <= 0xFFFFFFFF:
+            raise ValueError(f"FSL data must be a 32-bit word, got {self.data:#x}")
+
+
+class FSLChannel:
+    """A single unidirectional FSL FIFO.
+
+    Parameters
+    ----------
+    depth:
+        FIFO depth in words.  Xilinx's default FSL depth is 16.
+    name:
+        Optional label used in traces and error messages.
+    """
+
+    DEFAULT_DEPTH = 16
+
+    def __init__(self, depth: int = DEFAULT_DEPTH, name: str = "fsl"):
+        if depth < 1:
+            raise ValueError("FSL depth must be >= 1")
+        self.depth = depth
+        self.name = name
+        self._fifo: Deque[FSLWord] = deque()
+        # --- statistics -------------------------------------------------
+        self.total_pushed = 0
+        self.total_popped = 0
+        self.push_rejects = 0  # attempts while full
+        self.pop_rejects = 0  # attempts while empty
+        self.max_occupancy = 0
+
+    # ------------------------------------------------------------------
+    # Status flags (the paper's handshake signals)
+    # ------------------------------------------------------------------
+    @property
+    def exists(self) -> bool:
+        """True when data is available (``Out#_exists`` high)."""
+        return bool(self._fifo)
+
+    @property
+    def full(self) -> bool:
+        """True when the FIFO cannot accept more data (``In#_full``)."""
+        return len(self._fifo) >= self.depth
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._fifo)
+
+    # ------------------------------------------------------------------
+    # Master (writer) side
+    # ------------------------------------------------------------------
+    def can_push(self) -> bool:
+        return not self.full
+
+    def push(self, data: int, control: bool = False) -> bool:
+        """Try to append a word.  Returns False (and counts a reject)
+        when the FIFO is full — the caller decides whether to stall
+        (blocking mode) or continue (non-blocking mode)."""
+        if self.full:
+            self.push_rejects += 1
+            return False
+        self._fifo.append(FSLWord(data & 0xFFFFFFFF, bool(control)))
+        self.total_pushed += 1
+        if len(self._fifo) > self.max_occupancy:
+            self.max_occupancy = len(self._fifo)
+        return True
+
+    # ------------------------------------------------------------------
+    # Slave (reader) side
+    # ------------------------------------------------------------------
+    def can_pop(self) -> bool:
+        return bool(self._fifo)
+
+    def peek(self) -> FSLWord | None:
+        """Head of the FIFO without consuming it (combinational read
+        of the data/control/exists signals)."""
+        return self._fifo[0] if self._fifo else None
+
+    def pop(self) -> FSLWord | None:
+        """Consume and return the head word, or None when empty."""
+        if not self._fifo:
+            self.pop_rejects += 1
+            return None
+        self.total_popped += 1
+        return self._fifo.popleft()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self._fifo.clear()
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FSLChannel({self.name!r}, depth={self.depth}, "
+            f"occupancy={len(self._fifo)})"
+        )

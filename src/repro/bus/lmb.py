@@ -1,0 +1,66 @@
+"""Local Memory Bus (LMB) controller model.
+
+The MicroBlaze cycle-accurate simulator requires the processor and the
+two LMB interface controllers (instruction side and data side) to run
+at the same frequency, guaranteeing a fixed one-cycle access latency to
+the BRAM-stored instructions and data (paper, Section III-A).  The
+controller model therefore only contributes a constant latency and
+bookkeeping — the interesting state lives in the BRAM model
+(:class:`repro.iss.memory.BRAM`).
+"""
+
+from __future__ import annotations
+
+
+class LMBController:
+    """One LMB interface controller (ILMB or DLMB).
+
+    Parameters
+    ----------
+    memory:
+        The backing memory object (must expose ``read_u8/16/32`` and
+        ``write_u8/16/32``).
+    latency:
+        Access latency in cycles; fixed at 1 in the paper's
+        configuration.
+    """
+
+    def __init__(self, memory, latency: int = 1, name: str = "lmb"):
+        if latency < 1:
+            raise ValueError("LMB latency must be >= 1 cycle")
+        self.memory = memory
+        self.latency = latency
+        self.name = name
+        self.reads = 0
+        self.writes = 0
+
+    def read_u8(self, addr: int) -> int:
+        self.reads += 1
+        return self.memory.read_u8(addr)
+
+    def read_u16(self, addr: int) -> int:
+        self.reads += 1
+        return self.memory.read_u16(addr)
+
+    def read_u32(self, addr: int) -> int:
+        self.reads += 1
+        return self.memory.read_u32(addr)
+
+    def write_u8(self, addr: int, value: int) -> None:
+        self.writes += 1
+        self.memory.write_u8(addr, value)
+
+    def write_u16(self, addr: int, value: int) -> None:
+        self.writes += 1
+        self.memory.write_u16(addr, value)
+
+    def write_u32(self, addr: int, value: int) -> None:
+        self.writes += 1
+        self.memory.write_u32(addr, value)
+
+    @property
+    def transactions(self) -> int:
+        return self.reads + self.writes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LMBController({self.name!r}, latency={self.latency})"

@@ -1,0 +1,102 @@
+"""On-chip Peripheral Bus (OPB) model.
+
+The paper's environment supports "various bus protocols, such as the
+IBM on-chip peripheral bus (OPB) and the Xilinx fast simplex link".
+This module models the OPB at the arithmetic level: an address-decoded
+single-master transaction bus with a fixed per-transaction latency
+(OPB reads/writes on MicroBlaze take several cycles; we use 3, the
+documented minimum for an OPB data-side access).
+
+Slaves register an address range and service word reads/writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Protocol
+
+
+class OPBSlave(Protocol):
+    """Interface every OPB slave implements."""
+
+    def opb_read(self, offset: int) -> int:
+        """Read the 32-bit word at byte ``offset`` within the slave."""
+        ...
+
+    def opb_write(self, offset: int, value: int) -> None:
+        """Write the 32-bit word at byte ``offset`` within the slave."""
+        ...
+
+
+@dataclass
+class _Mapping:
+    base: int
+    size: int
+    slave: OPBSlave
+
+
+class OPBBusError(RuntimeError):
+    """Raised on accesses that decode to no slave."""
+
+
+class OPBBus:
+    """Single-master OPB with address decoding and latency accounting."""
+
+    READ_LATENCY = 3
+    WRITE_LATENCY = 3
+
+    def __init__(self) -> None:
+        self._mappings: list[_Mapping] = []
+        self.reads = 0
+        self.writes = 0
+
+    def attach(self, base: int, size: int, slave: OPBSlave) -> None:
+        """Map ``slave`` at ``[base, base+size)``.  Ranges must be
+        word-aligned and non-overlapping."""
+        if base % 4 or size % 4 or size <= 0:
+            raise ValueError("OPB mappings must be word-aligned and non-empty")
+        for m in self._mappings:
+            if base < m.base + m.size and m.base < base + size:
+                raise ValueError(
+                    f"OPB mapping [{base:#x},{base + size:#x}) overlaps "
+                    f"[{m.base:#x},{m.base + m.size:#x})"
+                )
+        self._mappings.append(_Mapping(base, size, slave))
+
+    def _decode(self, addr: int) -> _Mapping:
+        for m in self._mappings:
+            if m.base <= addr < m.base + m.size:
+                return m
+        raise OPBBusError(f"no OPB slave at address {addr:#010x}")
+
+    def read_u32(self, addr: int) -> tuple[int, int]:
+        """Word read.  Returns ``(value, latency_cycles)``."""
+        m = self._decode(addr)
+        self.reads += 1
+        return m.slave.opb_read(addr - m.base) & 0xFFFFFFFF, self.READ_LATENCY
+
+    def write_u32(self, addr: int, value: int) -> int:
+        """Word write.  Returns latency in cycles."""
+        m = self._decode(addr)
+        self.writes += 1
+        m.slave.opb_write(addr - m.base, value & 0xFFFFFFFF)
+        return self.WRITE_LATENCY
+
+
+@dataclass
+class OPBRegisterSlave:
+    """A simple bank of 32-bit registers, handy for tests and MMIO
+    peripherals attached over OPB."""
+
+    num_regs: int = 8
+    regs: list[int] = dc_field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.regs:
+            self.regs = [0] * self.num_regs
+
+    def opb_read(self, offset: int) -> int:
+        return self.regs[offset // 4]
+
+    def opb_write(self, offset: int, value: int) -> None:
+        self.regs[offset // 4] = value & 0xFFFFFFFF

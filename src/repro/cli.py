@@ -1,0 +1,256 @@
+"""Command-line toolchain.
+
+Console entry points mirroring the Xilinx tool names the paper's flow
+uses:
+
+* ``mb32-cc``      — compile mini-C to assembly or a linked image
+* ``mb32-run``     — execute a program on the cycle-accurate ISS
+* ``mb32-objdump`` — disassemble a linked image / show symbols
+* ``mb32-gdbserver`` — serve a program over the GDB remote protocol
+
+Images are stored in a simple container: a JSON header line (entry,
+sizes, symbols) followed by the raw memory image — enough for the
+tools to round-trip programs through files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.asm import assemble, disassemble_program, link
+from repro.asm.linker import Program
+from repro.iss.cpu import CPUConfig
+from repro.iss.run import make_cpu
+from repro.mcc import CompileOptions, build_executable, compile_c
+
+MAGIC = "MB32IMG1"
+
+
+# ----------------------------------------------------------------------
+# Image container
+# ----------------------------------------------------------------------
+def save_image(program: Program, path: str) -> None:
+    header = {
+        "magic": MAGIC,
+        "entry": program.entry,
+        "text_size": program.text_size,
+        "data_size": program.data_size,
+        "bss_size": program.bss_size,
+        "stack_size": program.stack_size,
+        "memory_size": program.memory_size,
+        "symbols": program.symbols,
+    }
+    with open(path, "wb") as fh:
+        fh.write(json.dumps(header).encode("utf-8") + b"\n")
+        fh.write(program.image)
+
+
+def load_image(path: str) -> Program:
+    with open(path, "rb") as fh:
+        header_line = fh.readline()
+        image = fh.read()
+    header = json.loads(header_line)
+    if header.get("magic") != MAGIC:
+        raise ValueError(f"{path}: not an MB32 image")
+    return Program(
+        image=image,
+        symbols={k: int(v) for k, v in header["symbols"].items()},
+        entry=header["entry"],
+        text_size=header["text_size"],
+        data_size=header["data_size"],
+        bss_size=header["bss_size"],
+        stack_size=header["stack_size"],
+        memory_size=header["memory_size"],
+    )
+
+
+def _compile_options(args) -> CompileOptions:
+    return CompileOptions(
+        hw_multiplier=not args.no_mult,
+        hw_divider=args.hw_div,
+        hw_barrel_shifter=not args.no_barrel,
+        register_locals=not args.no_regalloc,
+    )
+
+
+def _cpu_config(args) -> CPUConfig:
+    return CPUConfig(
+        use_hw_multiplier=not args.no_mult,
+        use_hw_divider=args.hw_div,
+        use_barrel_shifter=not args.no_barrel,
+    )
+
+
+def _add_target_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--no-mult", action="store_true",
+                        help="target a processor without the hardware "
+                             "multiplier")
+    parser.add_argument("--hw-div", action="store_true",
+                        help="target a processor with the hardware divider")
+    parser.add_argument("--no-barrel", action="store_true",
+                        help="target a processor without the barrel shifter")
+    parser.add_argument("--no-regalloc", action="store_true",
+                        help="disable register allocation of locals")
+
+
+# ----------------------------------------------------------------------
+# mb32-cc
+# ----------------------------------------------------------------------
+def cc_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mb32-cc", description="mini-C compiler for MB32"
+    )
+    parser.add_argument("source", help="mini-C source file ('-' for stdin)")
+    parser.add_argument("-o", "--output", help="output file")
+    parser.add_argument("-S", action="store_true",
+                        help="emit assembly text instead of a linked image")
+    _add_target_flags(parser)
+    args = parser.parse_args(argv)
+
+    text = sys.stdin.read() if args.source == "-" else \
+        open(args.source, "r", encoding="utf-8").read()
+    options = _compile_options(args)
+    try:
+        if args.S:
+            asm = compile_c(text, options)
+            if args.output:
+                open(args.output, "w", encoding="utf-8").write(asm)
+            else:
+                sys.stdout.write(asm)
+            return 0
+        program = build_executable(text, options)
+    except Exception as exc:
+        print(f"mb32-cc: error: {exc}", file=sys.stderr)
+        return 1
+    out = args.output or "a.img"
+    save_image(program, out)
+    print(f"mb32-cc: wrote {out} ({program.load_size} bytes, "
+          f"entry {program.entry:#x})")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# mb32-as
+# ----------------------------------------------------------------------
+def as_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mb32-as", description="MB32 assembler + linker"
+    )
+    parser.add_argument("sources", nargs="+", help="assembly files")
+    parser.add_argument("-o", "--output", default="a.img")
+    parser.add_argument("--entry", default="_start")
+    args = parser.parse_args(argv)
+    try:
+        modules = [
+            assemble(open(p, encoding="utf-8").read(), name=p)
+            for p in args.sources
+        ]
+        program = link(modules, entry_symbol=args.entry)
+    except Exception as exc:
+        print(f"mb32-as: error: {exc}", file=sys.stderr)
+        return 1
+    save_image(program, args.output)
+    print(f"mb32-as: wrote {args.output} ({program.load_size} bytes)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# mb32-run
+# ----------------------------------------------------------------------
+def run_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mb32-run", description="run an MB32 image on the ISS"
+    )
+    parser.add_argument("image")
+    parser.add_argument("--max-cycles", type=int, default=50_000_000)
+    parser.add_argument("--stats", action="store_true",
+                        help="print execution statistics")
+    parser.add_argument("--trace", type=int, metavar="N", default=0,
+                        help="print the first N retired instructions")
+    _add_target_flags(parser)
+    args = parser.parse_args(argv)
+
+    program = load_image(args.image)
+    cpu = make_cpu(program, config=_cpu_config(args))
+    tracer = None
+    if args.trace:
+        from repro.iss.trace import InstructionTracer
+
+        tracer = InstructionTracer(cpu, limit=args.trace).install()
+    cpu.run(max_cycles=args.max_cycles)
+    if tracer is not None:
+        print(tracer.text())
+    if cpu.mem.console.text:
+        sys.stdout.write(cpu.mem.console.text)
+        if not cpu.mem.console.text.endswith("\n"):
+            sys.stdout.write("\n")
+    if args.stats:
+        print(cpu.stats.summary())
+        print(f"simulated time: {cpu.simulated_time_s() * 1e6:.1f} us "
+              f"at {cpu.config.frequency_hz / 1e6:.0f} MHz")
+    if cpu.exit_code is None:
+        print("mb32-run: program did not exit "
+              f"(stopped after {cpu.cycle} cycles)", file=sys.stderr)
+        return 2
+    print(f"mb32-run: exit code {cpu.exit_code} ({cpu.cycle} cycles)")
+    return 0 if cpu.exit_code == 0 else min(max(cpu.exit_code, 0), 125)
+
+
+# ----------------------------------------------------------------------
+# mb32-objdump
+# ----------------------------------------------------------------------
+def objdump_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mb32-objdump", description="disassemble an MB32 image"
+    )
+    parser.add_argument("image")
+    parser.add_argument("-t", "--symbols", action="store_true",
+                        help="print the symbol table instead")
+    args = parser.parse_args(argv)
+    program = load_image(args.image)
+    try:
+        if args.symbols:
+            for name, addr in sorted(program.symbols.items(),
+                                     key=lambda kv: kv[1]):
+                print(f"{addr:08x}  {name}")
+            return 0
+        print(disassemble_program(program.image, 0, program.text_size,
+                                  symbols=program.symbols))
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.stderr.close()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# mb32-gdbserver
+# ----------------------------------------------------------------------
+def gdbserver_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mb32-gdbserver",
+        description="serve an MB32 image over the GDB remote protocol",
+    )
+    parser.add_argument("image")
+    parser.add_argument("--port", type=int, default=0)
+    _add_target_flags(parser)
+    args = parser.parse_args(argv)
+
+    from repro.gdb import Debugger, GdbServer
+
+    program = load_image(args.image)
+    cpu = make_cpu(program, config=_cpu_config(args))
+    server = GdbServer(Debugger(cpu, program), port=args.port)
+    print(f"mb32-gdbserver: listening on {server.address[0]}:"
+          f"{server.address[1]}")
+    server.serve_one()
+    print(f"mb32-gdbserver: session ended "
+          f"(pc={cpu.pc:#010x}, exit={cpu.exit_code})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual dispatch
+    tool = sys.argv[1] if len(sys.argv) > 1 else ""
+    mains = {"cc": cc_main, "as": as_main, "run": run_main,
+             "objdump": objdump_main, "gdbserver": gdbserver_main}
+    sys.exit(mains.get(tool, cc_main)(sys.argv[2:]))

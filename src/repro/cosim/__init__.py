@@ -1,0 +1,34 @@
+"""The high-level cycle-accurate HW/SW co-simulation environment.
+
+This is the paper's contribution (Section III): couple
+
+* the cycle-accurate instruction simulator (:mod:`repro.iss`) running
+  the compiled C program — the *software execution platform*,
+* the arithmetic-level hardware model (:mod:`repro.sysgen`) — the
+  *customized hardware peripherals*,
+* the FSL FIFO models (:mod:`repro.bus.fsl`) — the *communication
+  interface*,
+
+under one clock.  The :class:`~repro.cosim.mb_block.MicroBlazeBlock`
+plays the role of the paper's "MicroBlaze Simulink block": it owns the
+FSL channels, exposes their hardware-side ports into the sysgen model
+and shares the same channel objects with the CPU's FSL unit, keeping
+both worlds cycle-consistent.
+"""
+
+from repro.cosim.mb_block import MicroBlazeBlock
+from repro.cosim.environment import CoSimulation, CoSimResult
+from repro.cosim.partition import DesignPoint, PartitionKind
+from repro.cosim.dse import DSEResult, explore
+from repro.cosim.report import format_table
+
+__all__ = [
+    "MicroBlazeBlock",
+    "CoSimulation",
+    "CoSimResult",
+    "DesignPoint",
+    "PartitionKind",
+    "explore",
+    "DSEResult",
+    "format_table",
+]

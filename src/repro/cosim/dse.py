@@ -1,0 +1,85 @@
+"""Design-space exploration over partitions and configurations.
+
+This automates what the paper's user does by hand with the
+co-simulation environment: evaluate each candidate partition both for
+*performance* (cycle count from co-simulation) and *cost* (rapid
+resource estimation), then pick the best point under resource
+constraints — e.g. "fastest CORDIC configuration using at most 1000
+slices".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cosim.environment import CoSimResult
+from repro.cosim.partition import DesignPoint
+from repro.resources.estimator import DesignEstimate
+
+
+@dataclass
+class DSEResult:
+    """Evaluation of one design point."""
+
+    point: DesignPoint
+    result: CoSimResult
+    estimate: DesignEstimate
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+    @property
+    def slices(self) -> int:
+        return self.estimate.total.slices
+
+    @property
+    def execution_us(self) -> float:
+        return self.result.simulated_microseconds
+
+
+def explore(
+    points: list[DesignPoint],
+    max_slices: int | None = None,
+    max_brams: int | None = None,
+    max_mult18: int | None = None,
+) -> list[DSEResult]:
+    """Evaluate every design point; return results sorted fastest-first.
+
+    Points violating the resource constraints are still evaluated (so
+    reports can show them) but sort after all feasible points.
+    """
+    results: list[DSEResult] = []
+    for point in points:
+        instance = point.build()
+        result = instance.run()
+        if result.exit_code is None:
+            raise RuntimeError(
+                f"design point {point.name!r} did not terminate"
+            )
+        if result.exit_code != 0:
+            raise RuntimeError(
+                f"design point {point.name!r} failed self-check "
+                f"(exit code {result.exit_code})"
+            )
+        results.append(DSEResult(point, result, instance.estimate()))
+
+    def feasible(r: DSEResult) -> bool:
+        total = r.estimate.total
+        if max_slices is not None and total.slices > max_slices:
+            return False
+        if max_brams is not None and total.brams > max_brams:
+            return False
+        if max_mult18 is not None and total.mult18 > max_mult18:
+            return False
+        return True
+
+    results.sort(key=lambda r: (not feasible(r), r.cycles))
+    return results
+
+
+def best(results: list[DSEResult]) -> DSEResult:
+    """First (fastest feasible) result — raises on empty input."""
+    if not results:
+        raise ValueError("no design points evaluated")
+    return results[0]

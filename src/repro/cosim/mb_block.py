@@ -1,0 +1,95 @@
+"""The "MicroBlaze Simulink block" (paper Section III-A/III-B).
+
+The block provides the bridge between the software simulation and the
+hardware model:
+
+1. it owns the FSL FIFO channels (data + control bit, blocking and
+   non-blocking modes),
+2. it exposes the hardware-side handshake ports into the sysgen model
+   through :class:`~repro.sysgen.blocks.fsl.FSLRead` /
+   :class:`~repro.sysgen.blocks.fsl.FSLWrite` blocks
+   (``Out#_data/exists/control`` and ``In#_data/write/full`` in the
+   paper's naming),
+3. it connects the same channel objects to the CPU's FSL unit so a
+   blocking ``get``/``put`` stalls the simulated processor exactly
+   until the hardware side produces/consumes data.
+"""
+
+from __future__ import annotations
+
+from repro.bus.fsl import FSLChannel
+from repro.iss.fsl import FSLPorts, NUM_FSL
+from repro.resources.types import Resources
+from repro.sysgen.blocks.fsl import FSLRead, FSLWrite
+from repro.sysgen.model import Model
+
+
+class MicroBlazeBlock:
+    """FSL hub between one CPU and one sysgen model."""
+
+    def __init__(self, model: Model, fifo_depth: int = FSLChannel.DEFAULT_DEPTH):
+        self.model = model
+        self.fifo_depth = fifo_depth
+        self.fsl_ports = FSLPorts()  # plugs into the CPU
+        self._to_hw: dict[int, FSLChannel] = {}
+        self._from_hw: dict[int, FSLChannel] = {}
+        self.read_blocks: dict[int, FSLRead] = {}
+        self.write_blocks: dict[int, FSLWrite] = {}
+
+    # ------------------------------------------------------------------
+    def master_fsl(self, channel_id: int, name: str | None = None) -> FSLRead:
+        """Create a processor→peripheral FSL (CPU ``put`` side) and
+        return the hardware-side :class:`FSLRead` block, already added
+        to the model and bound to the channel."""
+        self._check(channel_id, self._to_hw)
+        channel = FSLChannel(depth=self.fifo_depth, name=f"mb_out{channel_id}")
+        self._to_hw[channel_id] = channel
+        self.fsl_ports.connect_output(channel_id, channel)
+        block = FSLRead(name or f"fsl_out{channel_id}")
+        self.model.add(block)
+        block.bind(channel)
+        self.read_blocks[channel_id] = block
+        return block
+
+    def slave_fsl(self, channel_id: int, name: str | None = None) -> FSLWrite:
+        """Create a peripheral→processor FSL (CPU ``get`` side) and
+        return the hardware-side :class:`FSLWrite` block."""
+        self._check(channel_id, self._from_hw)
+        channel = FSLChannel(depth=self.fifo_depth, name=f"mb_in{channel_id}")
+        self._from_hw[channel_id] = channel
+        self.fsl_ports.connect_input(channel_id, channel)
+        block = FSLWrite(name or f"fsl_in{channel_id}")
+        self.model.add(block)
+        block.bind(channel)
+        self.write_blocks[channel_id] = block
+        return block
+
+    @staticmethod
+    def _check(channel_id: int, table: dict) -> None:
+        if not 0 <= channel_id < NUM_FSL:
+            raise ValueError(f"FSL channel id out of range: {channel_id}")
+        if channel_id in table:
+            raise ValueError(f"FSL channel {channel_id} already created")
+
+    # ------------------------------------------------------------------
+    def to_hw_channel(self, channel_id: int) -> FSLChannel:
+        return self._to_hw[channel_id]
+
+    def from_hw_channel(self, channel_id: int) -> FSLChannel:
+        return self._from_hw[channel_id]
+
+    @property
+    def n_links(self) -> int:
+        """Total FSL links instantiated (for resource estimation)."""
+        return len(self._to_hw) + len(self._from_hw)
+
+    def link_resources(self) -> Resources:
+        from repro.resources.datasheet import FSL_LINK_RESOURCES
+
+        return self.n_links * FSL_LINK_RESOURCES
+
+    def reset(self) -> None:
+        for ch in self._to_hw.values():
+            ch.reset()
+        for ch in self._from_hw.values():
+            ch.reset()

@@ -1,0 +1,50 @@
+"""Hardware/software partition descriptions.
+
+The paper's motivation is exploring "various partitions of the
+applications on hardware and software" and "various configurations of
+the soft processor".  A :class:`DesignPoint` names one candidate: which
+portion runs as software, which as a customized peripheral, with which
+parameters (number of CORDIC PEs, matrix block size, processor
+options).  The design-space explorer (:mod:`repro.cosim.dse`)
+instantiates and evaluates them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+from repro.cosim.environment import CoSimResult
+from repro.resources.estimator import DesignEstimate
+
+
+class PartitionKind(enum.Enum):
+    SOFTWARE_ONLY = "software"
+    HW_ACCELERATED = "hw-accelerated"
+
+
+class DesignInstance(Protocol):
+    """What a built design point must offer to the explorer."""
+
+    def run(self) -> CoSimResult:
+        """Co-simulate the application; returns timing results."""
+        ...
+
+    def estimate(self) -> DesignEstimate:
+        """Rapid resource estimation (Section III-C)."""
+        ...
+
+
+@dataclass
+class DesignPoint:
+    """One candidate partition/configuration."""
+
+    name: str
+    kind: PartitionKind
+    build: Callable[[], DesignInstance]
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = ", ".join(f"{k}={v}" for k, v in self.params.items())
+        return f"{self.name} ({self.kind.value}{', ' + extras if extras else ''})"

@@ -1,0 +1,38 @@
+"""Plain-text reporting helpers for benches and the DSE."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table (the bench harness prints the
+    paper's tables through this)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_dse(results) -> str:
+    """Table of design-space exploration results."""
+    rows = []
+    for r in results:
+        total = r.estimate.total
+        rows.append(
+            (
+                str(r.point),
+                r.result.cycles,
+                f"{r.result.simulated_microseconds:.1f}",
+                total.slices,
+                total.brams,
+                total.mult18,
+            )
+        )
+    return format_table(
+        ["design", "cycles", "time (us)", "slices", "BRAMs", "MULT18s"], rows
+    )

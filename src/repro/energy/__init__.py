@@ -1,0 +1,51 @@
+"""Rapid energy estimation — the paper's declared extension.
+
+The paper's conclusion: *"Energy performance is not addressed by our
+co-simulation environment ... One important extension of our work is to
+provide rapid energy estimation for application development using soft
+processors.  We have developed an instruction-level energy estimation
+technique for computations on soft processors in [9].  We have also
+developed a domain-specific energy modeling technique for different
+parallel hardware designs using FPGAs in [10].  We are working on to
+integrate these two rapid energy estimation techniques into the
+co-simulation framework proposed in the paper."*
+
+This package performs that integration:
+
+* :mod:`repro.energy.instruction_model` — instruction-level energy for
+  the software execution platform ([9]-style): per-instruction-class
+  energy coefficients applied to the ISS's retired-instruction mix,
+* :mod:`repro.energy.activity` + :mod:`repro.energy.block_model` —
+  domain-specific energy for the customized hardware peripherals
+  ([10]-style): per-block switching-energy coefficients applied to
+  observed signal activity (output toggle counts collected during
+  co-simulation),
+* :mod:`repro.energy.estimator` — the combined per-run
+  :class:`EnergyReport`, including the quiescent (leakage) term that
+  motivates compact designs in the paper's introduction ("a compact
+  design that can be fit into a smaller device can effectively reduce
+  quiescent energy dissipation [12]").
+
+Coefficient values are representative of published Virtex-II Pro
+measurements (the exact numbers in [9]/[10] are not reproduced in the
+paper); what the framework reproduces is the *methodology*: energy
+estimates computed from the same high-level co-simulation run, without
+low-level power simulation.
+"""
+
+from repro.energy.instruction_model import (
+    InstructionEnergyModel,
+    software_energy,
+)
+from repro.energy.activity import ActivityMonitor
+from repro.energy.block_model import block_energy_per_toggle
+from repro.energy.estimator import EnergyReport, estimate_energy
+
+__all__ = [
+    "InstructionEnergyModel",
+    "software_energy",
+    "ActivityMonitor",
+    "block_energy_per_toggle",
+    "EnergyReport",
+    "estimate_energy",
+]

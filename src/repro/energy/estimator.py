@@ -1,0 +1,113 @@
+"""Combined per-run energy report.
+
+Three contributions, mirroring how the paper's framework would compose
+its two published techniques:
+
+* **software** — instruction-level model over the ISS statistics,
+* **peripheral** — domain-specific switching model over the activity
+  collected from the hardware model during co-simulation,
+* **quiescent** — leakage over the run's duration, proportional to the
+  occupied area (slices) — the term the paper's introduction cites as
+  the reason compact (soft-processor) designs win at the system level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.energy.activity import ActivityMonitor
+from repro.energy.block_model import block_energy_per_toggle
+from repro.energy.instruction_model import (
+    InstructionEnergyModel,
+    SoftwareEnergy,
+)
+from repro.iss.cpu import CPU
+from repro.sysgen.model import Model
+
+#: quiescent (leakage) power per occupied slice, µW — 90 nm-era figure
+#: in the spirit of Tuan & Lai [12].
+LEAKAGE_UW_PER_SLICE = 2.0
+
+
+@dataclass
+class EnergyReport:
+    software: SoftwareEnergy
+    peripheral_nj: float
+    peripheral_by_block_nj: dict[str, float]
+    quiescent_nj: float
+    cycles: int
+    seconds: float
+    slices: int
+
+    @property
+    def total_nj(self) -> float:
+        return self.software.total_nj + self.peripheral_nj + self.quiescent_nj
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_nj / 1000.0
+
+    @property
+    def average_power_mw(self) -> float:
+        return (self.total_nj * 1e-9 / self.seconds) * 1e3 if self.seconds \
+            else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"software (instr-level) : {self.software.total_nj / 1000:.2f} uJ"
+            f"  ({self.software.nj_per_instruction:.1f} nJ/instr)",
+            f"peripheral (activity)  : {self.peripheral_nj / 1000:.2f} uJ",
+            f"quiescent ({self.slices} slices) : "
+            f"{self.quiescent_nj / 1000:.2f} uJ",
+            f"TOTAL                  : {self.total_uj:.2f} uJ over "
+            f"{self.seconds * 1e6:.1f} us ({self.average_power_mw:.1f} mW avg)",
+        ]
+        return "\n".join(lines)
+
+
+def peripheral_energy(model: Model, monitor: ActivityMonitor
+                      ) -> tuple[float, dict[str, float]]:
+    """Dynamic energy of the hardware model from observed activity."""
+    total = 0.0
+    by_block: dict[str, float] = {}
+    for block in model.blocks:
+        act = monitor.by_block.get(block.name)
+        if act is None:
+            continue
+        pj = block_energy_per_toggle(block) * act.toggles
+        by_block[block.name] = pj / 1000.0  # nJ
+        total += pj
+    return total / 1000.0, by_block
+
+
+def estimate_energy(
+    cpu: CPU,
+    model: Model | None = None,
+    monitor: ActivityMonitor | None = None,
+    slices: int = 0,
+    instruction_model: InstructionEnergyModel | None = None,
+) -> EnergyReport:
+    """Build the energy report for a completed (co-)simulation run.
+
+    ``slices`` is the design's occupied area (from the resource
+    estimator) and drives the quiescent term; pass the activity monitor
+    that was installed on ``model`` during the run for the peripheral
+    term.
+    """
+    sw = (instruction_model or InstructionEnergyModel()).estimate(cpu.stats)
+    if model is not None and monitor is not None:
+        periph_nj, by_block = peripheral_energy(model, monitor)
+    else:
+        periph_nj, by_block = 0.0, {}
+    seconds = cpu.simulated_time_s()
+    quiescent_nj = LEAKAGE_UW_PER_SLICE * slices * seconds * 1e3
+    # (µW × s = µJ; ×1e3 → nJ)
+    return EnergyReport(
+        software=sw,
+        peripheral_nj=periph_nj,
+        peripheral_by_block_nj=by_block,
+        quiescent_nj=quiescent_nj,
+        cycles=cpu.cycle,
+        seconds=seconds,
+        slices=slices,
+    )

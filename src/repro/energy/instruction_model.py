@@ -1,0 +1,99 @@
+"""Instruction-level energy model for the soft processor.
+
+Following the technique of Ou & Prasanna, "Rapid Energy Estimation of
+Computations on FPGA based Soft Processors" (SoCC 2004): instructions
+are grouped into classes with measured per-instruction energy; program
+energy is the dot product of the retired-instruction mix with the class
+coefficients, plus a pipeline-stall (idle) term.
+
+Coefficients below are representative of a MicroBlaze on Virtex-II Pro
+at 50 MHz (order: a few nJ per instruction; multiplies and memory
+accesses cost more because they activate the embedded multiplier and
+BRAM columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import BY_MNEMONIC
+from repro.iss.statistics import CPUStats
+
+#: nJ per retired instruction, by semantic class.
+DEFAULT_CLASS_ENERGY_NJ: dict[str, float] = {
+    "add": 3.6,
+    "rsub": 3.6,
+    "cmp": 3.6,
+    "logic": 3.2,
+    "shift1": 3.2,
+    "sext": 3.2,
+    "bs": 4.1,       # barrel shifter network
+    "mul": 6.8,      # embedded MULT18X18 activation
+    "idiv": 48.0,    # 34-cycle serial divider
+    "load": 5.9,     # BRAM read via LMB
+    "store": 5.7,    # BRAM write via LMB
+    "br": 3.9,
+    "bcc": 3.9,
+    "rtsd": 3.9,
+    "imm": 2.8,
+    "fsl": 4.4,      # FSL FIFO port activation
+}
+
+#: nJ per cycle the pipeline spends stalled (clock tree + idle logic).
+DEFAULT_STALL_ENERGY_NJ = 1.1
+
+
+@dataclass
+class InstructionEnergyModel:
+    """Per-class coefficients; replaceable for calibration."""
+
+    class_energy_nj: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_CLASS_ENERGY_NJ)
+    )
+    stall_energy_nj: float = DEFAULT_STALL_ENERGY_NJ
+
+    def energy_of_mnemonic(self, mnemonic: str) -> float:
+        spec = BY_MNEMONIC.get(mnemonic)
+        if spec is None:
+            raise KeyError(f"unknown mnemonic {mnemonic!r}")
+        return self.class_energy_nj[spec.kind]
+
+    def estimate(self, stats: CPUStats) -> "SoftwareEnergy":
+        """Energy of an execution, from its instruction mix."""
+        by_class: dict[str, float] = {}
+        total = 0.0
+        for mnemonic, count in stats.by_mnemonic.items():
+            kind = BY_MNEMONIC[mnemonic].kind
+            e = self.class_energy_nj[kind] * count
+            by_class[kind] = by_class.get(kind, 0.0) + e
+            total += e
+        stall = stats.stall_cycles * self.stall_energy_nj
+        return SoftwareEnergy(
+            dynamic_nj=total,
+            stall_nj=stall,
+            by_class_nj=by_class,
+            instructions=stats.instructions,
+        )
+
+
+@dataclass
+class SoftwareEnergy:
+    dynamic_nj: float
+    stall_nj: float
+    by_class_nj: dict[str, float]
+    instructions: int
+
+    @property
+    def total_nj(self) -> float:
+        return self.dynamic_nj + self.stall_nj
+
+    @property
+    def nj_per_instruction(self) -> float:
+        return self.dynamic_nj / self.instructions if self.instructions else 0.0
+
+
+def software_energy(stats: CPUStats,
+                    model: InstructionEnergyModel | None = None
+                    ) -> SoftwareEnergy:
+    """Convenience wrapper with the default coefficients."""
+    return (model or InstructionEnergyModel()).estimate(stats)

@@ -1,0 +1,14 @@
+"""Fixed-point arithmetic substrate.
+
+System Generator signals are fixed-point numbers with explicit word
+length, fraction length and signedness, plus configurable quantization
+(rounding) and overflow handling.  This package provides the
+:class:`~repro.fixedpoint.fixed.Fixed` value type and the
+:class:`~repro.fixedpoint.fixed.FixedFormat` format descriptor used by
+every arithmetic block in :mod:`repro.sysgen`.
+"""
+
+from repro.fixedpoint.fixed import Fixed, FixedFormat
+from repro.fixedpoint.rounding import Overflow, Rounding
+
+__all__ = ["Fixed", "FixedFormat", "Rounding", "Overflow"]

@@ -1,0 +1,277 @@
+"""Arbitrary-precision fixed-point values.
+
+A :class:`Fixed` value is an integer ``raw`` interpreted as
+``raw * 2**-frac_bits`` in a :class:`FixedFormat` with a given word
+length, fraction length and signedness.  All System Generator signals
+in :mod:`repro.sysgen` carry ``Fixed`` values; the CORDIC application
+uses signed 16/32-bit formats exactly as the paper's designs do.
+
+Arithmetic between ``Fixed`` values is exact (full-precision result
+format, as in System Generator's default behaviour); explicit
+:meth:`Fixed.cast` / ``FixedFormat.quantize`` calls model the Convert
+blocks that constrain precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.fixedpoint.rounding import (
+    Overflow,
+    Rounding,
+    apply_overflow,
+    apply_rounding,
+)
+
+
+@dataclass(frozen=True)
+class FixedFormat:
+    """A fixed-point number format.
+
+    Parameters
+    ----------
+    word_bits:
+        Total word length in bits (including the sign bit if signed).
+    frac_bits:
+        Number of fraction bits.  May be negative (scaling by powers of
+        two) or exceed ``word_bits`` (pure fraction), as in System
+        Generator.
+    signed:
+        Two's-complement signed when ``True``; unsigned otherwise.
+    """
+
+    word_bits: int
+    frac_bits: int = 0
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.word_bits < 1:
+            raise ValueError("word_bits must be >= 1")
+
+    @property
+    def int_bits(self) -> int:
+        """Integer bits (excluding the sign bit for signed formats)."""
+        return self.word_bits - self.frac_bits - (1 if self.signed else 0)
+
+    @property
+    def raw_min(self) -> int:
+        return -(1 << (self.word_bits - 1)) if self.signed else 0
+
+    @property
+    def raw_max(self) -> int:
+        if self.signed:
+            return (1 << (self.word_bits - 1)) - 1
+        return (1 << self.word_bits) - 1
+
+    @property
+    def resolution(self) -> Fraction:
+        """Value of one least-significant bit."""
+        return Fraction(1, 1 << self.frac_bits) if self.frac_bits >= 0 else Fraction(
+            1 << -self.frac_bits
+        )
+
+    @property
+    def min_value(self) -> Fraction:
+        return self.raw_min * self.resolution
+
+    @property
+    def max_value(self) -> Fraction:
+        return self.raw_max * self.resolution
+
+    def quantize(
+        self,
+        value: "Fixed | int | float | Fraction",
+        rounding: Rounding = Rounding.TRUNCATE,
+        overflow: Overflow = Overflow.WRAP,
+    ) -> "Fixed":
+        """Quantize ``value`` into this format.
+
+        This is the semantic core of the System Generator *Convert*
+        block and of every Gateway In.
+        """
+        if isinstance(value, Fixed):
+            shift = value.fmt.frac_bits - self.frac_bits
+            raw = apply_rounding(value.raw, shift, rounding)
+        else:
+            frac = Fraction(value).limit_denominator(1 << 62) if isinstance(
+                value, float
+            ) else Fraction(value)
+            scaled = frac * (1 << self.frac_bits) if self.frac_bits >= 0 else frac / (
+                1 << -self.frac_bits
+            )
+            # Exact scaling first; then quantize any residual fraction.
+            num, den = scaled.numerator, scaled.denominator
+            if den == 1:
+                raw = num
+            elif rounding is Rounding.TRUNCATE:
+                raw = num // den
+            else:
+                raw = (
+                    (num + den // 2) // den if num >= 0 else -((-num + den // 2) // den)
+                )
+        raw = apply_overflow(raw, self.raw_min, self.raw_max, self.word_bits, overflow)
+        return Fixed(raw, self, _checked=True)
+
+    def from_raw(self, raw: int) -> "Fixed":
+        """Interpret the two's-complement bit pattern ``raw``."""
+        mask = (1 << self.word_bits) - 1
+        raw &= mask
+        if self.signed and raw > self.raw_max:
+            raw -= 1 << self.word_bits
+        return Fixed(raw, self, _checked=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "Fix" if self.signed else "UFix"
+        return f"{kind}{self.word_bits}_{self.frac_bits}"
+
+
+class Fixed:
+    """A fixed-point value: ``raw * 2**-fmt.frac_bits``."""
+
+    __slots__ = ("raw", "fmt")
+
+    def __init__(self, raw: int, fmt: FixedFormat, *, _checked: bool = False):
+        if not _checked and not (fmt.raw_min <= raw <= fmt.raw_max):
+            raise OverflowError(f"raw value {raw} does not fit {fmt!r}")
+        self.raw = raw
+        self.fmt = fmt
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> Fraction:
+        """Exact rational value."""
+        if self.fmt.frac_bits >= 0:
+            return Fraction(self.raw, 1 << self.fmt.frac_bits)
+        return Fraction(self.raw * (1 << -self.fmt.frac_bits))
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def __int__(self) -> int:
+        v = self.value
+        return v.numerator // v.denominator if v >= 0 else -(
+            (-v.numerator) // v.denominator
+        )
+
+    def bits(self) -> int:
+        """Two's-complement bit pattern, as an unsigned integer."""
+        return self.raw & ((1 << self.fmt.word_bits) - 1)
+
+    def cast(
+        self,
+        fmt: FixedFormat,
+        rounding: Rounding = Rounding.TRUNCATE,
+        overflow: Overflow = Overflow.WRAP,
+    ) -> "Fixed":
+        return fmt.quantize(self, rounding, overflow)
+
+    # ------------------------------------------------------------------
+    # Full-precision arithmetic (result format grows, never overflows)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _align(a: "Fixed", b: "Fixed") -> tuple[int, int, int]:
+        f = max(a.fmt.frac_bits, b.fmt.frac_bits)
+        ra = a.raw << (f - a.fmt.frac_bits)
+        rb = b.raw << (f - b.fmt.frac_bits)
+        return ra, rb, f
+
+    @staticmethod
+    def _sum_fmt(a: FixedFormat, b: FixedFormat) -> FixedFormat:
+        signed = a.signed or b.signed
+        f = max(a.frac_bits, b.frac_bits)
+        i = max(a.int_bits, b.int_bits) + 1
+        return FixedFormat(i + f + (1 if signed else 0), f, signed)
+
+    def _coerce(self, other: "Fixed | int") -> "Fixed":
+        if isinstance(other, Fixed):
+            return other
+        if isinstance(other, int):
+            width = max(other.bit_length() + 1, 1)
+            return Fixed(other, FixedFormat(width, 0, True), _checked=True)
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other: "Fixed | int") -> "Fixed":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        ra, rb, f = self._align(self, other)
+        fmt = self._sum_fmt(self.fmt, other.fmt)
+        return Fixed(ra + rb, fmt, _checked=True)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Fixed | int") -> "Fixed":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        ra, rb, f = self._align(self, other)
+        fmt = self._sum_fmt(self.fmt, other.fmt)
+        return Fixed(ra - rb, fmt, _checked=True)
+
+    def __rsub__(self, other: "Fixed | int") -> "Fixed":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other: "Fixed | int") -> "Fixed":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        fmt = FixedFormat(
+            self.fmt.word_bits + other.fmt.word_bits,
+            self.fmt.frac_bits + other.fmt.frac_bits,
+            self.fmt.signed or other.fmt.signed,
+        )
+        return Fixed(self.raw * other.raw, fmt, _checked=True)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Fixed":
+        fmt = FixedFormat(self.fmt.word_bits + 1, self.fmt.frac_bits, True)
+        return Fixed(-self.raw, fmt, _checked=True)
+
+    def __abs__(self) -> "Fixed":
+        return -self if self.raw < 0 else self
+
+    def __lshift__(self, n: int) -> "Fixed":
+        """Scale by 2**n without changing the raw bits (exact)."""
+        return Fixed(
+            self.raw,
+            FixedFormat(self.fmt.word_bits, self.fmt.frac_bits - n, self.fmt.signed),
+            _checked=True,
+        )
+
+    def __rshift__(self, n: int) -> "Fixed":
+        return self.__lshift__(-n)
+
+    # ------------------------------------------------------------------
+    # Comparisons (on exact values)
+    # ------------------------------------------------------------------
+    def _cmp_value(self, other: "Fixed | int | float | Fraction"):
+        if isinstance(other, Fixed):
+            return other.value
+        return Fraction(other)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (Fixed, int, float, Fraction)):
+            return self.value == self._cmp_value(other)  # type: ignore[arg-type]
+        return NotImplemented
+
+    def __lt__(self, other) -> bool:
+        return self.value < self._cmp_value(other)
+
+    def __le__(self, other) -> bool:
+        return self.value <= self._cmp_value(other)
+
+    def __gt__(self, other) -> bool:
+        return self.value > self._cmp_value(other)
+
+    def __ge__(self, other) -> bool:
+        return self.value >= self._cmp_value(other)
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Fixed({float(self):g}, {self.fmt!r})"

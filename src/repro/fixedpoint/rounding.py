@@ -1,0 +1,74 @@
+"""Quantization and overflow policies for fixed-point arithmetic.
+
+These mirror the System Generator block options: quantization is either
+*truncate* (round toward negative infinity, i.e. drop bits) or *round*
+(round half away from zero); overflow is either *wrap* (two's-complement
+wraparound), *saturate* (clamp to the representable range) or *flag*
+(raise an error, used in tests to catch unintended overflow).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Rounding(enum.Enum):
+    """Quantization behaviour when fraction bits are dropped."""
+
+    TRUNCATE = "truncate"
+    ROUND = "round"  # round half away from zero (Simulink "Round")
+
+
+class Overflow(enum.Enum):
+    """Behaviour when a value exceeds the representable range."""
+
+    WRAP = "wrap"
+    SATURATE = "saturate"
+    FLAG = "flag"
+
+
+class FixedOverflowError(ArithmeticError):
+    """Raised when a value overflows a format with ``Overflow.FLAG``."""
+
+
+def apply_rounding(raw: int, shift: int, mode: Rounding) -> int:
+    """Shift ``raw`` right by ``shift`` bits applying quantization ``mode``.
+
+    ``raw`` is an arbitrary-precision integer of scaled fixed-point
+    weight; ``shift`` is the number of fraction bits being discarded
+    (``shift >= 0``).  Returns the quantized integer.
+    """
+    if shift <= 0:
+        return raw << (-shift)
+    if mode is Rounding.TRUNCATE:
+        # Floor division == round toward -inf == drop bits in two's complement.
+        return raw >> shift
+    if mode is Rounding.ROUND:
+        half = 1 << (shift - 1)
+        if raw >= 0:
+            return (raw + half) >> shift
+        # Round half away from zero for negatives.
+        return -((-raw + half) >> shift)
+    raise ValueError(f"unknown rounding mode {mode!r}")
+
+
+def apply_overflow(value: int, lo: int, hi: int, width: int, mode: Overflow) -> int:
+    """Constrain integer ``value`` to ``[lo, hi]`` according to ``mode``.
+
+    ``width`` is the total word length in bits and is used for wrapping.
+    """
+    if lo <= value <= hi:
+        return value
+    if mode is Overflow.SATURATE:
+        return hi if value > hi else lo
+    if mode is Overflow.WRAP:
+        mask = (1 << width) - 1
+        wrapped = value & mask
+        if lo < 0 and wrapped > hi:  # signed format: fold into negative half
+            wrapped -= 1 << width
+        return wrapped
+    if mode is Overflow.FLAG:
+        raise FixedOverflowError(
+            f"value {value} outside representable range [{lo}, {hi}]"
+        )
+    raise ValueError(f"unknown overflow mode {mode!r}")

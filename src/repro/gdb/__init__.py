@@ -1,0 +1,33 @@
+"""Debug interface — the ``mb-gdb`` analogue.
+
+The paper's environment drives the MicroBlaze cycle-accurate simulator
+through ``mb-gdb``, which "communicates with the simulator using TCP/IP
+protocol" and lets the co-simulation "obtain the execution status of
+the software programs" and "change the status of the registers of the
+MicroBlaze processor based on the results from the customized hardware
+designs".
+
+This package provides the same capability stack:
+
+* :class:`~repro.gdb.debugger.Debugger` — breakpoints, single-step,
+  register/memory access, symbol-aware inspection over a live CPU,
+* :mod:`repro.gdb.rsp` — GDB Remote Serial Protocol framing,
+* :class:`~repro.gdb.server.GdbServer` /
+  :class:`~repro.gdb.client.GdbClient` — the TCP split between the
+  debugger front end and the simulator back end.
+"""
+
+from repro.gdb.debugger import Debugger, StopReason
+from repro.gdb.rsp import decode_packet, encode_packet, RspError
+from repro.gdb.server import GdbServer
+from repro.gdb.client import GdbClient
+
+__all__ = [
+    "Debugger",
+    "StopReason",
+    "encode_packet",
+    "decode_packet",
+    "RspError",
+    "GdbServer",
+    "GdbClient",
+]

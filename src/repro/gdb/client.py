@@ -1,0 +1,74 @@
+"""RSP client — the ``mb-gdb`` front-end side of the TCP link."""
+
+from __future__ import annotations
+
+import socket
+
+from repro.gdb.rsp import RspError, encode_packet, extract_packets
+
+
+class GdbClient:
+    """Synchronous RSP client for tests and interactive use."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.settimeout(timeout)
+        self._buffer = b""
+
+    # ------------------------------------------------------------------
+    def request(self, payload: str) -> str:
+        self.sock.sendall(encode_packet(payload))
+        while True:
+            packets, self._buffer = extract_packets(self._buffer)
+            if packets:
+                return packets[0]
+            chunk = self.sock.recv(4096)
+            if not chunk:
+                raise RspError("connection closed by server")
+            self._buffer += chunk
+
+    def close(self) -> None:
+        try:
+            self.sock.sendall(encode_packet("k"))
+        except OSError:
+            pass
+        self.sock.close()
+
+    # ------------------------------------------------------------------
+    # Typed helpers
+    # ------------------------------------------------------------------
+    def read_registers(self) -> list[int]:
+        text = self.request("g")
+        return [int(text[8 * i : 8 * i + 8], 16) for i in range(len(text) // 8)]
+
+    def read_register(self, index: int) -> int:
+        return int(self.request(f"p{index:x}"), 16)
+
+    def write_register(self, index: int, value: int) -> None:
+        reply = self.request(f"P{index:x}={value & 0xFFFFFFFF:08x}")
+        if reply != "OK":
+            raise RspError(f"register write failed: {reply!r}")
+
+    def read_memory(self, addr: int, length: int) -> bytes:
+        return bytes.fromhex(self.request(f"m{addr:x},{length:x}"))
+
+    def write_memory(self, addr: int, data: bytes) -> None:
+        reply = self.request(f"M{addr:x},{len(data):x}:{data.hex()}")
+        if reply != "OK":
+            raise RspError(f"memory write failed: {reply!r}")
+
+    def set_breakpoint(self, addr: int) -> None:
+        reply = self.request(f"Z0,{addr:x},4")
+        if reply != "OK":
+            raise RspError(f"breakpoint insert failed: {reply!r}")
+
+    def remove_breakpoint(self, addr: int) -> None:
+        reply = self.request(f"z0,{addr:x},4")
+        if reply != "OK":
+            raise RspError(f"breakpoint remove failed: {reply!r}")
+
+    def cont(self) -> str:
+        return self.request("c")
+
+    def step(self) -> str:
+        return self.request("s")

@@ -1,0 +1,146 @@
+"""Debugger core over a live CPU instance."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.asm.disassembler import disassemble
+from repro.asm.linker import Program
+from repro.iss.cpu import CPU, HaltReason
+
+
+class StopReason(enum.Enum):
+    BREAKPOINT = "breakpoint"
+    STEP = "step"
+    EXITED = "exited"
+    RUNNING_LIMIT = "limit"
+
+
+@dataclass
+class StopInfo:
+    reason: StopReason
+    pc: int
+    exit_code: int | None = None
+
+
+class Debugger:
+    """Breakpoints, stepping and state inspection for one CPU.
+
+    The co-simulation environment uses the same primitives the paper's
+    MicroBlaze Simulink block uses through mb-gdb: run until the
+    software requests hardware interaction, inspect/patch registers,
+    resume.
+    """
+
+    def __init__(self, cpu: CPU, program: Program | None = None):
+        self.cpu = cpu
+        self.program = program
+
+    # ------------------------------------------------------------------
+    # Breakpoints
+    # ------------------------------------------------------------------
+    def set_breakpoint(self, where: int | str) -> int:
+        addr = self.resolve(where)
+        self.cpu.breakpoints.add(addr)
+        return addr
+
+    def clear_breakpoint(self, where: int | str) -> None:
+        self.cpu.breakpoints.discard(self.resolve(where))
+
+    def resolve(self, where: int | str) -> int:
+        if isinstance(where, int):
+            return where
+        if self.program is None:
+            raise ValueError("symbol resolution requires a Program")
+        return self.program.symbol(where)
+
+    # ------------------------------------------------------------------
+    # Execution control
+    # ------------------------------------------------------------------
+    def step_instruction(self) -> StopInfo:
+        """Execute exactly one instruction (all its cycles)."""
+        cpu = self.cpu
+        if cpu.halted:
+            cpu.resume()
+        start = cpu.stats.instructions
+        guard = 0
+        while not cpu.halted and (cpu.stats.instructions == start or cpu.busy):
+            cpu.tick()
+            guard += 1
+            if guard > 100_000:
+                return StopInfo(StopReason.RUNNING_LIMIT, cpu.pc)
+        return self._stop_info(default=StopReason.STEP)
+
+    def cont(self, max_cycles: int = 10_000_000) -> StopInfo:
+        cpu = self.cpu
+        if cpu.halted:
+            cpu.resume()
+        cpu.run(max_cycles=max_cycles)
+        return self._stop_info(default=StopReason.RUNNING_LIMIT)
+
+    def _stop_info(self, default: StopReason) -> StopInfo:
+        cpu = self.cpu
+        if cpu.halt_reason is HaltReason.EXIT:
+            return StopInfo(StopReason.EXITED, cpu.pc, cpu.exit_code)
+        if cpu.halt_reason is HaltReason.BREAKPOINT:
+            return StopInfo(StopReason.BREAKPOINT, cpu.pc)
+        return StopInfo(default, cpu.pc)
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+    def read_register(self, index: int) -> int:
+        if index == 32:  # GDB numbering: r0..r31, then pc
+            return self.cpu.pc
+        return self.cpu.regs[index]
+
+    def write_register(self, index: int, value: int) -> None:
+        value &= 0xFFFFFFFF
+        if index == 32:
+            self.cpu.pc = value
+        elif index != 0:  # r0 stays zero
+            self.cpu.regs[index] = value
+
+    def read_memory(self, addr: int, length: int) -> bytes:
+        return bytes(
+            self.cpu.mem.read_u8(addr + i) for i in range(length)
+        )
+
+    def write_memory(self, addr: int, data: bytes) -> None:
+        for i, byte in enumerate(data):
+            self.cpu.mem.write_u8(addr + i, byte)
+
+    def read_word(self, where: int | str) -> int:
+        return self.cpu.mem.read_u32(self.resolve(where))
+
+    # ------------------------------------------------------------------
+    # Listings
+    # ------------------------------------------------------------------
+    def disassemble_at(self, addr: int | None = None, count: int = 8) -> str:
+        base = self.cpu.pc if addr is None else self.resolve(addr)
+        lines = []
+        for i in range(count):
+            a = base + 4 * i
+            try:
+                word = self.cpu.mem.read_u32(a)
+            except Exception:
+                break
+            marker = "=> " if a == self.cpu.pc else "   "
+            lines.append(marker + disassemble(word, a))
+        return "\n".join(lines)
+
+    def where(self) -> str:
+        """Nearest symbol at or below the PC, like gdb's frame line."""
+        pc = self.cpu.pc
+        if self.program is None:
+            return f"pc={pc:#010x}"
+        best_name, best_addr = None, -1
+        for name, addr in self.program.symbols.items():
+            if best_addr < addr <= pc:
+                best_name, best_addr = name, addr
+        if best_name is None:
+            return f"pc={pc:#010x}"
+        offset = pc - best_addr
+        suffix = f"+{offset:#x}" if offset else ""
+        return f"pc={pc:#010x} <{best_name}{suffix}>"

@@ -1,0 +1,61 @@
+"""MB32: a MicroBlaze-like 32-bit RISC instruction-set architecture.
+
+The paper targets the Xilinx MicroBlaze soft processor.  MB32 models the
+architecturally visible behaviour the paper's co-simulation relies on:
+
+* 32 general-purpose registers (``r0`` hardwired to zero), MicroBlaze
+  ABI register roles (``r1`` stack pointer, ``r5``-``r10`` arguments,
+  ``r3``/``r4`` return values, ``r15`` call link register),
+* two 32-bit instruction formats (type A: three registers, type B:
+  two registers + 16-bit immediate) with an ``IMM`` prefix instruction
+  for 32-bit immediates,
+* delay-slot branch variants, carry-flag arithmetic, 3-cycle multiply,
+* the FSL access family (``get``/``put``/``nget``/``nput`` and their
+  control-bit variants) used to talk to customized hardware peripherals.
+
+The concrete opcode numbers follow the MicroBlaze ISA manual where the
+format allows; FSL instructions use a documented MB32-specific layout
+(see :mod:`repro.isa.instructions`).
+"""
+
+from repro.isa.instructions import (
+    FORMAT_A,
+    FORMAT_B,
+    INSTRUCTION_SET,
+    BY_MNEMONIC,
+    InstrSpec,
+)
+from repro.isa.registers import (
+    NUM_REGS,
+    REG_ARG_FIRST,
+    REG_ARG_LAST,
+    REG_LINK,
+    REG_RET,
+    REG_SP,
+    REG_ZERO,
+    reg_name,
+    parse_reg,
+)
+from repro.isa.encoding import encode, Encoded
+from repro.isa.decoder import DecodedInstr, decode
+
+__all__ = [
+    "INSTRUCTION_SET",
+    "BY_MNEMONIC",
+    "InstrSpec",
+    "FORMAT_A",
+    "FORMAT_B",
+    "NUM_REGS",
+    "REG_ZERO",
+    "REG_SP",
+    "REG_RET",
+    "REG_LINK",
+    "REG_ARG_FIRST",
+    "REG_ARG_LAST",
+    "reg_name",
+    "parse_reg",
+    "encode",
+    "Encoded",
+    "decode",
+    "DecodedInstr",
+]

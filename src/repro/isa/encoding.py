@@ -1,0 +1,76 @@
+"""Binary encoding of MB32 instructions.
+
+``encode`` turns an :class:`~repro.isa.instructions.InstrSpec` plus
+operand values into a 32-bit word.  Field layout (bit 31 = MSB):
+
+* ``opcode`` bits 31..26
+* ``rd``     bits 25..21
+* ``ra``     bits 20..16
+* type A: ``rb`` bits 15..11, ``func`` bits 10..0
+* type B: ``imm`` bits 15..0 (two's complement)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import FORMAT_A, FSL_ID_MASK, InstrSpec
+
+
+@dataclass(frozen=True)
+class Encoded:
+    """An encoded instruction word with its originating spec."""
+
+    word: int
+    spec: InstrSpec
+
+
+def _check_range(name: str, value: int, lo: int, hi: int) -> None:
+    if not lo <= value <= hi:
+        raise ValueError(f"{name} value {value} out of range [{lo}, {hi}]")
+
+
+def encode(spec: InstrSpec, **fields: int) -> int:
+    """Encode ``spec`` with operand ``fields`` into a 32-bit word.
+
+    Recognized field names: ``rd``, ``ra``, ``rb``, ``imm``, ``fsl``.
+    Immediates must fit in 16 bits (signed or unsigned interpretation);
+    32-bit immediates are the assembler's job via the ``imm`` prefix
+    instruction.
+    """
+    rd = fields.pop("rd", 0)
+    ra = fields.pop("ra", 0)
+    rb = fields.pop("rb", 0)
+    imm = fields.pop("imm", 0)
+    fsl = fields.pop("fsl", None)
+    if fields:
+        raise TypeError(f"unexpected fields: {sorted(fields)}")
+
+    _check_range("rd", rd, 0, 31)
+    _check_range("ra", ra, 0, 31)
+    _check_range("rb", rb, 0, 31)
+
+    func = 0
+    if fsl is not None:
+        _check_range("fsl", fsl, 0, FSL_ID_MASK)
+        func |= fsl
+
+    # Apply fixed field values required by the spec (condition codes,
+    # branch variant bits, func discriminators...).
+    fixed = {"rd": 0, "ra": 0, "rb": 0, "func": 0, "imm": 0}
+    for fname, _mask, value in spec.fixed:
+        fixed[fname] |= value
+
+    rd |= fixed["rd"]
+    ra |= fixed["ra"]
+    rb |= fixed["rb"]
+    func |= fixed["func"]
+
+    word = (spec.opcode & 0x3F) << 26 | rd << 21 | ra << 16
+    if spec.fmt == FORMAT_A:
+        _check_range("func", func, 0, 0x7FF)
+        word |= rb << 11 | func
+    else:
+        _check_range("imm", imm, -(1 << 15), (1 << 16) - 1)
+        word |= (imm & 0xFFFF) | fixed["imm"]
+    return word

@@ -1,0 +1,62 @@
+"""Register file layout and ABI roles (MicroBlaze convention).
+
+============  =====================================================
+Register      Role
+============  =====================================================
+``r0``        always reads as zero; writes are ignored
+``r1``        stack pointer
+``r2``        read-only small-data anchor (unused by our compiler)
+``r3`` -``r4``  function return values
+``r5`` -``r10`` function arguments
+``r11``-``r12`` caller-saved temporaries
+``r13``       read/write small-data anchor (unused)
+``r14``       interrupt return address
+``r15``       subroutine link register (``brlid r15, f``)
+``r16``       trap/debug return address
+``r17``       exception return address
+``r18``       assembler/compiler temporary (IMM materialization)
+``r19``-``r31`` callee-saved
+============  =====================================================
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 32
+
+REG_ZERO = 0
+REG_SP = 1
+REG_RET = 3  # first return-value register (r3; r4 for 64-bit values)
+REG_RET2 = 4
+REG_ARG_FIRST = 5
+REG_ARG_LAST = 10
+REG_TMP1 = 11
+REG_TMP2 = 12
+REG_INT_LINK = 14
+REG_LINK = 15
+REG_ASM_TMP = 18
+REG_CALLEE_FIRST = 19
+REG_CALLEE_LAST = 31
+
+CALLER_SAVED = tuple(range(3, 13))
+CALLEE_SAVED = tuple(range(REG_CALLEE_FIRST, REG_CALLEE_LAST + 1))
+
+
+def reg_name(index: int) -> str:
+    """Canonical textual name of register ``index``."""
+    if not 0 <= index < NUM_REGS:
+        raise ValueError(f"register index out of range: {index}")
+    return f"r{index}"
+
+
+def parse_reg(text: str) -> int:
+    """Parse a register name (``r0``..``r31``, case-insensitive)."""
+    t = text.strip().lower()
+    if not t.startswith("r"):
+        raise ValueError(f"not a register name: {text!r}")
+    try:
+        idx = int(t[1:], 10)
+    except ValueError as exc:
+        raise ValueError(f"not a register name: {text!r}") from exc
+    if not 0 <= idx < NUM_REGS:
+        raise ValueError(f"register index out of range: {text!r}")
+    return idx

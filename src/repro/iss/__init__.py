@@ -1,0 +1,40 @@
+"""Cycle-accurate instruction-set simulator for MB32.
+
+This is the analogue of the Xilinx MicroBlaze cycle-accurate simulator
+that the paper drives through ``mb-gdb``.  The CPU advances one clock
+cycle per :meth:`~repro.iss.cpu.CPU.tick` call so it can be interleaved
+with the hardware-peripheral model by the co-simulation engine; a
+faster :meth:`~repro.iss.cpu.CPU.run` loop serves software-only
+simulation (the paper's Table II "instruction simulator" row).
+"""
+
+from repro.iss.cpu import CPU, CPUConfig, CPUError, HaltReason
+from repro.iss.memory import (
+    AddressSpace,
+    BRAM,
+    BusFault,
+    ConsoleDevice,
+    ExitDevice,
+    CONSOLE_ADDR,
+    EXIT_ADDR,
+)
+from repro.iss.timing import TimingModel
+from repro.iss.fsl import FSLPorts
+from repro.iss.statistics import CPUStats
+
+__all__ = [
+    "CPU",
+    "CPUConfig",
+    "CPUError",
+    "HaltReason",
+    "AddressSpace",
+    "BRAM",
+    "BusFault",
+    "ConsoleDevice",
+    "ExitDevice",
+    "CONSOLE_ADDR",
+    "EXIT_ADDR",
+    "TimingModel",
+    "FSLPorts",
+    "CPUStats",
+]

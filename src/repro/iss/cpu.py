@@ -1,0 +1,497 @@
+"""MB32 cycle-accurate CPU core.
+
+The CPU advances one clock cycle per :meth:`CPU.tick`.  A multi-cycle
+instruction occupies the pipeline for its full latency; blocking FSL
+accesses stall the processor cycle-by-cycle until the FIFO can serve
+them, exactly as Section III-B of the paper describes ("blocking read
+or write will stall the MicroBlaze processor until the read or write
+can occur").
+
+Architectural notes
+-------------------
+* ``r0`` reads as zero; writes to it are discarded.
+* The carry flag models MSR[C]; ``addk``-style instructions keep it.
+* The ``imm`` prefix latches the upper 16 immediate bits for exactly
+  the next instruction.
+* Delay-slot branches execute the following instruction before the
+  transfer; putting a branch or ``imm``-consumer hazard in a delay slot
+  is rejected (undefined on real hardware).
+* Register writebacks are applied on the first cycle of an instruction
+  while the cost is charged over its full latency.  Only FSL and MMIO
+  effects are externally observable, and FSL transfers are applied on
+  their architecturally correct cycle (the instruction's second cycle),
+  so co-simulation interleaving remains cycle-accurate at the interface
+  level — the abstraction the paper defines as "high-level
+  cycle-accurate".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.isa.decoder import DecodedInstr, decode
+from repro.iss.fsl import FSLPorts
+from repro.iss.memory import AddressSpace, BRAM
+from repro.iss.statistics import CPUStats
+from repro.iss.timing import TimingModel
+
+_M32 = 0xFFFFFFFF
+_SIGN = 0x80000000
+
+
+def _s32(v: int) -> int:
+    """Interpret a u32 as signed."""
+    return v - 0x100000000 if v & _SIGN else v
+
+
+class CPUError(RuntimeError):
+    """Raised on architectural violations (bad delay slot, missing
+    optional hardware, decode failures)."""
+
+
+class HaltReason(enum.Enum):
+    EXIT = "exit"  # program stored to the exit device
+    BREAKPOINT = "breakpoint"
+    MAX_CYCLES = "max_cycles"
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """Soft-processor configuration knobs.
+
+    These model the MicroBlaze configurability the paper's design-space
+    exploration ranges over: optional hardware multiplier, divider and
+    barrel shifter, and the FSL link count.
+    """
+
+    use_hw_multiplier: bool = True
+    use_hw_divider: bool = False
+    use_barrel_shifter: bool = True
+    decode_cache: bool = True
+    timing: TimingModel = field(default_factory=TimingModel)
+    frequency_hz: float = 50e6  # the paper's 50 MHz configuration
+
+
+@dataclass
+class _PendingFSL:
+    put: bool
+    channel: int
+    control: bool
+    blocking: bool
+    rd: int
+    value: int  # value to put (put side)
+
+
+class CPU:
+    """The MB32 processor model."""
+
+    def __init__(
+        self,
+        memory: AddressSpace | BRAM,
+        config: CPUConfig | None = None,
+        fsl: FSLPorts | None = None,
+    ):
+        if isinstance(memory, BRAM):
+            memory = AddressSpace(memory)
+        self.mem = memory
+        self.config = config or CPUConfig()
+        self.fsl = fsl or FSLPorts()
+        self.regs = [0] * 32
+        self.pc = 0
+        self.carry = 0
+        self.imm_latch: int | None = None
+        self.cycle = 0
+        self.halted = False
+        self.halt_reason: HaltReason | None = None
+        self.exit_code: int | None = None
+        self.stats = CPUStats()
+        self.breakpoints: set[int] = set()
+        self._busy = 0
+        self._pending: _PendingFSL | None = None
+        self._pending_next_pc = 0
+        self._delay_target: int | None = None
+        self._in_delay_slot = False
+        self._decode_cache: dict[int, DecodedInstr] = {}
+        #: optional callback (pc, instruction word) on every issue
+        self.trace_hook = None
+        if self.config.decode_cache:
+            self.mem.write_hook = self._invalidate
+
+    # ------------------------------------------------------------------
+    # Public control
+    # ------------------------------------------------------------------
+    def reset(self, pc: int = 0) -> None:
+        self.regs = [0] * 32
+        self.pc = pc
+        self.carry = 0
+        self.imm_latch = None
+        self.cycle = 0
+        self.halted = False
+        self.halt_reason = None
+        self.exit_code = None
+        self._busy = 0
+        self._pending = None
+        self._delay_target = None
+        self._in_delay_slot = False
+        self._decode_cache.clear()
+        self.stats.reset()
+        self.mem.reset_devices()
+
+    def tick(self) -> None:
+        """Advance the processor by exactly one clock cycle."""
+        if self.halted:
+            return
+        self.cycle += 1
+        self.stats.cycles += 1
+        if self._busy > 0:
+            self._busy -= 1
+            return
+        if self._pending is not None:
+            self._complete_fsl()
+            return
+        if self.breakpoints and self.pc in self.breakpoints and not self._in_delay_slot:
+            self.cycle -= 1
+            self.stats.cycles -= 1
+            self.halted = True
+            self.halt_reason = HaltReason.BREAKPOINT
+            return
+        self._issue()
+
+    def run(self, max_cycles: int = 10_000_000) -> HaltReason:
+        """Run until halt (or ``max_cycles``).  This is the fast path
+        used for software-only simulation (Table II)."""
+        tick = self.tick
+        for _ in range(max_cycles):
+            if self.halted:
+                break
+            tick()
+        if not self.halted:
+            self.halted = True
+            self.halt_reason = HaltReason.MAX_CYCLES
+        assert self.halt_reason is not None
+        return self.halt_reason
+
+    def resume(self) -> None:
+        """Clear a breakpoint/max-cycles halt so execution can continue."""
+        if self.halt_reason in (HaltReason.BREAKPOINT, HaltReason.MAX_CYCLES):
+            self.halted = False
+            self.halt_reason = None
+
+    @property
+    def busy(self) -> bool:
+        """True while the current instruction still occupies the pipe."""
+        return self._busy > 0 or self._pending is not None
+
+    def simulated_time_s(self) -> float:
+        """Simulated wall time at the configured clock frequency."""
+        return self.cycle / self.config.frequency_hz
+
+    # ------------------------------------------------------------------
+    # Fetch / decode
+    # ------------------------------------------------------------------
+    def _invalidate(self, addr: int) -> None:
+        self._decode_cache.pop(addr & ~3, None)
+
+    def _fetch(self, pc: int) -> DecodedInstr:
+        if self.config.decode_cache:
+            cached = self._decode_cache.get(pc)
+            if cached is not None:
+                return cached
+        try:
+            word = self.mem.read_u32(pc)
+            instr = decode(word)
+        except Exception as exc:
+            raise CPUError(f"fetch/decode failed at pc={pc:#010x}: {exc}") from exc
+        if self.config.decode_cache:
+            self._decode_cache[pc] = instr
+        return instr
+
+    # ------------------------------------------------------------------
+    # Execute
+    # ------------------------------------------------------------------
+    def _issue(self) -> None:
+        instr = self._fetch(self.pc)
+        spec = instr.spec
+        kind = spec.kind
+        self.stats.instructions += 1
+        self.stats.by_mnemonic[spec.mnemonic] += 1
+        if self.trace_hook is not None:
+            self.trace_hook(self.pc, instr.word)
+
+        # Effective immediate (imm prefix aware).
+        if spec.fmt == "B":
+            if self.imm_latch is not None:
+                imm = (self.imm_latch << 16) | (instr.imm & 0xFFFF)
+                imm = _s32(imm & _M32)
+            else:
+                imm = instr.imm
+        else:
+            imm = 0
+        if kind != "imm":
+            self.imm_latch = None
+
+        cost = self.config.timing.base_cost(instr)
+        next_pc = (self.pc + 4) & _M32
+        regs = self.regs
+        p = spec.props
+
+        if kind == "add" or kind == "rsub":
+            a = regs[instr.ra]
+            b = (imm & _M32) if p.get("imm") else regs[instr.rb]
+            if kind == "add":
+                total = a + b + (self.carry if p.get("carry_in") else 0)
+            else:
+                total = b + ((~a) & _M32) + (
+                    self.carry if p.get("carry_in") else 1
+                )
+            if instr.rd:
+                regs[instr.rd] = total & _M32
+            if not p.get("keep_carry"):
+                self.carry = 1 if total > _M32 else 0
+
+        elif kind == "logic":
+            a = regs[instr.ra]
+            b = (imm & _M32) if p.get("imm") else regs[instr.rb]
+            op = p["op"]
+            if op == "or":
+                res = a | b
+            elif op == "and":
+                res = a & b
+            elif op == "xor":
+                res = a ^ b
+            else:  # andn
+                res = a & (~b & _M32)
+            if instr.rd:
+                regs[instr.rd] = res
+
+        elif kind == "load":
+            base = regs[instr.ra]
+            off = imm if p.get("imm") else regs[instr.rb]
+            addr = (base + off) & _M32
+            size = p["size"]
+            if size == 1:
+                val = self.mem.read_u8(addr)
+            elif size == 2:
+                val = self.mem.read_u16(addr)
+            else:
+                val = self.mem.read_u32(addr)
+            if instr.rd:
+                regs[instr.rd] = val
+            self.stats.loads += 1
+            if self.mem.extra_latency:
+                cost += self.mem.extra_latency  # OPB transaction cycles
+                self.mem.extra_latency = 0
+
+        elif kind == "store":
+            base = regs[instr.ra]
+            off = imm if p.get("imm") else regs[instr.rb]
+            addr = (base + off) & _M32
+            size = p["size"]
+            val = regs[instr.rd]
+            if size == 1:
+                self.mem.write_u8(addr, val)
+            elif size == 2:
+                self.mem.write_u16(addr, val)
+            else:
+                self.mem.write_u32(addr, val)
+            self.stats.stores += 1
+            if self.mem.extra_latency:
+                cost += self.mem.extra_latency  # OPB transaction cycles
+                self.mem.extra_latency = 0
+            if self.mem.exit_device.exit_code is not None:
+                self.exit_code = self.mem.exit_device.exit_code
+                self.halted = True
+                self.halt_reason = HaltReason.EXIT
+
+        elif kind == "bcc":
+            a = _s32(regs[instr.ra])
+            cond = p["cond"]
+            taken = (
+                (cond == "eq" and a == 0)
+                or (cond == "ne" and a != 0)
+                or (cond == "lt" and a < 0)
+                or (cond == "le" and a <= 0)
+                or (cond == "gt" and a > 0)
+                or (cond == "ge" and a >= 0)
+            )
+            if taken:
+                off = imm if p.get("imm") else _s32(regs[instr.rb])
+                target = (self.pc + off) & _M32
+                self._take_branch(target, bool(p.get("delayed")))
+                self.stats.branches_taken += 1
+                cost = self.config.timing.taken_cost(bool(p.get("delayed")))
+                self._busy = cost - 1
+                return
+            self.stats.branches_not_taken += 1
+
+        elif kind == "br":
+            off = imm if p.get("imm") else _s32(regs[instr.rb])
+            target = (off & _M32) if p.get("absolute") else (self.pc + off) & _M32
+            if p.get("link") and instr.rd:
+                regs[instr.rd] = self.pc
+            self._take_branch(target, bool(p.get("delayed")))
+            self.stats.branches_taken += 1
+            cost = self.config.timing.taken_cost(bool(p.get("delayed")))
+            self._busy = cost - 1
+            return
+
+        elif kind == "rtsd":
+            target = (regs[instr.ra] + imm) & _M32
+            self._take_branch(target, delayed=True)
+            self.stats.branches_taken += 1
+            cost = self.config.timing.taken_cost(True)
+            self._busy = cost - 1
+            return
+
+        elif kind == "mul":
+            if not self.config.use_hw_multiplier:
+                raise CPUError(
+                    "mul executed but the processor is configured without "
+                    "a hardware multiplier"
+                )
+            a = regs[instr.ra]
+            b = (imm & _M32) if p.get("imm") else regs[instr.rb]
+            if instr.rd:
+                regs[instr.rd] = (a * b) & _M32
+
+        elif kind == "bs":
+            if not self.config.use_barrel_shifter:
+                raise CPUError(
+                    "barrel shift executed but the processor is configured "
+                    "without a barrel shifter"
+                )
+            a = regs[instr.ra]
+            amount = (imm if p.get("imm") else regs[instr.rb]) & 31
+            if p["dir"] == "left":
+                res = (a << amount) & _M32
+            elif p["arith"]:
+                res = (_s32(a) >> amount) & _M32
+            else:
+                res = a >> amount
+            if instr.rd:
+                regs[instr.rd] = res
+
+        elif kind == "shift1":
+            a = regs[instr.ra]
+            op = p["op"]
+            out_carry = a & 1
+            if op == "sra":
+                res = (a >> 1) | (a & _SIGN)
+            elif op == "src":
+                res = (a >> 1) | (self.carry << 31)
+            else:  # srl
+                res = a >> 1
+            if instr.rd:
+                regs[instr.rd] = res
+            self.carry = out_carry
+
+        elif kind == "sext":
+            a = regs[instr.ra]
+            if p["bits"] == 8:
+                res = (a & 0xFF) | (_M32 & ~0xFF if a & 0x80 else 0)
+            else:
+                res = (a & 0xFFFF) | (_M32 & ~0xFFFF if a & 0x8000 else 0)
+            if instr.rd:
+                regs[instr.rd] = res & _M32
+
+        elif kind == "cmp":
+            a = regs[instr.ra]
+            b = regs[instr.rb]
+            res = (b + ((~a) & _M32) + 1) & _M32
+            gt = _s32(a) > _s32(b) if p["signed"] else a > b
+            res = (res | _SIGN) if gt else (res & ~_SIGN)
+            if instr.rd:
+                regs[instr.rd] = res
+
+        elif kind == "imm":
+            self.imm_latch = instr.imm & 0xFFFF
+
+        elif kind == "idiv":
+            if not self.config.use_hw_divider:
+                raise CPUError(
+                    "idiv executed but the processor is configured without "
+                    "a hardware divider"
+                )
+            den = _s32(regs[instr.ra]) if p["signed"] else regs[instr.ra]
+            num = _s32(regs[instr.rb]) if p["signed"] else regs[instr.rb]
+            if den == 0:
+                res = 0
+            else:
+                q = abs(num) // abs(den)
+                if (num < 0) != (den < 0):
+                    q = -q
+                res = q & _M32
+            if instr.rd:
+                regs[instr.rd] = res
+
+        elif kind == "fsl":
+            # Issue cycle now; the transfer happens on the next cycle.
+            self._pending = _PendingFSL(
+                put=bool(p["put"]),
+                channel=instr.fsl_id,
+                control=bool(p["control"]),
+                blocking=bool(p["blocking"]),
+                rd=instr.rd,
+                value=regs[instr.ra],
+            )
+            self._pending_next_pc = next_pc
+            return  # pc advances when the transfer completes
+
+        else:  # pragma: no cover - all kinds handled
+            raise CPUError(f"unimplemented instruction kind {kind!r}")
+
+        self._busy = cost - 1
+        self._commit_pc(next_pc)
+
+    # ------------------------------------------------------------------
+    def _take_branch(self, target: int, delayed: bool) -> None:
+        if self._in_delay_slot:
+            raise CPUError(
+                f"branch at pc={self.pc:#010x} inside a delay slot"
+            )
+        if delayed:
+            self._delay_target = target
+            self._in_delay_slot = True
+            self.pc = (self.pc + 4) & _M32  # execute the slot next
+        else:
+            self.pc = target
+
+    def _commit_pc(self, next_pc: int) -> None:
+        if self._in_delay_slot and self._delay_target is not None:
+            # The just-committed instruction was the delay slot.
+            self.pc = self._delay_target
+            self._delay_target = None
+            self._in_delay_slot = False
+        else:
+            self.pc = next_pc
+
+    def _complete_fsl(self) -> None:
+        pend = self._pending
+        assert pend is not None
+        if pend.put:
+            pushed = self.fsl.put(pend.channel, pend.value, pend.control)
+            if pushed:
+                self.stats.fsl_puts += 1
+                if not pend.blocking:
+                    self.carry = 0
+            elif pend.blocking:
+                self.stats.stall_cycles += 1
+                return  # keep stalling; retry next cycle
+            else:
+                self.carry = 1  # non-blocking put failed: data dropped
+        else:
+            ok, value = self.fsl.get(pend.channel, pend.control)
+            if ok:
+                if pend.rd:
+                    self.regs[pend.rd] = value  # type: ignore[assignment]
+                if not pend.blocking:
+                    self.carry = 0
+                self.stats.fsl_gets += 1
+            elif pend.blocking:
+                self.stats.stall_cycles += 1
+                return  # keep stalling; retry next cycle
+            else:
+                self.carry = 1  # non-blocking read failed
+        self._pending = None
+        self._commit_pc(self._pending_next_pc)

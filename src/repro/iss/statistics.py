@@ -1,0 +1,57 @@
+"""Execution statistics collected by the ISS.
+
+The design-space exploration in :mod:`repro.cosim.dse` and the
+benchmark harness read these counters to report cycle counts,
+instruction mix and stall behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CPUStats:
+    """Counters updated as the CPU executes."""
+
+    instructions: int = 0
+    cycles: int = 0
+    stall_cycles: int = 0  # cycles spent blocked on FSL accesses
+    branches_taken: int = 0
+    branches_not_taken: int = 0
+    loads: int = 0
+    stores: int = 0
+    fsl_gets: int = 0
+    fsl_puts: int = 0
+    by_mnemonic: Counter = field(default_factory=Counter)
+
+    @property
+    def cpi(self) -> float:
+        """Average cycles per instruction (including stalls)."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    def reset(self) -> None:
+        self.instructions = 0
+        self.cycles = 0
+        self.stall_cycles = 0
+        self.branches_taken = 0
+        self.branches_not_taken = 0
+        self.loads = 0
+        self.stores = 0
+        self.fsl_gets = 0
+        self.fsl_puts = 0
+        self.by_mnemonic.clear()
+
+    def summary(self) -> str:
+        lines = [
+            f"instructions : {self.instructions}",
+            f"cycles       : {self.cycles}",
+            f"CPI          : {self.cpi:.3f}",
+            f"stall cycles : {self.stall_cycles}",
+            f"branches     : {self.branches_taken} taken / "
+            f"{self.branches_not_taken} not taken",
+            f"memory       : {self.loads} loads / {self.stores} stores",
+            f"FSL          : {self.fsl_gets} gets / {self.fsl_puts} puts",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Instruction-level execution tracing.
+
+Attach an :class:`InstructionTracer` to a CPU to record the retired
+instruction stream (pc, disassembly, cycle) — the equivalent of
+``mb-gdb``'s instruction trace, used for debugging compiler output and
+for the execution profiles in the examples.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.asm.disassembler import disassemble
+from repro.iss.cpu import CPU
+
+
+@dataclass
+class TraceEntry:
+    cycle: int
+    pc: int
+    word: int
+    text: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.cycle:8d}] {self.pc:08x}:  {self.text}"
+
+
+@dataclass
+class InstructionTracer:
+    """Records retired instructions; optionally bounded."""
+
+    cpu: CPU
+    limit: int | None = None
+    entries: list[TraceEntry] = field(default_factory=list)
+    pc_histogram: Counter = field(default_factory=Counter)
+    _installed: bool = False
+
+    def install(self) -> "InstructionTracer":
+        if self._installed:
+            return self
+        if self.cpu.trace_hook is not None:
+            raise RuntimeError("CPU already has a trace hook")
+        self.cpu.trace_hook = self._on_issue
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if self._installed:
+            self.cpu.trace_hook = None
+            self._installed = False
+
+    def _on_issue(self, pc: int, word: int) -> None:
+        self.pc_histogram[pc] += 1
+        if self.limit is not None and len(self.entries) >= self.limit:
+            return
+        self.entries.append(
+            TraceEntry(self.cpu.cycle, pc, word, disassemble(word))
+        )
+
+    # ------------------------------------------------------------------
+    def text(self, last: int | None = None) -> str:
+        entries = self.entries if last is None else self.entries[-last:]
+        return "\n".join(str(e) for e in entries)
+
+    def hottest(self, n: int = 10) -> list[tuple[int, int]]:
+        """(pc, count) of the most frequently executed addresses —
+        a poor man's profiler for finding the inner loop."""
+        return self.pc_histogram.most_common(n)

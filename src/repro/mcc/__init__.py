@@ -1,0 +1,45 @@
+"""mcc — the mini-C compiler for MB32 (the ``mb-gcc`` analogue).
+
+The paper's software portions are C programs compiled with ``mb-gcc``
+and run on the MicroBlaze cycle-accurate simulator.  ``mcc`` compiles a
+practical C subset to MB32 assembly:
+
+* types: ``int``, ``unsigned``, ``char``, pointers, 1-D/2-D arrays
+* functions with the MicroBlaze ABI (args in ``r5``–``r10``, result in
+  ``r3``, link register ``r15``, stack pointer ``r1``)
+* full expression/statement set: arithmetic, logical, bitwise,
+  comparisons, assignment (including compound), ``if``/``while``/
+  ``for``/``do``, ``break``/``continue``/``return``
+* the Xilinx FSL intrinsics: ``putfsl``, ``nputfsl``, ``cputfsl``,
+  ``ncputfsl``, ``getfsl``, ``ngetfsl``, ``cgetfsl``, ``ncgetfsl``
+  plus ``fsl_isinvalid()`` (carry flag after a non-blocking access)
+* ``__builtin_exit`` / ``__builtin_putchar`` mapped to the debug MMIO
+
+``/`` and ``%`` lower to the software-divide runtime unless the target
+CPU is configured with a hardware divider; ``*`` lowers to ``mul``
+(3-cycle embedded multiplier) or the software multiply when the
+multiplier is disabled — exactly the configuration trade-offs the
+paper's design space contains.
+
+High-level entry points:
+
+>>> from repro.mcc import compile_c, build_executable
+>>> asm_text = compile_c("int main(void) { return 42; }")
+>>> program = build_executable("int main(void) { return 2 + 2; }")
+"""
+
+from repro.mcc.compiler import CompileOptions, compile_c, build_executable
+from repro.mcc.errors import MccError, LexError, ParseError, SemaError
+from repro.mcc.runtime import crt0_source, runtime_library_source
+
+__all__ = [
+    "compile_c",
+    "build_executable",
+    "CompileOptions",
+    "MccError",
+    "LexError",
+    "ParseError",
+    "SemaError",
+    "crt0_source",
+    "runtime_library_source",
+]

@@ -1,0 +1,1204 @@
+"""MB32 code generation for mini-C.
+
+Code model
+----------
+* ``r3`` is the expression accumulator; binary operators evaluate the
+  left operand, push it on the stack, evaluate the right operand and
+  pop the left into ``r11``.
+* Scalar locals/parameters whose address is never taken are allocated
+  to callee-saved registers ``r19``–``r28`` (saved in the prologue);
+  the rest live in the stack frame addressed through the frame pointer
+  ``r31``.
+* Frame layout (offsets from ``r31`` == post-prologue ``r1``)::
+
+      fp+0              saved r15 (link)
+      fp+4              saved r31 (caller frame pointer)
+      fp+8 .. +8+4k     saved callee registers (k used)
+      fp+8+4k ..        stack-resident locals / arrays
+
+* Calls follow the MicroBlaze ABI: arguments in ``r5``–``r10``, result
+  in ``r3``, ``brlid r15`` with a ``nop`` delay slot.
+* ``/`` and ``%`` call the soft-divide runtime unless the target has a
+  hardware divider; ``*`` uses the 3-cycle ``mul`` unless the embedded
+  multiplier is disabled, in which case ``__mulsi3`` is called.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mcc.errors import CodegenError, SemaError
+from repro.mcc.sema import BUILTINS, FunctionInfo, Sym, UnitInfo
+from repro.mcc.tree import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    Cast,
+    Cond,
+    Continue,
+    CType,
+    DoWhile,
+    Expr,
+    ExprStmt,
+    For,
+    FuncDef,
+    If,
+    Index,
+    Num,
+    Return,
+    StrLit,
+    Unary,
+    Var,
+    VarDecl,
+    While,
+)
+
+_REG_POOL = tuple(range(19, 31))  # r19..r30 for register locals (r31 = fp)
+_FP = "r31"
+_ACC = "r3"
+_LHS = "r11"
+_ADR = "r12"
+
+
+@dataclass
+class CodegenOptions:
+    """Target configuration knobs, mirroring :class:`repro.iss.cpu.CPUConfig`."""
+
+    hw_multiplier: bool = True
+    hw_divider: bool = False
+    hw_barrel_shifter: bool = True
+    #: allocate scalar locals to callee-saved registers (off = pure
+    #: stack machine, useful for ablations)
+    register_locals: bool = True
+
+
+@dataclass
+class _Home:
+    """Where a local lives: a register or a frame offset."""
+
+    reg: int | None = None
+    offset: int | None = None
+
+
+@dataclass
+class _LoopLabels:
+    brk: str
+    cont: str
+
+
+class FunctionEmitter:
+    def __init__(self, unit: UnitInfo, info: FunctionInfo, opts: CodegenOptions,
+                 out: list[str], string_labels: dict[int, str]):
+        self.unit = unit
+        self.info = info
+        self.opts = opts
+        self.out = out
+        self.string_labels = string_labels
+        self.func = info.func
+        self.homes: dict[int, _Home] = {}  # id(Sym) -> home
+        self.used_callee: list[int] = []
+        self.frame_size = 0
+        self.label_counter = 0
+        self.loops: list[_LoopLabels] = []
+        self.epilogue_label = f".L{self.func.name}__epilogue"
+
+    # ------------------------------------------------------------------
+    def emit(self, line: str) -> None:
+        self.out.append(line)
+
+    def op(self, text: str) -> None:
+        self.out.append("    " + text)
+
+    def label(self) -> str:
+        self.label_counter += 1
+        return f".L{self.func.name}__{self.label_counter}"
+
+    def place_label(self, name: str) -> None:
+        self.out.append(f"{name}:")
+
+    # ------------------------------------------------------------------
+    # Frame construction
+    # ------------------------------------------------------------------
+    def assign_homes(self) -> None:
+        pool = list(_REG_POOL) if self.opts.register_locals else []
+        stack_offset = 0  # relative to the locals area; fixed up later
+        stack_syms: list[tuple[Sym, int]] = []
+        for sym in self.info.locals:
+            scalar = sym.ctype.is_scalar and not sym.ctype.is_array
+            if scalar and not sym.addr_taken and pool:
+                reg = pool.pop(0)
+                self.homes[id(sym)] = _Home(reg=reg)
+                self.used_callee.append(reg)
+            else:
+                size = (sym.ctype.sizeof() + 3) & ~3
+                stack_syms.append((sym, stack_offset))
+                stack_offset += size
+        saved = 8 + 4 * len(self.used_callee)
+        for sym, off in stack_syms:
+            self.homes[id(sym)] = _Home(offset=saved + off)
+        self.frame_size = (saved + stack_offset + 7) & ~7
+
+    def home(self, sym: Sym) -> _Home:
+        try:
+            return self.homes[id(sym)]
+        except KeyError:  # pragma: no cover - sema guarantees
+            raise CodegenError(f"no home for symbol {sym.name}", 0)
+
+    # ------------------------------------------------------------------
+    def emit_function(self) -> None:
+        self.assign_homes()
+        f = self.func
+        self.emit("")
+        self.emit(f"    .global {f.name}")
+        self.place_label(f.name)
+        # Prologue.
+        self.op(f"addik r1, r1, -{self.frame_size}")
+        self.op("swi   r15, r1, 0")
+        self.op(f"swi   {_FP}, r1, 4")
+        for i, reg in enumerate(self.used_callee):
+            self.op(f"swi   r{reg}, r1, {8 + 4 * i}")
+        self.op(f"addk  {_FP}, r1, r0")
+        # Park incoming arguments in their homes.
+        param_syms = self.info.locals[: len(f.params)]
+        for i, sym in enumerate(param_syms):
+            src = f"r{5 + i}"
+            home = self.home(sym)
+            if home.reg is not None:
+                self.op(f"addk  r{home.reg}, {src}, r0")
+            else:
+                self.op(f"swi   {src}, {_FP}, {home.offset}")
+        # Body.
+        assert f.body is not None
+        self.gen_block(f.body)
+        # Epilogue.
+        self.place_label(self.epilogue_label)
+        self.op(f"addk  r1, {_FP}, r0")
+        self.op("lwi   r15, r1, 0")
+        for i, reg in enumerate(self.used_callee):
+            self.op(f"lwi   r{reg}, r1, {8 + 4 * i}")
+        self.op(f"lwi   {_FP}, r1, 4")
+        self.op("rtsd  r15, 8")
+        self.op(f"addik r1, r1, {self.frame_size}")
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def gen_block(self, block: Block) -> None:
+        for stmt in block.stmts:
+            self.gen_stmt(stmt)
+
+    def gen_stmt(self, stmt) -> None:
+        if isinstance(stmt, VarDecl):
+            self.gen_local_decl(stmt)
+        elif isinstance(stmt, Block):
+            self.gen_block(stmt)
+        elif isinstance(stmt, ExprStmt):
+            self.gen_discard(stmt.expr)
+        elif isinstance(stmt, If):
+            els = self.label()
+            end = self.label() if stmt.els is not None else els
+            self.gen_expr(stmt.cond)
+            self.op(f"beqi  {_ACC}, {els}")
+            self.gen_stmt(stmt.then)
+            if stmt.els is not None:
+                self.op(f"bri   {end}")
+                self.place_label(els)
+                self.gen_stmt(stmt.els)
+            self.place_label(end)
+        elif isinstance(stmt, While):
+            top = self.label()
+            end = self.label()
+            self.loops.append(_LoopLabels(brk=end, cont=top))
+            self.place_label(top)
+            self.gen_expr(stmt.cond)
+            self.op(f"beqi  {_ACC}, {end}")
+            self.gen_stmt(stmt.body)
+            self.op(f"bri   {top}")
+            self.place_label(end)
+            self.loops.pop()
+        elif isinstance(stmt, DoWhile):
+            top = self.label()
+            cont = self.label()
+            end = self.label()
+            self.loops.append(_LoopLabels(brk=end, cont=cont))
+            self.place_label(top)
+            self.gen_stmt(stmt.body)
+            self.place_label(cont)
+            self.gen_expr(stmt.cond)
+            self.op(f"bnei  {_ACC}, {top}")
+            self.place_label(end)
+            self.loops.pop()
+        elif isinstance(stmt, For):
+            top = self.label()
+            cont = self.label()
+            end = self.label()
+            if stmt.init is not None:
+                if isinstance(stmt.init, list):
+                    for d in stmt.init:
+                        self.gen_stmt(d)
+                else:
+                    self.gen_stmt(stmt.init)
+            self.loops.append(_LoopLabels(brk=end, cont=cont))
+            self.place_label(top)
+            if stmt.cond is not None:
+                self.gen_expr(stmt.cond)
+                self.op(f"beqi  {_ACC}, {end}")
+            self.gen_stmt(stmt.body)
+            self.place_label(cont)
+            if stmt.step is not None:
+                self.gen_discard(stmt.step)
+            self.op(f"bri   {top}")
+            self.place_label(end)
+            self.loops.pop()
+        elif isinstance(stmt, Return):
+            if stmt.expr is not None:
+                self.gen_expr(stmt.expr)
+            self.op(f"bri   {self.epilogue_label}")
+        elif isinstance(stmt, Break):
+            if not self.loops:  # pragma: no cover - sema guarantees
+                raise CodegenError("break outside loop", stmt.line)
+            self.op(f"bri   {self.loops[-1].brk}")
+        elif isinstance(stmt, Continue):
+            if not self.loops:  # pragma: no cover
+                raise CodegenError("continue outside loop", stmt.line)
+            self.op(f"bri   {self.loops[-1].cont}")
+        else:  # pragma: no cover
+            raise CodegenError(f"unknown statement {type(stmt).__name__}",
+                               getattr(stmt, "line", 0))
+
+    def gen_local_decl(self, decl: VarDecl) -> None:
+        sym = self._find_local_sym(decl)
+        home = self.home(sym)
+        if decl.init is None:
+            return
+        if isinstance(decl.init, list):
+            # Array initializer: elementwise stores into the frame slot.
+            assert home.offset is not None
+            elem = decl.ctype.decay().elem_size()
+            store = "sbi" if elem == 1 else "swi"
+            for i, item in enumerate(decl.init):
+                self.gen_expr(item)
+                self.op(f"{store}   {_ACC}, {_FP}, {home.offset + i * elem}")
+            return
+        self.gen_expr(decl.init)
+        self.store_to_home(sym, home)
+
+    def _find_local_sym(self, decl: VarDecl) -> Sym:
+        for sym in self.info.locals:
+            if sym.decl is decl:
+                return sym
+        raise CodegenError(f"local {decl.name!r} not registered", decl.line)
+
+    def store_to_home(self, sym: Sym, home: _Home) -> None:
+        """Store r3 into a scalar local's home."""
+        if home.reg is not None:
+            if sym.ctype.base == "char" and sym.ctype.is_arith:
+                self.op(f"andi  {_ACC}, {_ACC}, 0xff")
+            self.op(f"addk  r{home.reg}, {_ACC}, r0")
+        else:
+            op = "sbi" if sym.ctype.sizeof() == 1 and sym.ctype.is_arith else "swi"
+            self.op(f"{op}   {_ACC}, {_FP}, {home.offset}")
+
+    # ------------------------------------------------------------------
+    # Expression helpers
+    # ------------------------------------------------------------------
+    def push(self) -> None:
+        self.op("addik r1, r1, -4")
+        self.op(f"swi   {_ACC}, r1, 0")
+
+    def pop(self, reg: str = _LHS) -> None:
+        self.op(f"lwi   {reg}, r1, 0")
+        self.op("addik r1, r1, 4")
+
+    def load_imm(self, reg: str, value: int) -> None:
+        value &= 0xFFFFFFFF
+        if value & 0x80000000:
+            value -= 1 << 32
+        self.op(f"addik {reg}, r0, {value}" if -0x8000 <= value <= 0x7FFF
+                else f"li    {reg}, {value & 0xFFFFFFFF}")
+
+    # ------------------------------------------------------------------
+    # Shift lowering: the barrel shifter is an optional MicroBlaze unit.
+    # Without it, constant shifts expand to 1-bit shift sequences and
+    # variable shifts call the soft-shift runtime.
+    # ------------------------------------------------------------------
+    _SHIFT_MNEM = {"sll": "bslli", "sra": "bsrai", "srl": "bsrli"}
+    _SHIFT_HELPER = {"sll": "__ashlsi3", "sra": "__ashrsi3",
+                     "srl": "__lshrsi3"}
+
+    def emit_shift_imm(self, dst: str, src: str, n: int, kind: str) -> None:
+        """dst = src shifted by constant n (kind: sll/sra/srl)."""
+        n &= 31
+        if self.opts.hw_barrel_shifter:
+            self.op(f"{self._SHIFT_MNEM[kind]} {dst}, {src}, {n}")
+            return
+        if n == 0:
+            if dst != src:
+                self.op(f"addk  {dst}, {src}, r0")
+            return
+        if kind == "sll":
+            self.op(f"addk  {dst}, {src}, {src}")
+            for _ in range(n - 1):
+                self.op(f"addk  {dst}, {dst}, {dst}")
+        else:
+            op1 = "sra" if kind == "sra" else "srl"
+            self.op(f"{op1}   {dst}, {src}")
+            for _ in range(n - 1):
+                self.op(f"{op1}   {dst}, {dst}")
+
+    def emit_shift_reg_call(self, value_reg: str, amount_reg: str,
+                            kind: str) -> None:
+        """r3 = value_reg shifted by amount_reg via the soft helper."""
+        self.op(f"addk  r5, {value_reg}, r0")
+        if amount_reg != "r6":
+            self.op(f"addk  r6, {amount_reg}, r0")
+        self.op(f"brlid r15, {self._SHIFT_HELPER[kind]}")
+        self.op("nop")
+
+    def emit_msb_to_acc(self) -> None:
+        """r3 = bit 31 of r3 (the comparison-result idiom)."""
+        if self.opts.hw_barrel_shifter:
+            self.op(f"bsrli {_ACC}, {_ACC}, 31")
+        else:
+            self.op(f"add   {_ACC}, {_ACC}, {_ACC}")  # carry = MSB
+            self.op(f"addc  {_ACC}, r0, r0")
+
+    # ------------------------------------------------------------------
+    # Leaf-operand analysis (the -O1-style niceties mb-gcc performs:
+    # operate directly on register-homed variables and immediates
+    # instead of spilling through the expression stack).
+    # ------------------------------------------------------------------
+    def leaf_reg(self, expr: Expr) -> str | None:
+        """Register already holding ``expr``'s value, or None."""
+        if isinstance(expr, Num) and expr.value == 0:
+            return "r0"
+        if isinstance(expr, Var):
+            sym = self.unit.sym_for(expr)
+            if sym.kind in ("local", "param") and not sym.ctype.is_array:
+                home = self.homes.get(id(sym))
+                if home is not None and home.reg is not None:
+                    return f"r{home.reg}"
+        return None
+
+    def leaf_imm(self, expr: Expr) -> int | None:
+        """16-bit immediate value of ``expr``, or None."""
+        if isinstance(expr, Num) and -0x8000 <= expr.value <= 0x7FFF:
+            return expr.value
+        return None
+
+    def addr_operand(self, expr: Expr) -> tuple[str, str] | None:
+        """``(base_reg, offset_expr)`` addressing ``expr``'s storage
+        with zero setup code, or None.  Covers stack/global scalars,
+        ``*p`` through a register pointer and constant-indexed arrays."""
+        if isinstance(expr, Var):
+            sym = self.unit.sym_for(expr)
+            if sym.ctype.is_array:
+                return None
+            if sym.kind in ("local", "param"):
+                home = self.home(sym)
+                if home.reg is not None:
+                    return None
+                return (_FP, str(home.offset))
+            return ("r0", sym.label)
+        if isinstance(expr, Unary) and expr.op == "*":
+            reg = self.leaf_reg(expr.operand)
+            return (reg, "0") if reg is not None else None
+        if isinstance(expr, Index) and isinstance(expr.index, Num):
+            base = expr.base
+            base_t = base.ctype
+            assert base_t is not None
+            elem = base_t.deref().sizeof() if base_t.is_array else \
+                base_t.decay().elem_size()
+            off = expr.index.value * elem
+            if off < 0:
+                return None
+            if isinstance(base, Var):
+                sym = self.unit.sym_for(base)
+                if base_t.is_array:
+                    if sym.kind in ("local", "param"):
+                        home = self.home(sym)
+                        if home.offset is None:
+                            return None
+                        return (_FP, str(home.offset + off))
+                    return ("r0", f"{sym.label}+{off}" if off else sym.label)
+                reg = self.leaf_reg(base)
+                if reg is not None and off <= 0x7FFF:
+                    return (reg, str(off))
+        return None
+
+    @staticmethod
+    def _is_byte(ctype: CType | None) -> bool:
+        return ctype is not None and ctype.sizeof() == 1 and ctype.is_arith
+
+    def load_via(self, base: str, off: str, ctype: CType | None,
+                 dst: str = _ACC) -> None:
+        op = "lbui" if self._is_byte(ctype) else "lwi"
+        self.op(f"{op}  {dst}, {base}, {off}")
+
+    def store_via(self, base: str, off: str, ctype: CType | None,
+                  src: str = _ACC) -> None:
+        op = "sbi" if self._is_byte(ctype) else "swi"
+        self.op(f"{op}   {src}, {base}, {off}")
+
+    # ------------------------------------------------------------------
+    # Expressions (result in r3)
+    # ------------------------------------------------------------------
+    def gen_discard(self, expr: Expr) -> None:
+        """Evaluate ``expr`` for its side effects only — assignments
+        and increments skip materializing their value in r3."""
+        if isinstance(expr, Assign):
+            self.gen_assign(expr, need_value=False)
+            return
+        if isinstance(expr, Unary) and expr.op in (
+            "++pre", "--pre", "++post", "--post"
+        ):
+            self.gen_incdec(expr, need_value=False)
+            return
+        self.gen_expr(expr)
+
+    def gen_expr(self, expr: Expr) -> None:
+        if isinstance(expr, Num):
+            self.load_imm(_ACC, expr.value)
+        elif isinstance(expr, StrLit):
+            self.op(f"li    {_ACC}, {self.string_labels[id(expr)]}")
+        elif isinstance(expr, Var):
+            self.gen_var_load(expr)
+        elif isinstance(expr, Cast):
+            self.gen_cast(expr)
+        elif isinstance(expr, Unary):
+            self.gen_unary(expr)
+        elif isinstance(expr, Binary):
+            self.gen_binary(expr)
+        elif isinstance(expr, Assign):
+            self.gen_assign(expr)
+        elif isinstance(expr, Cond):
+            els = self.label()
+            end = self.label()
+            self.gen_expr(expr.cond)
+            self.op(f"beqi  {_ACC}, {els}")
+            self.gen_expr(expr.then)
+            self.op(f"bri   {end}")
+            self.place_label(els)
+            self.gen_expr(expr.els)
+            self.place_label(end)
+        elif isinstance(expr, Index):
+            ao = self.addr_operand(expr)
+            if ao is not None and not expr.ctype.is_array:  # type: ignore[union-attr]
+                self.load_via(ao[0], ao[1], expr.ctype)
+            else:
+                self.gen_addr(expr)
+                self.load_from_addr(expr.ctype)
+        elif isinstance(expr, Call):
+            self.gen_call(expr)
+        else:  # pragma: no cover
+            raise CodegenError(f"unknown expression {type(expr).__name__}",
+                               expr.line)
+
+    def gen_var_load(self, expr: Var) -> None:
+        sym = self.unit.sym_for(expr)
+        if sym.kind in ("local", "param"):
+            home = self.home(sym)
+            if home.reg is not None:
+                self.op(f"addk  {_ACC}, r{home.reg}, r0")
+                return
+            if sym.ctype.is_array:
+                self.op(f"addik {_ACC}, {_FP}, {home.offset}")
+                return
+            op = "lbui" if sym.ctype.sizeof() == 1 and sym.ctype.is_arith else "lwi"
+            self.op(f"{op}  {_ACC}, {_FP}, {home.offset}")
+            return
+        # global
+        if sym.ctype.is_array:
+            self.op(f"li    {_ACC}, {sym.label}")
+            return
+        op = "lbui" if sym.ctype.sizeof() == 1 and sym.ctype.is_arith else "lwi"
+        self.op(f"{op}  {_ACC}, r0, {sym.label}")
+
+    def load_from_addr(self, ctype: CType | None) -> None:
+        """Load the value at address r3 (unless it is an array, which
+        decays to the address itself)."""
+        assert ctype is not None
+        if ctype.is_array:
+            return
+        op = "lbui" if ctype.sizeof() == 1 and ctype.is_arith else "lwi"
+        self.op(f"{op}  {_ACC}, {_ACC}, 0")
+
+    # ------------------------------------------------------------------
+    def gen_addr(self, expr: Expr) -> None:
+        """Leave the address of an lvalue in r3."""
+        if isinstance(expr, Var):
+            sym = self.unit.sym_for(expr)
+            if sym.kind in ("local", "param"):
+                home = self.home(sym)
+                if home.reg is not None:
+                    raise CodegenError(
+                        f"address of register variable {sym.name!r}", expr.line
+                    )
+                self.op(f"addik {_ACC}, {_FP}, {home.offset}")
+            else:
+                self.op(f"li    {_ACC}, {sym.label}")
+            return
+        if isinstance(expr, Unary) and expr.op == "*":
+            self.gen_expr(expr.operand)
+            return
+        if isinstance(expr, Index):
+            base_t = expr.base.ctype
+            assert base_t is not None
+            elem = base_t.deref().sizeof() if base_t.is_array else \
+                base_t.decay().elem_size()
+
+            def gen_base() -> None:
+                if base_t.is_array:
+                    self.gen_addr(expr.base)
+                else:  # pointer value
+                    self.gen_expr(expr.base)
+
+            # Constant index: fold into an addik displacement.
+            if isinstance(expr.index, Num):
+                off = expr.index.value * elem
+                gen_base()
+                if off:
+                    if -0x8000 <= off <= 0x7FFF:
+                        self.op(f"addik {_ACC}, {_ACC}, {off}")
+                    else:
+                        self.load_imm(_LHS, off)
+                        self.op(f"addk  {_ACC}, {_ACC}, {_LHS}")
+                return
+            # Register-homed index: scale into r11, no stack traffic.
+            idx_reg = self.leaf_reg(expr.index)
+            if idx_reg is not None:
+                gen_base()
+                if elem == 1:
+                    self.op(f"addk  {_ACC}, {_ACC}, {idx_reg}")
+                elif elem & (elem - 1) == 0:
+                    self.emit_shift_imm(_LHS, idx_reg,
+                                        elem.bit_length() - 1, "sll")
+                    self.op(f"addk  {_ACC}, {_ACC}, {_LHS}")
+                elif self.opts.hw_multiplier:
+                    self.op(f"muli  {_LHS}, {idx_reg}, {elem}")
+                    self.op(f"addk  {_ACC}, {_ACC}, {_LHS}")
+                else:
+                    idx_reg = None  # fall through to the general path
+                if idx_reg is not None:
+                    return
+            gen_base()
+            self.push()
+            self.gen_expr(expr.index)
+            self.scale_acc(elem)
+            self.pop(_LHS)
+            self.op(f"addk  {_ACC}, {_LHS}, {_ACC}")
+            return
+        raise CodegenError(f"not an addressable lvalue: {type(expr).__name__}",
+                           expr.line)
+
+    def scale_acc(self, factor: int) -> None:
+        """Multiply r3 by a constant element size."""
+        if factor == 1:
+            return
+        if factor & (factor - 1) == 0:
+            self.emit_shift_imm(_ACC, _ACC, factor.bit_length() - 1, "sll")
+        elif self.opts.hw_multiplier:
+            self.op(f"muli  {_ACC}, {_ACC}, {factor}")
+        else:
+            self.op(f"addk  r5, {_ACC}, r0")
+            self.load_imm("r6", factor)
+            self.op("brlid r15, __mulsi3")
+            self.op("nop")
+
+    # ------------------------------------------------------------------
+    def gen_cast(self, expr: Cast) -> None:
+        self.gen_expr(expr.operand)
+        to = expr.to
+        if to.base == "char" and to.ptr == 0:
+            self.op(f"andi  {_ACC}, {_ACC}, 0xff")
+        # int/unsigned/pointer casts are bit-identical
+
+    def gen_unary(self, expr: Unary) -> None:
+        op = expr.op
+        if op == "&":
+            self.gen_addr(expr.operand)
+            return
+        if op == "*":
+            reg = self.leaf_reg(expr.operand)
+            if reg is not None and not (expr.ctype and expr.ctype.is_array):
+                self.load_via(reg, "0", expr.ctype)
+                return
+            self.gen_expr(expr.operand)
+            self.load_from_addr(expr.ctype)
+            return
+        if op in ("++pre", "--pre", "++post", "--post"):
+            self.gen_incdec(expr)
+            return
+        if op == "sizeof":
+            assert expr.operand.ctype is not None
+            self.load_imm(_ACC, expr.operand.ctype.sizeof())
+            return
+        self.gen_expr(expr.operand)
+        if op == "-":
+            self.op(f"rsubk {_ACC}, {_ACC}, r0")
+        elif op == "~":
+            self.op(f"xori  {_ACC}, {_ACC}, -1")
+        elif op == "!":
+            self.op(f"cmpu  {_ACC}, {_ACC}, r0")  # MSB = (r3 > 0)u = r3 != 0
+            self.emit_msb_to_acc()
+            self.op(f"xori  {_ACC}, {_ACC}, 1")
+        else:  # pragma: no cover
+            raise CodegenError(f"unknown unary {op!r}", expr.line)
+
+    def gen_incdec(self, expr: Unary, need_value: bool = True) -> None:
+        target = expr.operand
+        assert target.ctype is not None
+        step = target.ctype.decay().elem_size() if \
+            target.ctype.decay().is_pointer else 1
+        delta = step if expr.op.startswith("++") else -step
+        post = expr.op.endswith("post")
+        if isinstance(target, Var):
+            sym = self.unit.sym_for(target)
+            if sym.kind in ("local", "param"):
+                home = self.home(sym)
+                if home.reg is not None:
+                    if not need_value:
+                        self.op(f"addik r{home.reg}, r{home.reg}, {delta}")
+                    elif post:
+                        self.op(f"addk  {_ACC}, r{home.reg}, r0")
+                        self.op(f"addik r{home.reg}, r{home.reg}, {delta}")
+                    else:
+                        self.op(f"addik r{home.reg}, r{home.reg}, {delta}")
+                        self.op(f"addk  {_ACC}, r{home.reg}, r0")
+                    return
+        # Memory lvalue: load, adjust, store.
+        self.gen_addr(target)
+        self.op(f"addk  {_ADR}, {_ACC}, r0")
+        is_byte = target.ctype.sizeof() == 1 and target.ctype.is_arith
+        load = "lbui" if is_byte else "lwi"
+        store = "sbi" if is_byte else "swi"
+        self.op(f"{load}  {_ACC}, {_ADR}, 0")
+        if post:
+            self.op(f"addik {_LHS}, {_ACC}, {delta}")
+            self.op(f"{store}   {_LHS}, {_ADR}, 0")
+        else:
+            self.op(f"addik {_ACC}, {_ACC}, {delta}")
+            self.op(f"{store}   {_ACC}, {_ADR}, 0")
+
+    # ------------------------------------------------------------------
+    def gen_binary(self, expr: Binary) -> None:
+        op = expr.op
+        if op in ("&&", "||"):
+            self.gen_logical(expr)
+            return
+        lt = expr.left.ctype.decay()  # type: ignore[union-attr]
+        rt = expr.right.ctype.decay()  # type: ignore[union-attr]
+        unsigned = lt.is_unsigned or rt.is_unsigned or lt.is_pointer or rt.is_pointer
+
+        if self._try_leaf_binary(expr, op, lt, rt, unsigned):
+            return
+
+        self.gen_expr(expr.left)
+        # Pointer arithmetic scaling for "ptr + int" / "int + ptr".
+        if op in ("+", "-") and lt.is_pointer and rt.is_arith:
+            self.push()
+            self.gen_expr(expr.right)
+            self.scale_acc(lt.elem_size())
+            self.pop(_LHS)
+        elif op == "+" and rt.is_pointer and lt.is_arith:
+            self.scale_acc(rt.elem_size())
+            self.push()
+            self.gen_expr(expr.right)
+            self.pop(_LHS)
+        else:
+            self.push()
+            self.gen_expr(expr.right)
+            self.pop(_LHS)
+        # left in r11, right in r3
+        if op == "+":
+            self.op(f"addk  {_ACC}, {_LHS}, {_ACC}")
+        elif op == "-":
+            self.op(f"rsubk {_ACC}, {_ACC}, {_LHS}")  # r11 - r3
+            if lt.is_pointer and rt.is_pointer:
+                elem = lt.elem_size()
+                if elem > 1:
+                    self._divide_acc_by_const(elem)
+        elif op == "*":
+            self.gen_multiply()
+        elif op in ("/", "%"):
+            self.gen_divide(op, unsigned)
+        elif op == "&":
+            self.op(f"and   {_ACC}, {_LHS}, {_ACC}")
+        elif op == "|":
+            self.op(f"or    {_ACC}, {_LHS}, {_ACC}")
+        elif op == "^":
+            self.op(f"xor   {_ACC}, {_LHS}, {_ACC}")
+        elif op in ("<<", ">>"):
+            kind = "sll" if op == "<<" else ("srl" if unsigned else "sra")
+            if self.opts.hw_barrel_shifter:
+                mnem = {"sll": "bsll", "sra": "bsra", "srl": "bsrl"}[kind]
+                self.op(f"{mnem}  {_ACC}, {_LHS}, {_ACC}")
+            else:
+                self.emit_shift_reg_call(_LHS, _ACC, kind)
+        elif op in ("==", "!="):
+            self.op(f"xor   {_ACC}, {_LHS}, {_ACC}")
+            self.op(f"cmpu  {_ACC}, {_ACC}, r0")
+            self.emit_msb_to_acc()
+            if op == "==":
+                self.op(f"xori  {_ACC}, {_ACC}, 1")
+        elif op in ("<", "<=", ">", ">="):
+            cmp = "cmpu " if unsigned else "cmp  "
+            if op in ("<", ">="):
+                # MSB = right > left  == (left < right)
+                self.op(f"{cmp} {_ACC}, {_ACC}, {_LHS}")
+            else:
+                # MSB = left > right
+                self.op(f"{cmp} {_ACC}, {_LHS}, {_ACC}")
+            self.emit_msb_to_acc()
+            if op in ("<=", ">="):
+                self.op(f"xori  {_ACC}, {_ACC}, 1")
+        else:  # pragma: no cover
+            raise CodegenError(f"unknown binary {op!r}", expr.line)
+
+    def _try_leaf_binary(self, expr: Binary, op: str, lt: CType, rt: CType,
+                         unsigned: bool) -> bool:
+        """Emit ``left <op> leaf-right`` without expression-stack
+        traffic when the right operand is a small immediate or a
+        register-homed variable.  Returns True on success."""
+        imm = self.leaf_imm(expr.right)
+        reg = self.leaf_reg(expr.right)
+        if imm is None and reg is None:
+            return False
+        # Pointer arithmetic: only constant offsets are folded here.
+        if (lt.is_pointer or rt.is_pointer) and op in ("+", "-"):
+            if not (lt.is_pointer and rt.is_arith and imm is not None):
+                return False
+            scaled = imm * lt.elem_size()
+            if op == "-":
+                scaled = -scaled
+            if not -0x8000 <= scaled <= 0x7FFF:
+                return False
+            self.gen_expr(expr.left)
+            if scaled:
+                self.op(f"addik {_ACC}, {_ACC}, {scaled}")
+            return True
+        if lt.is_pointer or rt.is_pointer:
+            if op not in ("==", "!=", "<", "<=", ">", ">="):
+                return False
+        if op == "-" and imm == -0x8000:
+            return False  # negation would overflow the 16-bit field
+
+        self.gen_expr(expr.left)  # left value in r3
+
+        def right_in_reg() -> str:
+            if reg is not None:
+                return reg
+            self.op(f"addik {_LHS}, r0, {imm}")
+            return _LHS
+
+        if op == "+":
+            self.op(f"addk  {_ACC}, {_ACC}, {reg}" if reg is not None
+                    else f"addik {_ACC}, {_ACC}, {imm}")
+        elif op == "-":
+            if reg is not None:
+                self.op(f"rsubk {_ACC}, {reg}, {_ACC}")  # r3 - reg
+            else:
+                self.op(f"addik {_ACC}, {_ACC}, {-imm}")
+        elif op == "*":
+            if self.opts.hw_multiplier:
+                self.op(f"mul   {_ACC}, {_ACC}, {reg}" if reg is not None
+                        else f"muli  {_ACC}, {_ACC}, {imm}")
+            else:
+                self.op(f"addk  r5, {_ACC}, r0")
+                if reg is not None:
+                    self.op(f"addk  r6, {reg}, r0")
+                else:
+                    self.load_imm("r6", imm)  # type: ignore[arg-type]
+                self.op("brlid r15, __mulsi3")
+                self.op("nop")
+        elif op in ("/", "%"):
+            if self.opts.hw_divider and op == "/":
+                divisor = right_in_reg()
+                mnem = "idivu" if unsigned else "idiv"
+                self.op(f"{mnem} {_ACC}, {divisor}, {_ACC}")
+            else:
+                helper = {
+                    ("/", False): "__divsi3",
+                    ("/", True): "__udivsi3",
+                    ("%", False): "__modsi3",
+                    ("%", True): "__umodsi3",
+                }[(op, unsigned)]
+                self.op(f"addk  r5, {_ACC}, r0")
+                if reg is not None:
+                    self.op(f"addk  r6, {reg}, r0")
+                else:
+                    self.load_imm("r6", imm)  # type: ignore[arg-type]
+                self.op(f"brlid r15, {helper}")
+                self.op("nop")
+        elif op in ("&", "|", "^"):
+            mnem_r = {"&": "and", "|": "or", "^": "xor"}[op]
+            mnem_i = {"&": "andi", "|": "ori", "^": "xori"}[op]
+            self.op(f"{mnem_r}   {_ACC}, {_ACC}, {reg}" if reg is not None
+                    else f"{mnem_i}  {_ACC}, {_ACC}, {imm}")
+        elif op in ("<<", ">>"):
+            kind = "sll" if op == "<<" else ("srl" if unsigned else "sra")
+            if reg is None:
+                self.emit_shift_imm(_ACC, _ACC, imm & 31, kind)
+            elif self.opts.hw_barrel_shifter:
+                mnem = {"sll": "bsll", "sra": "bsra", "srl": "bsrl"}[kind]
+                self.op(f"{mnem}  {_ACC}, {_ACC}, {reg}")
+            else:
+                self.emit_shift_reg_call(_ACC, reg, kind)
+        elif op in ("==", "!="):
+            self.op(f"xor   {_ACC}, {_ACC}, {reg}" if reg is not None
+                    else f"xori  {_ACC}, {_ACC}, {imm}")
+            self.op(f"cmpu  {_ACC}, {_ACC}, r0")
+            self.emit_msb_to_acc()
+            if op == "==":
+                self.op(f"xori  {_ACC}, {_ACC}, 1")
+        elif op in ("<", "<=", ">", ">="):
+            rreg = right_in_reg()
+            cmp = "cmpu " if unsigned else "cmp  "
+            if op in ("<", ">="):
+                self.op(f"{cmp} {_ACC}, {rreg}, {_ACC}")  # MSB = right > left
+            else:
+                self.op(f"{cmp} {_ACC}, {_ACC}, {rreg}")  # MSB = left > right
+            self.emit_msb_to_acc()
+            if op in ("<=", ">="):
+                self.op(f"xori  {_ACC}, {_ACC}, 1")
+        else:
+            raise CodegenError(f"unknown binary {op!r}", expr.line)
+        return True
+
+    def gen_logical(self, expr: Binary) -> None:
+        false_l = self.label()
+        true_l = self.label()
+        end = self.label()
+        self.gen_expr(expr.left)
+        if expr.op == "&&":
+            self.op(f"beqi  {_ACC}, {false_l}")
+            self.gen_expr(expr.right)
+            self.op(f"beqi  {_ACC}, {false_l}")
+            self.place_label(true_l)
+            self.load_imm(_ACC, 1)
+            self.op(f"bri   {end}")
+            self.place_label(false_l)
+            self.load_imm(_ACC, 0)
+        else:
+            self.op(f"bnei  {_ACC}, {true_l}")
+            self.gen_expr(expr.right)
+            self.op(f"bnei  {_ACC}, {true_l}")
+            self.load_imm(_ACC, 0)
+            self.op(f"bri   {end}")
+            self.place_label(true_l)
+            self.load_imm(_ACC, 1)
+        self.place_label(end)
+
+    def gen_multiply(self) -> None:
+        if self.opts.hw_multiplier:
+            self.op(f"mul   {_ACC}, {_LHS}, {_ACC}")
+        else:
+            self.op(f"addk  r5, {_LHS}, r0")
+            self.op(f"addk  r6, {_ACC}, r0")
+            self.op("brlid r15, __mulsi3")
+            self.op("nop")
+
+    def gen_divide(self, op: str, unsigned: bool) -> None:
+        if self.opts.hw_divider and op == "/":
+            # idiv rd, ra, rb computes rb / ra (divisor in ra).
+            mnem = "idivu" if unsigned else "idiv"
+            self.op(f"{mnem} {_ACC}, {_ACC}, {_LHS}")
+            return
+        helper = {
+            ("/", False): "__divsi3",
+            ("/", True): "__udivsi3",
+            ("%", False): "__modsi3",
+            ("%", True): "__umodsi3",
+        }[(op, unsigned)]
+        self.op(f"addk  r5, {_LHS}, r0")
+        self.op(f"addk  r6, {_ACC}, r0")
+        self.op(f"brlid r15, {helper}")
+        self.op("nop")
+
+    def _divide_acc_by_const(self, value: int) -> None:
+        if value & (value - 1) == 0:
+            self.emit_shift_imm(_ACC, _ACC, value.bit_length() - 1, "sra")
+        else:
+            self.op(f"addk  r5, {_ACC}, r0")
+            self.load_imm("r6", value)
+            self.op("brlid r15, __divsi3")
+            self.op("nop")
+
+    # ------------------------------------------------------------------
+    def _try_direct_compound(self, expr: Assign, home: str,
+                             need_value: bool) -> bool:
+        """``reg <op>= leaf`` in a single instruction on the home
+        register (plus a move when the value is needed)."""
+        tt = expr.target.ctype.decay()  # type: ignore[union-attr]
+        vt = expr.value.ctype.decay()  # type: ignore[union-attr]
+        if tt.base == "char" or (tt.is_pointer and expr.op in ("+=", "-=")):
+            # char needs masking; pointer steps need scaling — general path.
+            if not (tt.is_pointer and expr.op in ("+=", "-=")
+                    and isinstance(expr.value, Num)):
+                return False
+        unsigned = tt.is_unsigned or vt.is_unsigned
+        imm = self.leaf_imm(expr.value)
+        reg = self.leaf_reg(expr.value)
+        if imm is None and reg is None:
+            return False
+        op = expr.op[:-1]
+        if tt.is_pointer and op in ("+", "-") and imm is not None:
+            imm = imm * tt.elem_size()
+            if not -0x8000 <= imm <= 0x7FFF:
+                return False
+        if op == "+":
+            self.op(f"addk  {home}, {home}, {reg}" if imm is None
+                    else f"addik {home}, {home}, {imm}")
+        elif op == "-":
+            if imm is not None:
+                if imm == -0x8000:
+                    return False
+                self.op(f"addik {home}, {home}, {-imm}")
+            else:
+                self.op(f"rsubk {home}, {reg}, {home}")
+        elif op == "*" and self.opts.hw_multiplier:
+            self.op(f"mul   {home}, {home}, {reg}" if imm is None
+                    else f"muli  {home}, {home}, {imm}")
+        elif op in ("&", "|", "^"):
+            mnem_r = {"&": "and", "|": "or", "^": "xor"}[op]
+            mnem_i = {"&": "andi", "|": "ori", "^": "xori"}[op]
+            self.op(f"{mnem_r}   {home}, {home}, {reg}" if imm is None
+                    else f"{mnem_i}  {home}, {home}, {imm}")
+        elif op in ("<<", ">>"):
+            kind = "sll" if op == "<<" else ("srl" if unsigned else "sra")
+            if imm is not None:
+                self.emit_shift_imm(home, home, imm & 31, kind)
+            elif self.opts.hw_barrel_shifter:
+                mnem = {"sll": "bsll", "sra": "bsra", "srl": "bsrl"}[kind]
+                self.op(f"{mnem}  {home}, {home}, {reg}")
+            else:
+                return False
+        else:
+            return False
+        if need_value:
+            self.op(f"addk  {_ACC}, {home}, r0")
+        return True
+
+    def gen_assign(self, expr: Assign, need_value: bool = True) -> None:
+        target = expr.target
+        assert target.ctype is not None
+        # Register-homed scalar var: operate on the register directly.
+        if isinstance(target, Var):
+            sym = self.unit.sym_for(target)
+            if sym.kind in ("local", "param"):
+                home = self.home(sym)
+                if home.reg is not None:
+                    if expr.op != "=" and self._try_direct_compound(
+                        expr, f"r{home.reg}", need_value
+                    ):
+                        return
+                    self.gen_expr(expr.value)
+                    if expr.op != "=":
+                        self._apply_compound(expr, f"r{home.reg}")
+                    self.store_to_home(sym, home)
+                    # r3 already holds the assigned value.
+                    return
+        # Memory lvalue addressable without setup code: value straight
+        # into a base+offset store, no expression-stack traffic.
+        ao = self.addr_operand(target)
+        if ao is not None:
+            base, off = ao
+            self.gen_expr(expr.value)
+            if expr.op != "=":
+                self.load_via(base, off, target.ctype, dst=_LHS)
+                self._apply_compound(expr, _LHS)
+            self.store_via(base, off, target.ctype)
+            return
+        # General memory lvalue.
+        self.gen_addr(target)
+        self.push()
+        self.gen_expr(expr.value)
+        if expr.op != "=":
+            # load old value from the saved address
+            self.op(f"lwi   {_ADR}, r1, 0")
+            is_byte = target.ctype.sizeof() == 1 and target.ctype.is_arith
+            self.op(("lbui" if is_byte else "lwi") + f"  {_LHS}, {_ADR}, 0")
+            self._apply_compound(expr, _LHS)
+        self.pop(_ADR)
+        is_byte = target.ctype.sizeof() == 1 and target.ctype.is_arith
+        self.op(("sbi" if is_byte else "swi") + f"   {_ACC}, {_ADR}, 0")
+
+    def _apply_compound(self, expr: Assign, old_reg: str) -> None:
+        """r3 = old_reg <op> r3 for compound assignments."""
+        op = expr.op[:-1]
+        tt = expr.target.ctype.decay()  # type: ignore[union-attr]
+        vt = expr.value.ctype.decay()  # type: ignore[union-attr]
+        unsigned = tt.is_unsigned or vt.is_unsigned or tt.is_pointer
+        if tt.is_pointer and op in ("+", "-"):
+            self.scale_acc(tt.elem_size())
+        if op == "+":
+            self.op(f"addk  {_ACC}, {old_reg}, {_ACC}")
+        elif op == "-":
+            self.op(f"rsubk {_ACC}, {_ACC}, {old_reg}")
+        elif op == "*":
+            if old_reg != _LHS:
+                self.op(f"addk  {_LHS}, {old_reg}, r0")
+            self.gen_multiply()
+        elif op in ("/", "%"):
+            if old_reg != _LHS:
+                self.op(f"addk  {_LHS}, {old_reg}, r0")
+            self.gen_divide(op, unsigned)
+        elif op == "&":
+            self.op(f"and   {_ACC}, {old_reg}, {_ACC}")
+        elif op == "|":
+            self.op(f"or    {_ACC}, {old_reg}, {_ACC}")
+        elif op == "^":
+            self.op(f"xor   {_ACC}, {old_reg}, {_ACC}")
+        elif op in ("<<", ">>"):
+            kind = "sll" if op == "<<" else ("srl" if unsigned else "sra")
+            if self.opts.hw_barrel_shifter:
+                mnem = {"sll": "bsll", "sra": "bsra", "srl": "bsrl"}[kind]
+                self.op(f"{mnem}  {_ACC}, {old_reg}, {_ACC}")
+            else:
+                self.emit_shift_reg_call(old_reg, _ACC, kind)
+        else:  # pragma: no cover
+            raise CodegenError(f"unknown compound op {expr.op!r}", expr.line)
+
+    # ------------------------------------------------------------------
+    def gen_call(self, expr: Call) -> None:
+        builtin = BUILTINS.get(expr.name)
+        if builtin is not None:
+            self.gen_builtin(expr)
+            return
+        if len(expr.args) > 6:  # pragma: no cover - sema guarantees
+            raise CodegenError("too many arguments", expr.line)
+        for arg in expr.args:
+            self.gen_expr(arg)
+            self.push()
+        for i in reversed(range(len(expr.args))):
+            self.pop(f"r{5 + i}")
+        self.op(f"brlid r15, {expr.name}")
+        self.op("nop")
+
+    def gen_builtin(self, expr: Call) -> None:
+        name = expr.name
+        if name in ("putfsl", "nputfsl", "cputfsl", "ncputfsl"):
+            channel = expr.args[1]
+            assert isinstance(channel, Num)
+            self.gen_expr(expr.args[0])
+            mnem = {"putfsl": "put", "nputfsl": "nput",
+                    "cputfsl": "cput", "ncputfsl": "ncput"}[name]
+            self.op(f"{mnem}   {_ACC}, rfsl{channel.value}")
+            return
+        if name in ("getfsl", "ngetfsl", "cgetfsl", "ncgetfsl"):
+            channel = expr.args[0]
+            assert isinstance(channel, Num)
+            mnem = {"getfsl": "get", "ngetfsl": "nget",
+                    "cgetfsl": "cget", "ncgetfsl": "ncget"}[name]
+            self.op(f"{mnem}   {_ACC}, rfsl{channel.value}")
+            return
+        if name == "fsl_isinvalid":
+            self.op(f"addc  {_ACC}, r0, r0")  # r3 = carry flag
+            return
+        if name == "__builtin_putchar":
+            self.gen_expr(expr.args[0])
+            self.op(f"addk  r5, {_ACC}, r0")
+            self.op("brlid r15, __putchar")
+            self.op("nop")
+            return
+        if name == "__builtin_exit":
+            self.gen_expr(expr.args[0])
+            self.op(f"addk  r5, {_ACC}, r0")
+            self.op("brlid r15, __exit")
+            self.op("nop")
+            return
+        raise CodegenError(f"unknown builtin {name!r}", expr.line)  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# Unit-level generation
+# ----------------------------------------------------------------------
+def generate(unit_info: UnitInfo, opts: CodegenOptions | None = None) -> str:
+    """Generate MB32 assembly text for an analyzed translation unit."""
+    opts = opts or CodegenOptions()
+    out: list[str] = ["    .text"]
+
+    # String literal labels.
+    string_labels: dict[int, str] = {}
+    for i, lit in enumerate(unit_info.strings):
+        string_labels[id(lit)] = f"__str{i}"
+
+    for info in unit_info.functions.values():
+        FunctionEmitter(unit_info, info, opts, out, string_labels).emit_function()
+
+    # Globals.
+    data_lines: list[str] = []
+    bss_lines: list[str] = []
+    for sym in unit_info.globals:
+        decl = sym.decl
+        assert decl is not None
+        if decl.init is None:
+            size = (sym.ctype.sizeof() + 3) & ~3
+            bss_lines.append(f"{sym.label}:")
+            bss_lines.append(f"    .space {size}")
+            continue
+        data_lines.append(f"    .align 4")
+        data_lines.append(f"{sym.label}:")
+        data_lines.extend(_emit_init(sym.ctype, decl.init, string_labels))
+    for i, lit in enumerate(unit_info.strings):
+        data_lines.append(f"__str{i}:")
+        data_lines.append(f'    .asciz "{_escape(lit.value)}"')
+
+    if data_lines:
+        out.append("")
+        out.append("    .data")
+        out.extend(data_lines)
+    if bss_lines:
+        out.append("")
+        out.append("    .bss")
+        out.extend(bss_lines)
+    out.append("")
+    return "\n".join(out)
+
+
+def _emit_init(ctype: CType, init, string_labels: dict[int, str]) -> list[str]:
+    lines: list[str] = []
+    if isinstance(init, list):
+        flat: list = []
+        _flatten(init, flat)
+        elem = ctype.decay().elem_size()
+        word = ".byte" if elem == 1 else ".word"
+        for item in flat:
+            lines.extend(_emit_scalar_init(word, item, string_labels))
+        total = ctype.sizeof() // elem
+        missing = total - len(flat)
+        if missing > 0:
+            lines.append(f"    .space {missing * elem}")
+        return lines
+    word = ".byte" if (ctype.sizeof() == 1 and ctype.is_arith) else ".word"
+    lines.extend(_emit_scalar_init(word, init, string_labels))
+    return lines
+
+
+def _emit_scalar_init(word: str, item, string_labels: dict[int, str]) -> list[str]:
+    if isinstance(item, Num):
+        return [f"    {word} {item.value}"]
+    if isinstance(item, StrLit):
+        return [f"    {word} {string_labels[id(item)]}"]
+    raise CodegenError("non-constant global initializer", getattr(item, "line", 0))
+
+
+def _flatten(init: list, out: list) -> None:
+    for item in init:
+        if isinstance(item, list):
+            _flatten(item, out)
+        else:
+            out.append(item)
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\t", "\\t")
+        .replace("\r", "\\r")
+        .replace("\0", "\\0")
+    )

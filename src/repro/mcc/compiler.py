@@ -1,0 +1,101 @@
+"""Compiler driver: mini-C source → MB32 assembly → linked Program."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm import assemble, link, Program
+from repro.mcc.codegen import CodegenOptions, generate
+from repro.mcc.parser import parse
+from repro.mcc.sema import analyze
+
+
+@dataclass
+class CompileOptions:
+    """End-to-end compilation options.
+
+    ``hw_multiplier``/``hw_divider`` must match the CPU configuration
+    the program will run on (:class:`repro.iss.cpu.CPUConfig`) — they
+    select between hardware instructions and the soft runtime, the same
+    way ``mb-gcc`` selects based on the MicroBlaze build options.
+
+    ``memory_size=None`` (the default) sizes the BRAM automatically:
+    program image + .bss + stack, rounded up to whole 2 KB BRAMs —
+    matching how EDK sizes the LMB memory for a linked executable.
+    """
+
+    hw_multiplier: bool = True
+    hw_divider: bool = False
+    hw_barrel_shifter: bool = True
+    register_locals: bool = True
+    memory_size: int | None = None
+    stack_size: int = 4096
+
+    def codegen(self) -> CodegenOptions:
+        return CodegenOptions(
+            hw_multiplier=self.hw_multiplier,
+            hw_divider=self.hw_divider,
+            hw_barrel_shifter=self.hw_barrel_shifter,
+            register_locals=self.register_locals,
+        )
+
+
+def compile_c(source: str, options: CompileOptions | None = None) -> str:
+    """Compile mini-C ``source`` to MB32 assembly text."""
+    options = options or CompileOptions()
+    unit = parse(source)
+    info = analyze(unit)
+    return generate(info, options.codegen())
+
+
+def build_executable(
+    source: str,
+    options: CompileOptions | None = None,
+    extra_asm: list[str] | None = None,
+) -> Program:
+    """Compile, assemble and link ``source`` with the runtime.
+
+    ``extra_asm`` allows linking additional hand-written assembly
+    modules (e.g. cycle-tuned kernels).  Returns a loadable
+    :class:`~repro.asm.linker.Program`.
+    """
+    from repro.mcc.runtime import crt0_source, runtime_library_source
+
+    options = options or CompileOptions()
+    asm_text = compile_c(source, options)
+
+    def link_with(stack_top: int):
+        modules = [
+            assemble(crt0_source(stack_top), name="crt0"),
+            assemble(asm_text, name="user"),
+            assemble(
+                runtime_library_source(
+                    include_soft_multiply=not options.hw_multiplier,
+                    include_soft_shift=not options.hw_barrel_shifter,
+                ),
+                name="runtime",
+            ),
+        ]
+        for i, text in enumerate(extra_asm or []):
+            modules.append(assemble(text, name=f"extra{i}"))
+        return link(modules, entry_symbol="_start", stack_size=options.stack_size)
+
+    if options.memory_size is None:
+        # Auto-size: link once to learn the footprint, round image +
+        # bss + stack up to whole BRAMs, then relink with the real
+        # stack top.  The image size does not depend on the stack-top
+        # constant (the imm prefix is always reserved for `li`).
+        probe = link_with(0x10000)
+        needed = probe.footprint + options.stack_size
+        memory_size = -(-needed // 2048) * 2048
+    else:
+        memory_size = options.memory_size
+
+    program = link_with(memory_size & ~7)
+    program.memory_size = memory_size
+    if program.footprint + options.stack_size > memory_size:
+        raise ValueError(
+            f"program footprint {program.footprint} + stack does not fit "
+            f"in {memory_size} bytes of BRAM"
+        )
+    return program

@@ -1,0 +1,29 @@
+"""Diagnostics for the mini-C compiler."""
+
+from __future__ import annotations
+
+
+class MccError(Exception):
+    """Base class for all compiler diagnostics."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        location = f"{line}:{col}: " if line else ""
+        super().__init__(f"{location}{message}")
+        self.line = line
+        self.col = col
+
+
+class LexError(MccError):
+    """Invalid character or malformed literal."""
+
+
+class ParseError(MccError):
+    """Syntax error."""
+
+
+class SemaError(MccError):
+    """Type or semantic error."""
+
+
+class CodegenError(MccError):
+    """Internal code-generation failure (compiler bug guard)."""

@@ -1,0 +1,122 @@
+"""Tokenizer for the mini-C language."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.mcc.errors import LexError
+
+KEYWORDS = {
+    "int",
+    "unsigned",
+    "char",
+    "void",
+    "if",
+    "else",
+    "while",
+    "for",
+    "do",
+    "return",
+    "break",
+    "continue",
+    "const",
+    "static",
+    "sizeof",
+}
+
+# Longest-match-first operator list.
+OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+]
+
+_TOKEN_SPEC = [
+    ("comment", r"//[^\n]*|/\*.*?\*/"),
+    ("ws", r"[ \t\r\n]+"),
+    ("num", r"0[xX][0-9a-fA-F]+|0[bB][01]+|\d+"),
+    ("char", r"'(?:\\.|[^'\\])'"),
+    ("string", r'"(?:\\.|[^"\\])*"'),
+    ("ident", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("op", "|".join(re.escape(op) for op in OPERATORS)),
+]
+_MASTER_RE = re.compile(
+    "|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC),
+    re.DOTALL,
+)
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "0": "\0",
+    "'": "'", '"': '"', "\\": "\\",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'num', 'char', 'string', 'ident', 'kw', 'op', 'eof'
+    text: str
+    line: int
+    col: int
+    value: int = 0  # numeric value for 'num'/'char'
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+def _unescape(body: str, line: int, col: int) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\":
+            i += 1
+            esc = _ESCAPES.get(body[i]) if i < len(body) else None
+            if esc is None:
+                raise LexError(f"unknown escape sequence in literal", line, col)
+            out.append(esc)
+        else:
+            out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; returns tokens ending with an ``eof`` token."""
+    tokens: list[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    n = len(source)
+    while pos < n:
+        m = _MASTER_RE.match(source, pos)
+        if m is None:
+            col = pos - line_start + 1
+            raise LexError(f"unexpected character {source[pos]!r}", line, col)
+        kind = m.lastgroup
+        text = m.group()
+        col = pos - line_start + 1
+        if kind in ("ws", "comment"):
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = pos + text.rindex("\n") + 1
+        elif kind == "num":
+            tokens.append(Token("num", text, line, col, value=int(text, 0)))
+        elif kind == "char":
+            body = _unescape(text[1:-1], line, col)
+            if len(body) != 1:
+                raise LexError("character literal must be one character", line, col)
+            tokens.append(Token("char", text, line, col, value=ord(body)))
+        elif kind == "string":
+            tokens.append(Token("string", _unescape(text[1:-1], line, col), line, col))
+        elif kind == "ident":
+            tok_kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(tok_kind, text, line, col))
+        else:  # op
+            tokens.append(Token("op", text, line, col))
+        pos = m.end()
+    tokens.append(Token("eof", "", line, pos - line_start + 1))
+    return tokens

@@ -1,0 +1,440 @@
+"""Recursive-descent parser for mini-C."""
+
+from __future__ import annotations
+
+from repro.mcc.errors import ParseError
+from repro.mcc.lexer import Token, tokenize
+from repro.mcc.tree import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    Cast,
+    Cond,
+    Continue,
+    CType,
+    DoWhile,
+    Expr,
+    ExprStmt,
+    For,
+    FuncDef,
+    If,
+    Index,
+    Num,
+    Param,
+    Return,
+    SizeofType,
+    Stmt,
+    StrLit,
+    TranslationUnit,
+    Unary,
+    Var,
+    VarDecl,
+    While,
+)
+
+_TYPE_KEYWORDS = {"int", "unsigned", "char", "void", "const", "static"}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+# Binary precedence levels, loosest first.
+_BINARY_LEVELS = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.toks = tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def peek(self, ahead: int = 0) -> Token:
+        idx = min(self.pos + ahead, len(self.toks) - 1)
+        return self.toks[idx]
+
+    def next(self) -> Token:
+        tok = self.toks[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.at(kind, text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.peek()
+        if not self.at(kind, text):
+            expected = text or kind
+            raise ParseError(
+                f"expected {expected!r}, got {tok.text or tok.kind!r}",
+                tok.line,
+                tok.col,
+            )
+        return self.next()
+
+    def _at_type(self) -> bool:
+        tok = self.peek()
+        return tok.kind == "kw" and tok.text in _TYPE_KEYWORDS
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def parse(self) -> TranslationUnit:
+        unit = TranslationUnit()
+        while not self.at("eof"):
+            unit.decls.extend(self._external_decl())
+        return unit
+
+    def _external_decl(self) -> list:
+        line = self.peek().line
+        is_static, is_const, base = self._type_spec()
+        ptr = self._pointer_suffix()
+        name_tok = self.expect("ident")
+        if self.at("op", "("):
+            func = self._function_rest(base, ptr, name_tok.text, line)
+            return [func] if func else []
+        decls = self._var_declarators(base, ptr, name_tok.text, line,
+                                      is_global=True, is_static=is_static,
+                                      is_const=is_const)
+        self.expect("op", ";")
+        return decls
+
+    def _type_spec(self) -> tuple[bool, bool, str]:
+        is_static = bool(self.accept("kw", "static"))
+        is_const = bool(self.accept("kw", "const"))
+        if not is_static:
+            is_static = bool(self.accept("kw", "static"))
+        tok = self.peek()
+        if tok.kind != "kw" or tok.text not in ("int", "unsigned", "char", "void"):
+            raise ParseError(f"expected a type, got {tok.text!r}", tok.line, tok.col)
+        self.next()
+        base = tok.text
+        if base == "unsigned":
+            self.accept("kw", "int")  # 'unsigned int' == 'unsigned'
+        if self.accept("kw", "const"):
+            is_const = True
+        return is_static, is_const, base
+
+    def _pointer_suffix(self) -> int:
+        ptr = 0
+        while self.accept("op", "*"):
+            ptr += 1
+        return ptr
+
+    def _array_dims(self) -> tuple[int, ...]:
+        dims: list[int] = []
+        while self.accept("op", "["):
+            tok = self.expect("num")
+            if tok.value <= 0:
+                raise ParseError("array dimension must be positive", tok.line, tok.col)
+            dims.append(tok.value)
+            self.expect("op", "]")
+        return tuple(dims)
+
+    # ------------------------------------------------------------------
+    # Functions
+    # ------------------------------------------------------------------
+    def _function_rest(self, base: str, ptr: int, name: str, line: int):
+        self.expect("op", "(")
+        params: list[Param] = []
+        if self.accept("kw", "void") and self.at("op", ")"):
+            pass
+        elif not self.at("op", ")"):
+            while True:
+                pline = self.peek().line
+                _, _, pbase = self._type_spec()
+                pptr = self._pointer_suffix()
+                pname = self.expect("ident").text
+                if self.accept("op", "["):
+                    # array parameter decays to pointer
+                    self.accept("num")
+                    self.expect("op", "]")
+                    pptr += 1
+                params.append(Param(pname, CType(pbase, pptr), pline))
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        ret = CType(base, ptr)
+        if self.accept("op", ";"):
+            return FuncDef(name, ret, params, body=None, line=line)
+        body = self._block()
+        return FuncDef(name, ret, params, body=body, line=line)
+
+    # ------------------------------------------------------------------
+    # Variable declarations
+    # ------------------------------------------------------------------
+    def _var_declarators(
+        self, base, ptr, first_name, line, *, is_global, is_static, is_const
+    ) -> list[VarDecl]:
+        decls: list[VarDecl] = []
+        name = first_name
+        while True:
+            dims = self._array_dims()
+            ctype = CType(base, ptr, dims)
+            init = None
+            if self.accept("op", "="):
+                init = self._initializer()
+            decls.append(
+                VarDecl(
+                    line=line,
+                    name=name,
+                    ctype=ctype,
+                    init=init,
+                    is_global=is_global,
+                    is_static=is_static,
+                    is_const=is_const,
+                )
+            )
+            if not self.accept("op", ","):
+                break
+            ptr = self._pointer_suffix()
+            name = self.expect("ident").text
+        return decls
+
+    def _initializer(self):
+        if self.accept("op", "{"):
+            items = []
+            if not self.at("op", "}"):
+                while True:
+                    items.append(self._initializer())
+                    if not self.accept("op", ","):
+                        break
+                    if self.at("op", "}"):  # trailing comma
+                        break
+            self.expect("op", "}")
+            return items
+        return self._assignment()
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _block(self) -> Block:
+        open_tok = self.expect("op", "{")
+        block = Block(line=open_tok.line)
+        while not self.at("op", "}"):
+            if self.at("eof"):
+                raise ParseError("unexpected end of file in block",
+                                 open_tok.line, open_tok.col)
+            block.stmts.extend(self._block_item())
+        self.expect("op", "}")
+        return block
+
+    def _block_item(self) -> list:
+        if self._at_type():
+            line = self.peek().line
+            is_static, is_const, base = self._type_spec()
+            ptr = self._pointer_suffix()
+            name = self.expect("ident").text
+            decls = self._var_declarators(base, ptr, name, line,
+                                          is_global=False, is_static=is_static,
+                                          is_const=is_const)
+            self.expect("op", ";")
+            return decls
+        return [self._statement()]
+
+    def _statement(self) -> Stmt:
+        tok = self.peek()
+        if self.at("op", "{"):
+            return self._block()
+        if self.at("kw", "if"):
+            self.next()
+            self.expect("op", "(")
+            cond = self._expression()
+            self.expect("op", ")")
+            then = self._statement()
+            els = self._statement() if self.accept("kw", "else") else None
+            return If(line=tok.line, cond=cond, then=then, els=els)
+        if self.at("kw", "while"):
+            self.next()
+            self.expect("op", "(")
+            cond = self._expression()
+            self.expect("op", ")")
+            return While(line=tok.line, cond=cond, body=self._statement())
+        if self.at("kw", "do"):
+            self.next()
+            body = self._statement()
+            self.expect("kw", "while")
+            self.expect("op", "(")
+            cond = self._expression()
+            self.expect("op", ")")
+            self.expect("op", ";")
+            return DoWhile(line=tok.line, body=body, cond=cond)
+        if self.at("kw", "for"):
+            self.next()
+            self.expect("op", "(")
+            init = None
+            if not self.at("op", ";"):
+                if self._at_type():
+                    items = self._block_item_for_init()
+                    init = items
+                else:
+                    init = ExprStmt(line=tok.line, expr=self._expression())
+                    self.expect("op", ";")
+            else:
+                self.next()
+            cond = None if self.at("op", ";") else self._expression()
+            self.expect("op", ";")
+            step = None if self.at("op", ")") else self._expression()
+            self.expect("op", ")")
+            return For(line=tok.line, init=init, cond=cond, step=step,
+                       body=self._statement())
+        if self.at("kw", "return"):
+            self.next()
+            expr = None if self.at("op", ";") else self._expression()
+            self.expect("op", ";")
+            return Return(line=tok.line, expr=expr)
+        if self.at("kw", "break"):
+            self.next()
+            self.expect("op", ";")
+            return Break(line=tok.line)
+        if self.at("kw", "continue"):
+            self.next()
+            self.expect("op", ";")
+            return Continue(line=tok.line)
+        if self.accept("op", ";"):
+            return Block(line=tok.line)  # empty statement
+        expr = self._expression()
+        self.expect("op", ";")
+        return ExprStmt(line=tok.line, expr=expr)
+
+    def _block_item_for_init(self):
+        """Declarations in a for-init clause."""
+        line = self.peek().line
+        is_static, is_const, base = self._type_spec()
+        ptr = self._pointer_suffix()
+        name = self.expect("ident").text
+        decls = self._var_declarators(base, ptr, name, line,
+                                      is_global=False, is_static=is_static,
+                                      is_const=is_const)
+        self.expect("op", ";")
+        return decls
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _expression(self) -> Expr:
+        # comma operator not supported; assignment is the top level
+        return self._assignment()
+
+    def _assignment(self) -> Expr:
+        left = self._ternary()
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in _ASSIGN_OPS:
+            self.next()
+            value = self._assignment()
+            return Assign(line=tok.line, op=tok.text, target=left, value=value)
+        return left
+
+    def _ternary(self) -> Expr:
+        cond = self._binary(0)
+        if self.at("op", "?"):
+            tok = self.next()
+            then = self._assignment()
+            self.expect("op", ":")
+            els = self._ternary()
+            return Cond(line=tok.line, cond=cond, then=then, els=els)
+        return cond
+
+    def _binary(self, level: int) -> Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._unary()
+        ops = _BINARY_LEVELS[level]
+        left = self._binary(level + 1)
+        while self.peek().kind == "op" and self.peek().text in ops:
+            tok = self.next()
+            right = self._binary(level + 1)
+            left = Binary(line=tok.line, op=tok.text, left=left, right=right)
+        return left
+
+    def _unary(self) -> Expr:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("-", "~", "!", "*", "&"):
+            self.next()
+            return Unary(line=tok.line, op=tok.text, operand=self._unary())
+        if tok.kind == "op" and tok.text in ("++", "--"):
+            self.next()
+            return Unary(line=tok.line, op=tok.text + "pre", operand=self._unary())
+        if tok.kind == "kw" and tok.text == "sizeof":
+            self.next()
+            if self.at("op", "(") and self.peek(1).kind == "kw" and \
+                    self.peek(1).text in ("int", "unsigned", "char", "void"):
+                self.expect("op", "(")
+                _, _, base = self._type_spec()
+                ptr = self._pointer_suffix()
+                self.expect("op", ")")
+                return SizeofType(line=tok.line, of=CType(base, ptr))
+            operand = self._unary()
+            return Unary(line=tok.line, op="sizeof", operand=operand)
+        # cast: '(' type ')' unary
+        if tok.kind == "op" and tok.text == "(" and self.peek(1).kind == "kw" and \
+                self.peek(1).text in ("int", "unsigned", "char", "void"):
+            self.next()
+            _, _, base = self._type_spec()
+            ptr = self._pointer_suffix()
+            self.expect("op", ")")
+            return Cast(line=tok.line, to=CType(base, ptr), operand=self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> Expr:
+        expr = self._primary()
+        while True:
+            tok = self.peek()
+            if self.at("op", "["):
+                self.next()
+                index = self._expression()
+                self.expect("op", "]")
+                expr = Index(line=tok.line, base=expr, index=index)
+            elif self.at("op", "(") and isinstance(expr, Var):
+                self.next()
+                args: list[Expr] = []
+                if not self.at("op", ")"):
+                    while True:
+                        args.append(self._assignment())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                expr = Call(line=tok.line, name=expr.name, args=args)
+            elif self.at("op", "++") or self.at("op", "--"):
+                self.next()
+                expr = Unary(line=tok.line, op=tok.text + "post", operand=expr)
+            else:
+                return expr
+
+    def _primary(self) -> Expr:
+        tok = self.next()
+        if tok.kind == "num" or tok.kind == "char":
+            return Num(line=tok.line, value=tok.value)
+        if tok.kind == "string":
+            return StrLit(line=tok.line, value=tok.text)
+        if tok.kind == "ident":
+            return Var(line=tok.line, name=tok.text)
+        if tok.kind == "op" and tok.text == "(":
+            expr = self._expression()
+            self.expect("op", ")")
+            return expr
+        raise ParseError(f"unexpected token {tok.text or tok.kind!r}",
+                         tok.line, tok.col)
+
+
+def parse(source: str) -> TranslationUnit:
+    """Parse mini-C ``source`` into a :class:`TranslationUnit`."""
+    return Parser(source).parse()

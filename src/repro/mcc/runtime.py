@@ -1,0 +1,226 @@
+"""MB32 runtime library: startup code and arithmetic helpers.
+
+``crt0`` initializes the stack pointer, calls ``main`` and reports its
+return value to the debug exit device (the board-less substitute for
+halting a JTAG session).  The library provides software multiply,
+divide and modulo for processor configurations without the optional
+hardware units — the same lowering ``mb-gcc`` applies via libgcc's
+``__mulsi3``/``__divsi3`` on a MicroBlaze built without those units.
+"""
+
+from __future__ import annotations
+
+from repro.iss.memory import CONSOLE_ADDR, EXIT_ADDR
+
+
+def crt0_source(stack_top: int) -> str:
+    """Startup code with the stack pointer set to ``stack_top``."""
+    return f"""
+    .text
+    .global _start
+_start:
+    li      r1, {stack_top}         # stack grows down from the top of BRAM
+    brlid   r15, main
+    nop                             # delay slot
+    # r3 = main's return value; report it to the exit device.
+    li      r12, {EXIT_ADDR}
+    swi     r3, r12, 0
+_exit_spin:
+    bri     0                       # not reached (exit device halts)
+"""
+
+
+#: putchar via the debug console MMIO register.
+_PUTCHAR_ASM = f"""
+    .text
+    .global __putchar
+__putchar:
+    li      r12, {CONSOLE_ADDR}
+    swi     r5, r12, 0
+    rtsd    r15, 8
+    nop
+"""
+
+#: exit(code) — store to the exit device; never returns.
+_EXIT_ASM = f"""
+    .text
+    .global __exit
+__exit:
+    li      r12, {EXIT_ADDR}
+    swi     r5, r12, 0
+__exit_hang:
+    bri     0
+"""
+
+#: variable shifts for configurations without the barrel shifter:
+#: loop over single-bit shift instructions.  r3 = r5 shifted by r6&31.
+_SOFT_SHIFT_ASM = """
+    .text
+    .global __ashlsi3
+__ashlsi3:
+    andi    r6, r6, 31
+    addk    r3, r5, r0
+    beqi    r6, __ashl_done
+__ashl_loop:
+    addk    r3, r3, r3              # 1-bit left shift
+    addik   r6, r6, -1
+    bnei    r6, __ashl_loop
+__ashl_done:
+    rtsd    r15, 8
+    nop
+
+    .global __ashrsi3
+__ashrsi3:
+    andi    r6, r6, 31
+    addk    r3, r5, r0
+    beqi    r6, __ashr_done
+__ashr_loop:
+    sra     r3, r3
+    addik   r6, r6, -1
+    bnei    r6, __ashr_loop
+__ashr_done:
+    rtsd    r15, 8
+    nop
+
+    .global __lshrsi3
+__lshrsi3:
+    andi    r6, r6, 31
+    addk    r3, r5, r0
+    beqi    r6, __lshr_done
+__lshr_loop:
+    srl     r3, r3
+    addik   r6, r6, -1
+    bnei    r6, __lshr_loop
+__lshr_done:
+    rtsd    r15, 8
+    nop
+"""
+
+#: unsigned 32x32 multiply (shift-add), for no-multiplier configs.
+#: r3 = r5 * r6.  Clobbers r11, r12.
+_MULSI3_ASM = """
+    .text
+    .global __mulsi3
+__mulsi3:
+    addik   r3, r0, 0
+__mul_loop:
+    andi    r11, r6, 1
+    beqi    r11, __mul_skip
+    addk    r3, r3, r5
+__mul_skip:
+    addk    r5, r5, r5              # multiplicand <<= 1
+    srl     r6, r6                  # multiplier  >>= 1
+    bnei    r6, __mul_loop
+    rtsd    r15, 8
+    nop
+"""
+
+#: unsigned divide core: r3 = r5 / r6, r4 = r5 % r6.
+#: Classic 32-step restoring division.  Clobbers r11, r12.
+_UDIV_CORE_ASM = """
+    .text
+    .global __udivmodsi4
+__udivmodsi4:
+    addik   r3, r0, 0               # quotient
+    addik   r4, r0, 0               # remainder
+    beqi    r6, __udiv_done         # divide by zero -> q=0, r=0
+    addik   r11, r0, 32             # bit counter
+__udiv_loop:
+    add     r4, r4, r4              # remainder <<= 1 (carry discarded)
+    add     r5, r5, r5              # dividend <<= 1, carry = old MSB
+    addc    r4, r4, r0              # remainder |= carry
+    add     r3, r3, r3              # quotient <<= 1
+    cmpu    r12, r6, r4             # MSB(r12) = (r6 > r4) unsigned
+    blti    r12, __udiv_next        # divisor greater -> no subtract
+    rsubk   r4, r6, r4              # remainder -= divisor
+    ori     r3, r3, 1               # quotient |= 1
+__udiv_next:
+    addik   r11, r11, -1
+    bnei    r11, __udiv_loop
+__udiv_done:
+    rtsd    r15, 8
+    nop
+
+    .global __udivsi3
+__udivsi3:
+    brid    __udivmodsi4            # tail call; result already in r3
+    nop
+
+    .global __umodsi3
+__umodsi3:
+    addik   r1, r1, -8
+    swi     r15, r1, 0
+    brlid   r15, __udivmodsi4
+    nop
+    addk    r3, r4, r0              # return the remainder
+    lwi     r15, r1, 0
+    rtsd    r15, 8
+    addik   r1, r1, 8               # delay slot
+"""
+
+#: signed divide/modulo wrappers over the unsigned core.
+#: C semantics: quotient truncates toward zero; remainder takes the
+#: sign of the dividend.
+_SDIV_ASM = """
+    .text
+    .global __divsi3
+__divsi3:
+    addik   r1, r1, -12
+    swi     r15, r1, 0
+    xor     r11, r5, r6             # sign of the quotient
+    swi     r11, r1, 4
+    bgei    r5, __div_absn
+    rsubk   r5, r5, r0              # r5 = -r5
+__div_absn:
+    bgei    r6, __div_absd
+    rsubk   r6, r6, r0
+__div_absd:
+    brlid   r15, __udivmodsi4
+    nop
+    lwi     r11, r1, 4
+    bgei    r11, __div_pos
+    rsubk   r3, r3, r0              # negate quotient
+__div_pos:
+    lwi     r15, r1, 0
+    rtsd    r15, 8
+    addik   r1, r1, 12              # delay slot
+
+    .global __modsi3
+__modsi3:
+    addik   r1, r1, -12
+    swi     r15, r1, 0
+    swi     r5, r1, 4               # sign of remainder = sign of dividend
+    bgei    r5, __mod_absn
+    rsubk   r5, r5, r0
+__mod_absn:
+    bgei    r6, __mod_absd
+    rsubk   r6, r6, r0
+__mod_absd:
+    brlid   r15, __udivmodsi4
+    nop
+    addk    r3, r4, r0              # remainder
+    lwi     r11, r1, 4
+    bgei    r11, __mod_pos
+    rsubk   r3, r3, r0
+__mod_pos:
+    lwi     r15, r1, 0
+    rtsd    r15, 8
+    addik   r1, r1, 12              # delay slot
+"""
+
+
+def runtime_library_source(include_soft_multiply: bool = False,
+                           include_soft_shift: bool = False) -> str:
+    """Assembly text of the support library.
+
+    ``include_soft_multiply`` adds ``__mulsi3`` for processor
+    configurations without the embedded-multiplier option;
+    ``include_soft_shift`` adds the variable-shift helpers for
+    configurations without the barrel shifter.
+    """
+    parts = [_PUTCHAR_ASM, _EXIT_ASM, _UDIV_CORE_ASM, _SDIV_ASM]
+    if include_soft_multiply:
+        parts.append(_MULSI3_ASM)
+    if include_soft_shift:
+        parts.append(_SOFT_SHIFT_ASM)
+    return "\n".join(parts)

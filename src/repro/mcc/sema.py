@@ -1,0 +1,647 @@
+"""Semantic analysis for mini-C.
+
+Responsibilities:
+
+* build scoped symbol tables; resolve every :class:`Var` to a symbol,
+* type-check and annotate every expression with its :class:`CType`,
+* fold constant expressions (so FSL channel ids, array sizes and the
+  like become plain numbers),
+* mark address-taken locals (they must live in memory, not registers),
+* validate control flow (``break``/``continue`` inside loops, returns),
+* recognize the builtin/intrinsic functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mcc.errors import SemaError
+from repro.mcc.tree import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    Cast,
+    Cond,
+    Continue,
+    CType,
+    CHAR_PTR,
+    DoWhile,
+    Expr,
+    ExprStmt,
+    For,
+    FuncDef,
+    If,
+    Index,
+    INT,
+    Num,
+    Return,
+    SizeofType,
+    StrLit,
+    TranslationUnit,
+    UNSIGNED,
+    Unary,
+    Var,
+    VarDecl,
+    VOID,
+    While,
+)
+
+
+# ----------------------------------------------------------------------
+# Symbols
+# ----------------------------------------------------------------------
+@dataclass
+class Sym:
+    name: str
+    ctype: CType
+    kind: str  # 'global' | 'local' | 'param' | 'func' | 'builtin'
+    decl: Optional[VarDecl] = None
+    addr_taken: bool = False
+    #: unique label for globals/statics; assigned by sema
+    label: str = ""
+    #: for functions: parameter types and return type
+    param_types: tuple[CType, ...] = ()
+    ret: CType = VOID
+
+
+@dataclass
+class BuiltinSpec:
+    name: str
+    ret: CType
+    params: tuple[CType, ...]
+    #: index of the argument that must be a constant FSL channel (0-7)
+    const_channel_arg: int | None = None
+
+
+# FSL intrinsics mirror the Xilinx C macros (blocking/non-blocking ×
+# data/control).  ``fsl_isinvalid`` reads the carry flag set by the
+# preceding non-blocking access.
+BUILTINS: dict[str, BuiltinSpec] = {
+    "putfsl": BuiltinSpec("putfsl", VOID, (INT, INT), const_channel_arg=1),
+    "nputfsl": BuiltinSpec("nputfsl", VOID, (INT, INT), const_channel_arg=1),
+    "cputfsl": BuiltinSpec("cputfsl", VOID, (INT, INT), const_channel_arg=1),
+    "ncputfsl": BuiltinSpec("ncputfsl", VOID, (INT, INT), const_channel_arg=1),
+    "getfsl": BuiltinSpec("getfsl", INT, (INT,), const_channel_arg=0),
+    "ngetfsl": BuiltinSpec("ngetfsl", INT, (INT,), const_channel_arg=0),
+    "cgetfsl": BuiltinSpec("cgetfsl", INT, (INT,), const_channel_arg=0),
+    "ncgetfsl": BuiltinSpec("ncgetfsl", INT, (INT,), const_channel_arg=0),
+    "fsl_isinvalid": BuiltinSpec("fsl_isinvalid", INT, ()),
+    "__builtin_putchar": BuiltinSpec("__builtin_putchar", VOID, (INT,)),
+    "__builtin_exit": BuiltinSpec("__builtin_exit", VOID, (INT,)),
+}
+
+
+class Scope:
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.parent = parent
+        self.names: dict[str, Sym] = {}
+
+    def define(self, sym: Sym, line: int) -> None:
+        if sym.name in self.names:
+            raise SemaError(f"redefinition of {sym.name!r}", line)
+        self.names[sym.name] = sym
+
+    def lookup(self, name: str) -> Sym | None:
+        scope: Scope | None = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+@dataclass
+class FunctionInfo:
+    """Sema results for one function, consumed by the code generator."""
+
+    func: FuncDef
+    locals: list[Sym] = field(default_factory=list)
+    has_calls: bool = False
+
+
+@dataclass
+class UnitInfo:
+    unit: TranslationUnit
+    globals: list[Sym] = field(default_factory=list)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    strings: list[StrLit] = field(default_factory=list)
+    #: Var -> Sym resolution used by codegen
+    resolution: dict[int, Sym] = field(default_factory=dict)
+
+    def sym_for(self, var: Var) -> Sym:
+        return self.resolution[id(var)]
+
+
+def _is_null_ptr_const(expr: Expr) -> bool:
+    return isinstance(expr, Num) and expr.value == 0
+
+
+class Analyzer:
+    def __init__(self) -> None:
+        self.globals = Scope()
+        self.info: UnitInfo | None = None
+        self.current: FunctionInfo | None = None
+        self.loop_depth = 0
+        self._static_counter = 0
+
+    # ------------------------------------------------------------------
+    def analyze(self, unit: TranslationUnit) -> UnitInfo:
+        self.info = UnitInfo(unit)
+        # Pass 1: collect global signatures so forward calls work.
+        for decl in unit.decls:
+            if isinstance(decl, FuncDef):
+                self._declare_function(decl)
+            else:
+                self._declare_global(decl)
+        # Pass 2: bodies.
+        for decl in unit.decls:
+            if isinstance(decl, FuncDef) and decl.body is not None:
+                self._function(decl)
+            elif isinstance(decl, VarDecl):
+                self._global_init(decl)
+        return self.info
+
+    # ------------------------------------------------------------------
+    def _declare_function(self, func: FuncDef) -> None:
+        if func.name in BUILTINS:
+            raise SemaError(f"{func.name!r} is a builtin", func.line)
+        existing = self.globals.lookup(func.name)
+        sig = tuple(p.ctype for p in func.params)
+        if existing is not None:
+            if existing.kind != "func":
+                raise SemaError(f"{func.name!r} redeclared as function", func.line)
+            if existing.param_types != sig or existing.ret != func.ret:
+                raise SemaError(
+                    f"conflicting declaration of {func.name!r}", func.line
+                )
+            return
+        sym = Sym(func.name, func.ret, "func", param_types=sig, ret=func.ret,
+                  label=func.name)
+        self.globals.define(sym, func.line)
+
+    def _declare_global(self, decl: VarDecl) -> None:
+        if decl.ctype.is_void:
+            raise SemaError(f"variable {decl.name!r} has type void", decl.line)
+        label = decl.name
+        if decl.is_static:
+            self._static_counter += 1
+            label = f"{decl.name}__static{self._static_counter}"
+        sym = Sym(decl.name, decl.ctype, "global", decl=decl, label=label)
+        self.globals.define(sym, decl.line)
+        assert self.info is not None
+        self.info.globals.append(sym)
+
+    def _global_init(self, decl: VarDecl) -> None:
+        if decl.init is None:
+            return
+        decl.init = self._fold_initializer(decl, decl.init)
+
+    def _fold_initializer(self, decl: VarDecl, init):
+        """Global initializers must be constant expressions; returns the
+        folded initializer (Num/StrLit leaves)."""
+        if isinstance(init, list):
+            return [self._fold_initializer(decl, item) for item in init]
+        folded = self._expr(init, Scope(self.globals))
+        if not isinstance(folded, (Num, StrLit)):
+            raise SemaError(
+                f"initializer of global {decl.name!r} is not constant", decl.line
+            )
+        return folded
+
+    # ------------------------------------------------------------------
+    def _function(self, func: FuncDef) -> None:
+        assert self.info is not None
+        if func.name in self.info.functions:
+            raise SemaError(f"redefinition of function {func.name!r}", func.line)
+        if len(func.params) > 6:
+            raise SemaError(
+                "more than 6 parameters not supported (registers r5-r10)",
+                func.line,
+            )
+        self.current = FunctionInfo(func)
+        self.info.functions[func.name] = self.current
+        scope = Scope(self.globals)
+        for param in func.params:
+            if param.ctype.is_void:
+                raise SemaError(f"parameter {param.name!r} has type void", param.line)
+            sym = Sym(param.name, param.ctype, "param")
+            scope.define(sym, param.line)
+            self.current.locals.append(sym)
+        assert func.body is not None
+        self._block(func.body, scope)
+        self.current = None
+
+    def _block(self, block: Block, scope: Scope) -> None:
+        inner = Scope(scope)
+        for stmt in block.stmts:
+            self._stmt(stmt, inner)
+
+    def _stmt(self, stmt, scope: Scope) -> None:
+        if isinstance(stmt, VarDecl):
+            self._local_decl(stmt, scope)
+        elif isinstance(stmt, Block):
+            self._block(stmt, scope)
+        elif isinstance(stmt, ExprStmt):
+            stmt.expr = self._expr(stmt.expr, scope)
+        elif isinstance(stmt, If):
+            stmt.cond = self._expr_scalar(stmt.cond, scope)
+            self._stmt(stmt.then, scope)
+            if stmt.els is not None:
+                self._stmt(stmt.els, scope)
+        elif isinstance(stmt, While):
+            stmt.cond = self._expr_scalar(stmt.cond, scope)
+            self.loop_depth += 1
+            self._stmt(stmt.body, scope)
+            self.loop_depth -= 1
+        elif isinstance(stmt, DoWhile):
+            self.loop_depth += 1
+            self._stmt(stmt.body, scope)
+            self.loop_depth -= 1
+            stmt.cond = self._expr_scalar(stmt.cond, scope)
+        elif isinstance(stmt, For):
+            inner = Scope(scope)
+            if stmt.init is not None:
+                if isinstance(stmt.init, list):
+                    for d in stmt.init:
+                        self._stmt(d, inner)
+                else:
+                    self._stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                stmt.cond = self._expr_scalar(stmt.cond, inner)
+            if stmt.step is not None:
+                stmt.step = self._expr(stmt.step, inner)
+            self.loop_depth += 1
+            self._stmt(stmt.body, inner)
+            self.loop_depth -= 1
+        elif isinstance(stmt, Return):
+            assert self.current is not None
+            ret = self.current.func.ret
+            if stmt.expr is None:
+                if not ret.is_void:
+                    raise SemaError("return without a value in non-void function",
+                                    stmt.line)
+            else:
+                if ret.is_void:
+                    raise SemaError("return with a value in void function",
+                                    stmt.line)
+                stmt.expr = self._expr(stmt.expr, scope)
+                self._check_assignable(ret, stmt.expr, stmt.line)
+        elif isinstance(stmt, Break):
+            if self.loop_depth == 0:
+                raise SemaError("break outside a loop", stmt.line)
+        elif isinstance(stmt, Continue):
+            if self.loop_depth == 0:
+                raise SemaError("continue outside a loop", stmt.line)
+        else:  # pragma: no cover
+            raise SemaError(f"unknown statement {type(stmt).__name__}", stmt.line)
+
+    def _local_decl(self, decl: VarDecl, scope: Scope) -> None:
+        assert self.current is not None
+        if decl.ctype.is_void:
+            raise SemaError(f"variable {decl.name!r} has type void", decl.line)
+        if decl.is_static:
+            raise SemaError("static locals not supported", decl.line)
+        sym = Sym(decl.name, decl.ctype, "local", decl=decl)
+        scope.define(sym, decl.line)
+        self.current.locals.append(sym)
+        if decl.init is not None:
+            if isinstance(decl.init, list):
+                if not decl.ctype.is_array:
+                    raise SemaError("brace initializer on non-array", decl.line)
+                flat = _flatten_init(decl.init, decl.line)
+                total = decl.ctype.sizeof() // decl.ctype.decay().elem_size()
+                if len(flat) > total:
+                    raise SemaError("too many initializers", decl.line)
+                decl.init = [self._expr(e, scope) for e in flat]
+                sym.addr_taken = True  # arrays live in memory
+            else:
+                decl.init = self._expr(decl.init, scope)
+                self._check_assignable(decl.ctype.decay(), decl.init, decl.line)
+        if decl.ctype.is_array:
+            sym.addr_taken = True
+
+    # ------------------------------------------------------------------
+    # Expressions: returns the (possibly folded) expression node
+    # ------------------------------------------------------------------
+    def _expr_scalar(self, expr: Expr, scope: Scope) -> Expr:
+        out = self._expr(expr, scope)
+        assert out.ctype is not None
+        if not out.ctype.decay().is_scalar:
+            raise SemaError(f"scalar value required, got {out.ctype}", expr.line)
+        return out
+
+    def _expr(self, expr: Expr, scope: Scope) -> Expr:
+        assert self.info is not None
+        if isinstance(expr, Num):
+            expr.ctype = INT
+            return expr
+        if isinstance(expr, StrLit):
+            expr.ctype = CHAR_PTR
+            self.info.strings.append(expr)
+            return expr
+        if isinstance(expr, SizeofType):
+            return Num(line=expr.line, value=expr.of.sizeof(), ctype=UNSIGNED)
+        if isinstance(expr, Var):
+            sym = scope.lookup(expr.name)
+            if sym is None:
+                raise SemaError(f"undeclared identifier {expr.name!r}", expr.line)
+            if sym.kind == "func":
+                raise SemaError(
+                    f"function {expr.name!r} used as a value", expr.line
+                )
+            self.info.resolution[id(expr)] = sym
+            expr.ctype = sym.ctype
+            return expr
+        if isinstance(expr, Cast):
+            expr.operand = self._expr(expr.operand, scope)
+            if expr.to.is_void:
+                expr.ctype = VOID
+            else:
+                src = expr.operand.ctype.decay()  # type: ignore[union-attr]
+                if not (src.is_scalar and CType(expr.to.base, expr.to.ptr).is_scalar):
+                    raise SemaError(f"invalid cast to {expr.to}", expr.line)
+                expr.ctype = expr.to
+            return expr
+        if isinstance(expr, Unary):
+            return self._unary(expr, scope)
+        if isinstance(expr, Binary):
+            return self._binary(expr, scope)
+        if isinstance(expr, Assign):
+            return self._assign(expr, scope)
+        if isinstance(expr, Cond):
+            expr.cond = self._expr_scalar(expr.cond, scope)
+            expr.then = self._expr(expr.then, scope)
+            expr.els = self._expr(expr.els, scope)
+            t = expr.then.ctype.decay()  # type: ignore[union-attr]
+            f = expr.els.ctype.decay()  # type: ignore[union-attr]
+            expr.ctype = t if t == f else self._arith_result(t, f, expr.line)
+            return expr
+        if isinstance(expr, Index):
+            return self._index(expr, scope)
+        if isinstance(expr, Call):
+            return self._call(expr, scope)
+        raise SemaError(f"unknown expression {type(expr).__name__}",
+                        expr.line)  # pragma: no cover
+
+    def _unary(self, expr: Unary, scope: Scope) -> Expr:
+        op = expr.op
+        expr.operand = self._expr(expr.operand, scope)
+        operand = expr.operand
+        assert operand.ctype is not None
+        if op == "&":
+            if not self._is_lvalue(operand):
+                raise SemaError("& requires an lvalue", expr.line)
+            self._mark_addr_taken(operand)
+            base = operand.ctype
+            expr.ctype = CType(base.base, base.ptr + 1, base.dims[1:]) if \
+                base.dims else CType(base.base, base.ptr + 1)
+            if base.dims:
+                # &arr[i] on the innermost level only; &array is the array addr
+                expr.ctype = CType(base.base, base.ptr + 1)
+            return expr
+        if op == "*":
+            ct = operand.ctype.decay()
+            if not ct.is_pointer:
+                raise SemaError(f"cannot dereference {operand.ctype}", expr.line)
+            expr.ctype = ct.deref()
+            return expr
+        if op in ("++pre", "--pre", "++post", "--post"):
+            if not self._is_lvalue(operand):
+                raise SemaError(f"{op[:2]} requires an lvalue", expr.line)
+            ct = operand.ctype.decay()
+            if not ct.is_scalar or operand.ctype.is_array:
+                raise SemaError(f"{op[:2]} on non-scalar {operand.ctype}", expr.line)
+            expr.ctype = ct
+            return expr
+        if op == "sizeof":
+            return Num(line=expr.line, value=operand.ctype.sizeof(), ctype=UNSIGNED)
+        # arithmetic unaries
+        ct = operand.ctype.decay()
+        if op == "!":
+            if not ct.is_scalar:
+                raise SemaError("! requires a scalar", expr.line)
+            if isinstance(operand, Num):
+                return Num(line=expr.line, value=int(operand.value == 0), ctype=INT)
+            expr.ctype = INT
+            return expr
+        if not ct.is_arith:
+            raise SemaError(f"unary {op} requires arithmetic type", expr.line)
+        if isinstance(operand, Num):
+            val = -operand.value if op == "-" else ~operand.value
+            return Num(line=expr.line, value=val, ctype=INT)
+        expr.ctype = UNSIGNED if ct.is_unsigned else INT
+        return expr
+
+    def _arith_result(self, lt: CType, rt: CType, line: int) -> CType:
+        if not (lt.is_arith and rt.is_arith):
+            raise SemaError(f"invalid operand types {lt} and {rt}", line)
+        return UNSIGNED if (lt.is_unsigned or rt.is_unsigned) else INT
+
+    def _binary(self, expr: Binary, scope: Scope) -> Expr:
+        expr.left = self._expr(expr.left, scope)
+        expr.right = self._expr(expr.right, scope)
+        lt = expr.left.ctype.decay()  # type: ignore[union-attr]
+        rt = expr.right.ctype.decay()  # type: ignore[union-attr]
+        op = expr.op
+
+        # Constant folding.
+        if isinstance(expr.left, Num) and isinstance(expr.right, Num) and \
+                op not in ("&&", "||"):
+            value = _fold_binary(op, expr.left.value, expr.right.value, expr.line)
+            return Num(line=expr.line, value=value, ctype=INT)
+
+        if op in ("&&", "||"):
+            if not (lt.is_scalar and rt.is_scalar):
+                raise SemaError(f"{op} requires scalar operands", expr.line)
+            expr.ctype = INT
+            return expr
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if lt.is_pointer and (rt.is_pointer or _is_null_ptr_const(expr.right)):
+                expr.ctype = INT
+                return expr
+            if rt.is_pointer and _is_null_ptr_const(expr.left):
+                expr.ctype = INT
+                return expr
+            self._arith_result(lt, rt, expr.line)
+            expr.ctype = INT
+            return expr
+        if op == "+":
+            if lt.is_pointer and rt.is_arith:
+                expr.ctype = lt
+                return expr
+            if rt.is_pointer and lt.is_arith:
+                expr.ctype = rt
+                return expr
+        if op == "-":
+            if lt.is_pointer and rt.is_arith:
+                expr.ctype = lt
+                return expr
+            if lt.is_pointer and rt.is_pointer:
+                expr.ctype = INT
+                return expr
+        expr.ctype = self._arith_result(lt, rt, expr.line)
+        return expr
+
+    def _assign(self, expr: Assign, scope: Scope) -> Expr:
+        expr.target = self._expr(expr.target, scope)
+        expr.value = self._expr(expr.value, scope)
+        if not self._is_lvalue(expr.target):
+            raise SemaError("assignment target is not an lvalue", expr.line)
+        tt = expr.target.ctype
+        assert tt is not None
+        if tt.is_array:
+            raise SemaError("cannot assign to an array", expr.line)
+        target_sym = self._lvalue_sym(expr.target)
+        if target_sym is not None and target_sym.decl is not None and \
+                target_sym.decl.is_const:
+            raise SemaError(f"assignment to const {target_sym.name!r}", expr.line)
+        if expr.op == "=":
+            self._check_assignable(tt, expr.value, expr.line)
+        else:
+            base_op = expr.op[:-1]
+            lt = tt.decay()
+            rt = expr.value.ctype.decay()  # type: ignore[union-attr]
+            if base_op in ("+", "-") and lt.is_pointer and rt.is_arith:
+                pass
+            else:
+                self._arith_result(lt, rt, expr.line)
+        expr.ctype = tt
+        return expr
+
+    def _index(self, expr: Index, scope: Scope) -> Expr:
+        expr.base = self._expr(expr.base, scope)
+        expr.index = self._expr(expr.index, scope)
+        bt = expr.base.ctype
+        assert bt is not None
+        it = expr.index.ctype.decay()  # type: ignore[union-attr]
+        if not it.is_arith:
+            raise SemaError("array index must be arithmetic", expr.line)
+        if bt.is_array or bt.decay().is_pointer:
+            expr.ctype = bt.deref() if bt.is_array else bt.decay().deref()
+            return expr
+        raise SemaError(f"cannot index {bt}", expr.line)
+
+    def _call(self, expr: Call, scope: Scope) -> Expr:
+        builtin = BUILTINS.get(expr.name)
+        if builtin is not None:
+            if len(expr.args) != len(builtin.params):
+                raise SemaError(
+                    f"{expr.name} expects {len(builtin.params)} arguments",
+                    expr.line,
+                )
+            expr.args = [self._expr(a, scope) for a in expr.args]
+            if builtin.const_channel_arg is not None:
+                arg = expr.args[builtin.const_channel_arg]
+                if not isinstance(arg, Num) or not 0 <= arg.value <= 7:
+                    raise SemaError(
+                        f"{expr.name}: FSL channel must be a constant 0..7",
+                        expr.line,
+                    )
+            expr.ctype = builtin.ret
+            return expr
+        sym = self.globals.lookup(expr.name)
+        if sym is None or sym.kind != "func":
+            raise SemaError(f"call to undeclared function {expr.name!r}",
+                            expr.line)
+        if len(expr.args) != len(sym.param_types):
+            raise SemaError(
+                f"{expr.name} expects {len(sym.param_types)} arguments, "
+                f"got {len(expr.args)}",
+                expr.line,
+            )
+        expr.args = [self._expr(a, scope) for a in expr.args]
+        for i, (arg, pt) in enumerate(zip(expr.args, sym.param_types)):
+            self._check_assignable(pt, arg, expr.line)
+        if self.current is not None:
+            self.current.has_calls = True
+        expr.ctype = sym.ret
+        return expr
+
+    # ------------------------------------------------------------------
+    def _check_assignable(self, target: CType, value: Expr, line: int) -> None:
+        vt = value.ctype
+        assert vt is not None
+        vt = vt.decay()
+        tt = target.decay()
+        if tt.is_arith and vt.is_arith:
+            return
+        if tt.is_pointer and vt.is_pointer:
+            return  # permissive pointer conversions, like pre-ANSI C
+        if tt.is_pointer and _is_null_ptr_const(value):
+            return
+        if tt.is_pointer and vt.is_arith:
+            raise SemaError(f"cannot assign {vt} to pointer {tt} without a cast",
+                            line)
+        raise SemaError(f"cannot assign {vt} to {tt}", line)
+
+    def _is_lvalue(self, expr: Expr) -> bool:
+        if isinstance(expr, Var):
+            return True
+        if isinstance(expr, Index):
+            return True
+        if isinstance(expr, Unary) and expr.op == "*":
+            return True
+        return False
+
+    def _lvalue_sym(self, expr: Expr) -> Sym | None:
+        assert self.info is not None
+        if isinstance(expr, Var):
+            return self.info.resolution.get(id(expr))
+        return None
+
+    def _mark_addr_taken(self, expr: Expr) -> None:
+        assert self.info is not None
+        if isinstance(expr, Var):
+            sym = self.info.resolution.get(id(expr))
+            if sym is not None:
+                sym.addr_taken = True
+        elif isinstance(expr, Index):
+            self._mark_addr_taken(expr.base)
+        elif isinstance(expr, Unary) and expr.op == "*":
+            pass  # already in memory
+
+
+def _flatten_init(init: list, line: int) -> list:
+    """Flatten nested brace initializers to a flat element list."""
+    out: list = []
+    for item in init:
+        if isinstance(item, list):
+            out.extend(_flatten_init(item, line))
+        else:
+            out.append(item)
+    return out
+
+
+def _fold_binary(op: str, left: int, right: int, line: int) -> int:
+    if op in ("/", "%") and right == 0:
+        raise SemaError("constant division by zero", line)
+    table = {
+        "+": lambda: left + right,
+        "-": lambda: left - right,
+        "*": lambda: left * right,
+        "/": lambda: abs(left) // abs(right) * (1 if (left < 0) == (right < 0) else -1),
+        "%": lambda: left - (abs(left) // abs(right) *
+                             (1 if (left < 0) == (right < 0) else -1)) * right,
+        "<<": lambda: left << (right & 31),
+        ">>": lambda: left >> (right & 31),
+        "&": lambda: left & right,
+        "|": lambda: left | right,
+        "^": lambda: left ^ right,
+        "==": lambda: int(left == right),
+        "!=": lambda: int(left != right),
+        "<": lambda: int(left < right),
+        "<=": lambda: int(left <= right),
+        ">": lambda: int(left > right),
+        ">=": lambda: int(left >= right),
+    }
+    if op not in table:
+        raise SemaError(f"cannot fold operator {op!r}", line)  # pragma: no cover
+    return table[op]()
+
+
+def analyze(unit: TranslationUnit) -> UnitInfo:
+    """Run semantic analysis over ``unit``."""
+    return Analyzer().analyze(unit)

@@ -1,0 +1,267 @@
+"""AST node and type definitions for mini-C."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+# ----------------------------------------------------------------------
+# Types
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CType:
+    """A mini-C type: base type + pointer depth + array dimensions.
+
+    ``dims`` applies to the *outermost* declarator, e.g.
+    ``int a[3][4]`` is ``CType('int', dims=(3, 4))``.
+    """
+
+    base: str  # 'int' | 'unsigned' | 'char' | 'void'
+    ptr: int = 0
+    dims: tuple[int, ...] = ()
+
+    # -- classification -------------------------------------------------
+    @property
+    def is_void(self) -> bool:
+        return self.base == "void" and self.ptr == 0 and not self.dims
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.ptr > 0 and not self.dims
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims)
+
+    @property
+    def is_arith(self) -> bool:
+        return self.base in ("int", "unsigned", "char") and self.ptr == 0 and not self.dims
+
+    @property
+    def is_unsigned(self) -> bool:
+        return self.base == "unsigned" and self.ptr == 0 and not self.dims
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.is_arith or self.is_pointer
+
+    # -- layout -----------------------------------------------------------
+    def elem_size(self) -> int:
+        """Size of the pointed-to / element type."""
+        return self.deref().sizeof()
+
+    def sizeof(self) -> int:
+        if self.dims:
+            n = 1
+            for d in self.dims:
+                n *= d
+            return n * CType(self.base, self.ptr).sizeof()
+        if self.ptr:
+            return 4
+        return {"int": 4, "unsigned": 4, "char": 1, "void": 0}[self.base]
+
+    def deref(self) -> "CType":
+        """Type after one ``*`` or one ``[]``."""
+        if self.dims:
+            return CType(self.base, self.ptr, self.dims[1:])
+        if self.ptr:
+            return CType(self.base, self.ptr - 1)
+        raise ValueError(f"cannot dereference {self}")
+
+    def decay(self) -> "CType":
+        """Array-to-pointer decay."""
+        if self.dims:
+            return CType(self.base, self.ptr + 1, self.dims[1:])
+        return self
+
+    def __str__(self) -> str:
+        s = self.base + "*" * self.ptr
+        for d in self.dims:
+            s += f"[{d}]"
+        return s
+
+
+INT = CType("int")
+UNSIGNED = CType("unsigned")
+CHAR = CType("char")
+VOID = CType("void")
+CHAR_PTR = CType("char", ptr=1)
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass
+class Expr:
+    line: int = 0
+    #: filled in by semantic analysis
+    ctype: Optional[CType] = field(default=None, compare=False)
+
+
+@dataclass
+class Num(Expr):
+    value: int = 0
+
+
+@dataclass
+class StrLit(Expr):
+    value: str = ""
+    label: str = ""  # assigned by codegen
+
+
+@dataclass
+class Var(Expr):
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    """op in: '-', '~', '!', '*', '&', '++pre', '--pre', '++post', '--post'"""
+
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Binary(Expr):
+    """op in: arithmetic, bitwise, shifts, comparisons, '&&', '||'"""
+
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Assign(Expr):
+    """op: '=' or compound like '+='."""
+
+    op: str = "="
+    target: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Cond(Expr):
+    """Ternary ``c ? t : f``."""
+
+    cond: Expr = None  # type: ignore[assignment]
+    then: Expr = None  # type: ignore[assignment]
+    els: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Index(Expr):
+    base: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class SizeofType(Expr):
+    of: CType = None  # type: ignore[assignment]
+
+
+@dataclass
+class Cast(Expr):
+    to: CType = None  # type: ignore[assignment]
+    operand: Expr = None  # type: ignore[assignment]
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Union[Stmt, "VarDecl"]] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then: Stmt = None  # type: ignore[assignment]
+    els: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt = None  # type: ignore[assignment]
+    cond: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Union[Stmt, "VarDecl"]] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class Return(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    ctype: CType = None  # type: ignore[assignment]
+    init: Optional[Union[Expr, list]] = None  # list for array initializers
+    is_global: bool = False
+    is_static: bool = False
+    is_const: bool = False
+
+
+@dataclass
+class Param:
+    name: str
+    ctype: CType
+    line: int = 0
+
+
+@dataclass
+class FuncDef:
+    name: str
+    ret: CType
+    params: list[Param]
+    body: Optional[Block]  # None for a prototype
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    decls: list[Union[FuncDef, VarDecl]] = field(default_factory=list)

@@ -1,0 +1,20 @@
+"""PyGen-style parameterized design generation.
+
+The paper parameterizes its hardware designs (the number of CORDIC
+PEs, the matrix block size) "using the PyGen [tool] developed by us"
+[Ou & Prasanna, FCCM 2005].  This package provides the same facility:
+declare a parameter space, validate concrete bindings, and generate
+both the sysgen hardware model and the matching mini-C software from
+one parameter set.
+"""
+
+from repro.pygen.params import Parameter, ParameterError, ParameterSpace
+from repro.pygen.generator import DesignGenerator, GeneratedDesign
+
+__all__ = [
+    "Parameter",
+    "ParameterSpace",
+    "ParameterError",
+    "DesignGenerator",
+    "GeneratedDesign",
+]

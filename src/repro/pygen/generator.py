@@ -1,0 +1,35 @@
+"""Generator base: parameters in, (hardware model + software source) out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cosim.mb_block import MicroBlazeBlock
+from repro.pygen.params import ParameterSpace
+from repro.sysgen.model import Model
+
+
+@dataclass
+class GeneratedDesign:
+    """Output of a design generator for one parameter binding."""
+
+    params: dict[str, Any]
+    model: Model
+    mb_block: MicroBlazeBlock | None
+    c_source: str
+
+
+class DesignGenerator:
+    """Subclass and implement :meth:`generate`."""
+
+    space: ParameterSpace
+
+    def generate(self, **params: Any) -> GeneratedDesign:
+        raise NotImplementedError
+
+    def bind(self, **params: Any) -> dict[str, Any]:
+        return self.space.bind(**params)
+
+    def sweep(self, **axes) -> list[GeneratedDesign]:
+        return [self.generate(**binding) for binding in self.space.sweep(**axes)]

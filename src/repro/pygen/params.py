@@ -1,0 +1,89 @@
+"""Parameter declarations with validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+
+class ParameterError(ValueError):
+    """Invalid parameter binding."""
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One generator parameter.
+
+    ``choices`` restricts to an explicit set; ``validate`` is an extra
+    predicate (receives the whole binding dict, so cross-parameter
+    constraints like "ITERS divisible by P" are expressible).
+    """
+
+    name: str
+    default: Any = None
+    choices: tuple | None = None
+    minimum: int | None = None
+    maximum: int | None = None
+    doc: str = ""
+
+    def check(self, value: Any) -> None:
+        if self.choices is not None and value not in self.choices:
+            raise ParameterError(
+                f"{self.name}={value!r} not in choices {self.choices}"
+            )
+        if self.minimum is not None and value < self.minimum:
+            raise ParameterError(f"{self.name}={value} below minimum {self.minimum}")
+        if self.maximum is not None and value > self.maximum:
+            raise ParameterError(f"{self.name}={value} above maximum {self.maximum}")
+
+
+@dataclass
+class ParameterSpace:
+    """A named set of parameters plus cross-parameter constraints."""
+
+    parameters: list[Parameter]
+    constraints: list[Callable[[dict], str | None]] = field(default_factory=list)
+
+    def names(self) -> list[str]:
+        return [p.name for p in self.parameters]
+
+    def bind(self, **values: Any) -> dict[str, Any]:
+        """Validate and complete a binding with defaults."""
+        binding: dict[str, Any] = {}
+        by_name = {p.name: p for p in self.parameters}
+        unknown = set(values) - set(by_name)
+        if unknown:
+            raise ParameterError(f"unknown parameters: {sorted(unknown)}")
+        for param in self.parameters:
+            if param.name in values:
+                value = values[param.name]
+            elif param.default is not None:
+                value = param.default
+            else:
+                raise ParameterError(f"parameter {param.name!r} is required")
+            param.check(value)
+            binding[param.name] = value
+        for constraint in self.constraints:
+            problem = constraint(binding)
+            if problem:
+                raise ParameterError(problem)
+        return binding
+
+    def sweep(self, **axes: Iterable) -> list[dict[str, Any]]:
+        """Cartesian sweep over the given axes (others at defaults),
+        skipping combinations that violate constraints."""
+        names = list(axes)
+        bindings: list[dict[str, Any]] = []
+
+        def rec(i: int, acc: dict) -> None:
+            if i == len(names):
+                try:
+                    bindings.append(self.bind(**acc))
+                except ParameterError:
+                    pass
+                return
+            for value in axes[names[i]]:
+                rec(i + 1, {**acc, names[i]: value})
+
+        rec(0, {})
+        return bindings

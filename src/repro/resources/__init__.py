@@ -1,0 +1,40 @@
+"""Rapid resource estimation (paper Section III-C).
+
+For Xilinx FPGAs the paper tracks three resource classes: logic
+*slices*, block RAMs (*BRAMs*) and embedded 18×18 *multipliers*.  Four
+sources contribute to a complete design's usage:
+
+1. the MicroBlaze processor core (datasheet numbers),
+2. the two LMB interface controllers (datasheet numbers),
+3. the customized hardware peripherals (per-block estimates from the
+   System Generator models, summed — our ``Block.resources()``),
+4. the BRAMs storing the software program (program size from the
+   linker, divided by the 2 KB BRAM capacity — the paper's
+   ``mb-objdump`` flow).
+
+:func:`estimate_design` combines all four; :mod:`repro.resources.par`
+produces the "actual" numbers from the lowered netlist the way the
+paper reads them out of ISE ``.par`` reports.
+"""
+
+from repro.resources.types import Resources
+from repro.resources.datasheet import (
+    BRAM_BYTES,
+    FSL_LINK_RESOURCES,
+    LMB_CONTROLLER_RESOURCES,
+    MICROBLAZE_BASE_RESOURCES,
+    microblaze_resources,
+)
+from repro.resources.estimator import DesignEstimate, estimate_design, program_brams
+
+__all__ = [
+    "Resources",
+    "estimate_design",
+    "program_brams",
+    "DesignEstimate",
+    "microblaze_resources",
+    "MICROBLAZE_BASE_RESOURCES",
+    "LMB_CONTROLLER_RESOURCES",
+    "FSL_LINK_RESOURCES",
+    "BRAM_BYTES",
+]

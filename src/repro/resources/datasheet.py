@@ -1,0 +1,56 @@
+"""Datasheet resource numbers for the processor-side components.
+
+The paper obtains "resource usage of the MicroBlaze processor and the
+two LMB interface controllers ... from the Xilinx data sheet".  The
+constants below follow the published Virtex-II Pro MicroBlaze v4-era
+figures: a base core around 450 slices, three embedded 18×18
+multipliers when the hardware multiplier option is enabled, and small
+option-dependent increments for the barrel shifter and divider.
+"""
+
+from __future__ import annotations
+
+from repro.resources.types import Resources
+
+#: One Virtex-II Pro block RAM stores 18 kbit = 2 KB of data (+parity).
+BRAM_BYTES = 2048
+
+#: MicroBlaze base core (no optional units), Virtex-II Pro.
+MICROBLAZE_BASE_RESOURCES = Resources(slices=450)
+
+#: The hardware multiplier option consumes 3 embedded MULT18X18s
+#: (32x32 product assembled from 18-bit partial products).
+MULTIPLIER_OPTION = Resources(slices=30, mult18=3)
+
+#: The barrel shifter option.
+BARREL_SHIFTER_OPTION = Resources(slices=120)
+
+#: The hardware divider option.
+DIVIDER_OPTION = Resources(slices=150)
+
+#: One LMB interface controller (instruction- or data-side).
+LMB_CONTROLLER_RESOURCES = Resources(slices=14)
+
+#: One FSL link (unidirectional FIFO + handshake), 16-deep, 32-bit.
+FSL_LINK_RESOURCES = Resources(slices=24)
+
+
+def microblaze_resources(
+    use_hw_multiplier: bool = True,
+    use_barrel_shifter: bool = True,
+    use_hw_divider: bool = False,
+) -> Resources:
+    """Processor resources for a given configuration.
+
+    Matches the knobs on :class:`repro.iss.cpu.CPUConfig` — the paper's
+    point is precisely that these configuration choices shift the
+    resource/performance trade-off.
+    """
+    total = MICROBLAZE_BASE_RESOURCES
+    if use_hw_multiplier:
+        total = total + MULTIPLIER_OPTION
+    if use_barrel_shifter:
+        total = total + BARREL_SHIFTER_OPTION
+    if use_hw_divider:
+        total = total + DIVIDER_OPTION
+    return total

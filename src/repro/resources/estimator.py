@@ -1,0 +1,103 @@
+"""Rapid design-level resource estimation (paper Section III-C).
+
+``estimate_design`` composes the four contributions the paper lists:
+processor datasheet numbers, LMB controllers, the System Generator
+resource estimate of the customized peripherals, and the BRAMs holding
+the software program (program size / BRAM capacity, the paper's
+``mb-objdump`` flow)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.resources.datasheet import (
+    BRAM_BYTES,
+    FSL_LINK_RESOURCES,
+    LMB_CONTROLLER_RESOURCES,
+    microblaze_resources,
+)
+from repro.resources.types import Resources
+
+
+def program_brams(program) -> int:
+    """Number of BRAMs needed to store a linked program.
+
+    Counts initialized image plus .bss plus stack — everything that
+    must reside in the on-chip memory at run time.
+    """
+    footprint = program.memory_size or program.memory_required
+    return max(1, -(-footprint // BRAM_BYTES))
+
+
+@dataclass(frozen=True)
+class DesignEstimate:
+    """Per-source breakdown of a complete design's resource usage."""
+
+    processor: Resources
+    lmb_controllers: Resources
+    fsl_links: Resources
+    peripheral: Resources
+    program_brams: int
+
+    @property
+    def total(self) -> Resources:
+        return (
+            self.processor
+            + self.lmb_controllers
+            + self.fsl_links
+            + self.peripheral
+            + Resources(brams=self.program_brams)
+        )
+
+    def report(self) -> str:
+        rows = [
+            ("MicroBlaze core", self.processor),
+            ("LMB controllers", self.lmb_controllers),
+            ("FSL links", self.fsl_links),
+            ("peripheral", self.peripheral),
+            ("program BRAMs", Resources(brams=self.program_brams)),
+            ("TOTAL", self.total),
+        ]
+        width = max(len(name) for name, _ in rows)
+        return "\n".join(f"{name:<{width}}  {res}" for name, res in rows)
+
+
+def estimate_design(
+    model=None,
+    program=None,
+    cpu_config=None,
+    n_fsl_links: int = 0,
+) -> DesignEstimate:
+    """Estimate the complete design per Section III-C.
+
+    Parameters
+    ----------
+    model:
+        The :class:`repro.sysgen.Model` of the customized hardware
+        peripherals (None for pure-software designs).
+    program:
+        The linked :class:`repro.asm.linker.Program` (None to skip the
+        program-BRAM term).
+    cpu_config:
+        :class:`repro.iss.cpu.CPUConfig` selecting the processor
+        options; defaults to the standard configuration.
+    n_fsl_links:
+        Number of FSL links connecting processor and peripherals
+        (each is a FIFO instance of its own).
+    """
+    if cpu_config is not None:
+        processor = microblaze_resources(
+            use_hw_multiplier=cpu_config.use_hw_multiplier,
+            use_barrel_shifter=cpu_config.use_barrel_shifter,
+            use_hw_divider=cpu_config.use_hw_divider,
+        )
+    else:
+        processor = microblaze_resources()
+    peripheral = model.resources() if model is not None else Resources()
+    return DesignEstimate(
+        processor=processor,
+        lmb_controllers=2 * LMB_CONTROLLER_RESOURCES,
+        fsl_links=n_fsl_links * FSL_LINK_RESOURCES,
+        peripheral=peripheral,
+        program_brams=program_brams(program) if program is not None else 0,
+    )

@@ -1,0 +1,32 @@
+"""Resource vector type shared by sysgen blocks and the estimator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Resources:
+    """FPGA resource usage: slices / BRAMs / embedded 18×18 multipliers."""
+
+    slices: int = 0
+    brams: int = 0
+    mult18: int = 0
+
+    def __add__(self, other: "Resources") -> "Resources":
+        return Resources(
+            self.slices + other.slices,
+            self.brams + other.brams,
+            self.mult18 + other.mult18,
+        )
+
+    def __mul__(self, n: int) -> "Resources":
+        return Resources(self.slices * n, self.brams * n, self.mult18 * n)
+
+    __rmul__ = __mul__
+
+    def __str__(self) -> str:
+        return f"{self.slices} slices / {self.brams} BRAM / {self.mult18} MULT18"
+
+
+ZERO = Resources()

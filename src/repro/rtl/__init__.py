@@ -1,0 +1,39 @@
+"""Event-driven RTL simulation — the low-level baseline.
+
+The paper compares its high-level co-simulation against "low-level
+behavioral simulation using ModelSim".  This package reproduces that
+baseline's *cost structure*: a discrete-event kernel with delta cycles
+(:mod:`repro.rtl.kernel`), FPGA primitives (LUTs, flip-flops, carry
+cells, MULT18X18, BRAM — :mod:`repro.rtl.primitives`), structural
+netlists (:mod:`repro.rtl.netlist`), and a lowering pass that compiles
+any :mod:`repro.sysgen` block diagram to such a netlist
+(:mod:`repro.rtl.lowering`).
+
+A complete-system RTL simulation (:mod:`repro.rtl.system`) runs the
+compiled software on a behavioral processor model while the customized
+peripheral is simulated at netlist level, with FSL FIFOs as behavioral
+processes — the same split a pre-PAR ModelSim behavioral simulation
+uses.  Per simulated clock cycle this does orders of magnitude more
+work than the arithmetic-level co-simulation, which is precisely the
+gap Tables I and II of the paper measure.
+"""
+
+from repro.rtl.kernel import Kernel, Process, Signal, SimulationError
+from repro.rtl.netlist import Net, Netlist
+from repro.rtl.lowering import lower_model, LoweringError
+from repro.rtl.system import RTLSystem, RTLResult
+from repro.rtl.vcd import VCDWriter
+
+__all__ = [
+    "Kernel",
+    "Signal",
+    "Process",
+    "SimulationError",
+    "Netlist",
+    "Net",
+    "lower_model",
+    "LoweringError",
+    "RTLSystem",
+    "RTLResult",
+    "VCDWriter",
+]

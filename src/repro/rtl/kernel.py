@@ -1,0 +1,206 @@
+"""Discrete-event simulation kernel with delta cycles.
+
+The execution model follows VHDL/ModelSim semantics:
+
+* signal assignments take effect in the *next* delta cycle (or at a
+  future simulation time for timed assignments),
+* processes with static sensitivity lists wake when a watched signal
+  changes value,
+* simulation time only advances once the delta queue drains; a bounded
+  delta count guards against zero-delay oscillation.
+
+Values are two-state integers (a ``width``-bit unsigned pattern), the
+model fast Verilog simulators use; the co-simulation comparison needs
+the event *mechanics*, not 9-value resolution.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable
+
+
+class SimulationError(RuntimeError):
+    """Kernel-level failure (delta overflow, bad wiring, ...)."""
+
+
+class Signal:
+    """A simulated net.  Read ``value``; write via ``Kernel.schedule``."""
+
+    __slots__ = ("name", "width", "value", "_mask", "_watchers", "index")
+
+    def __init__(self, name: str, width: int = 1, init: int = 0):
+        self.name = name
+        self.width = width
+        self._mask = (1 << width) - 1
+        self.value = init & self._mask
+        self._watchers: list[Process] = []
+        self.index = -1  # assigned by the kernel, used by VCD dumps
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Signal {self.name}={self.value:#x}>"
+
+
+class Process:
+    """A simulation process: ``fn(kernel)`` runs when triggered."""
+
+    __slots__ = ("fn", "name", "runs")
+
+    def __init__(self, fn: Callable[["Kernel"], None], name: str = "proc"):
+        self.fn = fn
+        self.name = name
+        self.runs = 0
+
+
+class Kernel:
+    """The event scheduler."""
+
+    MAX_DELTAS = 1000
+
+    def __init__(self) -> None:
+        self.now = 0
+        self.signals: list[Signal] = []
+        self.processes: list[Process] = []
+        self._delta: list[tuple[Signal, int]] = []
+        self._timed: list[tuple[int, int, Signal, int]] = []
+        self._seq = 0
+        self._rising: set[int] = set()
+        self._falling: set[int] = set()
+        self.events_processed = 0
+        self.process_runs = 0
+        self._trace_hook: Callable[[int, Signal], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def signal(self, name: str, width: int = 1, init: int = 0) -> Signal:
+        sig = Signal(name, width, init)
+        sig.index = len(self.signals)
+        self.signals.append(sig)
+        return sig
+
+    def process(
+        self,
+        fn: Callable[["Kernel"], None],
+        sensitive: Iterable[Signal],
+        name: str = "proc",
+    ) -> Process:
+        """Register a process with a static sensitivity list."""
+        proc = Process(fn, name)
+        self.processes.append(proc)
+        for sig in sensitive:
+            sig._watchers.append(proc)
+        return proc
+
+    def initial(self, fn: Callable[["Kernel"], None], name: str = "init") -> None:
+        """Run ``fn`` once before the first delta of time 0."""
+        proc = Process(fn, name)
+        self.processes.append(proc)
+        self._seq += 1
+        heapq.heappush(self._timed, (0, self._seq, None, proc))  # type: ignore[arg-type]
+
+    def add_clock(self, name: str = "clk", period: int = 10) -> Signal:
+        """Free-running clock toggling every ``period // 2`` time units."""
+        if period < 2 or period % 2:
+            raise SimulationError("clock period must be an even number >= 2")
+        clk = self.signal(name, 1, 0)
+        half = period // 2
+
+        def toggler(k: "Kernel") -> None:
+            k.schedule(clk, clk.value ^ 1, delay=half)
+
+        proc = Process(toggler, f"{name}_gen")
+        self.processes.append(proc)
+        clk._watchers.append(proc)  # re-arm on each edge
+        self._seq += 1
+        heapq.heappush(self._timed, (half, self._seq, clk, 1))
+        return clk
+
+    # ------------------------------------------------------------------
+    # Scheduling (called from processes)
+    # ------------------------------------------------------------------
+    def schedule(self, sig: Signal, value: int, delay: int = 0) -> None:
+        value &= sig._mask
+        if delay == 0:
+            self._delta.append((sig, value))
+        else:
+            self._seq += 1
+            heapq.heappush(self._timed, (self.now + delay, self._seq, sig, value))
+
+    # ------------------------------------------------------------------
+    # Edge queries (valid while a process runs)
+    # ------------------------------------------------------------------
+    def is_rising(self, sig: Signal) -> bool:
+        return sig.index in self._rising
+
+    def is_falling(self, sig: Signal) -> bool:
+        return sig.index in self._falling
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _apply(self, updates: list[tuple[Signal, int]]) -> list[Process]:
+        """Apply signal updates; return the processes to wake."""
+        self._rising.clear()
+        self._falling.clear()
+        woken: list[Process] = []
+        seen: set[int] = set()
+        for sig, value in updates:
+            if sig.value == value:
+                continue
+            self.events_processed += 1
+            old = sig.value
+            sig.value = value
+            if sig.width == 1:
+                if value and not old:
+                    self._rising.add(sig.index)
+                elif old and not value:
+                    self._falling.add(sig.index)
+            if self._trace_hook is not None:
+                self._trace_hook(self.now, sig)
+            for proc in sig._watchers:
+                pid = id(proc)
+                if pid not in seen:
+                    seen.add(pid)
+                    woken.append(proc)
+        return woken
+
+    def _run_processes(self, procs: list[Process]) -> None:
+        for proc in procs:
+            proc.runs += 1
+            self.process_runs += 1
+            proc.fn(self)
+
+    def _settle_deltas(self) -> None:
+        deltas = 0
+        while self._delta:
+            deltas += 1
+            if deltas > self.MAX_DELTAS:
+                raise SimulationError(
+                    f"delta overflow at t={self.now} (combinational "
+                    "oscillation?)"
+                )
+            updates, self._delta = self._delta, []
+            self._run_processes(self._apply(updates))
+
+    def run(self, duration: int) -> None:
+        """Advance simulation time by ``duration`` units."""
+        end = self.now + duration
+        # Run any initial processes / time-0 activity.
+        self._settle_deltas()
+        while self._timed and self._timed[0][0] <= end:
+            t = self._timed[0][0]
+            self.now = t
+            updates: list[tuple[Signal, int]] = []
+            initials: list[Process] = []
+            while self._timed and self._timed[0][0] == t:
+                _, _, sig, value = heapq.heappop(self._timed)
+                if sig is None:  # an `initial` process
+                    initials.append(value)  # type: ignore[arg-type]
+                else:
+                    updates.append((sig, value))
+            if initials:
+                self._run_processes(initials)
+            self._run_processes(self._apply(updates))
+            self._settle_deltas()
+        self.now = end

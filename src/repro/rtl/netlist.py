@@ -1,0 +1,239 @@
+"""Structural netlists over the event kernel.
+
+A :class:`Netlist` owns buses (lists of scalar :class:`Signal`), counts
+primitive instances (the basis of the place-and-route "actual" resource
+numbers) and provides the RTL construction idioms the lowering pass
+needs: ripple adder/subtractor chains built from LUT + MUXCY cells,
+register banks, mux trees and comparator chains — the way ISE maps
+System Generator blocks onto the Virtex-II fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rtl.kernel import Kernel, Signal
+from repro.rtl import primitives as prim
+
+Bus = list
+
+
+@dataclass
+class NetlistStats:
+    luts: int = 0
+    ffs: int = 0
+    muxcy: int = 0
+    mult18: int = 0
+    brams: int = 0
+    #: slices for behavioral macros (FIFOs, ROMs) not built from cells
+    macro_slices: int = 0
+
+    @property
+    def slices(self) -> int:
+        """Packed slice estimate: 2 LUTs and 2 FFs per slice; carry
+        muxes ride along with their LUTs."""
+        return max((self.luts + 1) // 2, (self.ffs + 1) // 2) + self.macro_slices
+
+
+class Net(list):
+    """A bus: a list of scalar signals, LSB first."""
+
+
+@dataclass
+class Netlist:
+    kernel: Kernel
+    name: str = "netlist"
+    stats: NetlistStats = field(default_factory=NetlistStats)
+    _uid: int = 0
+
+    # ------------------------------------------------------------------
+    def _n(self, tag: str) -> str:
+        self._uid += 1
+        return f"{self.name}.{tag}{self._uid}"
+
+    def bus(self, tag: str, width: int, init: int = 0) -> Net:
+        return Net(
+            self.kernel.signal(self._n(f"{tag}[{b}]"), 1, (init >> b) & 1)
+            for b in range(width)
+        )
+
+    def const_bus(self, value: int, width: int) -> Net:
+        """Constant nets (tied to VCC/GND, no driver processes)."""
+        return Net(
+            self.kernel.signal(self._n(f"const[{b}]"), 1, (value >> b) & 1)
+            for b in range(width)
+        )
+
+    # ------------------------------------------------------------------
+    # Cells
+    # ------------------------------------------------------------------
+    def lut(self, inputs: list[Signal], truth: int, out: Signal | None = None
+            ) -> Signal:
+        if out is None:
+            out = self.kernel.signal(self._n("lut_o"))
+        prim.lut(self.kernel, self._n("lut"), inputs, out, truth)
+        self.stats.luts += 1
+        return out
+
+    def muxcy(self, sel: Signal, d0: Signal, d1: Signal,
+              out: Signal | None = None) -> Signal:
+        if out is None:
+            out = self.kernel.signal(self._n("cy"))
+        prim.muxcy(self.kernel, self._n("muxcy"), sel, d0, d1, out)
+        self.stats.muxcy += 1
+        return out
+
+    def dff(self, clk: Signal, d: Signal, q: Signal | None = None,
+            ce: Signal | None = None, rst: Signal | None = None,
+            init: int = 0) -> Signal:
+        if q is None:
+            q = self.kernel.signal(self._n("ff_q"), 1, init)
+        prim.dff(self.kernel, self._n("ff"), clk, d, q, ce=ce, rst=rst,
+                 init=init)
+        self.stats.ffs += 1
+        return q
+
+    # ------------------------------------------------------------------
+    # RTL idioms
+    # ------------------------------------------------------------------
+    def invert(self, a: Bus) -> Net:
+        return Net(self.lut([bit], 0b01) for bit in a)
+
+    def logic2(self, a: Bus, b: Bus, truth: int) -> Net:
+        """Bitwise 2-input function (AND=0b1000, OR=0b1110, XOR=0b0110)."""
+        return Net(self.lut([x, y], truth) for x, y in zip(a, b))
+
+    def adder(self, a: Bus, b: Bus, *, sub: Signal | None = None,
+              carry_in: Signal | None = None) -> Net:
+        """Ripple carry adder: a + b (+cin), or a - b when ``sub`` is a
+        (possibly dynamic) subtract control, mapped as the fabric does:
+        one propagate LUT + MUXCY per bit, sum via a 3-input LUT."""
+        width = len(a)
+        assert len(b) == width
+        if sub is not None:
+            b = Net(self.lut([bit, sub], 0b0110) for bit in b)  # b ^ sub
+            carry = sub
+        elif carry_in is not None:
+            carry = carry_in
+        else:
+            carry = self.kernel.signal(self._n("gnd"), 1, 0)
+        out = Net()
+        for x, y in zip(a, b):
+            # sum = x ^ y ^ carry (XORCY rides free; count one LUT/bit)
+            s = self.lut([x, y, carry], 0b10010110)
+            # carry out: MUXCY selects carry when propagate (x^y) else x
+            p = self.lut([x, y], 0b0110)
+            self.stats.luts -= 1  # p is the same physical LUT as above
+            carry = self.muxcy(p, x, carry)
+            out.append(s)
+        return out
+
+    def register_bus(self, clk: Signal, d: Bus, *, ce: Signal | None = None,
+                     rst: Signal | None = None, init: int = 0) -> Net:
+        return Net(
+            self.dff(clk, bit, ce=ce, rst=rst, init=(init >> i) & 1)
+            for i, bit in enumerate(d)
+        )
+
+    def mux2(self, sel: Signal, d0: Bus, d1: Bus) -> Net:
+        # inputs (bit0=sel, bit1=d0, bit2=d1): out = sel ? d1 : d0
+        return Net(
+            self.lut([sel, a, b], 0b11100100)
+            for a, b in zip(d0, d1)
+        )
+
+    def mux_tree(self, sel: Bus, inputs: list[Bus]) -> Net:
+        """N-way mux from a tree of 2:1 stages."""
+        level = list(inputs)
+        for bit in sel:
+            nxt = []
+            for i in range(0, len(level), 2):
+                if i + 1 < len(level):
+                    nxt.append(self.mux2(bit, level[i], level[i + 1]))
+                else:
+                    nxt.append(level[i])
+            level = nxt
+            if len(level) == 1:
+                break
+        return level[0]
+
+    def reduce_and(self, bits: Bus) -> Signal:
+        level = list(bits)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level), 4):
+                grp = level[i : i + 4]
+                if len(grp) == 1:
+                    nxt.append(grp[0])
+                else:
+                    nxt.append(self.lut(grp, 1 << ((1 << len(grp)) - 1)))
+            level = nxt
+        return level[0]
+
+    def equals_const(self, a: Bus, value: int) -> Signal:
+        bits = Net(
+            self.lut([bit], 0b10 if (value >> i) & 1 else 0b01)
+            for i, bit in enumerate(a)
+        )
+        return self.reduce_and(bits)
+
+    def equals(self, a: Bus, b: Bus) -> Signal:
+        xnor = self.logic2(a, b, 0b1001)
+        return self.reduce_and(xnor)
+
+    def less_than(self, a: Bus, b: Bus, *, signed: bool) -> Signal:
+        """a < b via an LSB→MSB comparator chain (1 LUT/bit)."""
+        a = Net(a)
+        b = Net(b)
+        if signed:
+            # invert sign bits: signed order == unsigned order with
+            # biased MSBs
+            a[-1] = self.lut([a[-1]], 0b01)
+            b[-1] = self.lut([b[-1]], 0b01)
+        lt = self.kernel.signal(self._n("lt0"), 1, 0)
+        for x, y in zip(a, b):
+            # lt' = (!x & y) | ((x == y) & lt)
+            # inputs (bit0=x, bit1=y, bit2=lt)
+            truth = 0
+            for x_v in (0, 1):
+                for y_v in (0, 1):
+                    for l_v in (0, 1):
+                        res = (not x_v and y_v) or (x_v == y_v and l_v)
+                        if res:
+                            truth |= 1 << (x_v | (y_v << 1) | (l_v << 2))
+            lt = self.lut([x, y, lt], truth)
+        return lt
+
+    # ------------------------------------------------------------------
+    def mult18(self, a: Bus, b: Bus, out_width: int) -> Net:
+        """One embedded multiplier over vector signals."""
+        ka = self.kernel.signal(self._n("mult_a"), len(a))
+        kb = self.kernel.signal(self._n("mult_b"), len(b))
+        kp = self.kernel.signal(self._n("mult_p"), out_width)
+        # pack/unpack adapters between bit nets and the vector ports
+        self._pack(a, ka)
+        self._pack(b, kb)
+        out = self.bus("mult_out", out_width)
+        self._unpack(kp, out)
+        prim.mult18x18(self.kernel, self._n("mult18"), ka, kb, kp)
+        self.stats.mult18 += 1
+        return out
+
+    def _pack(self, bits: Bus, vec: Signal) -> None:
+        def proc(kern: Kernel) -> None:
+            value = 0
+            for i, bit in enumerate(bits):
+                value |= (bit.value & 1) << i
+            kern.schedule(vec, value)
+
+        self.kernel.process(proc, sensitive=bits, name=self._n("pack"))
+        self.kernel.initial(proc)
+
+    def _unpack(self, vec: Signal, bits: Bus) -> None:
+        def proc(kern: Kernel) -> None:
+            value = vec.value
+            for i, bit in enumerate(bits):
+                kern.schedule(bit, (value >> i) & 1)
+
+        self.kernel.process(proc, sensitive=[vec], name=self._n("unpack"))
+        self.kernel.initial(proc)

@@ -1,0 +1,101 @@
+"""FPGA primitive models for the event kernel.
+
+Each factory wires a primitive instance into a :class:`Kernel` as one
+or more processes over scalar/vector signals:
+
+* ``lut`` — a k-input lookup table (combinational, delta delay),
+* ``dff`` — D flip-flop with clock-enable and synchronous reset,
+* ``carry_chain`` is *not* modeled separately: adders lower to one
+  LUT (xor) plus a dedicated ``muxcy`` per bit, like the Virtex fabric,
+* ``mult18x18`` — the embedded signed multiplier (combinational core;
+  System Generator's pipeline registers lower to DFF banks around it),
+* ``bram`` — synchronous-read block RAM.
+
+These deliberately generate *per-bit event traffic*: that is what makes
+low-level simulation slow, and reproducing that cost is the point of
+the baseline.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.kernel import Kernel, Signal
+
+
+def lut(k: Kernel, name: str, inputs: list[Signal], output: Signal,
+        truth: int) -> None:
+    """k-input LUT: output = truth[{in_{n-1}..in_0}]."""
+    if not 1 <= len(inputs) <= 6:
+        raise ValueError("LUT supports 1..6 inputs")
+
+    def proc(kern: Kernel) -> None:
+        idx = 0
+        for bit, sig in enumerate(inputs):
+            idx |= (sig.value & 1) << bit
+        kern.schedule(output, (truth >> idx) & 1)
+
+    k.process(proc, sensitive=inputs, name=name)
+    # establish the initial output value at time 0
+    k.initial(proc, name=f"{name}_init")
+
+
+def muxcy(k: Kernel, name: str, sel: Signal, data0: Signal, data1: Signal,
+          output: Signal) -> None:
+    """Carry mux: output = sel ? data1 : data0 (the MUXCY cell)."""
+
+    def proc(kern: Kernel) -> None:
+        kern.schedule(output, data1.value & 1 if sel.value & 1
+                      else data0.value & 1)
+
+    k.process(proc, sensitive=[sel, data0, data1], name=name)
+    k.initial(proc, name=f"{name}_init")
+
+
+def dff(k: Kernel, name: str, clk: Signal, d: Signal, q: Signal,
+        ce: Signal | None = None, rst: Signal | None = None,
+        init: int = 0) -> None:
+    """Rising-edge D flip-flop with optional CE and sync reset."""
+    q.value = init & 1
+
+    def proc(kern: Kernel) -> None:
+        if not kern.is_rising(clk):
+            return
+        if rst is not None and rst.value & 1:
+            kern.schedule(q, init & 1)
+        elif ce is None or ce.value & 1:
+            kern.schedule(q, d.value & 1)
+
+    k.process(proc, sensitive=[clk], name=name)
+
+
+def mult18x18(k: Kernel, name: str, a: Signal, b: Signal, p: Signal) -> None:
+    """Embedded 18×18 signed multiplier (combinational)."""
+
+    def signed(v: int, w: int) -> int:
+        v &= (1 << w) - 1
+        return v - (1 << w) if v & (1 << (w - 1)) else v
+
+    def proc(kern: Kernel) -> None:
+        prod = signed(a.value, a.width) * signed(b.value, b.width)
+        kern.schedule(p, prod & ((1 << p.width) - 1))
+
+    k.process(proc, sensitive=[a, b], name=name)
+    k.initial(proc, name=f"{name}_init")
+
+
+def bram(k: Kernel, name: str, clk: Signal, addr: Signal, din: Signal,
+         dout: Signal, we: Signal, depth: int,
+         contents: list[int] | None = None) -> list[int]:
+    """Synchronous-read single-port block RAM; returns the live array."""
+    mem = list(contents or [])
+    mem.extend([0] * (depth - len(mem)))
+
+    def proc(kern: Kernel) -> None:
+        if not kern.is_rising(clk):
+            return
+        a = addr.value % depth
+        if we.value & 1:
+            mem[a] = din.value
+        kern.schedule(dout, mem[a])
+
+    k.process(proc, sensitive=[clk], name=name)
+    return mem

@@ -1,0 +1,55 @@
+"""System Generator-style hardware modeling (arithmetic level).
+
+This is the substitute for MATLAB/Simulink + Xilinx System Generator:
+customized hardware peripherals are described as synchronous-dataflow
+block diagrams over fixed-point signals and simulated cycle by cycle at
+the *arithmetic* level — exactly the abstraction the paper defines as
+"high-level cycle-accurate": per simulated clock cycle the functional
+behaviour matches the low-level implementation, but only the arithmetic
+aspect of each block is computed (a multiplication is one integer
+multiply, not a netlist of LUT and carry events).
+
+Usage sketch::
+
+    from repro.sysgen import Model
+    from repro.sysgen.blocks import Add, GatewayIn, GatewayOut, Register
+
+    m = Model("accumulator")
+    x = m.add(GatewayIn("x", width=16))
+    acc = m.add(Register("acc", width=32))
+    total = m.add(Add("sum", width=32))
+    out = m.add(GatewayOut("y"))
+    m.connect(x.o("out"), total.i("a"))
+    m.connect(acc.o("q"), total.i("b"))
+    m.connect(total.o("s"), acc.i("d"))
+    m.connect(acc.o("q"), out.i("in"))
+    m.compile()
+    for v in [1, 2, 3]:
+        x.drive(v)
+        m.step()
+
+Every block reports its estimated FPGA resources (``resources()``),
+feeding the Section III-C estimator, and can be *lowered* to an RTL
+netlist (:mod:`repro.rtl.lowering`) for the low-level baseline.
+"""
+
+from repro.sysgen.block import Block, CombBlock, SeqBlock
+from repro.sysgen.ports import InputPort, OutputPort, PortRef
+from repro.sysgen.model import Model, ModelError, Probe
+from repro.sysgen.subsystem import Subsystem
+
+from repro.sysgen import blocks
+
+__all__ = [
+    "Model",
+    "ModelError",
+    "Probe",
+    "Subsystem",
+    "Block",
+    "CombBlock",
+    "SeqBlock",
+    "InputPort",
+    "OutputPort",
+    "PortRef",
+    "blocks",
+]

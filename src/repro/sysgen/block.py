@@ -1,0 +1,116 @@
+"""Block base classes.
+
+Two evaluation disciplines:
+
+* :class:`CombBlock` — combinational: ``evaluate()`` computes outputs
+  from current input values; scheduled in topological order each cycle.
+* :class:`SeqBlock` — sequential: ``present()`` drives outputs from the
+  registered state at the start of a cycle, ``clock()`` captures inputs
+  at the active edge.  Sequential blocks break combinational cycles
+  (feedback must pass through at least one register, as in hardware).
+
+Every block reports estimated FPGA resources via :meth:`Block.resources`
+(slice counts use the Virtex-II fabric rule of thumb: one slice holds
+two 4-input LUTs and two flip-flops, so a W-bit adder or register costs
+about ``ceil(W/2)`` slices).
+"""
+
+from __future__ import annotations
+
+from repro.resources.types import Resources
+from repro.sysgen.ports import InputPort, OutputPort, PortRef
+
+
+def slices_for_bits(bits: int) -> int:
+    """Virtex-II slices for ``bits`` LUT/FF pairs (2 per slice)."""
+    return (bits + 1) // 2
+
+
+class Block:
+    """Base class: named ports + resource model."""
+
+    sequential = False
+
+    def __init__(self, name: str):
+        self.name = name
+        self.inputs: dict[str, InputPort] = {}
+        self.outputs: dict[str, OutputPort] = {}
+        self.model = None  # set by Model.add
+
+    # -- port construction ------------------------------------------------
+    def add_input(self, name: str, default: int = 0) -> InputPort:
+        if name in self.inputs or name in self.outputs:
+            raise ValueError(f"duplicate port {name!r} on block {self.name!r}")
+        port = InputPort(self, name, default)
+        self.inputs[name] = port
+        return port
+
+    def add_output(self, name: str, width: int = 32) -> OutputPort:
+        if name in self.inputs or name in self.outputs:
+            raise ValueError(f"duplicate port {name!r} on block {self.name!r}")
+        port = OutputPort(self, name, width)
+        self.outputs[name] = port
+        return port
+
+    # -- port access --------------------------------------------------------
+    def i(self, name: str) -> PortRef:
+        """Reference to input port ``name`` (for ``Model.connect``)."""
+        return PortRef(self.inputs[name])
+
+    def o(self, name: str) -> PortRef:
+        """Reference to output port ``name``."""
+        return PortRef(self.outputs[name])
+
+    def in_value(self, name: str) -> int:
+        return self.inputs[name].value
+
+    def out_value(self, name: str) -> int:
+        return self.outputs[name].value
+
+    # -- simulation hooks --------------------------------------------------
+    def evaluate(self) -> None:
+        """Combinational propagation (comb blocks only)."""
+
+    def present(self) -> None:
+        """Drive outputs from registered state (seq blocks only)."""
+
+    def clock(self) -> None:
+        """Capture inputs at the clock edge (seq blocks only)."""
+
+    def reset(self) -> None:
+        """Return to power-on state."""
+        for out in self.outputs.values():
+            out.value = 0
+
+    # -- metadata -------------------------------------------------------------
+    def resources(self) -> Resources:
+        """Estimated FPGA resources for this block."""
+        return Resources()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = type(self).__name__
+        return f"<{kind} {self.name!r}>"
+
+
+class CombBlock(Block):
+    sequential = False
+
+
+class SeqBlock(Block):
+    sequential = True
+
+
+def mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def wrap(value: int, width: int) -> int:
+    """Two's-complement wrap of ``value`` into ``width`` bits, returned
+    as an unsigned bit pattern."""
+    return value & ((1 << width) - 1)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret an unsigned bit pattern as a signed value."""
+    value &= (1 << width) - 1
+    return value - (1 << width) if value & (1 << (width - 1)) else value

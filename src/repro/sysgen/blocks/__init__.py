@@ -1,0 +1,54 @@
+"""The sysgen block set (the System Generator block-set analogue)."""
+
+from repro.sysgen.blocks.arith import (
+    Accumulator,
+    Add,
+    AddSub,
+    Convert,
+    Mult,
+    Negate,
+    Shift,
+    Sub,
+)
+from repro.sysgen.blocks.control import Constant, Counter
+from repro.sysgen.blocks.gateway import GatewayIn, GatewayOut
+from repro.sysgen.blocks.logic import (
+    Concat,
+    Logical,
+    Mux,
+    Inverter,
+    Relational,
+    Slice,
+)
+from repro.sysgen.blocks.memory import FIFO, RAM, ROM, Delay, Register
+from repro.sysgen.blocks.fsl import FSLRead, FSLWrite
+from repro.sysgen.blocks.opb import OPBRegisterBank
+
+__all__ = [
+    "Add",
+    "Sub",
+    "AddSub",
+    "Mult",
+    "Negate",
+    "Shift",
+    "Accumulator",
+    "Convert",
+    "Constant",
+    "Counter",
+    "GatewayIn",
+    "GatewayOut",
+    "Mux",
+    "Relational",
+    "Logical",
+    "Inverter",
+    "Slice",
+    "Concat",
+    "Register",
+    "Delay",
+    "FIFO",
+    "ROM",
+    "RAM",
+    "FSLRead",
+    "FSLWrite",
+    "OPBRegisterBank",
+]

@@ -1,0 +1,284 @@
+"""Arithmetic blocks.
+
+All data ports carry raw two's-complement bit patterns; each block
+declares the width it interprets.  Optional ``latency`` adds output
+pipeline registers, exactly like the latency option on System Generator
+arithmetic blocks (the embedded-multiplier block defaults to 3 pipeline
+stages — the source of the 3-cycle multiply the paper calls out).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.fixedpoint import FixedFormat, Overflow, Rounding
+from repro.resources.types import Resources
+from repro.sysgen.block import Block, slices_for_bits, to_signed, wrap
+
+
+class _PipelinedBlock(Block):
+    """Shared machinery: ``_compute() -> dict`` evaluated either
+    combinationally (latency 0) or through a pipeline of ``latency``
+    registers."""
+
+    def __init__(self, name: str, latency: int = 0):
+        super().__init__(name)
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        self.latency = latency
+        self.sequential = latency > 0
+        self._pipe: deque[dict[str, int]] = deque({} for _ in range(latency))
+
+    def _compute(self) -> dict[str, int]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _apply(self, values: dict[str, int]) -> None:
+        for key, value in values.items():
+            self.outputs[key].value = value
+
+    def evaluate(self) -> None:
+        if not self.sequential:
+            self._apply(self._compute())
+
+    def present(self) -> None:
+        if self.sequential:
+            self._apply(self._pipe.popleft())
+
+    def clock(self) -> None:
+        if self.sequential:
+            self._pipe.append(self._compute())
+
+    def reset(self) -> None:
+        super().reset()
+        if self.sequential:
+            self._pipe = deque({} for _ in range(self.latency))
+
+
+class Add(_PipelinedBlock):
+    """``s = a + b`` (wrap) over ``width`` bits."""
+
+    def __init__(self, name: str, width: int = 32, latency: int = 0):
+        super().__init__(name, latency)
+        self.width = width
+        self.add_input("a")
+        self.add_input("b")
+        self.add_output("s", width)
+
+    def _compute(self) -> dict[str, int]:
+        return {"s": wrap(self.in_value("a") + self.in_value("b"), self.width)}
+
+    def resources(self) -> Resources:
+        regs = self.latency * slices_for_bits(self.width)
+        return Resources(slices=slices_for_bits(self.width) + regs)
+
+
+class Sub(_PipelinedBlock):
+    """``d = a - b`` (wrap)."""
+
+    def __init__(self, name: str, width: int = 32, latency: int = 0):
+        super().__init__(name, latency)
+        self.width = width
+        self.add_input("a")
+        self.add_input("b")
+        self.add_output("d", width)
+
+    def _compute(self) -> dict[str, int]:
+        return {"d": wrap(self.in_value("a") - self.in_value("b"), self.width)}
+
+    def resources(self) -> Resources:
+        regs = self.latency * slices_for_bits(self.width)
+        return Resources(slices=slices_for_bits(self.width) + regs)
+
+
+class AddSub(_PipelinedBlock):
+    """``s = sub ? a - b : a + b`` — the System Generator AddSub block,
+    used by the CORDIC PE where the rotation direction selects the
+    operation each cycle."""
+
+    def __init__(self, name: str, width: int = 32, latency: int = 0):
+        super().__init__(name, latency)
+        self.width = width
+        self.add_input("a")
+        self.add_input("b")
+        self.add_input("sub")
+        self.add_output("s", width)
+
+    def _compute(self) -> dict[str, int]:
+        a = self.in_value("a")
+        b = self.in_value("b")
+        res = a - b if self.in_value("sub") & 1 else a + b
+        return {"s": wrap(res, self.width)}
+
+    def resources(self) -> Resources:
+        # add/sub sharing costs one extra LUT level: ~W LUTs + mode.
+        regs = self.latency * slices_for_bits(self.width)
+        return Resources(slices=slices_for_bits(self.width) + 1 + regs)
+
+
+class Mult(_PipelinedBlock):
+    """Signed multiplier.
+
+    Widths up to 18×18 map onto one embedded MULT18X18; wider products
+    decompose into multiple embedded multipliers plus adder slices
+    (matching how ISE implements them on Virtex-II).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        width_a: int = 18,
+        width_b: int = 18,
+        out_width: int | None = None,
+        latency: int = 3,
+        use_embedded: bool = True,
+    ):
+        super().__init__(name, latency)
+        self.width_a = width_a
+        self.width_b = width_b
+        self.out_width = out_width or (width_a + width_b)
+        self.use_embedded = use_embedded
+        self.add_input("a")
+        self.add_input("b")
+        self.add_output("p", self.out_width)
+
+    def _compute(self) -> dict[str, int]:
+        a = to_signed(self.in_value("a"), self.width_a)
+        b = to_signed(self.in_value("b"), self.width_b)
+        return {"p": wrap(a * b, self.out_width)}
+
+    def resources(self) -> Resources:
+        regs = self.latency * slices_for_bits(self.out_width)
+        if not self.use_embedded:
+            # slice-based multiplier: ~W*W/2 LUTs -> W*W/4 slices
+            area = (self.width_a * self.width_b + 3) // 4
+            return Resources(slices=area + regs)
+        blocks_a = (self.width_a + 17) // 18
+        blocks_b = (self.width_b + 17) // 18
+        n_mult = blocks_a * blocks_b
+        glue = 0 if n_mult == 1 else slices_for_bits(self.out_width) * (n_mult - 1)
+        return Resources(slices=glue + regs, mult18=n_mult)
+
+
+class Negate(_PipelinedBlock):
+    def __init__(self, name: str, width: int = 32, latency: int = 0):
+        super().__init__(name, latency)
+        self.width = width
+        self.add_input("a")
+        self.add_output("n", width)
+
+    def _compute(self) -> dict[str, int]:
+        return {"n": wrap(-self.in_value("a"), self.width)}
+
+    def resources(self) -> Resources:
+        return Resources(slices=slices_for_bits(self.width)
+                         + self.latency * slices_for_bits(self.width))
+
+
+class Shift(_PipelinedBlock):
+    """Constant shift: ``out = a << n`` or ``a >> n`` (arithmetic or
+    logical).  Constant shifts are free in fabric (wiring), so the
+    resource cost is only the optional output registers."""
+
+    def __init__(
+        self,
+        name: str,
+        width: int = 32,
+        amount: int = 1,
+        direction: str = "right",
+        arithmetic: bool = True,
+        latency: int = 0,
+    ):
+        super().__init__(name, latency)
+        if direction not in ("left", "right"):
+            raise ValueError("direction must be 'left' or 'right'")
+        self.width = width
+        self.amount = amount
+        self.direction = direction
+        self.arithmetic = arithmetic
+        self.add_input("a")
+        self.add_output("s", width)
+
+    def _compute(self) -> dict[str, int]:
+        a = self.in_value("a")
+        if self.direction == "left":
+            res = a << self.amount
+        elif self.arithmetic:
+            res = to_signed(a, self.width) >> self.amount
+        else:
+            res = (a & ((1 << self.width) - 1)) >> self.amount
+        return {"s": wrap(res, self.width)}
+
+    def resources(self) -> Resources:
+        return Resources(slices=self.latency * slices_for_bits(self.width))
+
+
+class Accumulator(Block):
+    """Registered accumulator: ``q += d`` when ``en`` (with ``rst``)."""
+
+    sequential = True
+
+    def __init__(self, name: str, width: int = 32):
+        super().__init__(name)
+        self.width = width
+        self.add_input("d")
+        self.add_input("en", default=1)
+        self.add_input("rst", default=0)
+        self.add_output("q", width)
+        self._state = 0
+
+    def present(self) -> None:
+        self.outputs["q"].value = self._state
+
+    def clock(self) -> None:
+        if self.in_value("rst") & 1:
+            self._state = 0
+        elif self.in_value("en") & 1:
+            self._state = wrap(self._state + self.in_value("d"), self.width)
+
+    def reset(self) -> None:
+        super().reset()
+        self._state = 0
+
+    def resources(self) -> Resources:
+        # adder + register
+        return Resources(slices=2 * slices_for_bits(self.width))
+
+
+class Convert(_PipelinedBlock):
+    """Fixed-point format conversion (the System Generator Convert
+    block): requantize from ``(in_width, in_frac)`` to ``(out_width,
+    out_frac)`` with selectable rounding and overflow behaviour."""
+
+    def __init__(
+        self,
+        name: str,
+        in_width: int,
+        in_frac: int,
+        out_width: int,
+        out_frac: int,
+        signed: bool = True,
+        rounding: Rounding = Rounding.TRUNCATE,
+        overflow: Overflow = Overflow.WRAP,
+        latency: int = 0,
+    ):
+        super().__init__(name, latency)
+        self.in_fmt = FixedFormat(in_width, in_frac, signed)
+        self.out_fmt = FixedFormat(out_width, out_frac, signed)
+        self.rounding = rounding
+        self.overflow = overflow
+        self.add_input("in")
+        self.add_output("out", out_width)
+
+    def _compute(self) -> dict[str, int]:
+        value = self.in_fmt.from_raw(self.in_value("in"))
+        out = value.cast(self.out_fmt, self.rounding, self.overflow)
+        return {"out": out.bits()}
+
+    def resources(self) -> Resources:
+        extra = 0
+        if self.rounding is Rounding.ROUND:
+            extra += slices_for_bits(self.out_fmt.word_bits)  # round adder
+        if self.overflow is Overflow.SATURATE:
+            extra += slices_for_bits(self.out_fmt.word_bits) // 2 + 1
+        return Resources(slices=extra + self.latency *
+                         slices_for_bits(self.out_fmt.word_bits))

@@ -1,0 +1,51 @@
+"""Constant sources and counters."""
+
+from __future__ import annotations
+
+from repro.resources.types import Resources
+from repro.sysgen.block import CombBlock, SeqBlock, slices_for_bits, wrap
+
+
+class Constant(CombBlock):
+    """A constant driver."""
+
+    def __init__(self, name: str, value: int, width: int = 32):
+        super().__init__(name)
+        self.width = width
+        self.value = wrap(value, width)
+        self.add_output("out", width)
+
+    def evaluate(self) -> None:
+        self.outputs["out"].value = self.value
+
+    def resources(self) -> Resources:
+        return Resources()  # constants fold into downstream LUTs
+
+
+class Counter(SeqBlock):
+    """Free-running (or enabled) up-counter with synchronous reset."""
+
+    def __init__(self, name: str, width: int = 16, step: int = 1):
+        super().__init__(name)
+        self.width = width
+        self.step = step
+        self.add_input("en", default=1)
+        self.add_input("rst", default=0)
+        self.add_output("q", width)
+        self._state = 0
+
+    def present(self) -> None:
+        self.outputs["q"].value = self._state
+
+    def clock(self) -> None:
+        if self.in_value("rst") & 1:
+            self._state = 0
+        elif self.in_value("en") & 1:
+            self._state = wrap(self._state + self.step, self.width)
+
+    def reset(self) -> None:
+        super().reset()
+        self._state = 0
+
+    def resources(self) -> Resources:
+        return Resources(slices=slices_for_bits(self.width))

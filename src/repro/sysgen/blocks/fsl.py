@@ -1,0 +1,99 @@
+"""FSL interface blocks — the hardware-side view of the paper's
+"MicroBlaze Simulink block" FSL ports (Section III-B).
+
+``FSLRead`` faces a processor→peripheral channel: it presents the FIFO
+head on ``data``/``control`` with the ``exists`` flag (the paper's
+``Out#_exists``/``Out#_control``), and consumes a word at the clock
+edge when the design asserts ``read`` while data exists.
+
+``FSLWrite`` faces a peripheral→processor channel: the design drives
+``data``/``control`` and asserts ``write``; the block reports ``full``
+(the paper's ``In#_full``) and pushes at the clock edge.
+
+Both are *bound* to an :class:`~repro.bus.fsl.FSLChannel` by the
+co-simulation environment (:class:`repro.cosim.mb_block.MicroBlazeBlock`),
+which owns the channel objects shared with the CPU's FSL unit.
+"""
+
+from __future__ import annotations
+
+from repro.bus.fsl import FSLChannel
+from repro.resources.types import Resources
+from repro.sysgen.block import SeqBlock
+
+
+class FSLBindError(RuntimeError):
+    """Raised when stepping an FSL block that has no bound channel."""
+
+
+class FSLRead(SeqBlock):
+    """Peripheral-side reader of a processor→peripheral FSL."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.add_input("read", default=0)
+        self.add_output("data", 32)
+        self.add_output("exists", 1)
+        self.add_output("control", 1)
+        self.channel: FSLChannel | None = None
+
+    def bind(self, channel: FSLChannel) -> None:
+        self.channel = channel
+
+    def _require(self) -> FSLChannel:
+        if self.channel is None:
+            raise FSLBindError(f"FSLRead {self.name!r} has no bound channel")
+        return self.channel
+
+    def present(self) -> None:
+        word = self._require().peek()
+        if word is None:
+            self.outputs["data"].value = 0
+            self.outputs["control"].value = 0
+            self.outputs["exists"].value = 0
+        else:
+            self.outputs["data"].value = word.data
+            self.outputs["control"].value = int(word.control)
+            self.outputs["exists"].value = 1
+
+    def clock(self) -> None:
+        ch = self._require()
+        if self.in_value("read") & 1 and ch.exists:
+            ch.pop()
+
+    def resources(self) -> Resources:
+        return Resources(slices=4)  # handshake decode logic
+
+
+class FSLWrite(SeqBlock):
+    """Peripheral-side writer of a peripheral→processor FSL."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.add_input("data")
+        self.add_input("write", default=0)
+        self.add_input("control", default=0)
+        self.add_output("full", 1)
+        self.channel: FSLChannel | None = None
+        self.dropped = 0  # writes attempted while full
+
+    def bind(self, channel: FSLChannel) -> None:
+        self.channel = channel
+
+    def _require(self) -> FSLChannel:
+        if self.channel is None:
+            raise FSLBindError(f"FSLWrite {self.name!r} has no bound channel")
+        return self.channel
+
+    def present(self) -> None:
+        self.outputs["full"].value = int(self._require().full)
+
+    def clock(self) -> None:
+        ch = self._require()
+        if self.in_value("write") & 1:
+            ok = ch.push(self.in_value("data"), bool(self.in_value("control") & 1))
+            if not ok:
+                self.dropped += 1
+
+    def resources(self) -> Resources:
+        return Resources(slices=4)

@@ -1,0 +1,167 @@
+"""Combinational selection, comparison and bit-manipulation blocks."""
+
+from __future__ import annotations
+
+from repro.resources.types import Resources
+from repro.sysgen.block import CombBlock, slices_for_bits, to_signed, wrap
+
+_REL_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+_LOGIC_OPS = ("and", "or", "xor", "nand", "nor", "xnor")
+
+
+class Mux(CombBlock):
+    """``n``-way multiplexer: ``out = d<sel>``."""
+
+    def __init__(self, name: str, width: int = 32, n: int = 2):
+        super().__init__(name)
+        if n < 2:
+            raise ValueError("mux needs at least 2 inputs")
+        self.width = width
+        self.n = n
+        self.add_input("sel")
+        for k in range(n):
+            self.add_input(f"d{k}")
+        self.add_output("out", width)
+
+    def evaluate(self) -> None:
+        sel = self.in_value("sel") % self.n
+        self.outputs["out"].value = wrap(self.in_value(f"d{sel}"), self.width)
+
+    def resources(self) -> Resources:
+        # one LUT per output bit per pair of inputs
+        return Resources(slices=slices_for_bits(self.width) * (self.n - 1))
+
+
+class Relational(CombBlock):
+    """Comparator producing a 1-bit flag."""
+
+    def __init__(self, name: str, width: int = 32, op: str = "lt",
+                 signed: bool = True):
+        super().__init__(name)
+        if op not in _REL_OPS:
+            raise ValueError(f"op must be one of {_REL_OPS}")
+        self.width = width
+        self.op = op
+        self.signed = signed
+        self.add_input("a")
+        self.add_input("b")
+        self.add_output("out", 1)
+
+    def evaluate(self) -> None:
+        a = self.in_value("a")
+        b = self.in_value("b")
+        if self.signed:
+            a = to_signed(a, self.width)
+            b = to_signed(b, self.width)
+        else:
+            a = wrap(a, self.width)
+            b = wrap(b, self.width)
+        result = {
+            "eq": a == b,
+            "ne": a != b,
+            "lt": a < b,
+            "le": a <= b,
+            "gt": a > b,
+            "ge": a >= b,
+        }[self.op]
+        self.outputs["out"].value = int(result)
+
+    def resources(self) -> Resources:
+        return Resources(slices=slices_for_bits(self.width))
+
+
+class Logical(CombBlock):
+    """Bitwise logic over ``n`` operands of ``width`` bits."""
+
+    def __init__(self, name: str, width: int = 32, op: str = "and", n: int = 2):
+        super().__init__(name)
+        if op not in _LOGIC_OPS:
+            raise ValueError(f"op must be one of {_LOGIC_OPS}")
+        if n < 2:
+            raise ValueError("logical block needs at least 2 inputs")
+        self.width = width
+        self.op = op
+        self.n = n
+        for k in range(n):
+            self.add_input(f"d{k}")
+        self.add_output("out", width)
+
+    def evaluate(self) -> None:
+        values = [self.in_value(f"d{k}") for k in range(self.n)]
+        acc = values[0]
+        base = self.op.removeprefix("n") if self.op in ("nand", "nor") else (
+            "xor" if self.op == "xnor" else self.op
+        )
+        for v in values[1:]:
+            if base == "and":
+                acc &= v
+            elif base == "or":
+                acc |= v
+            else:
+                acc ^= v
+        if self.op in ("nand", "nor", "xnor"):
+            acc = ~acc
+        self.outputs["out"].value = wrap(acc, self.width)
+
+    def resources(self) -> Resources:
+        return Resources(slices=slices_for_bits(self.width) * (self.n - 1))
+
+
+class Inverter(CombBlock):
+    """Bitwise NOT."""
+
+    def __init__(self, name: str, width: int = 1):
+        super().__init__(name)
+        self.width = width
+        self.add_input("a")
+        self.add_output("out", width)
+
+    def evaluate(self) -> None:
+        self.outputs["out"].value = wrap(~self.in_value("a"), self.width)
+
+    def resources(self) -> Resources:
+        return Resources(slices=slices_for_bits(self.width))
+
+
+class Slice(CombBlock):
+    """Extract bits ``[msb:lsb]`` (inclusive) from the input."""
+
+    def __init__(self, name: str, msb: int, lsb: int = 0):
+        super().__init__(name)
+        if msb < lsb or lsb < 0:
+            raise ValueError("require msb >= lsb >= 0")
+        self.msb = msb
+        self.lsb = lsb
+        self.add_input("a")
+        self.add_output("out", msb - lsb + 1)
+
+    def evaluate(self) -> None:
+        width = self.msb - self.lsb + 1
+        self.outputs["out"].value = (self.in_value("a") >> self.lsb) & (
+            (1 << width) - 1
+        )
+
+    def resources(self) -> Resources:
+        return Resources()  # pure wiring
+
+
+class Concat(CombBlock):
+    """Concatenate inputs, ``d0`` becoming the most significant field."""
+
+    def __init__(self, name: str, widths: list[int]):
+        super().__init__(name)
+        if not widths:
+            raise ValueError("concat needs at least one field")
+        self.widths = list(widths)
+        for k in range(len(widths)):
+            self.add_input(f"d{k}")
+        self.add_output("out", sum(widths))
+
+    def evaluate(self) -> None:
+        acc = 0
+        for k, width in enumerate(self.widths):
+            acc = (acc << width) | wrap(self.in_value(f"d{k}"), width)
+        self.outputs["out"].value = acc
+
+    def resources(self) -> Resources:
+        return Resources()  # pure wiring

@@ -1,0 +1,174 @@
+"""State-holding blocks: registers, delays, FIFOs, ROM/RAM."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.resources.types import Resources
+from repro.sysgen.block import CombBlock, SeqBlock, slices_for_bits, wrap
+
+
+class Register(SeqBlock):
+    """D-type register with optional enable and synchronous reset."""
+
+    def __init__(self, name: str, width: int = 32, init: int = 0):
+        super().__init__(name)
+        self.width = width
+        self.init = wrap(init, width)
+        self.add_input("d")
+        self.add_input("en", default=1)
+        self.add_input("rst", default=0)
+        self.add_output("q", width)
+        self._state = self.init
+
+    def present(self) -> None:
+        self.outputs["q"].value = self._state
+
+    def clock(self) -> None:
+        if self.in_value("rst") & 1:
+            self._state = self.init
+        elif self.in_value("en") & 1:
+            self._state = wrap(self.in_value("d"), self.width)
+
+    def reset(self) -> None:
+        super().reset()
+        self._state = self.init
+
+    def resources(self) -> Resources:
+        return Resources(slices=slices_for_bits(self.width))
+
+
+class Delay(SeqBlock):
+    """``n``-cycle delay line (SRL16-style shift register)."""
+
+    def __init__(self, name: str, width: int = 32, n: int = 1):
+        super().__init__(name)
+        if n < 1:
+            raise ValueError("delay length must be >= 1")
+        self.width = width
+        self.n = n
+        self.add_input("d")
+        self.add_output("q", width)
+        self._line: deque[int] = deque([0] * n)
+
+    def present(self) -> None:
+        self.outputs["q"].value = self._line[0]
+
+    def clock(self) -> None:
+        self._line.popleft()
+        self._line.append(wrap(self.in_value("d"), self.width))
+
+    def reset(self) -> None:
+        super().reset()
+        self._line = deque([0] * self.n)
+
+    def resources(self) -> Resources:
+        # SRL16: one LUT per bit per 16 stages.
+        luts = self.width * ((self.n + 15) // 16)
+        return Resources(slices=(luts + 1) // 2)
+
+
+class FIFO(SeqBlock):
+    """Synchronous FIFO with registered status flags.
+
+    Ports: ``din``/``push`` write side, ``dout``/``pop`` read side,
+    ``empty``/``full``/``count`` status.  ``dout`` presents the head
+    word; a ``pop`` with ``empty`` high or ``push`` with ``full`` high
+    is ignored (as in the Xilinx FSL FIFO macro).
+    """
+
+    def __init__(self, name: str, width: int = 32, depth: int = 16):
+        super().__init__(name)
+        if depth < 1:
+            raise ValueError("FIFO depth must be >= 1")
+        self.width = width
+        self.depth = depth
+        self.add_input("din")
+        self.add_input("push", default=0)
+        self.add_input("pop", default=0)
+        self.add_output("dout", width)
+        self.add_output("empty", 1)
+        self.add_output("full", 1)
+        self.add_output("count", depth.bit_length())
+        self._fifo: deque[int] = deque()
+
+    def present(self) -> None:
+        self.outputs["dout"].value = self._fifo[0] if self._fifo else 0
+        self.outputs["empty"].value = int(not self._fifo)
+        self.outputs["full"].value = int(len(self._fifo) >= self.depth)
+        self.outputs["count"].value = len(self._fifo)
+
+    def clock(self) -> None:
+        if self.in_value("pop") & 1 and self._fifo:
+            self._fifo.popleft()
+        if self.in_value("push") & 1 and len(self._fifo) < self.depth:
+            self._fifo.append(wrap(self.in_value("din"), self.width))
+
+    def reset(self) -> None:
+        super().reset()
+        self._fifo.clear()
+
+    def resources(self) -> Resources:
+        if self.depth * self.width > 4096:  # BRAM-based beyond ~4 kbit
+            return Resources(slices=16, brams=(self.depth * self.width + 18_431)
+                             // 18_432)
+        luts = self.width * ((self.depth + 15) // 16)
+        return Resources(slices=(luts + 1) // 2 + 8)  # storage + pointers
+
+
+class ROM(CombBlock):
+    """Asynchronous-read constant table (distributed ROM)."""
+
+    def __init__(self, name: str, contents: list[int], width: int = 32):
+        super().__init__(name)
+        if not contents:
+            raise ValueError("ROM needs at least one word")
+        self.width = width
+        self.contents = [wrap(v, width) for v in contents]
+        self.add_input("addr")
+        self.add_output("data", width)
+
+    def evaluate(self) -> None:
+        addr = self.in_value("addr") % len(self.contents)
+        self.outputs["data"].value = self.contents[addr]
+
+    def resources(self) -> Resources:
+        luts = self.width * ((len(self.contents) + 15) // 16)
+        return Resources(slices=(luts + 1) // 2)
+
+
+class RAM(SeqBlock):
+    """Single-port synchronous RAM (BRAM behaviour: registered read)."""
+
+    def __init__(self, name: str, depth: int, width: int = 32):
+        super().__init__(name)
+        if depth < 1:
+            raise ValueError("RAM depth must be >= 1")
+        self.width = width
+        self.depth = depth
+        self.add_input("addr")
+        self.add_input("din")
+        self.add_input("we", default=0)
+        self.add_output("dout", width)
+        self._mem = [0] * depth
+        self._read_reg = 0
+
+    def present(self) -> None:
+        self.outputs["dout"].value = self._read_reg
+
+    def clock(self) -> None:
+        addr = self.in_value("addr") % self.depth
+        if self.in_value("we") & 1:
+            self._mem[addr] = wrap(self.in_value("din"), self.width)
+        self._read_reg = self._mem[addr]
+
+    def reset(self) -> None:
+        super().reset()
+        self._mem = [0] * self.depth
+        self._read_reg = 0
+
+    def resources(self) -> Resources:
+        bits = self.depth * self.width
+        if bits > 4096:
+            return Resources(brams=(bits + 18_431) // 18_432)
+        return Resources(slices=(bits // 16 + 1) // 2 + 4)

@@ -1,0 +1,189 @@
+"""Cycle-driven simulation engine for sysgen block diagrams.
+
+The model compiles a static schedule once: sequential-block outputs and
+source blocks are roots, combinational blocks are topologically sorted
+between them.  Each :meth:`Model.step` then simulates one clock cycle::
+
+    present()  on every sequential block   (registered outputs appear)
+    evaluate() on comb blocks in topo order (signals settle)
+    sample     probes
+    clock()    on every sequential block   (state captures inputs)
+
+A combinational feedback loop (no register on the path) is rejected at
+compile time, matching hardware semantics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.resources.types import Resources
+from repro.sysgen.block import Block
+from repro.sysgen.ports import InputPort, OutputPort, PortRef
+
+
+class ModelError(RuntimeError):
+    """Construction or scheduling error."""
+
+
+class Probe:
+    """Records one port's value every cycle."""
+
+    def __init__(self, port: OutputPort, name: str = ""):
+        self.port = port
+        self.name = name or f"{port.block.name}.{port.name}"
+        self.samples: list[int] = []
+
+    def sample(self) -> None:
+        self.samples.append(self.port.value)
+
+
+class Model:
+    """A System Generator design: blocks + wires + schedule."""
+
+    def __init__(self, name: str = "design"):
+        self.name = name
+        self.blocks: list[Block] = []
+        self._names: set[str] = set()
+        self.probes: list[Probe] = []
+        self.cycle = 0
+        self._schedule: list[Block] | None = None
+        self._seq: list[Block] = []
+        #: (source OutputPort, dest InputPort) pairs, for lowering
+        self.connections: list[tuple[OutputPort, InputPort]] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, block: Block) -> Block:
+        if block.name in self._names:
+            raise ModelError(f"duplicate block name {block.name!r}")
+        if block.model is not None:
+            raise ModelError(f"block {block.name!r} already belongs to a model")
+        self._names.add(block.name)
+        block.model = self
+        self.blocks.append(block)
+        self._schedule = None
+        return block
+
+    def connect(self, src: PortRef, *dsts: PortRef) -> None:
+        """Wire an output to one or more inputs."""
+        if src.is_input:
+            raise ModelError(f"connection source must be an output: {src!r}")
+        out = src.port
+        assert isinstance(out, OutputPort)
+        for dst in dsts:
+            if not dst.is_input:
+                raise ModelError(f"connection target must be an input: {dst!r}")
+            port = dst.port
+            assert isinstance(port, InputPort)
+            if port.source is not None:
+                raise ModelError(
+                    f"input {port.block.name}.{port.name} already driven by "
+                    f"{port.source.block.name}.{port.source.name}"
+                )
+            port.source = out
+            self.connections.append((out, port))
+        self._schedule = None
+
+    def probe(self, ref: PortRef, name: str = "") -> Probe:
+        if ref.is_input:
+            raise ModelError("probes attach to output ports")
+        probe = Probe(ref.port, name)  # type: ignore[arg-type]
+        self.probes.append(probe)
+        return probe
+
+    def block(self, name: str) -> Block:
+        for b in self.blocks:
+            if b.name == name:
+                return b
+        raise ModelError(f"no block named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def compile(self) -> None:
+        """Build the static combinational schedule."""
+        comb = [b for b in self.blocks if not b.sequential]
+        self._seq = [b for b in self.blocks if b.sequential]
+        # dependency edges between comb blocks
+        deps: dict[Block, set[Block]] = {b: set() for b in comb}
+        users: dict[Block, list[Block]] = {b: [] for b in comb}
+        for block in comb:
+            for port in block.inputs.values():
+                if port.source is None:
+                    continue
+                src = port.source.block
+                if not src.sequential and src is not block:
+                    if src not in deps[block]:
+                        deps[block].add(src)
+                        users[src].append(block)
+        ready = deque(b for b in comb if not deps[b])
+        order: list[Block] = []
+        remaining = {b: len(deps[b]) for b in comb}
+        while ready:
+            block = ready.popleft()
+            order.append(block)
+            for user in users[block]:
+                remaining[user] -= 1
+                if remaining[user] == 0:
+                    ready.append(user)
+        if len(order) != len(comb):
+            cyclic = sorted(b.name for b in comb if remaining[b] > 0)
+            raise ModelError(
+                "combinational loop through blocks: " + ", ".join(cyclic)
+                + " (insert a Register/Delay)"
+            )
+        self._schedule = order
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def step(self, cycles: int = 1) -> None:
+        """Advance ``cycles`` clock cycles."""
+        if self._schedule is None:
+            self.compile()
+        assert self._schedule is not None
+        schedule = self._schedule
+        seq = self._seq
+        probes = self.probes
+        for _ in range(cycles):
+            for block in seq:
+                block.present()
+            for block in schedule:
+                block.evaluate()
+            for probe in probes:
+                probe.sample()
+            for block in seq:
+                block.clock()
+            self.cycle += 1
+
+    def settle(self) -> None:
+        """Propagate combinational logic without advancing the clock
+        (useful to inspect mid-cycle values in tests)."""
+        if self._schedule is None:
+            self.compile()
+        assert self._schedule is not None
+        for block in self._seq:
+            block.present()
+        for block in self._schedule:
+            block.evaluate()
+
+    def reset(self) -> None:
+        self.cycle = 0
+        for block in self.blocks:
+            block.reset()
+        for probe in self.probes:
+            probe.samples.clear()
+
+    # ------------------------------------------------------------------
+    def resources(self) -> Resources:
+        """Total estimated resources over all blocks (the System
+        Generator resource-estimator analogue)."""
+        total = Resources()
+        for block in self.blocks:
+            total = total + block.resources()
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Model {self.name!r}: {len(self.blocks)} blocks>"

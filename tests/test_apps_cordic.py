@@ -1,0 +1,195 @@
+"""Tests for the CORDIC division application (paper Section IV-A)."""
+
+import pytest
+
+from repro.apps.cordic.algorithm import (
+    cordic_divide_fixed,
+    from_fixed,
+    generate_dataset,
+    quotient_error,
+    to_fixed,
+)
+from repro.apps.cordic.design import CordicDesign
+from repro.apps.cordic.hardware import CordicPipelineGenerator, build_cordic_model
+from repro.pygen.params import ParameterError
+
+
+class TestAlgorithm:
+    def test_converges_to_quotient(self):
+        a = to_fixed(3.0)
+        b = to_fixed(1.5)
+        _, z = cordic_divide_fixed(b, a, 24)
+        assert abs(from_fixed(z) - 0.5) < 1e-4
+
+    def test_more_iterations_tighter(self):
+        a = to_fixed(2.7)
+        b = to_fixed(1.9)
+        err8 = quotient_error(a, b, cordic_divide_fixed(b, a, 8)[1])
+        err24 = quotient_error(a, b, cordic_divide_fixed(b, a, 24)[1])
+        assert err24 <= err8
+
+    def test_dataset_deterministic(self):
+        assert generate_dataset(8, seed=42) == generate_dataset(8, seed=42)
+        assert generate_dataset(8, seed=42) != generate_dataset(8, seed=43)
+
+    def test_dataset_in_convergence_domain(self):
+        for a, b in generate_dataset(64):
+            assert 0 <= b < a
+
+    def test_whole_dataset_accuracy(self):
+        for a, b in generate_dataset(16):
+            _, z = cordic_divide_fixed(b, a, 24)
+            assert quotient_error(a, b, z) < 2e-3
+
+    def test_to_fixed_overflow(self):
+        with pytest.raises(OverflowError):
+            to_fixed(1 << 20, frac=16)
+
+
+class TestPipelineModel:
+    """Drive the raw sysgen pipeline without the CPU."""
+
+    def _run_datum(self, p, a_raw, b_raw, s0=0):
+        model, mb = build_cordic_model(p)
+        to_hw = mb.to_hw_channel(0)
+        from_hw = mb.from_hw_channel(0)
+        one = 1 << 16
+        to_hw.push((one >> s0) & 0xFFFFFFFF, control=True)
+        to_hw.push((a_raw >> s0) & 0xFFFFFFFF)
+        to_hw.push(b_raw & 0xFFFFFFFF)
+        to_hw.push(0)
+        model.step(p + 12)  # plenty of cycles to flush
+        y = from_hw.pop()
+        z = from_hw.pop()
+        assert y is not None and z is not None
+
+        def s32(v):
+            return v - 0x100000000 if v & 0x80000000 else v
+
+        return s32(y.data), s32(z.data)
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_matches_golden_one_pass(self, p):
+        a = to_fixed(3.25)
+        b = to_fixed(1.0)
+        got_y, got_z = self._run_datum(p, a, b)
+        exp_y, exp_z = cordic_divide_fixed(b, a, p)
+        assert (got_y, got_z) == (exp_y, exp_z)
+
+    def test_second_pass_control_word(self):
+        # Running pass 2 (s0 = P) must continue exactly where the
+        # golden model's iteration P left off.
+        p = 4
+        a = to_fixed(2.0)
+        b = to_fixed(1.2)
+        y1, z1 = cordic_divide_fixed(b, a, p)
+        model, mb = build_cordic_model(p)
+        to_hw = mb.to_hw_channel(0)
+        from_hw = mb.from_hw_channel(0)
+        one = 1 << 16
+        # pass 2: send intermediate y/z with C0 = 2^-P
+        to_hw.push((one >> p) & 0xFFFFFFFF, control=True)
+        to_hw.push((a >> p) & 0xFFFFFFFF)
+        to_hw.push(y1 & 0xFFFFFFFF)
+        to_hw.push(z1 & 0xFFFFFFFF)
+        model.step(p + 12)
+        y = from_hw.pop().data
+        z = from_hw.pop().data
+
+        def s32(v):
+            return v - 0x100000000 if v & 0x80000000 else v
+
+        exp_y, exp_z = cordic_divide_fixed(b, a, 2 * p)
+        assert (s32(y), s32(z)) == (exp_y, exp_z)
+
+    def test_pipeline_throughput(self):
+        # A stream of data keeps the pipeline full: M inputs need about
+        # 3*M + latency cycles, not M * (pipeline length).
+        p = 4
+        model, mb = build_cordic_model(p)
+        to_hw = mb.to_hw_channel(0)
+        from_hw = mb.from_hw_channel(0)
+        one = 1 << 16
+        to_hw.push(one, control=True)
+        data = generate_dataset(4)
+        for a, b in data:
+            to_hw.push(a & 0xFFFFFFFF)
+            to_hw.push(b & 0xFFFFFFFF)
+            to_hw.push(0)
+        model.step(3 * len(data) + p + 8)
+        assert len(from_hw) == 2 * len(data)
+        for a, b in data:
+            y = from_hw.pop().data
+            z = from_hw.pop().data
+
+            def s32(v):
+                return v - 0x100000000 if v & 0x80000000 else v
+
+            exp_y, exp_z = cordic_divide_fixed(b, a, p)
+            assert (s32(y), s32(z)) == (exp_y, exp_z)
+
+    def test_resources_grow_linearly_with_p(self):
+        r2 = build_cordic_model(2)[0].resources()
+        r4 = build_cordic_model(4)[0].resources()
+        r6 = build_cordic_model(6)[0].resources()
+        assert r4.slices - r2.slices == r6.slices - r4.slices > 0
+        assert r4.mult18 == 0  # PEs use no multipliers (paper Table I)
+
+
+class TestDesign:
+    def test_software_design_verifies(self):
+        d = CordicDesign(p=0, iters=16, ndata=4)
+        result = d.run()
+        assert result.exit_code == 0
+        assert result.cycles > 0
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_hw_design_verifies(self, p):
+        d = CordicDesign(p=p, iters=8, ndata=4)
+        result = d.run()
+        assert result.exit_code == 0
+
+    def test_hw_beats_software(self):
+        sw = CordicDesign(p=0, iters=24, ndata=8).run()
+        hw = CordicDesign(p=4, iters=24, ndata=8).run()
+        assert hw.cycles < sw.cycles
+
+    def test_more_pes_fewer_cycles(self):
+        c4 = CordicDesign(p=4, iters=24, ndata=8).run().cycles
+        c8 = CordicDesign(p=8, iters=24, ndata=8).run().cycles
+        assert c8 < c4
+
+    def test_effective_iterations_rounds_up(self):
+        d = CordicDesign(p=6, iters=16, ndata=4)
+        assert d.effective_iterations == 18
+
+    def test_estimate_includes_pipeline(self):
+        sw = CordicDesign(p=0, iters=8, ndata=4).estimate()
+        hw = CordicDesign(p=4, iters=8, ndata=4).estimate()
+        assert hw.total.slices > sw.total.slices
+        assert hw.fsl_links.slices > 0
+
+    def test_verification_catches_wrong_data(self):
+        from repro.apps.common import VerificationError
+
+        d = CordicDesign(p=2, iters=8, ndata=4)
+        # sabotage: swap the golden model for different iterations
+        d.iters = 9  # changes expected_results but not the program
+        with pytest.raises(VerificationError):
+            d.run()
+
+
+class TestGenerator:
+    def test_sweep_generates_designs(self):
+        gen = CordicPipelineGenerator()
+        designs = gen.sweep(P=[2, 4])
+        assert len(designs) == 2
+        assert designs[0].model.name == "cordic_p2"
+        assert "putfsl" in designs[0].c_source
+
+    def test_parameter_validation(self):
+        gen = CordicPipelineGenerator()
+        with pytest.raises(ParameterError):
+            gen.generate(P=99)
+        with pytest.raises(ParameterError):
+            gen.generate(BOGUS=1)

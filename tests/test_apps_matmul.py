@@ -1,0 +1,159 @@
+"""Tests for the block matrix multiplication application (Section IV-B)."""
+
+import pytest
+
+from repro.apps.matmul.algorithm import (
+    block_matmul_reference,
+    generate_matrices,
+    matmul_reference,
+)
+from repro.apps.matmul.design import MatmulDesign
+from repro.apps.matmul.hardware import MatmulBlockGenerator, build_matmul_model
+from repro.pygen.params import ParameterError
+
+
+class TestAlgorithm:
+    def test_reference_small(self):
+        a = [[1, 2], [3, 4]]
+        b = [[5, 6], [7, 8]]
+        assert matmul_reference(a, b) == [[19, 22], [43, 50]]
+
+    def test_blocked_equals_plain(self):
+        a, b = generate_matrices(8)
+        plain = matmul_reference(a, b)
+        assert block_matmul_reference(a, b, 2) == plain
+        assert block_matmul_reference(a, b, 4) == plain
+
+    def test_block_divisibility_check(self):
+        a, b = generate_matrices(6)
+        with pytest.raises(ValueError):
+            block_matmul_reference(a, b, 4)
+
+    def test_matrices_deterministic(self):
+        assert generate_matrices(4, seed=7) == generate_matrices(4, seed=7)
+
+    def test_wrap_semantics(self):
+        big = [[0x7FFFFFFF]]
+        two = [[2]]
+        # 2 * INT_MAX wraps in 32-bit two's complement
+        assert matmul_reference(big, two) == [[-2]]
+
+
+class TestPeripheralModel:
+    """Drive the raw block multiplier without the CPU."""
+
+    def _run_block(self, n, a_block, b_block):
+        # deep FIFO so the whole test stimulus can be preloaded
+        model, mb = build_matmul_model(n, fifo_depth=64)
+        to_hw = mb.to_hw_channel(0)
+        from_hw = mb.from_hw_channel(0)
+        # load B column by column (k fast)
+        for j in range(n):
+            for k in range(n):
+                to_hw.push(b_block[k][j] & 0xFFFFFFFF, control=True)
+        # stream A column by column (i fast)
+        for k in range(n):
+            for i in range(n):
+                to_hw.push(a_block[i][k] & 0xFFFFFFFF)
+        model.step(3 * n * n + 24)
+        assert len(from_hw) == n * n
+        out = [[0] * n for _ in range(n)]
+        for j in range(n):
+            for i in range(n):
+                word = from_hw.pop()
+                raw = word.data
+                out[i][j] = raw - 0x100000000 if raw & 0x80000000 else raw
+        return out
+
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_single_block_product(self, n):
+        a, b = generate_matrices(n, seed=11)
+        assert self._run_block(n, a, b) == matmul_reference(a, b)
+
+    def test_negative_entries(self):
+        a = [[-3, 2], [7, -5]]
+        b = [[4, -1], [-6, 8]]
+        assert self._run_block(2, a, b) == matmul_reference(a, b)
+
+    def test_b_block_reused_across_a_blocks(self):
+        # One B load, two A blocks streamed back to back.
+        n = 2
+        model, mb = build_matmul_model(n)
+        to_hw = mb.to_hw_channel(0)
+        from_hw = mb.from_hw_channel(0)
+        b = [[2, 3], [5, 7]]
+        a1 = [[1, 0], [0, 1]]
+        a2 = [[1, 1], [1, 1]]
+        for j in range(n):
+            for k in range(n):
+                to_hw.push(b[k][j], control=True)
+        for blk in (a1, a2):
+            for k in range(n):
+                for i in range(n):
+                    to_hw.push(blk[i][k])
+        model.step(40)
+        results = []
+        for _ in range(2):
+            out = [[0] * n for _ in range(n)]
+            for j in range(n):
+                for i in range(n):
+                    out[i][j] = from_hw.pop().data
+            results.append(out)
+        assert results[0] == matmul_reference(a1, b)
+        assert results[1] == matmul_reference(a2, b)
+
+    def test_multiplier_count_matches_block_size(self):
+        r2 = build_matmul_model(2)[0].resources()
+        r4 = build_matmul_model(4)[0].resources()
+        assert r2.mult18 == 2  # paper Table I: +2 multipliers for 2x2
+        assert r4.mult18 == 4  # and +4 for 4x4
+        assert r4.slices > r2.slices
+
+    def test_block_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            build_matmul_model(3)
+
+
+class TestDesign:
+    def test_software_design_verifies(self):
+        r = MatmulDesign(block=0, matn=4).run()
+        assert r.exit_code == 0
+
+    @pytest.mark.parametrize("block", [2, 4])
+    def test_hw_design_verifies(self, block):
+        r = MatmulDesign(block=block, matn=4 if block == 2 else 8).run()
+        assert r.exit_code == 0
+
+    def test_paper_crossover_shape(self):
+        """The paper's headline: 2x2 blocks lose to pure software,
+        4x4 blocks win (communication vs. parallelism trade-off)."""
+        sw = MatmulDesign(block=0, matn=8).run().cycles
+        hw2 = MatmulDesign(block=2, matn=8).run().cycles
+        hw4 = MatmulDesign(block=4, matn=8).run().cycles
+        assert hw2 > sw  # 2x2 slower than software
+        assert hw4 < sw  # 4x4 faster than software
+
+    def test_estimates_ranked(self):
+        e0 = MatmulDesign(block=0, matn=4).estimate().total
+        e2 = MatmulDesign(block=2, matn=4).estimate().total
+        e4 = MatmulDesign(block=4, matn=8).estimate().total
+        assert e0.slices < e2.slices < e4.slices
+        assert (e0.mult18, e2.mult18, e4.mult18) == (3, 5, 7)  # Table I
+
+
+class TestGenerator:
+    def test_constraint_block_divides_matrix(self):
+        gen = MatmulBlockGenerator()
+        with pytest.raises(ParameterError):
+            gen.generate(BLOCK=4, MATN=6)
+
+    def test_constraint_fifo(self):
+        gen = MatmulBlockGenerator()
+        with pytest.raises(ParameterError):
+            gen.generate(BLOCK=8, MATN=16, FIFO_DEPTH=16)
+
+    def test_sweep_skips_invalid(self):
+        gen = MatmulBlockGenerator()
+        designs = gen.sweep(BLOCK=[2, 4], MATN=[4, 6])
+        # (2,4), (2,6), (4,4) valid; (4,6) invalid
+        assert len(designs) == 3

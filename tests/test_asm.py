@@ -1,0 +1,267 @@
+"""Tests for the assembler, linker and disassembler."""
+
+import pytest
+
+from repro.asm import AsmError, LinkError, assemble, disassemble, link
+from repro.asm.expr import ExprError, eval_expr, parse_expr
+from repro.isa import decode
+
+
+def build(source: str, entry: str = "_start"):
+    return link(assemble(source), entry_symbol=entry)
+
+
+class TestExpr:
+    def test_numbers(self):
+        assert eval_expr(parse_expr("42"), {}) == 42
+        assert eval_expr(parse_expr("0x10"), {}) == 16
+        assert eval_expr(parse_expr("0b101"), {}) == 5
+        assert eval_expr(parse_expr("'A'"), {}) == 65
+        assert eval_expr(parse_expr("'\\n'"), {}) == 10
+
+    def test_arithmetic(self):
+        assert eval_expr(parse_expr("2 + 3 * 4"), {}) == 14
+        assert eval_expr(parse_expr("(2 + 3) * 4"), {}) == 20
+        assert eval_expr(parse_expr("1 << 4"), {}) == 16
+        assert eval_expr(parse_expr("-8 + 3"), {}) == -5
+        assert eval_expr(parse_expr("~0"), {}) == -1
+
+    def test_symbols(self):
+        assert eval_expr(parse_expr("foo + 4"), {"foo": 100}) == 104
+
+    def test_undefined_symbol(self):
+        with pytest.raises(ExprError):
+            eval_expr(parse_expr("nope"), {})
+
+    def test_location_counter(self):
+        assert eval_expr(parse_expr(". + 8"), {}, location=100) == 108
+
+
+class TestAssembler:
+    def test_simple_program(self):
+        prog = build(
+            """
+            .text
+            .global _start
+_start:     addik r3, r0, 5
+            add   r3, r3, r3
+            """
+        )
+        assert prog.text_size == 8
+        word0 = int.from_bytes(prog.image[0:4], "big")
+        assert decode(word0).mnemonic == "addik"
+
+    def test_labels_and_branches(self):
+        prog = build(
+            """
+            .global _start
+_start:     addik r3, r0, 0
+loop:       addik r3, r3, 1
+            bri   loop
+            """
+        )
+        # bri at offset 8, target offset 4 -> displacement -4
+        word = int.from_bytes(prog.image[8:12], "big")
+        instr = decode(word)
+        assert instr.mnemonic == "bri"
+        assert instr.imm == -4
+
+    def test_auto_imm_prefix_for_symbolic_operand(self):
+        prog = build(
+            """
+            .global _start
+_start:     lwi  r3, r0, value
+            .data
+value:      .word 0xDEADBEEF
+            """
+        )
+        # lwi with a symbolic address becomes imm + lwi (8 bytes).
+        assert prog.text_size == 8
+        w0 = decode(int.from_bytes(prog.image[0:4], "big"))
+        w1 = decode(int.from_bytes(prog.image[4:8], "big"))
+        assert w0.mnemonic == "imm"
+        assert w1.mnemonic == "lwi"
+        addr = ((w0.imm & 0xFFFF) << 16) | (w1.imm & 0xFFFF)
+        assert prog.symbols["value"] == addr
+        assert prog.image[addr : addr + 4] == bytes.fromhex("deadbeef")
+
+    def test_large_constant_auto_imm(self):
+        prog = build(
+            """
+            .global _start
+_start:     addik r3, r0, 0x12345678
+            """
+        )
+        assert prog.text_size == 8
+        w0 = decode(int.from_bytes(prog.image[0:4], "big"))
+        assert w0.mnemonic == "imm"
+        assert (w0.imm & 0xFFFF) == 0x1234
+
+    def test_small_constant_single_word(self):
+        prog = build("_start: addik r3, r0, -5\n.global _start")
+        assert prog.text_size == 4
+
+    def test_li_pseudo(self):
+        prog = build(
+            """
+            .global _start
+_start:     li r3, 0x10000
+            """
+        )
+        assert prog.text_size == 8
+
+    def test_nop_pseudo(self):
+        prog = build(".global _start\n_start: nop")
+        instr = decode(int.from_bytes(prog.image[0:4], "big"))
+        assert instr.mnemonic == "or"
+        assert (instr.rd, instr.ra, instr.rb) == (0, 0, 0)
+
+    def test_data_directives(self):
+        prog = build(
+            """
+            .global _start
+_start:     nop
+            .data
+bytes:      .byte 1, 2, 3
+            .align 4
+halfs:      .half 0x1234
+words:      .word -1
+str1:       .asciz "hi\\n"
+            """
+        )
+        base = prog.symbols["bytes"]
+        assert prog.image[base : base + 3] == bytes([1, 2, 3])
+        h = prog.symbols["halfs"]
+        assert h % 4 == 0
+        assert prog.image[h : h + 2] == bytes.fromhex("1234")
+        w = prog.symbols["words"]
+        assert prog.image[w : w + 4] == b"\xff\xff\xff\xff"
+        s = prog.symbols["str1"]
+        assert prog.image[s : s + 4] == b"hi\n\x00"
+
+    def test_bss(self):
+        prog = build(
+            """
+            .global _start
+_start:     nop
+            .bss
+buffer:     .space 64
+            """
+        )
+        assert prog.bss_size == 64
+        assert prog.symbols["buffer"] >= prog.text_size
+
+    def test_equ(self):
+        prog = build(
+            """
+            .equ MAGIC, 0x42
+            .global _start
+_start:     addik r3, r0, MAGIC
+            """
+        )
+        instr = decode(int.from_bytes(prog.image[0:4], "big"))
+        assert instr.imm == 0x42
+
+    def test_fsl_operands(self):
+        prog = build(
+            """
+            .global _start
+_start:     put  r3, rfsl0
+            get  r4, rfsl1
+            nget r5, rfsl7
+            """
+        )
+        words = [
+            decode(int.from_bytes(prog.image[i : i + 4], "big"))
+            for i in range(0, 12, 4)
+        ]
+        assert [w.mnemonic for w in words] == ["put", "get", "nget"]
+        assert [w.fsl_id for w in words] == [0, 1, 7]
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("a:\na:\n nop")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError):
+            assemble(" frobnicate r1, r2")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AsmError):
+            assemble(" add r1, r2")
+
+    def test_instructions_rejected_in_data(self):
+        with pytest.raises(AsmError):
+            assemble(".data\n add r1, r2, r3")
+
+
+class TestLinker:
+    def test_multi_module_link(self):
+        m1 = assemble(
+            """
+            .global _start
+_start:     brlid r15, helper
+            nop
+            """,
+            name="main",
+        )
+        m2 = assemble(
+            """
+            .global helper
+helper:     rtsd r15, 8
+            nop
+            """,
+            name="helper",
+        )
+        prog = link([m1, m2])
+        assert "helper" in prog.symbols
+        # brlid displacement points at helper
+        w = decode(int.from_bytes(prog.image[0:4], "big"))
+        assert w.mnemonic == "brlid"
+        assert w.imm == prog.symbols["helper"]
+
+    def test_undefined_symbol_error(self):
+        m = assemble(".global _start\n_start: brlid r15, missing\n nop")
+        with pytest.raises(LinkError):
+            link(m)
+
+    def test_duplicate_symbol_error(self):
+        m1 = assemble(".global _start\n_start: nop\nfoo: nop")
+        m2 = assemble("foo: nop", name="other")
+        with pytest.raises(LinkError):
+            link([m1, m2])
+
+    def test_missing_entry(self):
+        m = assemble("main: nop")
+        with pytest.raises(LinkError):
+            link(m)
+
+    def test_data_after_text_alignment(self):
+        prog = build(
+            """
+            .global _start
+_start:     nop
+            .data
+x:          .word 7
+            """
+        )
+        assert prog.symbols["x"] % 16 == 0
+        assert prog.symbols["x"] >= prog.text_size
+
+
+class TestDisassembler:
+    def test_round_trip_text(self):
+        source_lines = [
+            ("add r1, r2, r3", "add"),
+            ("addik r1, r1, -4", "addik"),
+            ("get r3, rfsl2", "get"),
+            ("sext8 r4, r5", "sext8"),
+        ]
+        for text, mnemonic in source_lines:
+            prog = build(f".global _start\n_start: {text}")
+            word = int.from_bytes(prog.image[0:4], "big")
+            out = disassemble(word)
+            assert out.startswith(mnemonic)
+
+    def test_unknown_word(self):
+        assert disassemble(0xFFFFFFFF).startswith(".word")

@@ -1,0 +1,197 @@
+"""Tests for the command-line toolchain."""
+
+import threading
+
+import pytest
+
+from repro.cli import (
+    as_main,
+    cc_main,
+    load_image,
+    objdump_main,
+    run_main,
+    save_image,
+)
+from repro.mcc import build_executable
+
+HELLO = """
+int main(void) {
+    __builtin_putchar('h');
+    __builtin_putchar('i');
+    __builtin_putchar('\\n');
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def hello_c(tmp_path):
+    path = tmp_path / "hello.c"
+    path.write_text(HELLO)
+    return path
+
+
+class TestImageContainer:
+    def test_round_trip(self, tmp_path):
+        program = build_executable("int main(void) { return 7; }")
+        path = tmp_path / "p.img"
+        save_image(program, str(path))
+        loaded = load_image(str(path))
+        assert loaded.image == program.image
+        assert loaded.entry == program.entry
+        assert loaded.symbols == program.symbols
+        assert loaded.memory_size == program.memory_size
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.img"
+        path.write_bytes(b'{"magic": "NOPE"}\n')
+        with pytest.raises(ValueError, match="not an MB32 image"):
+            load_image(str(path))
+
+
+class TestCc:
+    def test_compile_to_image(self, hello_c, tmp_path, capsys):
+        out = tmp_path / "hello.img"
+        rc = cc_main([str(hello_c), "-o", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_emit_assembly(self, hello_c, capsys):
+        rc = cc_main([str(hello_c), "-S"])
+        assert rc == 0
+        asm = capsys.readouterr().out
+        assert ".global main" in asm
+        assert "brlid" in asm
+
+    def test_error_reporting(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("int main(void) { return undeclared; }")
+        rc = cc_main([str(bad)])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_target_flags(self, hello_c, tmp_path):
+        out = tmp_path / "soft.img"
+        rc = cc_main([str(hello_c), "--no-mult", "--no-barrel",
+                      "-o", str(out)])
+        assert rc == 0
+
+
+class TestAs:
+    def test_assemble_and_link(self, tmp_path, capsys):
+        src = tmp_path / "prog.s"
+        src.write_text(
+            ".global _start\n"
+            "_start: addik r3, r0, 3\n"
+            "        li r12, 0xFFFF0000\n"
+            "        swi r3, r12, 0\n"
+        )
+        out = tmp_path / "prog.img"
+        rc = as_main([str(src), "-o", str(out)])
+        assert rc == 0
+        assert run_main([str(out)]) == 3
+
+    def test_error(self, tmp_path, capsys):
+        src = tmp_path / "bad.s"
+        src.write_text("bogus r1, r2\n")
+        assert as_main([str(src)]) == 1
+
+
+class TestRun:
+    def test_runs_and_prints_console(self, hello_c, tmp_path, capsys):
+        out = tmp_path / "hello.img"
+        cc_main([str(hello_c), "-o", str(out)])
+        capsys.readouterr()
+        rc = run_main([str(out), "--stats"])
+        text = capsys.readouterr().out
+        assert rc == 0
+        assert "hi" in text
+        assert "instructions" in text
+        assert "exit code 0" in text
+
+    def test_exit_code_propagated(self, tmp_path, capsys):
+        src = tmp_path / "six.c"
+        src.write_text("int main(void) { return 6; }")
+        img = tmp_path / "six.img"
+        cc_main([str(src), "-o", str(img)])
+        assert run_main([str(img)]) == 6
+
+    def test_trace_option(self, hello_c, tmp_path, capsys):
+        img = tmp_path / "h.img"
+        cc_main([str(hello_c), "-o", str(img)])
+        capsys.readouterr()
+        run_main([str(img), "--trace", "5"])
+        out = capsys.readouterr().out
+        assert out.count("]") >= 5  # five trace lines
+
+    def test_nonterminating_reports(self, tmp_path, capsys):
+        src = tmp_path / "loop.s"
+        src.write_text(".global _start\n_start: bri 0\n")
+        img = tmp_path / "loop.img"
+        as_main([str(src), "-o", str(img)])
+        rc = run_main([str(img), "--max-cycles", "100"])
+        assert rc == 2
+        assert "did not exit" in capsys.readouterr().err
+
+
+class TestObjdump:
+    def test_disassembly(self, hello_c, tmp_path, capsys):
+        img = tmp_path / "h.img"
+        cc_main([str(hello_c), "-o", str(img)])
+        capsys.readouterr()
+        rc = objdump_main([str(img)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "main:" in out
+        assert "rtsd" in out
+
+    def test_symbols(self, hello_c, tmp_path, capsys):
+        img = tmp_path / "h.img"
+        cc_main([str(hello_c), "-o", str(img)])
+        capsys.readouterr()
+        objdump_main([str(img), "-t"])
+        out = capsys.readouterr().out
+        assert "main" in out
+        assert "_start" in out
+
+
+class TestGdbServer:
+    def test_serves_one_session(self, hello_c, tmp_path, capsys):
+        from repro.cli import gdbserver_main
+        from repro.gdb import GdbClient
+        import re
+        import io
+        import contextlib
+
+        img = tmp_path / "h.img"
+        cc_main([str(hello_c), "-o", str(img)])
+
+        # run the server main in a thread, scrape the port from stdout
+        buf = io.StringIO()
+        ready = threading.Event()
+        port_holder = {}
+
+        def serve():
+            import repro.cli as cli
+            from repro.gdb import Debugger, GdbServer
+            from repro.iss.run import make_cpu
+
+            program = load_image(str(img))
+            cpu = make_cpu(program)
+            server = GdbServer(Debugger(cpu, program))
+            port_holder["port"] = server.address[1]
+            ready.set()
+            server.serve_one()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert ready.wait(5)
+        client = GdbClient("127.0.0.1", port_holder["port"])
+        try:
+            assert client.request("?") == "S05"
+            reply = client.cont()
+            assert reply == "W00"
+        finally:
+            client.close()
+        thread.join(timeout=5)

@@ -1,0 +1,190 @@
+"""Integration tests for the co-simulation environment: compiled mini-C
+software exchanging data with sysgen hardware over FSL channels."""
+
+import pytest
+
+from repro.cosim import CoSimulation, MicroBlazeBlock
+from repro.iss.cpu import CPUConfig
+from repro.mcc import CompileOptions, build_executable
+from repro.sysgen import Model
+from repro.sysgen.blocks import Delay, Inverter, Logical, Shift
+from repro.resources.estimator import estimate_design
+
+
+def doubler_design(fifo_depth: int = 16, extra_latency: int = 0):
+    """A peripheral that reads x from FSL0 and writes back 2*x.
+
+    ``extra_latency`` inserts a pipeline delay to exercise stalling.
+    """
+    model = Model("doubler")
+    mb = MicroBlazeBlock(model, fifo_depth=fifo_depth)
+    rd = mb.master_fsl(0)
+    wr = mb.slave_fsl(0)
+    shl = model.add(Shift("shl", width=32, amount=1, direction="left"))
+    notfull = model.add(Inverter("notfull", width=1))
+    strobe = model.add(Logical("strobe", width=1, op="and"))
+    model.connect(wr.o("full"), notfull.i("a"))
+    model.connect(rd.o("exists"), strobe.i("d0"))
+    model.connect(notfull.o("out"), strobe.i("d1"))
+    model.connect(rd.o("data"), shl.i("a"))
+    model.connect(strobe.o("out"), rd.i("read"))
+    if extra_latency:
+        dly_d = model.add(Delay("dly_d", width=32, n=extra_latency))
+        dly_v = model.add(Delay("dly_v", width=1, n=extra_latency))
+        model.connect(shl.o("s"), dly_d.i("d"))
+        model.connect(strobe.o("out"), dly_v.i("d"))
+        model.connect(dly_d.o("q"), wr.i("data"))
+        model.connect(dly_v.o("q"), wr.i("write"))
+    else:
+        model.connect(shl.o("s"), wr.i("data"))
+        model.connect(strobe.o("out"), wr.i("write"))
+    return model, mb
+
+
+def build_cosim(source: str, model, mb, options=None):
+    options = options or CompileOptions()
+    program = build_executable(source, options)
+    config = CPUConfig(
+        use_hw_multiplier=options.hw_multiplier,
+        use_hw_divider=options.hw_divider,
+    )
+    return CoSimulation(program, model, mb, cpu_config=config)
+
+
+ECHO_SUM_SRC = """
+int main(void) {
+    int sum = 0;
+    for (int i = 1; i <= 5; i++) {
+        putfsl(i, 0);
+        sum += getfsl(0);
+    }
+    return sum;   /* doubler: 2+4+6+8+10 = 30 */
+}
+"""
+
+
+class TestCoSimulation:
+    def test_doubler_round_trip(self):
+        model, mb = doubler_design()
+        sim = build_cosim(ECHO_SUM_SRC, model, mb)
+        result = sim.run()
+        assert result.exit_code == 30
+        assert result.cycles > 0
+        assert result.instructions > 0
+
+    def test_doubler_with_pipeline_latency(self):
+        model, mb = doubler_design(extra_latency=8)
+        sim = build_cosim(ECHO_SUM_SRC, model, mb)
+        result = sim.run()
+        assert result.exit_code == 30
+        assert result.stall_cycles > 0  # CPU blocked while data in flight
+
+    def test_deeper_latency_costs_cycles(self):
+        model0, mb0 = doubler_design(extra_latency=0)
+        base = build_cosim(ECHO_SUM_SRC, model0, mb0).run()
+        model8, mb8 = doubler_design(extra_latency=8)
+        slow = build_cosim(ECHO_SUM_SRC, model8, mb8).run()
+        assert slow.cycles > base.cycles
+
+    def test_burst_write_set_by_set(self):
+        # The paper processes large inputs "set by set", each set sized
+        # to not overflow the output FSL FIFO.  40 words through a
+        # depth-4 FIFO as 10 sets of 4.
+        src = """
+        int main(void) {
+            int sum = 0;
+            for (int s = 0; s < 10; s++) {
+                for (int i = 0; i < 4; i++) putfsl(s * 4 + i, 0);
+                for (int i = 0; i < 4; i++) sum += getfsl(0);
+            }
+            return sum == 2 * (39 * 40 / 2);
+        }
+        """
+        model, mb = doubler_design(fifo_depth=4)
+        sim = build_cosim(src, model, mb)
+        result = sim.run()
+        assert result.exit_code == 1
+
+    def test_fifo_overflow_deadlock_detected(self):
+        # Writing a whole 40-word set through depth-4 FIFOs without
+        # draining results is the overflow deadlock the paper warns
+        # about; the environment must detect it rather than hang.
+        from repro.cosim.environment import CoSimDeadlock
+
+        src = """
+        int main(void) {
+            int sum = 0;
+            for (int i = 0; i < 40; i++) putfsl(i, 0);
+            for (int i = 0; i < 40; i++) sum += getfsl(0);
+            return sum;
+        }
+        """
+        model, mb = doubler_design(fifo_depth=4)
+        sim = build_cosim(src, model, mb)
+        with pytest.raises(CoSimDeadlock):
+            sim.run()
+
+    def test_nonblocking_polling(self):
+        # Non-blocking reads poll until data arrives (carry flag).
+        src = """
+        int main(void) {
+            int v;
+            putfsl(21, 0);
+            v = ngetfsl(0);
+            while (fsl_isinvalid()) { v = ngetfsl(0); }
+            return v;
+        }
+        """
+        model, mb = doubler_design(extra_latency=6)
+        sim = build_cosim(src, model, mb)
+        result = sim.run()
+        assert result.exit_code == 42
+
+    def test_cosim_reset_reruns(self):
+        model, mb = doubler_design()
+        sim = build_cosim(ECHO_SUM_SRC, model, mb)
+        first = sim.run()
+        sim.reset()
+        second = sim.run()
+        assert first.exit_code == second.exit_code == 30
+        assert first.cycles == second.cycles  # deterministic
+
+    def test_result_metrics(self):
+        model, mb = doubler_design()
+        sim = build_cosim(ECHO_SUM_SRC, model, mb)
+        result = sim.run()
+        assert result.simulated_seconds == pytest.approx(result.cycles / 50e6)
+        assert result.wall_seconds > 0
+        assert result.cycles_per_wall_second > 0
+
+    def test_resource_estimate_includes_links(self):
+        model, mb = doubler_design()
+        program = build_executable(ECHO_SUM_SRC)
+        est = estimate_design(model=model, program=program,
+                              n_fsl_links=mb.n_links)
+        assert mb.n_links == 2
+        assert est.fsl_links.slices == 48
+        assert est.total.slices > 450  # includes the processor
+        assert est.program_brams >= 1
+
+
+class TestMicroBlazeBlock:
+    def test_duplicate_channel_rejected(self):
+        model = Model()
+        mb = MicroBlazeBlock(model)
+        mb.master_fsl(0)
+        with pytest.raises(ValueError):
+            mb.master_fsl(0)
+
+    def test_channel_id_range(self):
+        model = Model()
+        mb = MicroBlazeBlock(model)
+        with pytest.raises(ValueError):
+            mb.master_fsl(8)
+
+    def test_channel_objects_shared(self):
+        model = Model()
+        mb = MicroBlazeBlock(model)
+        rd = mb.master_fsl(2)
+        assert rd.channel is mb.to_hw_channel(2)
+        assert mb.fsl_ports.outputs[2] is mb.to_hw_channel(2)

@@ -1,0 +1,168 @@
+"""Tests for the rapid energy estimation extension."""
+
+import pytest
+
+from repro.apps.cordic.design import CordicDesign
+from repro.cosim.environment import CoSimulation
+from repro.energy import (
+    ActivityMonitor,
+    InstructionEnergyModel,
+    estimate_energy,
+    software_energy,
+)
+from repro.energy.block_model import block_energy_per_toggle
+from repro.iss.run import run_to_completion
+from repro.mcc import build_executable
+from repro.sysgen import Model
+from repro.sysgen.blocks import Add, Constant, Counter, GatewayIn, Mult, Register
+
+
+class TestInstructionModel:
+    def run_stats(self, source):
+        code, cpu = run_to_completion(build_executable(source))
+        assert code is not None
+        return cpu.stats
+
+    def test_energy_positive_and_additive(self):
+        stats = self.run_stats("int main(void) { return 1 + 2; }")
+        report = software_energy(stats)
+        assert report.dynamic_nj > 0
+        assert report.total_nj == report.dynamic_nj + report.stall_nj
+        assert abs(sum(report.by_class_nj.values()) - report.dynamic_nj) < 1e-9
+
+    def test_multiply_heavy_costs_more_per_instruction(self):
+        base = self.run_stats(
+            "int main(void) { int s = 0;"
+            " for (int i = 0; i < 50; i++) s += i; return s > 0; }"
+        )
+        mult = self.run_stats(
+            "int main(void) { int s = 1;"
+            " for (int i = 1; i < 50; i++) s += i * i; return s > 0; }"
+        )
+        assert software_energy(mult).nj_per_instruction > \
+            software_energy(base).nj_per_instruction
+
+    def test_every_mnemonic_has_energy(self):
+        model = InstructionEnergyModel()
+        from repro.isa import BY_MNEMONIC
+
+        for mnemonic in BY_MNEMONIC:
+            assert model.energy_of_mnemonic(mnemonic) > 0
+
+    def test_custom_coefficients(self):
+        stats = self.run_stats("int main(void) { return 0; }")
+        cheap = InstructionEnergyModel(
+            class_energy_nj={k: 0.1 for k in
+                             InstructionEnergyModel().class_energy_nj}
+        )
+        assert cheap.estimate(stats).dynamic_nj < \
+            software_energy(stats).dynamic_nj
+
+
+class TestActivityMonitor:
+    def test_counter_toggles_counted(self):
+        m = Model()
+        c = m.add(Counter("c", width=8))
+        mon = ActivityMonitor(m).install()
+        m.step(16)
+        # an 8-bit counter toggles bit0 every cycle, bit1 every 2...
+        assert mon.by_block["c"].toggles >= 15
+        assert mon.cycles == 16
+        assert 0 < mon.utilization("c") <= 1.0
+
+    def test_idle_blocks_have_no_activity(self):
+        m = Model()
+        m.add(Constant("k", 5, width=8))
+        r = m.add(Register("r", width=8))
+        k = m.block("k")
+        m.connect(k.o("out"), r.i("d"))
+        mon = ActivityMonitor(m).install()
+        m.step(10)
+        # constant never toggles; register toggles once (0 -> 5)
+        assert "k" not in mon.by_block
+        assert mon.by_block["r"].toggles == bin(5).count("1")
+
+    def test_uninstall_restores_step(self):
+        m = Model()
+        m.add(Counter("c", width=4))
+        mon = ActivityMonitor(m).install()
+        m.step(2)
+        mon.uninstall()
+        m.step(2)
+        assert mon.cycles == 2  # no samples after uninstall
+
+    def test_monitor_does_not_change_results(self):
+        def run(monitored: bool):
+            m = Model()
+            g = m.add(GatewayIn("g", width=16))
+            a = m.add(Add("a", width=16))
+            m.connect(g.o("out"), a.i("a"), a.i("b"))
+            if monitored:
+                ActivityMonitor(m).install()
+            out = []
+            for v in range(5):
+                g.drive(v)
+                m.step()
+                out.append(a.out_value("s"))
+            return out
+
+        assert run(True) == run(False)
+
+
+class TestBlockModel:
+    def test_multiplier_costs_more_than_wiring(self):
+        mult = Mult("m", 18, 18)
+        shift = __import__("repro.sysgen.blocks", fromlist=["Shift"]).Shift(
+            "s", width=32
+        )
+        assert block_energy_per_toggle(mult) > block_energy_per_toggle(shift)
+
+    def test_constants_free(self):
+        assert block_energy_per_toggle(Constant("k", 1)) == 0.0
+
+
+class TestIntegratedEstimate:
+    def _run_cordic(self, p):
+        design = CordicDesign(p=p, iters=8, ndata=4)
+        if p == 0:
+            from repro.apps.common import run_software_only
+
+            result, cpu = run_software_only(design.program)
+            monitor = None
+            model = None
+        else:
+            monitor = ActivityMonitor(design.model).install()
+            sim = CoSimulation(design.program, design.model, design.mb,
+                               cpu_config=design.cpu_config)
+            result = sim.run()
+            cpu = sim.cpu
+            model = design.model
+        assert result.exit_code == 0
+        slices = design.estimate().total.slices
+        return estimate_energy(cpu, model, monitor, slices=slices)
+
+    def test_cosim_energy_report(self):
+        report = self._run_cordic(p=2)
+        assert report.software.total_nj > 0
+        assert report.peripheral_nj > 0
+        assert report.quiescent_nj > 0
+        assert report.total_nj == pytest.approx(
+            report.software.total_nj + report.peripheral_nj
+            + report.quiescent_nj
+        )
+        assert "TOTAL" in report.summary()
+
+    def test_energy_tradeoff_visible(self):
+        """More PEs: less software energy (fewer instructions), more
+        peripheral + quiescent energy — the trade-off the paper's
+        future-work extension is meant to expose."""
+        small = self._run_cordic(p=2)
+        big = self._run_cordic(p=8)
+        assert big.software.total_nj < small.software.total_nj
+        assert big.quiescent_nj / big.seconds > \
+            small.quiescent_nj / small.seconds  # higher leakage power
+
+    def test_software_only_report(self):
+        report = self._run_cordic(p=0)
+        assert report.peripheral_nj == 0.0
+        assert report.software.total_nj > 0

@@ -1,0 +1,75 @@
+"""Smoke tests: every shipped example must run to completion.
+
+The heavy exploration examples are exercised with reduced workloads via
+their library entry points elsewhere; here each script runs as-is, the
+way a user would invoke it.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 600) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=EXAMPLES.parent,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "quickstart OK" in out
+    assert "fib(12) = 144" in out
+
+
+def test_debugger_session():
+    out = run_example("debugger_session.py")
+    assert "debugger session OK" in out
+
+
+def test_adaptive_beamforming():
+    out = run_example("adaptive_beamforming.py")
+    assert "OK" in out
+    assert "Wn[1][1]" in out
+
+
+def test_levinson_durbin():
+    out = run_example("levinson_durbin.py")
+    assert "coefficients" in out
+    assert "keep this" in out
+
+
+@pytest.mark.slow
+def test_cordic_division():
+    out = run_example("cordic_division.py")
+    assert "fastest design within" in out
+
+
+@pytest.mark.slow
+def test_matrix_multiply():
+    out = run_example("matrix_multiply.py")
+    assert "4x4 vs software" in out
+
+
+@pytest.mark.slow
+def test_energy_estimation():
+    out = run_example("energy_estimation.py")
+    assert "lowest-energy partition" in out
+
+
+@pytest.mark.slow
+def test_rtl_baseline(tmp_path):
+    out = run_example("rtl_baseline.py")
+    assert "simulation speedup" in out

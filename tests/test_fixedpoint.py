@@ -1,0 +1,184 @@
+"""Unit and property-based tests for the fixed-point substrate."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fixedpoint import Fixed, FixedFormat, Overflow, Rounding
+from repro.fixedpoint.rounding import FixedOverflowError
+
+Q16 = FixedFormat(32, 16)
+Q8 = FixedFormat(16, 8)
+U8 = FixedFormat(8, 0, signed=False)
+
+
+class TestFormat:
+    def test_ranges_signed(self):
+        fmt = FixedFormat(8, 4)
+        assert fmt.raw_min == -128
+        assert fmt.raw_max == 127
+        assert fmt.min_value == Fraction(-8)
+        assert fmt.max_value == Fraction(127, 16)
+
+    def test_ranges_unsigned(self):
+        assert U8.raw_min == 0
+        assert U8.raw_max == 255
+
+    def test_resolution(self):
+        assert FixedFormat(8, 4).resolution == Fraction(1, 16)
+        assert FixedFormat(8, -2).resolution == Fraction(4)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            FixedFormat(0, 0)
+
+    def test_repr_style(self):
+        assert repr(Q8) == "Fix16_8"
+        assert repr(U8) == "UFix8_0"
+
+
+class TestQuantize:
+    def test_exact_values(self):
+        x = Q8.quantize(1.5)
+        assert x.raw == 0x180
+        assert float(x) == 1.5
+
+    def test_truncate_vs_round(self):
+        v = 1.0 + 1.0 / 512  # halfway between two Q8 steps
+        t = Q8.quantize(v, Rounding.TRUNCATE)
+        r = Q8.quantize(v, Rounding.ROUND)
+        assert t.raw == 256
+        assert r.raw == 257
+
+    def test_negative_truncate_toward_minus_inf(self):
+        v = -1.0 - 1.0 / 512
+        t = Q8.quantize(v, Rounding.TRUNCATE)
+        assert t.raw == -257  # floor
+
+    def test_saturate(self):
+        x = Q8.quantize(1000, overflow=Overflow.SATURATE)
+        assert x.raw == Q8.raw_max
+        y = Q8.quantize(-1000, overflow=Overflow.SATURATE)
+        assert y.raw == Q8.raw_min
+
+    def test_wrap(self):
+        fmt = FixedFormat(8, 0)
+        assert fmt.quantize(130, overflow=Overflow.WRAP).raw == 130 - 256
+
+    def test_flag_raises(self):
+        with pytest.raises(FixedOverflowError):
+            Q8.quantize(10000, overflow=Overflow.FLAG)
+
+    def test_from_raw_sign_fold(self):
+        fmt = FixedFormat(8, 0)
+        assert fmt.from_raw(0xFF).raw == -1
+        assert fmt.from_raw(0x7F).raw == 127
+
+
+class TestArithmetic:
+    def test_add_exact(self):
+        a = Q8.quantize(1.25)
+        b = Q8.quantize(2.5)
+        assert float(a + b) == 3.75
+
+    def test_sub(self):
+        assert float(Q8.quantize(1.0) - Q8.quantize(2.5)) == -1.5
+
+    def test_mul_full_precision(self):
+        a = Q8.quantize(1.5)
+        b = Q8.quantize(2.5)
+        p = a * b
+        assert float(p) == 3.75
+        assert p.fmt.frac_bits == 16  # fraction bits add
+
+    def test_neg_abs(self):
+        a = Q8.quantize(-2.0)
+        assert float(-a) == 2.0
+        assert float(abs(a)) == 2.0
+
+    def test_shift_changes_scale_not_bits(self):
+        a = Q8.quantize(1.0)
+        b = a << 2
+        assert b.raw == a.raw
+        assert float(b) == 4.0
+
+    def test_int_coercion(self):
+        a = Q8.quantize(3.0)
+        assert float(a + 1) == 4.0
+        assert float(2 * a) == 6.0
+
+    def test_comparisons(self):
+        assert Q8.quantize(1.5) < Q16.quantize(2.0)
+        assert Q8.quantize(2.0) == 2
+        assert Q8.quantize(-1.0) <= 0
+
+    def test_bits_pattern(self):
+        a = FixedFormat(8, 0).quantize(-1)
+        assert a.bits() == 0xFF
+
+    def test_cast_between_formats(self):
+        a = Q16.quantize(1.5)
+        b = a.cast(Q8)
+        assert float(b) == 1.5
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+raw16 = st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1)
+
+
+@given(raw16, raw16)
+def test_prop_addition_matches_fractions(ra, rb):
+    a = Fixed(ra, FixedFormat(16, 8))
+    b = Fixed(rb, FixedFormat(16, 4))
+    assert (a + b).value == a.value + b.value
+
+
+@given(raw16, raw16)
+def test_prop_multiplication_matches_fractions(ra, rb):
+    a = Fixed(ra, FixedFormat(16, 8))
+    b = Fixed(rb, FixedFormat(16, 12))
+    assert (a * b).value == a.value * b.value
+
+
+@given(raw16)
+def test_prop_quantize_identity_same_format(raw):
+    fmt = FixedFormat(16, 8)
+    x = Fixed(raw, fmt)
+    assert fmt.quantize(x).raw == raw
+
+
+@given(raw16)
+def test_prop_from_raw_bits_round_trip(raw):
+    fmt = FixedFormat(16, 8)
+    x = Fixed(raw, fmt)
+    assert fmt.from_raw(x.bits()).raw == raw
+
+
+@given(raw16)
+def test_prop_truncation_error_bounded(raw):
+    src = FixedFormat(16, 12)
+    dst = FixedFormat(16, 4)
+    x = Fixed(raw, src)
+    y = x.cast(dst, Rounding.TRUNCATE, Overflow.SATURATE)
+    if dst.raw_min < y.raw < dst.raw_max:  # not saturated
+        assert 0 <= x.value - y.value < dst.resolution
+
+
+@given(raw16)
+def test_prop_round_at_most_half_lsb(raw):
+    src = FixedFormat(16, 12)
+    dst = FixedFormat(16, 6)
+    x = Fixed(raw, src)
+    y = x.cast(dst, Rounding.ROUND, Overflow.SATURATE)
+    if dst.raw_min < y.raw < dst.raw_max:
+        assert abs(x.value - y.value) <= Fraction(dst.resolution, 2)
+
+
+@given(st.integers(min_value=-(1 << 40), max_value=1 << 40))
+def test_prop_wrap_is_twos_complement(value):
+    fmt = FixedFormat(16, 0)
+    wrapped = fmt.quantize(value, overflow=Overflow.WRAP)
+    assert wrapped.raw == ((value + (1 << 15)) % (1 << 16)) - (1 << 15)

@@ -1,0 +1,180 @@
+"""Tests for the debugger and the RSP TCP link."""
+
+import pytest
+
+from repro.gdb import Debugger, GdbClient, GdbServer, StopReason
+from repro.gdb.rsp import (
+    RspError,
+    decode_packet,
+    encode_packet,
+    extract_packets,
+)
+from repro.iss.run import make_cpu
+from repro.mcc import build_executable
+
+COUNT_SRC = """
+int counter = 0;
+int bump(int x) { counter += x; return counter; }
+int main(void) {
+    for (int i = 1; i <= 5; i++) bump(i);
+    return counter;  /* 15 */
+}
+"""
+
+
+def make_debugger():
+    program = build_executable(COUNT_SRC)
+    cpu = make_cpu(program)
+    return Debugger(cpu, program), program
+
+
+class TestRspFraming:
+    def test_round_trip(self):
+        pkt = encode_packet("m200,4")
+        assert decode_packet(pkt) == "m200,4"
+
+    def test_checksum_validation(self):
+        pkt = bytearray(encode_packet("g"))
+        pkt[-1] ^= 1
+        with pytest.raises(RspError, match="checksum"):
+            decode_packet(bytes(pkt))
+
+    def test_extract_multiple(self):
+        stream = encode_packet("a") + b"+" + encode_packet("bb") + b"$cc#"
+        payloads, rest = extract_packets(stream)
+        assert payloads == ["a", "bb"]
+        assert rest == b"$cc#"  # incomplete remains buffered
+
+    def test_garbage_resync(self):
+        stream = b"junk" + encode_packet("ok")
+        payloads, _ = extract_packets(stream)
+        assert payloads == ["ok"]
+
+
+class TestDebugger:
+    def test_breakpoint_by_symbol(self):
+        dbg, _ = make_debugger()
+        dbg.set_breakpoint("bump")
+        info = dbg.cont()
+        assert info.reason is StopReason.BREAKPOINT
+        assert info.pc == dbg.resolve("bump")
+
+    def test_step_instruction(self):
+        dbg, _ = make_debugger()
+        start_pc = dbg.cpu.pc
+        info = dbg.step_instruction()
+        assert info.reason is StopReason.STEP
+        assert dbg.cpu.stats.instructions == 1
+        assert dbg.cpu.pc != start_pc
+
+    def test_run_to_exit(self):
+        dbg, _ = make_debugger()
+        info = dbg.cont()
+        assert info.reason is StopReason.EXITED
+        assert info.exit_code == 15
+
+    def test_register_patching(self):
+        """The paper's key use: mb-gdb 'changes the status of the
+        registers of the MicroBlaze processor based on the results from
+        the customized hardware designs'."""
+        dbg, _ = make_debugger()
+        dbg.set_breakpoint("bump")
+        dbg.cont()
+        # patch the argument register (r5) before resuming
+        dbg.write_register(5, 100)
+        dbg.clear_breakpoint("bump")
+        info = dbg.cont()
+        assert info.reason is StopReason.EXITED
+        assert info.exit_code == 100 + 2 + 3 + 4 + 5
+
+    def test_memory_access(self):
+        dbg, program = make_debugger()
+        dbg.cont()
+        addr = program.symbol("counter")
+        assert int.from_bytes(dbg.read_memory(addr, 4), "big") == 15
+        dbg.write_memory(addr, (99).to_bytes(4, "big"))
+        assert dbg.read_word("counter") == 99
+
+    def test_r0_not_writable(self):
+        dbg, _ = make_debugger()
+        dbg.write_register(0, 123)
+        assert dbg.read_register(0) == 0
+
+    def test_disassemble_at_pc(self):
+        dbg, _ = make_debugger()
+        listing = dbg.disassemble_at(count=4)
+        assert "=>" in listing
+
+    def test_where_reports_symbol(self):
+        dbg, _ = make_debugger()
+        dbg.set_breakpoint("bump")
+        dbg.cont()
+        assert "<bump" in dbg.where()
+
+
+class TestTcpLink:
+    def make_session(self):
+        dbg, program = make_debugger()
+        server = GdbServer(dbg)
+        server.start()
+        client = GdbClient(*server.address)
+        return dbg, program, server, client
+
+    def test_halt_reason(self):
+        dbg, _, server, client = self.make_session()
+        try:
+            assert client.request("?") == "S05"
+        finally:
+            client.close()
+            server.stop()
+
+    def test_register_read_write(self):
+        dbg, _, server, client = self.make_session()
+        try:
+            regs = client.read_registers()
+            assert len(regs) == 33
+            client.write_register(5, 0xDEAD)
+            assert client.read_register(5) == 0xDEAD
+            assert dbg.cpu.regs[5] == 0xDEAD
+        finally:
+            client.close()
+            server.stop()
+
+    def test_memory_round_trip(self):
+        _, program, server, client = self.make_session()
+        try:
+            addr = program.symbol("counter")
+            client.write_memory(addr, b"\x00\x00\x01\x02")
+            assert client.read_memory(addr, 4) == b"\x00\x00\x01\x02"
+        finally:
+            client.close()
+            server.stop()
+
+    def test_breakpoint_continue_exit(self):
+        _, program, server, client = self.make_session()
+        try:
+            client.set_breakpoint(program.symbol("bump"))
+            assert client.cont() == "S05"  # stopped at breakpoint
+            client.remove_breakpoint(program.symbol("bump"))
+            reply = client.cont()
+            assert reply == f"W{15:02x}"  # exited with code 15
+        finally:
+            client.close()
+            server.stop()
+
+    def test_step_over_tcp(self):
+        dbg, _, server, client = self.make_session()
+        try:
+            assert client.step() == "S05"
+            assert dbg.cpu.stats.instructions == 1
+        finally:
+            client.close()
+            server.stop()
+
+    def test_unsupported_packet_empty_reply(self):
+        _, _, server, client = self.make_session()
+        try:
+            assert client.request("vMustReplyEmpty") == ""
+        finally:
+            client.close()
+            server.stop()

@@ -1,0 +1,544 @@
+"""End-to-end tests for the mini-C compiler: compile, link, execute on
+the ISS and check the program's exit code / console output."""
+
+import pytest
+
+from repro.iss import CPUConfig
+from repro.iss.run import run_to_completion
+from repro.mcc import CompileOptions, MccError, build_executable, compile_c
+from repro.mcc.errors import ParseError, SemaError
+
+
+def run_c(source: str, options: CompileOptions | None = None,
+          max_cycles: int = 2_000_000):
+    options = options or CompileOptions()
+    prog = build_executable(source, options)
+    config = CPUConfig(
+        use_hw_multiplier=options.hw_multiplier,
+        use_hw_divider=options.hw_divider,
+    )
+    code, cpu = run_to_completion(prog, config=config, max_cycles=max_cycles)
+    assert code is not None, "program did not terminate"
+    return code, cpu
+
+
+class TestBasics:
+    def test_return_constant(self):
+        assert run_c("int main(void) { return 42; }")[0] == 42
+
+    def test_arithmetic(self):
+        assert run_c("int main(void) { return 2 + 3 * 4 - 1; }")[0] == 13
+
+    def test_variables(self):
+        src = "int main(void) { int a = 5; int b = 7; return a * b; }"
+        assert run_c(src)[0] == 35
+
+    def test_negative_return(self):
+        assert run_c("int main(void) { return -7; }")[0] == -7
+
+    def test_unary_ops(self):
+        assert run_c("int main(void) { int x = 5; return -x + ~x + !x; }")[0] == -11
+
+    def test_large_constants(self):
+        src = "int main(void) { int x = 100000; return x / 1000; }"
+        assert run_c(src)[0] == 100
+
+    def test_char_type(self):
+        src = "int main(void) { char c = 'A'; return c + 1; }"
+        assert run_c(src)[0] == 66
+
+    def test_comments(self):
+        src = """
+        // line comment
+        int main(void) { /* block
+        comment */ return 1; }
+        """
+        assert run_c(src)[0] == 1
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("17 / 5", 3),
+            ("17 % 5", 2),
+            ("-17 / 5", -3),
+            ("-17 % 5", -2),
+            ("17 / -5", -3),
+            ("6 << 2", 24),
+            ("-64 >> 3", -8),
+            ("0xF0 & 0x3C", 0x30),
+            ("0xF0 | 0x0F", 0xFF),
+            ("0xFF ^ 0x0F", 0xF0),
+            ("3 < 5", 1),
+            ("5 < 3", 0),
+            ("5 <= 5", 1),
+            ("5 > 3", 1),
+            ("3 >= 5", 0),
+            ("4 == 4", 1),
+            ("4 != 4", 0),
+            ("-1 < 1", 1),
+            ("1 && 2", 1),
+            ("1 && 0", 0),
+            ("0 || 3", 1),
+            ("0 || 0", 0),
+        ],
+    )
+    def test_binary_expr(self, expr, expected):
+        # Use volatile-ish indirection through variables so the sema
+        # constant folder cannot precompute everything.
+        src = f"""
+        int id(int x) {{ return x; }}
+        int main(void) {{
+            int a = id({expr.split(' ')[0] if False else 0});
+            return ({expr});
+        }}
+        """
+        assert run_c(src)[0] == expected
+
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("a / b", 3), ("a % b", 2), ("a * b", 85),
+            ("a < b", 0), ("a > b", 1), ("a == b", 0), ("a != b", 1),
+            ("a << 1", 34), ("a >> 2", 4),
+        ],
+    )
+    def test_binary_runtime(self, expr, expected):
+        src = f"""
+        int main(void) {{
+            int a = 17;
+            int b = 5;
+            return {expr};
+        }}
+        """
+        assert run_c(src)[0] == expected
+
+    def test_unsigned_division(self):
+        src = """
+        int main(void) {
+            unsigned a = 0x80000000;
+            unsigned b = 2;
+            return (int)(a / b == 0x40000000);
+        }
+        """
+        assert run_c(src)[0] == 1
+
+    def test_unsigned_shift(self):
+        src = """
+        int main(void) {
+            unsigned x = 0x80000000;
+            return (int)(x >> 28);
+        }
+        """
+        assert run_c(src)[0] == 8
+
+    def test_unsigned_compare(self):
+        src = """
+        int main(void) {
+            unsigned big = 0xFFFFFFF0;
+            unsigned one = 1;
+            return big > one;
+        }
+        """
+        assert run_c(src)[0] == 1
+
+    def test_compound_assignment(self):
+        src = """
+        int main(void) {
+            int x = 10;
+            x += 5; x -= 3; x *= 2; x /= 4; x %= 4; x <<= 3; x |= 1;
+            return x;  // ((10+5-3)*2/4)%4=2 -> 2<<3=16 |1 = 17
+        }
+        """
+        assert run_c(src)[0] == 17
+
+    def test_increment_decrement(self):
+        src = """
+        int main(void) {
+            int x = 5;
+            int a = x++;
+            int b = ++x;
+            int c = x--;
+            int d = --x;
+            return a * 1000 + b * 100 + c * 10 + d;
+        }
+        """
+        assert run_c(src)[0] == 5775
+
+    def test_ternary(self):
+        src = "int main(void) { int x = 3; return x > 2 ? 10 : 20; }"
+        assert run_c(src)[0] == 10
+
+    def test_short_circuit_effects(self):
+        src = """
+        int g = 0;
+        int bump(void) { g = g + 1; return 1; }
+        int main(void) {
+            int x = 0;
+            x && bump();       // not evaluated
+            1 || bump();       // not evaluated
+            1 && bump();       // evaluated
+            return g;
+        }
+        """
+        assert run_c(src)[0] == 1
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = """
+        int classify(int x) {
+            if (x < 0) return -1;
+            else if (x == 0) return 0;
+            else return 1;
+        }
+        int main(void) {
+            return classify(-5) * 100 + classify(0) * 10 + classify(9);
+        }
+        """
+        assert run_c(src)[0] == -99  # -100 + 0 + 1
+
+    def test_while_loop(self):
+        src = """
+        int main(void) {
+            int sum = 0;
+            int i = 1;
+            while (i <= 10) { sum += i; i++; }
+            return sum;
+        }
+        """
+        assert run_c(src)[0] == 55
+
+    def test_for_loop(self):
+        src = """
+        int main(void) {
+            int sum = 0;
+            for (int i = 0; i < 5; i++) sum += i * i;
+            return sum;
+        }
+        """
+        assert run_c(src)[0] == 30
+
+    def test_do_while(self):
+        src = """
+        int main(void) {
+            int n = 0;
+            do { n++; } while (n < 3);
+            return n;
+        }
+        """
+        assert run_c(src)[0] == 3
+
+    def test_break_continue(self):
+        src = """
+        int main(void) {
+            int sum = 0;
+            for (int i = 0; i < 100; i++) {
+                if (i % 2 == 0) continue;
+                if (i > 10) break;
+                sum += i;   // 1+3+5+7+9
+            }
+            return sum;
+        }
+        """
+        assert run_c(src)[0] == 25
+
+    def test_nested_loops(self):
+        src = """
+        int main(void) {
+            int count = 0;
+            for (int i = 0; i < 4; i++)
+                for (int j = 0; j < 4; j++)
+                    if (i != j) count++;
+            return count;
+        }
+        """
+        assert run_c(src)[0] == 12
+
+
+class TestFunctions:
+    def test_recursion_factorial(self):
+        src = """
+        int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }
+        int main(void) { return fact(6); }
+        """
+        assert run_c(src)[0] == 720
+
+    def test_fibonacci_recursive(self):
+        src = """
+        int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+        int main(void) { return fib(12); }
+        """
+        assert run_c(src)[0] == 144
+
+    def test_six_arguments(self):
+        src = """
+        int sum6(int a, int b, int c, int d, int e, int f) {
+            return a + 2*b + 3*c + 4*d + 5*e + 6*f;
+        }
+        int main(void) { return sum6(1, 2, 3, 4, 5, 6); }
+        """
+        assert run_c(src)[0] == 1 + 4 + 9 + 16 + 25 + 36
+
+    def test_forward_call(self):
+        src = """
+        int main(void) { return later(21); }
+        int later(int x) { return x * 2; }
+        """
+        assert run_c(src)[0] == 42
+
+    def test_prototype(self):
+        src = """
+        int helper(int x);
+        int main(void) { return helper(4); }
+        int helper(int x) { return x * x; }
+        """
+        assert run_c(src)[0] == 16
+
+    def test_void_function(self):
+        src = """
+        int g = 0;
+        void set(int v) { g = v; }
+        int main(void) { set(31); return g; }
+        """
+        assert run_c(src)[0] == 31
+
+    def test_mutual_recursion(self):
+        src = """
+        int is_odd(int n);
+        int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+        int main(void) { return is_even(10) * 10 + is_odd(7); }
+        """
+        assert run_c(src)[0] == 11
+
+
+class TestArraysAndPointers:
+    def test_local_array(self):
+        src = """
+        int main(void) {
+            int a[5];
+            for (int i = 0; i < 5; i++) a[i] = i * i;
+            return a[0] + a[1] + a[2] + a[3] + a[4];
+        }
+        """
+        assert run_c(src)[0] == 30
+
+    def test_array_initializer(self):
+        src = """
+        int main(void) {
+            int a[4] = {10, 20, 30, 40};
+            return a[2];
+        }
+        """
+        assert run_c(src)[0] == 30
+
+    def test_global_array(self):
+        src = """
+        int table[4] = {2, 4, 8, 16};
+        int main(void) {
+            int sum = 0;
+            for (int i = 0; i < 4; i++) sum += table[i];
+            return sum;
+        }
+        """
+        assert run_c(src)[0] == 30
+
+    def test_global_scalar_init(self):
+        src = """
+        int counter = 100;
+        int main(void) { counter += 1; return counter; }
+        """
+        assert run_c(src)[0] == 101
+
+    def test_global_bss_zeroed(self):
+        src = """
+        int uninit[8];
+        int main(void) {
+            int sum = 0;
+            for (int i = 0; i < 8; i++) sum += uninit[i];
+            return sum;
+        }
+        """
+        assert run_c(src)[0] == 0
+
+    def test_2d_array(self):
+        src = """
+        int m[3][4];
+        int main(void) {
+            for (int i = 0; i < 3; i++)
+                for (int j = 0; j < 4; j++)
+                    m[i][j] = i * 10 + j;
+            return m[2][3];
+        }
+        """
+        assert run_c(src)[0] == 23
+
+    def test_pointer_basics(self):
+        src = """
+        int main(void) {
+            int x = 5;
+            int *p = &x;
+            *p = 9;
+            return x + *p;
+        }
+        """
+        assert run_c(src)[0] == 18
+
+    def test_pointer_arithmetic(self):
+        src = """
+        int a[4] = {1, 2, 3, 4};
+        int main(void) {
+            int *p = a;
+            p = p + 2;
+            return *p + *(p + 1);
+        }
+        """
+        assert run_c(src)[0] == 7
+
+    def test_pointer_argument(self):
+        src = """
+        void swap(int *x, int *y) { int t = *x; *x = *y; *y = t; }
+        int main(void) {
+            int a = 3;
+            int b = 7;
+            swap(&a, &b);
+            return a * 10 + b;
+        }
+        """
+        assert run_c(src)[0] == 73
+
+    def test_array_argument(self):
+        src = """
+        int sum(int *v, int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) s += v[i];
+            return s;
+        }
+        int data[5] = {1, 2, 3, 4, 5};
+        int main(void) { return sum(data, 5); }
+        """
+        assert run_c(src)[0] == 15
+
+    def test_char_array_string(self):
+        src = """
+        int main(void) {
+            char *s = "AB";
+            return s[0] + s[1];
+        }
+        """
+        assert run_c(src)[0] == 65 + 66
+
+    def test_sizeof(self):
+        src = """
+        int arr[10];
+        int main(void) { return sizeof(int) + sizeof arr; }
+        """
+        assert run_c(src)[0] == 44
+
+
+class TestBuiltins:
+    def test_putchar(self):
+        src = """
+        int main(void) {
+            __builtin_putchar('o');
+            __builtin_putchar('k');
+            return 0;
+        }
+        """
+        code, cpu = run_c(src)
+        assert code == 0
+        assert cpu.mem.console.text == "ok"
+
+    def test_exit_builtin(self):
+        src = """
+        int main(void) {
+            __builtin_exit(55);
+            return 1;  // not reached
+        }
+        """
+        assert run_c(src)[0] == 55
+
+
+class TestConfigurations:
+    def test_soft_multiply(self):
+        opts = CompileOptions(hw_multiplier=False)
+        src = "int main(void) { int a = 123; int b = 456; return a * b == 56088; }"
+        assert run_c(src, opts)[0] == 1
+
+    def test_hw_divider(self):
+        opts = CompileOptions(hw_divider=True)
+        src = "int main(void) { int a = -100; return a / 7; }"
+        assert run_c(src, opts)[0] == -14
+
+    def test_no_register_locals(self):
+        opts = CompileOptions(register_locals=False)
+        src = """
+        int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+        int main(void) { return fib(10); }
+        """
+        assert run_c(src, opts)[0] == 55
+
+    def test_register_locals_faster(self):
+        src = """
+        int main(void) {
+            int sum = 0;
+            for (int i = 0; i < 200; i++) sum += i;
+            return sum == 19900;
+        }
+        """
+        fast_code, fast_cpu = run_c(src, CompileOptions(register_locals=True))
+        slow_code, slow_cpu = run_c(src, CompileOptions(register_locals=False))
+        assert fast_code == slow_code == 1
+        assert fast_cpu.cycle < slow_cpu.cycle
+
+
+class TestDiagnostics:
+    def test_syntax_error(self):
+        with pytest.raises(ParseError):
+            compile_c("int main(void) { return }")
+
+    def test_undeclared_variable(self):
+        with pytest.raises(SemaError):
+            compile_c("int main(void) { return nope; }")
+
+    def test_undeclared_function(self):
+        with pytest.raises(SemaError):
+            compile_c("int main(void) { return missing(); }")
+
+    def test_wrong_arg_count(self):
+        with pytest.raises(SemaError):
+            compile_c("int f(int a) { return a; } int main(void) { return f(); }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemaError):
+            compile_c("int main(void) { break; return 0; }")
+
+    def test_assign_to_rvalue(self):
+        with pytest.raises(SemaError):
+            compile_c("int main(void) { 3 = 4; return 0; }")
+
+    def test_void_variable(self):
+        with pytest.raises(SemaError):
+            compile_c("int main(void) { void x; return 0; }")
+
+    def test_fsl_channel_must_be_constant(self):
+        with pytest.raises(SemaError):
+            compile_c("int main(void) { int c = 1; putfsl(1, c); return 0; }")
+
+    def test_fsl_channel_range(self):
+        with pytest.raises(SemaError):
+            compile_c("int main(void) { putfsl(1, 9); return 0; }")
+
+    def test_const_assignment_rejected(self):
+        with pytest.raises(SemaError):
+            compile_c("int main(void) { const int x = 1; x = 2; return x; }")
+
+    def test_return_value_in_void(self):
+        with pytest.raises(SemaError):
+            compile_c("void f(void) { return 3; } int main(void) { return 0; }")
+
+    def test_mccerror_base(self):
+        with pytest.raises(MccError):
+            compile_c("int main(void) { @ }")

@@ -1,0 +1,205 @@
+"""Compiler fuzzing: random expression trees, compiled and executed,
+must match an interpreter with C semantics (32-bit wrap, truncating
+division, arithmetic/logical shifts)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.iss.run import run_to_completion
+from repro.mcc import CompileOptions, build_executable
+
+_M32 = 0xFFFFFFFF
+
+
+def _s32(v: int) -> int:
+    v &= _M32
+    return v - 0x100000000 if v & 0x80000000 else v
+
+
+# ----------------------------------------------------------------------
+# Expression AST as tuples: ('var', name) | ('num', v) | (op, l, r) | ('neg'|'not'|'inv', e)
+# ----------------------------------------------------------------------
+_BINOPS = ["+", "-", "*", "&", "|", "^", "<<", ">>", "<", ">", "==", "!=",
+           "/", "%"]
+_UNOPS = ["neg", "inv", "not"]
+
+
+def _exprs(depth: int):
+    leaf = st.one_of(
+        st.sampled_from([("var", "a"), ("var", "b"), ("var", "c")]),
+        st.integers(-100, 100).map(lambda v: ("num", v)),
+    )
+    if depth == 0:
+        return leaf
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(st.sampled_from(_BINOPS), sub, sub),
+        st.tuples(st.sampled_from(_UNOPS), sub),
+    )
+
+
+def render(e) -> str:
+    kind = e[0]
+    if kind == "var":
+        return e[1]
+    if kind == "num":
+        return f"({e[1]})"
+    if kind == "neg":
+        return f"(-{render(e[1])})"
+    if kind == "inv":
+        return f"(~{render(e[1])})"
+    if kind == "not":
+        return f"(!{render(e[1])})"
+    op, left, right = e
+    return f"({render(left)} {op} {render(right)})"
+
+
+class Unsafe(Exception):
+    """Expression hits C UB (div by zero, over-shift) — skip it."""
+
+
+def evaluate(e, env) -> int:
+    kind = e[0]
+    if kind == "var":
+        return env[e[1]]
+    if kind == "num":
+        return e[1]
+    if kind == "neg":
+        return _s32(-evaluate(e[1], env))
+    if kind == "inv":
+        return _s32(~evaluate(e[1], env))
+    if kind == "not":
+        return int(evaluate(e[1], env) == 0)
+    op, l, r = e
+    lv = evaluate(l, env)
+    rv = evaluate(r, env)
+    if op == "+":
+        return _s32(lv + rv)
+    if op == "-":
+        return _s32(lv - rv)
+    if op == "*":
+        return _s32(lv * rv)
+    if op == "&":
+        return _s32(lv & rv)
+    if op == "|":
+        return _s32(lv | rv)
+    if op == "^":
+        return _s32(lv ^ rv)
+    if op == "<<":
+        if not 0 <= rv <= 31:
+            raise Unsafe
+        return _s32(lv << rv)
+    if op == ">>":
+        if not 0 <= rv <= 31:
+            raise Unsafe
+        return _s32(lv >> rv)
+    if op == "<":
+        return int(lv < rv)
+    if op == ">":
+        return int(lv > rv)
+    if op == "==":
+        return int(lv == rv)
+    if op == "!=":
+        return int(lv != rv)
+    if op in ("/", "%"):
+        if rv == 0 or (lv == -(1 << 31) and rv == -1):
+            raise Unsafe
+        q = abs(lv) // abs(rv)
+        if (lv < 0) != (rv < 0):
+            q = -q
+        if op == "/":
+            return _s32(q)
+        return _s32(lv - q * rv)
+    raise AssertionError(op)
+
+
+def check(expr, env, options=None) -> None:
+    try:
+        expected = evaluate(expr, env)
+    except Unsafe:
+        return  # UB in C; nothing to verify
+    src = f"""
+    int main(void) {{
+        int a = {env['a']};
+        int b = {env['b']};
+        int c = {env['c']};
+        return {render(expr)};
+    }}
+    """
+    code, _ = run_to_completion(build_executable(src, options))
+    assert code == expected, f"{render(expr)} with {env}"
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(expr=_exprs(3), a=st.integers(-500, 500), b=st.integers(-500, 500),
+       c=st.integers(-500, 500))
+def test_fuzz_expressions(expr, a, b, c):
+    check(expr, {"a": a, "b": b, "c": c})
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(expr=_exprs(2), a=st.integers(-500, 500), b=st.integers(-500, 500),
+       c=st.integers(-500, 500))
+def test_fuzz_expressions_no_hw_units(expr, a, b, c):
+    """Same property on the minimal processor configuration (soft
+    multiply, soft shifts)."""
+    from repro.iss.cpu import CPUConfig
+
+    try:
+        expected = evaluate(expr, {"a": a, "b": b, "c": c})
+    except Unsafe:
+        return
+    src = f"""
+    int main(void) {{
+        int a = {a};
+        int b = {b};
+        int c = {c};
+        return {render(expr)};
+    }}
+    """
+    options = CompileOptions(hw_multiplier=False, hw_barrel_shifter=False)
+    config = CPUConfig(use_hw_multiplier=False, use_barrel_shifter=False)
+    code, _ = run_to_completion(build_executable(src, options), config=config)
+    assert code == expected, f"{render(expr)} with a={a} b={b} c={c}"
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(exprs=st.lists(_exprs(2), min_size=1, max_size=4),
+       a=st.integers(-100, 100), b=st.integers(-100, 100))
+def test_fuzz_statement_sequences(exprs, a, b):
+    """Chains of assignments through a variable must accumulate the
+    same way (exercises statement-level codegen and register reuse)."""
+    env = {"a": a, "b": b, "c": 7}
+    acc = 0
+    lines = []
+    ok = True
+    for i, expr in enumerate(exprs):
+        try:
+            value = evaluate(expr, env)
+        except Unsafe:
+            ok = False
+            break
+        acc = _s32(acc ^ value)
+        lines.append(f"acc ^= {render(expr)};")
+    if not ok:
+        return
+    src = f"""
+    int main(void) {{
+        int a = {a};
+        int b = {b};
+        int c = 7;
+        int acc = 0;
+        {' '.join(lines)}
+        return acc;
+    }}
+    """
+    code, _ = run_to_completion(build_executable(src))
+    assert code == acc

@@ -1,0 +1,255 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+The strongest correctness evidence in the repository: differential
+testing of the whole toolchain (random C expressions compiled and
+executed on the ISS vs Python semantics), random-stimulus equivalence
+of the hardware pipelines against golden models, and encode/decode
+round trips over the full instruction set.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps.cordic.algorithm import cordic_divide_fixed
+from repro.apps.cordic.hardware import build_cordic_model
+from repro.apps.matmul.algorithm import matmul_reference
+from repro.apps.matmul.hardware import build_matmul_model
+from repro.asm import assemble, disassemble, link
+from repro.isa import BY_MNEMONIC, decode, encode
+from repro.iss.run import run_to_completion
+from repro.mcc import build_executable
+
+_M32 = 0xFFFFFFFF
+
+
+def _s32(v: int) -> int:
+    v &= _M32
+    return v - 0x100000000 if v & 0x80000000 else v
+
+
+# ----------------------------------------------------------------------
+# ISA: encode/decode round trip over random operand values
+# ----------------------------------------------------------------------
+@given(
+    mnemonic=st.sampled_from(sorted(BY_MNEMONIC)),
+    rd=st.integers(0, 31),
+    ra=st.integers(0, 31),
+    rb=st.integers(0, 31),
+    imm=st.integers(-(1 << 15), (1 << 15) - 1),
+    fsl=st.integers(0, 7),
+)
+def test_prop_isa_round_trip(mnemonic, rd, ra, rb, imm, fsl):
+    spec = BY_MNEMONIC[mnemonic]
+    fields = {}
+    for op in spec.operands:
+        if op in ("rd", "ra", "rb"):
+            fields[op] = {"rd": rd, "ra": ra, "rb": rb}[op]
+        elif op == "imm":
+            fields[op] = (imm & 31) if spec.kind == "bs" else imm
+        elif op == "fsl":
+            fields[op] = fsl
+    word = encode(spec, **fields)
+    instr = decode(word)
+    assert instr.mnemonic == mnemonic
+    for op, value in fields.items():
+        if op == "imm":
+            if spec.kind == "bs":
+                assert instr.imm & 31 == value
+            elif spec.kind == "imm":
+                assert instr.imm & 0xFFFF == value & 0xFFFF
+            else:
+                assert instr.imm == value
+        elif op == "fsl":
+            assert instr.fsl_id == value
+        else:
+            assert getattr(instr, op) == value
+
+
+@given(
+    mnemonic=st.sampled_from(
+        [m for m, s in BY_MNEMONIC.items()
+         if s.fmt == "A" and s.kind not in ("fsl",)]
+    ),
+    rd=st.integers(0, 31),
+    ra=st.integers(0, 31),
+    rb=st.integers(0, 31),
+)
+def test_prop_disassembler_reassembles(mnemonic, rd, ra, rb):
+    """disassemble → assemble → identical word."""
+    spec = BY_MNEMONIC[mnemonic]
+    fields = {}
+    for op in spec.operands:
+        fields[op] = {"rd": rd, "ra": ra, "rb": rb}[op]
+    word = encode(spec, **fields)
+    text = disassemble(word)
+    module = assemble(f".global _start\n_start: {text}")
+    prog = link(module)
+    assert int.from_bytes(prog.image[0:4], "big") == word
+
+
+# ----------------------------------------------------------------------
+# Compiler differential testing: expressions
+# ----------------------------------------------------------------------
+small_int = st.integers(min_value=-1000, max_value=1000)
+shift_amt = st.integers(min_value=0, max_value=31)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(a=small_int, b=small_int, c=small_int)
+def test_prop_compiled_arithmetic_matches_python(a, b, c):
+    src = f"""
+    int main(void) {{
+        int a = {a};
+        int b = {b};
+        int c = {c};
+        return (a + b) * c - (a - c) + (b ^ c) + (a & b) - (a | c);
+    }}
+    """
+    expected = _s32((a + b) * c - (a - c) + (b ^ c) + (a & b) - (a | c))
+    code, _ = run_to_completion(build_executable(src))
+    assert code == expected
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(a=st.integers(min_value=-(1 << 30), max_value=(1 << 30) - 1),
+       b=st.integers(min_value=1, max_value=1 << 20))
+def test_prop_compiled_division_truncates_like_c(a, b):
+    src = f"""
+    int main(void) {{
+        int a = {a};
+        int b = {b};
+        return (a / b) + (a % b) * 3;
+    }}
+    """
+    q = abs(a) // b * (1 if a >= 0 else -1)
+    r = a - q * b
+    expected = _s32(q + r * 3)
+    code, _ = run_to_completion(build_executable(src))
+    assert code == expected
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(a=st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1),
+       n=shift_amt)
+def test_prop_compiled_shifts_match(a, n):
+    src = f"""
+    int main(void) {{
+        int a = {a};
+        unsigned u = (unsigned){a};
+        int n = {n};
+        return (a >> n) ^ (int)(u >> n) ^ (a << n);
+    }}
+    """
+    sra = _s32(a) >> n
+    srl = (a & _M32) >> n
+    sll = _s32((a << n) & _M32)
+    expected = _s32(sra ^ _s32(srl) ^ sll)
+    code, _ = run_to_completion(build_executable(src))
+    assert code == expected
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(values=st.lists(small_int, min_size=1, max_size=12))
+def test_prop_compiled_array_sum(values):
+    inits = ", ".join(str(v) for v in values)
+    src = f"""
+    int data[{len(values)}] = {{{inits}}};
+    int main(void) {{
+        int sum = 0;
+        for (int i = 0; i < {len(values)}; i++) sum += data[i];
+        return sum;
+    }}
+    """
+    code, _ = run_to_completion(build_executable(src))
+    assert code == sum(values)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(a=small_int, b=small_int)
+def test_prop_compiled_comparisons_match(a, b):
+    src = f"""
+    int main(void) {{
+        int a = {a};
+        int b = {b};
+        return (a < b) + 2*(a <= b) + 4*(a > b) + 8*(a >= b)
+             + 16*(a == b) + 32*(a != b);
+    }}
+    """
+    expected = ((a < b) + 2 * (a <= b) + 4 * (a > b) + 8 * (a >= b)
+                + 16 * (a == b) + 32 * (a != b))
+    code, _ = run_to_completion(build_executable(src))
+    assert code == expected
+
+
+# ----------------------------------------------------------------------
+# Hardware pipelines vs golden models on random stimuli
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    a=st.integers(min_value=1 << 14, max_value=1 << 20),
+    b=st.integers(min_value=0, max_value=1 << 19),
+    p=st.sampled_from([1, 2, 4]),
+)
+def test_prop_cordic_pipeline_matches_golden(a, b, p):
+    model, mb = build_cordic_model(p)
+    to_hw = mb.to_hw_channel(0)
+    from_hw = mb.from_hw_channel(0)
+    to_hw.push(1 << 16, control=True)
+    to_hw.push(a & _M32)
+    to_hw.push(b & _M32)
+    to_hw.push(0)
+    model.step(p + 12)
+    y = from_hw.pop()
+    z = from_hw.pop()
+    exp_y, exp_z = cordic_divide_fixed(b, a, p)
+    assert (_s32(y.data), _s32(z.data)) == (exp_y, exp_z)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    data=st.lists(st.integers(min_value=-1000, max_value=1000),
+                  min_size=8, max_size=8)
+)
+def test_prop_matmul_block_matches_reference(data):
+    n = 2
+    a = [data[0:2], data[2:4]]
+    b = [data[4:6], data[6:8]]
+    model, mb = build_matmul_model(n, fifo_depth=64)
+    to_hw = mb.to_hw_channel(0)
+    from_hw = mb.from_hw_channel(0)
+    for j in range(n):
+        for k in range(n):
+            to_hw.push(b[k][j] & _M32, control=True)
+    for k in range(n):
+        for i in range(n):
+            to_hw.push(a[i][k] & _M32)
+    model.step(3 * n * n + 24)
+    out = [[0] * n for _ in range(n)]
+    for j in range(n):
+        for i in range(n):
+            out[i][j] = _s32(from_hw.pop().data)
+    assert out == matmul_reference(a, b)
+
+
+# ----------------------------------------------------------------------
+# Assembler/linker invariants
+# ----------------------------------------------------------------------
+@given(st.lists(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1),
+                min_size=1, max_size=16))
+def test_prop_data_words_round_trip(values):
+    body = "\n".join(f"    .word {v}" for v in values)
+    prog = link(assemble(f".global _start\n_start: nop\n.data\ntab:\n{body}"))
+    base = prog.symbols["tab"]
+    for i, v in enumerate(values):
+        got = int.from_bytes(prog.image[base + 4 * i : base + 4 * i + 4],
+                             "big")
+        assert got == v & _M32

@@ -1,0 +1,69 @@
+"""Tests for the PyGen-style parameterized generator framework."""
+
+import pytest
+
+from repro.pygen import Parameter, ParameterError, ParameterSpace
+
+
+def space():
+    return ParameterSpace(
+        parameters=[
+            Parameter("P", default=4, minimum=1, maximum=16),
+            Parameter("MODE", default="fast", choices=("fast", "small")),
+            Parameter("ITERS", default=24, minimum=1),
+        ],
+        constraints=[
+            lambda b: None if b["ITERS"] % b["P"] == 0
+            else f"ITERS={b['ITERS']} not divisible by P={b['P']}",
+        ],
+    )
+
+
+class TestParameter:
+    def test_range_check(self):
+        p = Parameter("x", minimum=1, maximum=4)
+        p.check(2)
+        with pytest.raises(ParameterError):
+            p.check(0)
+        with pytest.raises(ParameterError):
+            p.check(5)
+
+    def test_choices(self):
+        p = Parameter("m", choices=("a", "b"))
+        p.check("a")
+        with pytest.raises(ParameterError):
+            p.check("c")
+
+
+class TestParameterSpace:
+    def test_defaults_applied(self):
+        binding = space().bind()
+        assert binding == {"P": 4, "MODE": "fast", "ITERS": 24}
+
+    def test_override(self):
+        assert space().bind(P=8)["P"] == 8
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ParameterError, match="unknown"):
+            space().bind(WAT=1)
+
+    def test_constraint_enforced(self):
+        with pytest.raises(ParameterError, match="divisible"):
+            space().bind(P=5)
+
+    def test_required_parameter(self):
+        s = ParameterSpace(parameters=[Parameter("REQ")])
+        with pytest.raises(ParameterError, match="required"):
+            s.bind()
+
+    def test_sweep_cartesian(self):
+        bindings = space().sweep(P=[2, 4], MODE=["fast", "small"])
+        assert len(bindings) == 4
+        assert {b["P"] for b in bindings} == {2, 4}
+
+    def test_sweep_skips_constraint_violations(self):
+        bindings = space().sweep(P=[2, 5])  # ITERS=24: P=5 invalid
+        assert [b["P"] for b in bindings] == [2]
+
+    def test_names(self):
+        assert space().names() == ["P", "MODE", "ITERS"]

@@ -1,0 +1,119 @@
+"""Tests for resource estimation (Section III-C) and the PAR actuals."""
+
+import pytest
+
+from repro.iss.cpu import CPUConfig
+from repro.mcc import CompileOptions, build_executable
+from repro.resources import (
+    BRAM_BYTES,
+    Resources,
+    estimate_design,
+    microblaze_resources,
+    program_brams,
+)
+from repro.sysgen import Model
+from repro.sysgen.blocks import Add, Mult, Register
+
+
+class TestResourcesVector:
+    def test_addition(self):
+        a = Resources(slices=10, brams=1, mult18=2)
+        b = Resources(slices=5)
+        total = a + b
+        assert (total.slices, total.brams, total.mult18) == (15, 1, 2)
+
+    def test_scalar_multiplication(self):
+        assert (3 * Resources(slices=4)).slices == 12
+
+    def test_str(self):
+        assert "slices" in str(Resources(slices=1))
+
+
+class TestDatasheet:
+    def test_base_configuration(self):
+        base = microblaze_resources(use_hw_multiplier=False,
+                                    use_barrel_shifter=False)
+        assert base.mult18 == 0
+        assert base.slices == 450
+
+    def test_multiplier_option_adds_mult18(self):
+        with_mult = microblaze_resources(use_hw_multiplier=True,
+                                         use_barrel_shifter=False)
+        assert with_mult.mult18 == 3  # the paper's Table I constant
+
+    def test_options_monotone(self):
+        small = microblaze_resources(False, False, False)
+        big = microblaze_resources(True, True, True)
+        assert big.slices > small.slices
+
+
+class TestProgramBrams:
+    def test_small_program_one_bram_per_2kb(self):
+        program = build_executable(
+            "int main(void) { return 0; }",
+            CompileOptions(memory_size=4096, stack_size=2048),
+        )
+        assert program_brams(program) == 2  # 4 KB / 2 KB
+
+    def test_auto_sized_program(self):
+        program = build_executable("int main(void) { return 0; }")
+        assert program.memory_size % BRAM_BYTES == 0
+        assert program_brams(program) == program.memory_size // BRAM_BYTES
+
+    def test_bigger_data_more_brams(self):
+        small = build_executable("int main(void) { return 0; }")
+        big = build_executable(
+            "int blob[4096]; int main(void) { return blob[0]; }"
+        )
+        assert program_brams(big) > program_brams(small)
+
+
+class TestDesignEstimate:
+    def test_composition(self):
+        model = Model()
+        model.add(Add("a", width=32))
+        model.add(Register("r", width=32))
+        model.add(Mult("m", 18, 18))
+        program = build_executable("int main(void) { return 0; }")
+        est = estimate_design(model=model, program=program,
+                              cpu_config=CPUConfig(), n_fsl_links=2)
+        assert est.processor.slices >= 450
+        assert est.fsl_links.slices == 48
+        assert est.peripheral.mult18 == 1
+        assert est.total.slices == (
+            est.processor.slices + est.lmb_controllers.slices
+            + est.fsl_links.slices + est.peripheral.slices
+        )
+        assert est.total.brams == est.program_brams
+
+    def test_report_text(self):
+        est = estimate_design(program=build_executable(
+            "int main(void) { return 0; }"
+        ))
+        text = est.report()
+        assert "MicroBlaze core" in text
+        assert "TOTAL" in text
+
+    def test_software_only_design(self):
+        est = estimate_design(cpu_config=CPUConfig())
+        assert est.peripheral.slices == 0
+        assert est.fsl_links.slices == 0
+
+
+class TestParActuals:
+    def test_mapped_counts_scale_with_design(self):
+        from repro.resources.par import peripheral_actual
+
+        small = Model("s")
+        small.add(Add("a", width=8))
+        big = Model("b")
+        big.add(Add("a", width=32))
+        big.add(Register("r", width=32))
+        assert peripheral_actual(big).slices > peripheral_actual(small).slices
+
+    def test_par_report_format(self):
+        from repro.resources.par import ParReport
+
+        rep = ParReport(Resources(slices=10, brams=1, mult18=2),
+                        Resources(slices=9, brams=1, mult18=2))
+        assert "10 / 9 slices" in rep.row()

@@ -1,0 +1,233 @@
+"""Tests for the event-driven RTL kernel, primitives and lowering."""
+
+import io
+
+import pytest
+
+from repro.rtl.kernel import Kernel, SimulationError
+from repro.rtl.netlist import Net, Netlist
+from repro.rtl.vcd import VCDWriter
+from repro.rtl import primitives as prim
+
+
+class TestKernel:
+    def test_delta_propagation(self):
+        k = Kernel()
+        a = k.signal("a")
+        b = k.signal("b")
+
+        def follower(kern):
+            kern.schedule(b, a.value)
+
+        k.process(follower, sensitive=[a])
+        k.initial(lambda kern: kern.schedule(a, 1))
+        k.run(1)
+        assert b.value == 1
+
+    def test_timed_events_ordered(self):
+        k = Kernel()
+        s = k.signal("s", width=8)
+        seen = []
+
+        def watcher(kern):
+            seen.append((kern.now, s.value))
+
+        k.process(watcher, sensitive=[s])
+        k.initial(lambda kern: kern.schedule(s, 1, delay=5))
+        k.initial(lambda kern: kern.schedule(s, 2, delay=10))
+        k.run(20)
+        assert seen == [(5, 1), (10, 2)]
+
+    def test_clock_edges(self):
+        k = Kernel()
+        clk = k.add_clock("clk", period=10)
+        edges = []
+
+        def edge_watch(kern):
+            if kern.is_rising(clk):
+                edges.append(kern.now)
+
+        k.process(edge_watch, sensitive=[clk])
+        k.run(45)
+        assert edges == [5, 15, 25, 35, 45]
+
+    def test_oscillation_detected(self):
+        k = Kernel()
+        a = k.signal("a")
+
+        def inverter_loop(kern):
+            kern.schedule(a, a.value ^ 1)
+
+        k.process(inverter_loop, sensitive=[a])
+        k.initial(lambda kern: kern.schedule(a, 1))
+        with pytest.raises(SimulationError, match="delta overflow"):
+            k.run(1)
+
+    def test_no_event_on_same_value(self):
+        k = Kernel()
+        a = k.signal("a")
+        runs = []
+        k.process(lambda kern: runs.append(kern.now), sensitive=[a])
+        k.initial(lambda kern: kern.schedule(a, 0))  # no change
+        k.run(5)
+        assert runs == []
+
+
+class TestPrimitives:
+    def test_lut_and(self):
+        k = Kernel()
+        a, b, o = k.signal("a"), k.signal("b"), k.signal("o")
+        prim.lut(k, "and2", [a, b], o, 0b1000)
+        k.initial(lambda kern: (kern.schedule(a, 1), kern.schedule(b, 1)))
+        k.run(1)
+        assert o.value == 1
+
+    def test_dff_latches_on_rising_edge(self):
+        k = Kernel()
+        clk = k.add_clock("clk", 10)
+        d, q = k.signal("d"), k.signal("q")
+        prim.dff(k, "ff", clk, d, q)
+        k.initial(lambda kern: kern.schedule(d, 1))
+        k.run(4)  # before first edge
+        assert q.value == 0
+        k.run(2)  # past rising edge at t=5
+        assert q.value == 1
+
+    def test_dff_clock_enable(self):
+        k = Kernel()
+        clk = k.add_clock("clk", 10)
+        d, q, ce = k.signal("d"), k.signal("q"), k.signal("ce")
+        prim.dff(k, "ff", clk, d, q, ce=ce)
+        k.initial(lambda kern: kern.schedule(d, 1))
+        k.run(12)
+        assert q.value == 0  # not enabled
+        k.initial_ = None
+        k.schedule(ce, 1, delay=1)
+        k.run(10)
+        assert q.value == 1
+
+    def test_mult18x18_signed(self):
+        k = Kernel()
+        a = k.signal("a", 18)
+        b = k.signal("b", 18)
+        p = k.signal("p", 36)
+        prim.mult18x18(k, "m", a, b, p)
+        k.initial(lambda kern: (kern.schedule(a, (-7) & 0x3FFFF),
+                                kern.schedule(b, 9)))
+        k.run(1)
+        assert p.value == (-63) & 0xFFFFFFFFF
+
+    def test_bram_sync_read(self):
+        k = Kernel()
+        clk = k.add_clock("clk", 10)
+        addr = k.signal("addr", 4)
+        din = k.signal("din", 8)
+        dout = k.signal("dout", 8)
+        we = k.signal("we")
+        prim.bram(k, "ram", clk, addr, din, dout, we, depth=16,
+                  contents=[0xAB])
+        k.run(10)  # one edge
+        assert dout.value == 0xAB
+
+
+class TestNetlistIdioms:
+    def make(self):
+        k = Kernel()
+        nl = Netlist(k, "t")
+        return k, nl
+
+    def settle(self, k):
+        k.run(1)
+
+    def drive(self, k, bus, value):
+        for i, bit in enumerate(bus):
+            k.schedule(bit, (value >> i) & 1)
+
+    def read(self, bus):
+        return sum((bit.value & 1) << i for i, bit in enumerate(bus))
+
+    def test_adder(self):
+        k, nl = self.make()
+        a = nl.bus("a", 8)
+        b = nl.bus("b", 8)
+        s = nl.adder(a, b)
+        self.drive(k, a, 77)
+        self.drive(k, b, 88)
+        self.settle(k)
+        assert self.read(s) == (77 + 88) & 0xFF
+
+    def test_subtract_via_sub_signal(self):
+        k, nl = self.make()
+        a = nl.bus("a", 8)
+        b = nl.bus("b", 8)
+        vcc = k.signal("vcc", 1, 1)
+        d = nl.adder(a, b, sub=vcc)
+        self.drive(k, a, 5)
+        self.drive(k, b, 9)
+        self.settle(k)
+        assert self.read(d) == (5 - 9) & 0xFF
+
+    @pytest.mark.parametrize("a,b", [(3, 7), (7, 3), (200, 10), (128, 127)])
+    def test_less_than_unsigned(self, a, b):
+        k, nl = self.make()
+        ba = nl.bus("a", 8)
+        bb = nl.bus("b", 8)
+        lt = nl.less_than(ba, bb, signed=False)
+        self.drive(k, ba, a)
+        self.drive(k, bb, b)
+        self.settle(k)
+        assert lt.value == int(a < b)
+
+    @pytest.mark.parametrize("a,b", [(-3, 7), (7, -3), (-8, -2), (5, 5)])
+    def test_less_than_signed(self, a, b):
+        k, nl = self.make()
+        ba = nl.bus("a", 8)
+        bb = nl.bus("b", 8)
+        lt = nl.less_than(ba, bb, signed=True)
+        self.drive(k, ba, a & 0xFF)
+        self.drive(k, bb, b & 0xFF)
+        self.settle(k)
+        assert lt.value == int(a < b)
+
+    def test_equals_const(self):
+        k, nl = self.make()
+        a = nl.bus("a", 6)
+        eq = nl.equals_const(a, 37)
+        self.drive(k, a, 37)
+        self.settle(k)
+        assert eq.value == 1
+        self.drive(k, a, 36)
+        self.settle(k)
+        assert eq.value == 0
+
+    def test_mux_tree(self):
+        k, nl = self.make()
+        sel = nl.bus("sel", 2)
+        inputs = [nl.const_bus(v, 8) for v in (10, 20, 30, 40)]
+        out = nl.mux_tree(sel, inputs)
+        for s, expect in enumerate((10, 20, 30, 40)):
+            self.drive(k, sel, s)
+            self.settle(k)
+            assert self.read(out) == expect
+
+    def test_stats_counting(self):
+        k, nl = self.make()
+        a = nl.bus("a", 8)
+        b = nl.bus("b", 8)
+        nl.adder(a, b)
+        assert nl.stats.luts == 8  # one (shared) LUT per bit
+        assert nl.stats.muxcy == 8
+        assert nl.stats.slices >= 4
+
+
+class TestVCD:
+    def test_vcd_output(self):
+        k = Kernel()
+        clk = k.add_clock("clk", 10)
+        out = io.StringIO()
+        writer = VCDWriter(k, out, signals=[clk])
+        k.run(25)
+        writer.close()
+        text = out.getvalue()
+        assert "$enddefinitions" in text
+        assert "#5" in text and "#15" in text

@@ -1,0 +1,117 @@
+"""Property-based tests for the RTL netlist construction idioms:
+random-value equivalence of the LUT/MUXCY structures against Python
+arithmetic."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.rtl.kernel import Kernel
+from repro.rtl.netlist import Netlist
+
+u8 = st.integers(min_value=0, max_value=255)
+s8 = st.integers(min_value=-128, max_value=127)
+
+
+def make():
+    k = Kernel()
+    return k, Netlist(k, "t")
+
+
+def drive(k, bus, value):
+    for i, bit in enumerate(bus):
+        k.schedule(bit, (value >> i) & 1)
+
+
+def read(bus):
+    return sum((bit.value & 1) << i for i, bit in enumerate(bus))
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(a=u8, b=u8)
+def test_prop_ripple_adder(a, b):
+    k, nl = make()
+    ba, bb = nl.bus("a", 8), nl.bus("b", 8)
+    s = nl.adder(ba, bb)
+    drive(k, ba, a)
+    drive(k, bb, b)
+    k.run(1)
+    assert read(s) == (a + b) & 0xFF
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(a=u8, b=u8, sub=st.booleans())
+def test_prop_addsub_chain(a, b, sub):
+    k, nl = make()
+    ba, bb = nl.bus("a", 8), nl.bus("b", 8)
+    ctl = k.signal("sub", 1, int(sub))
+    s = nl.adder(ba, bb, sub=ctl)
+    drive(k, ba, a)
+    drive(k, bb, b)
+    k.run(1)
+    assert read(s) == ((a - b) if sub else (a + b)) & 0xFF
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(a=u8, b=u8)
+def test_prop_less_than_unsigned(a, b):
+    k, nl = make()
+    ba, bb = nl.bus("a", 8), nl.bus("b", 8)
+    lt = nl.less_than(ba, bb, signed=False)
+    drive(k, ba, a)
+    drive(k, bb, b)
+    k.run(1)
+    assert lt.value == int(a < b)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(a=s8, b=s8)
+def test_prop_less_than_signed(a, b):
+    k, nl = make()
+    ba, bb = nl.bus("a", 8), nl.bus("b", 8)
+    lt = nl.less_than(ba, bb, signed=True)
+    drive(k, ba, a & 0xFF)
+    drive(k, bb, b & 0xFF)
+    k.run(1)
+    assert lt.value == int(a < b)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(values=st.lists(u8, min_size=4, max_size=4), sel=st.integers(0, 3))
+def test_prop_mux_tree(values, sel):
+    k, nl = make()
+    sel_bus = nl.bus("sel", 2)
+    inputs = [nl.const_bus(v, 8) for v in values]
+    out = nl.mux_tree(sel_bus, inputs)
+    drive(k, sel_bus, sel)
+    k.run(1)
+    assert read(out) == values[sel]
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(a=u8, value=u8)
+def test_prop_equals_const(a, value):
+    k, nl = make()
+    ba = nl.bus("a", 8)
+    eq = nl.equals_const(ba, value)
+    drive(k, ba, a)
+    k.run(1)
+    assert eq.value == int(a == value)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(a=st.integers(-(1 << 17), (1 << 17) - 1),
+       b=st.integers(-(1 << 17), (1 << 17) - 1))
+def test_prop_mult18_signed(a, b):
+    k, nl = make()
+    ba, bb = nl.bus("a", 18), nl.bus("b", 18)
+    p = nl.mult18(ba, bb, 36)
+    drive(k, ba, a & 0x3FFFF)
+    drive(k, bb, b & 0x3FFFF)
+    k.run(1)
+    assert read(p) == (a * b) & ((1 << 36) - 1)

@@ -1,0 +1,75 @@
+"""Tests for hierarchical subsystems."""
+
+import pytest
+
+from repro.sysgen import Model, ModelError, Subsystem
+from repro.sysgen.blocks import Add, Constant, Register
+
+
+def build_hierarchy():
+    m = Model("top")
+    pe = Subsystem(m, "pe0")
+    a = pe.add(Add("adder", width=16))
+    r = pe.add(Register("reg", width=16))
+    inner = pe.subsystem("ctl")
+    c = inner.add(Constant("one", 1, width=16))
+    return m, pe, inner, a, r, c
+
+
+class TestSubsystem:
+    def test_namespacing(self):
+        m, pe, inner, a, r, c = build_hierarchy()
+        assert a.name == "pe0/adder"
+        assert c.name == "pe0/ctl/one"
+        assert m.block("pe0/adder") is a
+
+    def test_relative_lookup(self):
+        _, pe, inner, a, _, c = build_hierarchy()
+        assert pe.block("adder") is a
+        assert inner.block("one") is c
+
+    def test_same_leaf_name_in_different_subsystems(self):
+        m = Model()
+        s1 = Subsystem(m, "a")
+        s2 = Subsystem(m, "b")
+        s1.add(Add("x", width=8))
+        s2.add(Add("x", width=8))  # no clash: a/x vs b/x
+        assert len(m.blocks) == 2
+
+    def test_resource_rollup(self):
+        m, pe, inner, a, r, c = build_hierarchy()
+        assert pe.resources().slices == (
+            a.resources().slices + r.resources().slices
+            + c.resources().slices
+        )
+        assert inner.resources().slices == c.resources().slices
+
+    def test_all_blocks_recursive(self):
+        _, pe, _, a, r, c = build_hierarchy()
+        assert set(pe.all_blocks()) == {a, r, c}
+
+    def test_report_tree(self):
+        _, pe, _, _, _, _ = build_hierarchy()
+        text = pe.report()
+        assert "pe0:" in text
+        assert "ctl:" in text
+
+    def test_simulation_unaffected(self):
+        m = Model()
+        s = Subsystem(m, "s")
+        one = s.add(Constant("one", 1, width=8))
+        add = s.add(Add("a", width=8))
+        m.connect(one.o("out"), add.i("a"), add.i("b"))
+        m.settle()
+        assert add.out_value("s") == 2
+
+    def test_name_validation(self):
+        with pytest.raises(ModelError):
+            Subsystem(Model(), "bad/name")
+
+    def test_path_nesting(self):
+        m = Model()
+        a = Subsystem(m, "a")
+        b = a.subsystem("b")
+        c = b.subsystem("c")
+        assert c.path == "a/b/c"

@@ -1,0 +1,413 @@
+"""Tests for the System Generator-style block modeling framework."""
+
+import pytest
+
+from repro.bus.fsl import FSLChannel
+from repro.fixedpoint import Overflow, Rounding
+from repro.sysgen import Model, ModelError
+from repro.sysgen.blocks import (
+    FIFO,
+    RAM,
+    ROM,
+    Accumulator,
+    Add,
+    AddSub,
+    Concat,
+    Constant,
+    Convert,
+    Counter,
+    Delay,
+    FSLRead,
+    FSLWrite,
+    GatewayIn,
+    GatewayOut,
+    Inverter,
+    Logical,
+    Mult,
+    Mux,
+    Negate,
+    Register,
+    Relational,
+    Shift,
+    Slice,
+    Sub,
+)
+
+
+def single_block_model(block, in_map, out_port="out"):
+    """Drive a block's inputs with constants; settle; read one output."""
+    m = Model("t")
+    m.add(block)
+    for port, value in in_map.items():
+        c = m.add(Constant(f"c_{port}", value, width=64))
+        m.connect(c.o("out"), block.i(port))
+    m.settle()
+    return block.out_value(out_port)
+
+
+class TestCombBlocks:
+    def test_add_wraps(self):
+        b = Add("a", width=8)
+        assert single_block_model(b, {"a": 200, "b": 100}, "s") == (300) & 0xFF
+
+    def test_sub(self):
+        b = Sub("s", width=16)
+        assert single_block_model(b, {"a": 5, "b": 9}, "d") == (5 - 9) & 0xFFFF
+
+    def test_addsub_modes(self):
+        b = AddSub("x", width=16)
+        assert single_block_model(b, {"a": 10, "b": 3, "sub": 1}, "s") == 7
+        b2 = AddSub("y", width=16)
+        assert single_block_model(b2, {"a": 10, "b": 3, "sub": 0}, "s") == 13
+
+    def test_mult_signed(self):
+        b = Mult("m", width_a=16, width_b=16, latency=0)
+        neg3 = (-3) & 0xFFFF
+        assert single_block_model(b, {"a": neg3, "b": 7}, "p") == (-21) & 0xFFFFFFFF
+
+    def test_negate(self):
+        b = Negate("n", width=8)
+        assert single_block_model(b, {"a": 1}, "n") == 0xFF
+
+    def test_shift_arith_right(self):
+        b = Shift("sh", width=8, amount=2, direction="right", arithmetic=True)
+        assert single_block_model(b, {"a": 0xF0}, "s") == 0xFC  # -16>>2 = -4
+
+    def test_shift_logical_right(self):
+        b = Shift("sh", width=8, amount=2, direction="right", arithmetic=False)
+        assert single_block_model(b, {"a": 0xF0}, "s") == 0x3C
+
+    def test_shift_left(self):
+        b = Shift("sh", width=8, amount=3, direction="left")
+        assert single_block_model(b, {"a": 3}, "s") == 24
+
+    def test_mux(self):
+        b = Mux("m", width=8, n=3)
+        assert single_block_model(b, {"sel": 2, "d0": 5, "d1": 6, "d2": 7}) == 7
+
+    def test_relational_signed(self):
+        b = Relational("r", width=8, op="lt", signed=True)
+        assert single_block_model(b, {"a": 0xFF, "b": 1}) == 1  # -1 < 1
+
+    def test_relational_unsigned(self):
+        b = Relational("r", width=8, op="lt", signed=False)
+        assert single_block_model(b, {"a": 0xFF, "b": 1}) == 0  # 255 !< 1
+
+    @pytest.mark.parametrize("op,expected", [
+        ("and", 0x30), ("or", 0xFC), ("xor", 0xCC),
+        ("nand", 0xFFCF), ("nor", 0xFF03), ("xnor", 0xFF33),
+    ])
+    def test_logical_ops(self, op, expected):
+        b = Logical("l", width=16, op=op)
+        assert single_block_model(b, {"d0": 0xF0, "d1": 0x3C}) == expected
+
+    def test_inverter(self):
+        b = Inverter("i", width=4)
+        assert single_block_model(b, {"a": 0b1010}) == 0b0101
+
+    def test_slice(self):
+        b = Slice("s", msb=7, lsb=4)
+        assert single_block_model(b, {"a": 0xAB}) == 0xA
+
+    def test_concat(self):
+        b = Concat("c", widths=[4, 8])
+        assert single_block_model(b, {"d0": 0xA, "d1": 0xBC}) == 0xABC
+
+    def test_convert_round_and_saturate(self):
+        b = Convert("cv", in_width=16, in_frac=8, out_width=8, out_frac=4,
+                    rounding=Rounding.ROUND, overflow=Overflow.SATURATE)
+        # 1.5 in Fix16_8 is 0x0180; converts to 0x18 in Fix8_4
+        assert single_block_model(b, {"in": 0x0180}) == 0x18
+        # large value saturates to max positive 0x7F
+        b2 = Convert("cv2", in_width=16, in_frac=8, out_width=8, out_frac=4,
+                     overflow=Overflow.SATURATE)
+        assert single_block_model(b2, {"in": 0x7F00}) == 0x7F
+
+    def test_rom(self):
+        b = ROM("r", contents=[10, 20, 30], width=8)
+        assert single_block_model(b, {"addr": 1}, "data") == 20
+
+
+class TestSeqBlocks:
+    def test_register_delays_one_cycle(self):
+        m = Model()
+        g = m.add(GatewayIn("g", width=8))
+        r = m.add(Register("r", width=8))
+        m.connect(g.o("out"), r.i("d"))
+        g.drive(5)
+        m.step()
+        assert r.out_value("q") == 0  # old state visible during cycle 0
+        m.step()
+        assert r.out_value("q") == 5
+
+    def test_register_enable(self):
+        m = Model()
+        g = m.add(GatewayIn("g", width=8))
+        en = m.add(GatewayIn("en", width=1))
+        r = m.add(Register("r", width=8))
+        m.connect(g.o("out"), r.i("d"))
+        m.connect(en.o("out"), r.i("en"))
+        g.drive(9)
+        en.drive(0)
+        m.step()
+        m.step()
+        assert r.out_value("q") == 0  # never latched
+        en.drive(1)
+        m.step()
+        m.step()
+        assert r.out_value("q") == 9
+
+    def test_delay_line(self):
+        m = Model()
+        g = m.add(GatewayIn("g", width=8))
+        d = m.add(Delay("d", width=8, n=3))
+        out = m.add(GatewayOut("o", width=8))
+        m.connect(g.o("out"), d.i("d"))
+        m.connect(d.o("q"), out.i("in"))
+        seen = []
+        for v in [1, 2, 3, 4, 5, 6]:
+            g.drive(v)
+            m.step()
+            seen.append(out.raw)
+        assert seen == [0, 0, 0, 1, 2, 3]
+
+    def test_counter(self):
+        m = Model()
+        c = m.add(Counter("c", width=4))
+        values = []
+        for _ in range(18):
+            m.step()
+            values.append(c.out_value("q"))
+        assert values[:5] == [0, 1, 2, 3, 4]
+        assert values[16] == 0  # wrapped at 16
+
+    def test_accumulator(self):
+        m = Model()
+        g = m.add(GatewayIn("g", width=16))
+        acc = m.add(Accumulator("a", width=16))
+        m.connect(g.o("out"), acc.i("d"))
+        for v in [5, 10, 20]:
+            g.drive(v)
+            m.step()
+        m.settle()
+        assert acc.out_value("q") == 35
+
+    def test_mult_latency_three(self):
+        m = Model()
+        ga = m.add(GatewayIn("a", width=16))
+        gb = m.add(GatewayIn("b", width=16))
+        mult = m.add(Mult("m", 16, 16, latency=3))
+        m.connect(ga.o("out"), mult.i("a"))
+        m.connect(gb.o("out"), mult.i("b"))
+        ga.drive(6)
+        gb.drive(7)
+        outs = []
+        for _ in range(5):
+            m.step()
+            outs.append(mult.out_value("p"))
+        # product appears on the 4th present (3 pipeline stages)
+        assert outs[:3] == [0, 0, 0]
+        assert outs[3] == 42
+
+    def test_fifo_flow(self):
+        m = Model()
+        din = m.add(GatewayIn("din", width=8))
+        push = m.add(GatewayIn("push", width=1))
+        pop = m.add(GatewayIn("pop", width=1))
+        f = m.add(FIFO("f", width=8, depth=2))
+        m.connect(din.o("out"), f.i("din"))
+        m.connect(push.o("out"), f.i("push"))
+        m.connect(pop.o("out"), f.i("pop"))
+        m.settle()
+        assert f.out_value("empty") == 1
+        din.drive(11)
+        push.drive(1)
+        m.step()
+        din.drive(22)
+        m.step()
+        push.drive(0)
+        m.step()
+        assert f.out_value("dout") == 11
+        assert f.out_value("full") == 1
+        pop.drive(1)
+        m.step()
+        pop.drive(0)
+        m.settle()  # new head visible at the next cycle's present
+        assert f.out_value("dout") == 22
+
+    def test_ram_sync_read(self):
+        m = Model()
+        addr = m.add(GatewayIn("addr", width=4))
+        din = m.add(GatewayIn("din", width=8))
+        we = m.add(GatewayIn("we", width=1))
+        ram = m.add(RAM("ram", depth=16, width=8))
+        m.connect(addr.o("out"), ram.i("addr"))
+        m.connect(din.o("out"), ram.i("din"))
+        m.connect(we.o("out"), ram.i("we"))
+        addr.drive(3)
+        din.drive(99)
+        we.drive(1)
+        m.step()
+        we.drive(0)
+        m.step()  # read registered
+        assert ram.out_value("dout") == 99
+
+
+class TestModel:
+    def test_comb_loop_rejected(self):
+        m = Model()
+        a = m.add(Add("a", width=8))
+        b = m.add(Add("b", width=8))
+        m.connect(a.o("s"), b.i("a"))
+        m.connect(b.o("s"), a.i("a"))
+        with pytest.raises(ModelError, match="combinational loop"):
+            m.compile()
+
+    def test_loop_through_register_ok(self):
+        m = Model()
+        a = m.add(Add("a", width=8))
+        r = m.add(Register("r", width=8))
+        one = m.add(Constant("one", 1, width=8))
+        m.connect(one.o("out"), a.i("a"))
+        m.connect(r.o("q"), a.i("b"))
+        m.connect(a.o("s"), r.i("d"))
+        m.step(5)
+        assert a.out_value("s") == 5  # counts up 1 per cycle
+
+    def test_duplicate_block_name(self):
+        m = Model()
+        m.add(Add("x"))
+        with pytest.raises(ModelError):
+            m.add(Sub("x"))
+
+    def test_double_drive_rejected(self):
+        m = Model()
+        a = m.add(Constant("a", 1))
+        b = m.add(Constant("b", 2))
+        add = m.add(Add("add"))
+        m.connect(a.o("out"), add.i("a"))
+        with pytest.raises(ModelError, match="already driven"):
+            m.connect(b.o("out"), add.i("a"))
+
+    def test_probe_records(self):
+        m = Model()
+        c = m.add(Counter("c", width=8))
+        p = m.probe(c.o("q"))
+        m.step(4)
+        assert p.samples == [0, 1, 2, 3]
+
+    def test_fanout(self):
+        m = Model()
+        c = m.add(Constant("c", 3, width=8))
+        a1 = m.add(Add("a1", width=8))
+        a2 = m.add(Add("a2", width=8))
+        m.connect(c.o("out"), a1.i("a"), a1.i("b"), a2.i("a"), a2.i("b"))
+        m.settle()
+        assert a1.out_value("s") == 6
+        assert a2.out_value("s") == 6
+
+    def test_reset(self):
+        m = Model()
+        c = m.add(Counter("c", width=8))
+        m.step(5)
+        m.reset()
+        m.settle()
+        assert c.out_value("q") == 0
+        assert m.cycle == 0
+
+    def test_resources_aggregate(self):
+        m = Model()
+        m.add(Add("a", width=32))
+        m.add(Register("r", width=32))
+        m.add(Mult("m", 18, 18))
+        total = m.resources()
+        assert total.slices >= 32  # 16 + 16 + mult pipeline registers
+        assert total.mult18 == 1
+
+
+class TestGateways:
+    def test_gateway_quantization(self):
+        m = Model()
+        g = m.add(GatewayIn("g", width=16, frac=8))
+        out = m.add(GatewayOut("o", width=16, frac=8))
+        m.connect(g.o("out"), out.i("in"))
+        g.drive(1.5)
+        m.settle()
+        assert out.raw == 0x0180
+        assert out.value == 1.5
+
+    def test_gateway_saturation(self):
+        m = Model()
+        g = m.add(GatewayIn("g", width=8, frac=0))
+        out = m.add(GatewayOut("o", width=8))
+        m.connect(g.o("out"), out.i("in"))
+        g.drive(1000)  # > 127 saturates
+        m.settle()
+        assert out.signed_int == 127
+
+    def test_gateway_negative(self):
+        m = Model()
+        g = m.add(GatewayIn("g", width=16))
+        out = m.add(GatewayOut("o", width=16))
+        m.connect(g.o("out"), out.i("in"))
+        g.drive(-42)
+        m.settle()
+        assert out.signed_int == -42
+
+
+class TestFSLBlocks:
+    def test_fsl_read_presents_and_pops(self):
+        m = Model()
+        rd = m.add(FSLRead("rd"))
+        read_en = m.add(GatewayIn("ren", width=1))
+        m.connect(read_en.o("out"), rd.i("read"))
+        ch = FSLChannel(name="cpu_to_hw")
+        rd.bind(ch)
+        ch.push(77, control=True)
+        read_en.drive(0)
+        m.step()
+        assert rd.out_value("exists") == 1
+        assert rd.out_value("data") == 77
+        assert rd.out_value("control") == 1
+        assert len(ch) == 1  # not consumed without read strobe
+        read_en.drive(1)
+        m.step()
+        assert len(ch) == 0
+        m.step()
+        assert rd.out_value("exists") == 0
+
+    def test_fsl_write_pushes(self):
+        m = Model()
+        wr = m.add(FSLWrite("wr"))
+        data = m.add(GatewayIn("d", width=32))
+        wen = m.add(GatewayIn("w", width=1))
+        m.connect(data.o("out"), wr.i("data"))
+        m.connect(wen.o("out"), wr.i("write"))
+        ch = FSLChannel(name="hw_to_cpu")
+        wr.bind(ch)
+        data.drive(123)
+        wen.drive(1)
+        m.step()
+        assert len(ch) == 1
+        assert ch.pop().data == 123
+
+    def test_fsl_write_full_flag(self):
+        m = Model()
+        wr = m.add(FSLWrite("wr"))
+        wen = m.add(GatewayIn("w", width=1))
+        m.connect(wen.o("out"), wr.i("write"))
+        ch = FSLChannel(depth=1)
+        wr.bind(ch)
+        ch.push(1)
+        wen.drive(0)
+        m.step()
+        assert wr.out_value("full") == 1
+        wen.drive(1)
+        m.step()
+        assert wr.dropped == 1
+
+    def test_unbound_channel_raises(self):
+        m = Model()
+        m.add(FSLRead("rd"))
+        with pytest.raises(Exception, match="no bound channel"):
+            m.step()
