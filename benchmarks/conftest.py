@@ -7,11 +7,21 @@ and writes them under ``benchmarks/results/`` for EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
 import pathlib
+import subprocess
+import sys
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+#: the fast-forward smoke target — the equivalence + regression suite
+#: that must be green before any ablation number is worth recording.
+FAST_FORWARD_SMOKE = [
+    sys.executable, "-m", "pytest", "tests", "-q", "-k", "fast_forward",
+]
 
 
 def emit(name: str, title: str, text: str) -> None:
@@ -20,6 +30,25 @@ def emit(name: str, title: str, text: str) -> None:
     print(banner)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(banner.lstrip("\n"))
+
+
+@pytest.fixture(scope="session")
+def fast_forward_smoke():
+    """Run the fast-forward smoke target (``pytest tests -k
+    fast_forward``) once per bench session; ablation results are only
+    meaningful when the kernel is bit-identical to per-cycle mode."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        FAST_FORWARD_SMOKE, cwd=REPO_ROOT, env=env,
+        capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        pytest.fail(
+            "fast-forward smoke suite failed:\n" + proc.stdout + proc.stderr
+        )
 
 
 @pytest.fixture

@@ -119,8 +119,19 @@ class FSLChannel:
         return self._fifo.popleft()
 
     # ------------------------------------------------------------------
-    def reset(self) -> None:
+    def reset(self, reset_stats: bool = True) -> None:
+        """Drop all queued words and, unless ``reset_stats=False``,
+        clear the accumulated statistics too — a re-run after
+        :meth:`reset` must not report the previous run's FIFO traffic.
+        Pass ``reset_stats=False`` to keep counters accumulating across
+        runs (e.g. multi-run profiling)."""
         self._fifo.clear()
+        if reset_stats:
+            self.total_pushed = 0
+            self.total_popped = 0
+            self.push_rejects = 0
+            self.pop_rejects = 0
+            self.max_occupancy = 0
 
     def __len__(self) -> int:
         return len(self._fifo)

@@ -17,7 +17,12 @@ both worlds cycle-consistent.
 """
 
 from repro.cosim.mb_block import MicroBlazeBlock
-from repro.cosim.environment import CoSimulation, CoSimResult
+from repro.cosim.environment import (
+    CoSimDeadlock,
+    CoSimResult,
+    CoSimulation,
+    FastForwardError,
+)
 from repro.cosim.partition import DesignPoint, PartitionKind
 from repro.cosim.dse import DSEResult, explore
 from repro.cosim.report import format_table
@@ -26,6 +31,8 @@ __all__ = [
     "MicroBlazeBlock",
     "CoSimulation",
     "CoSimResult",
+    "CoSimDeadlock",
+    "FastForwardError",
     "DesignPoint",
     "PartitionKind",
     "explore",

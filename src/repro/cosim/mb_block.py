@@ -88,8 +88,17 @@ class MicroBlazeBlock:
 
         return self.n_links * FSL_LINK_RESOURCES
 
-    def reset(self) -> None:
+    def channel_occupancies(self) -> dict[str, int]:
+        """Current FIFO occupancy per channel, keyed by channel name —
+        both directions.  Diagnostic view used e.g. by the co-simulation
+        deadlock reporter."""
+        return {
+            ch.name: ch.occupancy
+            for ch in (*self._to_hw.values(), *self._from_hw.values())
+        }
+
+    def reset(self, reset_stats: bool = True) -> None:
         for ch in self._to_hw.values():
-            ch.reset()
+            ch.reset(reset_stats=reset_stats)
         for ch in self._from_hw.values():
-            ch.reset()
+            ch.reset(reset_stats=reset_stats)

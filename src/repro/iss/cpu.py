@@ -39,6 +39,12 @@ from repro.iss.timing import TimingModel
 _M32 = 0xFFFFFFFF
 _SIGN = 0x80000000
 
+#: Sentinel returned by :meth:`CPU.advance_horizon` when the processor
+#: is blocked on an FSL access that cannot complete until the other
+#: endpoint acts — it can be bulk-advanced for as long as the FIFOs
+#: stay frozen.
+ADVANCE_FOREVER = 1 << 62
+
 
 def _s32(v: int) -> int:
     """Interpret a u32 as signed."""
@@ -136,6 +142,7 @@ class CPU:
         self._in_delay_slot = False
         self._decode_cache.clear()
         self.stats.reset()
+        self.fsl.error = False  # MSR[FSL] from a previous run must not leak
         self.mem.reset_devices()
 
     def tick(self) -> None:
@@ -177,6 +184,77 @@ class CPU:
         if self.halt_reason in (HaltReason.BREAKPOINT, HaltReason.MAX_CYCLES):
             self.halted = False
             self.halt_reason = None
+
+    # ------------------------------------------------------------------
+    # Fast-forward (bulk cycle retirement)
+    # ------------------------------------------------------------------
+    def advance_horizon(self) -> int:
+        """Cycles :meth:`advance` may retire in bulk right now, assuming
+        the FSL FIFOs do not change in the meantime.
+
+        Positive while the pipeline is occupied by a multi-cycle
+        instruction (the remaining latency) or blocked on an FSL access
+        that cannot currently complete (:data:`ADVANCE_FOREVER`).  Zero
+        whenever the next cycle would issue an instruction — issuing has
+        externally visible effects, so it must go through :meth:`tick`.
+        """
+        if self.halted:
+            return 0
+        if self._busy > 0:
+            return self._busy
+        pend = self._pending
+        if pend is not None and pend.blocking:
+            if pend.put:
+                if self.fsl.output_full(pend.channel):
+                    return ADVANCE_FOREVER
+            elif not self.fsl.input_exists(pend.channel):
+                return ADVANCE_FOREVER
+        return 0
+
+    def advance(self, n: int) -> None:
+        """Retire ``n`` stall/busy cycles in one step.
+
+        Equivalent to ``n`` consecutive :meth:`tick` calls under the
+        caller-guaranteed precondition ``n <= advance_horizon()`` (and
+        unchanged FIFOs): ``cycle``, ``stats.cycles``,
+        ``stats.stall_cycles`` and the per-channel reject counters all
+        end up exactly as a per-cycle run would leave them.
+        """
+        if n <= 0 or self.halted:
+            return
+        if self._busy > 0:
+            if n > self._busy:
+                raise CPUError(
+                    f"advance({n}) exceeds remaining instruction latency "
+                    f"({self._busy})"
+                )
+            self._busy -= n
+            self.cycle += n
+            self.stats.cycles += n
+            return
+        pend = self._pending
+        if pend is not None and pend.blocking:
+            # Mirror per-cycle retries: each skipped cycle would have
+            # attempted the transfer and been rejected by the FIFO.
+            if pend.put:
+                channel = self.fsl._output(pend.channel)
+                if channel.can_push():
+                    raise CPUError(
+                        "advance() while the blocked FSL put could complete"
+                    )
+                channel.push_rejects += n
+            else:
+                channel = self.fsl._input(pend.channel)
+                if channel.can_pop():
+                    raise CPUError(
+                        "advance() while the blocked FSL get could complete"
+                    )
+                channel.pop_rejects += n
+            self.cycle += n
+            self.stats.cycles += n
+            self.stats.stall_cycles += n
+            return
+        raise CPUError("advance() called while the CPU is ready to issue")
 
     @property
     def busy(self) -> bool:

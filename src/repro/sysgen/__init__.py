@@ -33,7 +33,7 @@ feeding the Section III-C estimator, and can be *lowered* to an RTL
 netlist (:mod:`repro.rtl.lowering`) for the low-level baseline.
 """
 
-from repro.sysgen.block import Block, CombBlock, SeqBlock
+from repro.sysgen.block import IDLE_FOREVER, Block, CombBlock, SeqBlock
 from repro.sysgen.ports import InputPort, OutputPort, PortRef
 from repro.sysgen.model import Model, ModelError, Probe
 from repro.sysgen.subsystem import Subsystem
@@ -48,6 +48,7 @@ __all__ = [
     "Block",
     "CombBlock",
     "SeqBlock",
+    "IDLE_FOREVER",
     "InputPort",
     "OutputPort",
     "PortRef",

@@ -20,6 +20,11 @@ from __future__ import annotations
 from repro.resources.types import Resources
 from repro.sysgen.ports import InputPort, OutputPort, PortRef
 
+#: Sentinel horizon for "this block can be skipped indefinitely" — the
+#: block is at a fixed point: re-running present/evaluate/clock with the
+#: current inputs would change neither its outputs nor its state.
+IDLE_FOREVER = 1 << 62
+
 
 def slices_for_bits(bits: int) -> int:
     """Virtex-II slices for ``bits`` LUT/FF pairs (2 per slice)."""
@@ -81,6 +86,31 @@ class Block:
         """Return to power-on state."""
         for out in self.outputs.values():
             out.value = 0
+
+    # -- fast-forward (activity tracking) -----------------------------------
+    def idle_horizon(self) -> int:
+        """Cycles this block can safely be *not simulated at all*,
+        assuming its input signals hold their current values.
+
+        Return 0 when the block has (or may have) pending work — any
+        state transition or output change on the next clock edge.
+        Return :data:`IDLE_FOREVER` when the block is at a fixed point.
+        A finite positive value promises the outputs stay constant for
+        that many cycles *and* that :meth:`fast_forward` can replay the
+        skipped internal state evolution.
+
+        The default is conservative: combinational blocks are pure
+        functions of their inputs (idle whenever the rest of the design
+        is), sequential blocks must opt in by overriding.
+        """
+        return 0 if self.sequential else IDLE_FOREVER
+
+    def fast_forward(self, cycles: int) -> None:
+        """Catch internal state up after the model skipped ``cycles``
+        clock cycles.  Only called for the window a prior
+        :meth:`idle_horizon` allowed; blocks whose idle condition is a
+        strict fixed point (everything in the standard library) have
+        nothing to do."""
 
     # -- metadata -------------------------------------------------------------
     def resources(self) -> Resources:

@@ -13,7 +13,13 @@ from collections import deque
 
 from repro.fixedpoint import FixedFormat, Overflow, Rounding
 from repro.resources.types import Resources
-from repro.sysgen.block import Block, slices_for_bits, to_signed, wrap
+from repro.sysgen.block import (
+    IDLE_FOREVER,
+    Block,
+    slices_for_bits,
+    to_signed,
+    wrap,
+)
 
 
 class _PipelinedBlock(Block):
@@ -52,6 +58,16 @@ class _PipelinedBlock(Block):
         super().reset()
         if self.sequential:
             self._pipe = deque({} for _ in range(self.latency))
+
+    def idle_horizon(self) -> int:
+        if not self.sequential:
+            return IDLE_FOREVER
+        entering = self._compute()
+        if any(stage != entering for stage in self._pipe):
+            return 0
+        if any(self.outputs[k].value != v for k, v in entering.items()):
+            return 0
+        return IDLE_FOREVER
 
 
 class Add(_PipelinedBlock):
@@ -238,6 +254,17 @@ class Accumulator(Block):
     def reset(self) -> None:
         super().reset()
         self._state = 0
+
+    def idle_horizon(self) -> int:
+        if self.in_value("rst") & 1:
+            next_state = 0
+        elif self.in_value("en") & 1:
+            next_state = wrap(self._state + self.in_value("d"), self.width)
+        else:
+            next_state = self._state
+        if next_state == self._state and self.outputs["q"].value == self._state:
+            return IDLE_FOREVER
+        return 0
 
     def resources(self) -> Resources:
         # adder + register

@@ -3,7 +3,13 @@
 from __future__ import annotations
 
 from repro.resources.types import Resources
-from repro.sysgen.block import CombBlock, SeqBlock, slices_for_bits, wrap
+from repro.sysgen.block import (
+    IDLE_FOREVER,
+    CombBlock,
+    SeqBlock,
+    slices_for_bits,
+    wrap,
+)
 
 
 class Constant(CombBlock):
@@ -17,6 +23,9 @@ class Constant(CombBlock):
 
     def evaluate(self) -> None:
         self.outputs["out"].value = self.value
+
+    def idle_horizon(self) -> int:
+        return IDLE_FOREVER if self.outputs["out"].value == self.value else 0
 
     def resources(self) -> Resources:
         return Resources()  # constants fold into downstream LUTs
@@ -46,6 +55,17 @@ class Counter(SeqBlock):
     def reset(self) -> None:
         super().reset()
         self._state = 0
+
+    def idle_horizon(self) -> int:
+        if self.in_value("rst") & 1:
+            next_state = 0
+        elif self.in_value("en") & 1:
+            next_state = wrap(self._state + self.step, self.width)
+        else:
+            next_state = self._state
+        if next_state == self._state and self.outputs["q"].value == self._state:
+            return IDLE_FOREVER
+        return 0
 
     def resources(self) -> Resources:
         return Resources(slices=slices_for_bits(self.width))

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from repro.bus.fsl import FSLChannel
 from repro.resources.types import Resources
-from repro.sysgen.block import SeqBlock
+from repro.sysgen.block import IDLE_FOREVER, SeqBlock
 
 
 class FSLBindError(RuntimeError):
@@ -61,6 +61,23 @@ class FSLRead(SeqBlock):
         if self.in_value("read") & 1 and ch.exists:
             ch.pop()
 
+    def idle_horizon(self) -> int:
+        ch = self.channel
+        if ch is None:
+            return 0
+        if self.in_value("read") & 1 and ch.exists:
+            return 0  # a word would be consumed at the next edge
+        word = ch.peek()
+        outs = self.outputs
+        if word is None:
+            settled = (outs["data"].value == 0 and outs["control"].value == 0
+                       and outs["exists"].value == 0)
+        else:
+            settled = (outs["data"].value == word.data
+                       and outs["control"].value == int(word.control)
+                       and outs["exists"].value == 1)
+        return IDLE_FOREVER if settled else 0
+
     def resources(self) -> Resources:
         return Resources(slices=4)  # handshake decode logic
 
@@ -94,6 +111,16 @@ class FSLWrite(SeqBlock):
             ok = ch.push(self.in_value("data"), bool(self.in_value("control") & 1))
             if not ok:
                 self.dropped += 1
+
+    def idle_horizon(self) -> int:
+        ch = self.channel
+        if ch is None:
+            return 0
+        if self.in_value("write") & 1:
+            return 0  # a push (or a counted drop) happens every edge
+        if self.outputs["full"].value == int(ch.full):
+            return IDLE_FOREVER
+        return 0
 
     def resources(self) -> Resources:
         return Resources(slices=4)

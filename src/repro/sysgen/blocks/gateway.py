@@ -14,7 +14,7 @@ from fractions import Fraction
 
 from repro.fixedpoint import Fixed, FixedFormat, Overflow, Rounding
 from repro.resources.types import Resources
-from repro.sysgen.block import CombBlock
+from repro.sysgen.block import IDLE_FOREVER, CombBlock
 
 
 class GatewayIn(CombBlock):
@@ -48,6 +48,10 @@ class GatewayIn(CombBlock):
 
     def evaluate(self) -> None:
         self.outputs["out"].value = self._raw
+
+    def idle_horizon(self) -> int:
+        # A drive() since the last step leaves the output stale.
+        return IDLE_FOREVER if self.outputs["out"].value == self._raw else 0
 
     def reset(self) -> None:
         super().reset()

@@ -5,7 +5,13 @@ from __future__ import annotations
 from collections import deque
 
 from repro.resources.types import Resources
-from repro.sysgen.block import CombBlock, SeqBlock, slices_for_bits, wrap
+from repro.sysgen.block import (
+    IDLE_FOREVER,
+    CombBlock,
+    SeqBlock,
+    slices_for_bits,
+    wrap,
+)
 
 
 class Register(SeqBlock):
@@ -34,6 +40,17 @@ class Register(SeqBlock):
         super().reset()
         self._state = self.init
 
+    def idle_horizon(self) -> int:
+        if self.in_value("rst") & 1:
+            next_state = self.init
+        elif self.in_value("en") & 1:
+            next_state = wrap(self.in_value("d"), self.width)
+        else:
+            next_state = self._state
+        if next_state == self._state and self.outputs["q"].value == self._state:
+            return IDLE_FOREVER
+        return 0
+
     def resources(self) -> Resources:
         return Resources(slices=slices_for_bits(self.width))
 
@@ -61,6 +78,16 @@ class Delay(SeqBlock):
     def reset(self) -> None:
         super().reset()
         self._line = deque([0] * self.n)
+
+    def idle_horizon(self) -> int:
+        head = self._line[0]
+        if self.outputs["q"].value != head:
+            return 0
+        if wrap(self.in_value("d"), self.width) != head:
+            return 0
+        if any(v != head for v in self._line):
+            return 0
+        return IDLE_FOREVER
 
     def resources(self) -> Resources:
         # SRL16: one LUT per bit per 16 stages.
@@ -107,6 +134,21 @@ class FIFO(SeqBlock):
     def reset(self) -> None:
         super().reset()
         self._fifo.clear()
+
+    def idle_horizon(self) -> int:
+        if self.in_value("pop") & 1 and self._fifo:
+            return 0
+        if self.in_value("push") & 1 and len(self._fifo) < self.depth:
+            return 0
+        outs = self.outputs
+        if (
+            outs["dout"].value == (self._fifo[0] if self._fifo else 0)
+            and outs["empty"].value == int(not self._fifo)
+            and outs["full"].value == int(len(self._fifo) >= self.depth)
+            and outs["count"].value == len(self._fifo)
+        ):
+            return IDLE_FOREVER
+        return 0
 
     def resources(self) -> Resources:
         if self.depth * self.width > 4096:  # BRAM-based beyond ~4 kbit
@@ -166,6 +208,16 @@ class RAM(SeqBlock):
         super().reset()
         self._mem = [0] * self.depth
         self._read_reg = 0
+
+    def idle_horizon(self) -> int:
+        if self.in_value("we") & 1:
+            return 0
+        if (
+            self._read_reg == self._mem[self.in_value("addr") % self.depth]
+            and self.outputs["dout"].value == self._read_reg
+        ):
+            return IDLE_FOREVER
+        return 0
 
     def resources(self) -> Resources:
         bits = self.depth * self.width

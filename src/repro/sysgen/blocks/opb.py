@@ -18,7 +18,7 @@ map the bus into the processor with ``cpu.mem.map_opb(bus, base, size)``.
 from __future__ import annotations
 
 from repro.resources.types import Resources
-from repro.sysgen.block import SeqBlock, slices_for_bits, wrap
+from repro.sysgen.block import IDLE_FOREVER, SeqBlock, slices_for_bits, wrap
 
 
 class OPBRegisterBank(SeqBlock):
@@ -57,6 +57,17 @@ class OPBRegisterBank(SeqBlock):
         self._cmd = [0] * self.n_command
         self._sts = [0] * self.n_status
         self._writes = 0
+
+    def idle_horizon(self) -> int:
+        for i, value in enumerate(self._cmd):
+            if self.outputs[f"cmd{i}"].value != value:
+                return 0
+        if self.outputs["wr_count"].value != self._writes & 0xFFFF:
+            return 0
+        for i in range(self.n_status):
+            if self._sts[i] != wrap(self.in_value(f"sts{i}"), 32):
+                return 0
+        return IDLE_FOREVER
 
     # ------------------------------------------------------------------
     # OPB slave side

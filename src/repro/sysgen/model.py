@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.resources.types import Resources
-from repro.sysgen.block import Block
+from repro.sysgen.block import IDLE_FOREVER, Block
 from repro.sysgen.ports import InputPort, OutputPort, PortRef
 
 
@@ -49,6 +49,10 @@ class Model:
         self.cycle = 0
         self._schedule: list[Block] | None = None
         self._seq: list[Block] = []
+        self._ff_blocks: list[Block] = []
+        #: True once a full step() has run since the last reset/compile,
+        #: i.e. every output port holds its settled post-evaluate value.
+        self._settled = False
         #: (source OutputPort, dest InputPort) pairs, for lowering
         self.connections: list[tuple[OutputPort, InputPort]] = []
 
@@ -135,6 +139,11 @@ class Model:
                 + " (insert a Register/Delay)"
             )
         self._schedule = order
+        self._ff_blocks = [
+            b for b in self.blocks
+            if type(b).fast_forward is not Block.fast_forward
+        ]
+        self._settled = False
 
     # ------------------------------------------------------------------
     # Simulation
@@ -157,6 +166,49 @@ class Model:
             for block in seq:
                 block.clock()
             self.cycle += 1
+        if cycles > 0:
+            self._settled = True
+
+    # ------------------------------------------------------------------
+    # Fast-forward (bulk time advance between interface events)
+    # ------------------------------------------------------------------
+    def idle_horizon(self) -> int:
+        """How many cycles the whole design can skip without simulation.
+
+        Returns 0 unless every block reports a positive
+        :meth:`~repro.sysgen.block.Block.idle_horizon` — i.e. the design
+        is quiescent: no sequential block or FSL endpoint has pending
+        work and every output already holds its settled value.  The
+        co-simulation kernel uses this as the hardware side of the event
+        horizon; :data:`~repro.sysgen.block.IDLE_FOREVER` means "idle
+        until an external input (FSL push/pop, gateway drive) changes".
+        """
+        if self._schedule is None or not self._settled:
+            return 0
+        horizon = IDLE_FOREVER
+        for block in self.blocks:
+            h = block.idle_horizon()
+            if h <= 0:
+                return 0
+            if h < horizon:
+                horizon = h
+        return horizon
+
+    def fast_forward(self, cycles: int) -> None:
+        """Advance the clock ``cycles`` cycles without simulating them.
+
+        Caller contract: a preceding :meth:`idle_horizon` returned at
+        least ``cycles`` and no external input changed since.  Probes
+        record the (unchanged) settled values so traces stay
+        bit-identical with a per-cycle run.
+        """
+        if cycles <= 0:
+            return
+        for probe in self.probes:
+            probe.samples.extend((probe.port.value,) * cycles)
+        for block in self._ff_blocks:
+            block.fast_forward(cycles)
+        self.cycle += cycles
 
     def settle(self) -> None:
         """Propagate combinational logic without advancing the clock
@@ -171,6 +223,7 @@ class Model:
 
     def reset(self) -> None:
         self.cycle = 0
+        self._settled = False
         for block in self.blocks:
             block.reset()
         for probe in self.probes:
