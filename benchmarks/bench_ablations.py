@@ -8,13 +8,16 @@ implementation adds):
 * ISS decode cache — the standard instruction-simulator memoization,
 * compiler register allocation — register-homed locals vs a pure
   stack machine,
-* blocking vs non-blocking FSL access styles for the same transfer.
+* blocking vs non-blocking FSL access styles for the same transfer,
+* parallel vs sequential design-space sweeps over the same points.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
+import pytest
 from conftest import emit
 
 from repro.apps.cordic.design import CordicDesign
@@ -154,6 +157,78 @@ int main(void) {
     return sum == 64 * 63;
 }
 """
+
+
+@pytest.mark.sweep
+def test_ablation_sweep_parallel(once, sweep_smoke):
+    """Parallel vs sequential DSE sweep over a CORDIC P-sweep.
+
+    Records per-point equality (ordering and cycle counts must be
+    identical), the CPU-bound wall-clock speedup on this host, and a
+    wait-bound overlap measurement that isolates the scheduler from
+    host core count (a sleeping point occupies a worker slot without
+    competing for CPU).
+    """
+    from repro.apps.cordic.design import cordic_design_specs
+    from repro.cosim.sweep import sweep, synthetic_specs
+
+    # 9 points: P in {2,4,6,8} x FIFO depth {8,16}, plus pure software
+    specs = cordic_design_specs(ps=(0,), iters=24, ndata=32)
+    for depth in (8, 16):
+        specs += cordic_design_specs(ps=(2, 4, 6, 8), iters=24, ndata=32,
+                                     fifo_depth=depth)
+    for spec, suffix in zip(specs[1:], ["-d8"] * 4 + ["-d16"] * 4):
+        spec.name += suffix
+    workers = 4
+    cores = len(os.sched_getaffinity(0))
+
+    def measure():
+        seq = sweep(specs, workers=0)
+        par = sweep(specs, workers=workers)
+        waits = synthetic_specs(8, seconds=0.4)
+        wait_seq = sweep(waits, workers=0)
+        wait_par = sweep(waits, workers=workers)
+        return seq, par, wait_seq, wait_par
+
+    seq, par, wait_seq, wait_par = once(measure)
+
+    # parallel evaluation must be invisible in the results
+    assert [r.point.name for r in par.results] == \
+        [r.point.name for r in seq.results]
+    assert [r.cycles for r in par.results] == \
+        [r.cycles for r in seq.results]
+    assert all(r.ok for r in seq.results)
+
+    overlap = wait_seq.wall_seconds / wait_par.wall_seconds
+    assert overlap >= 2.0, "4 workers must overlap wait-bound points >=2x"
+    speedup = seq.wall_seconds / par.wall_seconds
+    if cores >= workers:
+        assert speedup >= 2.0, \
+            f"expected >=2x CPU-bound speedup on {cores} cores"
+
+    rows = [
+        (s.point.name, s.cycles, p.cycles, "yes" if s.cycles == p.cycles
+         else "NO")
+        for s, p in zip(seq.results, par.results)
+    ]
+    emit(
+        "ablation_sweep_parallel",
+        f"Ablation: parallel DSE sweep ({len(specs)} CORDIC points, "
+        f"{workers} workers, {cores} usable core(s))",
+        format_table(
+            ["design", "seq cycles", "par cycles", "identical"], rows
+        )
+        + f"\n\nCPU-bound:  sequential {seq.wall_seconds:.2f}s, "
+          f"{workers} workers {par.wall_seconds:.2f}s "
+          f"-> {speedup:.2f}x on {cores} usable core(s)"
+        + f"\nwait-bound: sequential {wait_seq.wall_seconds:.2f}s, "
+          f"{workers} workers {wait_par.wall_seconds:.2f}s "
+          f"-> {overlap:.2f}x worker overlap (8 x 0.4s points)"
+        + "\n\nCPU-bound speedup tracks available cores (the engine adds"
+          "\n~10ms/point of process overhead); wait-bound overlap shows"
+          "\nthe scheduler itself sustains >=2x with 4 workers even on"
+          "\none core.",
+    )
 
 
 def test_ablation_blocking_vs_nonblocking(once):

@@ -23,6 +23,27 @@ FAST_FORWARD_SMOKE = [
     sys.executable, "-m", "pytest", "tests", "-q", "-k", "fast_forward",
 ]
 
+#: the sweep smoke target — the tier-1 sweep-engine suite (tiny point
+#: counts) that must be green before the parallel-speedup numbers are
+#: worth recording.
+SWEEP_SMOKE = [
+    sys.executable, "-m", "pytest", "tests", "-q", "-k", "sweep",
+]
+
+
+def _run_smoke(target: list[str], label: str) -> None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        target, cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        pytest.fail(
+            f"{label} smoke suite failed:\n" + proc.stdout + proc.stderr
+        )
+
 
 def emit(name: str, title: str, text: str) -> None:
     """Print a result table and persist it to the results directory."""
@@ -37,18 +58,16 @@ def fast_forward_smoke():
     """Run the fast-forward smoke target (``pytest tests -k
     fast_forward``) once per bench session; ablation results are only
     meaningful when the kernel is bit-identical to per-cycle mode."""
-    env = dict(os.environ)
-    env["PYTHONPATH"] = os.pathsep.join(
-        p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
-    )
-    proc = subprocess.run(
-        FAST_FORWARD_SMOKE, cwd=REPO_ROOT, env=env,
-        capture_output=True, text=True,
-    )
-    if proc.returncode != 0:
-        pytest.fail(
-            "fast-forward smoke suite failed:\n" + proc.stdout + proc.stderr
-        )
+    _run_smoke(FAST_FORWARD_SMOKE, "fast-forward")
+
+
+@pytest.fixture(scope="session")
+def sweep_smoke():
+    """Run the sweep smoke target (``pytest tests -k sweep``, the
+    tier-1 engine suite at tiny point counts) once per bench session;
+    parallel-speedup numbers are only meaningful when parallel and
+    sequential sweeps are provably identical."""
+    _run_smoke(SWEEP_SMOKE, "sweep")
 
 
 @pytest.fixture

@@ -3,15 +3,15 @@
 the soft processor, explored across hardware/software partitions.
 
 Reproduces the Figure 5 experiment and then uses the design-space
-explorer to answer the question the co-simulation environment exists
-for: *which partition is fastest within a slice budget?*
+sweep engine to answer the question the co-simulation environment
+exists for: *which partition is fastest within a slice budget?*
 
 Run:  python examples/cordic_division.py
 """
 
-from repro.apps.cordic.design import CordicDesign, cordic_design_points
-from repro.cosim.dse import best, explore
+from repro.apps.cordic.design import CordicDesign, cordic_design_specs
 from repro.cosim.report import format_dse
+from repro.cosim.sweep import sweep
 
 ITERS = 24
 NDATA = 32
@@ -24,24 +24,23 @@ print(f"CORDIC division: {NDATA} divisions, {ITERS} iterations, 50 MHz\n")
 print("evaluating partitions (each run is verified bit-exactly against")
 print("the golden model — the board-less ML300 check)...\n")
 
-results = explore(cordic_design_points(ps=(0, 2, 4, 6, 8), iters=ITERS,
-                                       ndata=NDATA))
+specs = cordic_design_specs(ps=(0, 2, 4, 6, 8), iters=ITERS, ndata=NDATA)
+report = sweep(specs)
+results = report.ranked()
 print(format_dse(results))
 
-sw = next(r for r in results if r.point.params["P"] == 0)
-hw4 = next(r for r in results if r.point.params["P"] == 4)
+sw = next(r for r in results if r.point.params["p"] == 0)
+hw4 = next(r for r in results if r.point.params["p"] == 4)
 print(f"\nspeedup of P=4 over pure software: "
       f"{sw.cycles / hw4.cycles:.2f}x (paper: 5.6x)")
 
 # ----------------------------------------------------------------------
-# Constrained exploration: fastest design under a slice budget
+# Constrained exploration: fastest design under a slice budget.  The
+# sweep already ran every point, so constraining is a re-rank, not a
+# re-simulation.
 # ----------------------------------------------------------------------
 BUDGET = 1300
-constrained = explore(
-    cordic_design_points(ps=(0, 2, 4, 6, 8), iters=ITERS, ndata=NDATA),
-    max_slices=BUDGET,
-)
-winner = best(constrained)
+winner = report.best(max_slices=BUDGET)
 print(f"\nfastest design within {BUDGET} slices: {winner.point} "
       f"({winner.cycles} cycles, {winner.slices} slices)")
 

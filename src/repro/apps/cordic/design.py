@@ -17,7 +17,7 @@ from repro.apps.cordic.algorithm import cordic_divide_fixed, generate_dataset
 from repro.apps.cordic.hardware import build_cordic_model
 from repro.apps.cordic.software import cordic_hw_source, cordic_sw_source
 from repro.cosim.environment import CoSimResult, CoSimulation
-from repro.cosim.partition import DesignPoint, PartitionKind
+from repro.cosim.partition import DesignPoint, DesignSpec, PartitionKind
 from repro.iss.cpu import CPUConfig
 from repro.mcc import CompileOptions, build_executable
 from repro.resources.estimator import DesignEstimate, estimate_design
@@ -141,3 +141,25 @@ def cordic_design_points(
             )
         )
     return points
+
+
+def cordic_design_specs(
+    ps: tuple[int, ...] = (0, 2, 4, 6, 8),
+    iters: int = DEFAULT_ITERS,
+    ndata: int = DEFAULT_NDATA,
+    **kwargs,
+) -> list[DesignSpec]:
+    """The same sweep as picklable specs for the parallel engine."""
+    specs = []
+    for p in ps:
+        kind = PartitionKind.SOFTWARE_ONLY if p == 0 else \
+            PartitionKind.HW_ACCELERATED
+        specs.append(
+            DesignSpec(
+                name=f"cordic-{'sw' if p == 0 else f'p{p}'}-{iters}it",
+                factory="repro.apps.cordic.design:CordicDesign",
+                params={"p": p, "iters": iters, "ndata": ndata, **kwargs},
+                kind=kind,
+            )
+        )
+    return specs

@@ -9,7 +9,7 @@ from repro.apps.matmul.algorithm import generate_matrices, matmul_reference
 from repro.apps.matmul.hardware import build_matmul_model
 from repro.apps.matmul.software import matmul_hw_source, matmul_sw_source
 from repro.cosim.environment import CoSimResult, CoSimulation
-from repro.cosim.partition import DesignPoint, PartitionKind
+from repro.cosim.partition import DesignPoint, DesignSpec, PartitionKind
 from repro.iss.cpu import CPUConfig
 from repro.mcc import CompileOptions, build_executable
 from repro.resources.estimator import DesignEstimate, estimate_design
@@ -113,3 +113,25 @@ def matmul_design_points(
             )
         )
     return points
+
+
+def matmul_design_specs(
+    blocks: tuple[int, ...] = (0, 2, 4),
+    matn: int = DEFAULT_MATN,
+    **kwargs,
+) -> list[DesignSpec]:
+    """The same family as picklable specs for the parallel engine."""
+    specs = []
+    for block in blocks:
+        kind = PartitionKind.SOFTWARE_ONLY if block == 0 else \
+            PartitionKind.HW_ACCELERATED
+        specs.append(
+            DesignSpec(
+                name=f"matmul-{'sw' if block == 0 else f'{block}x{block}'}"
+                     f"-n{matn}",
+                factory="repro.apps.matmul.design:MatmulDesign",
+                params={"block": block, "matn": matn, **kwargs},
+                kind=kind,
+            )
+        )
+    return specs

@@ -7,6 +7,7 @@ uses:
 * ``mb32-run``     — execute a program on the cycle-accurate ISS
 * ``mb32-objdump`` — disassemble a linked image / show symbols
 * ``mb32-gdbserver`` — serve a program over the GDB remote protocol
+* ``mb32-dse``     — run a design-space sweep from a JSON spec file
 
 Images are stored in a simple container: a JSON header line (entry,
 sizes, symbols) followed by the raw memory image — enough for the
@@ -18,6 +19,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import dataclass
 
 from repro.asm import assemble, disassemble_program, link
 from repro.asm.linker import Program
@@ -66,21 +68,44 @@ def load_image(path: str) -> Program:
     )
 
 
-def _compile_options(args) -> CompileOptions:
-    return CompileOptions(
-        hw_multiplier=not args.no_mult,
-        hw_divider=args.hw_div,
-        hw_barrel_shifter=not args.no_barrel,
-        register_locals=not args.no_regalloc,
-    )
+@dataclass(frozen=True)
+class TargetFlags:
+    """Single source of truth for the processor-target CLI flags.
 
+    Both the compiler's :class:`CompileOptions` and the ISS's
+    :class:`CPUConfig` derive from the same record, so the two can
+    never disagree on a target flag (a mismatch traps at the first
+    offending instruction instead of miscomputing).
+    """
 
-def _cpu_config(args) -> CPUConfig:
-    return CPUConfig(
-        use_hw_multiplier=not args.no_mult,
-        use_hw_divider=args.hw_div,
-        use_barrel_shifter=not args.no_barrel,
-    )
+    hw_multiplier: bool = True
+    hw_divider: bool = False
+    hw_barrel_shifter: bool = True
+    register_locals: bool = True
+
+    @classmethod
+    def from_args(cls, args: argparse.Namespace) -> "TargetFlags":
+        return cls(
+            hw_multiplier=not args.no_mult,
+            hw_divider=args.hw_div,
+            hw_barrel_shifter=not args.no_barrel,
+            register_locals=not args.no_regalloc,
+        )
+
+    def compile_options(self) -> CompileOptions:
+        return CompileOptions(
+            hw_multiplier=self.hw_multiplier,
+            hw_divider=self.hw_divider,
+            hw_barrel_shifter=self.hw_barrel_shifter,
+            register_locals=self.register_locals,
+        )
+
+    def cpu_config(self) -> CPUConfig:
+        return CPUConfig(
+            use_hw_multiplier=self.hw_multiplier,
+            use_hw_divider=self.hw_divider,
+            use_barrel_shifter=self.hw_barrel_shifter,
+        )
 
 
 def _add_target_flags(parser: argparse.ArgumentParser) -> None:
@@ -93,6 +118,14 @@ def _add_target_flags(parser: argparse.ArgumentParser) -> None:
                         help="target a processor without the barrel shifter")
     parser.add_argument("--no-regalloc", action="store_true",
                         help="disable register allocation of locals")
+
+
+def _read_source(path: str) -> str:
+    """Read a source file, with ``-`` denoting stdin."""
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read()
 
 
 # ----------------------------------------------------------------------
@@ -109,14 +142,14 @@ def cc_main(argv: list[str] | None = None) -> int:
     _add_target_flags(parser)
     args = parser.parse_args(argv)
 
-    text = sys.stdin.read() if args.source == "-" else \
-        open(args.source, "r", encoding="utf-8").read()
-    options = _compile_options(args)
+    text = _read_source(args.source)
+    options = TargetFlags.from_args(args).compile_options()
     try:
         if args.S:
             asm = compile_c(text, options)
             if args.output:
-                open(args.output, "w", encoding="utf-8").write(asm)
+                with open(args.output, "w", encoding="utf-8") as fh:
+                    fh.write(asm)
             else:
                 sys.stdout.write(asm)
             return 0
@@ -138,13 +171,15 @@ def as_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="mb32-as", description="MB32 assembler + linker"
     )
-    parser.add_argument("sources", nargs="+", help="assembly files")
+    parser.add_argument("sources", nargs="+",
+                        help="assembly files ('-' for stdin)")
     parser.add_argument("-o", "--output", default="a.img")
     parser.add_argument("--entry", default="_start")
     args = parser.parse_args(argv)
     try:
         modules = [
-            assemble(open(p, encoding="utf-8").read(), name=p)
+            assemble(_read_source(p),
+                     name="<stdin>" if p == "-" else p)
             for p in args.sources
         ]
         program = link(modules, entry_symbol=args.entry)
@@ -173,7 +208,7 @@ def run_main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     program = load_image(args.image)
-    cpu = make_cpu(program, config=_cpu_config(args))
+    cpu = make_cpu(program, config=TargetFlags.from_args(args).cpu_config())
     tracer = None
     if args.trace:
         from repro.iss.trace import InstructionTracer
@@ -239,7 +274,7 @@ def gdbserver_main(argv: list[str] | None = None) -> int:
     from repro.gdb import Debugger, GdbServer
 
     program = load_image(args.image)
-    cpu = make_cpu(program, config=_cpu_config(args))
+    cpu = make_cpu(program, config=TargetFlags.from_args(args).cpu_config())
     server = GdbServer(Debugger(cpu, program), port=args.port)
     print(f"mb32-gdbserver: listening on {server.address[0]}:"
           f"{server.address[1]}")
@@ -249,8 +284,158 @@ def gdbserver_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# mb32-dse
+# ----------------------------------------------------------------------
+def _load_sweep_spec(path: str):
+    """Parse an ``mb32-dse`` spec file into (specs, options).
+
+    The file is JSON with two ways to name points:
+
+    * ``"points"`` — explicit :class:`DesignSpec` records
+      (``name``/``factory``/``params``),
+    * ``"generate"`` — shorthand for the built-in families, e.g.
+      ``{"app": "cordic", "ps": [0, 2, 4], "iters": 24, "ndata": 32}``
+      or ``{"app": "matmul", "blocks": [0, 2, 4], "matn": 16}``.
+
+    Top-level ``workers``/``timeout_s``/``retries``/``cache``/
+    ``constraints`` become sweep options (CLI flags override them).
+    """
+    from repro.cosim.partition import DesignSpec
+
+    data = json.loads(_read_source(path))
+    if not isinstance(data, dict):
+        raise ValueError("spec file must be a JSON object")
+    specs = [DesignSpec.from_dict(d) for d in data.get("points", [])]
+    generate = data.get("generate")
+    if generate is not None:
+        params = dict(generate)
+        app = params.pop("app", None)
+        if app == "cordic":
+            from repro.apps.cordic.design import cordic_design_specs
+
+            if "ps" in params:
+                params["ps"] = tuple(params["ps"])
+            specs += cordic_design_specs(**params)
+        elif app == "matmul":
+            from repro.apps.matmul.design import matmul_design_specs
+
+            if "blocks" in params:
+                params["blocks"] = tuple(params["blocks"])
+            specs += matmul_design_specs(**params)
+        else:
+            raise ValueError(
+                f"unknown generate.app {app!r} (expected 'cordic' or "
+                f"'matmul')"
+            )
+    if not specs:
+        raise ValueError("spec file names no design points")
+    options = {
+        "workers": data.get("workers"),
+        "timeout_s": data.get("timeout_s"),
+        "retries": data.get("retries"),
+        "cache": data.get("cache"),
+        "constraints": data.get("constraints", {}),
+    }
+    return specs, options
+
+
+def dse_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mb32-dse",
+        description="run a design-space sweep from a JSON spec file",
+    )
+    parser.add_argument("spec", help="sweep spec file ('-' for stdin)")
+    parser.add_argument("-o", "--output", metavar="FILE",
+                        help="write the JSON report here")
+    parser.add_argument("--markdown", metavar="FILE",
+                        help="also write a Markdown report")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (0 = in-process sequential)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-point wall-clock budget in seconds")
+    parser.add_argument("--retries", type=int, default=None,
+                        help="extra attempts for timeout/error points")
+    parser.add_argument("--cache", metavar="DIR",
+                        help="on-disk result cache directory")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore any cache named in the spec file")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-point progress line")
+    args = parser.parse_args(argv)
+
+    from repro.cosim.report import format_sweep, sweep_to_json, \
+        sweep_to_markdown
+    from repro.cosim.sweep import sweep
+
+    try:
+        specs, options = _load_sweep_spec(args.spec)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"mb32-dse: spec error: {exc}", file=sys.stderr)
+        return 2
+
+    workers = args.workers if args.workers is not None else \
+        int(options["workers"] or 0)
+    timeout_s = args.timeout if args.timeout is not None else \
+        options["timeout_s"]
+    retries = args.retries if args.retries is not None else \
+        int(options["retries"] or 0)
+    cache_dir = None if args.no_cache else (args.cache or options["cache"])
+
+    def progress(p):
+        if args.quiet:
+            return
+        last = p.last.point.name if p.last is not None else ""
+        status = p.last.status if p.last is not None else ""
+        print(
+            f"mb32-dse: [{p.done}/{p.total}] {last}: {status}"
+            f"{' (cached)' if p.last is not None and p.last.cache_hit else ''}"
+            f" — {p.cache_hits} cache hits, {p.active_workers} active, "
+            f"{p.cycles_per_second:,.0f} cyc/s aggregate",
+            file=sys.stderr,
+        )
+
+    report = sweep(
+        specs,
+        workers=workers,
+        timeout_s=timeout_s,
+        retries=retries,
+        cache_dir=cache_dir,
+        progress=progress,
+    )
+
+    constraints = {
+        key: options["constraints"][spec_key]
+        for key, spec_key in (
+            ("max_slices", "max_slices"),
+            ("max_brams", "max_brams"),
+            ("max_mult18", "max_mult18"),
+        )
+        if spec_key in options["constraints"]
+    }
+    print(format_sweep(report))
+    if constraints and report.ok:
+        winner = report.best(**constraints)
+        if winner.ok:
+            print(f"\nfastest within {constraints}: {winner.point.name} "
+                  f"({winner.cycles} cycles, {winner.slices} slices)")
+    payload = sweep_to_json(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+        print(f"mb32-dse: wrote {args.output}")
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as fh:
+            fh.write(sweep_to_markdown(report))
+        print(f"mb32-dse: wrote {args.markdown}")
+    if not args.output and not args.markdown:
+        print(payload)
+    return 0 if not report.failed else 1
+
+
 if __name__ == "__main__":  # pragma: no cover - manual dispatch
     tool = sys.argv[1] if len(sys.argv) > 1 else ""
     mains = {"cc": cc_main, "as": as_main, "run": run_main,
-             "objdump": objdump_main, "gdbserver": gdbserver_main}
+             "objdump": objdump_main, "gdbserver": gdbserver_main,
+             "dse": dse_main}
     sys.exit(mains.get(tool, cc_main)(sys.argv[2:]))

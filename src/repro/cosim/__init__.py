@@ -20,22 +20,38 @@ from repro.cosim.mb_block import MicroBlazeBlock
 from repro.cosim.environment import (
     CoSimDeadlock,
     CoSimResult,
+    CoSimTimeout,
     CoSimulation,
     FastForwardError,
+    run_timeout,
 )
-from repro.cosim.partition import DesignPoint, PartitionKind
+from repro.cosim.partition import DesignPoint, DesignSpec, PartitionKind
 from repro.cosim.dse import DSEResult, explore
-from repro.cosim.report import format_table
+from repro.cosim.report import format_sweep, format_table
+from repro.cosim.sweep import (
+    SweepCache,
+    SweepProgress,
+    SweepReport,
+    sweep,
+)
 
 __all__ = [
     "MicroBlazeBlock",
     "CoSimulation",
     "CoSimResult",
     "CoSimDeadlock",
+    "CoSimTimeout",
     "FastForwardError",
+    "run_timeout",
     "DesignPoint",
+    "DesignSpec",
     "PartitionKind",
     "explore",
     "DSEResult",
+    "sweep",
+    "SweepCache",
+    "SweepProgress",
+    "SweepReport",
     "format_table",
+    "format_sweep",
 ]

@@ -6,76 +6,177 @@ co-simulation environment: evaluate each candidate partition both for
 resource estimation), then pick the best point under resource
 constraints — e.g. "fastest CORDIC configuration using at most 1000
 slices".
+
+The evaluation engine itself lives in :mod:`repro.cosim.sweep`, which
+fans design points out over a worker pool with per-point timeouts,
+bounded retry and an on-disk result cache.  :func:`explore` remains as
+a deprecated sequential wrapper over the same engine.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
+from typing import Any
 
 from repro.cosim.environment import CoSimResult
-from repro.cosim.partition import DesignPoint
+from repro.cosim.partition import DesignPoint, DesignSpec
 from repro.resources.estimator import DesignEstimate
+
+#: structured per-point statuses reported by the sweep engine — a
+#: failing point becomes data instead of a sweep-killing exception.
+STATUS_OK = "ok"
+STATUS_SELF_CHECK = "self-check-failed"
+STATUS_DEADLOCK = "deadlock"
+STATUS_TIMEOUT = "timeout"
+STATUS_ERROR = "error"
 
 
 @dataclass
 class DSEResult:
-    """Evaluation of one design point."""
+    """Evaluation of one design point.
 
-    point: DesignPoint
-    result: CoSimResult
-    estimate: DesignEstimate
+    ``result``/``estimate`` are ``None`` unless the point evaluated to
+    completion; ``status`` is one of the ``STATUS_*`` strings and
+    ``error`` carries the diagnostic for non-``ok`` points.
+    """
+
+    point: DesignPoint | DesignSpec
+    result: CoSimResult | None
+    estimate: DesignEstimate | None
+    status: str = STATUS_OK
+    error: str | None = None
+    cache_hit: bool = False
+    fingerprint: str | None = None
+    attempts: int = 1
 
     @property
-    def cycles(self) -> int:
-        return self.result.cycles
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
 
     @property
-    def slices(self) -> int:
-        return self.estimate.total.slices
+    def cycles(self) -> int | None:
+        return self.result.cycles if self.result is not None else None
 
     @property
-    def execution_us(self) -> float:
+    def slices(self) -> int | None:
+        return self.estimate.total.slices if self.estimate is not None else None
+
+    @property
+    def execution_us(self) -> float | None:
+        if self.result is None:
+            return None
         return self.result.simulated_microseconds
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the per-point record of ``mb32-dse``)."""
+        out: dict[str, Any] = {
+            "name": self.point.name,
+            "kind": self.point.kind.value if self.point.kind else None,
+            "params": dict(self.point.params),
+            "status": self.status,
+            "error": self.error,
+            "cache_hit": self.cache_hit,
+            "fingerprint": self.fingerprint,
+            "attempts": self.attempts,
+        }
+        if self.result is not None:
+            out.update(
+                cycles=self.result.cycles,
+                instructions=self.result.instructions,
+                stall_cycles=self.result.stall_cycles,
+                simulated_us=self.result.simulated_microseconds,
+                wall_seconds=self.result.wall_seconds,
+                halt_reason=(
+                    self.result.halt_reason.value
+                    if self.result.halt_reason is not None
+                    else None
+                ),
+            )
+        if self.estimate is not None:
+            total = self.estimate.total
+            out.update(
+                slices=total.slices, brams=total.brams, mult18=total.mult18
+            )
+        return out
+
+
+def feasible(
+    r: DSEResult,
+    max_slices: int | None = None,
+    max_brams: int | None = None,
+    max_mult18: int | None = None,
+) -> bool:
+    """Did the point evaluate successfully within the resource budget?"""
+    if not r.ok or r.estimate is None:
+        return False
+    total = r.estimate.total
+    if max_slices is not None and total.slices > max_slices:
+        return False
+    if max_brams is not None and total.brams > max_brams:
+        return False
+    if max_mult18 is not None and total.mult18 > max_mult18:
+        return False
+    return True
+
+
+def rank(
+    results: list[DSEResult],
+    max_slices: int | None = None,
+    max_brams: int | None = None,
+    max_mult18: int | None = None,
+) -> list[DSEResult]:
+    """Sort results fastest-feasible-first.
+
+    Points violating the resource constraints still appear (so reports
+    can show them) but sort after all feasible points; failed points
+    sort last of all.
+    """
+    return sorted(
+        results,
+        key=lambda r: (
+            not r.ok,
+            not feasible(r, max_slices, max_brams, max_mult18),
+            r.cycles if r.cycles is not None else float("inf"),
+        ),
+    )
 
 
 def explore(
-    points: list[DesignPoint],
+    points: list[DesignPoint | DesignSpec],
     max_slices: int | None = None,
     max_brams: int | None = None,
     max_mult18: int | None = None,
 ) -> list[DSEResult]:
     """Evaluate every design point; return results sorted fastest-first.
 
-    Points violating the resource constraints are still evaluated (so
-    reports can show them) but sort after all feasible points.
+    .. deprecated::
+        ``explore()`` is a thin sequential wrapper kept for
+        compatibility; use :func:`repro.cosim.sweep.sweep` to get
+        parallel evaluation, per-point statuses, caching and progress
+        reporting.  As before, the first failing point aborts with a
+        ``RuntimeError`` (the sweep engine instead records it as data).
     """
-    results: list[DSEResult] = []
-    for point in points:
-        instance = point.build()
-        result = instance.run()
-        if result.exit_code is None:
-            raise RuntimeError(
-                f"design point {point.name!r} did not terminate"
-            )
-        if result.exit_code != 0:
-            raise RuntimeError(
-                f"design point {point.name!r} failed self-check "
-                f"(exit code {result.exit_code})"
-            )
-        results.append(DSEResult(point, result, instance.estimate()))
+    warnings.warn(
+        "repro.cosim.dse.explore() is deprecated; use "
+        "repro.cosim.sweep.sweep() for parallel, fault-tolerant sweeps",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.cosim.sweep import sweep
 
-    def feasible(r: DSEResult) -> bool:
-        total = r.estimate.total
-        if max_slices is not None and total.slices > max_slices:
-            return False
-        if max_brams is not None and total.brams > max_brams:
-            return False
-        if max_mult18 is not None and total.mult18 > max_mult18:
-            return False
-        return True
-
-    results.sort(key=lambda r: (not feasible(r), r.cycles))
-    return results
+    report = sweep(points, workers=0)
+    for r in report.results:
+        if r.status == STATUS_TIMEOUT:
+            raise RuntimeError(
+                f"design point {r.point.name!r} did not terminate"
+            )
+        if not r.ok:
+            raise RuntimeError(
+                f"design point {r.point.name!r} failed self-check "
+                f"({r.status}: {r.error})"
+            )
+    return rank(report.results, max_slices, max_brams, max_mult18)
 
 
 def best(results: list[DSEResult]) -> DSEResult:

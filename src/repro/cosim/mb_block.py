@@ -88,17 +88,19 @@ class MicroBlazeBlock:
 
         return self.n_links * FSL_LINK_RESOURCES
 
+    def channels(self) -> tuple[FSLChannel, ...]:
+        """All FSL channels of the block, processor→peripheral first —
+        the public view of its links (companion to
+        :meth:`channel_occupancies`), used by tracing and diagnostics
+        instead of reaching into the internal channel tables."""
+        return (*self._to_hw.values(), *self._from_hw.values())
+
     def channel_occupancies(self) -> dict[str, int]:
         """Current FIFO occupancy per channel, keyed by channel name —
         both directions.  Diagnostic view used e.g. by the co-simulation
         deadlock reporter."""
-        return {
-            ch.name: ch.occupancy
-            for ch in (*self._to_hw.values(), *self._from_hw.values())
-        }
+        return {ch.name: ch.occupancy for ch in self.channels()}
 
     def reset(self, reset_stats: bool = True) -> None:
-        for ch in self._to_hw.values():
-            ch.reset(reset_stats=reset_stats)
-        for ch in self._from_hw.values():
+        for ch in self.channels():
             ch.reset(reset_stats=reset_stats)

@@ -1,7 +1,9 @@
-"""Plain-text reporting helpers for benches and the DSE."""
+"""Reporting helpers for benches and the DSE: aligned ASCII tables for
+terminals, plus the JSON and Markdown emitters behind ``mb32-dse``."""
 
 from __future__ import annotations
 
+import json
 from typing import Sequence
 
 
@@ -18,21 +20,100 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     return "\n".join(lines)
 
 
+def _dse_row(r) -> tuple:
+    """One result row; failed points render with dashes."""
+    if r.estimate is not None and r.result is not None:
+        total = r.estimate.total
+        return (
+            str(r.point),
+            r.result.cycles,
+            f"{r.result.simulated_microseconds:.1f}",
+            total.slices,
+            total.brams,
+            total.mult18,
+        )
+    return (str(r.point), "-", "-", "-", "-", "-")
+
+
 def format_dse(results) -> str:
     """Table of design-space exploration results."""
+    return format_table(
+        ["design", "cycles", "time (us)", "slices", "BRAMs", "MULT18s"],
+        [_dse_row(r) for r in results],
+    )
+
+
+# ----------------------------------------------------------------------
+# Sweep reports (mb32-dse)
+# ----------------------------------------------------------------------
+def format_sweep(report) -> str:
+    """Terminal table for a :class:`~repro.cosim.sweep.SweepReport`."""
     rows = []
-    for r in results:
-        total = r.estimate.total
+    for r in report.results:
+        cycles = r.cycles if r.cycles is not None else "-"
+        us = f"{r.execution_us:.1f}" if r.execution_us is not None else "-"
+        slices = r.slices if r.slices is not None else "-"
         rows.append(
             (
-                str(r.point),
-                r.result.cycles,
-                f"{r.result.simulated_microseconds:.1f}",
-                total.slices,
-                total.brams,
-                total.mult18,
+                r.point.name,
+                r.status,
+                cycles,
+                us,
+                slices,
+                "hit" if r.cache_hit else "",
+                (r.error or "")[:60],
             )
         )
-    return format_table(
-        ["design", "cycles", "time (us)", "slices", "BRAMs", "MULT18s"], rows
+    table = format_table(
+        ["design", "status", "cycles", "time (us)", "slices", "cache",
+         "error"],
+        rows,
     )
+    summary = (
+        f"{len(report.ok)}/{len(report.results)} ok, "
+        f"{report.cache_hits} cache hits, "
+        f"{report.workers} workers, "
+        f"{report.wall_seconds:.2f}s wall"
+    )
+    return f"{table}\n\n{summary}"
+
+
+def sweep_to_json(report, indent: int = 2) -> str:
+    """JSON report of a sweep — the ``mb32-dse -o`` payload."""
+    return json.dumps(report.to_dict(), indent=indent, sort_keys=False)
+
+
+def sweep_to_markdown(report) -> str:
+    """Markdown report of a sweep — the ``mb32-dse --markdown`` payload."""
+    lines = [
+        "# Design-space sweep report",
+        "",
+        f"- points: {len(report.results)} "
+        f"({len(report.ok)} ok, {len(report.failed)} failed)",
+        f"- workers: {report.workers}",
+        f"- cache hits: {report.cache_hits}",
+        f"- wall time: {report.wall_seconds:.2f} s",
+        "",
+        "| design | status | cycles | time (µs) | slices | BRAMs "
+        "| MULT18s | cache | error |",
+        "|---|---|---:|---:|---:|---:|---:|---|---|",
+    ]
+    for r in report.results:
+        if r.estimate is not None:
+            total = r.estimate.total
+            slices, brams, mult18 = total.slices, total.brams, total.mult18
+        else:
+            slices = brams = mult18 = "-"
+        cycles = r.cycles if r.cycles is not None else "-"
+        us = f"{r.execution_us:.1f}" if r.execution_us is not None else "-"
+        error = (r.error or "").replace("|", "\\|").replace("\n", " ")
+        lines.append(
+            f"| {r.point.name} | {r.status} | {cycles} | {us} | {slices} "
+            f"| {brams} | {mult18} | {'hit' if r.cache_hit else ''} "
+            f"| {error} |"
+        )
+    ranked = [r for r in report.ranked() if r.ok]
+    if ranked:
+        lines += ["", f"**Fastest:** {ranked[0].point.name} "
+                      f"({ranked[0].cycles} cycles)"]
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,656 @@
+"""Parallel, fault-tolerant design-space sweep engine.
+
+The paper's whole point is making design-space iteration fast; this
+module evaluates many candidate partitions at once instead of one by
+one.  Design points travel to ``multiprocessing`` workers as picklable
+:class:`~repro.cosim.partition.DesignSpec` records (workers ``build()``
+the instance locally), and every point comes back with a structured
+status — ``ok`` / ``self-check-failed`` / ``deadlock`` / ``timeout`` /
+``error`` — so one pathological point can never kill a sweep:
+:class:`~repro.cosim.environment.CoSimDeadlock` is captured as data,
+not an exception.
+
+Fault tolerance and speed come from four mechanisms:
+
+* **worker pool** — one process per in-flight point, up to ``workers``
+  at a time; a crashed or hung worker is reaped and reported without
+  disturbing its siblings,
+* **per-point timeout** — inside the worker, the
+  :func:`~repro.cosim.environment.run_timeout` hook bounds the
+  co-simulation's wall clock; the parent hard-kills workers that
+  overrun the budget plus a grace period,
+* **bounded retry** — ``timeout``/``error`` points (the environmental
+  failures) are re-queued up to ``retries`` extra times; deterministic
+  failures (``deadlock``, ``self-check-failed``) are not,
+* **on-disk result cache** — results are keyed by a deterministic
+  design-point fingerprint (program image hash + CPU configuration +
+  model parameters), so re-sweeps only pay for new points.
+
+A ``progress`` callback receives a :class:`SweepProgress` snapshot
+(points done, cache hits, worker utilization, aggregate cycles/sec)
+after every completed point — the hook the ``mb32-dse`` CLI uses for
+its live status line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import pathlib
+import time
+from collections import deque
+from dataclasses import asdict, dataclass
+from multiprocessing.connection import wait as _conn_wait
+from typing import Any, Callable, Iterable
+
+from repro.cosim.dse import (
+    DSEResult,
+    STATUS_DEADLOCK,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_SELF_CHECK,
+    STATUS_TIMEOUT,
+    best,
+    rank,
+)
+from repro.cosim.environment import (
+    CoSimDeadlock,
+    CoSimResult,
+    CoSimTimeout,
+    run_timeout,
+)
+from repro.cosim.partition import DesignPoint, DesignSpec
+from repro.iss.cpu import HaltReason
+from repro.resources.estimator import DesignEstimate
+from repro.resources.types import Resources
+
+#: statuses worth another attempt: crashes and timeouts can be
+#: environmental, while deadlocks and self-check failures are
+#: deterministic properties of the design point.
+RETRIABLE = frozenset({STATUS_TIMEOUT, STATUS_ERROR})
+
+#: extra wall-clock slack the parent grants a worker beyond the
+#: per-point timeout before hard-killing it — covers program build time
+#: and the bounded latency of the in-run timeout check.
+KILL_GRACE_S = 10.0
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting and the on-disk result cache
+# ----------------------------------------------------------------------
+def point_fingerprint(point: DesignPoint | DesignSpec, instance) -> str:
+    """Deterministic identity of an evaluated design point.
+
+    Hashes the built program image, the CPU configuration and the
+    model parameters, so a re-sweep recognizes work it has already
+    done even across processes and sessions.
+    """
+    h = hashlib.sha256()
+    h.update(getattr(point, "factory", point.name).encode())
+    program = getattr(instance, "program", None)
+    if program is not None:
+        h.update(program.image)
+        h.update(str(program.entry).encode())
+    cpu_config = getattr(instance, "cpu_config", None)
+    h.update(repr(cpu_config).encode())
+    h.update(
+        json.dumps(point.params, sort_keys=True, default=repr).encode()
+    )
+    return h.hexdigest()
+
+
+def _result_to_dict(result: CoSimResult) -> dict[str, Any]:
+    d = asdict(result)
+    d["halt_reason"] = (
+        result.halt_reason.value if result.halt_reason is not None else None
+    )
+    return d
+
+
+def _result_from_dict(d: dict[str, Any]) -> CoSimResult:
+    halt = d.get("halt_reason")
+    return CoSimResult(
+        exit_code=d["exit_code"],
+        cycles=d["cycles"],
+        instructions=d["instructions"],
+        stall_cycles=d["stall_cycles"],
+        wall_seconds=d["wall_seconds"],
+        simulated_seconds=d["simulated_seconds"],
+        halt_reason=HaltReason(halt) if halt is not None else None,
+    )
+
+
+def _estimate_to_dict(estimate: DesignEstimate) -> dict[str, Any]:
+    return {
+        "processor": asdict(estimate.processor),
+        "lmb_controllers": asdict(estimate.lmb_controllers),
+        "fsl_links": asdict(estimate.fsl_links),
+        "peripheral": asdict(estimate.peripheral),
+        "program_brams": estimate.program_brams,
+    }
+
+
+def _estimate_from_dict(d: dict[str, Any]) -> DesignEstimate:
+    return DesignEstimate(
+        processor=Resources(**d["processor"]),
+        lmb_controllers=Resources(**d["lmb_controllers"]),
+        fsl_links=Resources(**d["fsl_links"]),
+        peripheral=Resources(**d["peripheral"]),
+        program_brams=d["program_brams"],
+    )
+
+
+class SweepCache:
+    """On-disk result cache: one JSON file per design-point fingerprint.
+
+    Entries store the :class:`CoSimResult` and
+    :class:`DesignEstimate` of a successful run; failures are never
+    cached (they should re-evaluate).  Writes are atomic (tmp file +
+    rename) so concurrent workers can share one directory.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = pathlib.Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+
+    def _entry(self, fingerprint: str) -> pathlib.Path:
+        return self.path / f"{fingerprint}.json"
+
+    def get(
+        self, fingerprint: str
+    ) -> tuple[CoSimResult, DesignEstimate] | None:
+        entry = self._entry(fingerprint)
+        try:
+            data = json.loads(entry.read_text())
+            return (
+                _result_from_dict(data["result"]),
+                _estimate_from_dict(data["estimate"]),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return None  # missing or corrupt entries mean "miss"
+
+    def put(
+        self,
+        fingerprint: str,
+        result: CoSimResult,
+        estimate: DesignEstimate,
+    ) -> None:
+        entry = self._entry(fingerprint)
+        tmp = entry.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps(
+                {
+                    "result": _result_to_dict(result),
+                    "estimate": _estimate_to_dict(estimate),
+                }
+            )
+        )
+        tmp.replace(entry)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.path.glob("*.json"))
+
+
+# ----------------------------------------------------------------------
+# Per-point evaluation (shared by workers and the in-process path)
+# ----------------------------------------------------------------------
+def _evaluate(
+    point: DesignPoint | DesignSpec,
+    cache_dir: str | None,
+    timeout_s: float | None,
+) -> dict[str, Any]:
+    """Build, fingerprint, consult the cache, run, classify.
+
+    Returns a picklable payload dict; every failure mode maps to a
+    status string instead of an exception.
+    """
+    payload: dict[str, Any] = {
+        "status": STATUS_ERROR,
+        "error": None,
+        "result": None,
+        "estimate": None,
+        "fingerprint": None,
+        "cache_hit": False,
+    }
+    try:
+        instance = point.build()
+    except Exception as exc:
+        payload["error"] = f"build failed: {type(exc).__name__}: {exc}"
+        return payload
+
+    fingerprint = point_fingerprint(point, instance)
+    payload["fingerprint"] = fingerprint
+    cache = SweepCache(cache_dir) if cache_dir else None
+    if cache is not None:
+        hit = cache.get(fingerprint)
+        if hit is not None:
+            result, estimate = hit
+            payload.update(
+                status=STATUS_OK, result=result, estimate=estimate,
+                cache_hit=True,
+            )
+            return payload
+
+    try:
+        if timeout_s is not None:
+            with run_timeout(timeout_s):
+                result = instance.run()
+        else:
+            result = instance.run()
+    except CoSimTimeout as exc:
+        payload.update(status=STATUS_TIMEOUT, error=str(exc))
+        return payload
+    except CoSimDeadlock as exc:
+        payload.update(status=STATUS_DEADLOCK, error=str(exc))
+        return payload
+    except AssertionError as exc:
+        # VerificationError (a golden-model mismatch) derives from
+        # AssertionError — the design ran but produced wrong answers.
+        payload.update(
+            status=STATUS_SELF_CHECK,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        return payload
+    except Exception as exc:
+        payload.update(
+            status=STATUS_ERROR, error=f"{type(exc).__name__}: {exc}"
+        )
+        return payload
+
+    if result.exit_code is None:
+        payload.update(
+            status=STATUS_TIMEOUT,
+            error="did not terminate within max_cycles",
+            result=result,
+        )
+        return payload
+    if result.exit_code != 0:
+        payload.update(
+            status=STATUS_SELF_CHECK,
+            error=f"failed self-check (exit code {result.exit_code})",
+            result=result,
+        )
+        return payload
+
+    try:
+        estimate = instance.estimate()
+    except Exception as exc:
+        payload.update(
+            status=STATUS_ERROR,
+            error=f"resource estimation failed: {type(exc).__name__}: {exc}",
+            result=result,
+        )
+        return payload
+
+    payload.update(status=STATUS_OK, result=result, estimate=estimate)
+    if cache is not None:
+        cache.put(fingerprint, result, estimate)
+    return payload
+
+
+def _worker_main(point, cache_dir, timeout_s, conn) -> None:
+    """Entry point of a sweep worker process: evaluate one point and
+    ship the payload back over the pipe."""
+    try:
+        payload = _evaluate(point, cache_dir, timeout_s)
+    except BaseException as exc:  # never let a worker die silently
+        payload = {
+            "status": STATUS_ERROR,
+            "error": f"worker failed: {type(exc).__name__}: {exc}",
+            "result": None,
+            "estimate": None,
+            "fingerprint": None,
+            "cache_hit": False,
+        }
+    try:
+        conn.send(payload)
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Progress reporting
+# ----------------------------------------------------------------------
+@dataclass
+class SweepProgress:
+    """Snapshot handed to the ``progress`` callback after each point."""
+
+    total: int
+    done: int
+    cache_hits: int
+    active_workers: int
+    wall_seconds: float
+    cycles_done: int
+    last: DSEResult | None = None
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Aggregate simulated cycles per wall second across the sweep."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.cycles_done / self.wall_seconds
+
+
+# ----------------------------------------------------------------------
+# The sweep report
+# ----------------------------------------------------------------------
+@dataclass
+class SweepReport:
+    """Outcome of one sweep.
+
+    ``results`` keeps the input point order (deterministic regardless
+    of worker count); use :meth:`ranked` for fastest-feasible-first.
+    """
+
+    results: list[DSEResult]
+    wall_seconds: float
+    workers: int
+
+    @property
+    def ok(self) -> list[DSEResult]:
+        return [r for r in self.results if r.ok]
+
+    @property
+    def failed(self) -> list[DSEResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.cache_hit)
+
+    def ranked(
+        self,
+        max_slices: int | None = None,
+        max_brams: int | None = None,
+        max_mult18: int | None = None,
+    ) -> list[DSEResult]:
+        return rank(self.results, max_slices, max_brams, max_mult18)
+
+    def best(self, **constraints) -> DSEResult:
+        return best(self.ranked(**constraints))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form — the payload of the ``mb32-dse`` report."""
+        return {
+            "wall_seconds": self.wall_seconds,
+            "workers": self.workers,
+            "points": len(self.results),
+            "ok": len(self.ok),
+            "failed": len(self.failed),
+            "cache_hits": self.cache_hits,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+def _to_dse_result(point, payload, attempts: int) -> DSEResult:
+    return DSEResult(
+        point=point,
+        result=payload["result"],
+        estimate=payload["estimate"],
+        status=payload["status"],
+        error=payload["error"],
+        cache_hit=payload["cache_hit"],
+        fingerprint=payload["fingerprint"],
+        attempts=attempts,
+    )
+
+
+def sweep(
+    points: Iterable[DesignPoint | DesignSpec],
+    *,
+    workers: int = 0,
+    timeout_s: float | None = None,
+    retries: int = 0,
+    cache_dir: str | os.PathLike | None = None,
+    progress: Callable[[SweepProgress], None] | None = None,
+    kill_grace_s: float = KILL_GRACE_S,
+) -> SweepReport:
+    """Evaluate every design point; never raises for a failing point.
+
+    Parameters
+    ----------
+    points:
+        :class:`DesignSpec` records (required for ``workers > 0``) or
+        :class:`DesignPoint` closures (in-process evaluation only).
+    workers:
+        ``0`` evaluates in-process, sequentially; ``N > 0`` fans points
+        out over up to ``N`` worker processes.
+    timeout_s:
+        Per-point wall-clock budget (``None`` = unlimited).  Enforced
+        inside the co-simulation loop via
+        :func:`repro.cosim.environment.run_timeout`; parallel workers
+        that overrun it by more than ``kill_grace_s`` are hard-killed.
+    retries:
+        Extra attempts granted to ``timeout``/``error`` points.
+    cache_dir:
+        Directory for the on-disk result cache; ``None`` disables
+        caching.
+    progress:
+        Callback receiving a :class:`SweepProgress` after each
+        completed point.
+    """
+    points = list(points)
+    total = len(points)
+    cache_path = str(cache_dir) if cache_dir is not None else None
+    start = time.perf_counter()
+    results: list[DSEResult | None] = [None] * total
+    attempts = [0] * total
+    state = {"done": 0, "cache_hits": 0, "cycles": 0}
+
+    def record(index: int, payload: dict[str, Any], active: int) -> None:
+        result = _to_dse_result(points[index], payload, attempts[index])
+        results[index] = result
+        state["done"] += 1
+        if result.cache_hit:
+            state["cache_hits"] += 1
+        if result.result is not None:
+            state["cycles"] += result.result.cycles
+        if progress is not None:
+            progress(
+                SweepProgress(
+                    total=total,
+                    done=state["done"],
+                    cache_hits=state["cache_hits"],
+                    active_workers=active,
+                    wall_seconds=time.perf_counter() - start,
+                    cycles_done=state["cycles"],
+                    last=result,
+                )
+            )
+
+    if workers <= 0:
+        for index in range(total):
+            while True:
+                attempts[index] += 1
+                payload = _evaluate(points[index], cache_path, timeout_s)
+                if (
+                    payload["status"] in RETRIABLE
+                    and attempts[index] <= retries
+                ):
+                    continue
+                break
+            record(index, payload, active=0)
+    else:
+        for point in points:
+            if not isinstance(point, DesignSpec):
+                raise TypeError(
+                    f"parallel sweeps need picklable DesignSpec points; "
+                    f"{point.name!r} is a {type(point).__name__} "
+                    f"(closure-built) — evaluate it with workers=0 or "
+                    f"describe it as a DesignSpec"
+                )
+        _run_parallel(
+            points, workers, timeout_s, retries, cache_path,
+            kill_grace_s, attempts, record,
+        )
+
+    return SweepReport(
+        results=list(results),  # type: ignore[arg-type]
+        wall_seconds=time.perf_counter() - start,
+        workers=max(workers, 0),
+    )
+
+
+def _run_parallel(
+    points: list[DesignSpec],
+    workers: int,
+    timeout_s: float | None,
+    retries: int,
+    cache_path: str | None,
+    kill_grace_s: float,
+    attempts: list[int],
+    record: Callable[[int, dict[str, Any], int], None],
+) -> None:
+    """Fan points out over a bounded pool of worker processes."""
+    ctx = multiprocessing.get_context()
+    pending: deque[int] = deque(range(len(points)))
+    # index -> (process, parent_conn, hard_deadline or None)
+    active: dict[int, tuple[Any, Any, float | None]] = {}
+
+    def launch(index: int) -> None:
+        attempts[index] += 1
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(points[index], cache_path, timeout_s, child_conn),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        deadline = (
+            time.perf_counter() + timeout_s + kill_grace_s
+            if timeout_s is not None
+            else None
+        )
+        active[index] = (proc, parent_conn, deadline)
+
+    def finish(index: int, payload: dict[str, Any]) -> None:
+        proc, conn, _ = active.pop(index)
+        conn.close()
+        proc.join()
+        if payload["status"] in RETRIABLE and attempts[index] <= retries:
+            pending.append(index)
+        else:
+            record(index, payload, active=len(active))
+
+    try:
+        while pending or active:
+            while pending and len(active) < workers:
+                launch(pending.popleft())
+
+            conns = {conn: index for index, (_, conn, _) in active.items()}
+            ready = _conn_wait(list(conns), timeout=0.05)
+            for conn in ready:
+                index = conns[conn]
+                proc = active[index][0]
+                try:
+                    payload = conn.recv()
+                except (EOFError, OSError):
+                    # the worker died before sending (crash / kill)
+                    proc.join()
+                    payload = {
+                        "status": STATUS_ERROR,
+                        "error": (
+                            f"worker exited without a result "
+                            f"(exit code {proc.exitcode})"
+                        ),
+                        "result": None,
+                        "estimate": None,
+                        "fingerprint": None,
+                        "cache_hit": False,
+                    }
+                finish(index, payload)
+
+            now = time.perf_counter()
+            for index, (proc, conn, deadline) in list(active.items()):
+                if deadline is not None and now >= deadline:
+                    proc.terminate()
+                    proc.join()
+                    finish(
+                        index,
+                        {
+                            "status": STATUS_TIMEOUT,
+                            "error": (
+                                f"worker killed after exceeding the "
+                                f"{timeout_s}s point budget "
+                                f"(+{kill_grace_s}s grace)"
+                            ),
+                            "result": None,
+                            "estimate": None,
+                            "fingerprint": None,
+                            "cache_hit": False,
+                        },
+                    )
+                elif not proc.is_alive() and not conn.poll():
+                    proc.join()
+                    finish(
+                        index,
+                        {
+                            "status": STATUS_ERROR,
+                            "error": (
+                                f"worker exited without a result "
+                                f"(exit code {proc.exitcode})"
+                            ),
+                            "result": None,
+                            "estimate": None,
+                            "fingerprint": None,
+                            "cache_hit": False,
+                        },
+                    )
+    finally:
+        for proc, conn, _ in active.values():
+            proc.terminate()
+            proc.join()
+            conn.close()
+
+
+# ----------------------------------------------------------------------
+# Synthetic design points (engine calibration / overlap measurement)
+# ----------------------------------------------------------------------
+class SyntheticDesign:
+    """A wait-bound design point: ``run()`` sleeps for ``seconds`` and
+    reports ``cycles`` simulated cycles.
+
+    Used to calibrate scheduler overhead and measure worker overlap
+    independently of host core count — a sleeping point occupies a
+    worker slot without competing for CPU, so N workers give ~N×
+    overlap even on a single core.
+    """
+
+    def __init__(self, seconds: float = 0.1, cycles: int = 50_000):
+        self.seconds = seconds
+        self.cycles = cycles
+
+    def run(self) -> CoSimResult:
+        time.sleep(self.seconds)
+        return CoSimResult(
+            exit_code=0,
+            cycles=self.cycles,
+            instructions=self.cycles,
+            stall_cycles=0,
+            wall_seconds=self.seconds,
+            simulated_seconds=self.cycles / 50e6,
+            halt_reason=HaltReason.EXIT,
+        )
+
+    def estimate(self) -> DesignEstimate:
+        from repro.resources.estimator import estimate_design
+
+        return estimate_design()
+
+
+def synthetic_specs(n: int, seconds: float = 0.1) -> list[DesignSpec]:
+    """``n`` wait-bound points for overlap measurement."""
+    return [
+        DesignSpec(
+            name=f"synthetic-{i}",
+            factory="repro.cosim.sweep:SyntheticDesign",
+            params={"seconds": seconds, "cycles": 50_000 + i},
+        )
+        for i in range(n)
+    ]

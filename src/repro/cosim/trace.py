@@ -40,9 +40,8 @@ class FSLTrace:
     def install(self) -> "FSLTrace":
         if self._installed:
             return self
-        for table in (self.mb_block._to_hw, self.mb_block._from_hw):
-            for channel in table.values():
-                self._wrap(channel)
+        for channel in self.mb_block.channels():
+            self._wrap(channel)
         self._installed = True
         return self
 

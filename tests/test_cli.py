@@ -97,6 +97,22 @@ class TestAs:
         src.write_text("bogus r1, r2\n")
         assert as_main([str(src)]) == 1
 
+    def test_stdin_dash(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                ".global _start\n"
+                "_start: addik r3, r0, 5\n"
+                "        li r12, 0xFFFF0000\n"
+                "        swi r3, r12, 0\n"
+            ),
+        )
+        out = tmp_path / "stdin.img"
+        assert as_main(["-", "-o", str(out)]) == 0
+        assert run_main([str(out)]) == 5
+
 
 class TestRun:
     def test_runs_and_prints_console(self, hello_c, tmp_path, capsys):

@@ -99,3 +99,18 @@ class TestFSLTrace:
         _, trace = self.make_traced_run()
         text = trace.text(last=5)
         assert "mb_" in text
+
+    def test_install_uses_public_channels_accessor(self):
+        """FSLTrace wraps exactly the channels MicroBlazeBlock.channels()
+        exposes — both directions, no private-dict reach-ins."""
+        design = CordicDesign(p=2, iters=4, ndata=2)
+        channels = design.mb.channels()
+        assert {ch.name for ch in channels} == {"mb_out0", "mb_in0"}
+        trace = FSLTrace(design.mb, clock=lambda: 0).install()
+        for ch in channels:
+            # install() rebinds push/pop on every public channel
+            assert ch.push.__name__ == "push" and ch.push.__qualname__ != \
+                "FSLChannel.push"
+        assert set(design.mb.channel_occupancies()) == \
+            {ch.name for ch in channels}
+        assert trace.transactions == []
