@@ -8,6 +8,8 @@ uses:
 * ``mb32-objdump`` — disassemble a linked image / show symbols
 * ``mb32-gdbserver`` — serve a program over the GDB remote protocol
 * ``mb32-dse``     — run a design-space sweep from a JSON spec file
+* ``mb32-conformance`` — fuzz the co-simulation execution modes against
+  the per-cycle reference and check the golden-trace corpus
 
 Images are stored in a simple container: a JSON header line (entry,
 sizes, symbols) followed by the raw memory image — enough for the
@@ -306,9 +308,24 @@ def _load_sweep_spec(path: str):
     data = json.loads(_read_source(path))
     if not isinstance(data, dict):
         raise ValueError("spec file must be a JSON object")
-    specs = [DesignSpec.from_dict(d) for d in data.get("points", [])]
+    points = data.get("points", [])
+    if not isinstance(points, list):
+        raise ValueError('"points" must be a JSON array of point objects')
+    specs = []
+    for index, point in enumerate(points):
+        if not isinstance(point, dict):
+            raise ValueError(
+                f'"points"[{index}] must be an object with '
+                f'"name"/"factory"/"params", got {type(point).__name__}')
+        try:
+            specs.append(DesignSpec.from_dict(point))
+        except KeyError as exc:
+            raise ValueError(
+                f'"points"[{index}] is missing required key {exc}') from exc
     generate = data.get("generate")
     if generate is not None:
+        if not isinstance(generate, dict):
+            raise ValueError('"generate" must be a JSON object')
         params = dict(generate)
         app = params.pop("app", None)
         if app == "cordic":
@@ -433,9 +450,145 @@ def dse_main(argv: list[str] | None = None) -> int:
     return 0 if not report.failed else 1
 
 
+# ----------------------------------------------------------------------
+# mb32-conformance
+# ----------------------------------------------------------------------
+def conformance_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mb32-conformance",
+        description="differential conformance fuzzing of the "
+                    "co-simulation execution modes",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="scenario-generator seed (default 0)")
+    parser.add_argument("--count", type=int, default=50, metavar="N",
+                        help="number of random scenarios to check "
+                             "(default 50; 0 = corpus check only)")
+    parser.add_argument("--modes", default=None, metavar="M1,M2,...",
+                        help="execution modes to diff against per_cycle "
+                             "(default: all)")
+    parser.add_argument("--corpus", metavar="DIR",
+                        help="golden-trace corpus directory to check "
+                             "(or write, with --bless)")
+    parser.add_argument("--bless", action="store_true",
+                        help="(re)write golden traces for the pinned "
+                             "scenarios instead of checking them")
+    parser.add_argument("--pin", default=None, metavar="I1,I2,...",
+                        help="scenario indexes to bless into the corpus "
+                             "(default: 0..count-1)")
+    parser.add_argument("-o", "--output", metavar="FILE",
+                        help="write the JSON report here")
+    parser.add_argument("--max-cycles", type=int, default=60_000,
+                        help="per-scenario cycle budget (default 60000)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip shrinking divergent scenarios")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-scenario progress line")
+    args = parser.parse_args(argv)
+
+    from repro.conformance import (
+        ALL_MODES,
+        ConformanceReport,
+        ScenarioGenerator,
+        bless_golden,
+        check_golden,
+        check_scenario,
+        shrink_scenario,
+    )
+    from repro.cosim.report import (
+        conformance_to_json,
+        format_conformance,
+        format_drift,
+    )
+
+    if args.modes is None:
+        modes = ALL_MODES
+    else:
+        modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+        unknown = [m for m in modes if m not in ALL_MODES]
+        if unknown:
+            print(f"mb32-conformance: unknown mode(s) "
+                  f"{', '.join(unknown)}; choose from {', '.join(ALL_MODES)}",
+                  file=sys.stderr)
+            return 2
+        if not modes:
+            print("mb32-conformance: --modes names no modes",
+                  file=sys.stderr)
+            return 2
+    if args.count < 0:
+        print("mb32-conformance: --count must be >= 0", file=sys.stderr)
+        return 2
+    if args.bless and not args.corpus:
+        print("mb32-conformance: --bless needs --corpus DIR",
+              file=sys.stderr)
+        return 2
+
+    generator = ScenarioGenerator(seed=args.seed, max_cycles=args.max_cycles)
+
+    if args.pin is not None:
+        try:
+            pinned = [int(p) for p in args.pin.split(",") if p.strip()]
+        except ValueError:
+            print(f"mb32-conformance: --pin must be a comma-separated "
+                  f"index list, got {args.pin!r}", file=sys.stderr)
+            return 2
+    else:
+        pinned = list(range(args.count))
+
+    if args.bless:
+        scenarios = [generator.scenario(i) for i in pinned]
+        if not scenarios:
+            print("mb32-conformance: nothing to bless (use --count or "
+                  "--pin)", file=sys.stderr)
+            return 2
+        written = bless_golden(args.corpus, scenarios)
+        for path in written:
+            print(f"mb32-conformance: blessed {path}")
+        return 0
+
+    failed = False
+
+    if args.corpus:
+        entries = check_golden(args.corpus, modes=modes)
+        if not entries:
+            print(f"mb32-conformance: no golden traces in {args.corpus}",
+                  file=sys.stderr)
+            return 2
+        print(format_drift(entries))
+        if any(not e.ok for e in entries):
+            failed = True
+
+    report = ConformanceReport(seed=args.seed, modes=modes)
+    if args.count > 0:
+        for index in range(args.count):
+            scenario = generator.scenario(index)
+            verdict = check_scenario(scenario, modes)
+            if not verdict.ok and not verdict.build_error \
+                    and not args.no_shrink:
+                failing = tuple(verdict.divergences)
+                verdict.shrunk = shrink_scenario(scenario, failing)
+            report.verdicts.append(verdict)
+            if not args.quiet:
+                status = (verdict.reference.status if verdict.reference
+                          else "build-error")
+                tag = "ok" if verdict.ok else "DIVERGED"
+                print(f"mb32-conformance: [{index + 1}/{args.count}] "
+                      f"{scenario.name}: {tag} ({status})",
+                      file=sys.stderr)
+        print(format_conformance(report))
+        if not report.ok:
+            failed = True
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(conformance_to_json(report) + "\n")
+        print(f"mb32-conformance: wrote {args.output}")
+    return 1 if failed else 0
+
+
 if __name__ == "__main__":  # pragma: no cover - manual dispatch
     tool = sys.argv[1] if len(sys.argv) > 1 else ""
     mains = {"cc": cc_main, "as": as_main, "run": run_main,
              "objdump": objdump_main, "gdbserver": gdbserver_main,
-             "dse": dse_main}
+             "dse": dse_main, "conformance": conformance_main}
     sys.exit(mains.get(tool, cc_main)(sys.argv[2:]))

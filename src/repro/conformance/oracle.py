@@ -1,0 +1,419 @@
+"""Multi-mode oracle runner.
+
+Runs one :class:`~repro.conformance.scenario.Scenario` under every
+execution path the engine offers and diffs the *complete* observable
+surface against the per-cycle reference loop.  The oracle is purely
+differential: it never predicts what a random design computes — a
+deadlock, a dropped word or a control-bit mismatch is a perfectly valid
+outcome as long as every mode reports exactly the same one.
+
+Execution modes
+---------------
+``per_cycle``     the reference loop (``fast_forward=False``)
+``fast_forward``  the event-horizon kernel (``fast_forward=True``)
+``verify``        per-cycle with every would-be skip cross-checked
+                  (``verify_fast_forward=True``)
+``reset_rerun``   run once, :meth:`~repro.cosim.CoSimulation.reset`,
+                  run again — the second run must match a fresh one
+``subprocess``    the scenario rebuilt and run inside a worker process,
+                  the way the design-space sweep engine evaluates
+                  points
+
+Observable surface
+------------------
+exit code, halt reason, absolute cycle / instruction / stall counts,
+deadlock point (the cycle the watchdog fired at), MSR carry and the
+sticky FSL error flag, final pc, the whole register file, console
+output, an sha256 digest of data memory, per-channel FIFO statistics
+and final occupancies, dropped-write counters, per-probe sample-trace
+digests, the FSL transaction log digest and per-model cycle counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+from dataclasses import dataclass, field
+
+from repro.asm.linker import Program
+from repro.conformance.scenario import Scenario, build_model, build_program
+from repro.cosim.environment import (
+    CoSimDeadlock,
+    CoSimTimeout,
+    CoSimulation,
+    FastForwardError,
+)
+from repro.cosim.trace import FSLTrace
+from repro.iss.cpu import HaltReason
+
+ALL_MODES = ("per_cycle", "fast_forward", "verify", "reset_rerun",
+             "subprocess")
+REFERENCE_MODE = "per_cycle"
+
+#: wall-clock guard for one subprocess observation (a scenario runs in
+#: milliseconds; this only bounds a hung worker).
+SUBPROCESS_TIMEOUT_S = 120.0
+
+
+def _digest(payload: str) -> str:
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+@dataclass
+class Observation:
+    """Everything observable about one scenario execution."""
+
+    mode: str
+    status: str = "exit"  # exit | max_cycles | deadlock | error:<Type>
+    error: str = ""
+    exit_code: int | None = None
+    halt_reason: str = ""
+    cycles: int = 0
+    instructions: int = 0
+    stall_cycles: int = 0
+    carry: int = 0
+    fsl_error: bool = False
+    pc: int = 0
+    regs: list = field(default_factory=list)
+    console: str = ""
+    mem_digest: str = ""
+    channels: dict = field(default_factory=dict)
+    dropped: dict = field(default_factory=dict)
+    probes: dict = field(default_factory=dict)
+    trace_digest: str = ""
+    trace_count: int = 0
+    model_cycle: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "status": self.status,
+            "error": self.error,
+            "exit_code": self.exit_code,
+            "halt_reason": self.halt_reason,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "stall_cycles": self.stall_cycles,
+            "carry": self.carry,
+            "fsl_error": self.fsl_error,
+            "pc": self.pc,
+            "regs": list(self.regs),
+            "console": self.console,
+            "mem_digest": self.mem_digest,
+            "channels": self.channels,
+            "dropped": self.dropped,
+            "probes": self.probes,
+            "trace_digest": self.trace_digest,
+            "trace_count": self.trace_count,
+            "model_cycle": self.model_cycle,
+        }
+
+    def comparable(self) -> dict:
+        """The surface that must be bit-identical across modes (the
+        ``mode`` label itself, and the error *text* — which embeds
+        occupancy dicts formatted per-mode — are excluded; error *type*
+        is part of ``status`` and is compared)."""
+        data = self.to_dict()
+        del data["mode"]
+        del data["error"]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Observation":
+        return cls(**data)
+
+
+def _capture(sim: CoSimulation, mode: str, status: str, error: str,
+             trace: FSLTrace | None) -> Observation:
+    cpu = sim.cpu
+    channels = {}
+    for ch in sim.mb_block.channels():
+        channels[ch.name] = {
+            "total_pushed": ch.total_pushed,
+            "total_popped": ch.total_popped,
+            "push_rejects": ch.push_rejects,
+            "pop_rejects": ch.pop_rejects,
+            "max_occupancy": ch.max_occupancy,
+            "occupancy": ch.occupancy,
+        }
+    dropped = {blk.name: blk.dropped
+               for blk in sim.mb_block.write_blocks.values()}
+    probes = {}
+    for probe in sim.model.probes:
+        samples = probe.samples
+        probes[probe.name] = {
+            "len": len(samples),
+            "last": samples[-1] if samples else None,
+            "digest": _digest(",".join(map(str, samples))),
+        }
+    trace_digest = ""
+    trace_count = 0
+    if trace is not None:
+        payload = ";".join(
+            f"{t.cycle}:{t.channel}:{t.direction}:{t.data}:{int(t.control)}"
+            for t in trace.transactions)
+        trace_digest = _digest(payload)
+        trace_count = len(trace.transactions)
+    halt = cpu.halt_reason
+    return Observation(
+        mode=mode,
+        status=status,
+        error=error,
+        exit_code=cpu.exit_code,
+        halt_reason=halt.name if isinstance(halt, HaltReason) else str(halt or ""),
+        cycles=cpu.cycle,
+        instructions=cpu.stats.instructions,
+        stall_cycles=cpu.stats.stall_cycles,
+        carry=cpu.carry,
+        fsl_error=sim.mb_block.fsl_ports.error,
+        pc=cpu.pc,
+        regs=list(cpu.regs),
+        console=cpu.mem.console.text,
+        mem_digest=hashlib.sha256(cpu.mem.bram.dump()).hexdigest(),
+        channels=channels,
+        dropped=dropped,
+        probes=probes,
+        trace_digest=trace_digest,
+        trace_count=trace_count,
+        model_cycle=sim.model.cycle,
+    )
+
+
+def _make_sim(scenario: Scenario, program: Program, *,
+              fast_forward: bool, verify: bool = False) -> tuple[CoSimulation, FSLTrace]:
+    model, mb = build_model(scenario)
+    sim = CoSimulation(program, model, mb,
+                       cpu_config=scenario.cpu_config(),
+                       fast_forward=fast_forward,
+                       verify_fast_forward=verify)
+    trace = FSLTrace(mb, clock=lambda: sim.cpu.cycle).install()
+    return sim, trace
+
+
+def _run(sim: CoSimulation, max_cycles: int) -> tuple[str, str]:
+    """Run to completion; fold the outcome into a (status, error) pair."""
+    try:
+        result = sim.run(max_cycles=max_cycles)
+    except CoSimDeadlock as exc:
+        return "deadlock", str(exc)
+    except (CoSimTimeout, FastForwardError) as exc:
+        return f"error:{type(exc).__name__}", str(exc)
+    except Exception as exc:  # noqa: BLE001 - any crash is an observable
+        return f"error:{type(exc).__name__}", str(exc)
+    if result.halt_reason is HaltReason.MAX_CYCLES:
+        return "max_cycles", ""
+    return "exit", ""
+
+
+def observe(scenario: Scenario, mode: str,
+            program: Program | None = None) -> Observation:
+    """Execute ``scenario`` under ``mode`` and capture the full surface."""
+    if mode not in ALL_MODES:
+        raise ValueError(f"unknown execution mode {mode!r}; "
+                         f"choose from {', '.join(ALL_MODES)}")
+    if mode == "subprocess":
+        return _observe_subprocess(scenario)
+    if program is None:
+        program = build_program(scenario)
+
+    if mode == "per_cycle":
+        sim, trace = _make_sim(scenario, program, fast_forward=False)
+    elif mode == "fast_forward":
+        sim, trace = _make_sim(scenario, program, fast_forward=True)
+    elif mode == "verify":
+        sim, trace = _make_sim(scenario, program, fast_forward=True,
+                               verify=True)
+    else:  # reset_rerun
+        sim, trace = _make_sim(scenario, program, fast_forward=True)
+        _run(sim, scenario.max_cycles)  # first run: outcome discarded
+        sim.reset()
+        trace.transactions.clear()
+
+    status, error = _run(sim, scenario.max_cycles)
+    return _capture(sim, mode, status, error, trace)
+
+
+# --------------------------------------------------------------------------
+# subprocess mode — mirror of the sweep engine's worker-process shape
+
+
+def _subprocess_worker(conn, scenario_dict: dict) -> None:
+    try:
+        scenario = Scenario.from_dict(scenario_dict)
+        obs = observe(scenario, "fast_forward")
+        payload = obs.to_dict()
+        payload["mode"] = "subprocess"
+        conn.send(("ok", payload))
+    except Exception as exc:  # noqa: BLE001 - report, parent decides
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+def _observe_subprocess(scenario: Scenario) -> Observation:
+    ctx = multiprocessing.get_context()
+    recv, send = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_subprocess_worker,
+                       args=(send, scenario.to_dict()), daemon=True)
+    proc.start()
+    send.close()
+    try:
+        if not recv.poll(SUBPROCESS_TIMEOUT_S):
+            proc.terminate()
+            return Observation(mode="subprocess", status="error:WorkerTimeout",
+                               error=f"no result in {SUBPROCESS_TIMEOUT_S}s")
+        kind, payload = recv.recv()
+    except (EOFError, OSError) as exc:
+        return Observation(mode="subprocess", status="error:WorkerDied",
+                           error=str(exc))
+    finally:
+        recv.close()
+        proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover - defensive
+            proc.kill()
+            proc.join()
+    if kind != "ok":
+        return Observation(mode="subprocess", status="error:WorkerError",
+                           error=str(payload))
+    return Observation.from_dict(payload)
+
+
+# --------------------------------------------------------------------------
+# diffing
+
+
+def first_divergence(a: dict, b: dict, path: str = ""):
+    """First leaf where two observation dicts differ, in sorted key
+    order — returns ``(dotted.path, value_a, value_b)`` or ``None``."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in a:
+                return (sub, "<missing>", b[key])
+            if key not in b:
+                return (sub, a[key], "<missing>")
+            hit = first_divergence(a[key], b[key], sub)
+            if hit is not None:
+                return hit
+        return None
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        for i in range(max(len(a), len(b))):
+            sub = f"{path}[{i}]"
+            if i >= len(a):
+                return (sub, "<missing>", b[i])
+            if i >= len(b):
+                return (sub, a[i], "<missing>")
+            hit = first_divergence(a[i], b[i], sub)
+            if hit is not None:
+                return hit
+        return None
+    if a != b:
+        return (path, a, b)
+    return None
+
+
+@dataclass
+class ScenarioVerdict:
+    """Outcome of checking one scenario across modes."""
+
+    scenario: Scenario
+    reference: Observation | None = None
+    observations: dict = field(default_factory=dict)  # mode -> Observation
+    divergences: dict = field(default_factory=dict)   # mode -> diff dict
+    build_error: str = ""
+    shrunk: Scenario | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences and not self.build_error
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.scenario.name,
+            "seed": self.scenario.seed,
+            "ok": self.ok,
+            "status": self.reference.status if self.reference else "build-error",
+            "cycles": self.reference.cycles if self.reference else 0,
+            "modes": sorted(self.observations),
+            "divergences": self.divergences,
+        }
+        if self.build_error:
+            out["build_error"] = self.build_error
+        if self.shrunk is not None:
+            out["shrunk"] = self.shrunk.to_dict()
+        return out
+
+
+def check_scenario(scenario: Scenario,
+                   modes: tuple[str, ...] = ALL_MODES) -> ScenarioVerdict:
+    """Run ``scenario`` under every mode and diff against the reference.
+
+    The reference mode is always run (and always first), whether or not
+    it appears in ``modes``.
+    """
+    verdict = ScenarioVerdict(scenario=scenario)
+    try:
+        program = build_program(scenario)
+    except Exception as exc:  # noqa: BLE001 - a generator bug, not a diff
+        verdict.build_error = f"{type(exc).__name__}: {exc}"
+        return verdict
+
+    reference = observe(scenario, REFERENCE_MODE, program)
+    verdict.reference = reference
+    verdict.observations[REFERENCE_MODE] = reference
+    ref_surface = reference.comparable()
+
+    for mode in modes:
+        if mode == REFERENCE_MODE:
+            continue
+        obs = observe(scenario, mode, program)
+        verdict.observations[mode] = obs
+        hit = first_divergence(ref_surface, obs.comparable())
+        if hit is not None:
+            path, ref_value, obs_value = hit
+            verdict.divergences[mode] = {
+                "path": path,
+                "reference": ref_value,
+                "observed": obs_value,
+            }
+    return verdict
+
+
+@dataclass
+class ConformanceReport:
+    """Aggregate result of a conformance run (CLI / CI artifact)."""
+
+    seed: int
+    modes: tuple[str, ...]
+    verdicts: list = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.verdicts)
+
+    @property
+    def failed(self) -> list:
+        return [v for v in self.verdicts if not v.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def status_counts(self) -> dict:
+        counts: dict[str, int] = {}
+        for verdict in self.verdicts:
+            status = (verdict.reference.status if verdict.reference
+                      else "build-error")
+            counts[status] = counts.get(status, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "mb32-conformance",
+            "seed": self.seed,
+            "modes": list(self.modes),
+            "total": self.total,
+            "ok": self.ok,
+            "status_counts": self.status_counts(),
+            "scenarios": [v.to_dict() for v in self.verdicts],
+        }

@@ -1,0 +1,100 @@
+"""Greedy scenario shrinking.
+
+When the oracle finds a divergence, the raw scenario usually carries a
+lot of freight that has nothing to do with the bug (extra ops, extra
+pipeline stages, an unused second pipeline).  ``shrink_scenario``
+reduces it hypothesis-style — try structurally smaller variants, keep
+any that still diverges, repeat to a fixpoint — under a hard budget of
+oracle runs, so a failing fuzz run always ends with a small
+reproducer in the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator
+
+from repro.conformance.oracle import ALL_MODES, check_scenario
+from repro.conformance.scenario import Scenario
+
+
+def _variants(scenario: Scenario) -> Iterator[Scenario]:
+    """Structurally smaller candidates, biggest cuts first."""
+    # 1. drop a whole op
+    for k in range(len(scenario.ops)):
+        yield replace(scenario,
+                      ops=scenario.ops[:k] + scenario.ops[k + 1:])
+    # 2. drop a pipeline no remaining op references
+    used = {op.channel for op in scenario.ops
+            if op.kind != "arith"}
+    for k, pipe in enumerate(scenario.pipelines):
+        if pipe.channel not in used and len(scenario.pipelines) > 1:
+            yield replace(scenario,
+                          pipelines=(scenario.pipelines[:k]
+                                     + scenario.pipelines[k + 1:]))
+    # 3. drop a pipeline stage
+    for k, pipe in enumerate(scenario.pipelines):
+        for s in range(len(pipe.stages)):
+            smaller = replace(pipe, stages=pipe.stages[:s] + pipe.stages[s + 1:])
+            yield replace(scenario,
+                          pipelines=(scenario.pipelines[:k] + (smaller,)
+                                     + scenario.pipelines[k + 1:]))
+    # 4. switch off side machinery
+    if scenario.free_counter:
+        yield replace(scenario, free_counter=False)
+    for k, pipe in enumerate(scenario.pipelines):
+        if pipe.observer != "none":
+            yield replace(scenario,
+                          pipelines=(scenario.pipelines[:k]
+                                     + (replace(pipe, observer="none"),)
+                                     + scenario.pipelines[k + 1:]))
+        if pipe.control_loop:
+            yield replace(scenario,
+                          pipelines=(scenario.pipelines[:k]
+                                     + (replace(pipe, control_loop=False),)
+                                     + scenario.pipelines[k + 1:]))
+    # 5. halve op counts
+    for k, op in enumerate(scenario.ops):
+        if op.count > 1:
+            yield replace(scenario,
+                          ops=(scenario.ops[:k]
+                               + (replace(op, count=op.count // 2),)
+                               + scenario.ops[k + 1:]))
+
+
+def _default_fails(modes: tuple[str, ...]) -> Callable[[Scenario], bool]:
+    def fails(candidate: Scenario) -> bool:
+        verdict = check_scenario(candidate, modes)
+        return bool(verdict.divergences)
+    return fails
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    modes: tuple[str, ...] = ALL_MODES,
+    max_checks: int = 40,
+    fails: Callable[[Scenario], bool] | None = None,
+) -> Scenario:
+    """Return a structurally minimal scenario that still fails.
+
+    ``fails`` defaults to "check_scenario over ``modes`` reports a
+    divergence"; tests inject synthetic predicates.  At most
+    ``max_checks`` oracle runs are spent; the best reduction found
+    within the budget is returned (possibly the input itself).
+    """
+    if fails is None:
+        fails = _default_fails(modes)
+    current = scenario
+    checks = 0
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        for candidate in _variants(current):
+            checks += 1
+            if fails(candidate):
+                current = replace(candidate, name=scenario.name + "-min")
+                progress = True
+                break
+            if checks >= max_checks:
+                break
+    return current

@@ -83,6 +83,64 @@ def sweep_to_json(report, indent: int = 2) -> str:
     return json.dumps(report.to_dict(), indent=indent, sort_keys=False)
 
 
+# ----------------------------------------------------------------------
+# Conformance reports (mb32-conformance)
+# ----------------------------------------------------------------------
+def format_conformance(report) -> str:
+    """Terminal table for a
+    :class:`~repro.conformance.oracle.ConformanceReport`."""
+    rows = []
+    for verdict in report.verdicts:
+        if verdict.ok:
+            detail = ""
+        elif verdict.build_error:
+            detail = f"build: {verdict.build_error}"[:70]
+        else:
+            mode = sorted(verdict.divergences)[0]
+            div = verdict.divergences[mode]
+            detail = (f"{mode} @ {div['path']}: "
+                      f"{div['reference']!r} -> {div['observed']!r}")[:70]
+        rows.append(
+            (
+                verdict.scenario.name,
+                "ok" if verdict.ok else "DIVERGED",
+                verdict.reference.status if verdict.reference else "-",
+                verdict.reference.cycles if verdict.reference else "-",
+                detail,
+            )
+        )
+    table = format_table(
+        ["scenario", "verdict", "status", "cycles", "first divergence"],
+        rows,
+    )
+    counts = ", ".join(f"{status}: {n}"
+                       for status, n in report.status_counts().items())
+    summary = (
+        f"{report.total - len(report.failed)}/{report.total} scenarios "
+        f"bit-identical across {len(report.modes)} modes ({counts})"
+    )
+    return f"{table}\n\n{summary}"
+
+
+def conformance_to_json(report, indent: int = 2) -> str:
+    """JSON report of a conformance run — the ``mb32-conformance -o``
+    payload.  Keys are sorted and nothing wall-clock-dependent is
+    included, so the same seed always produces a byte-identical file."""
+    return json.dumps(report.to_dict(), indent=indent, sort_keys=True)
+
+
+def format_drift(entries) -> str:
+    """Terminal table for golden-corpus drift entries
+    (:class:`~repro.conformance.golden.DriftEntry`)."""
+    rows = [(e.name, e.kind, e.path or "", (e.message or "")[:70])
+            for e in entries]
+    table = format_table(["golden", "kind", "observable", "detail"], rows)
+    bad = [e for e in entries if not e.ok]
+    summary = (f"{len(entries) - len(bad)}/{len(entries)} golden traces "
+               f"clean, {len(bad)} drifted")
+    return f"{table}\n\n{summary}"
+
+
 def sweep_to_markdown(report) -> str:
     """Markdown report of a sweep — the ``mb32-dse --markdown`` payload."""
     lines = [

@@ -112,6 +112,10 @@ class FSLWrite(SeqBlock):
             if not ok:
                 self.dropped += 1
 
+    def reset(self) -> None:
+        super().reset()
+        self.dropped = 0
+
     def idle_horizon(self) -> int:
         ch = self.channel
         if ch is None:

@@ -1,0 +1,333 @@
+"""Differential conformance harness tests.
+
+Tier-1 keeps the fuzz volume small (a handful of scenarios per test);
+the full corpus runs under the ``conformance`` marker in CI via
+``pytest -m conformance`` and ``mb32-conformance``.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import conformance_main
+from repro.conformance import (
+    ALL_MODES,
+    ScenarioGenerator,
+    build_model,
+    build_program,
+    check_scenario,
+    first_divergence,
+    observe,
+    shrink_scenario,
+)
+from repro.conformance.scenario import OpSpec, PipelineSpec, Scenario, StageSpec
+from repro.cosim import CoSimulation
+from repro.cosim.environment import CoSimDeadlock
+from repro.sysgen.blocks.fsl import FSLWrite
+
+
+# ----------------------------------------------------------------------
+# scenario generation
+# ----------------------------------------------------------------------
+def test_generator_is_deterministic():
+    a = ScenarioGenerator(seed=7).scenario(3)
+    b = ScenarioGenerator(seed=7).scenario(3)
+    assert a == b
+    assert a.to_dict() == b.to_dict()
+    assert a.c_source() == b.c_source()
+
+
+def test_generator_scenarios_depend_only_on_index():
+    gen = ScenarioGenerator(seed=5)
+    late = gen.scenario(9)
+    # Drawing other indexes first must not change scenario 9.
+    gen2 = ScenarioGenerator(seed=5)
+    for scenario in gen2.scenarios(9):
+        assert scenario.name.startswith("s5-")
+    assert gen2.scenario(9) == late
+
+
+def test_different_seeds_differ():
+    a = ScenarioGenerator(seed=0).scenario(0)
+    b = ScenarioGenerator(seed=1).scenario(0)
+    assert a.to_dict() != b.to_dict()
+
+
+def test_scenario_dict_roundtrip():
+    for index in range(8):
+        scenario = ScenarioGenerator(seed=2).scenario(index)
+        again = Scenario.from_dict(json.loads(json.dumps(scenario.to_dict())))
+        assert again == scenario
+
+
+def test_generated_scenarios_build_and_compile():
+    gen = ScenarioGenerator(seed=3)
+    for scenario in gen.scenarios(5):
+        program = build_program(scenario)
+        assert program.entry >= 0
+        model, mb = build_model(scenario)
+        model.compile()
+        assert mb.n_links == 2 * len(scenario.pipelines)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**31), index=st.integers(0, 500))
+def test_generator_determinism_property(seed, index):
+    a = ScenarioGenerator(seed=seed).scenario(index)
+    b = ScenarioGenerator(seed=seed).scenario(index)
+    assert a == b
+    assert Scenario.from_dict(a.to_dict()) == a
+
+
+# ----------------------------------------------------------------------
+# the oracle
+# ----------------------------------------------------------------------
+def test_small_fuzz_all_modes_agree():
+    gen = ScenarioGenerator(seed=0)
+    for scenario in gen.scenarios(4):
+        verdict = check_scenario(scenario, ALL_MODES)
+        assert verdict.ok, (scenario.name, verdict.divergences,
+                            verdict.build_error)
+        assert verdict.reference.status == "exit"
+
+
+def test_deadlock_scenario_agrees_across_modes():
+    # seed 0 / index 26 deliberately overflows its pipeline: every mode
+    # must report the deadlock at the same cycle with the same FIFO
+    # state (the sweep-worker path included).
+    scenario = ScenarioGenerator(seed=0).scenario(26)
+    assert any(op.kind in ("overflow_put", "starve_get")
+               for op in scenario.ops)
+    verdict = check_scenario(scenario, ALL_MODES)
+    assert verdict.ok, verdict.divergences
+    assert verdict.reference.status == "deadlock"
+    assert verdict.reference.halt_reason == ""
+
+
+def test_observation_surface_is_complete():
+    scenario = ScenarioGenerator(seed=0).scenario(0)
+    obs = observe(scenario, "per_cycle")
+    data = obs.to_dict()
+    assert data["status"] == "exit"
+    assert data["halt_reason"] == "EXIT"
+    assert len(data["regs"]) == 32
+    assert len(data["mem_digest"]) == 64
+    assert data["channels"]  # per-channel FIFO statistics
+    for stats in data["channels"].values():
+        assert set(stats) == {"total_pushed", "total_popped", "push_rejects",
+                              "pop_rejects", "max_occupancy", "occupancy"}
+    assert data["probes"]  # every pipeline probes exists/full
+    assert data["trace_count"] > 0  # FSL transactions were logged
+    assert obs.comparable().keys() == (data.keys() - {"mode", "error"})
+
+
+def test_unknown_mode_rejected():
+    scenario = ScenarioGenerator(seed=0).scenario(0)
+    with pytest.raises(ValueError, match="unknown execution mode"):
+        observe(scenario, "warp-speed")
+
+
+def test_subprocess_mode_matches_reference():
+    scenario = ScenarioGenerator(seed=0).scenario(1)
+    ref = observe(scenario, "per_cycle")
+    sub = observe(scenario, "subprocess")
+    assert sub.mode == "subprocess"
+    assert first_divergence(ref.comparable(), sub.comparable()) is None
+
+
+# ----------------------------------------------------------------------
+# first_divergence
+# ----------------------------------------------------------------------
+def test_first_divergence_reports_dotted_path():
+    a = {"x": {"y": [1, 2, 3]}, "z": 0}
+    b = {"x": {"y": [1, 9, 3]}, "z": 0}
+    assert first_divergence(a, b) == ("x.y[1]", 2, 9)
+    assert first_divergence(a, a) is None
+
+
+def test_first_divergence_sorted_key_order():
+    a = {"b": 1, "a": 1}
+    b = {"b": 2, "a": 2}
+    assert first_divergence(a, b)[0] == "a"
+
+
+def test_first_divergence_missing_keys_and_lengths():
+    assert first_divergence({"k": 1}, {}) == ("k", 1, "<missing>")
+    assert first_divergence({}, {"k": 1}) == ("k", "<missing>", 1)
+    assert first_divergence({"l": [1]}, {"l": [1, 2]}) == \
+        ("l[1]", "<missing>", 2)
+
+
+# ----------------------------------------------------------------------
+# shrinking
+# ----------------------------------------------------------------------
+def test_shrink_reduces_to_failing_core():
+    scenario = Scenario(
+        name="shrink-me",
+        seed="t",
+        pipelines=(
+            PipelineSpec(channel=0, stages=(StageSpec("add"),
+                                            StageSpec("reg"))),
+            PipelineSpec(channel=1),
+        ),
+        ops=(
+            OpSpec(kind="arith", count=8),
+            OpSpec(kind="session", channel=0, count=16),
+            OpSpec(kind="arith", count=4, param=2),
+        ),
+    )
+
+    # Synthetic failure: any scenario still containing a session op on
+    # channel 0 "fails".  The shrinker must strip everything else.
+    def fails(candidate):
+        return any(op.kind == "session" and op.channel == 0
+                   for op in candidate.ops)
+
+    small = shrink_scenario(scenario, fails=fails, max_checks=100)
+    assert fails(small)
+    assert len(small.ops) == 1
+    assert small.ops[0].kind == "session"
+    assert small.ops[0].count == 1        # counts halved to the floor
+    assert len(small.pipelines) == 1      # unused pipeline dropped
+    assert small.pipelines[0].stages == ()  # stages dropped
+    assert small.name == "shrink-me-min"
+
+
+def test_shrink_respects_budget():
+    scenario = ScenarioGenerator(seed=0).scenario(2)
+    calls = []
+
+    def fails(candidate):
+        calls.append(candidate)
+        return True
+
+    shrink_scenario(scenario, fails=fails, max_checks=7)
+    assert len(calls) <= 7
+
+
+def test_shrink_returns_input_when_nothing_smaller_fails():
+    scenario = ScenarioGenerator(seed=0).scenario(0)
+    small = shrink_scenario(scenario, fails=lambda s: False, max_checks=10)
+    assert small == scenario
+
+
+# ----------------------------------------------------------------------
+# environment reuse after a deadlock (regression: stale FSLWrite.dropped)
+# ----------------------------------------------------------------------
+def _drop_happy_design():
+    """Ungated echo over a 2-deep FIFO: flooding it drops words, and a
+    trailing blocking get on a silent second channel deadlocks."""
+    return Scenario(
+        name="reuse",
+        seed="t",
+        fifo_depth=2,
+        pipelines=(PipelineSpec(channel=0, gate_full=False),
+                   PipelineSpec(channel=1, gate_full=True)),
+        ops=(OpSpec(kind="overflow_put", channel=0, count=12),
+             OpSpec(kind="starve_get", channel=1)),
+        max_cycles=60_000,
+    )
+
+
+def test_fslwrite_reset_clears_dropped():
+    block = FSLWrite("wr")
+    block.dropped = 5
+    block.reset()
+    assert block.dropped == 0
+
+
+def test_environment_rerun_after_deadlock_is_identical():
+    scenario = _drop_happy_design()
+    program = build_program(scenario)
+
+    model, mb = build_model(scenario)
+    sim = CoSimulation(program, model, mb,
+                       cpu_config=scenario.cpu_config())
+    with pytest.raises(CoSimDeadlock):
+        sim.run(max_cycles=scenario.max_cycles)
+    # The ungated flood must actually have dropped words, so a stale
+    # counter would be visible after reset.
+    wr = mb.write_blocks[0]
+    assert wr.dropped > 0
+    first_cycle = sim.cpu.cycle
+
+    sim.reset()
+    assert wr.dropped == 0
+    with pytest.raises(CoSimDeadlock):
+        sim.run(max_cycles=scenario.max_cycles)
+
+    fresh = observe(scenario, "per_cycle", program)
+    rerun = observe(scenario, "reset_rerun", program)
+    assert fresh.status == "deadlock"
+    assert first_divergence(fresh.comparable(), rerun.comparable()) is None
+    assert sim.cpu.cycle == first_cycle
+    assert rerun.dropped == fresh.dropped
+    assert any(n > 0 for n in fresh.dropped.values())
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_report_is_reproducible(tmp_path, capsys):
+    out1 = tmp_path / "a.json"
+    out2 = tmp_path / "b.json"
+    assert conformance_main(["--seed", "0", "--count", "3", "--quiet",
+                             "-o", str(out1)]) == 0
+    assert conformance_main(["--seed", "0", "--count", "3", "--quiet",
+                             "-o", str(out2)]) == 0
+    capsys.readouterr()
+    assert out1.read_text() == out2.read_text()
+    payload = json.loads(out1.read_text())
+    assert payload["kind"] == "mb32-conformance"
+    assert payload["ok"] is True
+    assert payload["total"] == 3
+    assert payload["modes"] == list(ALL_MODES)
+
+
+def test_cli_usage_errors(capsys):
+    assert conformance_main(["--modes", "warp"]) == 2
+    assert "unknown mode" in capsys.readouterr().err
+    assert conformance_main(["--count", "-3"]) == 2
+    assert conformance_main(["--bless"]) == 2
+    assert "--corpus" in capsys.readouterr().err
+    assert conformance_main(["--pin", "1,x", "--count", "0"]) == 2
+
+
+def test_cli_mode_subset(tmp_path, capsys):
+    out = tmp_path / "r.json"
+    assert conformance_main(["--seed", "0", "--count", "2", "--quiet",
+                             "--modes", "fast_forward",
+                             "-o", str(out)]) == 0
+    capsys.readouterr()
+    payload = json.loads(out.read_text())
+    assert payload["modes"] == ["fast_forward"]
+    for record in payload["scenarios"]:
+        assert sorted(record["modes"]) == ["fast_forward", "per_cycle"]
+
+
+# ----------------------------------------------------------------------
+# the full corpus — CI only
+# ----------------------------------------------------------------------
+@pytest.mark.conformance
+def test_full_fuzz_corpus():
+    gen = ScenarioGenerator(seed=0)
+    failures = []
+    for scenario in gen.scenarios(60):
+        verdict = check_scenario(scenario, ALL_MODES)
+        if not verdict.ok:
+            failures.append((scenario.name, verdict.divergences,
+                             verdict.build_error))
+    assert not failures, failures
+
+
+@pytest.mark.conformance
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000), index=st.integers(0, 100))
+def test_random_scenarios_conform_property(seed, index):
+    scenario = ScenarioGenerator(seed=seed).scenario(index)
+    verdict = check_scenario(
+        scenario, ("fast_forward", "verify", "reset_rerun"))
+    assert verdict.ok, (scenario.to_dict(), verdict.divergences,
+                        verdict.build_error)

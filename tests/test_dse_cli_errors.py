@@ -1,0 +1,109 @@
+"""``mb32-dse`` CLI error paths: every malformed input must exit
+non-zero with a one-line diagnostic — never a traceback."""
+
+import json
+
+import pytest
+
+from repro.cli import _load_sweep_spec, dse_main
+
+
+def _spec_file(tmp_path, payload) -> str:
+    path = tmp_path / "sweep.json"
+    text = payload if isinstance(payload, str) else json.dumps(payload)
+    path.write_text(text)
+    return str(path)
+
+
+def _run(args, capsys):
+    rc = dse_main(args)
+    captured = capsys.readouterr()
+    assert "Traceback" not in captured.err
+    assert "Traceback" not in captured.out
+    return rc, captured
+
+
+def test_malformed_json_exits_2(tmp_path, capsys):
+    rc, captured = _run([_spec_file(tmp_path, "{not json!")], capsys)
+    assert rc == 2
+    assert "spec error" in captured.err
+
+
+def test_missing_file_exits_2(tmp_path, capsys):
+    rc, captured = _run([str(tmp_path / "nope.json")], capsys)
+    assert rc == 2
+    assert "spec error" in captured.err
+
+
+def test_non_object_spec_exits_2(tmp_path, capsys):
+    rc, captured = _run([_spec_file(tmp_path, [1, 2, 3])], capsys)
+    assert rc == 2
+    assert "JSON object" in captured.err
+
+
+def test_points_must_be_a_list(tmp_path, capsys):
+    spec = {"points": {"name": "x", "factory": "m:f"}}
+    rc, captured = _run([_spec_file(tmp_path, spec)], capsys)
+    assert rc == 2
+    assert '"points" must be a JSON array' in captured.err
+
+
+def test_point_entries_must_be_objects(tmp_path, capsys):
+    spec = {"points": ["just-a-string"]}
+    rc, captured = _run([_spec_file(tmp_path, spec)], capsys)
+    assert rc == 2
+    assert '"points"[0]' in captured.err
+    assert "str" in captured.err
+
+
+def test_point_missing_required_key(tmp_path, capsys):
+    spec = {"points": [{"name": "incomplete"}]}
+    rc, captured = _run([_spec_file(tmp_path, spec)], capsys)
+    assert rc == 2
+    assert "missing required key" in captured.err
+
+
+def test_zero_point_sweep_exits_2(tmp_path, capsys):
+    rc, captured = _run([_spec_file(tmp_path, {"points": []})], capsys)
+    assert rc == 2
+    assert "no design points" in captured.err
+
+
+def test_generate_must_be_an_object(tmp_path, capsys):
+    spec = {"generate": ["cordic"]}
+    rc, captured = _run([_spec_file(tmp_path, spec)], capsys)
+    assert rc == 2
+    assert '"generate" must be a JSON object' in captured.err
+
+
+def test_unknown_generate_app_exits_2(tmp_path, capsys):
+    spec = {"generate": {"app": "quantum"}}
+    rc, captured = _run([_spec_file(tmp_path, spec)], capsys)
+    assert rc == 2
+    assert "quantum" in captured.err
+
+
+def test_unknown_factory_module_fails_cleanly(tmp_path, capsys):
+    spec = {"points": [{"name": "ghost",
+                        "factory": "no.such.module:Design",
+                        "params": {}}]}
+    rc, captured = _run([_spec_file(tmp_path, spec), "--quiet"], capsys)
+    assert rc == 1  # report written, point marked error
+    assert "error" in captured.out
+    assert "No module named" in captured.out
+
+
+def test_bad_factory_format_fails_cleanly(tmp_path, capsys):
+    spec = {"points": [{"name": "nocolon",
+                        "factory": "module.with.no.callable",
+                        "params": {}}]}
+    rc, captured = _run([_spec_file(tmp_path, spec), "--quiet"], capsys)
+    assert rc == 1
+    assert "module.path:callable" in captured.out
+
+
+def test_loader_validates_directly(tmp_path):
+    with pytest.raises(ValueError, match='"points"\\[1\\]'):
+        _load_sweep_spec(_spec_file(
+            tmp_path,
+            {"points": [{"name": "ok", "factory": "m:f"}, 42]}))

@@ -1,0 +1,180 @@
+"""Rendering coverage for ``repro.cosim.report``: sweep tables with
+mixed statuses, empty sweeps, unicode design names, and the
+conformance/drift emitters."""
+
+import json
+
+from repro.conformance.golden import DriftEntry
+from repro.conformance.oracle import (
+    ALL_MODES,
+    ConformanceReport,
+    Observation,
+    ScenarioVerdict,
+)
+from repro.conformance.scenario import Scenario
+from repro.cosim.dse import (
+    STATUS_DEADLOCK,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    DSEResult,
+)
+from repro.cosim.environment import CoSimResult
+from repro.cosim.partition import DesignSpec
+from repro.cosim.report import (
+    conformance_to_json,
+    format_conformance,
+    format_drift,
+    format_sweep,
+    format_table,
+    sweep_to_json,
+    sweep_to_markdown,
+)
+from repro.cosim.sweep import SweepReport
+from repro.iss.cpu import HaltReason
+
+
+def _ok_result(name, cycles=1000):
+    spec = DesignSpec(name=name, factory="m:f", params={"p": 1})
+    result = CoSimResult(exit_code=0, cycles=cycles, instructions=cycles // 2,
+                         stall_cycles=10, wall_seconds=0.5,
+                         simulated_seconds=cycles / 50e6,
+                         halt_reason=HaltReason.EXIT)
+    return DSEResult(point=spec, result=result, estimate=None,
+                     status=STATUS_OK)
+
+
+def _failed_result(name, status, error):
+    spec = DesignSpec(name=name, factory="m:f", params={})
+    return DSEResult(point=spec, result=None, estimate=None,
+                     status=status, error=error)
+
+
+def _mixed_report():
+    return SweepReport(
+        results=[
+            _ok_result("péripherique-α", cycles=4242),
+            _failed_result("slowpoke", STATUS_TIMEOUT,
+                           "exceeded 1.0s budget"),
+            _failed_result("bad|pipe", STATUS_ERROR,
+                           "ValueError: broken | multi\nline"),
+            _failed_result("stuck", STATUS_DEADLOCK,
+                           "no instruction retired in 16384 cycles"),
+        ],
+        wall_seconds=2.5,
+        workers=4,
+    )
+
+
+# ----------------------------------------------------------------------
+# sweep emitters
+# ----------------------------------------------------------------------
+def test_format_sweep_mixed_statuses_and_unicode():
+    text = format_sweep(_mixed_report())
+    assert "péripherique-α" in text
+    assert "timeout" in text
+    assert "deadlock" in text
+    assert "4242" in text
+    assert "1/4 ok" in text
+    # failed rows render with dashes, not crashes
+    assert "-" in text
+
+
+def test_format_sweep_empty():
+    report = SweepReport(results=[], wall_seconds=0.0, workers=0)
+    text = format_sweep(report)
+    assert "0/0 ok" in text
+    assert sweep_to_json(report)  # serializable
+    md = sweep_to_markdown(report)
+    assert "points: 0" in md
+
+
+def test_sweep_to_json_roundtrips_unicode():
+    payload = json.loads(sweep_to_json(_mixed_report()))
+    assert payload["points"] == 4
+    assert payload["ok"] == 1
+    assert payload["failed"] == 3
+    names = [r["name"] for r in payload["results"]]
+    assert "péripherique-α" in names
+    statuses = {r["name"]: r["status"] for r in payload["results"]}
+    assert statuses["slowpoke"] == STATUS_TIMEOUT
+    assert statuses["stuck"] == STATUS_DEADLOCK
+
+
+def test_sweep_to_markdown_escapes_table_breakers():
+    md = sweep_to_markdown(_mixed_report())
+    # '|' in names/errors must not break the table; newlines flattened
+    assert "broken \\| multi line" in md
+    assert "\nline" not in md.split("| bad|pipe |")[0]
+    assert md.count("| timeout |") == 1
+    # the fastest-ok footer names the only ok point
+    assert "péripherique-α" in md.splitlines()[-1]
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [["x", 1], ["yyyy", 22]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[1].startswith("----")
+
+
+# ----------------------------------------------------------------------
+# conformance emitters
+# ----------------------------------------------------------------------
+def _verdict(name, ok=True, status="exit", cycles=123):
+    scenario = Scenario(name=name, seed="t")
+    obs = Observation(mode="per_cycle", status=status, cycles=cycles,
+                      regs=[0] * 32)
+    verdict = ScenarioVerdict(scenario=scenario, reference=obs)
+    verdict.observations["per_cycle"] = obs
+    if not ok:
+        verdict.divergences["fast_forward"] = {
+            "path": "channels.mb_in0.total_pushed",
+            "reference": 7, "observed": 9,
+        }
+    return verdict
+
+
+def test_format_conformance_mixed():
+    report = ConformanceReport(seed=0, modes=ALL_MODES)
+    report.verdicts = [
+        _verdict("śćenario-ü", ok=True),
+        _verdict("diverged-one", ok=False),
+        _verdict("dead", ok=True, status="deadlock", cycles=32768),
+    ]
+    text = format_conformance(report)
+    assert "śćenario-ü" in text
+    assert "DIVERGED" in text
+    assert "channels.mb_in0.total_pushed" in text
+    assert "2/3 scenarios bit-identical" in text
+    assert "deadlock: 1" in text
+
+
+def test_conformance_to_json_deterministic():
+    report = ConformanceReport(seed=0, modes=("fast_forward",))
+    report.verdicts = [_verdict("a"), _verdict("b", ok=False)]
+    one = conformance_to_json(report)
+    two = conformance_to_json(report)
+    assert one == two
+    payload = json.loads(one)
+    assert payload["ok"] is False
+    assert payload["total"] == 2
+    assert payload["scenarios"][1]["divergences"]["fast_forward"]["path"] \
+        == "channels.mb_in0.total_pushed"
+    # keys sorted for byte-stable artifacts
+    assert list(payload) == sorted(payload)
+
+
+def test_format_drift():
+    entries = [
+        DriftEntry(name="ok-one", kind="ok"),
+        DriftEntry(name="moved", kind="semantic-change", path="cycles",
+                   stored=100, live=101, message="re-bless me"),
+        DriftEntry(name="broken", kind="silent-regression", path="regs[3]",
+                   stored=1, live=2, message="re-blessing cannot fix this"),
+    ]
+    text = format_drift(entries)
+    assert "1/3 golden traces clean, 2 drifted" in text
+    assert "semantic-change" in text
+    assert "silent-regression" in text
+    assert "regs[3]" in text
