@@ -9,6 +9,7 @@ Run:  python examples/rtl_baseline.py
 """
 
 import io
+import pathlib
 import time
 
 from repro.apps.cordic.design import CordicDesign
@@ -65,7 +66,9 @@ mb.to_hw_channel(0).push(0)
 kernel.run(CLOCK_PERIOD * 12)
 writer.close()
 
-with open("cordic_pipeline.vcd", "w") as fh:
-    fh.write(out.getvalue())
-print(f"\nwaveform written to cordic_pipeline.vcd "
+out_dir = pathlib.Path("out")
+out_dir.mkdir(exist_ok=True)
+vcd_path = out_dir / "cordic_pipeline.vcd"
+vcd_path.write_text(out.getvalue())
+print(f"\nwaveform written to {vcd_path} "
       f"({len(out.getvalue())} bytes, {len(interesting)} signals)")

@@ -8,6 +8,7 @@ from repro.asm.linker import Program
 from repro.cosim.environment import CoSimResult
 from repro.iss.cpu import CPU, CPUConfig, HaltReason
 from repro.iss.run import make_cpu
+from repro.telemetry import current_telemetry
 
 
 def read_int32_array(cpu: CPU, program: Program, symbol: str, n: int) -> list[int]:
@@ -28,6 +29,13 @@ def run_software_only(
     """Run a pure-software program on the bare ISS, reporting the same
     result record as a co-simulation for uniform comparison."""
     cpu = make_cpu(program, config=config)
+    telemetry = current_telemetry()
+    if telemetry is not None:
+        telemetry.attach_cpu(cpu)
+        clock = lambda: cpu.cycle  # noqa: E731
+        for channel in (*cpu.fsl.inputs, *cpu.fsl.outputs):
+            if channel is not None:
+                telemetry.attach_channel(channel, clock)
     start = time.perf_counter()
     reason = cpu.run(max_cycles=max_cycles)
     wall = time.perf_counter() - start

@@ -31,6 +31,7 @@ class MatmulDesign:
     fifo_depth: int = 16
     cpu_config: CPUConfig = field(default_factory=CPUConfig)
     verify: bool = True
+    fast_forward: bool = True  # co-sim execution strategy (block > 0 only)
 
     def __post_init__(self) -> None:
         options = CompileOptions(
@@ -56,7 +57,9 @@ class MatmulDesign:
             result, cpu = run_software_only(self.program, self.cpu_config)
         else:
             sim = CoSimulation(
-                self.program, self.model, self.mb, cpu_config=self.cpu_config
+                self.program, self.model, self.mb,
+                cpu_config=self.cpu_config,
+                fast_forward=self.fast_forward,
             )
             result = sim.run()
             cpu = sim.cpu

@@ -24,6 +24,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque
 
+from repro.telemetry.events import FSL_POP, FSL_PUSH, TelemetryEvent
+
 
 @dataclass(frozen=True)
 class FSLWord:
@@ -56,6 +58,12 @@ class FSLChannel:
         self.depth = depth
         self.name = name
         self._fifo: Deque[FSLWord] = deque()
+        #: optional :class:`~repro.telemetry.events.EventBus`; when set,
+        #: successful pushes/pops emit events timestamped via ``clock``
+        self.events = None
+        #: zero-arg callable giving the current simulation cycle for
+        #: telemetry timestamps (set together with ``events``)
+        self.clock = None
         # --- statistics -------------------------------------------------
         self.total_pushed = 0
         self.total_popped = 0
@@ -97,6 +105,12 @@ class FSLChannel:
         self.total_pushed += 1
         if len(self._fifo) > self.max_occupancy:
             self.max_occupancy = len(self._fifo)
+        if self.events is not None:
+            self.events.emit(TelemetryEvent(
+                FSL_PUSH, self.clock() if self.clock is not None else 0,
+                self.name, data & 0xFFFFFFFF, len(self._fifo),
+                "ctrl" if control else "",
+            ))
         return True
 
     # ------------------------------------------------------------------
@@ -116,7 +130,14 @@ class FSLChannel:
             self.pop_rejects += 1
             return None
         self.total_popped += 1
-        return self._fifo.popleft()
+        word = self._fifo.popleft()
+        if self.events is not None:
+            self.events.emit(TelemetryEvent(
+                FSL_POP, self.clock() if self.clock is not None else 0,
+                self.name, word.data, len(self._fifo),
+                "ctrl" if word.control else "",
+            ))
+        return word
 
     # ------------------------------------------------------------------
     def reset(self, reset_stats: bool = True) -> None:

@@ -10,6 +10,8 @@ uses:
 * ``mb32-dse``     — run a design-space sweep from a JSON spec file
 * ``mb32-conformance`` — fuzz the co-simulation execution modes against
   the per-cycle reference and check the golden-trace corpus
+* ``mb32-profile`` — run a program or co-simulation under telemetry
+  (Chrome trace, VCD, metrics snapshot, region/phase profilers)
 
 Images are stored in a simple container: a JSON header line (entry,
 sizes, symbols) followed by the raw memory image — enough for the
@@ -377,6 +379,10 @@ def dse_main(argv: list[str] | None = None) -> int:
                         help="on-disk result cache directory")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore any cache named in the spec file")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="run every point instrumented and attach its "
+                             "metric snapshot to the per-point report "
+                             "record (cache hits carry none)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the per-point progress line")
     args = parser.parse_args(argv)
@@ -419,6 +425,7 @@ def dse_main(argv: list[str] | None = None) -> int:
         retries=retries,
         cache_dir=cache_dir,
         progress=progress,
+        telemetry=args.telemetry,
     )
 
     constraints = {
@@ -448,6 +455,188 @@ def dse_main(argv: list[str] | None = None) -> int:
     if not args.output and not args.markdown:
         print(payload)
     return 0 if not report.failed else 1
+
+
+# ----------------------------------------------------------------------
+# mb32-profile
+# ----------------------------------------------------------------------
+def _add_profile_output_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="FILE",
+                        help="write a Chrome trace-event JSON file "
+                             "('-' for stdout) — open in Perfetto or "
+                             "chrome://tracing")
+    parser.add_argument("--vcd", metavar="FILE",
+                        help="write a value-change dump of pc, stall "
+                             "state and FIFO occupancies")
+    parser.add_argument("--metrics", metavar="FILE",
+                        help="write the metrics snapshot as JSON "
+                             "('-' for stdout)")
+    parser.add_argument("--regions", action="store_true",
+                        help="profile simulated cycles by program "
+                             "symbol/region")
+    parser.add_argument("--phases", action="store_true",
+                        help="time simulator wall clock by phase "
+                             "(CPU step / block step / fast-forward scan)")
+    parser.add_argument("--per-cycle", action="store_true",
+                        help="use per-cycle co-simulation instead of the "
+                             "fast-forward kernel (co-sim apps only)")
+    parser.add_argument("--max-trace-events", type=int, default=1_000_000,
+                        metavar="N",
+                        help="cap Chrome trace records to bound memory "
+                             "(default 1000000; excess is counted as "
+                             "dropped)")
+
+
+def profile_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mb32-profile",
+        description="run a program or co-simulation under telemetry: "
+                    "Chrome trace, VCD, metrics snapshot, profilers",
+    )
+    sub = parser.add_subparsers(dest="app", required=True)
+
+    run_p = sub.add_parser(
+        "run", help="profile a mini-C program or image on the bare ISS")
+    run_p.add_argument("source",
+                       help="mini-C source ('-' for stdin) or a .img image")
+    run_p.add_argument("--max-cycles", type=int, default=50_000_000)
+    _add_target_flags(run_p)
+
+    cordic_p = sub.add_parser(
+        "cordic", help="profile a CORDIC co-simulation design point")
+    cordic_p.add_argument("--p", type=int, default=4,
+                          help="pipeline PEs (0 = pure software)")
+    cordic_p.add_argument("--iters", type=int, default=24)
+    cordic_p.add_argument("--ndata", type=int, default=32)
+    cordic_p.add_argument("--fifo-depth", type=int, default=16)
+
+    matmul_p = sub.add_parser(
+        "matmul", help="profile a matmul co-simulation design point")
+    matmul_p.add_argument("--block", type=int, default=4,
+                          help="hardware block size (0 = pure software)")
+    matmul_p.add_argument("--matn", type=int, default=16)
+    matmul_p.add_argument("--fifo-depth", type=int, default=16)
+
+    for p in (run_p, cordic_p, matmul_p):
+        _add_profile_output_flags(p)
+    args = parser.parse_args(argv)
+
+    import contextlib
+
+    from repro.apps.common import VerificationError, run_software_only
+    from repro.cosim.environment import CoSimDeadlock
+    from repro.telemetry import Telemetry, telemetry_scope
+    from repro.telemetry.export import ChromeTraceExporter, CosimVCDExporter
+
+    # -- build the target ----------------------------------------------
+    if args.app == "run":
+        flags = TargetFlags.from_args(args)
+        try:
+            if args.source != "-" and args.source.endswith(".img"):
+                program = load_image(args.source)
+            else:
+                program = build_executable(
+                    _read_source(args.source), flags.compile_options())
+        except Exception as exc:
+            print(f"mb32-profile: error: {exc}", file=sys.stderr)
+            return 1
+        name = args.source
+        channels = ()
+
+        def runner():
+            result, _cpu = run_software_only(
+                program, flags.cpu_config(), max_cycles=args.max_cycles)
+            return result
+    elif args.app == "cordic":
+        from repro.apps.cordic.design import CordicDesign
+
+        design = CordicDesign(p=args.p, iters=args.iters, ndata=args.ndata,
+                              fifo_depth=args.fifo_depth,
+                              fast_forward=not args.per_cycle)
+        program, name = design.program, design.name
+        channels = design.mb.channels() if design.mb is not None else ()
+        runner = design.run
+    else:
+        from repro.apps.matmul.design import MatmulDesign
+
+        design = MatmulDesign(block=args.block, matn=args.matn,
+                              fifo_depth=args.fifo_depth,
+                              fast_forward=not args.per_cycle)
+        program, name = design.program, design.name
+        channels = design.mb.channels() if design.mb is not None else ()
+        runner = design.run
+
+    # -- wire telemetry + exporters, then run --------------------------
+    telemetry = Telemetry()
+    if args.regions:
+        telemetry.enable_regions(program)
+    if args.phases:
+        telemetry.enable_phases()
+    tracer = None
+    if args.trace:
+        tracer = ChromeTraceExporter(telemetry.bus,
+                                     max_events=args.max_trace_events)
+
+    status = 0
+    with contextlib.ExitStack() as stack:
+        vcd = None
+        if args.vcd:
+            vcd_fh = stack.enter_context(
+                open(args.vcd, "w", encoding="utf-8"))
+            vcd = CosimVCDExporter(telemetry.bus, vcd_fh, channels)
+        try:
+            with telemetry_scope(telemetry):
+                result = runner()
+        except (VerificationError, CoSimDeadlock) as exc:
+            print(f"mb32-profile: {name}: {type(exc).__name__}: {exc}",
+                  file=sys.stderr)
+            return 1
+
+    # -- emit ----------------------------------------------------------
+    if tracer is not None:
+        if args.trace == "-":
+            tracer.write(sys.stdout)
+        else:
+            with open(args.trace, "w", encoding="utf-8") as fh:
+                tracer.write(fh)
+            print(f"mb32-profile: wrote {args.trace} "
+                  f"({len(tracer.trace_events())} trace events, "
+                  f"{tracer.dropped} dropped)", file=sys.stderr)
+    if vcd is not None:
+        print(f"mb32-profile: wrote {args.vcd} ({vcd.changes} value "
+              f"changes)", file=sys.stderr)
+
+    snapshot = telemetry.snapshot(result)
+    if args.metrics:
+        payload = json.dumps(snapshot, indent=2, sort_keys=True)
+        if args.metrics == "-":
+            print(payload)
+        else:
+            with open(args.metrics, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            print(f"mb32-profile: wrote {args.metrics}", file=sys.stderr)
+    else:
+        print(f"mb32-profile: {name}: exit {result.exit_code} — "
+              f"{result.cycles} cycles, {result.instructions} "
+              f"instructions, {result.stall_cycles} stalls "
+              f"({result.cycles_per_wall_second:,.0f} cyc/s)")
+        stalls = snapshot.get("stalls_by_channel", {})
+        if stalls:
+            for channel, cycles in sorted(stalls.items()):
+                print(f"  stall {channel}: {cycles} cycles")
+        ff = snapshot.get("fast_forward")
+        if ff and ff.get("windows"):
+            print(f"  fast-forward: {ff['windows']} windows, "
+                  f"{ff['skipped_cycles']} cycles "
+                  f"({100.0 * ff['skip_ratio']:.1f}% skipped)")
+        if telemetry.regions is not None:
+            print(telemetry.regions.text())
+        if telemetry.phases is not None:
+            print(telemetry.phases.text(result.wall_seconds))
+    if result.exit_code is None:
+        print(f"mb32-profile: {name}: did not terminate", file=sys.stderr)
+        status = 2
+    return status
 
 
 # ----------------------------------------------------------------------
@@ -590,5 +779,6 @@ if __name__ == "__main__":  # pragma: no cover - manual dispatch
     tool = sys.argv[1] if len(sys.argv) > 1 else ""
     mains = {"cc": cc_main, "as": as_main, "run": run_main,
              "objdump": objdump_main, "gdbserver": gdbserver_main,
-             "dse": dse_main, "conformance": conformance_main}
+             "dse": dse_main, "conformance": conformance_main,
+             "profile": profile_main}
     sys.exit(mains.get(tool, cc_main)(sys.argv[2:]))

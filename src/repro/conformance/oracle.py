@@ -26,7 +26,10 @@ deadlock point (the cycle the watchdog fired at), MSR carry and the
 sticky FSL error flag, final pc, the whole register file, console
 output, an sha256 digest of data memory, per-channel FIFO statistics
 and final occupancies, dropped-write counters, per-probe sample-trace
-digests, the FSL transaction log digest and per-model cycle counters.
+digests, the FSL transaction log digest, per-model cycle counters and
+the telemetry invariant snapshot (per-channel stall/occupancy metrics
+plus the full CPU statistics record — everything the metrics pipeline
+claims is execution-mode-independent).
 """
 
 from __future__ import annotations
@@ -45,6 +48,7 @@ from repro.cosim.environment import (
 )
 from repro.cosim.trace import FSLTrace
 from repro.iss.cpu import HaltReason
+from repro.telemetry import Telemetry
 
 ALL_MODES = ("per_cycle", "fast_forward", "verify", "reset_rerun",
              "subprocess")
@@ -83,6 +87,7 @@ class Observation:
     trace_digest: str = ""
     trace_count: int = 0
     model_cycle: int = 0
+    metrics: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -106,6 +111,7 @@ class Observation:
             "trace_digest": self.trace_digest,
             "trace_count": self.trace_count,
             "model_cycle": self.model_cycle,
+            "metrics": self.metrics,
         }
 
     def comparable(self) -> dict:
@@ -176,16 +182,21 @@ def _capture(sim: CoSimulation, mode: str, status: str, error: str,
         trace_digest=trace_digest,
         trace_count=trace_count,
         model_cycle=sim.model.cycle,
+        metrics=(sim.telemetry.invariant_snapshot()
+                 if sim.telemetry is not None else {}),
     )
 
 
 def _make_sim(scenario: Scenario, program: Program, *,
               fast_forward: bool, verify: bool = False) -> tuple[CoSimulation, FSLTrace]:
     model, mb = build_model(scenario)
+    # telemetry attaches at construction so the FSLTrace installed
+    # below subscribes to the same event bus instead of a private one
     sim = CoSimulation(program, model, mb,
                        cpu_config=scenario.cpu_config(),
                        fast_forward=fast_forward,
-                       verify_fast_forward=verify)
+                       verify_fast_forward=verify,
+                       telemetry=Telemetry())
     trace = FSLTrace(mb, clock=lambda: sim.cpu.cycle).install()
     return sim, trace
 

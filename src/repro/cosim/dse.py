@@ -49,6 +49,10 @@ class DSEResult:
     cache_hit: bool = False
     fingerprint: str | None = None
     attempts: int = 1
+    #: per-point telemetry snapshot (plain dict) when the sweep ran
+    #: with telemetry enabled; None otherwise (including cache hits,
+    #: which skip the instrumented run)
+    metrics: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -98,6 +102,8 @@ class DSEResult:
             out.update(
                 slices=total.slices, brams=total.brams, mult18=total.mult18
             )
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
         return out
 
 

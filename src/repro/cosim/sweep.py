@@ -34,6 +34,7 @@ its live status line.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import multiprocessing
@@ -65,6 +66,7 @@ from repro.cosim.partition import DesignPoint, DesignSpec
 from repro.iss.cpu import HaltReason
 from repro.resources.estimator import DesignEstimate
 from repro.resources.types import Resources
+from repro.telemetry import Telemetry, telemetry_scope
 
 #: statuses worth another attempt: crashes and timeouts can be
 #: environmental, while deadlocks and self-check failures are
@@ -200,11 +202,15 @@ def _evaluate(
     point: DesignPoint | DesignSpec,
     cache_dir: str | None,
     timeout_s: float | None,
+    telemetry: bool = False,
 ) -> dict[str, Any]:
     """Build, fingerprint, consult the cache, run, classify.
 
     Returns a picklable payload dict; every failure mode maps to a
-    status string instead of an exception.
+    status string instead of an exception.  With ``telemetry=True``,
+    the run is wrapped in a :func:`~repro.telemetry.telemetry_scope`
+    and the payload carries the plain-dict metric snapshot (cache hits
+    skip the run, so they carry none).
     """
     payload: dict[str, Any] = {
         "status": STATUS_ERROR,
@@ -213,6 +219,7 @@ def _evaluate(
         "estimate": None,
         "fingerprint": None,
         "cache_hit": False,
+        "metrics": None,
     }
     try:
         instance = point.build()
@@ -233,11 +240,13 @@ def _evaluate(
             )
             return payload
 
+    tel = Telemetry() if telemetry else None
     try:
-        if timeout_s is not None:
-            with run_timeout(timeout_s):
-                result = instance.run()
-        else:
+        with contextlib.ExitStack() as stack:
+            if timeout_s is not None:
+                stack.enter_context(run_timeout(timeout_s))
+            if tel is not None:
+                stack.enter_context(telemetry_scope(tel))
             result = instance.run()
     except CoSimTimeout as exc:
         payload.update(status=STATUS_TIMEOUT, error=str(exc))
@@ -259,6 +268,8 @@ def _evaluate(
         )
         return payload
 
+    if tel is not None:
+        payload["metrics"] = tel.snapshot(result)
     if result.exit_code is None:
         payload.update(
             status=STATUS_TIMEOUT,
@@ -290,11 +301,12 @@ def _evaluate(
     return payload
 
 
-def _worker_main(point, cache_dir, timeout_s, conn) -> None:
+def _worker_main(point, cache_dir, timeout_s, conn,
+                 telemetry: bool = False) -> None:
     """Entry point of a sweep worker process: evaluate one point and
     ship the payload back over the pipe."""
     try:
-        payload = _evaluate(point, cache_dir, timeout_s)
+        payload = _evaluate(point, cache_dir, timeout_s, telemetry)
     except BaseException as exc:  # never let a worker die silently
         payload = {
             "status": STATUS_ERROR,
@@ -303,6 +315,7 @@ def _worker_main(point, cache_dir, timeout_s, conn) -> None:
             "estimate": None,
             "fingerprint": None,
             "cache_hit": False,
+            "metrics": None,
         }
     try:
         conn.send(payload)
@@ -397,6 +410,7 @@ def _to_dse_result(point, payload, attempts: int) -> DSEResult:
         cache_hit=payload["cache_hit"],
         fingerprint=payload["fingerprint"],
         attempts=attempts,
+        metrics=payload.get("metrics"),
     )
 
 
@@ -409,6 +423,7 @@ def sweep(
     cache_dir: str | os.PathLike | None = None,
     progress: Callable[[SweepProgress], None] | None = None,
     kill_grace_s: float = KILL_GRACE_S,
+    telemetry: bool = False,
 ) -> SweepReport:
     """Evaluate every design point; never raises for a failing point.
 
@@ -433,6 +448,11 @@ def sweep(
     progress:
         Callback receiving a :class:`SweepProgress` after each
         completed point.
+    telemetry:
+        Run every point inside a :func:`~repro.telemetry.telemetry_scope`
+        and attach its metric snapshot (a plain dict) to the
+        :class:`DSEResult` — works in workers too, since the scope is
+        entered worker-side.
     """
     points = list(points)
     total = len(points)
@@ -467,7 +487,8 @@ def sweep(
         for index in range(total):
             while True:
                 attempts[index] += 1
-                payload = _evaluate(points[index], cache_path, timeout_s)
+                payload = _evaluate(points[index], cache_path, timeout_s,
+                                    telemetry)
                 if (
                     payload["status"] in RETRIABLE
                     and attempts[index] <= retries
@@ -486,7 +507,7 @@ def sweep(
                 )
         _run_parallel(
             points, workers, timeout_s, retries, cache_path,
-            kill_grace_s, attempts, record,
+            kill_grace_s, attempts, record, telemetry,
         )
 
     return SweepReport(
@@ -505,6 +526,7 @@ def _run_parallel(
     kill_grace_s: float,
     attempts: list[int],
     record: Callable[[int, dict[str, Any], int], None],
+    telemetry: bool = False,
 ) -> None:
     """Fan points out over a bounded pool of worker processes."""
     ctx = multiprocessing.get_context()
@@ -517,7 +539,8 @@ def _run_parallel(
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(
             target=_worker_main,
-            args=(points[index], cache_path, timeout_s, child_conn),
+            args=(points[index], cache_path, timeout_s, child_conn,
+                  telemetry),
             daemon=True,
         )
         proc.start()

@@ -3,6 +3,14 @@
 Records every word crossing each FSL channel with its cycle, direction
 and control bit — the bus-level visibility the paper's environment
 gives the designer when debugging hardware/software partitions.
+
+The tracer is a thin adapter over the telemetry event bus: channels
+already emit :data:`~repro.telemetry.events.FSL_PUSH` /
+:data:`~repro.telemetry.events.FSL_POP` events when a bus is attached,
+so ``install()`` just subscribes — creating a private bus on channels
+that have none.  When a :class:`~repro.telemetry.Telemetry` instance
+will also be attached, attach it *before* installing the tracer so
+both share one bus.
 """
 
 from __future__ import annotations
@@ -12,6 +20,12 @@ from typing import Callable
 
 from repro.bus.fsl import FSLChannel
 from repro.cosim.mb_block import MicroBlazeBlock
+from repro.telemetry.events import (
+    FSL_POP,
+    FSL_PUSH,
+    EventBus,
+    TelemetryEvent,
+)
 
 
 @dataclass(frozen=True)
@@ -30,46 +44,45 @@ class Transaction:
 
 @dataclass
 class FSLTrace:
-    """Wraps a MicroBlazeBlock's channels to log all transfers."""
+    """Subscribes to a MicroBlazeBlock's channels to log all transfers."""
 
     mb_block: MicroBlazeBlock
     clock: Callable[[], int]  # returns the current cycle
     transactions: list[Transaction] = field(default_factory=list)
     _installed: bool = False
+    _buses: list[EventBus] = field(default_factory=list)
 
     def install(self) -> "FSLTrace":
         if self._installed:
             return self
         for channel in self.mb_block.channels():
-            self._wrap(channel)
+            self._attach(channel)
         self._installed = True
         return self
 
-    def _wrap(self, channel: FSLChannel) -> None:
-        orig_push = channel.push
-        orig_pop = channel.pop
-        trace = self
+    def uninstall(self) -> None:
+        if self._installed:
+            for bus in self._buses:
+                bus.unsubscribe(self._on_event)
+            self._buses.clear()
+            self._installed = False
 
-        def push(data: int, control: bool = False) -> bool:
-            ok = orig_push(data, control)
-            if ok:
-                trace.transactions.append(
-                    Transaction(trace.clock(), channel.name, "push",
-                                data & 0xFFFFFFFF, bool(control))
-                )
-            return ok
+    def _attach(self, channel: FSLChannel) -> None:
+        if channel.events is None:
+            channel.events = EventBus()
+            channel.clock = self.clock
+        if channel.events not in self._buses:
+            channel.events.subscribe(self._on_event, kinds=(FSL_PUSH, FSL_POP))
+            self._buses.append(channel.events)
 
-        def pop():
-            word = orig_pop()
-            if word is not None:
-                trace.transactions.append(
-                    Transaction(trace.clock(), channel.name, "pop",
-                                word.data, word.control)
-                )
-            return word
-
-        channel.push = push  # type: ignore[method-assign]
-        channel.pop = pop  # type: ignore[method-assign]
+    def _on_event(self, event: TelemetryEvent) -> None:
+        self.transactions.append(Transaction(
+            event.cycle,
+            event.track,
+            "push" if event.kind == FSL_PUSH else "pop",
+            event.value,
+            event.text == "ctrl",
+        ))
 
     # ------------------------------------------------------------------
     def for_channel(self, name: str) -> list[Transaction]:

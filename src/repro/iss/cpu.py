@@ -35,6 +35,13 @@ from repro.iss.fsl import FSLPorts
 from repro.iss.memory import AddressSpace, BRAM
 from repro.iss.statistics import CPUStats
 from repro.iss.timing import TimingModel
+from repro.telemetry.events import (
+    CPU_TRACK,
+    RETIRE,
+    STALL_BEGIN,
+    STALL_END,
+    TelemetryEvent,
+)
 
 _M32 = 0xFFFFFFFF
 _SIGN = 0x80000000
@@ -121,6 +128,10 @@ class CPU:
         self._decode_cache: dict[int, DecodedInstr] = {}
         #: optional callback (pc, instruction word) on every issue
         self.trace_hook = None
+        #: optional :class:`~repro.telemetry.events.EventBus`; when set,
+        #: the CPU emits retire and stall begin/end events
+        self.events = None
+        self._stall_since: int | None = None
         if self.config.decode_cache:
             self.mem.write_hook = self._invalidate
 
@@ -140,6 +151,7 @@ class CPU:
         self._pending = None
         self._delay_target = None
         self._in_delay_slot = False
+        self._stall_since = None
         self._decode_cache.clear()
         self.stats.reset()
         self.fsl.error = False  # MSR[FSL] from a previous run must not leak
@@ -250,6 +262,11 @@ class CPU:
                         "advance() while the blocked FSL get could complete"
                     )
                 channel.pop_rejects += n
+            if self.events is not None and self._stall_since is None:
+                # First skipped cycle = the cycle the first per-cycle
+                # retry would have run at, so event timelines match
+                # across execution modes.
+                self._emit_stall_begin(pend, self.cycle + 1)
             self.cycle += n
             self.stats.cycles += n
             self.stats.stall_cycles += n
@@ -296,6 +313,11 @@ class CPU:
         self.stats.by_mnemonic[spec.mnemonic] += 1
         if self.trace_hook is not None:
             self.trace_hook(self.pc, instr.word)
+        if self.events is not None:
+            self.events.emit(TelemetryEvent(
+                RETIRE, self.cycle, CPU_TRACK, self.pc, instr.word,
+                spec.mnemonic,
+            ))
 
         # Effective immediate (imm prefix aware).
         if spec.fmt == "B":
@@ -555,6 +577,8 @@ class CPU:
                     self.carry = 0
             elif pend.blocking:
                 self.stats.stall_cycles += 1
+                if self.events is not None and self._stall_since is None:
+                    self._emit_stall_begin(pend, self.cycle)
                 return  # keep stalling; retry next cycle
             else:
                 self.carry = 1  # non-blocking put failed: data dropped
@@ -568,8 +592,34 @@ class CPU:
                 self.stats.fsl_gets += 1
             elif pend.blocking:
                 self.stats.stall_cycles += 1
+                if self.events is not None and self._stall_since is None:
+                    self._emit_stall_begin(pend, self.cycle)
                 return  # keep stalling; retry next cycle
             else:
                 self.carry = 1  # non-blocking read failed
+        if self._stall_since is not None:
+            self._emit_stall_end(pend)
         self._pending = None
         self._commit_pc(self._pending_next_pc)
+
+    # -- stall event helpers (only reached with a bus attached) --------
+    def _stall_channel_name(self, pend: _PendingFSL) -> str:
+        channel = (
+            self.fsl._output(pend.channel) if pend.put
+            else self.fsl._input(pend.channel)
+        )
+        return channel.name
+
+    def _emit_stall_begin(self, pend: _PendingFSL, first_cycle: int) -> None:
+        self._stall_since = first_cycle
+        self.events.emit(TelemetryEvent(
+            STALL_BEGIN, first_cycle, self._stall_channel_name(pend)
+        ))
+
+    def _emit_stall_end(self, pend: _PendingFSL) -> None:
+        if self.events is not None:
+            self.events.emit(TelemetryEvent(
+                STALL_END, self.cycle, self._stall_channel_name(pend),
+                aux=self.cycle - self._stall_since,
+            ))
+        self._stall_since = None

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Any
 
 
 @dataclass
@@ -43,7 +44,24 @@ class CPUStats:
         self.fsl_puts = 0
         self.by_mnemonic.clear()
 
-    def summary(self) -> str:
+    def to_dict(self) -> dict[str, Any]:
+        """Plain JSON-safe dict of all counters (used by telemetry
+        snapshots and sweep reports)."""
+        return {
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "cpi": self.cpi,
+            "stall_cycles": self.stall_cycles,
+            "branches_taken": self.branches_taken,
+            "branches_not_taken": self.branches_not_taken,
+            "loads": self.loads,
+            "stores": self.stores,
+            "fsl_gets": self.fsl_gets,
+            "fsl_puts": self.fsl_puts,
+            "by_mnemonic": dict(sorted(self.by_mnemonic.items())),
+        }
+
+    def summary(self, top_mnemonics: int = 5) -> str:
         lines = [
             f"instructions : {self.instructions}",
             f"cycles       : {self.cycles}",
@@ -54,4 +72,12 @@ class CPUStats:
             f"memory       : {self.loads} loads / {self.stores} stores",
             f"FSL          : {self.fsl_gets} gets / {self.fsl_puts} puts",
         ]
+        if top_mnemonics and self.by_mnemonic:
+            lines.append(f"top {min(top_mnemonics, len(self.by_mnemonic))} "
+                         "instruction mix:")
+            total = self.instructions or 1
+            for mnemonic, count in self.by_mnemonic.most_common(top_mnemonics):
+                lines.append(
+                    f"  {mnemonic:<8} {count:>8}  ({count / total:.1%})"
+                )
         return "\n".join(lines)

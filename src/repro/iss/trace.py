@@ -4,6 +4,12 @@ Attach an :class:`InstructionTracer` to a CPU to record the retired
 instruction stream (pc, disassembly, cycle) — the equivalent of
 ``mb-gdb``'s instruction trace, used for debugging compiler output and
 for the execution profiles in the examples.
+
+The tracer is a thin adapter over the telemetry event bus
+(:mod:`repro.telemetry.events`): it subscribes to retire events on the
+CPU's bus, creating a private bus when the CPU has none.  When a
+:class:`~repro.telemetry.Telemetry` instance will also be attached,
+attach it *before* installing tracers so both share one bus.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.asm.disassembler import disassemble
 from repro.iss.cpu import CPU
+from repro.telemetry.events import RETIRE, EventBus, TelemetryEvent
 
 
 @dataclass
@@ -39,23 +46,29 @@ class InstructionTracer:
     def install(self) -> "InstructionTracer":
         if self._installed:
             return self
-        if self.cpu.trace_hook is not None:
+        if getattr(self.cpu, "_instruction_tracer", None) is not None:
             raise RuntimeError("CPU already has a trace hook")
-        self.cpu.trace_hook = self._on_issue
+        if self.cpu.events is None:
+            self.cpu.events = EventBus()
+        self.cpu.events.subscribe(self._on_retire, kinds=(RETIRE,))
+        self.cpu._instruction_tracer = self
         self._installed = True
         return self
 
     def uninstall(self) -> None:
         if self._installed:
-            self.cpu.trace_hook = None
+            if self.cpu.events is not None:
+                self.cpu.events.unsubscribe(self._on_retire)
+            self.cpu._instruction_tracer = None
             self._installed = False
 
-    def _on_issue(self, pc: int, word: int) -> None:
-        self.pc_histogram[pc] += 1
+    def _on_retire(self, event: TelemetryEvent) -> None:
+        self.pc_histogram[event.value] += 1
         if self.limit is not None and len(self.entries) >= self.limit:
             return
         self.entries.append(
-            TraceEntry(self.cpu.cycle, pc, word, disassemble(word))
+            TraceEntry(event.cycle, event.value, event.aux,
+                       disassemble(event.aux))
         )
 
     # ------------------------------------------------------------------

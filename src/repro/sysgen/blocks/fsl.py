@@ -20,6 +20,7 @@ from __future__ import annotations
 from repro.bus.fsl import FSLChannel
 from repro.resources.types import Resources
 from repro.sysgen.block import IDLE_FOREVER, SeqBlock
+from repro.telemetry.events import BLOCK_FIRE, TelemetryEvent
 
 
 class FSLBindError(RuntimeError):
@@ -36,6 +37,10 @@ class FSLRead(SeqBlock):
         self.add_output("exists", 1)
         self.add_output("control", 1)
         self.channel: FSLChannel | None = None
+        #: optional telemetry bus + cycle source (set by the attach
+        #: helpers in :mod:`repro.telemetry`)
+        self.events = None
+        self.telemetry_clock = None
 
     def bind(self, channel: FSLChannel) -> None:
         self.channel = channel
@@ -60,6 +65,12 @@ class FSLRead(SeqBlock):
         ch = self._require()
         if self.in_value("read") & 1 and ch.exists:
             ch.pop()
+            if self.events is not None:
+                self.events.emit(TelemetryEvent(
+                    BLOCK_FIRE,
+                    self.telemetry_clock() if self.telemetry_clock else 0,
+                    self.name,
+                ))
 
     def idle_horizon(self) -> int:
         ch = self.channel
@@ -93,6 +104,10 @@ class FSLWrite(SeqBlock):
         self.add_output("full", 1)
         self.channel: FSLChannel | None = None
         self.dropped = 0  # writes attempted while full
+        #: optional telemetry bus + cycle source (set by the attach
+        #: helpers in :mod:`repro.telemetry`)
+        self.events = None
+        self.telemetry_clock = None
 
     def bind(self, channel: FSLChannel) -> None:
         self.channel = channel
@@ -111,6 +126,13 @@ class FSLWrite(SeqBlock):
             ok = ch.push(self.in_value("data"), bool(self.in_value("control") & 1))
             if not ok:
                 self.dropped += 1
+            if self.events is not None:
+                self.events.emit(TelemetryEvent(
+                    BLOCK_FIRE,
+                    self.telemetry_clock() if self.telemetry_clock else 0,
+                    self.name,
+                    aux=0 if ok else 1,
+                ))
 
     def reset(self) -> None:
         super().reset()

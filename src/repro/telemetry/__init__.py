@@ -1,0 +1,232 @@
+"""Unified telemetry: event bus, metrics, exporters and profilers.
+
+The :class:`Telemetry` facade bundles one :class:`~repro.telemetry.events.EventBus`
+with the standard consumers (metrics collector, optional region
+profiler / phase timer / exporters) and knows how to attach itself to
+the simulation objects that produce events.  Producers keep a nullable
+bus reference and emit behind an ``is not None`` check, so simulations
+without telemetry pay essentially nothing.
+
+Two ways to enable telemetry:
+
+* explicitly — pass ``telemetry=`` to :class:`~repro.cosim.environment.CoSimulation`;
+* ambiently — wrap construction in :func:`telemetry_scope`, which the
+  co-simulation constructor and :func:`repro.apps.common.run_software_only`
+  consult.  The ambient form reaches simulations built deep inside
+  design classes and sweep workers without threading a parameter
+  through every layer (mirroring ``repro.cosim.environment.run_timeout``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.telemetry.events import (  # noqa: F401  (re-exported)
+    ALL_KINDS,
+    BLOCK_FIRE,
+    COSIM_TRACK,
+    CPU_TRACK,
+    DEADLOCK,
+    FAST_FORWARD,
+    FSL_POP,
+    FSL_PUSH,
+    RETIRE,
+    STALL_BEGIN,
+    STALL_END,
+    EventBus,
+    TelemetryEvent,
+)
+from repro.telemetry.metrics import (  # noqa: F401  (re-exported)
+    MetricsCollector,
+    MetricsRegistry,
+)
+from repro.telemetry.profile import PhaseTimer, RegionProfiler
+
+if TYPE_CHECKING:
+    from repro.asm.linker import Program
+    from repro.bus.fsl import FSLChannel
+    from repro.cosim.environment import CoSimResult
+    from repro.iss.cpu import CPU
+
+__all__ = [
+    "Telemetry",
+    "telemetry_scope",
+    "current_telemetry",
+    "EventBus",
+    "TelemetryEvent",
+    "MetricsRegistry",
+    "MetricsCollector",
+    "RegionProfiler",
+    "PhaseTimer",
+]
+
+
+class Telemetry:
+    """One event bus plus its standard consumers, ready to attach.
+
+    ``Telemetry()`` alone gives the metrics pipeline; call
+    :meth:`enable_regions` / :meth:`enable_phases` before the run for
+    the profilers, and construct exporters against :attr:`bus`
+    directly (see :mod:`repro.telemetry.export`).
+    """
+
+    def __init__(self, *, metrics: bool = True) -> None:
+        self.bus = EventBus()
+        self.registry = MetricsRegistry()
+        self.collector = (
+            MetricsCollector(self.bus, self.registry) if metrics else None
+        )
+        self.regions: RegionProfiler | None = None
+        self.phases: PhaseTimer | None = None
+        self.cpu: "CPU | None" = None
+        self.channels: list["FSLChannel"] = []
+
+    # -- optional consumers --------------------------------------------
+    def enable_regions(self, program: "Program") -> RegionProfiler:
+        """Attach a simulated-cycles-by-program-region profiler."""
+        if self.regions is None:
+            self.regions = RegionProfiler(program, self.bus)
+        return self.regions
+
+    def enable_phases(self) -> PhaseTimer:
+        """Attach a wall-clock-by-simulator-phase timer."""
+        if self.phases is None:
+            self.phases = PhaseTimer()
+        return self.phases
+
+    # -- producer attachment -------------------------------------------
+    def attach_cpu(self, cpu: "CPU") -> None:
+        cpu.events = self.bus
+        self.cpu = cpu
+
+    def attach_channel(self, channel: "FSLChannel",
+                       clock: Any = None) -> None:
+        """Attach ``channel``; ``clock`` is a zero-arg callable giving
+        the current simulation cycle for event timestamps."""
+        channel.events = self.bus
+        if clock is not None:
+            channel.clock = clock
+        if channel not in self.channels:
+            self.channels.append(channel)
+
+    def attach_block(self, block: Any, clock: Any = None) -> None:
+        """Attach any block exposing an ``events`` attribute slot."""
+        if hasattr(block, "events"):
+            block.events = self.bus
+            if clock is not None and hasattr(block, "telemetry_clock"):
+                block.telemetry_clock = clock
+
+    def detach(self) -> None:
+        """Unhook every attached producer (bus subscribers stay)."""
+        if self.cpu is not None:
+            self.cpu.events = None
+            self.cpu = None
+        for channel in self.channels:
+            channel.events = None
+            channel.clock = None
+        self.channels.clear()
+
+    # -- lifecycle ------------------------------------------------------
+    def reset(self) -> None:
+        """Clear accumulated state so a re-run matches a fresh run."""
+        self.registry.reset()
+        if self.regions is not None:
+            self.regions.reset()
+        if self.phases is not None:
+            self.phases.reset()
+
+    # -- reports --------------------------------------------------------
+    def snapshot(self, result: "CoSimResult | None" = None) -> dict[str, Any]:
+        """Full metrics snapshot as a plain JSON-safe dict."""
+        out: dict[str, Any] = {"metrics": self.registry.snapshot()}
+        if self.cpu is not None:
+            out["cpu"] = self.cpu.stats.to_dict()
+        if self.channels:
+            out["channels"] = {
+                ch.name: {
+                    "depth": ch.depth,
+                    "occupancy": ch.occupancy,
+                    "max_occupancy": ch.max_occupancy,
+                    "total_pushed": ch.total_pushed,
+                    "total_popped": ch.total_popped,
+                    "push_rejects": ch.push_rejects,
+                    "pop_rejects": ch.pop_rejects,
+                }
+                for ch in self.channels
+            }
+        if self.collector is not None:
+            out["stalls_by_channel"] = self.collector.stalls_by_channel()
+            out["block_fires"] = self.collector.block_fires()
+        if result is not None:
+            out["run"] = {
+                "exit_code": result.exit_code,
+                "cycles": result.cycles,
+                "instructions": result.instructions,
+                "stall_cycles": result.stall_cycles,
+                "wall_seconds": result.wall_seconds,
+                "cycles_per_wall_second": result.cycles_per_wall_second,
+                "halt_reason": (
+                    result.halt_reason.value
+                    if result.halt_reason is not None else None
+                ),
+            }
+            if self.collector is not None:
+                out["fast_forward"] = self.collector.fast_forward_stats(
+                    result.cycles
+                )
+        if self.regions is not None:
+            if result is not None and self.cpu is not None:
+                self.regions.finalize(self.cpu.cycle)
+            out["regions"] = self.regions.report()
+        if self.phases is not None:
+            wall = result.wall_seconds if result is not None else None
+            out["phases"] = self.phases.report(wall)
+        return out
+
+    def invariant_snapshot(self) -> dict[str, Any]:
+        """The mode-invariant subset of the snapshot.
+
+        Everything here must be bit-identical between per-cycle and
+        fast-forward execution — the conformance oracle compares it
+        across modes.  Engine-level metrics (``fast_forward.*``) are
+        excluded: how many windows were skipped is a property of the
+        execution strategy, not of the simulated design.
+        """
+        metrics = {
+            name: value
+            for name, value in self.registry.snapshot().items()
+            if not name.startswith("fast_forward.")
+        }
+        out: dict[str, Any] = {"metrics": metrics}
+        if self.cpu is not None:
+            out["cpu"] = self.cpu.stats.to_dict()
+        return out
+
+
+# ----------------------------------------------------------------------
+# Ambient telemetry (mirrors repro.cosim.environment.run_timeout)
+# ----------------------------------------------------------------------
+_ambient: Telemetry | None = None
+
+
+@contextmanager
+def telemetry_scope(telemetry: Telemetry) -> Iterator[Telemetry]:
+    """Make ``telemetry`` the ambient instance within the ``with`` body.
+
+    Simulations constructed inside the scope (including ones built
+    internally by design classes and sweep workers) attach to it
+    automatically.
+    """
+    global _ambient
+    previous = _ambient
+    _ambient = telemetry
+    try:
+        yield telemetry
+    finally:
+        _ambient = previous
+
+
+def current_telemetry() -> Telemetry | None:
+    """The ambient :class:`Telemetry`, or ``None`` outside any scope."""
+    return _ambient

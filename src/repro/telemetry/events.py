@@ -1,0 +1,127 @@
+"""Typed, timestamped telemetry events and the event bus.
+
+Every observable thing the co-simulation does — an instruction
+retiring, a stall starting or ending, a word crossing an FSL channel, a
+hardware block firing, the kernel fast-forwarding over a quiescent
+window, the deadlock watchdog tripping — is one :class:`TelemetryEvent`
+on one :class:`EventBus`.  The tracing front-ends
+(:mod:`repro.iss.trace`, :mod:`repro.cosim.trace`), the metrics
+collector, the profilers and the exporters are all just subscribers.
+
+The no-op fast path matters more than the enabled path: producers hold
+a *nullable* bus reference and emit only behind an ``is not None``
+check, so a simulation without telemetry pays one pointer comparison
+per potential event and allocates nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+# ----------------------------------------------------------------------
+# Event kinds
+# ----------------------------------------------------------------------
+#: an instruction issued/retired (track="cpu", value=pc, aux=word,
+#: text=mnemonic)
+RETIRE = "retire"
+#: a blocking FSL access started stalling the processor
+#: (track=channel name, cycle=first stalled cycle)
+STALL_BEGIN = "stall_begin"
+#: the blocked access completed (track=channel name, cycle=completion
+#: cycle, aux=stalled cycles)
+STALL_END = "stall_end"
+#: a word entered an FSL FIFO (track=channel name, value=data,
+#: aux=occupancy after, text="ctrl" for control words)
+FSL_PUSH = "fsl_push"
+#: a word left an FSL FIFO (same payload convention as FSL_PUSH)
+FSL_POP = "fsl_pop"
+#: a hardware block did observable work at a clock edge
+#: (track=block name)
+BLOCK_FIRE = "block_fire"
+#: the kernel bulk-advanced a quiescent window (track="cosim",
+#: cycle=cycle *after* the skip, value=skipped cycles) — the condensed
+#: stand-in for the per-cycle events the skip elided, so exported
+#: traces stay cycle-faithful
+FAST_FORWARD = "fast_forward"
+#: the deadlock watchdog fired (track="cosim", value=pc)
+DEADLOCK = "deadlock"
+
+ALL_KINDS = (RETIRE, STALL_BEGIN, STALL_END, FSL_PUSH, FSL_POP,
+             BLOCK_FIRE, FAST_FORWARD, DEADLOCK)
+
+#: the track name used for processor-side events
+CPU_TRACK = "cpu"
+#: the track name used for engine-level events
+COSIM_TRACK = "cosim"
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetryEvent:
+    """One timestamped occurrence.
+
+    ``track`` names the entity the event belongs to (``"cpu"``, an FSL
+    channel name, a block name, or ``"cosim"``); ``value``/``aux`` and
+    ``text`` carry the kind-specific payload documented next to each
+    kind constant.  All fields are plain ints/strings so events are
+    trivially JSON- and pickle-safe.
+    """
+
+    kind: str
+    cycle: int
+    track: str
+    value: int = 0
+    aux: int = 0
+    text: str = ""
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub for telemetry events.
+
+    Subscribers register for specific kinds (or all of them) and are
+    called inline from :meth:`emit`, in subscription order.  There is
+    deliberately no queueing or threading: the simulator is
+    single-threaded and exporters want events in exact emission order.
+    """
+
+    __slots__ = ("_by_kind", "_any")
+
+    def __init__(self) -> None:
+        self._by_kind: dict[str, list[Callable[[TelemetryEvent], None]]] = {}
+        self._any: list[Callable[[TelemetryEvent], None]] = []
+
+    def subscribe(
+        self,
+        handler: Callable[[TelemetryEvent], None],
+        kinds: tuple[str, ...] | None = None,
+    ) -> Callable[[TelemetryEvent], None]:
+        """Register ``handler`` for ``kinds`` (``None`` = every kind).
+        Returns the handler so it can be passed to :meth:`unsubscribe`.
+        """
+        if kinds is None:
+            self._any.append(handler)
+        else:
+            for kind in kinds:
+                self._by_kind.setdefault(kind, []).append(handler)
+        return handler
+
+    def unsubscribe(self, handler: Callable[[TelemetryEvent], None]) -> None:
+        if handler in self._any:
+            self._any.remove(handler)
+        for handlers in self._by_kind.values():
+            if handler in handlers:
+                handlers.remove(handler)
+
+    def emit(self, event: TelemetryEvent) -> None:
+        for handler in self._by_kind.get(event.kind, ()):
+            handler(event)
+        for handler in self._any:
+            handler(event)
+
+    @property
+    def subscriber_count(self) -> int:
+        """Distinct handlers (a multi-kind subscription counts once)."""
+        handlers = {id(h) for h in self._any}
+        for registered in self._by_kind.values():
+            handlers.update(id(h) for h in registered)
+        return len(handlers)

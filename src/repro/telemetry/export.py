@@ -1,0 +1,242 @@
+"""Telemetry exporters: Chrome trace-event JSON and co-sim-level VCD.
+
+``ChromeTraceExporter`` renders the event stream as a Chrome
+trace-event file (the JSON array format) loadable in Perfetto or
+``chrome://tracing``: the CPU, each FSL channel and each hardware block
+become tracks; retired instructions and stall windows become duration
+slices; FIFO occupancy becomes a counter track; fast-forwarded windows
+become slices on the engine track so skipped time is visible rather
+than silently absent.
+
+``CosimVCDExporter`` writes the same stream as a value-change dump
+(via the shared :class:`~repro.rtl.vcd.VCDFile` core) with one signal
+per channel occupancy plus the CPU's pc and stall state — the
+"logic-analyzer view" companion to the Perfetto timeline.
+
+One simulated clock cycle maps to one trace-time unit (1 µs in the
+Chrome trace's microsecond timebase, one timescale tick in the VCD),
+so cursor math in either viewer reads directly in cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Iterable
+
+from repro.bus.fsl import FSLChannel
+from repro.rtl.vcd import VCDFile
+from repro.telemetry.events import (
+    BLOCK_FIRE,
+    COSIM_TRACK,
+    CPU_TRACK,
+    DEADLOCK,
+    FAST_FORWARD,
+    FSL_POP,
+    FSL_PUSH,
+    RETIRE,
+    STALL_BEGIN,
+    STALL_END,
+    EventBus,
+    TelemetryEvent,
+)
+
+
+class ChromeTraceExporter:
+    """Builds a Chrome trace-event JSON document from the event bus."""
+
+    #: process id used for all tracks (one simulated system)
+    PID = 1
+
+    def __init__(self, bus: EventBus, *, max_events: int | None = None):
+        self.max_events = max_events
+        self.dropped = 0
+        self._events: list[dict[str, Any]] = []
+        self._tids: dict[str, int] = {}
+        self._last_retire: tuple[int, int, str] | None = None  # cycle, pc, mn
+        self._open_stalls: dict[str, int] = {}  # channel -> begin cycle
+        self._final_cycle = 0
+        bus.subscribe(self._on_event)
+
+    # ------------------------------------------------------------------
+    def _tid(self, track: str) -> int:
+        tid = self._tids.get(track)
+        if tid is None:
+            tid = self._tids[track] = len(self._tids)
+        return tid
+
+    def _add(self, record: dict[str, Any]) -> None:
+        if self.max_events is not None and len(self._events) >= self.max_events:
+            self.dropped += 1
+            return
+        self._events.append(record)
+
+    def _on_event(self, event: TelemetryEvent) -> None:
+        kind = event.kind
+        if event.cycle > self._final_cycle:
+            self._final_cycle = event.cycle
+        if kind == RETIRE:
+            self._flush_retire(next_cycle=event.cycle)
+            self._last_retire = (event.cycle, event.value, event.text)
+        elif kind == STALL_BEGIN:
+            self._open_stalls[event.track] = event.cycle
+        elif kind == STALL_END:
+            begin = self._open_stalls.pop(event.track, event.cycle - event.aux)
+            self._add({
+                "name": f"stall {event.track}",
+                "ph": "X",
+                "ts": begin,
+                "dur": max(event.cycle - begin, 1),
+                "pid": self.PID,
+                "tid": self._tid(CPU_TRACK),
+                "args": {"channel": event.track, "cycles": event.aux},
+            })
+        elif kind == FSL_PUSH or kind == FSL_POP:
+            direction = "push" if kind == FSL_PUSH else "pop"
+            self._add({
+                "name": direction,
+                "ph": "i",
+                "s": "t",
+                "ts": event.cycle,
+                "pid": self.PID,
+                "tid": self._tid(event.track),
+                "args": {
+                    "data": f"{event.value:#010x}",
+                    "control": event.text == "ctrl",
+                    "occupancy": event.aux,
+                },
+            })
+            self._add({
+                "name": f"occupancy {event.track}",
+                "ph": "C",
+                "ts": event.cycle,
+                "pid": self.PID,
+                "tid": self._tid(event.track),
+                "args": {"words": event.aux},
+            })
+        elif kind == BLOCK_FIRE:
+            self._add({
+                "name": "fire",
+                "ph": "i",
+                "s": "t",
+                "ts": event.cycle,
+                "pid": self.PID,
+                "tid": self._tid(event.track),
+                "args": {},
+            })
+        elif kind == FAST_FORWARD:
+            self._add({
+                "name": "fast-forward",
+                "ph": "X",
+                "ts": event.cycle - event.value,
+                "dur": event.value,
+                "pid": self.PID,
+                "tid": self._tid(COSIM_TRACK),
+                "args": {"skipped_cycles": event.value},
+            })
+        elif kind == DEADLOCK:
+            self._add({
+                "name": "DEADLOCK",
+                "ph": "i",
+                "s": "g",
+                "ts": event.cycle,
+                "pid": self.PID,
+                "tid": self._tid(COSIM_TRACK),
+                "args": {"pc": f"{event.value:#010x}"},
+            })
+
+    def _flush_retire(self, next_cycle: int | None = None) -> None:
+        if self._last_retire is None:
+            return
+        cycle, pc, mnemonic = self._last_retire
+        end = next_cycle if next_cycle is not None else \
+            max(self._final_cycle, cycle + 1)
+        self._add({
+            "name": mnemonic,
+            "ph": "X",
+            "ts": cycle,
+            "dur": max(end - cycle, 1),
+            "pid": self.PID,
+            "tid": self._tid(CPU_TRACK),
+            "args": {"pc": f"{pc:#010x}"},
+        })
+        self._last_retire = None
+
+    # ------------------------------------------------------------------
+    def trace_events(self) -> list[dict[str, Any]]:
+        """All records, including per-track metadata naming events."""
+        self._flush_retire()
+        meta: list[dict[str, Any]] = [{
+            "name": "process_name",
+            "ph": "M",
+            "pid": self.PID,
+            "tid": 0,
+            "args": {"name": "mb32 co-simulation (1 us = 1 cycle)"},
+        }]
+        for track, tid in self._tids.items():
+            meta.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": self.PID,
+                "tid": tid,
+                "args": {"name": track},
+            })
+        return meta + self._events
+
+    def to_json(self) -> str:
+        document = {
+            "traceEvents": self.trace_events(),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "mb32-profile",
+                "time_unit": "1 trace us = 1 simulated cycle",
+                "dropped_events": self.dropped,
+            },
+        }
+        return json.dumps(document)
+
+    def write(self, stream: IO[str]) -> None:
+        stream.write(self.to_json())
+        stream.write("\n")
+
+
+class CosimVCDExporter:
+    """Streams co-simulation telemetry as a VCD file.
+
+    Signals: per-channel FIFO occupancy (word count), the CPU program
+    counter and a 1-bit CPU stall flag.  Fast-forwarded windows need no
+    special handling — no signal changes during a quiescent skip, and
+    the next real event's timestamp restores the timeline.
+    """
+
+    def __init__(self, bus: EventBus, stream: IO[str],
+                 channels: Iterable[FSLChannel] = (),
+                 timescale: str = "20 ns"):
+        self._file = VCDFile(stream, timescale=timescale,
+                             date="generated by repro.telemetry")
+        self._pc = self._file.add_var("cpu_pc", 32)
+        self._stall = self._file.add_var("cpu_stall", 1)
+        self._occ: dict[str, str] = {}
+        self.changes = 0
+        for channel in channels:
+            self._occ[channel.name] = self._file.add_var(
+                f"{channel.name}_occupancy", 16, initial=channel.occupancy
+            )
+        self._file.begin()
+        bus.subscribe(
+            self._on_event,
+            kinds=(RETIRE, STALL_BEGIN, STALL_END, FSL_PUSH, FSL_POP),
+        )
+
+    def _on_event(self, event: TelemetryEvent) -> None:
+        kind = event.kind
+        if kind == RETIRE:
+            self._file.change(event.cycle, self._pc, event.value)
+        elif kind == STALL_BEGIN:
+            self._file.change(event.cycle, self._stall, 1)
+        elif kind == STALL_END:
+            self._file.change(event.cycle, self._stall, 0)
+        else:  # FSL_PUSH / FSL_POP
+            ident = self._occ.get(event.track)
+            if ident is not None:
+                self._file.change(event.cycle, ident, event.aux)
+        self.changes += 1

@@ -1,0 +1,199 @@
+"""Metrics registry: counters, gauges and histograms with plain-dict
+snapshots.
+
+The registry is the numeric side of the telemetry subsystem: while the
+event bus carries *individual* occurrences, metrics hold *aggregates*
+(CPI, stall breakdown by channel, FIFO high-water marks, fast-forward
+skip ratio, wall-clock simulation speed).  A snapshot is a plain
+``dict`` of JSON-safe values so it can travel through sweep-worker
+pipes, conformance observations and CLI reports unchanged.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any
+
+from repro.telemetry.events import (
+    BLOCK_FIRE,
+    DEADLOCK,
+    FAST_FORWARD,
+    FSL_POP,
+    FSL_PUSH,
+    STALL_END,
+    EventBus,
+    TelemetryEvent,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value that also remembers its high-water mark."""
+
+    __slots__ = ("value", "high_water")
+
+    def __init__(self) -> None:
+        self.value = 0
+        self.high_water = 0
+
+    def set(self, value: int) -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+
+class Histogram:
+    """Fixed-bucket histogram (upper-bound buckets plus overflow)."""
+
+    __slots__ = ("bounds", "counts", "total", "sum")
+
+    def __init__(self, bounds: tuple[int, ...]) -> None:
+        self.bounds = tuple(sorted(bounds))
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0
+
+    def observe(self, value: int) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        labels = [f"<={b}" for b in self.bounds] + ["inf"]
+        return {
+            "buckets": dict(zip(labels, self.counts)),
+            "total": self.total,
+            "sum": self.sum,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms, snapshot-able as a dict.
+
+    Metric names are dotted strings (``"stall.cycles.mb_in1"``); the
+    snapshot keeps them flat — nesting is the responsibility of
+    higher-level report builders like :meth:`Telemetry.snapshot`.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(self, name: str,
+                  bounds: tuple[int, ...] = (1, 4, 16, 64, 256)) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(bounds)
+        return metric
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def snapshot(self) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        for name, counter in sorted(self._counters.items()):
+            out[name] = counter.value
+        for name, gauge in sorted(self._gauges.items()):
+            out[name] = {"value": gauge.value, "high_water": gauge.high_water}
+        for name, histogram in sorted(self._histograms.items()):
+            out[name] = histogram.to_dict()
+        return out
+
+
+class MetricsCollector:
+    """Bus subscriber that folds events into a :class:`MetricsRegistry`.
+
+    Collects the aggregates that only the event stream can provide —
+    the per-channel stall breakdown, per-channel occupancy high-water
+    marks, stall-duration histograms, block fire counts, fast-forward
+    window statistics and deadlock count.  Counter-style totals that
+    the simulator already keeps (:class:`~repro.iss.statistics.CPUStats`,
+    per-channel FIFO statistics) are *not* duplicated here; the
+    :class:`~repro.telemetry.Telemetry` facade merges both sources into
+    one snapshot.
+    """
+
+    def __init__(self, bus: EventBus,
+                 registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        bus.subscribe(
+            self._on_event,
+            kinds=(STALL_END, FSL_PUSH, FSL_POP, BLOCK_FIRE, FAST_FORWARD,
+                   DEADLOCK),
+        )
+
+    def _on_event(self, event: TelemetryEvent) -> None:
+        reg = self.registry
+        kind = event.kind
+        if kind == FSL_PUSH or kind == FSL_POP:
+            reg.gauge(f"fifo.occupancy.{event.track}").set(event.aux)
+        elif kind == STALL_END:
+            reg.counter(f"stall.cycles.{event.track}").inc(event.aux)
+            reg.counter(f"stall.episodes.{event.track}").inc()
+            reg.histogram(f"stall.duration.{event.track}").observe(event.aux)
+        elif kind == BLOCK_FIRE:
+            reg.counter(f"block.fires.{event.track}").inc()
+        elif kind == FAST_FORWARD:
+            reg.counter("fast_forward.windows").inc()
+            reg.counter("fast_forward.cycles").inc(event.value)
+        else:  # DEADLOCK
+            reg.counter("deadlocks").inc()
+
+    # ------------------------------------------------------------------
+    def stalls_by_channel(self) -> dict[str, int]:
+        prefix = "stall.cycles."
+        return {
+            name[len(prefix):]: counter.value
+            for name, counter in sorted(self.registry._counters.items())
+            if name.startswith(prefix)
+        }
+
+    def block_fires(self) -> dict[str, int]:
+        prefix = "block.fires."
+        return {
+            name[len(prefix):]: counter.value
+            for name, counter in sorted(self.registry._counters.items())
+            if name.startswith(prefix)
+        }
+
+    def fast_forward_stats(self, total_cycles: int) -> dict[str, Any]:
+        skipped = self.registry.counter("fast_forward.cycles").value
+        return {
+            "windows": self.registry.counter("fast_forward.windows").value,
+            "skipped_cycles": skipped,
+            "skip_ratio": skipped / total_cycles if total_cycles else 0.0,
+        }
+
+    def reset(self) -> None:
+        self.registry.reset()

@@ -101,16 +101,26 @@ class TestFSLTrace:
         assert "mb_" in text
 
     def test_install_uses_public_channels_accessor(self):
-        """FSLTrace wraps exactly the channels MicroBlazeBlock.channels()
-        exposes — both directions, no private-dict reach-ins."""
+        """FSLTrace subscribes to exactly the channels
+        MicroBlazeBlock.channels() exposes — both directions, no
+        private-dict reach-ins."""
         design = CordicDesign(p=2, iters=4, ndata=2)
         channels = design.mb.channels()
         assert {ch.name for ch in channels} == {"mb_out0", "mb_in0"}
         trace = FSLTrace(design.mb, clock=lambda: 0).install()
         for ch in channels:
-            # install() rebinds push/pop on every public channel
-            assert ch.push.__name__ == "push" and ch.push.__qualname__ != \
-                "FSLChannel.push"
+            # install() attaches an event bus to every public channel
+            assert ch.events is not None
+            assert ch.events.subscriber_count >= 1
         assert set(design.mb.channel_occupancies()) == \
             {ch.name for ch in channels}
+        assert trace.transactions == []
+
+    def test_uninstall_stops_recording(self):
+        design = CordicDesign(p=2, iters=4, ndata=2)
+        sim = CoSimulation(design.program, design.model, design.mb,
+                           cpu_config=design.cpu_config)
+        trace = FSLTrace(design.mb, clock=lambda: sim.cpu.cycle).install()
+        trace.uninstall()
+        sim.run()
         assert trace.transactions == []

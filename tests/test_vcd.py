@@ -1,0 +1,153 @@
+"""Tests for the generic VCD writer core (repro.rtl.vcd.VCDFile).
+
+The RTL waveform dump and the co-simulation telemetry exporter both
+sit on this layer, so its header format, identifier allocation and
+dedup/clamping rules are load-bearing for two subsystems.
+"""
+
+import io
+
+import pytest
+
+from repro.rtl.kernel import Kernel
+from repro.rtl.vcd import VCDFile, VCDWriter, _identifier
+
+
+class TestIdentifierAllocation:
+    def test_first_identifiers_are_printable_singletons(self):
+        assert _identifier(0) == "!"
+        assert _identifier(1) == '"'
+        assert _identifier(93) == "~"
+
+    def test_rolls_over_to_two_characters(self):
+        assert len(_identifier(93)) == 1
+        assert len(_identifier(94)) == 2
+        assert _identifier(94) == "!!"
+
+    def test_identifiers_are_unique(self):
+        idents = [_identifier(i) for i in range(500)]
+        assert len(set(idents)) == 500
+
+    def test_add_var_assigns_sequential_identifiers(self):
+        f = VCDFile(io.StringIO())
+        assert f.add_var("a") == "!"
+        assert f.add_var("b") == '"'
+        assert f.add_var("c") == "#"
+
+
+class TestHeader:
+    def test_timescale_and_structure(self):
+        out = io.StringIO()
+        f = VCDFile(out, timescale="20 ns", scope="cosim", date="unit test")
+        f.add_var("clk")
+        f.add_var("counter", 8, initial=3)
+        f.begin()
+        text = out.getvalue()
+        assert "$timescale 20 ns $end" in text
+        assert "$scope module cosim $end" in text
+        assert "$date unit test $end" in text
+        assert "$var wire 1 ! clk $end" in text
+        assert '$var wire 8 " counter $end' in text
+        assert "$enddefinitions $end" in text
+        # initial values dumped: scalar format for 1-bit, binary for wide
+        assert "0!" in text
+        assert 'b11 "' in text
+
+    def test_spaces_in_names_are_sanitized(self):
+        out = io.StringIO()
+        f = VCDFile(out)
+        f.add_var("my signal")
+        f.begin()
+        assert "my_signal" in out.getvalue()
+
+    def test_add_var_after_begin_is_an_error(self):
+        f = VCDFile(io.StringIO())
+        f.add_var("a")
+        f.begin()
+        with pytest.raises(RuntimeError):
+            f.add_var("b")
+
+    def test_begin_is_idempotent(self):
+        out = io.StringIO()
+        f = VCDFile(out)
+        f.add_var("a")
+        f.begin()
+        first = out.getvalue()
+        f.begin()
+        assert out.getvalue() == first
+
+
+class TestChanges:
+    def make(self):
+        out = io.StringIO()
+        f = VCDFile(out)
+        scalar = f.add_var("flag")
+        wide = f.add_var("word", 32)
+        f.begin()
+        return out, f, scalar, wide
+
+    def body(self, out):
+        """Everything after the initial $dumpvars block."""
+        return out.getvalue().split("$end\n")[-1]
+
+    def test_change_emits_time_and_value(self):
+        out, f, scalar, _ = self.make()
+        f.change(5, scalar, 1)
+        assert self.body(out) == "#5\n1!\n"
+
+    def test_redundant_changes_are_deduped(self):
+        out, f, scalar, _ = self.make()
+        f.change(5, scalar, 1)
+        f.change(6, scalar, 1)  # same value: dropped entirely
+        f.change(7, scalar, 0)
+        body = self.body(out)
+        assert body.count("1!") == 1
+        assert "#6" not in body
+        assert "#7\n0!" in body
+
+    def test_initial_value_is_deduped_too(self):
+        out, f, scalar, _ = self.make()
+        f.change(5, scalar, 0)  # equals the initial dump
+        assert self.body(out) == ""
+
+    def test_wide_signals_use_binary_format(self):
+        out, f, _, wide = self.make()
+        f.change(3, wide, 0xAB)
+        assert "b10101011 \"" in self.body(out)
+
+    def test_same_time_changes_share_one_timestamp(self):
+        out, f, scalar, wide = self.make()
+        f.change(4, scalar, 1)
+        f.change(4, wide, 7)
+        assert self.body(out).count("#4") == 1
+
+    def test_out_of_order_time_is_clamped(self):
+        out, f, scalar, wide = self.make()
+        f.change(10, scalar, 1)
+        f.change(4, wide, 9)  # earlier than the last emitted time
+        body = self.body(out)
+        assert "#4" not in body  # clamped to #10
+        assert body.count("#10") == 1
+        assert 'b1001 "' in body
+
+
+class TestRTLWriter:
+    def test_close_unhooks_the_kernel(self):
+        k = Kernel()
+        clk = k.add_clock("clk", 10)
+        writer = VCDWriter(k, io.StringIO(), signals=[clk])
+        assert k._trace_hook is not None
+        writer.close()
+        assert k._trace_hook is None
+
+    def test_untraced_signals_are_ignored(self):
+        k = Kernel()
+        clk = k.add_clock("clk", 10)
+        k.add_clock("clk2", 6)
+        out = io.StringIO()
+        writer = VCDWriter(k, out, signals=[clk])
+        k.run(25)
+        writer.close()
+        text = out.getvalue()
+        assert "clk2" not in text
+        assert "#5" in text and "#15" in text
