@@ -154,6 +154,27 @@ class FSLChannel:
             self.pop_rejects = 0
             self.max_occupancy = 0
 
+    def state_dict(self) -> dict:
+        """Queued words plus statistics, JSON-safe (checkpointing)."""
+        return {
+            "fifo": [[w.data, int(w.control)] for w in self._fifo],
+            "total_pushed": self.total_pushed,
+            "total_popped": self.total_popped,
+            "push_rejects": self.push_rejects,
+            "pop_rejects": self.pop_rejects,
+            "max_occupancy": self.max_occupancy,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._fifo.clear()
+        self._fifo.extend(FSLWord(data, bool(control))
+                          for data, control in state["fifo"])
+        self.total_pushed = state["total_pushed"]
+        self.total_popped = state["total_popped"]
+        self.push_rejects = state["push_rejects"]
+        self.pop_rejects = state["pop_rejects"]
+        self.max_occupancy = state["max_occupancy"]
+
     def __len__(self) -> int:
         return len(self._fifo)
 

@@ -12,6 +12,8 @@ uses:
   the per-cycle reference and check the golden-trace corpus
 * ``mb32-profile`` — run a program or co-simulation under telemetry
   (Chrome trace, VCD, metrics snapshot, region/phase profilers)
+* ``mb32-faultsim`` — seeded fault-injection campaigns with detection
+  and rollback recovery over a hardware/software partition
 
 Images are stored in a simple container: a JSON header line (entry,
 sizes, symbols) followed by the raw memory image — enough for the
@@ -22,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from dataclasses import dataclass
 
@@ -375,8 +378,20 @@ def dse_main(argv: list[str] | None = None) -> int:
                         help="per-point wall-clock budget in seconds")
     parser.add_argument("--retries", type=int, default=None,
                         help="extra attempts for timeout/error points")
+    parser.add_argument("--retry-backoff", type=float, default=0.0,
+                        metavar="S",
+                        help="base seconds of seeded jittered exponential "
+                             "backoff between retries (0 = immediate); "
+                             "the schedule is recorded per point")
     parser.add_argument("--cache", metavar="DIR",
                         help="on-disk result cache directory")
+    parser.add_argument("--journal", metavar="FILE",
+                        help="JSON-lines resume journal: every completed "
+                             "point is flushed here as it lands")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay completed points from --journal and "
+                             "evaluate only the rest (a killed sweep "
+                             "continues where it stopped)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore any cache named in the spec file")
     parser.add_argument("--telemetry", action="store_true",
@@ -404,6 +419,10 @@ def dse_main(argv: list[str] | None = None) -> int:
     retries = args.retries if args.retries is not None else \
         int(options["retries"] or 0)
     cache_dir = None if args.no_cache else (args.cache or options["cache"])
+    if args.resume and not args.journal:
+        print("mb32-dse: spec error: --resume needs --journal FILE",
+              file=sys.stderr)
+        return 2
 
     def progress(p):
         if args.quiet:
@@ -418,15 +437,22 @@ def dse_main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
 
-    report = sweep(
-        specs,
-        workers=workers,
-        timeout_s=timeout_s,
-        retries=retries,
-        cache_dir=cache_dir,
-        progress=progress,
-        telemetry=args.telemetry,
-    )
+    try:
+        report = sweep(
+            specs,
+            workers=workers,
+            timeout_s=timeout_s,
+            retries=retries,
+            retry_backoff_s=args.retry_backoff,
+            cache_dir=cache_dir,
+            journal=args.journal,
+            resume=args.resume,
+            progress=progress,
+            telemetry=args.telemetry,
+        )
+    except ValueError as exc:  # journal/spec mismatch on --resume
+        print(f"mb32-dse: spec error: {exc}", file=sys.stderr)
+        return 2
 
     constraints = {
         key: options["constraints"][spec_key]
@@ -487,6 +513,36 @@ def _add_profile_output_flags(parser: argparse.ArgumentParser) -> None:
                              "dropped)")
 
 
+def _profile_preflight(args: argparse.Namespace) -> str | None:
+    """Validate input/output paths before any (possibly long) run.
+
+    Returns a one-line error message, or ``None`` when everything is
+    usable — ``mb32-profile`` turns a message into exit code 2 so a
+    bad path fails in milliseconds instead of after the simulation.
+    """
+    if args.app == "run" and args.source != "-":
+        if not os.path.exists(args.source):
+            return f"image or source file not found: {args.source}"
+        if os.path.isdir(args.source):
+            return f"{args.source} is a directory, not a program"
+        if not os.access(args.source, os.R_OK):
+            return f"cannot read {args.source}: permission denied"
+    for flag in ("trace", "vcd", "metrics"):
+        path = getattr(args, flag, None)
+        if not path or path == "-":
+            continue
+        parent = os.path.dirname(path) or "."
+        if not os.path.isdir(parent):
+            return (f"--{flag}: directory does not exist: "
+                    f"{parent}")
+        if os.path.isdir(path):
+            return f"--{flag}: {path} is a directory"
+        probe = path if os.path.exists(path) else parent
+        if not os.access(probe, os.W_OK):
+            return f"--{flag}: cannot write {path}: permission denied"
+    return None
+
+
 def profile_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="mb32-profile",
@@ -520,6 +576,11 @@ def profile_main(argv: list[str] | None = None) -> int:
     for p in (run_p, cordic_p, matmul_p):
         _add_profile_output_flags(p)
     args = parser.parse_args(argv)
+
+    error = _profile_preflight(args)
+    if error is not None:
+        print(f"mb32-profile: error: {error}", file=sys.stderr)
+        return 2
 
     import contextlib
 
@@ -775,10 +836,145 @@ def conformance_main(argv: list[str] | None = None) -> int:
     return 1 if failed else 0
 
 
+# ----------------------------------------------------------------------
+# mb32-faultsim
+# ----------------------------------------------------------------------
+def faultsim_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mb32-faultsim",
+        description="run a seeded fault-injection campaign against a "
+                    "hardware/software partition and classify every "
+                    "trial (masked / sdc / detected / hang / crash / "
+                    "recovered)",
+    )
+    sub = parser.add_subparsers(dest="app", required=True)
+
+    cordic_p = sub.add_parser(
+        "cordic", help="inject into a CORDIC co-simulation")
+    cordic_p.add_argument("--p", type=int, default=4,
+                          help="pipeline PEs (must be >= 1)")
+    cordic_p.add_argument("--iters", type=int, default=24)
+    cordic_p.add_argument("--ndata", type=int, default=32)
+    cordic_p.add_argument("--fifo-depth", type=int, default=16)
+
+    matmul_p = sub.add_parser(
+        "matmul", help="inject into a matmul co-simulation")
+    matmul_p.add_argument("--block", type=int, default=4,
+                          help="hardware block size (must be >= 1)")
+    matmul_p.add_argument("--matn", type=int, default=16)
+    matmul_p.add_argument("--fifo-depth", type=int, default=16)
+
+    for p in (cordic_p, matmul_p):
+        p.add_argument("--trials", type=int, default=100,
+                       help="number of seeded injections (default 100)")
+        p.add_argument("--seed", type=int, default=2005,
+                       help="campaign master seed; trial i derives "
+                            "'{seed}/{i}'")
+        p.add_argument("--recovery", choices=("none", "rollback"),
+                       default="none",
+                       help="rollback restores the pre-fault checkpoint "
+                            "and re-runs on any non-masked outcome")
+        p.add_argument("--max-retries", type=int, default=2,
+                       help="rollback attempts per trial (default 2)")
+        p.add_argument("--deadlock-window", type=int, default=2_048,
+                       help="progress-watchdog window in cycles "
+                            "(default 2048 — tight, to detect hangs fast)")
+        p.add_argument("--max-cycles", type=int, default=2_000_000,
+                       help="per-trial cycle budget")
+        p.add_argument("--jobs", type=int, default=0, metavar="N",
+                       help="worker processes (0 = in-process sequential; "
+                            "reports are identical either way)")
+        p.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-trial wall-clock budget in seconds")
+        p.add_argument("--journal", metavar="FILE",
+                       help="JSON-lines resume journal for the trial sweep")
+        p.add_argument("--resume", action="store_true",
+                       help="replay completed trials from --journal")
+        p.add_argument("--json", metavar="FILE", dest="json_out",
+                       help="write the deterministic JSON report here "
+                            "('-' for stdout)")
+        p.add_argument("--markdown", metavar="FILE",
+                       help="write a Markdown outcome table here")
+        p.add_argument("--quiet", action="store_true",
+                       help="suppress the per-trial progress line")
+    args = parser.parse_args(argv)
+
+    from repro.apps.common import VerificationError
+    from repro.faults import CampaignConfig, run_campaign
+
+    if args.app == "cordic":
+        design = {"p": args.p, "iters": args.iters, "ndata": args.ndata,
+                  "fifo_depth": args.fifo_depth}
+    else:
+        design = {"block": args.block, "matn": args.matn,
+                  "fifo_depth": args.fifo_depth}
+    if args.resume and not args.journal:
+        print("mb32-faultsim: error: --resume needs --journal FILE",
+              file=sys.stderr)
+        return 2
+    try:
+        config = CampaignConfig(
+            app=args.app,
+            design=design,
+            trials=args.trials,
+            seed=args.seed,
+            recovery=args.recovery,
+            max_retries=args.max_retries,
+            deadlock_window=args.deadlock_window,
+            max_cycles=args.max_cycles,
+        )
+    except ValueError as exc:
+        print(f"mb32-faultsim: error: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(p):
+        if args.quiet:
+            return
+        last = p.last.metrics if p.last is not None and p.last.metrics \
+            else None
+        outcome = last["outcome"] if last else (
+            p.last.status if p.last is not None else "")
+        print(f"mb32-faultsim: [{p.done}/{p.total}] {outcome}",
+              file=sys.stderr)
+
+    try:
+        report = run_campaign(
+            config,
+            workers=args.jobs,
+            timeout_s=args.timeout,
+            journal=args.journal,
+            resume=args.resume,
+            progress=progress,
+        )
+    except ValueError as exc:  # bad design params or journal mismatch
+        print(f"mb32-faultsim: error: {exc}", file=sys.stderr)
+        return 2
+    except VerificationError as exc:
+        print(f"mb32-faultsim: baseline run failed: {exc}",
+              file=sys.stderr)
+        return 1
+
+    print(report.to_markdown())
+    if args.json_out:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.json_out == "-":
+            print(payload)
+        else:
+            with open(args.json_out, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            print(f"mb32-faultsim: wrote {args.json_out}")
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as fh:
+            fh.write(report.to_markdown())
+        print(f"mb32-faultsim: wrote {args.markdown}")
+    counts = report.counts
+    return 1 if counts["crash"] else 0
+
+
 if __name__ == "__main__":  # pragma: no cover - manual dispatch
     tool = sys.argv[1] if len(sys.argv) > 1 else ""
     mains = {"cc": cc_main, "as": as_main, "run": run_main,
              "objdump": objdump_main, "gdbserver": gdbserver_main,
              "dse": dse_main, "conformance": conformance_main,
-             "profile": profile_main}
+             "profile": profile_main, "faultsim": faultsim_main}
     sys.exit(mains.get(tool, cc_main)(sys.argv[2:]))

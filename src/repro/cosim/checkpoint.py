@@ -1,0 +1,129 @@
+"""Versioned, fingerprinted on-disk checkpoints of a co-simulation.
+
+A checkpoint is a JSON document with three layers of protection:
+
+* a **format version** (:data:`CHECKPOINT_VERSION`) so a future layout
+  change fails loudly instead of silently misrestoring,
+* a **configuration fingerprint** binding the snapshot to the exact
+  program image, CPU configuration and model structure it was taken
+  from — restoring into a different design is an error, not a corrupted
+  run,
+* a **payload digest** (sha256 over the canonical state JSON) so a
+  truncated or hand-edited file is rejected before any state is loaded.
+
+Restore-then-continue is bit-identical to an uninterrupted run: the
+state dict covers every observable (``tests/test_checkpoint.py``
+enforces this against the conformance oracle's observation surface in
+both per-cycle and fast-forward modes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any
+
+from repro.cosim.environment import CoSimulation
+
+#: bump when the state-dict layout changes incompatibly
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """Raised for unreadable, corrupt or mismatched checkpoint files."""
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _payload_digest(state: dict) -> str:
+    return hashlib.sha256(_canonical(state).encode()).hexdigest()
+
+
+def sim_fingerprint(sim: CoSimulation) -> str:
+    """Deterministic identity of the *configuration* (not the state):
+    program image + entry, CPU configuration, model structure (block
+    names/types, probe count) and FSL channel names/depths."""
+    h = hashlib.sha256()
+    h.update(sim.program.image)
+    h.update(str(sim.program.entry).encode())
+    h.update(repr(sim.cpu.config).encode())
+    for model in sim._models:
+        h.update(model.name.encode())
+        for block in model.blocks:
+            h.update(f"{block.name}:{type(block).__name__}".encode())
+        h.update(str(len(model.probes)).encode())
+    for channel in sim.mb_block.channels():
+        h.update(f"{channel.name}:{channel.depth}".encode())
+    return h.hexdigest()
+
+
+def checkpoint_to_dict(sim: CoSimulation, label: str = "") -> dict:
+    """Build the full checkpoint document (in-memory form)."""
+    state = sim.state_dict()
+    return {
+        "format": "mb32-checkpoint",
+        "version": CHECKPOINT_VERSION,
+        "label": label,
+        "fingerprint": sim_fingerprint(sim),
+        "cycle": sim.cpu.cycle,
+        "digest": _payload_digest(state),
+        "state": state,
+    }
+
+
+def restore_from_dict(sim: CoSimulation, doc: dict) -> None:
+    """Validate and load a checkpoint document into ``sim``."""
+    if not isinstance(doc, dict) or doc.get("format") != "mb32-checkpoint":
+        raise CheckpointError("not an mb32 checkpoint document")
+    if doc.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {doc.get('version')} unsupported "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    fingerprint = sim_fingerprint(sim)
+    if doc.get("fingerprint") != fingerprint:
+        raise CheckpointError(
+            "checkpoint was taken from a different configuration "
+            f"(fingerprint {str(doc.get('fingerprint'))[:12]}… != "
+            f"{fingerprint[:12]}…)"
+        )
+    state = doc.get("state")
+    if not isinstance(state, dict):
+        raise CheckpointError("checkpoint has no state payload")
+    if doc.get("digest") != _payload_digest(state):
+        raise CheckpointError("checkpoint payload digest mismatch "
+                              "(truncated or modified file)")
+    sim.load_state(state)
+
+
+def save_checkpoint(sim: CoSimulation, path: str, label: str = "") -> dict:
+    """Write a checkpoint atomically (tmp + rename); returns the doc."""
+    doc = checkpoint_to_dict(sim, label)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as fh:
+            json.dump(doc, fh)
+        os.replace(tmp, path)
+    except OSError as exc:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise CheckpointError(f"cannot write checkpoint {path}: {exc}") from exc
+    return doc
+
+
+def load_checkpoint(sim: CoSimulation, path: str) -> dict:
+    """Read, validate and load a checkpoint file into ``sim``."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    except ValueError as exc:
+        raise CheckpointError(f"checkpoint {path} is not JSON: {exc}") from exc
+    restore_from_dict(sim, doc)
+    return doc

@@ -16,7 +16,7 @@ a deprecated sequential wrapper over the same engine.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.cosim.environment import CoSimResult
@@ -53,6 +53,10 @@ class DSEResult:
     #: with telemetry enabled; None otherwise (including cache hits,
     #: which skip the instrumented run)
     metrics: dict[str, Any] | None = None
+    #: seconds of seeded jittered exponential backoff the engine waited
+    #: before each retry of this point (one entry per retry; empty when
+    #: the first attempt stood or backoff is disabled)
+    backoff_s: list[float] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -83,6 +87,7 @@ class DSEResult:
             "cache_hit": self.cache_hit,
             "fingerprint": self.fingerprint,
             "attempts": self.attempts,
+            "backoff_s": list(self.backoff_s),
         }
         if self.result is not None:
             out.update(

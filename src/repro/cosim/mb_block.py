@@ -104,3 +104,19 @@ class MicroBlazeBlock:
     def reset(self, reset_stats: bool = True) -> None:
         for ch in self.channels():
             ch.reset(reset_stats=reset_stats)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Per-channel FIFO contents + statistics, keyed by name."""
+        return {ch.name: ch.state_dict() for ch in self.channels()}
+
+    def load_state(self, state: dict) -> None:
+        channels = {ch.name: ch for ch in self.channels()}
+        if set(state) != set(channels):
+            missing = set(channels).symmetric_difference(state)
+            raise ValueError(
+                "checkpoint channel set does not match this block: "
+                + ", ".join(sorted(missing))
+            )
+        for name, ch in channels.items():
+            ch.load_state(state[name])

@@ -20,11 +20,16 @@ Fault tolerance and speed come from four mechanisms:
   co-simulation's wall clock; the parent hard-kills workers that
   overrun the budget plus a grace period,
 * **bounded retry** — ``timeout``/``error`` points (the environmental
-  failures) are re-queued up to ``retries`` extra times; deterministic
-  failures (``deadlock``, ``self-check-failed``) are not,
+  failures) are re-queued up to ``retries`` extra times, optionally
+  behind a seeded jittered exponential backoff whose schedule is
+  recorded on the :class:`~repro.cosim.dse.DSEResult`,
 * **on-disk result cache** — results are keyed by a deterministic
   design-point fingerprint (program image hash + CPU configuration +
-  model parameters), so re-sweeps only pay for new points.
+  model parameters), so re-sweeps only pay for new points,
+* **resume journal** — with ``journal=`` every completed point is
+  appended to a JSON-lines file as it lands; a killed sweep restarted
+  with ``resume=True`` replays the journal and only evaluates the
+  points that never finished.
 
 A ``progress`` callback receives a :class:`SweepProgress` snapshot
 (points done, cache hits, worker utilization, aggregate cycles/sec)
@@ -40,6 +45,7 @@ import json
 import multiprocessing
 import os
 import pathlib
+import random
 import time
 from collections import deque
 from dataclasses import asdict, dataclass
@@ -77,6 +83,19 @@ RETRIABLE = frozenset({STATUS_TIMEOUT, STATUS_ERROR})
 #: per-point timeout before hard-killing it — covers program build time
 #: and the bounded latency of the in-run timeout check.
 KILL_GRACE_S = 10.0
+
+
+def retry_backoff_delay(
+    base_s: float, name: str, attempt: int, seed: int = 0
+) -> float:
+    """Seeded jittered exponential backoff before retry ``attempt``
+    (1-based) of point ``name``: ``base * 2**(attempt-1) * U[0.5, 1.5)``
+    with the jitter drawn from a stream keyed by (seed, name, attempt),
+    so the schedule is reproducible across runs and worker counts."""
+    if base_s <= 0.0:
+        return 0.0
+    rng = random.Random(f"mb32-sweep-backoff/{seed}/{name}/{attempt}")
+    return base_s * (2 ** (attempt - 1)) * (0.5 + rng.random())
 
 
 # ----------------------------------------------------------------------
@@ -196,6 +215,160 @@ class SweepCache:
 
 
 # ----------------------------------------------------------------------
+# The resume journal
+# ----------------------------------------------------------------------
+def sweep_spec_id(points: list[DesignPoint | DesignSpec]) -> str:
+    """Deterministic identity of a sweep *specification* — the ordered
+    list of point names, factories and parameters.  A journal written
+    for one spec refuses to resume a different one."""
+    h = hashlib.sha256()
+    for point in points:
+        h.update(point.name.encode())
+        kind = getattr(point.kind, "value", None)
+        h.update(str(kind).encode())
+        h.update((getattr(point, "factory", "") or "").encode())
+        h.update(
+            json.dumps(point.params, sort_keys=True, default=repr).encode()
+        )
+    return h.hexdigest()
+
+
+def _payload_to_jsonable(payload: dict[str, Any]) -> dict[str, Any]:
+    """Flatten an evaluation payload to plain JSON for the journal."""
+    return {
+        "status": payload["status"],
+        "error": payload["error"],
+        "fingerprint": payload["fingerprint"],
+        "cache_hit": payload["cache_hit"],
+        "metrics": payload.get("metrics"),
+        "result": (
+            _result_to_dict(payload["result"])
+            if payload["result"] is not None
+            else None
+        ),
+        "estimate": (
+            _estimate_to_dict(payload["estimate"])
+            if payload["estimate"] is not None
+            else None
+        ),
+    }
+
+
+def _payload_from_jsonable(d: dict[str, Any]) -> dict[str, Any]:
+    return {
+        "status": d["status"],
+        "error": d["error"],
+        "fingerprint": d["fingerprint"],
+        "cache_hit": d["cache_hit"],
+        "metrics": d.get("metrics"),
+        "result": (
+            _result_from_dict(d["result"]) if d["result"] is not None
+            else None
+        ),
+        "estimate": (
+            _estimate_from_dict(d["estimate"]) if d["estimate"] is not None
+            else None
+        ),
+    }
+
+
+class SweepJournal:
+    """JSON-lines journal of completed sweep points.
+
+    Line 1 is a header binding the file to a sweep spec
+    (:func:`sweep_spec_id`); every further line is one completed point
+    (index, attempts, backoff schedule, full payload), flushed as it
+    lands so a killed sweep loses at most the in-flight points.  A
+    truncated final line (the kill landed mid-write) is silently
+    dropped on load.
+    """
+
+    FORMAT = "mb32-dse-journal"
+    VERSION = 1
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = pathlib.Path(path)
+        self._fh: Any = None
+
+    def load(self, spec_id: str, total: int) -> dict[int, dict[str, Any]]:
+        """Replayable entries from an existing journal, keyed by point
+        index.  Raises ``ValueError`` if the file is not a journal or
+        belongs to a different sweep spec."""
+        if not self.path.exists():
+            return {}
+        entries: dict[int, dict[str, Any]] = {}
+        header_seen = False
+        with open(self.path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    break  # truncated tail from a mid-write kill
+                if not header_seen:
+                    header_seen = True
+                    if (
+                        not isinstance(rec, dict)
+                        or rec.get("format") != self.FORMAT
+                        or rec.get("version") != self.VERSION
+                    ):
+                        raise ValueError(
+                            f"{self.path} is not an mb32-dse resume journal"
+                        )
+                    if rec.get("spec_id") != spec_id:
+                        raise ValueError(
+                            f"journal {self.path} belongs to a different "
+                            f"sweep spec — cannot resume"
+                        )
+                    continue
+                index = rec.get("index")
+                if isinstance(index, int) and 0 <= index < total:
+                    entries[index] = rec
+        return entries
+
+    def open(self, spec_id: str, total: int) -> None:
+        """Open for appending, writing the header on a fresh file."""
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._fh = open(self.path, "a")
+        if fresh:
+            self._write(
+                {
+                    "format": self.FORMAT,
+                    "version": self.VERSION,
+                    "spec_id": spec_id,
+                    "points": total,
+                }
+            )
+
+    def record(
+        self,
+        index: int,
+        attempts: int,
+        backoff_s: list[float],
+        payload: dict[str, Any],
+    ) -> None:
+        self._write(
+            {
+                "index": index,
+                "attempts": attempts,
+                "backoff_s": list(backoff_s),
+                "payload": _payload_to_jsonable(payload),
+            }
+        )
+
+    def _write(self, rec: dict[str, Any]) -> None:
+        self._fh.write(json.dumps(rec) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+# ----------------------------------------------------------------------
 # Per-point evaluation (shared by workers and the in-process path)
 # ----------------------------------------------------------------------
 def _evaluate(
@@ -302,11 +475,14 @@ def _evaluate(
 
 
 def _worker_main(point, cache_dir, timeout_s, conn,
-                 telemetry: bool = False) -> None:
+                 telemetry: bool = False, evaluate=None) -> None:
     """Entry point of a sweep worker process: evaluate one point and
-    ship the payload back over the pipe."""
+    ship the payload back over the pipe.  ``evaluate`` lets other
+    campaign engines (e.g. fault injection) reuse this pool with their
+    own module-level evaluation function."""
     try:
-        payload = _evaluate(point, cache_dir, timeout_s, telemetry)
+        evaluate_fn = evaluate if evaluate is not None else _evaluate
+        payload = evaluate_fn(point, cache_dir, timeout_s, telemetry)
     except BaseException as exc:  # never let a worker die silently
         payload = {
             "status": STATUS_ERROR,
@@ -400,7 +576,9 @@ class SweepReport:
 # ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
-def _to_dse_result(point, payload, attempts: int) -> DSEResult:
+def _to_dse_result(
+    point, payload, attempts: int, backoff_s: list[float] | None = None
+) -> DSEResult:
     return DSEResult(
         point=point,
         result=payload["result"],
@@ -411,6 +589,7 @@ def _to_dse_result(point, payload, attempts: int) -> DSEResult:
         fingerprint=payload["fingerprint"],
         attempts=attempts,
         metrics=payload.get("metrics"),
+        backoff_s=list(backoff_s) if backoff_s else [],
     )
 
 
@@ -420,10 +599,15 @@ def sweep(
     workers: int = 0,
     timeout_s: float | None = None,
     retries: int = 0,
+    retry_backoff_s: float = 0.0,
+    backoff_seed: int = 0,
     cache_dir: str | os.PathLike | None = None,
+    journal: str | os.PathLike | None = None,
+    resume: bool = False,
     progress: Callable[[SweepProgress], None] | None = None,
     kill_grace_s: float = KILL_GRACE_S,
     telemetry: bool = False,
+    evaluate: Callable[..., dict[str, Any]] | None = None,
 ) -> SweepReport:
     """Evaluate every design point; never raises for a failing point.
 
@@ -442,9 +626,23 @@ def sweep(
         that overrun it by more than ``kill_grace_s`` are hard-killed.
     retries:
         Extra attempts granted to ``timeout``/``error`` points.
+    retry_backoff_s:
+        Base delay of the seeded jittered exponential backoff slept
+        before each retry (``0.0`` retries immediately).  The schedule
+        is deterministic per (``backoff_seed``, point name, attempt)
+        and recorded on ``DSEResult.backoff_s``.
     cache_dir:
         Directory for the on-disk result cache; ``None`` disables
         caching.
+    journal:
+        Path of a JSON-lines resume journal; every completed point is
+        appended (and flushed) as it lands.  Without ``resume`` an
+        existing journal is overwritten.
+    resume:
+        Replay completed points from ``journal`` instead of
+        re-evaluating them; only the points missing from the journal
+        run.  Raises ``ValueError`` if the journal belongs to a
+        different sweep spec.
     progress:
         Callback receiving a :class:`SweepProgress` after each
         completed point.
@@ -453,23 +651,52 @@ def sweep(
         and attach its metric snapshot (a plain dict) to the
         :class:`DSEResult` — works in workers too, since the scope is
         entered worker-side.
+    evaluate:
+        Replacement for the per-point evaluation function (same
+        signature and payload contract as the internal default).  Must
+        be a picklable module-level function for ``workers > 0``.  This
+        is how the fault-injection campaign runner reuses the pool.
     """
     points = list(points)
     total = len(points)
     cache_path = str(cache_dir) if cache_dir is not None else None
+    evaluate_fn = evaluate if evaluate is not None else _evaluate
     start = time.perf_counter()
     results: list[DSEResult | None] = [None] * total
     attempts = [0] * total
+    backoffs: list[list[float]] = [[] for _ in range(total)]
     state = {"done": 0, "cache_hits": 0, "cycles": 0}
 
-    def record(index: int, payload: dict[str, Any], active: int) -> None:
-        result = _to_dse_result(points[index], payload, attempts[index])
+    journal_obj: SweepJournal | None = None
+    replayed: dict[int, dict[str, Any]] = {}
+    if journal is not None:
+        spec_id = sweep_spec_id(points)
+        journal_obj = SweepJournal(journal)
+        if resume:
+            replayed = journal_obj.load(spec_id, total)
+        else:
+            journal_obj.path.unlink(missing_ok=True)
+        journal_obj.open(spec_id, total)
+
+    def record(
+        index: int,
+        payload: dict[str, Any],
+        active: int,
+        journal_write: bool = True,
+    ) -> None:
+        result = _to_dse_result(
+            points[index], payload, attempts[index], backoffs[index]
+        )
         results[index] = result
         state["done"] += 1
         if result.cache_hit:
             state["cache_hits"] += 1
         if result.result is not None:
             state["cycles"] += result.result.cycles
+        if journal_obj is not None and journal_write:
+            journal_obj.record(
+                index, attempts[index], backoffs[index], payload
+            )
         if progress is not None:
             progress(
                 SweepProgress(
@@ -483,32 +710,56 @@ def sweep(
                 )
             )
 
-    if workers <= 0:
-        for index in range(total):
-            while True:
-                attempts[index] += 1
-                payload = _evaluate(points[index], cache_path, timeout_s,
-                                    telemetry)
-                if (
-                    payload["status"] in RETRIABLE
-                    and attempts[index] <= retries
-                ):
-                    continue
-                break
-            record(index, payload, active=0)
-    else:
-        for point in points:
-            if not isinstance(point, DesignSpec):
-                raise TypeError(
-                    f"parallel sweeps need picklable DesignSpec points; "
-                    f"{point.name!r} is a {type(point).__name__} "
-                    f"(closure-built) — evaluate it with workers=0 or "
-                    f"describe it as a DesignSpec"
-                )
-        _run_parallel(
-            points, workers, timeout_s, retries, cache_path,
-            kill_grace_s, attempts, record, telemetry,
-        )
+    for index in sorted(replayed):
+        entry = replayed[index]
+        attempts[index] = int(entry.get("attempts", 1))
+        backoffs[index] = [float(d) for d in entry.get("backoff_s", [])]
+        record(index, _payload_from_jsonable(entry["payload"]),
+               active=0, journal_write=False)
+
+    remaining = [i for i in range(total) if results[i] is None]
+    try:
+        if workers <= 0:
+            for index in remaining:
+                while True:
+                    attempts[index] += 1
+                    payload = evaluate_fn(points[index], cache_path,
+                                          timeout_s, telemetry)
+                    if (
+                        payload["status"] in RETRIABLE
+                        and attempts[index] <= retries
+                    ):
+                        delay = retry_backoff_delay(
+                            retry_backoff_s, points[index].name,
+                            attempts[index], backoff_seed,
+                        )
+                        backoffs[index].append(delay)
+                        if delay > 0:
+                            time.sleep(delay)
+                        continue
+                    break
+                record(index, payload, active=0)
+        elif remaining:
+            for point in points:
+                if not isinstance(point, DesignSpec):
+                    raise TypeError(
+                        f"parallel sweeps need picklable DesignSpec points; "
+                        f"{point.name!r} is a {type(point).__name__} "
+                        f"(closure-built) — evaluate it with workers=0 or "
+                        f"describe it as a DesignSpec"
+                    )
+            _run_parallel(
+                points, workers, timeout_s, retries, cache_path,
+                kill_grace_s, attempts, record, telemetry,
+                remaining=remaining,
+                retry_backoff_s=retry_backoff_s,
+                backoff_seed=backoff_seed,
+                backoffs=backoffs,
+                evaluate=evaluate,
+            )
+    finally:
+        if journal_obj is not None:
+            journal_obj.close()
 
     return SweepReport(
         results=list(results),  # type: ignore[arg-type]
@@ -525,12 +776,23 @@ def _run_parallel(
     cache_path: str | None,
     kill_grace_s: float,
     attempts: list[int],
-    record: Callable[[int, dict[str, Any], int], None],
+    record: Callable[..., None],
     telemetry: bool = False,
+    remaining: list[int] | None = None,
+    retry_backoff_s: float = 0.0,
+    backoff_seed: int = 0,
+    backoffs: list[list[float]] | None = None,
+    evaluate: Callable[..., dict[str, Any]] | None = None,
 ) -> None:
     """Fan points out over a bounded pool of worker processes."""
     ctx = multiprocessing.get_context()
-    pending: deque[int] = deque(range(len(points)))
+    pending: deque[int] = deque(
+        remaining if remaining is not None else range(len(points))
+    )
+    if backoffs is None:
+        backoffs = [[] for _ in points]
+    # index -> earliest perf_counter() time it may be (re-)launched
+    ready_at: dict[int, float] = {}
     # index -> (process, parent_conn, hard_deadline or None)
     active: dict[int, tuple[Any, Any, float | None]] = {}
 
@@ -540,7 +802,7 @@ def _run_parallel(
         proc = ctx.Process(
             target=_worker_main,
             args=(points[index], cache_path, timeout_s, child_conn,
-                  telemetry),
+                  telemetry, evaluate),
             daemon=True,
         )
         proc.start()
@@ -557,6 +819,13 @@ def _run_parallel(
         conn.close()
         proc.join()
         if payload["status"] in RETRIABLE and attempts[index] <= retries:
+            delay = retry_backoff_delay(
+                retry_backoff_s, points[index].name,
+                attempts[index], backoff_seed,
+            )
+            backoffs[index].append(delay)
+            if delay > 0:
+                ready_at[index] = time.perf_counter() + delay
             pending.append(index)
         else:
             record(index, payload, active=len(active))
@@ -564,10 +833,23 @@ def _run_parallel(
     try:
         while pending or active:
             while pending and len(active) < workers:
-                launch(pending.popleft())
+                now = time.perf_counter()
+                index = next(
+                    (i for i in pending if ready_at.get(i, 0.0) <= now),
+                    None,
+                )
+                if index is None:
+                    break  # all queued points are backing off
+                pending.remove(index)
+                ready_at.pop(index, None)
+                launch(index)
 
             conns = {conn: index for index, (_, conn, _) in active.items()}
-            ready = _conn_wait(list(conns), timeout=0.05)
+            if conns:
+                ready = _conn_wait(list(conns), timeout=0.05)
+            else:
+                time.sleep(0.01)  # only backing-off points remain
+                ready = []
             for conn in ready:
                 index = conns[conn]
                 proc = active[index][0]

@@ -1,0 +1,37 @@
+"""Seeded fault injection, detection and rollback recovery.
+
+Submodules:
+
+* :mod:`repro.faults.plan` — :class:`FaultSpec`/:class:`FaultPlan` and
+  seeded plan generation,
+* :mod:`repro.faults.inject` — the cycle-exact :class:`FaultInjector`,
+* :mod:`repro.faults.detect` — post-run invariant checkers,
+* :mod:`repro.faults.campaign` — N-trial campaigns with classified
+  outcomes, rollback recovery and deterministic reports (the
+  ``mb32-faultsim`` CLI).
+"""
+
+from repro.faults.campaign import (
+    ALL_OUTCOMES,
+    CampaignConfig,
+    CampaignReport,
+    run_campaign,
+    run_trial,
+)
+from repro.faults.detect import check_invariants
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec, generate_plan
+
+__all__ = [
+    "ALL_OUTCOMES",
+    "CampaignConfig",
+    "CampaignReport",
+    "run_campaign",
+    "run_trial",
+    "check_invariants",
+    "FaultInjector",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "generate_plan",
+]

@@ -1,0 +1,482 @@
+"""Seeded fault-injection campaigns with rollback recovery.
+
+A campaign answers the robustness question the paper's board-level
+flow cannot: *what happens to this hardware/software partition when a
+single-event upset lands mid-run?*  It fault-free-baselines a design,
+derives N single-fault :class:`~repro.faults.plan.FaultPlan` trials
+from a master seed, runs every trial to a classified outcome —
+
+``masked``
+    the program finished with exit 0 and the golden-model check passed,
+``sdc``
+    exit 0 but wrong answers (silent data corruption),
+``detected``
+    a nonzero exit or a tripped architectural invariant,
+``hang``
+    the progress watchdog fired or the cycle budget ran out,
+``crash``
+    the simulation raised (e.g. a bus fault from a corrupted pointer),
+``recovered``
+    any of the above, converted to a clean finish by rolling back to
+    the pre-fault checkpoint and re-running,
+
+— and aggregates them into a deterministic report: same seed and
+configuration give a byte-identical JSON document, sequentially or on
+any number of workers, because trials are pure functions of their
+parameters and the report carries no wall-clock fields.
+
+Trial fan-out reuses the DSE sweep engine
+(:func:`repro.cosim.sweep.sweep` with a custom ``evaluate``), so
+campaigns inherit its worker pool, per-trial timeouts, retry/backoff
+and resume journal for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.cosim.checkpoint import checkpoint_to_dict, restore_from_dict
+from repro.cosim.dse import STATUS_ERROR, STATUS_OK
+from repro.cosim.environment import CoSimDeadlock, CoSimulation
+from repro.cosim.partition import DesignSpec
+from repro.cosim.sweep import SweepProgress, retry_backoff_delay, sweep
+from repro.faults.detect import check_invariants
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultPlan, generate_plan
+from repro.iss.cpu import HaltReason
+from repro.telemetry.events import COSIM_TRACK, ROLLBACK, TelemetryEvent
+
+OUTCOME_MASKED = "masked"
+OUTCOME_SDC = "sdc"
+OUTCOME_DETECTED = "detected"
+OUTCOME_HANG = "hang"
+OUTCOME_CRASH = "crash"
+OUTCOME_RECOVERED = "recovered"
+
+ALL_OUTCOMES = (
+    OUTCOME_MASKED, OUTCOME_SDC, OUTCOME_DETECTED,
+    OUTCOME_HANG, OUTCOME_CRASH, OUTCOME_RECOVERED,
+)
+
+#: outcomes that trigger rollback recovery (everything but masked)
+RECOVERABLE = frozenset(
+    {OUTCOME_SDC, OUTCOME_DETECTED, OUTCOME_HANG, OUTCOME_CRASH}
+)
+
+
+@dataclass
+class CampaignConfig:
+    """Everything that determines a campaign, and nothing else.
+
+    Two configs with equal fields produce byte-identical reports;
+    ``to_dict`` is embedded in the report for provenance.
+    """
+
+    app: str                       # "cordic" | "matmul"
+    design: dict[str, Any] = field(default_factory=dict)
+    trials: int = 100
+    seed: int = 2005
+    recovery: str = "none"         # "none" | "rollback"
+    max_retries: int = 2
+    backoff_s: float = 0.0         # recorded, never slept (see run_trial)
+    deadlock_window: int = 2_048
+    max_cycles: int = 2_000_000
+    kinds: tuple[str, ...] = FAULT_KINDS
+    faults_per_trial: int = 1
+
+    def __post_init__(self) -> None:
+        if self.app not in ("cordic", "matmul"):
+            raise ValueError(f"unknown campaign app {self.app!r}")
+        if self.recovery not in ("none", "rollback"):
+            raise ValueError(f"unknown recovery policy {self.recovery!r}")
+        if self.trials < 1:
+            raise ValueError("trials must be >= 1")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "app": self.app,
+            "design": dict(self.design),
+            "trials": self.trials,
+            "seed": self.seed,
+            "recovery": self.recovery,
+            "max_retries": self.max_retries,
+            "backoff_s": self.backoff_s,
+            "deadlock_window": self.deadlock_window,
+            "max_cycles": self.max_cycles,
+            "kinds": list(self.kinds),
+            "faults_per_trial": self.faults_per_trial,
+        }
+
+
+def build_design(app: str, design_params: dict[str, Any]):
+    """Instantiate the application design a campaign targets.
+
+    Only hardware-accelerated partitions are injectable (the software-
+    only path has no co-simulation to perturb), so ``p``/``block`` must
+    be >= 1.
+    """
+    if app == "cordic":
+        from repro.apps.cordic.design import CordicDesign
+
+        design = CordicDesign(**design_params)
+        if design.p == 0:
+            raise ValueError("fault campaigns need a hardware partition "
+                             "(CORDIC p >= 1)")
+        return design
+    from repro.apps.matmul.design import MatmulDesign
+
+    design = MatmulDesign(**design_params)
+    if design.block == 0:
+        raise ValueError("fault campaigns need a hardware partition "
+                         "(matmul block >= 1)")
+    return design
+
+
+def _make_sim(design, deadlock_window: int) -> CoSimulation:
+    return CoSimulation(
+        design.program,
+        design.model,
+        design.mb,
+        cpu_config=design.cpu_config,
+        deadlock_window=deadlock_window,
+    )
+
+
+def _finish_and_classify(
+    sim: CoSimulation,
+    design,
+    run: Callable[[], None],
+) -> tuple[str, str]:
+    """Execute ``run`` and classify what the simulation ended as."""
+    try:
+        run()
+    except CoSimDeadlock as exc:
+        return OUTCOME_HANG, f"watchdog: {exc}"
+    except Exception as exc:  # a corrupted run may fault anywhere
+        return OUTCOME_CRASH, f"{type(exc).__name__}: {exc}"
+    cpu = sim.cpu
+    if cpu.exit_code is None:
+        return OUTCOME_HANG, "cycle budget exhausted without exit"
+    anomalies = check_invariants(sim)
+    if anomalies:
+        return OUTCOME_DETECTED, "; ".join(anomalies)
+    try:
+        design._verify(cpu)
+    except AssertionError as exc:
+        return OUTCOME_SDC, str(exc)
+    return OUTCOME_MASKED, ""
+
+
+def run_trial(
+    app: str,
+    design_params: dict[str, Any],
+    plan: dict[str, Any],
+    *,
+    recovery: str = "none",
+    max_retries: int = 2,
+    backoff_s: float = 0.0,
+    deadlock_window: int = 2_048,
+    max_cycles: int = 2_000_000,
+) -> dict[str, Any]:
+    """One seeded injection: run, classify, optionally roll back.
+
+    The pre-fault checkpoint is taken in memory immediately before the
+    first scheduled fault; rollback restores it, clears the halt and
+    re-runs **without re-injecting** (an SEU is transient), so a
+    deterministic simulation recovers in one retry.  The retry backoff
+    schedule is computed with the sweep engine's seeded jitter and
+    *recorded*, never slept — campaign reports must not depend on wall
+    time.
+
+    Returns a plain JSON-safe dict — the per-trial record of the
+    campaign report.
+    """
+    fault_plan = FaultPlan.from_dict(plan)
+    design = build_design(app, design_params)
+    sim = _make_sim(design, deadlock_window)
+    cpu = sim.cpu
+
+    record: dict[str, Any] = {
+        "seed": fault_plan.seed,
+        "plan": fault_plan.to_dict(),
+        "injected": [],
+        "rollbacks": 0,
+        "backoff_s": [],
+        "checkpoint_cycle": None,
+    }
+
+    first = min(fault_plan.first_cycle, max_cycles)
+    sim.run(max_cycles=first)
+    if cpu.halted and cpu.halt_reason is not HaltReason.MAX_CYCLES:
+        # The program finished before the fault cycle — nothing landed.
+        outcome, detail = _finish_and_classify(sim, design, lambda: None)
+        record.update(
+            outcome=outcome,
+            original_outcome=outcome,
+            detail=detail or "program ended before the fault cycle",
+            cycles=cpu.cycle,
+            exit_code=cpu.exit_code,
+        )
+        return record
+
+    checkpoint = checkpoint_to_dict(sim, label=f"pre-fault {fault_plan.seed}")
+    record["checkpoint_cycle"] = checkpoint["cycle"]
+
+    injector = FaultInjector(sim, fault_plan)
+    outcome, detail = _finish_and_classify(
+        sim, design, lambda: injector.run(max_cycles)
+    )
+    record["injected"] = injector.log
+    original_outcome, original_detail = outcome, detail
+
+    if recovery == "rollback" and outcome in RECOVERABLE:
+        for attempt in range(1, max_retries + 1):
+            record["backoff_s"].append(
+                retry_backoff_delay(
+                    backoff_s, f"trial/{fault_plan.seed}", attempt
+                )
+            )
+            restore_from_dict(sim, checkpoint)
+            cpu.resume()
+            record["rollbacks"] = attempt
+            if sim.telemetry is not None:
+                sim.telemetry.bus.emit(
+                    TelemetryEvent(
+                        ROLLBACK, checkpoint["cycle"], COSIM_TRACK,
+                        value=attempt,
+                    )
+                )
+            outcome, detail = _finish_and_classify(
+                sim, design,
+                lambda: sim.run(max_cycles=max_cycles - checkpoint["cycle"]),
+            )
+            if outcome == OUTCOME_MASKED:
+                outcome = OUTCOME_RECOVERED
+                detail = (
+                    f"recovered after {attempt} rollback(s) from "
+                    f"{original_outcome}"
+                )
+                break
+
+    record.update(
+        outcome=outcome,
+        original_outcome=original_outcome,
+        detail=detail if outcome != original_outcome else original_detail,
+        cycles=cpu.cycle,
+        exit_code=cpu.exit_code,
+    )
+    return record
+
+
+# ----------------------------------------------------------------------
+# Sweep-engine adapter
+# ----------------------------------------------------------------------
+def _evaluate_trial(
+    point: DesignSpec,
+    cache_dir: str | None,
+    timeout_s: float | None,
+    telemetry: bool = False,
+) -> dict[str, Any]:
+    """Sweep-engine ``evaluate`` hook: one trial per design point.
+
+    The trial record travels in the payload's ``metrics`` slot; trials
+    are never cached (``cache_dir`` is ignored) and a healthy trial is
+    always ``STATUS_OK`` regardless of its fault outcome — outcomes
+    are campaign data, not evaluation failures.
+    """
+    del cache_dir, timeout_s, telemetry
+    payload: dict[str, Any] = {
+        "status": STATUS_ERROR,
+        "error": None,
+        "result": None,
+        "estimate": None,
+        "fingerprint": None,
+        "cache_hit": False,
+        "metrics": None,
+    }
+    try:
+        params = dict(point.params)
+        trial = run_trial(
+            params["app"],
+            params["design"],
+            params["plan"],
+            recovery=params["recovery"],
+            max_retries=params["max_retries"],
+            backoff_s=params["backoff_s"],
+            deadlock_window=params["deadlock_window"],
+            max_cycles=params["max_cycles"],
+        )
+    except Exception as exc:
+        payload["error"] = f"trial failed: {type(exc).__name__}: {exc}"
+        return payload
+    payload.update(status=STATUS_OK, metrics=trial)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# The campaign report
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignReport:
+    """Outcome of one campaign: config echo, baseline, every trial."""
+
+    config: CampaignConfig
+    baseline_cycles: int
+    trials: list[dict[str, Any]]
+    workers: int = 0
+
+    @property
+    def counts(self) -> dict[str, int]:
+        counts = {outcome: 0 for outcome in ALL_OUTCOMES}
+        for trial in self.trials:
+            counts[trial["outcome"]] = counts.get(trial["outcome"], 0) + 1
+        return counts
+
+    def to_dict(self) -> dict[str, Any]:
+        """Deterministic JSON form — deliberately no wall-clock fields,
+        so equal (config, seed) gives a byte-identical document."""
+        return {
+            "format": "mb32-faultsim-report",
+            "version": 1,
+            "config": self.config.to_dict(),
+            "baseline_cycles": self.baseline_cycles,
+            "counts": self.counts,
+            "trials": self.trials,
+        }
+
+    def to_markdown(self) -> str:
+        counts = self.counts
+        total = len(self.trials)
+        lines = [
+            f"# Fault campaign: {self.config.app} "
+            f"({self.config.trials} trials, seed {self.config.seed}, "
+            f"recovery={self.config.recovery})",
+            "",
+            f"Fault-free baseline: {self.baseline_cycles} cycles.",
+            "",
+            "| outcome | trials | share |",
+            "|---|---:|---:|",
+        ]
+        for outcome in ALL_OUTCOMES:
+            n = counts[outcome]
+            share = f"{100.0 * n / total:.1f}%" if total else "-"
+            lines.append(f"| {outcome} | {n} | {share} |")
+        detected = sum(
+            counts[o] for o in
+            (OUTCOME_DETECTED, OUTCOME_HANG, OUTCOME_CRASH,
+             OUTCOME_RECOVERED)
+        )
+        lines += [
+            "",
+            f"Silent data corruption: {counts[OUTCOME_SDC]}/{total}; "
+            f"detected or recovered: {detected}/{total}.",
+            "",
+        ]
+        return "\n".join(lines)
+
+
+def campaign_specs(
+    config: CampaignConfig, baseline_cycles: int,
+    channels: tuple[str, ...], ports: tuple[str, ...], mem_words: int,
+) -> list[DesignSpec]:
+    """One picklable spec per trial, each carrying its full plan."""
+    specs = []
+    for i in range(config.trials):
+        plan = generate_plan(
+            f"{config.seed}/{i}",
+            max_cycle=max(2, baseline_cycles - 1),
+            mem_words=mem_words,
+            channels=channels,
+            ports=ports,
+            kinds=config.kinds,
+            n_faults=config.faults_per_trial,
+        )
+        specs.append(
+            DesignSpec(
+                name=f"{config.app}-trial-{i:05d}",
+                factory="repro.faults.campaign:run_trial",
+                params={
+                    "app": config.app,
+                    "design": dict(config.design),
+                    "plan": plan.to_dict(),
+                    "recovery": config.recovery,
+                    "max_retries": config.max_retries,
+                    "backoff_s": config.backoff_s,
+                    "deadlock_window": config.deadlock_window,
+                    "max_cycles": config.max_cycles,
+                },
+            )
+        )
+    return specs
+
+
+def run_campaign(
+    config: CampaignConfig,
+    *,
+    workers: int = 0,
+    timeout_s: float | None = None,
+    retries: int = 0,
+    journal: str | None = None,
+    resume: bool = False,
+    progress: Callable[[SweepProgress], None] | None = None,
+) -> CampaignReport:
+    """Baseline the design, then run every seeded trial.
+
+    ``workers``/``timeout_s``/``retries``/``journal``/``resume`` are
+    forwarded to the sweep engine; retries only re-run trials whose
+    *evaluation* failed (worker crash), never reclassify outcomes.
+    """
+    design = build_design(config.app, config.design)
+    baseline = design.run()  # also validates the fault-free partition
+    sim = _make_sim(design, config.deadlock_window)
+    channels = tuple(c.name for c in sim.mb_block.channels())
+    ports = tuple(
+        f"{block.name}:{port}"
+        for model in sim._models
+        for block in model.blocks
+        for port in block.outputs
+    )
+    mem_words = max(1, len(design.program.image) // 4)
+
+    specs = campaign_specs(
+        config, baseline.cycles, channels, ports, mem_words
+    )
+    report = sweep(
+        specs,
+        workers=workers,
+        timeout_s=timeout_s,
+        retries=retries,
+        journal=journal,
+        resume=resume,
+        progress=progress,
+        evaluate=_evaluate_trial,
+    )
+
+    trials: list[dict[str, Any]] = []
+    for i, r in enumerate(report.results):
+        if r.status == STATUS_OK and r.metrics is not None:
+            trial = dict(r.metrics)
+        else:  # the evaluation itself died (worker crash etc.)
+            trial = {
+                "seed": f"{config.seed}/{i}",
+                "plan": specs[i].params["plan"],
+                "injected": [],
+                "rollbacks": 0,
+                "backoff_s": [],
+                "checkpoint_cycle": None,
+                "outcome": OUTCOME_CRASH,
+                "original_outcome": OUTCOME_CRASH,
+                "detail": r.error or "trial evaluation failed",
+                "cycles": None,
+                "exit_code": None,
+            }
+        trial["trial"] = i
+        trials.append(trial)
+
+    return CampaignReport(
+        config=config,
+        baseline_cycles=baseline.cycles,
+        trials=trials,
+        workers=max(workers, 0),
+    )

@@ -1,0 +1,56 @@
+"""Fault detection: invariant checkers over a finished (or wedged) run.
+
+Detection layers, cheapest first:
+
+* the **progress watchdog** — ``CoSimulation(deadlock_window=…)``
+  raises :class:`~repro.cosim.environment.CoSimDeadlock` when no
+  instruction retires for the configured window; campaigns tighten it
+  so hangs surface in thousands, not millions, of cycles,
+* **architectural invariants** checked here after the run: FSL error
+  flags, FIFO occupancy beyond physical depth, missing exit,
+* the **result invariant** — the application's own golden-model
+  verification (``design._verify``), which separates silent data
+  corruption from masked faults.
+
+Each tripped checker emits a ``FAULT_DETECTED`` telemetry event when
+the simulation has telemetry attached.
+"""
+
+from __future__ import annotations
+
+from repro.cosim.environment import CoSimulation
+from repro.telemetry.events import (
+    COSIM_TRACK,
+    FAULT_DETECTED,
+    TelemetryEvent,
+)
+
+
+def check_invariants(sim: CoSimulation) -> list[str]:
+    """Architectural anomalies visible in the simulation state.
+
+    Returns one human-readable string per tripped invariant (empty
+    list = clean) and mirrors each to the telemetry bus.
+    """
+    anomalies: list[str] = []
+    if sim.cpu.fsl is not None and sim.cpu.fsl.error:
+        anomalies.append("fsl-error: control-bit mismatch flagged by "
+                         "the FSL interface")
+    for channel in sim.mb_block.channels():
+        if channel.occupancy > channel.depth:
+            anomalies.append(
+                f"fifo-overflow: {channel.name} holds "
+                f"{channel.occupancy} words (depth {channel.depth})"
+            )
+    if sim.cpu.halted and sim.cpu.exit_code not in (0, None):
+        anomalies.append(f"exit-code: program exited with "
+                         f"{sim.cpu.exit_code}")
+    if sim.telemetry is not None:
+        for anomaly in anomalies:
+            name = anomaly.split(":", 1)[0]
+            sim.telemetry.bus.emit(
+                TelemetryEvent(
+                    FAULT_DETECTED, sim.cpu.cycle, COSIM_TRACK, text=name
+                )
+            )
+    return anomalies

@@ -149,6 +149,7 @@ class CPU:
         self.exit_code = None
         self._busy = 0
         self._pending = None
+        self._pending_next_pc = 0
         self._delay_target = None
         self._in_delay_slot = False
         self._stall_since = None
@@ -156,6 +157,67 @@ class CPU:
         self.stats.reset()
         self.fsl.error = False  # MSR[FSL] from a previous run must not leak
         self.mem.reset_devices()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Full architectural + microarchitectural state, JSON-safe.
+
+        Wiring (breakpoints, hooks, event bus) and caches (the decode
+        cache) are excluded: they are re-created by construction or
+        rebuilt on demand and do not affect observable behaviour.
+        """
+        pend = self._pending
+        return {
+            "regs": list(self.regs),
+            "pc": self.pc,
+            "carry": self.carry,
+            "imm_latch": self.imm_latch,
+            "cycle": self.cycle,
+            "halted": self.halted,
+            "halt_reason": self.halt_reason.value if self.halt_reason else None,
+            "exit_code": self.exit_code,
+            "busy": self._busy,
+            "pending": None if pend is None else {
+                "put": pend.put,
+                "channel": pend.channel,
+                "control": pend.control,
+                "blocking": pend.blocking,
+                "rd": pend.rd,
+                "value": pend.value,
+            },
+            "pending_next_pc": self._pending_next_pc,
+            "delay_target": self._delay_target,
+            "in_delay_slot": self._in_delay_slot,
+            "stall_since": self._stall_since,
+            "stats": self.stats.state_dict(),
+            "fsl": self.fsl.state_dict(),
+            "mem": self.mem.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.regs[:] = state["regs"]
+        self.pc = state["pc"]
+        self.carry = state["carry"]
+        self.imm_latch = state["imm_latch"]
+        self.cycle = state["cycle"]
+        self.halted = state["halted"]
+        self.halt_reason = (
+            HaltReason(state["halt_reason"]) if state["halt_reason"] else None
+        )
+        self.exit_code = state["exit_code"]
+        self._busy = state["busy"]
+        pend = state["pending"]
+        self._pending = None if pend is None else _PendingFSL(**pend)
+        self._pending_next_pc = state["pending_next_pc"]
+        self._delay_target = state["delay_target"]
+        self._in_delay_slot = state["in_delay_slot"]
+        self._stall_since = state["stall_since"]
+        self.stats.load_state(state["stats"])
+        self.fsl.load_state(state["fsl"])
+        self.mem.load_state(state["mem"])
+        self._decode_cache.clear()
 
     def tick(self) -> None:
         """Advance the processor by exactly one clock cycle."""
@@ -310,6 +372,7 @@ class CPU:
         spec = instr.spec
         kind = spec.kind
         self.stats.instructions += 1
+        self.stats.last_retire_cycle = self.cycle
         self.stats.by_mnemonic[spec.mnemonic] += 1
         if self.trace_hook is not None:
             self.trace_hook(self.pc, instr.word)

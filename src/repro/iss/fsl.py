@@ -28,6 +28,14 @@ class FSLPorts:
         #: set when a get/cget saw a control-bit mismatch (MSR[FSL]).
         self.error = False
 
+    def state_dict(self) -> dict:
+        """Only the sticky error flag is port-unit state; the channels
+        themselves are owned (and checkpointed) by the hardware side."""
+        return {"error": self.error}
+
+    def load_state(self, state: dict) -> None:
+        self.error = state["error"]
+
     def connect_input(self, channel_id: int, channel: FSLChannel) -> None:
         """Attach ``channel`` as input FSL ``channel_id`` (read side)."""
         self._check_id(channel_id)

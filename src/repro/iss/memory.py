@@ -14,6 +14,8 @@ unaligned-access exception).
 
 from __future__ import annotations
 
+import base64
+import zlib
 from typing import Callable, Protocol
 
 #: MMIO addresses used by the runtime (crt0 writes the exit code here).
@@ -50,6 +52,21 @@ class BRAM:
         if length is None:
             length = self.size - addr
         return bytes(self._mem[addr : addr + length])
+
+    # -- checkpointing -------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot (contents compressed + base64-encoded)."""
+        return {
+            "size": self.size,
+            "mem": base64.b64encode(
+                zlib.compress(bytes(self._mem))).decode("ascii"),
+        }
+
+    def load_state(self, state: dict) -> None:
+        if state["size"] != self.size:
+            raise BusFault(
+                f"checkpoint BRAM size {state['size']:#x} != {self.size:#x}")
+        self._mem[:] = zlib.decompress(base64.b64decode(state["mem"]))
 
     # -- accesses --------------------------------------------------------
     def _check(self, addr: int, size: int) -> None:
@@ -161,6 +178,25 @@ class AddressSpace:
         """Clear device state (exit code, console buffer) for a re-run."""
         self.exit_device.exit_code = None
         self.console.buffer.clear()
+
+    def state_dict(self) -> dict:
+        """BRAM contents plus debug-device state (checkpointing).
+
+        The OPB window mapping and write hook are wiring, not state —
+        a restored simulation re-creates them at construction time.
+        """
+        return {
+            "bram": self.bram.state_dict(),
+            "exit_code": self.exit_device.exit_code,
+            "console": list(self.console.buffer),
+            "extra_latency": self.extra_latency,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.bram.load_state(state["bram"])
+        self.exit_device.exit_code = state["exit_code"]
+        self.console.buffer[:] = state["console"]
+        self.extra_latency = state["extra_latency"]
 
     def add_device(self, addr: int, device: Device) -> None:
         if addr < self.DEVICE_BASE:

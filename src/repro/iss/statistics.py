@@ -25,6 +25,10 @@ class CPUStats:
     stores: int = 0
     fsl_gets: int = 0
     fsl_puts: int = 0
+    #: absolute cycle of the most recent instruction issue — the
+    #: persisted tripwire of the co-simulation progress watchdog, so
+    #: deadlock detection survives checkpoint/restore bit-identically
+    last_retire_cycle: int = 0
     by_mnemonic: Counter = field(default_factory=Counter)
 
     @property
@@ -42,6 +46,7 @@ class CPUStats:
         self.stores = 0
         self.fsl_gets = 0
         self.fsl_puts = 0
+        self.last_retire_cycle = 0
         self.by_mnemonic.clear()
 
     def to_dict(self) -> dict[str, Any]:
@@ -60,6 +65,36 @@ class CPUStats:
             "fsl_puts": self.fsl_puts,
             "by_mnemonic": dict(sorted(self.by_mnemonic.items())),
         }
+
+    def state_dict(self) -> dict[str, Any]:
+        """Serializable snapshot of every counter (checkpointing)."""
+        return {
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "stall_cycles": self.stall_cycles,
+            "branches_taken": self.branches_taken,
+            "branches_not_taken": self.branches_not_taken,
+            "loads": self.loads,
+            "stores": self.stores,
+            "fsl_gets": self.fsl_gets,
+            "fsl_puts": self.fsl_puts,
+            "last_retire_cycle": self.last_retire_cycle,
+            "by_mnemonic": dict(sorted(self.by_mnemonic.items())),
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        self.instructions = state["instructions"]
+        self.cycles = state["cycles"]
+        self.stall_cycles = state["stall_cycles"]
+        self.branches_taken = state["branches_taken"]
+        self.branches_not_taken = state["branches_not_taken"]
+        self.loads = state["loads"]
+        self.stores = state["stores"]
+        self.fsl_gets = state["fsl_gets"]
+        self.fsl_puts = state["fsl_puts"]
+        self.last_retire_cycle = state["last_retire_cycle"]
+        self.by_mnemonic.clear()
+        self.by_mnemonic.update(state["by_mnemonic"])
 
     def summary(self, top_mnemonics: int = 5) -> str:
         lines = [

@@ -87,6 +87,29 @@ class Block:
         for out in self.outputs.values():
             out.value = 0
 
+    # -- checkpointing -------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot: output-port values plus any internal
+        state a subclass contributes via :meth:`extra_state`."""
+        state = {"outputs": {n: p.value for n, p in self.outputs.items()}}
+        extra = self.extra_state()
+        if extra:
+            state["extra"] = extra
+        return state
+
+    def load_state(self, state: dict) -> None:
+        for name, value in state["outputs"].items():
+            self.outputs[name].value = value
+        self.load_extra_state(state.get("extra", {}))
+
+    def extra_state(self) -> dict:
+        """Internal (non-port) state; stateful subclasses override both
+        this and :meth:`load_extra_state` symmetrically."""
+        return {}
+
+    def load_extra_state(self, extra: dict) -> None:
+        pass
+
     # -- fast-forward (activity tracking) -----------------------------------
     def idle_horizon(self) -> int:
         """Cycles this block can safely be *not simulated at all*,

@@ -69,6 +69,13 @@ class _PipelinedBlock(Block):
             return 0
         return IDLE_FOREVER
 
+    def extra_state(self) -> dict:
+        return {"pipe": [dict(stage) for stage in self._pipe]}
+
+    def load_extra_state(self, extra: dict) -> None:
+        if self.sequential:
+            self._pipe = deque(dict(stage) for stage in extra["pipe"])
+
 
 class Add(_PipelinedBlock):
     """``s = a + b`` (wrap) over ``width`` bits."""
@@ -265,6 +272,12 @@ class Accumulator(Block):
         if next_state == self._state and self.outputs["q"].value == self._state:
             return IDLE_FOREVER
         return 0
+
+    def extra_state(self) -> dict:
+        return {"state": self._state}
+
+    def load_extra_state(self, extra: dict) -> None:
+        self._state = extra["state"]
 
     def resources(self) -> Resources:
         # adder + register

@@ -67,5 +67,11 @@ class Counter(SeqBlock):
             return IDLE_FOREVER
         return 0
 
+    def extra_state(self) -> dict:
+        return {"state": self._state}
+
+    def load_extra_state(self, extra: dict) -> None:
+        self._state = extra["state"]
+
     def resources(self) -> Resources:
         return Resources(slices=slices_for_bits(self.width))

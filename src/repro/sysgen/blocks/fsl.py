@@ -138,6 +138,14 @@ class FSLWrite(SeqBlock):
         super().reset()
         self.dropped = 0
 
+    def extra_state(self) -> dict:
+        # The bound channel is owned (and checkpointed) by the
+        # MicroBlazeBlock; only the drop counter lives here.
+        return {"dropped": self.dropped}
+
+    def load_extra_state(self, extra: dict) -> None:
+        self.dropped = extra["dropped"]
+
     def idle_horizon(self) -> int:
         ch = self.channel
         if ch is None:

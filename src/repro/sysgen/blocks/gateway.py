@@ -57,6 +57,12 @@ class GatewayIn(CombBlock):
         super().reset()
         self._raw = 0
 
+    def extra_state(self) -> dict:
+        return {"raw": self._raw}
+
+    def load_extra_state(self, extra: dict) -> None:
+        self._raw = extra["raw"]
+
     def resources(self) -> Resources:
         return Resources()  # gateways are simulation artifacts
 

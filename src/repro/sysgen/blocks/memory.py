@@ -51,6 +51,12 @@ class Register(SeqBlock):
             return IDLE_FOREVER
         return 0
 
+    def extra_state(self) -> dict:
+        return {"state": self._state}
+
+    def load_extra_state(self, extra: dict) -> None:
+        self._state = extra["state"]
+
     def resources(self) -> Resources:
         return Resources(slices=slices_for_bits(self.width))
 
@@ -88,6 +94,12 @@ class Delay(SeqBlock):
         if any(v != head for v in self._line):
             return 0
         return IDLE_FOREVER
+
+    def extra_state(self) -> dict:
+        return {"line": list(self._line)}
+
+    def load_extra_state(self, extra: dict) -> None:
+        self._line = deque(extra["line"])
 
     def resources(self) -> Resources:
         # SRL16: one LUT per bit per 16 stages.
@@ -149,6 +161,12 @@ class FIFO(SeqBlock):
         ):
             return IDLE_FOREVER
         return 0
+
+    def extra_state(self) -> dict:
+        return {"fifo": list(self._fifo)}
+
+    def load_extra_state(self, extra: dict) -> None:
+        self._fifo = deque(extra["fifo"])
 
     def resources(self) -> Resources:
         if self.depth * self.width > 4096:  # BRAM-based beyond ~4 kbit
@@ -218,6 +236,13 @@ class RAM(SeqBlock):
         ):
             return IDLE_FOREVER
         return 0
+
+    def extra_state(self) -> dict:
+        return {"mem": list(self._mem), "read_reg": self._read_reg}
+
+    def load_extra_state(self, extra: dict) -> None:
+        self._mem = list(extra["mem"])
+        self._read_reg = extra["read_reg"]
 
     def resources(self) -> Resources:
         bits = self.depth * self.width

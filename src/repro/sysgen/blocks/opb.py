@@ -69,6 +69,15 @@ class OPBRegisterBank(SeqBlock):
                 return 0
         return IDLE_FOREVER
 
+    def extra_state(self) -> dict:
+        return {"cmd": list(self._cmd), "sts": list(self._sts),
+                "writes": self._writes}
+
+    def load_extra_state(self, extra: dict) -> None:
+        self._cmd = list(extra["cmd"])
+        self._sts = list(extra["sts"])
+        self._writes = extra["writes"]
+
     # ------------------------------------------------------------------
     # OPB slave side
     # ------------------------------------------------------------------

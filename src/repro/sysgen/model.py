@@ -230,6 +230,42 @@ class Model:
             probe.samples.clear()
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Dynamic state only: cycle count, settle flag, probe samples
+        and per-block state.  The schedule is derived (rebuilt by
+        :meth:`compile`) and the wiring is construction-time."""
+        return {
+            "cycle": self.cycle,
+            "settled": self._settled,
+            "probes": [list(p.samples) for p in self.probes],
+            "blocks": {b.name: b.state_dict() for b in self.blocks},
+        }
+
+    def load_state(self, state: dict) -> None:
+        if set(state["blocks"]) != self._names:
+            missing = self._names.symmetric_difference(state["blocks"])
+            raise ModelError(
+                "checkpoint block set does not match this model: "
+                + ", ".join(sorted(missing))
+            )
+        if len(state["probes"]) != len(self.probes):
+            raise ModelError(
+                f"checkpoint has {len(state['probes'])} probes, "
+                f"model has {len(self.probes)}"
+            )
+        self.cycle = state["cycle"]
+        self._settled = state["settled"]
+        for probe, samples in zip(self.probes, state["probes"]):
+            probe.samples[:] = samples
+        for block in self.blocks:
+            block.load_state(state["blocks"][block.name])
+        if self._schedule is None:
+            self.compile()
+            self._settled = state["settled"]
+
+    # ------------------------------------------------------------------
     def resources(self) -> Resources:
         """Total estimated resources over all blocks (the System
         Generator resource-estimator analogue)."""

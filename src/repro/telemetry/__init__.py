@@ -136,6 +136,15 @@ class Telemetry:
         if self.phases is not None:
             self.phases.reset()
 
+    # -- checkpointing --------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """Metric contents only — the collector is stateless and the
+        profilers are wall-clock instruments, not simulated state."""
+        return {"registry": self.registry.state_dict()}
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        self.registry.load_state(state["registry"])
+
     # -- reports --------------------------------------------------------
     def snapshot(self, result: "CoSimResult | None" = None) -> dict[str, Any]:
         """Full metrics snapshot as a plain JSON-safe dict."""

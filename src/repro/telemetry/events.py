@@ -46,9 +46,19 @@ BLOCK_FIRE = "block_fire"
 FAST_FORWARD = "fast_forward"
 #: the deadlock watchdog fired (track="cosim", value=pc)
 DEADLOCK = "deadlock"
+#: a fault was injected into the running simulation (track="cosim",
+#: cycle=injection cycle, text=fault description)
+FAULT_INJECTED = "fault_injected"
+#: a detector (watchdog, invariant checker, crash) flagged the run
+#: (track="cosim", text=detector name)
+FAULT_DETECTED = "fault_detected"
+#: recovery rolled the simulation back to a checkpoint (track="cosim",
+#: cycle=cycle rolled back *to*, value=retry attempt number)
+ROLLBACK = "rollback"
 
 ALL_KINDS = (RETIRE, STALL_BEGIN, STALL_END, FSL_PUSH, FSL_POP,
-             BLOCK_FIRE, FAST_FORWARD, DEADLOCK)
+             BLOCK_FIRE, FAST_FORWARD, DEADLOCK, FAULT_INJECTED,
+             FAULT_DETECTED, ROLLBACK)
 
 #: the track name used for processor-side events
 CPU_TRACK = "cpu"

@@ -130,6 +130,35 @@ class MetricsRegistry:
             out[name] = histogram.to_dict()
         return out
 
+    # -- checkpointing -------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """Lossless (unlike :meth:`snapshot`, which renders histograms
+        for reporting): enough to rebuild every metric object."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: [g.value, g.high_water]
+                       for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {"bounds": list(h.bounds), "counts": list(h.counts),
+                    "total": h.total, "sum": h.sum}
+                for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        self.reset()
+        for name, value in state["counters"].items():
+            self.counter(name).value = value
+        for name, (value, high_water) in state["gauges"].items():
+            gauge = self.gauge(name)
+            gauge.value = value
+            gauge.high_water = high_water
+        for name, payload in state["histograms"].items():
+            histogram = self.histogram(name, tuple(payload["bounds"]))
+            histogram.counts = list(payload["counts"])
+            histogram.total = payload["total"]
+            histogram.sum = payload["sum"]
+
 
 class MetricsCollector:
     """Bus subscriber that folds events into a :class:`MetricsRegistry`.

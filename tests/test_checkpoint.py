@@ -1,0 +1,238 @@
+"""Checkpoint/restore bit-identity and on-disk format validation.
+
+The contract under test: interrupting a co-simulation at an arbitrary
+cycle, saving a checkpoint to disk, restoring it into a **freshly
+constructed** simulation and running the remaining cycle budget must be
+bit-identical — across the conformance oracle's *entire* observation
+surface — to the same scenario run uninterrupted.  This must hold in
+both per-cycle and fast-forward modes, and for every outcome class
+(clean exit, max-cycles and watchdog deadlock).
+
+Fast representative cases run in tier-1; the ``conformance``-marked
+sweep widens the corpus to 25+ seeded random scenarios per mode.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.conformance.oracle import _capture, _make_sim, _run, first_divergence
+from repro.conformance.scenario import (
+    OpSpec,
+    PipelineSpec,
+    Scenario,
+    ScenarioGenerator,
+    StageSpec,
+    build_program,
+)
+from repro.cosim.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    checkpoint_to_dict,
+    load_checkpoint,
+    restore_from_dict,
+    save_checkpoint,
+)
+
+MODES = ("per_cycle", "fast_forward")
+
+#: statuses whose runs can be cleanly cut at an intermediate cycle
+INTERRUPTIBLE = ("exit", "max_cycles", "deadlock")
+
+
+def _uninterrupted(scenario, program, *, fast_forward):
+    sim, _trace = _make_sim(scenario, program, fast_forward=fast_forward)
+    status, error = _run(sim, scenario.max_cycles)
+    return _capture(sim, "uninterrupted", status, error, None)
+
+
+def _restored(scenario, program, *, fast_forward, cut, path):
+    """Run to ``cut`` cycles, checkpoint to disk, restore into a fresh
+    sim and finish the remaining budget there."""
+    sim, _trace = _make_sim(scenario, program, fast_forward=fast_forward)
+    sim.run(max_cycles=cut)
+    save_checkpoint(sim, str(path), label=scenario.name)
+
+    fresh, _trace2 = _make_sim(scenario, program, fast_forward=fast_forward)
+    load_checkpoint(fresh, str(path))
+    fresh.cpu.resume()  # clear the MAX_CYCLES halt at the cut point
+    status, error = _run(fresh, scenario.max_cycles - cut)
+    return _capture(fresh, "restored", status, error, None)
+
+
+def _assert_roundtrip(scenario, tmp_path, *, fast_forward):
+    program = build_program(scenario)
+    ref = _uninterrupted(scenario, program, fast_forward=fast_forward)
+    if ref.status not in INTERRUPTIBLE or ref.cycles < 6:
+        pytest.skip(f"{scenario.name}: {ref.status} in {ref.cycles} cycles "
+                    "cannot be interrupted")
+    # One early and one late cut so both a barely-started and a nearly
+    # finished snapshot are exercised.
+    for fraction in (3, 2):
+        cut = max(1, (ref.cycles * (fraction - 1)) // fraction)
+        cut = min(cut, ref.cycles - 1)
+        obs = _restored(scenario, program, fast_forward=fast_forward,
+                        cut=cut, path=tmp_path / f"{scenario.name}.ckpt")
+        hit = first_divergence(ref.comparable(), obs.comparable())
+        assert hit is None, (
+            f"{scenario.name} [{'ff' if fast_forward else 'pc'}] cut at "
+            f"cycle {cut}/{ref.cycles}: restored run diverges at "
+            f"{hit[0]}: uninterrupted={hit[1]!r} restored={hit[2]!r}"
+        )
+
+
+# --------------------------------------------------------------------------
+# tier-1: fast representative scenarios
+
+
+@pytest.mark.parametrize("index", range(4))
+@pytest.mark.parametrize("mode", MODES)
+def test_roundtrip_random_scenarios(index, mode, tmp_path):
+    scenario = ScenarioGenerator(seed=11, max_cycles=30_000).scenario(index)
+    _assert_roundtrip(scenario, tmp_path, fast_forward=(mode == "fast_forward"))
+
+
+def _deadlock_scenario():
+    """Hand-built scenario that trips the progress watchdog: a blocking
+    get from a channel whose pipeline never receives input."""
+    return Scenario(
+        name="ckpt-deadlock",
+        seed="ckpt/deadlock",
+        fifo_depth=4,
+        pipelines=(PipelineSpec(channel=0, stages=(StageSpec("inv"),)),),
+        ops=(OpSpec(kind="session", channel=0, count=2, interleaved=True),
+             OpSpec(kind="starve_get", channel=0)),
+        max_cycles=40_000,
+    )
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_roundtrip_through_deadlock(mode, tmp_path):
+    """Restore-then-continue must report the deadlock at the *same*
+    absolute cycle as the uninterrupted run (the watchdog is persisted
+    state, not run-relative bookkeeping)."""
+    scenario = _deadlock_scenario()
+    program = build_program(scenario)
+    fast_forward = mode == "fast_forward"
+    ref = _uninterrupted(scenario, program, fast_forward=fast_forward)
+    assert ref.status == "deadlock"
+    _assert_roundtrip(scenario, tmp_path, fast_forward=fast_forward)
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_roundtrip_max_cycles(mode, tmp_path):
+    """A run that halts on the cycle budget restores bit-identically."""
+    base = ScenarioGenerator(seed=11, max_cycles=30_000).scenario(0)
+    program = build_program(base)
+    full = _uninterrupted(base, program, fast_forward=(mode == "fast_forward"))
+    assert full.status == "exit" and full.cycles > 20
+    from dataclasses import replace
+    scenario = replace(base, max_cycles=full.cycles // 2)
+    _assert_roundtrip(scenario, tmp_path,
+                      fast_forward=(mode == "fast_forward"))
+
+
+# --------------------------------------------------------------------------
+# on-disk format validation
+
+
+def _small_sim():
+    scenario = ScenarioGenerator(seed=11, max_cycles=30_000).scenario(0)
+    program = build_program(scenario)
+    sim, _trace = _make_sim(scenario, program, fast_forward=False)
+    sim.run(max_cycles=50)
+    return scenario, program, sim
+
+
+def test_checkpoint_document_shape(tmp_path):
+    _scenario, _program, sim = _small_sim()
+    doc = save_checkpoint(sim, str(tmp_path / "c.json"), label="probe")
+    on_disk = json.loads((tmp_path / "c.json").read_text())
+    assert on_disk == doc
+    assert on_disk["format"] == "mb32-checkpoint"
+    assert on_disk["version"] == CHECKPOINT_VERSION
+    assert on_disk["label"] == "probe"
+    assert on_disk["cycle"] == sim.cpu.cycle
+    assert len(on_disk["fingerprint"]) == 64
+
+
+def test_restore_rejects_wrong_format():
+    _scenario, _program, sim = _small_sim()
+    with pytest.raises(CheckpointError, match="not an mb32 checkpoint"):
+        restore_from_dict(sim, {"format": "something-else"})
+
+
+def test_restore_rejects_wrong_version():
+    _scenario, _program, sim = _small_sim()
+    doc = checkpoint_to_dict(sim)
+    doc["version"] = CHECKPOINT_VERSION + 1
+    with pytest.raises(CheckpointError, match="version"):
+        restore_from_dict(sim, doc)
+
+
+def test_restore_rejects_foreign_fingerprint():
+    """A checkpoint from one design must not load into another."""
+    _scenario, _program, sim = _small_sim()
+    doc = checkpoint_to_dict(sim)
+    other_scenario = ScenarioGenerator(seed=11, max_cycles=30_000).scenario(1)
+    other_program = build_program(other_scenario)
+    other, _trace = _make_sim(other_scenario, other_program,
+                              fast_forward=False)
+    with pytest.raises(CheckpointError, match="different configuration"):
+        restore_from_dict(other, doc)
+
+
+def test_restore_rejects_tampered_state():
+    _scenario, _program, sim = _small_sim()
+    doc = checkpoint_to_dict(sim)
+    doc["state"]["cpu"]["pc"] = (doc["state"]["cpu"]["pc"] + 4) & 0xFFFFFFFF
+    with pytest.raises(CheckpointError, match="digest mismatch"):
+        restore_from_dict(sim, doc)
+
+
+def test_load_rejects_missing_and_corrupt_files(tmp_path):
+    _scenario, _program, sim = _small_sim()
+    with pytest.raises(CheckpointError, match="cannot read"):
+        load_checkpoint(sim, str(tmp_path / "absent.json"))
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(CheckpointError, match="not JSON"):
+        load_checkpoint(sim, str(bad))
+
+
+def test_save_into_missing_directory_raises(tmp_path):
+    _scenario, _program, sim = _small_sim()
+    with pytest.raises(CheckpointError, match="cannot write"):
+        save_checkpoint(sim, str(tmp_path / "no" / "such" / "dir" / "c.json"))
+
+
+# --------------------------------------------------------------------------
+# wide sweep (CI tier): 25+ scenarios per mode
+
+
+@pytest.mark.conformance
+@pytest.mark.parametrize("mode", MODES)
+def test_roundtrip_sweep(mode, tmp_path):
+    generator = ScenarioGenerator(seed=2005, max_cycles=60_000)
+    checked = 0
+    index = 0
+    fast_forward = mode == "fast_forward"
+    while checked < 25 and index < 120:
+        scenario = generator.scenario(index)
+        index += 1
+        program = build_program(scenario)
+        ref = _uninterrupted(scenario, program, fast_forward=fast_forward)
+        if ref.status not in INTERRUPTIBLE or ref.cycles < 6:
+            continue
+        cut = max(1, ref.cycles // 3)
+        obs = _restored(scenario, program, fast_forward=fast_forward,
+                        cut=cut, path=tmp_path / "sweep.ckpt")
+        hit = first_divergence(ref.comparable(), obs.comparable())
+        assert hit is None, (
+            f"{scenario.name} [{mode}] cut at {cut}/{ref.cycles}: "
+            f"diverges at {hit[0]}: {hit[1]!r} != {hit[2]!r}"
+        )
+        checked += 1
+    assert checked >= 25, f"only {checked} interruptible scenarios found"

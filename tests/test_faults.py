@@ -1,0 +1,266 @@
+"""Seeded fault-injection: plans, the injector, campaigns, recovery.
+
+Campaign determinism is the load-bearing property: the same
+``(config, seed)`` must produce a byte-identical report whether trials
+run in-process, across worker processes, or split over a resumed
+journal — reports deliberately carry no wall-clock fields.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps.cordic.design import CordicDesign
+from repro.cli import faultsim_main
+from repro.faults import (
+    ALL_OUTCOMES,
+    CampaignConfig,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    generate_plan,
+    run_campaign,
+    run_trial,
+)
+from repro.faults.campaign import _make_sim, build_design
+
+#: a small, fast design point every test shares (p=2 CORDIC, 8 samples)
+DESIGN = {"p": 2, "ndata": 8}
+#: its fault-free cycle count is ~3.5k; this bounds every trial
+MAX_CYCLES = 200_000
+
+
+def _campaign(trials=6, seed=3, recovery="none", workers=0, **kw):
+    config = CampaignConfig(
+        app="cordic", design=dict(DESIGN), trials=trials, seed=seed,
+        recovery=recovery, deadlock_window=2_048, max_cycles=MAX_CYCLES,
+    )
+    return run_campaign(config, workers=workers, **kw)
+
+
+# ----------------------------------------------------------------------
+# plans
+
+
+def test_plan_generation_is_deterministic():
+    kw = dict(max_cycle=3_000, mem_words=512,
+              channels=("fsl0", "fsl1"), ports=("pe0:out",), n_faults=3)
+    a = generate_plan("camp/0", **kw)
+    b = generate_plan("camp/0", **kw)
+    assert a.to_dict() == b.to_dict()
+    assert a.to_dict() != generate_plan("camp/1", **kw).to_dict()
+
+
+def test_plan_round_trips_through_json():
+    plan = generate_plan("rt", max_cycle=100, mem_words=64,
+                         channels=("ch",), ports=("b:o",), n_faults=4)
+    blob = json.dumps(plan.to_dict())
+    again = FaultPlan.from_dict(json.loads(blob))
+    assert again.to_dict() == plan.to_dict()
+    assert again.first_cycle == plan.first_cycle
+
+
+def test_plan_excludes_untargetable_kinds():
+    plan = generate_plan("x", max_cycle=500, mem_words=64,
+                         channels=(), ports=(), n_faults=20)
+    kinds = {f.kind for f in plan.faults}
+    assert kinds <= {"reg_flip", "mem_flip"}
+    with pytest.raises(ValueError, match="no injectable"):
+        generate_plan("x", max_cycle=500, mem_words=0,
+                      channels=(), ports=(), kinds=("fifo_drop", "mem_flip"))
+
+
+def test_fault_spec_validation():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec(kind="gamma_ray", cycle=5)
+    with pytest.raises(ValueError, match="cycle"):
+        FaultSpec(kind="reg_flip", cycle=0)
+
+
+# ----------------------------------------------------------------------
+# injector
+
+
+def _fresh_sim():
+    design = build_design("cordic", dict(DESIGN))
+    return design, _make_sim(design, 2_048)
+
+
+def test_reg_flip_perturbs_exactly_one_bit():
+    _design, sim = _fresh_sim()
+    sim.run(max_cycles=50)
+    before = list(sim.cpu.regs)
+    spec = FaultSpec(kind="reg_flip", cycle=60, index=4, bit=7)
+    injector = FaultInjector(sim, FaultPlan(faults=[spec], seed="t"))
+    injector.run(until_cycle=61)
+    after = sim.cpu.regs
+    idx = 1 + spec.index % 31
+    # only the targeted register may have changed, by exactly one bit —
+    # unless execution between cycles 50..61 rewrote it first
+    changed = [i for i in range(32) if after[i] != before[i] and i != idx]
+    assert injector.log and injector.log[0]["applied"]
+    assert "r5" in injector.log[0]["fault"]
+    assert all(i != 0 for i in changed), "r0 must stay hardwired zero"
+
+
+def test_mem_flip_applies_and_logs():
+    _design, sim = _fresh_sim()
+    spec = FaultSpec(kind="mem_flip", cycle=30, index=9, bit=3)
+    word_addr = (spec.index % (sim.cpu.mem.bram.size // 4)) * 4
+    before = sim.cpu.mem.read_u32(word_addr)
+    injector = FaultInjector(sim, FaultPlan(faults=[spec], seed="t"))
+    injector.run(until_cycle=31)
+    assert sim.cpu.mem.read_u32(word_addr) == before ^ (1 << 3)
+    assert injector.log[0]["applied"]
+
+
+def test_fifo_fault_on_empty_fifo_is_a_recorded_noop():
+    _design, sim = _fresh_sim()
+    channel = next(iter(sim.mb_block.channels()))
+    spec = FaultSpec(kind="fifo_drop", cycle=2, target=channel.name)
+    injector = FaultInjector(sim, FaultPlan(faults=[spec], seed="t"))
+    injector.run(until_cycle=3)
+    entry = injector.log[0]
+    assert not entry["applied"]
+    assert "empty" in entry["note"]
+
+
+def test_fault_after_program_end_is_logged_not_crashed():
+    design, sim = _fresh_sim()
+    baseline = design.run()  # fault-free cycle count
+    spec = FaultSpec(kind="reg_flip", cycle=baseline.cycles + 10_000)
+    _design2, sim = _fresh_sim()
+    injector = FaultInjector(sim, FaultPlan(faults=[spec], seed="t"))
+    injector.run(until_cycle=MAX_CYCLES)
+    entry = injector.log[0]
+    assert not entry["applied"]
+    assert "ended before" in entry["note"]
+    assert sim.cpu.exit_code is not None
+
+
+# ----------------------------------------------------------------------
+# trials and campaigns
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="unknown campaign app"):
+        CampaignConfig(app="fft", design={})
+    with pytest.raises(ValueError, match="recovery"):
+        CampaignConfig(app="cordic", design={}, recovery="pray")
+    with pytest.raises(ValueError, match="trials"):
+        CampaignConfig(app="cordic", design={}, trials=0)
+
+
+def test_software_only_partition_is_rejected():
+    with pytest.raises(ValueError, match="hardware partition"):
+        build_design("cordic", {"p": 0})
+
+
+def test_campaign_is_deterministic_across_runs():
+    a = _campaign().to_dict()
+    b = _campaign().to_dict()
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+    assert set(a["counts"]) == set(ALL_OUTCOMES)
+    assert sum(a["counts"].values()) == 6
+    assert a["baseline_cycles"] > 0
+
+
+@pytest.mark.sweep
+def test_campaign_identical_sequential_vs_parallel():
+    seq = _campaign(workers=0).to_dict()
+    par = _campaign(workers=2).to_dict()
+    assert json.dumps(seq, sort_keys=True) == json.dumps(par, sort_keys=True)
+
+
+def test_rollback_converts_failures_to_recovered():
+    """Seed 7 over 12 trials produces one hang and one sdc without
+    recovery; with rollback both must convert (a transient SEU replayed
+    from the pre-fault checkpoint cannot recur)."""
+    plain = _campaign(trials=12, seed=7, recovery="none")
+    harmed = {t["trial"]: t["outcome"] for t in plain.trials
+              if t["outcome"] in ("hang", "sdc", "detected", "crash")}
+    assert harmed, "seed 7 must produce at least one non-masked outcome"
+
+    rolled = _campaign(trials=12, seed=7, recovery="rollback")
+    assert rolled.counts["recovered"] == len(harmed)
+    for i, original in harmed.items():
+        trial = rolled.trials[i]
+        assert trial["outcome"] == "recovered"
+        assert trial["original_outcome"] == original
+        assert trial["rollbacks"] >= 1
+        assert trial["checkpoint_cycle"] is not None
+        assert len(trial["backoff_s"]) == trial["rollbacks"]
+
+
+def test_trial_records_are_json_safe_and_complete():
+    report = _campaign(trials=2)
+    for trial in report.trials:
+        json.dumps(trial)  # raises on any non-JSON-safe leftovers
+        for key in ("seed", "plan", "injected", "rollbacks", "backoff_s",
+                    "checkpoint_cycle", "outcome", "original_outcome",
+                    "detail", "cycles", "exit_code", "trial"):
+            assert key in trial, f"trial record missing {key!r}"
+        assert trial["outcome"] in ALL_OUTCOMES
+
+
+def test_run_trial_plan_travels_as_plain_dict():
+    """run_trial takes the JSON form of a plan (what worker processes
+    receive), not the dataclass."""
+    plan = generate_plan("unit/0", max_cycle=2_000, mem_words=256)
+    record = run_trial("cordic", dict(DESIGN), plan.to_dict(),
+                       deadlock_window=2_048, max_cycles=MAX_CYCLES)
+    assert record["outcome"] in ALL_OUTCOMES
+    assert record["plan"] == plan.to_dict()
+
+
+def test_campaign_journal_resume_replays_identically(tmp_path):
+    journal = str(tmp_path / "campaign.journal")
+    first = _campaign(journal=journal).to_dict()
+    resumed = _campaign(journal=journal, resume=True).to_dict()
+    assert json.dumps(first, sort_keys=True) \
+        == json.dumps(resumed, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# CLI
+
+
+def _cli(args, capsys):
+    rc = faultsim_main(args)
+    captured = capsys.readouterr()
+    assert "Traceback" not in captured.err
+    assert "Traceback" not in captured.out
+    return rc, captured
+
+
+def test_cli_smoke_writes_report(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    rc, captured = _cli(
+        ["cordic", "--p", "2", "--ndata", "8", "--trials", "4",
+         "--seed", "3", "--max-cycles", str(MAX_CYCLES),
+         "--quiet", "--json", str(out)], capsys)
+    assert rc == 0
+    assert "| masked |" in captured.out
+    doc = json.loads(out.read_text())
+    assert doc["format"] == "mb32-faultsim-report"
+    assert sum(doc["counts"].values()) == 4
+
+
+def test_cli_rejects_software_only_point(capsys):
+    rc, captured = _cli(["cordic", "--p", "0", "--trials", "1"], capsys)
+    assert rc == 2
+    assert "hardware partition" in captured.err
+
+
+def test_cli_rejects_bad_trials(capsys):
+    rc, captured = _cli(["cordic", "--trials", "0"], capsys)
+    assert rc == 2
+    assert "trials" in captured.err
+
+
+def test_cli_resume_needs_journal(capsys):
+    rc, captured = _cli(["cordic", "--resume"], capsys)
+    assert rc == 2
+    assert "--journal" in captured.err

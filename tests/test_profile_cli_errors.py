@@ -1,0 +1,94 @@
+"""``mb32-profile`` CLI error paths: a bad input image or an unwritable
+output destination must exit 2 with a one-line diagnostic in
+milliseconds — never a traceback, never after the simulation ran."""
+
+import os
+
+import pytest
+
+from repro.cli import profile_main
+
+
+def _run(args, capsys):
+    rc = profile_main(args)
+    captured = capsys.readouterr()
+    assert "Traceback" not in captured.err
+    assert "Traceback" not in captured.out
+    return rc, captured
+
+
+def test_missing_image_exits_2(tmp_path, capsys):
+    rc, captured = _run(["run", str(tmp_path / "nope.img")], capsys)
+    assert rc == 2
+    assert "not found" in captured.err
+    assert captured.err.count("\n") == 1
+
+
+def test_directory_as_source_exits_2(tmp_path, capsys):
+    rc, captured = _run(["run", str(tmp_path)], capsys)
+    assert rc == 2
+    assert "directory" in captured.err
+
+
+@pytest.mark.skipif(os.geteuid() == 0, reason="root ignores permissions")
+def test_unreadable_source_exits_2(tmp_path, capsys):
+    src = tmp_path / "secret.c"
+    src.write_text("int main() { return 0; }")
+    src.chmod(0o000)
+    try:
+        rc, captured = _run(["run", str(src)], capsys)
+    finally:
+        src.chmod(0o644)
+    assert rc == 2
+    assert "permission denied" in captured.err
+
+
+@pytest.mark.parametrize("flag", ["--trace", "--vcd", "--metrics"])
+def test_output_into_missing_directory_exits_2(flag, tmp_path, capsys):
+    out = str(tmp_path / "no" / "such" / "dir" / "out.json")
+    rc, captured = _run(["cordic", "--p", "1", flag, out], capsys)
+    assert rc == 2
+    assert flag in captured.err
+    assert "does not exist" in captured.err
+
+
+@pytest.mark.parametrize("flag", ["--trace", "--vcd", "--metrics"])
+def test_output_path_is_a_directory_exits_2(flag, tmp_path, capsys):
+    rc, captured = _run(["cordic", "--p", "1", flag, str(tmp_path)], capsys)
+    assert rc == 2
+    assert "is a directory" in captured.err
+
+
+@pytest.mark.skipif(os.geteuid() == 0, reason="root ignores permissions")
+@pytest.mark.parametrize("flag", ["--trace", "--vcd", "--metrics"])
+def test_unwritable_output_directory_exits_2(flag, tmp_path, capsys):
+    locked = tmp_path / "locked"
+    locked.mkdir()
+    locked.chmod(0o555)
+    try:
+        rc, captured = _run(
+            ["cordic", "--p", "1", flag, str(locked / "out.json")], capsys)
+    finally:
+        locked.chmod(0o755)
+    assert rc == 2
+    assert "permission denied" in captured.err
+
+
+def test_preflight_happens_before_any_simulation(tmp_path, capsys):
+    """The bad output path must fail even when the *input* is also
+    expensive — combined flags still produce exactly one message."""
+    out = str(tmp_path / "ghost" / "trace.json")
+    rc, captured = _run(
+        ["cordic", "--p", "4", "--ndata", "32", "--trace", out], capsys)
+    assert rc == 2
+    assert captured.err.startswith("mb32-profile: error: ")
+    assert captured.err.count("\n") == 1
+
+
+def test_stdin_source_skips_input_checks(tmp_path, capsys):
+    """'-' means stdin: the preflight must not stat it — but a bad
+    output flag still fails fast before any source is read."""
+    rc, captured = _run(
+        ["run", "-", "--metrics", str(tmp_path / "void" / "m.json")], capsys)
+    assert rc == 2
+    assert "--metrics" in captured.err
