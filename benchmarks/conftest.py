@@ -30,6 +30,13 @@ SWEEP_SMOKE = [
     sys.executable, "-m", "pytest", "tests", "-q", "-k", "sweep",
 ]
 
+#: the compiled-schedule smoke target — the engine-equivalence suite
+#: that must be green before the compiled-vs-interpreter speedup is
+#: worth recording.
+COMPILED_SMOKE = [
+    sys.executable, "-m", "pytest", "tests", "-q", "-k", "compiled",
+]
+
 
 def _run_smoke(target: list[str], label: str) -> None:
     env = dict(os.environ)
@@ -68,6 +75,14 @@ def sweep_smoke():
     parallel-speedup numbers are only meaningful when parallel and
     sequential sweeps are provably identical."""
     _run_smoke(SWEEP_SMOKE, "sweep")
+
+
+@pytest.fixture(scope="session")
+def compiled_smoke():
+    """Run the compiled-schedule smoke target (``pytest tests -k
+    compiled``) once per bench session; the generated-code speedup is
+    only meaningful when both engines are provably bit-identical."""
+    _run_smoke(COMPILED_SMOKE, "compiled-schedule")
 
 
 @pytest.fixture

@@ -13,6 +13,13 @@ hardware model:
 3. it connects the same channel objects to the CPU's FSL unit so a
    blocking ``get``/``put`` stalls the simulated processor exactly
    until the hardware side produces/consumes data.
+
+Channel binding may happen before or after ``model.compile()``: the
+compiled schedule fetches each FSL block's bound channel at call entry
+(never at code-generation time), so ``master_fsl``/``slave_fsl`` can
+be called at any point during model construction and an unbound block
+still raises :class:`~repro.sysgen.blocks.fsl.FSLBindError` at the
+same step it would under the interpreter.
 """
 
 from __future__ import annotations

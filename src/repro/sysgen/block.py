@@ -135,6 +135,24 @@ class Block:
         strict fixed point (everything in the standard library) have
         nothing to do."""
 
+    # -- compiled-schedule code generation -----------------------------------
+    def emit(self, ctx) -> bool:
+        """Contribute inline source for this block to a compiled
+        schedule (see :mod:`repro.sysgen.compiled`).
+
+        Implementations use the :class:`~repro.sysgen.compiled.EmitContext`
+        helpers to append statements to the ``present``/``evaluate``/
+        ``clock`` phases and return True.  The default returns False,
+        which makes the compiler splice interpreter-style method
+        dispatch (with port synchronization) into the generated
+        function instead — correct for any subclass, just slower.
+
+        The emitted code must be observably identical to the
+        ``present``/``evaluate``/``clock`` methods: same port values,
+        same state transitions, same telemetry events, same exceptions.
+        """
+        return False
+
     # -- metadata -------------------------------------------------------------
     def resources(self) -> Resources:
         """Estimated FPGA resources for this block."""

@@ -20,6 +20,7 @@ from repro.sysgen.block import (
     to_signed,
     wrap,
 )
+from repro.sysgen.compiled import guarded_update, signed_expr
 
 
 class _PipelinedBlock(Block):
@@ -69,6 +70,44 @@ class _PipelinedBlock(Block):
             return 0
         return IDLE_FOREVER
 
+    def _emit_compute(self, ctx) -> str | None:
+        """Expression computing this block's (single) output value, or
+        None to fall back to a bound ``_compute()`` call."""
+        return None
+
+    def emit(self, ctx) -> bool:
+        key = next(iter(self.outputs))
+        out = ctx.out(self, key)
+        expr = self._emit_compute(ctx)
+        if expr is None:
+            # Dispatch to _compute() with the feeding ports synced —
+            # still avoids the evaluate/present/clock method overhead.
+            ctx.flush_inputs(self, ctx.clock if self.sequential
+                             else ctx.evaluate)
+            compute = ctx.tmp()
+            ctx.entry(f"{compute} = {ctx.bind(self)}._compute")
+            if not self.sequential:
+                ctx.evaluate(f"{out} = {compute}()[{key!r}]")
+                return True
+            stage = f"{compute}()"
+        else:
+            if not self.sequential:
+                ctx.evaluate(f"{out} = {expr}")
+                return True
+            stage = f"{{{key!r}: {expr}}}"
+        pipe = ctx.fresh(self, "_pipe", "pq")
+        pop = ctx.tmp()
+        app = ctx.tmp()
+        ctx.entry(f"{pop} = {pipe}.popleft")
+        ctx.entry(f"{app} = {pipe}.append")
+        t = ctx.tmp()
+        # present() applies the (possibly empty) dict leaving the pipe;
+        # an empty stage leaves the output untouched, as _apply does.
+        ctx.present(f"{t} = {pop}()")
+        ctx.present(f"if {t}: {out} = {t}[{key!r}]")
+        ctx.clock(f"{app}({stage})")
+        return True
+
     def extra_state(self) -> dict:
         return {"pipe": [dict(stage) for stage in self._pipe]}
 
@@ -90,6 +129,10 @@ class Add(_PipelinedBlock):
     def _compute(self) -> dict[str, int]:
         return {"s": wrap(self.in_value("a") + self.in_value("b"), self.width)}
 
+    def _emit_compute(self, ctx) -> str:
+        return (f"(({ctx.inp(self, 'a')}) + ({ctx.inp(self, 'b')}))"
+                f" & {(1 << self.width) - 1}")
+
     def resources(self) -> Resources:
         regs = self.latency * slices_for_bits(self.width)
         return Resources(slices=slices_for_bits(self.width) + regs)
@@ -107,6 +150,10 @@ class Sub(_PipelinedBlock):
 
     def _compute(self) -> dict[str, int]:
         return {"d": wrap(self.in_value("a") - self.in_value("b"), self.width)}
+
+    def _emit_compute(self, ctx) -> str:
+        return (f"(({ctx.inp(self, 'a')}) - ({ctx.inp(self, 'b')}))"
+                f" & {(1 << self.width) - 1}")
 
     def resources(self) -> Resources:
         regs = self.latency * slices_for_bits(self.width)
@@ -131,6 +178,18 @@ class AddSub(_PipelinedBlock):
         b = self.in_value("b")
         res = a - b if self.in_value("sub") & 1 else a + b
         return {"s": wrap(res, self.width)}
+
+    def _emit_compute(self, ctx) -> str:
+        a = ctx.inp(self, "a")
+        b = ctx.inp(self, "b")
+        sub = ctx.inp(self, "sub")
+        m = (1 << self.width) - 1
+        slit = ctx.lit(sub)
+        if slit is not None:
+            op = "-" if slit & 1 else "+"
+            return f"(({a}) {op} ({b})) & {m}"
+        return (f"((({a}) - ({b})) if ({sub}) & 1"
+                f" else (({a}) + ({b}))) & {m}")
 
     def resources(self) -> Resources:
         # add/sub sharing costs one extra LUT level: ~W LUTs + mode.
@@ -169,6 +228,11 @@ class Mult(_PipelinedBlock):
         b = to_signed(self.in_value("b"), self.width_b)
         return {"p": wrap(a * b, self.out_width)}
 
+    def _emit_compute(self, ctx) -> str:
+        a = signed_expr(ctx.inp(self, "a"), self.width_a)
+        b = signed_expr(ctx.inp(self, "b"), self.width_b)
+        return f"({a} * {b}) & {(1 << self.out_width) - 1}"
+
     def resources(self) -> Resources:
         regs = self.latency * slices_for_bits(self.out_width)
         if not self.use_embedded:
@@ -191,6 +255,9 @@ class Negate(_PipelinedBlock):
 
     def _compute(self) -> dict[str, int]:
         return {"n": wrap(-self.in_value("a"), self.width)}
+
+    def _emit_compute(self, ctx) -> str:
+        return f"(-({ctx.inp(self, 'a')})) & {(1 << self.width) - 1}"
 
     def resources(self) -> Resources:
         return Resources(slices=slices_for_bits(self.width)
@@ -231,6 +298,15 @@ class Shift(_PipelinedBlock):
             res = (a & ((1 << self.width) - 1)) >> self.amount
         return {"s": wrap(res, self.width)}
 
+    def _emit_compute(self, ctx) -> str:
+        a = ctx.inp(self, "a")
+        m = (1 << self.width) - 1
+        if self.direction == "left":
+            return f"(({a}) << {self.amount}) & {m}"
+        if self.arithmetic:
+            return f"({signed_expr(a, self.width)} >> {self.amount}) & {m}"
+        return f"((({a}) & {m}) >> {self.amount})"
+
     def resources(self) -> Resources:
         return Resources(slices=self.latency * slices_for_bits(self.width))
 
@@ -257,6 +333,19 @@ class Accumulator(Block):
             self._state = 0
         elif self.in_value("en") & 1:
             self._state = wrap(self._state + self.in_value("d"), self.width)
+
+    def emit(self, ctx) -> bool:
+        st = ctx.scalar_state(self, "_state")
+        ctx.present(f"{ctx.out(self, 'q')} = {st}")
+        upd = guarded_update(
+            ctx.inp(self, "rst"), ctx.inp(self, "en"),
+            f"{st} = 0",
+            f"{st} = ({st} + ({ctx.inp(self, 'd')}))"
+            f" & {(1 << self.width) - 1}",
+        )
+        if upd:
+            ctx.clock(upd)
+        return True
 
     def reset(self) -> None:
         super().reset()

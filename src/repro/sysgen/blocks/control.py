@@ -10,6 +10,7 @@ from repro.sysgen.block import (
     slices_for_bits,
     wrap,
 )
+from repro.sysgen.compiled import guarded_update
 
 
 class Constant(CombBlock):
@@ -23,6 +24,13 @@ class Constant(CombBlock):
 
     def evaluate(self) -> None:
         self.outputs["out"].value = self.value
+
+    def emit(self, ctx) -> bool:
+        # ``value`` is read per call (not baked into the source) so a
+        # rebuilt/loaded model never runs a stale constant.
+        val = ctx.fresh(self, "value", "k")
+        ctx.evaluate(f"{ctx.out(self, 'out')} = {val}")
+        return True
 
     def idle_horizon(self) -> int:
         return IDLE_FOREVER if self.outputs["out"].value == self.value else 0
@@ -51,6 +59,18 @@ class Counter(SeqBlock):
             self._state = 0
         elif self.in_value("en") & 1:
             self._state = wrap(self._state + self.step, self.width)
+
+    def emit(self, ctx) -> bool:
+        st = ctx.scalar_state(self, "_state")
+        ctx.present(f"{ctx.out(self, 'q')} = {st}")
+        upd = guarded_update(
+            ctx.inp(self, "rst"), ctx.inp(self, "en"),
+            f"{st} = 0",
+            f"{st} = ({st} + {self.step}) & {(1 << self.width) - 1}",
+        )
+        if upd:
+            ctx.clock(upd)
+        return True
 
     def reset(self) -> None:
         super().reset()

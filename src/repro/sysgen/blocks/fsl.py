@@ -72,6 +72,40 @@ class FSLRead(SeqBlock):
                     self.name,
                 ))
 
+    def emit(self, ctx) -> bool:
+        b = ctx.bind(self)
+        # channel binding and telemetry attach both happen after the
+        # model compiles, so fetch the channel per call and the event
+        # bus per cycle — never at codegen time.
+        ch = ctx.fresh(self, "channel", "ch")
+        vd = ctx.out(self, "data")
+        ve = ctx.out(self, "exists")
+        vc = ctx.out(self, "control")
+        w = ctx.tmp()
+        ctx.present(f"if {ch} is None: {b}._require()")
+        ctx.present(f"{w} = {ch}.peek()")
+        ctx.present(
+            f"if {w} is None: {vd} = 0; {vc} = 0; {ve} = 0\n"
+            f"else: {vd} = {w}.data; "
+            f"{vc} = 1 if {w}.control else 0; {ve} = 1"
+        )
+        read = ctx.inp(self, "read")
+        rlit = ctx.lit(read)
+        if rlit is not None and not (rlit & 1):
+            return True
+        guard = (f"{ch}.exists" if rlit is not None
+                 else f"({read}) & 1 and {ch}.exists")
+        te = ctx.bind(TelemetryEvent, "TE")
+        bf = ctx.bind(BLOCK_FIRE, "BF")
+        ctx.clock(
+            f"if {guard}:\n"
+            f"    {ch}.pop()\n"
+            f"    if {b}.events is not None:\n"
+            f"        {b}.events.emit({te}({bf}, {b}.telemetry_clock() "
+            f"if {b}.telemetry_clock else 0, {self.name!r}))"
+        )
+        return True
+
     def idle_horizon(self) -> int:
         ch = self.channel
         if ch is None:
@@ -133,6 +167,39 @@ class FSLWrite(SeqBlock):
                     self.name,
                     aux=0 if ok else 1,
                 ))
+
+    def emit(self, ctx) -> bool:
+        b = ctx.bind(self)
+        ch = ctx.fresh(self, "channel", "ch")
+        ctx.present(f"if {ch} is None: {b}._require()")
+        ctx.present(f"{ctx.out(self, 'full')} = 1 if {ch}.full else 0")
+        write = ctx.inp(self, "write")
+        wlit = ctx.lit(write)
+        if wlit is not None and not (wlit & 1):
+            return True
+        data = ctx.inp(self, "data")
+        control = ctx.inp(self, "control")
+        clit = ctx.lit(control)
+        ctrl = (repr(bool(clit & 1)) if clit is not None
+                else f"bool(({control}) & 1)")
+        drop = ctx.scalar_state(self, "dropped")
+        te = ctx.bind(TelemetryEvent, "TE")
+        bf = ctx.bind(BLOCK_FIRE, "BF")
+        ok = ctx.tmp()
+        body = (
+            f"{ok} = {ch}.push({data}, {ctrl})\n"
+            f"if not {ok}: {drop} = {drop} + 1\n"
+            f"if {b}.events is not None:\n"
+            f"    {b}.events.emit({te}({bf}, {b}.telemetry_clock() "
+            f"if {b}.telemetry_clock else 0, {self.name!r}, "
+            f"aux=0 if {ok} else 1))"
+        )
+        if wlit is not None:
+            ctx.clock(body)
+        else:
+            indented = "\n".join("    " + ln for ln in body.split("\n"))
+            ctx.clock(f"if ({write}) & 1:\n{indented}")
+        return True
 
     def reset(self) -> None:
         super().reset()

@@ -49,6 +49,13 @@ class GatewayIn(CombBlock):
     def evaluate(self) -> None:
         self.outputs["out"].value = self._raw
 
+    def emit(self, ctx) -> bool:
+        # drive()/drive_raw() can only happen between step() calls, so
+        # one per-call load of _raw is exact.
+        raw = ctx.fresh(self, "_raw", "gw")
+        ctx.evaluate(f"{ctx.out(self, 'out')} = {raw}")
+        return True
+
     def idle_horizon(self) -> int:
         # A drive() since the last step leaves the output stale.
         return IDLE_FOREVER if self.outputs["out"].value == self._raw else 0
@@ -83,6 +90,13 @@ class GatewayOut(CombBlock):
         self.outputs["out"].value = self.in_value("in") & (
             (1 << self.fmt.word_bits) - 1
         )
+
+    def emit(self, ctx) -> bool:
+        m = (1 << self.fmt.word_bits) - 1
+        ctx.evaluate(
+            f"{ctx.out(self, 'out')} = ({ctx.inp(self, 'in')}) & {m}"
+        )
+        return True
 
     # -- host-side accessors ----------------------------------------------
     @property

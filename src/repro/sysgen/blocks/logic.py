@@ -4,9 +4,14 @@ from __future__ import annotations
 
 from repro.resources.types import Resources
 from repro.sysgen.block import CombBlock, slices_for_bits, to_signed, wrap
+from repro.sysgen.compiled import signed_expr
 
 _REL_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+_REL_SYMS = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=",
+             "gt": ">", "ge": ">="}
 _LOGIC_OPS = ("and", "or", "xor", "nand", "nor", "xnor")
+_LOGIC_SYMS = {"and": "&", "nand": "&", "or": "|", "nor": "|",
+               "xor": "^", "xnor": "^"}
 
 
 class Mux(CombBlock):
@@ -26,6 +31,26 @@ class Mux(CombBlock):
     def evaluate(self) -> None:
         sel = self.in_value("sel") % self.n
         self.outputs["out"].value = wrap(self.in_value(f"d{sel}"), self.width)
+
+    def emit(self, ctx) -> bool:
+        out = ctx.out(self, "out")
+        sel = ctx.inp(self, "sel")
+        m = (1 << self.width) - 1
+        data = [ctx.inp(self, f"d{k}") for k in range(self.n)]
+        slit = ctx.lit(sel)
+        if slit is not None:
+            ctx.evaluate(f"{out} = ({data[slit % self.n]}) & {m}")
+        elif self.n == 2:
+            # sel % 2 == sel & 1 for every python int
+            ctx.evaluate(f"{out} = (({data[1]}) if ({sel}) & 1"
+                         f" else ({data[0]})) & {m}")
+        else:
+            tup = ", ".join(data)
+            # x % 2**k == x & (2**k - 1) for every python int
+            idx = (f"({sel}) & {self.n - 1}"
+                   if self.n & (self.n - 1) == 0 else f"({sel}) % {self.n}")
+            ctx.evaluate(f"{out} = ({tup})[{idx}] & {m}")
+        return True
 
     def resources(self) -> Resources:
         # one LUT per output bit per pair of inputs
@@ -66,6 +91,18 @@ class Relational(CombBlock):
         }[self.op]
         self.outputs["out"].value = int(result)
 
+    def emit(self, ctx) -> bool:
+        if self.signed:
+            a = signed_expr(ctx.inp(self, "a"), self.width)
+            b = signed_expr(ctx.inp(self, "b"), self.width)
+        else:
+            m = (1 << self.width) - 1
+            a = f"(({ctx.inp(self, 'a')}) & {m})"
+            b = f"(({ctx.inp(self, 'b')}) & {m})"
+        sym = _REL_SYMS[self.op]
+        ctx.evaluate(f"{ctx.out(self, 'out')} = 1 if {a} {sym} {b} else 0")
+        return True
+
     def resources(self) -> Resources:
         return Resources(slices=slices_for_bits(self.width))
 
@@ -103,6 +140,17 @@ class Logical(CombBlock):
             acc = ~acc
         self.outputs["out"].value = wrap(acc, self.width)
 
+    def emit(self, ctx) -> bool:
+        sym = _LOGIC_SYMS[self.op]
+        expr = f" {sym} ".join(
+            f"({ctx.inp(self, f'd{k}')})" for k in range(self.n)
+        )
+        if self.op in ("nand", "nor", "xnor"):
+            expr = f"~({expr})"
+        m = (1 << self.width) - 1
+        ctx.evaluate(f"{ctx.out(self, 'out')} = ({expr}) & {m}")
+        return True
+
     def resources(self) -> Resources:
         return Resources(slices=slices_for_bits(self.width) * (self.n - 1))
 
@@ -119,6 +167,13 @@ class Inverter(CombBlock):
     def evaluate(self) -> None:
         self.outputs["out"].value = wrap(~self.in_value("a"), self.width)
 
+    def emit(self, ctx) -> bool:
+        m = (1 << self.width) - 1
+        ctx.evaluate(
+            f"{ctx.out(self, 'out')} = (~({ctx.inp(self, 'a')})) & {m}"
+        )
+        return True
+
     def resources(self) -> Resources:
         return Resources(slices=slices_for_bits(self.width))
 
@@ -129,7 +184,14 @@ class Slice(CombBlock):
     def __init__(self, name: str, msb: int, lsb: int = 0):
         super().__init__(name)
         if msb < lsb or lsb < 0:
-            raise ValueError("require msb >= lsb >= 0")
+            # ModelError at construction: a reversed range would
+            # otherwise surface as a zero/garbage mask at evaluate time
+            # with no hint of which block is wrong.
+            from repro.sysgen.model import ModelError
+            raise ModelError(
+                f"slice {name!r}: require msb >= lsb >= 0, "
+                f"got [{msb}:{lsb}]"
+            )
         self.msb = msb
         self.lsb = lsb
         self.add_input("a")
@@ -140,6 +202,13 @@ class Slice(CombBlock):
         self.outputs["out"].value = (self.in_value("a") >> self.lsb) & (
             (1 << width) - 1
         )
+
+    def emit(self, ctx) -> bool:
+        m = (1 << (self.msb - self.lsb + 1)) - 1
+        a = ctx.inp(self, "a")
+        shifted = f"({a}) >> {self.lsb}" if self.lsb else f"({a})"
+        ctx.evaluate(f"{ctx.out(self, 'out')} = ({shifted}) & {m}")
+        return True
 
     def resources(self) -> Resources:
         return Resources()  # pure wiring
@@ -162,6 +231,16 @@ class Concat(CombBlock):
         for k, width in enumerate(self.widths):
             acc = (acc << width) | wrap(self.in_value(f"d{k}"), width)
         self.outputs["out"].value = acc
+
+    def emit(self, ctx) -> bool:
+        parts = []
+        shift = sum(self.widths)
+        for k, width in enumerate(self.widths):
+            shift -= width
+            field = f"(({ctx.inp(self, f'd{k}')}) & {(1 << width) - 1})"
+            parts.append(f"({field} << {shift})" if shift else field)
+        ctx.evaluate(f"{ctx.out(self, 'out')} = {' | '.join(parts)}")
+        return True
 
     def resources(self) -> Resources:
         return Resources()  # pure wiring

@@ -12,6 +12,7 @@ from repro.sysgen.block import (
     slices_for_bits,
     wrap,
 )
+from repro.sysgen.compiled import guarded_update
 
 
 class Register(SeqBlock):
@@ -35,6 +36,18 @@ class Register(SeqBlock):
             self._state = self.init
         elif self.in_value("en") & 1:
             self._state = wrap(self.in_value("d"), self.width)
+
+    def emit(self, ctx) -> bool:
+        st = ctx.scalar_state(self, "_state")
+        ctx.present(f"{ctx.out(self, 'q')} = {st}")
+        upd = guarded_update(
+            ctx.inp(self, "rst"), ctx.inp(self, "en"),
+            f"{st} = {self.init}",
+            f"{st} = ({ctx.inp(self, 'd')}) & {(1 << self.width) - 1}",
+        )
+        if upd:
+            ctx.clock(upd)
+        return True
 
     def reset(self) -> None:
         super().reset()
@@ -80,6 +93,19 @@ class Delay(SeqBlock):
     def clock(self) -> None:
         self._line.popleft()
         self._line.append(wrap(self.in_value("d"), self.width))
+
+    def emit(self, ctx) -> bool:
+        line = ctx.fresh(self, "_line", "dq")
+        pop = ctx.tmp()
+        app = ctx.tmp()
+        ctx.entry(f"{pop} = {line}.popleft")
+        ctx.entry(f"{app} = {line}.append")
+        ctx.present(f"{ctx.out(self, 'q')} = {line}[0]")
+        ctx.clock(f"{pop}()")
+        ctx.clock(
+            f"{app}(({ctx.inp(self, 'd')}) & {(1 << self.width) - 1})"
+        )
+        return True
 
     def reset(self) -> None:
         super().reset()
@@ -143,6 +169,31 @@ class FIFO(SeqBlock):
         if self.in_value("push") & 1 and len(self._fifo) < self.depth:
             self._fifo.append(wrap(self.in_value("din"), self.width))
 
+    def emit(self, ctx) -> bool:
+        fifo = ctx.fresh(self, "_fifo", "fq")
+        ctx.present(f"{ctx.out(self, 'dout')} = {fifo}[0] if {fifo} else 0")
+        ctx.present(f"{ctx.out(self, 'empty')} = 0 if {fifo} else 1")
+        ctx.present(
+            f"{ctx.out(self, 'full')} = "
+            f"1 if len({fifo}) >= {self.depth} else 0"
+        )
+        ctx.present(f"{ctx.out(self, 'count')} = len({fifo})")
+        pop = ctx.inp(self, "pop")
+        plit = ctx.lit(pop)
+        if plit is None:
+            ctx.clock(f"if ({pop}) & 1 and {fifo}: {fifo}.popleft()")
+        elif plit & 1:
+            ctx.clock(f"if {fifo}: {fifo}.popleft()")
+        push = ctx.inp(self, "push")
+        din = f"({ctx.inp(self, 'din')}) & {(1 << self.width) - 1}"
+        slit = ctx.lit(push)
+        if slit is None:
+            ctx.clock(f"if ({push}) & 1 and len({fifo}) < {self.depth}: "
+                      f"{fifo}.append({din})")
+        elif slit & 1:
+            ctx.clock(f"if len({fifo}) < {self.depth}: {fifo}.append({din})")
+        return True
+
     def reset(self) -> None:
         super().reset()
         self._fifo.clear()
@@ -192,6 +243,14 @@ class ROM(CombBlock):
         addr = self.in_value("addr") % len(self.contents)
         self.outputs["data"].value = self.contents[addr]
 
+    def emit(self, ctx) -> bool:
+        rom = ctx.bind(self.contents, "rom")
+        ctx.evaluate(
+            f"{ctx.out(self, 'data')} = "
+            f"{rom}[({ctx.inp(self, 'addr')}) % {len(self.contents)}]"
+        )
+        return True
+
     def resources(self) -> Resources:
         luts = self.width * ((len(self.contents) + 15) // 16)
         return Resources(slices=(luts + 1) // 2)
@@ -221,6 +280,22 @@ class RAM(SeqBlock):
         if self.in_value("we") & 1:
             self._mem[addr] = wrap(self.in_value("din"), self.width)
         self._read_reg = self._mem[addr]
+
+    def emit(self, ctx) -> bool:
+        rreg = ctx.scalar_state(self, "_read_reg")
+        mem = ctx.fresh(self, "_mem", "mem")
+        ctx.present(f"{ctx.out(self, 'dout')} = {rreg}")
+        t = ctx.tmp()
+        ctx.clock(f"{t} = ({ctx.inp(self, 'addr')}) % {self.depth}")
+        we = ctx.inp(self, "we")
+        din = f"({ctx.inp(self, 'din')}) & {(1 << self.width) - 1}"
+        wlit = ctx.lit(we)
+        if wlit is None:
+            ctx.clock(f"if ({we}) & 1: {mem}[{t}] = {din}")
+        elif wlit & 1:
+            ctx.clock(f"{mem}[{t}] = {din}")
+        ctx.clock(f"{rreg} = {mem}[{t}]")
+        return True
 
     def reset(self) -> None:
         super().reset()

@@ -52,6 +52,22 @@ class OPBRegisterBank(SeqBlock):
         for i in range(self.n_status):
             self._sts[i] = wrap(self.in_value(f"sts{i}"), 32)
 
+    def emit(self, ctx) -> bool:
+        # The CPU writes _cmd/_writes through opb_write between (or,
+        # with an in-model CPU block, during) cycles, so command
+        # registers are read per cycle — never cached in locals.
+        b = ctx.bind(self)
+        cmd = ctx.fresh(self, "_cmd", "cm")
+        for i in range(self.n_command):
+            ctx.present(f"{ctx.out(self, f'cmd{i}')} = {cmd}[{i}]")
+        ctx.present(f"{ctx.out(self, 'wr_count')} = {b}._writes & 65535")
+        sts = ctx.fresh(self, "_sts", "st")
+        for i in range(self.n_status):
+            ctx.clock(
+                f"{sts}[{i}] = ({ctx.inp(self, f'sts{i}')}) & 4294967295"
+            )
+        return True
+
     def reset(self) -> None:
         super().reset()
         self._cmd = [0] * self.n_command

@@ -19,6 +19,7 @@ from collections import deque
 
 from repro.resources.types import Resources
 from repro.sysgen.block import IDLE_FOREVER, Block
+from repro.sysgen.compiled import CompiledSchedule, interpreter_forced
 from repro.sysgen.ports import InputPort, OutputPort, PortRef
 
 
@@ -50,6 +51,10 @@ class Model:
         self._schedule: list[Block] | None = None
         self._seq: list[Block] = []
         self._ff_blocks: list[Block] = []
+        #: generated-code engine (None = interpreter; see compile())
+        self._compiled: CompiledSchedule | None = None
+        #: per-model escape hatch mirroring REPRO_SYSGEN_INTERP
+        self.force_interpreter = False
         #: True once a full step() has run since the last reset/compile,
         #: i.e. every output port holds its settled post-evaluate value.
         self._settled = False
@@ -59,6 +64,12 @@ class Model:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    def _invalidate(self) -> None:
+        """Structure changed: both the schedule and any generated code
+        derived from it are stale."""
+        self._schedule = None
+        self._compiled = None
+
     def add(self, block: Block) -> Block:
         if block.name in self._names:
             raise ModelError(f"duplicate block name {block.name!r}")
@@ -67,34 +78,50 @@ class Model:
         self._names.add(block.name)
         block.model = self
         self.blocks.append(block)
-        self._schedule = None
+        self._invalidate()
         return block
 
     def connect(self, src: PortRef, *dsts: PortRef) -> None:
-        """Wire an output to one or more inputs."""
+        """Wire an output to one or more inputs.
+
+        All targets are validated before any is wired: a bad target
+        anywhere in ``dsts`` leaves the model exactly as it was (no
+        partially-applied multi-target connect shadowed by a stale
+        compiled schedule).
+        """
         if src.is_input:
             raise ModelError(f"connection source must be an output: {src!r}")
         out = src.port
         assert isinstance(out, OutputPort)
+        targets: list[InputPort] = []
         for dst in dsts:
             if not dst.is_input:
                 raise ModelError(f"connection target must be an input: {dst!r}")
             port = dst.port
             assert isinstance(port, InputPort)
-            if port.source is not None:
+            if port.source is not None or port in targets:
+                driver = port.source if port.source is not None else out
                 raise ModelError(
                     f"input {port.block.name}.{port.name} already driven by "
-                    f"{port.source.block.name}.{port.source.name}"
+                    f"{driver.block.name}.{driver.name}"
                 )
+            targets.append(port)
+        for port in targets:
             port.source = out
             self.connections.append((out, port))
-        self._schedule = None
+            self._invalidate()
 
     def probe(self, ref: PortRef, name: str = "") -> Probe:
         if ref.is_input:
             raise ModelError("probes attach to output ports")
         probe = Probe(ref.port, name)  # type: ignore[arg-type]
         self.probes.append(probe)
+        # The compiled step function binds the probe list at codegen
+        # time; regenerate (without touching the schedule or the
+        # settle flag) so a probe added mid-run starts sampling
+        # immediately, as under the interpreter.
+        if self._schedule is not None:
+            self._codegen()
         return probe
 
     def block(self, name: str) -> Block:
@@ -144,6 +171,31 @@ class Model:
             if type(b).fast_forward is not Block.fast_forward
         ]
         self._settled = False
+        self._codegen()
+
+    def _codegen(self) -> None:
+        """(Re)generate the compiled step/settle functions for the
+        current schedule, unless the interpreter is forced."""
+        self._compiled = None
+        if interpreter_forced() or self.force_interpreter:
+            return
+        self._compiled = CompiledSchedule(self)
+
+    @property
+    def engine(self) -> str:
+        """Which engine the next step() will run: ``"compiled"`` or
+        ``"interpreter"`` (compiles the model if needed)."""
+        if self._schedule is None:
+            self.compile()
+        return "compiled" if self._compiled is not None else "interpreter"
+
+    @property
+    def compiled_source(self) -> str | None:
+        """Generated python source of the compiled schedule, or None
+        when running under the interpreter."""
+        if self._schedule is None:
+            self.compile()
+        return None if self._compiled is None else self._compiled.source
 
     # ------------------------------------------------------------------
     # Simulation
@@ -153,6 +205,11 @@ class Model:
         if self._schedule is None:
             self.compile()
         assert self._schedule is not None
+        if self._compiled is not None:
+            if cycles > 0:
+                self._compiled.step(cycles)
+                self._settled = True
+            return
         schedule = self._schedule
         seq = self._seq
         probes = self.probes
@@ -216,6 +273,9 @@ class Model:
         if self._schedule is None:
             self.compile()
         assert self._schedule is not None
+        if self._compiled is not None:
+            self._compiled.settle()
+            return
         for block in self._seq:
             block.present()
         for block in self._schedule:

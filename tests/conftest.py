@@ -1,0 +1,34 @@
+"""Shared fixtures.
+
+``sysgen_engine`` parametrizes a test over both hardware-model
+execution engines — the compiled schedule (default) and the per-cycle
+interpreter (``REPRO_SYSGEN_INTERP=1``) — so every behavioural test
+that opts in becomes an equivalence check between them.  Modules that
+want *all* their tests doubled add::
+
+    @pytest.fixture(autouse=True)
+    def _engine(sysgen_engine):
+        pass
+"""
+
+from __future__ import annotations
+
+import pytest
+
+ENGINES = ("compiled", "interpreter")
+
+
+@pytest.fixture(params=ENGINES, ids=lambda e: f"engine={e}")
+def sysgen_engine(request, monkeypatch):
+    """Run the test once per sysgen execution engine.
+
+    The environment variable is set *before* the test body runs, so any
+    ``Model`` compiled inside the test picks the requested engine; the
+    fixture yields the engine name for tests that assert on
+    ``Model.engine`` directly.
+    """
+    if request.param == "interpreter":
+        monkeypatch.setenv("REPRO_SYSGEN_INTERP", "1")
+    else:
+        monkeypatch.delenv("REPRO_SYSGEN_INTERP", raising=False)
+    return request.param

@@ -47,6 +47,13 @@ from repro.sysgen.blocks import (
     Sub,
 )
 
+@pytest.fixture(autouse=True)
+def _engine(sysgen_engine):
+    """Run every test here under both execution engines — the
+    simulation-level tests build models whose reset path must be
+    engine-independent; see conftest."""
+
+
 #: one factory per exported sysgen block type, with enough non-default
 #: construction parameters that internal pipelines/memories exist
 BLOCK_FACTORIES = {

@@ -34,6 +34,12 @@ from repro.sysgen.blocks import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _engine(sysgen_engine):
+    """Run every test in this module under both execution engines
+    (compiled schedule and per-cycle interpreter) — see conftest."""
+
+
 def single_block_model(block, in_map, out_port="out"):
     """Drive a block's inputs with constants; settle; read one output."""
     m = Model("t")
@@ -85,6 +91,24 @@ class TestCombBlocks:
         b = Mux("m", width=8, n=3)
         assert single_block_model(b, {"sel": 2, "d0": 5, "d1": 6, "d2": 7}) == 7
 
+    def test_mux_out_of_range_sel_wraps(self):
+        # non-power-of-two fan-in: sel wraps modulo n (5 % 3 == 2)
+        b = Mux("m", width=8, n=3)
+        assert single_block_model(b, {"sel": 5, "d0": 5, "d1": 6, "d2": 7}) == 7
+
+    def test_mux_out_of_range_sel_wraps_pow2(self):
+        # power-of-two fan-in takes the masked path: 6 & 3 == 6 % 4 == 2
+        b = Mux("m", width=8, n=4)
+        assert single_block_model(
+            b, {"sel": 6, "d0": 1, "d1": 2, "d2": 3, "d3": 4}) == 3
+
+    def test_mux_unconnected_sel_default_wraps(self):
+        # an unconnected sel reads its default — folded to a literal by
+        # the compiled engine, so the wrap must happen at codegen too
+        b = Mux("m", width=8, n=3)
+        b.inputs["sel"].default = 5
+        assert single_block_model(b, {"d0": 5, "d1": 6, "d2": 7}) == 7
+
     def test_relational_signed(self):
         b = Relational("r", width=8, op="lt", signed=True)
         assert single_block_model(b, {"a": 0xFF, "b": 1}) == 1  # -1 < 1
@@ -109,6 +133,14 @@ class TestCombBlocks:
         b = Slice("s", msb=7, lsb=4)
         assert single_block_model(b, {"a": 0xAB}) == 0xA
 
+    def test_slice_reversed_range_rejected(self):
+        with pytest.raises(ModelError, match="msb >= lsb"):
+            Slice("s", msb=3, lsb=7)
+
+    def test_slice_negative_lsb_rejected(self):
+        with pytest.raises(ModelError, match="msb >= lsb"):
+            Slice("s", msb=3, lsb=-1)
+
     def test_concat(self):
         b = Concat("c", widths=[4, 8])
         assert single_block_model(b, {"d0": 0xA, "d1": 0xBC}) == 0xABC
@@ -126,6 +158,12 @@ class TestCombBlocks:
     def test_rom(self):
         b = ROM("r", contents=[10, 20, 30], width=8)
         assert single_block_model(b, {"addr": 1}, "data") == 20
+
+    def test_rom_addr_wraps(self):
+        # out-of-range address wraps modulo the (non-power-of-two)
+        # table size: 7 % 3 == 1
+        b = ROM("r", contents=[10, 20, 30], width=8)
+        assert single_block_model(b, {"addr": 7}, "data") == 20
 
 
 class TestSeqBlocks:
@@ -288,6 +326,45 @@ class TestModel:
         m.connect(a.o("out"), add.i("a"))
         with pytest.raises(ModelError, match="already driven"):
             m.connect(b.o("out"), add.i("a"))
+
+    def test_failed_multi_connect_leaves_model_unchanged(self):
+        # a bad target anywhere in the list must not wire *any* target
+        # (the historical bug wired the earlier ones before raising)
+        m = Model()
+        c = m.add(Constant("c", 3, width=8))
+        d = m.add(Constant("d", 4, width=8))
+        a1 = m.add(Add("a1", width=8))
+        a2 = m.add(Add("a2", width=8))
+        m.connect(d.o("out"), a2.i("b"))
+        n_wires = len(m.connections)
+        with pytest.raises(ModelError, match="already driven"):
+            m.connect(c.o("out"), a1.i("a"), a1.i("b"), a2.i("b"))
+        assert len(m.connections) == n_wires
+        assert a1.i("a").port.source is None
+        assert a1.i("b").port.source is None
+        m.settle()
+        assert a1.out_value("s") == 0  # both inputs still at defaults
+        assert a2.out_value("s") == 4
+
+    def test_duplicate_target_in_one_connect(self):
+        m = Model()
+        c = m.add(Constant("c", 1, width=8))
+        a = m.add(Add("a", width=8))
+        with pytest.raises(ModelError, match="already driven"):
+            m.connect(c.o("out"), a.i("a"), a.i("a"))
+        assert a.i("a").port.source is None
+
+    def test_connect_after_run_recompiles(self):
+        # wiring after a step invalidates the schedule (and any
+        # generated code), so the new edge takes effect
+        m = Model()
+        c = m.add(Constant("c", 7, width=8))
+        a = m.add(Add("a", width=8))
+        m.step()
+        assert a.out_value("s") == 0
+        m.connect(c.o("out"), a.i("a"))
+        m.settle()
+        assert a.out_value("s") == 7
 
     def test_probe_records(self):
         m = Model()
