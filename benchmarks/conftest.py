@@ -37,6 +37,13 @@ COMPILED_SMOKE = [
     sys.executable, "-m", "pytest", "tests", "-q", "-k", "compiled",
 ]
 
+#: the lockstep-engine smoke target — the batched-vs-scalar
+#: equivalence suite that must be green before any batched-throughput
+#: number is worth recording.
+BATCHED_SMOKE = [
+    sys.executable, "-m", "pytest", "tests", "-q", "-k", "batched",
+]
+
 
 def _run_smoke(target: list[str], label: str) -> None:
     env = dict(os.environ)
@@ -83,6 +90,15 @@ def compiled_smoke():
     compiled``) once per bench session; the generated-code speedup is
     only meaningful when both engines are provably bit-identical."""
     _run_smoke(COMPILED_SMOKE, "compiled-schedule")
+
+
+@pytest.fixture(scope="session")
+def batched_smoke():
+    """Run the lockstep-engine smoke target (``pytest tests -k
+    batched``) once per bench session; batched-throughput numbers are
+    only meaningful when the vector engine is provably byte-identical
+    to the scalar one."""
+    _run_smoke(BATCHED_SMOKE, "batched-engine")
 
 
 @pytest.fixture

@@ -90,13 +90,28 @@ class CordicDesign:
             )
             result = sim.run()
             cpu = sim.cpu
+        self.check(cpu, result)
+        return result
+
+    def check(self, cpu, result: CoSimResult) -> None:
+        """Post-run acceptance: exit code + golden-model compare.
+
+        The tail of :meth:`run`, callable on an externally driven
+        simulation (e.g. one lane of a batched sweep) so every engine
+        applies the identical verdict and diagnostic text."""
         if result.exit_code != 0:
             raise VerificationError(
                 f"CORDIC P={self.p}: program exited with {result.exit_code}"
             )
         if self.verify:
             self._verify(cpu)
-        return result
+
+    def fresh_hardware(self):
+        """A new ``(model, mb)`` pair for this partition — what a
+        batched campaign lane needs, without recompiling the program."""
+        if self.p == 0:
+            raise ValueError("software-only partition has no hardware")
+        return build_cordic_model(self.p, self.fifo_depth)
 
     def _verify(self, cpu) -> None:
         got_y = read_int32_array(cpu, self.program, "Yv", self.ndata)

@@ -63,13 +63,28 @@ class MatmulDesign:
             )
             result = sim.run()
             cpu = sim.cpu
+        self.check(cpu, result)
+        return result
+
+    def check(self, cpu, result: CoSimResult) -> None:
+        """Post-run acceptance: exit code + golden-model compare.
+
+        The tail of :meth:`run`, callable on an externally driven
+        simulation (e.g. one lane of a batched sweep) so every engine
+        applies the identical verdict and diagnostic text."""
         if result.exit_code != 0:
             raise VerificationError(
                 f"matmul block={self.block}: exit code {result.exit_code}"
             )
         if self.verify:
             self._verify(cpu)
-        return result
+
+    def fresh_hardware(self):
+        """A new ``(model, mb)`` pair for this partition — what a
+        batched campaign lane needs, without recompiling the program."""
+        if self.block == 0:
+            raise ValueError("software-only partition has no hardware")
+        return build_matmul_model(self.block, self.fifo_depth)
 
     def _verify(self, cpu) -> None:
         flat = read_int32_array(cpu, self.program, "C", self.matn * self.matn)

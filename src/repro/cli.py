@@ -398,6 +398,13 @@ def dse_main(argv: list[str] | None = None) -> int:
                         help="run every point instrumented and attach its "
                              "metric snapshot to the per-point report "
                              "record (cache hits carry none)")
+    parser.add_argument("--batch", nargs="?", const=-1, type=int,
+                        default=None, metavar="WIDTH",
+                        help="evaluate structurally identical points in "
+                             "lockstep on the batched vector engine, up to "
+                             "WIDTH lanes at a time (default 32); "
+                             "incompatible with --workers/--retries/"
+                             "--journal/--telemetry")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the per-point progress line")
     args = parser.parse_args(argv)
@@ -405,6 +412,7 @@ def dse_main(argv: list[str] | None = None) -> int:
     from repro.cosim.report import format_sweep, sweep_to_json, \
         sweep_to_markdown
     from repro.cosim.sweep import sweep
+    from repro.cosim.sweep_batched import DEFAULT_BATCH_WIDTH, sweep_batched
 
     try:
         specs, options = _load_sweep_spec(args.spec)
@@ -423,6 +431,16 @@ def dse_main(argv: list[str] | None = None) -> int:
         print("mb32-dse: spec error: --resume needs --journal FILE",
               file=sys.stderr)
         return 2
+    batch_width = args.batch
+    if batch_width == -1:
+        batch_width = DEFAULT_BATCH_WIDTH
+    if batch_width is not None and (
+        workers > 0 or retries > 0 or args.journal or args.telemetry
+    ):
+        print("mb32-dse: spec error: --batch is incompatible with "
+              "--workers/--retries/--journal/--telemetry (those are "
+              "scalar-sweep features)", file=sys.stderr)
+        return 2
 
     def progress(p):
         if args.quiet:
@@ -438,18 +456,27 @@ def dse_main(argv: list[str] | None = None) -> int:
         )
 
     try:
-        report = sweep(
-            specs,
-            workers=workers,
-            timeout_s=timeout_s,
-            retries=retries,
-            retry_backoff_s=args.retry_backoff,
-            cache_dir=cache_dir,
-            journal=args.journal,
-            resume=args.resume,
-            progress=progress,
-            telemetry=args.telemetry,
-        )
+        if batch_width is not None:
+            report = sweep_batched(
+                specs,
+                batch_width=batch_width,
+                timeout_s=timeout_s,
+                cache_dir=cache_dir,
+                progress=progress,
+            )
+        else:
+            report = sweep(
+                specs,
+                workers=workers,
+                timeout_s=timeout_s,
+                retries=retries,
+                retry_backoff_s=args.retry_backoff,
+                cache_dir=cache_dir,
+                journal=args.journal,
+                resume=args.resume,
+                progress=progress,
+                telemetry=args.telemetry,
+            )
     except ValueError as exc:  # journal/spec mismatch on --resume
         print(f"mb32-dse: spec error: {exc}", file=sys.stderr)
         return 2
@@ -884,6 +911,12 @@ def faultsim_main(argv: list[str] | None = None) -> int:
         p.add_argument("--jobs", type=int, default=0, metavar="N",
                        help="worker processes (0 = in-process sequential; "
                             "reports are identical either way)")
+        p.add_argument("--batch", nargs="?", const=-1, type=int,
+                       default=None, metavar="WIDTH",
+                       help="run trials in lockstep on the batched vector "
+                            "engine, up to WIDTH at a time (default 32); "
+                            "the report is identical to the scalar one; "
+                            "incompatible with --jobs/--timeout/--journal")
         p.add_argument("--timeout", type=float, default=None, metavar="S",
                        help="per-trial wall-clock budget in seconds")
         p.add_argument("--journal", metavar="FILE",
@@ -911,6 +944,16 @@ def faultsim_main(argv: list[str] | None = None) -> int:
     if args.resume and not args.journal:
         print("mb32-faultsim: error: --resume needs --journal FILE",
               file=sys.stderr)
+        return 2
+    batch_width = args.batch
+    if batch_width == -1:
+        batch_width = 32
+    if batch_width is not None and (
+        args.jobs or args.timeout or args.journal or args.resume
+    ):
+        print("mb32-faultsim: error: --batch is incompatible with "
+              "--jobs/--timeout/--journal/--resume (those are "
+              "scalar-engine features)", file=sys.stderr)
         return 2
     try:
         config = CampaignConfig(
@@ -945,6 +988,7 @@ def faultsim_main(argv: list[str] | None = None) -> int:
             journal=args.journal,
             resume=args.resume,
             progress=progress,
+            batch_width=batch_width,
         )
     except ValueError as exc:  # bad design params or journal mismatch
         print(f"mb32-faultsim: error: {exc}", file=sys.stderr)

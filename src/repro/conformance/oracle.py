@@ -48,6 +48,7 @@ from repro.cosim.environment import (
 )
 from repro.cosim.trace import FSLTrace
 from repro.iss.cpu import HaltReason
+from repro.runapi.engine import engine_scope
 from repro.telemetry import Telemetry
 
 ALL_MODES = ("per_cycle", "fast_forward", "verify", "reset_rerun",
@@ -204,7 +205,7 @@ def _make_sim(scenario: Scenario, program: Program, *,
 def _run(sim: CoSimulation, max_cycles: int) -> tuple[str, str]:
     """Run to completion; fold the outcome into a (status, error) pair."""
     try:
-        result = sim.run(max_cycles=max_cycles)
+        result = sim.run(until=max_cycles)
     except CoSimDeadlock as exc:
         return "deadlock", str(exc)
     except (CoSimTimeout, FastForwardError) as exc:
@@ -217,41 +218,100 @@ def _run(sim: CoSimulation, max_cycles: int) -> tuple[str, str]:
 
 
 def observe(scenario: Scenario, mode: str,
-            program: Program | None = None) -> Observation:
-    """Execute ``scenario`` under ``mode`` and capture the full surface."""
+            program: Program | None = None,
+            engine: str = "auto") -> Observation:
+    """Execute ``scenario`` under ``mode`` and capture the full surface.
+
+    ``engine`` selects the hardware execution engine
+    (``"auto" | "compiled" | "interpreter"``) for the run, threaded to
+    the simulation via :func:`~repro.runapi.engine_scope` — so the
+    oracle can diff engines as well as loop modes.
+    """
     if mode not in ALL_MODES:
         raise ValueError(f"unknown execution mode {mode!r}; "
                          f"choose from {', '.join(ALL_MODES)}")
     if mode == "subprocess":
-        return _observe_subprocess(scenario)
+        return _observe_subprocess(scenario, engine)
     if program is None:
         program = build_program(scenario)
 
-    if mode == "per_cycle":
-        sim, trace = _make_sim(scenario, program, fast_forward=False)
-    elif mode == "fast_forward":
-        sim, trace = _make_sim(scenario, program, fast_forward=True)
-    elif mode == "verify":
-        sim, trace = _make_sim(scenario, program, fast_forward=True,
-                               verify=True)
-    else:  # reset_rerun
-        sim, trace = _make_sim(scenario, program, fast_forward=True)
-        _run(sim, scenario.max_cycles)  # first run: outcome discarded
-        sim.reset()
-        trace.transactions.clear()
+    with engine_scope(engine):
+        if mode == "per_cycle":
+            sim, trace = _make_sim(scenario, program, fast_forward=False)
+        elif mode == "fast_forward":
+            sim, trace = _make_sim(scenario, program, fast_forward=True)
+        elif mode == "verify":
+            sim, trace = _make_sim(scenario, program, fast_forward=True,
+                                   verify=True)
+        else:  # reset_rerun
+            sim, trace = _make_sim(scenario, program, fast_forward=True)
+            _run(sim, scenario.max_cycles)  # first run: outcome discarded
+            sim.reset()
+            trace.transactions.clear()
 
     status, error = _run(sim, scenario.max_cycles)
     return _capture(sim, mode, status, error, trace)
+
+
+def observe_batched(
+    scenario: Scenario,
+    lane_max_cycles: list[int],
+    *,
+    force_evict: tuple[int, ...] = (),
+    force_evict_cycle: int = 64,
+    engine: str = "auto",
+    program: Program | None = None,
+) -> list[Observation]:
+    """Execute N lanes of ``scenario`` under the lockstep vector engine
+    and capture each lane's full observable surface.
+
+    Every lane runs the same scenario; ``lane_max_cycles`` gives each
+    its own cycle budget, so lanes freeze (lane-mask) at different
+    cycles — the divergence axis of the lockstep-vs-scalar equivalence
+    suite.  ``force_evict`` lists lanes to kick onto the scalar engine
+    mid-run, proving the eviction path reproduces the scalar surface
+    bit-for-bit.  Each returned :class:`Observation` must satisfy
+    ``obs.comparable() == observe(scenario_with_that_budget,
+    "per_cycle").comparable()``.
+    """
+    from repro.cosim.batch import BatchedCoSimulation
+
+    if program is None:
+        program = build_program(scenario)
+    traces: dict[int, FSLTrace] = {}
+
+    def factory() -> CoSimulation:
+        sim, trace = _make_sim(scenario, program, fast_forward=False)
+        traces[id(sim)] = trace
+        return sim
+
+    with engine_scope(engine):
+        batch = BatchedCoSimulation(
+            [factory] * len(lane_max_cycles),
+            force_evict=force_evict,
+            force_evict_cycle=force_evict_cycle,
+        )
+        lane_results = batch.run(until=list(lane_max_cycles))
+
+    observations = []
+    for lane, lr in enumerate(lane_results):
+        sim = batch.lane(lane)
+        mode = "batched_evicted" if lr.evicted else "batched"
+        observations.append(
+            _capture(sim, mode, lr.status, lr.error_text, traces[id(sim)])
+        )
+    return observations
 
 
 # --------------------------------------------------------------------------
 # subprocess mode — mirror of the sweep engine's worker-process shape
 
 
-def _subprocess_worker(conn, scenario_dict: dict) -> None:
+def _subprocess_worker(conn, scenario_dict: dict,
+                       engine: str = "auto") -> None:
     try:
         scenario = Scenario.from_dict(scenario_dict)
-        obs = observe(scenario, "fast_forward")
+        obs = observe(scenario, "fast_forward", engine=engine)
         payload = obs.to_dict()
         payload["mode"] = "subprocess"
         conn.send(("ok", payload))
@@ -261,11 +321,12 @@ def _subprocess_worker(conn, scenario_dict: dict) -> None:
         conn.close()
 
 
-def _observe_subprocess(scenario: Scenario) -> Observation:
+def _observe_subprocess(scenario: Scenario,
+                        engine: str = "auto") -> Observation:
     ctx = multiprocessing.get_context()
     recv, send = ctx.Pipe(duplex=False)
     proc = ctx.Process(target=_subprocess_worker,
-                       args=(send, scenario.to_dict()), daemon=True)
+                       args=(send, scenario.to_dict(), engine), daemon=True)
     proc.start()
     send.close()
     try:
@@ -356,11 +417,13 @@ class ScenarioVerdict:
 
 
 def check_scenario(scenario: Scenario,
-                   modes: tuple[str, ...] = ALL_MODES) -> ScenarioVerdict:
+                   modes: tuple[str, ...] = ALL_MODES,
+                   engine: str = "auto") -> ScenarioVerdict:
     """Run ``scenario`` under every mode and diff against the reference.
 
     The reference mode is always run (and always first), whether or not
-    it appears in ``modes``.
+    it appears in ``modes``.  ``engine`` is forwarded to every
+    :func:`observe` call.
     """
     verdict = ScenarioVerdict(scenario=scenario)
     try:
@@ -369,7 +432,7 @@ def check_scenario(scenario: Scenario,
         verdict.build_error = f"{type(exc).__name__}: {exc}"
         return verdict
 
-    reference = observe(scenario, REFERENCE_MODE, program)
+    reference = observe(scenario, REFERENCE_MODE, program, engine)
     verdict.reference = reference
     verdict.observations[REFERENCE_MODE] = reference
     ref_surface = reference.comparable()
@@ -377,7 +440,7 @@ def check_scenario(scenario: Scenario,
     for mode in modes:
         if mode == REFERENCE_MODE:
             continue
-        obs = observe(scenario, mode, program)
+        obs = observe(scenario, mode, program, engine)
         verdict.observations[mode] = obs
         hit = first_divergence(ref_surface, obs.comparable())
         if hit is not None:

@@ -34,6 +34,8 @@ from repro.cosim.sweep import (
     SweepReport,
     sweep,
 )
+from repro.cosim.sweep_batched import sweep_batched
+from repro.cosim.batch import BatchedCoSimulation, LaneResult
 
 __all__ = [
     "MicroBlazeBlock",
@@ -49,6 +51,9 @@ __all__ = [
     "explore",
     "DSEResult",
     "sweep",
+    "sweep_batched",
+    "BatchedCoSimulation",
+    "LaneResult",
     "SweepCache",
     "SweepProgress",
     "SweepReport",

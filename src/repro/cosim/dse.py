@@ -22,6 +22,7 @@ from typing import Any
 from repro.cosim.environment import CoSimResult
 from repro.cosim.partition import DesignPoint, DesignSpec
 from repro.resources.estimator import DesignEstimate
+from repro.runapi import RunOutcome
 
 #: structured per-point statuses reported by the sweep engine — a
 #: failing point becomes data instead of a sweep-killing exception.
@@ -33,12 +34,16 @@ STATUS_ERROR = "error"
 
 
 @dataclass
-class DSEResult:
+class DSEResult(RunOutcome):
     """Evaluation of one design point.
 
     ``result``/``estimate`` are ``None`` unless the point evaluated to
     completion; ``status`` is one of the ``STATUS_*`` strings and
-    ``error`` carries the diagnostic for non-``ok`` points.
+    ``error`` carries the diagnostic for non-``ok`` points.  This is a
+    :class:`~repro.runapi.RunOutcome`: ``status`` / ``error`` /
+    ``cycles`` and the ``to_dict()`` key core are shared with
+    :class:`~repro.cosim.environment.CoSimResult` and the fault
+    campaign's :class:`~repro.faults.campaign.TrialOutcome`.
     """
 
     point: DesignPoint | DesignSpec
@@ -84,6 +89,7 @@ class DSEResult:
             "params": dict(self.point.params),
             "status": self.status,
             "error": self.error,
+            "cycles": self.cycles,
             "cache_hit": self.cache_hit,
             "fingerprint": self.fingerprint,
             "attempts": self.attempts,

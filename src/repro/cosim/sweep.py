@@ -70,6 +70,7 @@ from repro.cosim.environment import (
 )
 from repro.cosim.partition import DesignPoint, DesignSpec
 from repro.iss.cpu import HaltReason
+from repro.runapi.engine import engine_scope
 from repro.resources.estimator import DesignEstimate
 from repro.resources.types import Resources
 from repro.telemetry import Telemetry, telemetry_scope
@@ -413,6 +414,24 @@ def _evaluate(
             )
             return payload
 
+    _run_and_classify(instance, payload, timeout_s, telemetry)
+    if payload["status"] == STATUS_OK and cache is not None:
+        cache.put(fingerprint, payload["result"], payload["estimate"])
+    return payload
+
+
+def _run_and_classify(
+    instance,
+    payload: dict[str, Any],
+    timeout_s: float | None,
+    telemetry: bool = False,
+) -> None:
+    """Run a built design instance and classify the outcome in place.
+
+    The run/classify tail of :func:`_evaluate`, shared with the scalar
+    fallback path of :func:`~repro.cosim.sweep_batched.sweep_batched`
+    so both engines produce identical statuses and diagnostics.
+    """
     tel = Telemetry() if telemetry else None
     try:
         with contextlib.ExitStack() as stack:
@@ -423,10 +442,10 @@ def _evaluate(
             result = instance.run()
     except CoSimTimeout as exc:
         payload.update(status=STATUS_TIMEOUT, error=str(exc))
-        return payload
+        return
     except CoSimDeadlock as exc:
         payload.update(status=STATUS_DEADLOCK, error=str(exc))
-        return payload
+        return
     except AssertionError as exc:
         # VerificationError (a golden-model mismatch) derives from
         # AssertionError — the design ran but produced wrong answers.
@@ -434,12 +453,12 @@ def _evaluate(
             status=STATUS_SELF_CHECK,
             error=f"{type(exc).__name__}: {exc}",
         )
-        return payload
+        return
     except Exception as exc:
         payload.update(
             status=STATUS_ERROR, error=f"{type(exc).__name__}: {exc}"
         )
-        return payload
+        return
 
     if tel is not None:
         payload["metrics"] = tel.snapshot(result)
@@ -449,14 +468,14 @@ def _evaluate(
             error="did not terminate within max_cycles",
             result=result,
         )
-        return payload
+        return
     if result.exit_code != 0:
         payload.update(
             status=STATUS_SELF_CHECK,
             error=f"failed self-check (exit code {result.exit_code})",
             result=result,
         )
-        return payload
+        return
 
     try:
         estimate = instance.estimate()
@@ -466,23 +485,23 @@ def _evaluate(
             error=f"resource estimation failed: {type(exc).__name__}: {exc}",
             result=result,
         )
-        return payload
+        return
 
     payload.update(status=STATUS_OK, result=result, estimate=estimate)
-    if cache is not None:
-        cache.put(fingerprint, result, estimate)
-    return payload
 
 
 def _worker_main(point, cache_dir, timeout_s, conn,
-                 telemetry: bool = False, evaluate=None) -> None:
+                 telemetry: bool = False, evaluate=None,
+                 engine: str = "auto") -> None:
     """Entry point of a sweep worker process: evaluate one point and
     ship the payload back over the pipe.  ``evaluate`` lets other
     campaign engines (e.g. fault injection) reuse this pool with their
-    own module-level evaluation function."""
+    own module-level evaluation function.  ``engine`` becomes the
+    ambient :func:`~repro.runapi.engine_scope` of the evaluation."""
     try:
         evaluate_fn = evaluate if evaluate is not None else _evaluate
-        payload = evaluate_fn(point, cache_dir, timeout_s, telemetry)
+        with engine_scope(engine):
+            payload = evaluate_fn(point, cache_dir, timeout_s, telemetry)
     except BaseException as exc:  # never let a worker die silently
         payload = {
             "status": STATUS_ERROR,
@@ -608,6 +627,7 @@ def sweep(
     kill_grace_s: float = KILL_GRACE_S,
     telemetry: bool = False,
     evaluate: Callable[..., dict[str, Any]] | None = None,
+    engine: str = "auto",
 ) -> SweepReport:
     """Evaluate every design point; never raises for a failing point.
 
@@ -656,6 +676,12 @@ def sweep(
         signature and payload contract as the internal default).  Must
         be a picklable module-level function for ``workers > 0``.  This
         is how the fault-injection campaign runner reuses the pool.
+    engine:
+        Hardware execution engine every point is evaluated under
+        (``"auto" | "compiled" | "interpreter"``), applied as the
+        ambient :func:`~repro.runapi.engine_scope` around each
+        evaluation — in-process and worker-side alike.  For the
+        lockstep vector engine, use :func:`sweep_batched`.
     """
     points = list(points)
     total = len(points)
@@ -723,8 +749,9 @@ def sweep(
             for index in remaining:
                 while True:
                     attempts[index] += 1
-                    payload = evaluate_fn(points[index], cache_path,
-                                          timeout_s, telemetry)
+                    with engine_scope(engine):
+                        payload = evaluate_fn(points[index], cache_path,
+                                              timeout_s, telemetry)
                     if (
                         payload["status"] in RETRIABLE
                         and attempts[index] <= retries
@@ -756,6 +783,7 @@ def sweep(
                 backoff_seed=backoff_seed,
                 backoffs=backoffs,
                 evaluate=evaluate,
+                engine=engine,
             )
     finally:
         if journal_obj is not None:
@@ -783,6 +811,7 @@ def _run_parallel(
     backoff_seed: int = 0,
     backoffs: list[list[float]] | None = None,
     evaluate: Callable[..., dict[str, Any]] | None = None,
+    engine: str = "auto",
 ) -> None:
     """Fan points out over a bounded pool of worker processes."""
     ctx = multiprocessing.get_context()
@@ -802,7 +831,7 @@ def _run_parallel(
         proc = ctx.Process(
             target=_worker_main,
             args=(points[index], cache_path, timeout_s, child_conn,
-                  telemetry, evaluate),
+                  telemetry, evaluate, engine),
             daemon=True,
         )
         proc.start()

@@ -33,11 +33,13 @@ and resume journal for free.
 
 from __future__ import annotations
 
+import copy
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.cosim.checkpoint import checkpoint_to_dict, restore_from_dict
-from repro.cosim.dse import STATUS_ERROR, STATUS_OK
+from repro.cosim.dse import STATUS_ERROR, STATUS_OK, DSEResult
 from repro.cosim.environment import CoSimDeadlock, CoSimulation
 from repro.cosim.partition import DesignSpec
 from repro.cosim.sweep import SweepProgress, retry_backoff_delay, sweep
@@ -45,6 +47,8 @@ from repro.faults.detect import check_invariants
 from repro.faults.inject import FaultInjector
 from repro.faults.plan import FAULT_KINDS, FaultPlan, generate_plan
 from repro.iss.cpu import HaltReason
+from repro.runapi import RunOutcome
+from repro.runapi.engine import SCALAR_ENGINES, EngineError, engine_scope
 from repro.telemetry.events import COSIM_TRACK, ROLLBACK, TelemetryEvent
 
 OUTCOME_MASKED = "masked"
@@ -84,6 +88,7 @@ class CampaignConfig:
     max_cycles: int = 2_000_000
     kinds: tuple[str, ...] = FAULT_KINDS
     faults_per_trial: int = 1
+    engine: str = "auto"           # scalar engine for each trial
 
     def __post_init__(self) -> None:
         if self.app not in ("cordic", "matmul"):
@@ -92,6 +97,12 @@ class CampaignConfig:
             raise ValueError(f"unknown recovery policy {self.recovery!r}")
         if self.trials < 1:
             raise ValueError("trials must be >= 1")
+        if self.engine not in ("auto", *SCALAR_ENGINES):
+            raise EngineError(
+                f"campaign engine must be auto/compiled/interpreter, not "
+                f"{self.engine!r}; batched campaigns go through "
+                f"run_campaign(batch_width=...) / mb32-faultsim --batch"
+            )
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -106,6 +117,7 @@ class CampaignConfig:
             "max_cycles": self.max_cycles,
             "kinds": list(self.kinds),
             "faults_per_trial": self.faults_per_trial,
+            "engine": self.engine,
         }
 
 
@@ -155,6 +167,13 @@ def _finish_and_classify(
         return OUTCOME_HANG, f"watchdog: {exc}"
     except Exception as exc:  # a corrupted run may fault anywhere
         return OUTCOME_CRASH, f"{type(exc).__name__}: {exc}"
+    return _classify_state(sim, design)
+
+
+def _classify_state(sim: CoSimulation, design) -> tuple[str, str]:
+    """Classify an already-finished simulation (the non-raising half of
+    :func:`_finish_and_classify`; the batched path shares it so lockstep
+    lanes land on exactly the scalar classification)."""
     cpu = sim.cpu
     if cpu.exit_code is None:
         return OUTCOME_HANG, "cycle budget exhausted without exit"
@@ -178,6 +197,8 @@ def run_trial(
     backoff_s: float = 0.0,
     deadlock_window: int = 2_048,
     max_cycles: int = 2_000_000,
+    engine: str = "auto",
+    _design_factory: Callable[[], Any] | None = None,
 ) -> dict[str, Any]:
     """One seeded injection: run, classify, optionally roll back.
 
@@ -189,12 +210,19 @@ def run_trial(
     *recorded*, never slept — campaign reports must not depend on wall
     time.
 
+    ``_design_factory`` (internal) supplies a pre-built design with
+    fresh hardware so the batched path's evicted-lane replays skip the
+    per-trial program compile; the compile is deterministic, so the
+    record is unchanged.
+
     Returns a plain JSON-safe dict — the per-trial record of the
     campaign report.
     """
     fault_plan = FaultPlan.from_dict(plan)
-    design = build_design(app, design_params)
-    sim = _make_sim(design, deadlock_window)
+    with engine_scope(engine):
+        design = (build_design(app, design_params)
+                  if _design_factory is None else _design_factory())
+        sim = _make_sim(design, deadlock_window)
     cpu = sim.cpu
 
     record: dict[str, Any] = {
@@ -207,7 +235,7 @@ def run_trial(
     }
 
     first = min(fault_plan.first_cycle, max_cycles)
-    sim.run(max_cycles=first)
+    sim.run(until=first)
     if cpu.halted and cpu.halt_reason is not HaltReason.MAX_CYCLES:
         # The program finished before the fault cycle — nothing landed.
         outcome, detail = _finish_and_classify(sim, design, lambda: None)
@@ -249,7 +277,7 @@ def run_trial(
                 )
             outcome, detail = _finish_and_classify(
                 sim, design,
-                lambda: sim.run(max_cycles=max_cycles - checkpoint["cycle"]),
+                lambda: sim.run(until=max_cycles - checkpoint["cycle"]),
             )
             if outcome == OUTCOME_MASKED:
                 outcome = OUTCOME_RECOVERED
@@ -306,6 +334,7 @@ def _evaluate_trial(
             backoff_s=params["backoff_s"],
             deadlock_window=params["deadlock_window"],
             max_cycles=params["max_cycles"],
+            engine=params.get("engine", "auto"),
         )
     except Exception as exc:
         payload["error"] = f"trial failed: {type(exc).__name__}: {exc}"
@@ -318,6 +347,39 @@ def _evaluate_trial(
 # The campaign report
 # ----------------------------------------------------------------------
 @dataclass
+class TrialOutcome(RunOutcome):
+    """:class:`~repro.runapi.RunOutcome` view of one per-trial record.
+
+    The campaign report keeps trials as plain dicts (byte-stable JSON);
+    this wrapper gives them the shared ``status`` / ``error`` /
+    ``cycles`` surface: a ``masked`` trial is ``status == "ok"``, any
+    other classification becomes the status with the detail as the
+    error.  ``to_dict()`` layers the core keys over the full record.
+    """
+
+    record: dict[str, Any]
+
+    @property
+    def outcome(self) -> str:
+        return self.record["outcome"]
+
+    @property
+    def status(self) -> str:
+        return "ok" if self.outcome == OUTCOME_MASKED else self.outcome
+
+    @property
+    def error(self) -> str | None:
+        return self.record.get("detail") or None
+
+    @property
+    def cycles(self) -> int | None:
+        return self.record.get("cycles")
+
+    def extra_dict(self) -> dict[str, Any]:
+        return dict(self.record)
+
+
+@dataclass
 class CampaignReport:
     """Outcome of one campaign: config echo, baseline, every trial."""
 
@@ -325,6 +387,11 @@ class CampaignReport:
     baseline_cycles: int
     trials: list[dict[str, Any]]
     workers: int = 0
+
+    @property
+    def outcomes(self) -> list[TrialOutcome]:
+        """The trials as :class:`~repro.runapi.RunOutcome` records."""
+        return [TrialOutcome(t) for t in self.trials]
 
     @property
     def counts(self) -> dict[str, int]:
@@ -405,6 +472,7 @@ def campaign_specs(
                     "backoff_s": config.backoff_s,
                     "deadlock_window": config.deadlock_window,
                     "max_cycles": config.max_cycles,
+                    "engine": config.engine,
                 },
             )
         )
@@ -420,16 +488,35 @@ def run_campaign(
     journal: str | None = None,
     resume: bool = False,
     progress: Callable[[SweepProgress], None] | None = None,
+    batch_width: int | None = None,
 ) -> CampaignReport:
     """Baseline the design, then run every seeded trial.
 
     ``workers``/``timeout_s``/``retries``/``journal``/``resume`` are
     forwarded to the sweep engine; retries only re-run trials whose
     *evaluation* failed (worker crash), never reclassify outcomes.
+
+    ``batch_width=N`` routes the campaign through the lockstep vector
+    engine instead: trials run N at a time on one
+    :class:`~repro.cosim.batch.BatchedCoSimulation`, sharing one
+    program build and one fault-free prefix per batch, with
+    unvectorizable trials evicted to the scalar engine.  The report is
+    identical to the scalar one (same classification, same per-trial
+    records); the sweep-engine options do not apply.
     """
-    design = build_design(config.app, config.design)
-    baseline = design.run()  # also validates the fault-free partition
-    sim = _make_sim(design, config.deadlock_window)
+    if batch_width is not None:
+        if batch_width < 1:
+            raise ValueError("batch_width must be >= 1")
+        if journal is not None or resume:
+            raise ValueError(
+                "batched campaigns do not support --journal/--resume; "
+                "drop --batch or run the journal on the scalar engine"
+            )
+        return _run_campaign_batched(config, batch_width, progress=progress)
+    with engine_scope(config.engine):
+        design = build_design(config.app, config.design)
+        baseline = design.run()  # also validates the fault-free partition
+        sim = _make_sim(design, config.deadlock_window)
     channels = tuple(c.name for c in sim.mb_block.channels())
     ports = tuple(
         f"{block.name}:{port}"
@@ -479,4 +566,396 @@ def run_campaign(
         baseline_cycles=baseline.cycles,
         trials=trials,
         workers=max(workers, 0),
+    )
+
+
+# ----------------------------------------------------------------------
+# The batched (lockstep vector) campaign path
+# ----------------------------------------------------------------------
+def _scalar_trial(
+    config: CampaignConfig,
+    spec: DesignSpec,
+    design_factory: Callable[[], Any] | None = None,
+) -> dict[str, Any]:
+    """Replay one trial on the scalar engine, producing exactly the
+    record the sweep path would — including the crash-filler shape when
+    the trial evaluation itself raises."""
+    params = dict(spec.params)
+    try:
+        return run_trial(
+            params["app"],
+            params["design"],
+            params["plan"],
+            recovery=params["recovery"],
+            max_retries=params["max_retries"],
+            backoff_s=params["backoff_s"],
+            deadlock_window=params["deadlock_window"],
+            max_cycles=params["max_cycles"],
+            engine=params.get("engine", "auto"),
+            _design_factory=design_factory,
+        )
+    except Exception as exc:  # noqa: BLE001 - mirrors _evaluate_trial
+        return {
+            "seed": params["plan"]["seed"],
+            "plan": params["plan"],
+            "injected": [],
+            "rollbacks": 0,
+            "backoff_s": [],
+            "checkpoint_cycle": None,
+            "outcome": OUTCOME_CRASH,
+            "original_outcome": OUTCOME_CRASH,
+            "detail": f"trial failed: {type(exc).__name__}: {exc}",
+            "cycles": None,
+            "exit_code": None,
+        }
+
+
+def _run_trial_batch(
+    config: CampaignConfig, specs: list[DesignSpec], design
+) -> list[dict[str, Any]]:
+    """Run up to ``batch_width`` trials of one campaign in lockstep.
+
+    Every lane starts from cycle 0 on the shared program (one compile
+    for the whole batch) and stays phase-aligned with its neighbours
+    until its own faults diverge it, so the vector engine's all-active
+    step and its quiescence fast-forward both engage.  The drive loop
+    is ``FaultInjector.run`` unrolled across lanes: each round computes
+    the next event cycle per lane (next fault, the end of a ``stuck_at``
+    window, or the final ``max_cycles`` advance), applies due faults to
+    the lane's own CPU/FIFO objects, pins ``stuck_at`` ports through
+    the engine's per-cycle forcing, and lets the lockstep kernel
+    advance every lane together.
+
+    Lanes the vector engine cannot finish faithfully — CPU crashes,
+    vector-step crashes, watchdog trips inside an active ``stuck_at``
+    window, forced ports the vector schedule does not track, rollback
+    recovery — are evicted to a full scalar :func:`run_trial` replay,
+    which determinism makes bit-identical.  A watchdog trip with no
+    forcing active is classified in lane: the lockstep tripwire fires
+    at the same absolute boundary with the same state as the scalar
+    watchdog, so its exact diagnostic is synthesized instead of paying
+    a replay.
+    """
+    from repro.cosim.batch import BatchedCoSimulation
+    from repro.sysgen.batched import BatchUnsupported
+
+    n = len(specs)
+    records: list[dict[str, Any] | None] = [None] * n
+    plans = [FaultPlan.from_dict(s.params["plan"]) for s in specs]
+    # run_trial's pre-fault checkpoint cycle; also the early/late pivot
+    firsts = [min(plan.first_cycle, config.max_cycles) for plan in plans]
+
+    def lane_design():
+        # the shared design with fresh hardware: scalar replays skip
+        # the (deterministic) per-trial program compile
+        clone = copy.copy(design)
+        clone.model, clone.mb = design.fresh_hardware()
+        return clone
+
+    # --- build the lanes and the lockstep engine ---------------------
+    sims: list[CoSimulation] = []
+    try:
+        with engine_scope("interpreter"):
+            for _ in range(n):
+                lmodel, lmb = design.fresh_hardware()
+                sims.append(CoSimulation(
+                    design.program, lmodel, lmb,
+                    cpu_config=design.cpu_config,
+                    deadlock_window=config.deadlock_window,
+                ))
+        batch = BatchedCoSimulation(sims=sims)
+    except Exception:  # noqa: BLE001 - scalar replays reproduce it
+        return [_scalar_trial(config, spec, lane_design) for spec in specs]
+
+    # --- drive every lane through its fault plan ---------------------
+    injectors = [FaultInjector(batch.lane(li), plans[li]) for li in range(n)]
+    faults = [sorted(plan.faults, key=lambda f: f.cycle) for plan in plans]
+    fault_i = [0] * n
+    applied_any = [False] * n          # i.e. run_trial got past `first`
+    stuck: list[tuple[Any, int] | None] = [None] * n
+    finished = [False] * n
+    while True:
+        targets: dict[int, int] = {}
+        for li in range(n):
+            if finished[li] or li in batch.pending_evictions:
+                continue
+            cpu = batch.lane(li).cpu
+            while True:
+                if stuck[li] is not None:
+                    spec, end = stuck[li]
+                    if cpu.halted or cpu.cycle >= end:
+                        # the scalar injector logs the whole window as
+                        # one entry, after it, at the post-window (or
+                        # halt) cycle
+                        injectors[li].log.append({
+                            "fault": spec.describe(),
+                            "cycle": cpu.cycle,
+                            "applied": True,
+                            "note": "",
+                        })
+                        stuck[li] = None
+                        fault_i[li] += 1
+                        continue
+                    targets[li] = end
+                    break
+                if fault_i[li] < len(faults[li]):
+                    spec = faults[li][fault_i[li]]
+                    if spec.cycle >= config.max_cycles:
+                        fault_i[li] = len(faults[li])
+                        continue
+                    if cpu.halted:
+                        if cpu.halt_reason is not HaltReason.MAX_CYCLES:
+                            if applied_any[li]:
+                                injectors[li].log.append({
+                                    "fault": spec.describe(),
+                                    "cycle": cpu.cycle,
+                                    "applied": False,
+                                    "note": "program ended before the "
+                                            "fault cycle",
+                                })
+                            finished[li] = True
+                            break
+                        cpu.resume()
+                    if spec.cycle > cpu.cycle:
+                        targets[li] = spec.cycle
+                        break
+                    applied_any[li] = True
+                    if spec.kind == "stuck_at":
+                        # the scalar injector's port resolution, on
+                        # this lane's own (clone) model
+                        lane_sim = batch.lane(li)
+                        block_name, _, port_name = \
+                            spec.target.partition(":")
+                        port = None
+                        for model in lane_sim._models:
+                            for block in model.blocks:
+                                if block.name == block_name and \
+                                        port_name in block.outputs:
+                                    port = block.outputs[port_name]
+                        if port is None:
+                            injectors[li].log.append({
+                                "fault": spec.describe(),
+                                "cycle": cpu.cycle,
+                                "applied": False,
+                                "note": f"no output port {spec.target!r}",
+                            })
+                            fault_i[li] += 1
+                            continue
+                        end = min(cpu.cycle + spec.duration,
+                                  config.max_cycles)
+                        try:
+                            batch.force_port(li, block_name, port_name,
+                                             spec.value, end)
+                        except BatchUnsupported as exc:
+                            batch.pending_evictions[li] = str(exc)
+                            break
+                        if cpu.cycle >= end:
+                            # zero-length window: the forced value is
+                            # left on the port, logged at this cycle
+                            injectors[li].log.append({
+                                "fault": spec.describe(),
+                                "cycle": cpu.cycle,
+                                "applied": True,
+                                "note": "",
+                            })
+                            fault_i[li] += 1
+                            continue
+                        stuck[li] = (spec, end)
+                        targets[li] = end
+                        break
+                    # reg/mem/FIFO faults mutate only this lane's CPU
+                    # and channel objects — the vector arrays stay
+                    # coherent, but quiescence evidence is stale now
+                    injectors[li]._apply(spec, config.max_cycles)
+                    batch.hw_touched()
+                    fault_i[li] += 1
+                    continue
+                # all faults applied or beyond budget: final advance
+                if cpu.halted:
+                    if cpu.halt_reason is not HaltReason.MAX_CYCLES:
+                        finished[li] = True
+                        break
+                    cpu.resume()
+                if cpu.cycle < config.max_cycles:
+                    targets[li] = config.max_cycles
+                else:
+                    finished[li] = True
+                break
+        if not targets:
+            break
+        if len(targets) <= n // 8:
+            # tail eviction: with most lanes finished, the lockstep
+            # step's fixed per-cycle cost is spread over too few lanes
+            # to beat the scalar engine's per-lane fast-forward — hand
+            # the stragglers to the (bit-identical) scalar replay
+            for li in targets:
+                records[li] = _scalar_trial(config, specs[li], lane_design)
+                finished[li] = True
+            break
+        batch.advance(targets)
+
+    # --- classify ----------------------------------------------------
+    window = config.deadlock_window
+    for li in range(n):
+        if records[li] is not None:
+            continue
+        lane_sim = batch.lane(li)
+        cpu = lane_sim.cpu
+        if li in batch.pending_evictions:
+            if batch.pending_evictions[li] == "deadlock watchdog" and \
+                    li not in batch._forcings:
+                # Same absolute boundary, same retire history, no
+                # forcing in flight: synthesize the scalar watchdog's
+                # exact diagnostic in lane instead of paying a replay.
+                msg = (
+                    f"no instruction retired in {window} cycles at "
+                    f"pc={cpu.pc:#010x}; FSL occupancies: "
+                    f"{lane_sim.mb_block.channel_occupancies()}"
+                )
+                if not applied_any[li]:
+                    # scalar run_trial raises during the fault-free
+                    # prefix — the sweep wrapper's crash-filler record
+                    records[li] = {
+                        "seed": plans[li].seed,
+                        "plan": plans[li].to_dict(),
+                        "injected": [],
+                        "rollbacks": 0,
+                        "backoff_s": [],
+                        "checkpoint_cycle": None,
+                        "outcome": OUTCOME_CRASH,
+                        "original_outcome": OUTCOME_CRASH,
+                        "detail": f"trial failed: CoSimDeadlock: {msg}",
+                        "cycles": None,
+                        "exit_code": None,
+                    }
+                elif config.recovery == "rollback":
+                    # hang is recoverable: rollback runs on the scalar
+                    # engine, so replay the whole trial there
+                    records[li] = _scalar_trial(config, specs[li],
+                                                lane_design)
+                else:
+                    records[li] = {
+                        "seed": plans[li].seed,
+                        "plan": plans[li].to_dict(),
+                        "injected": injectors[li].log,
+                        "rollbacks": 0,
+                        "backoff_s": [],
+                        "checkpoint_cycle": firsts[li],
+                        "outcome": OUTCOME_HANG,
+                        "original_outcome": OUTCOME_HANG,
+                        "detail": f"watchdog: {msg}",
+                        "cycles": cpu.cycle,
+                        "exit_code": cpu.exit_code,
+                    }
+                continue
+            # CPU crash / vector-step crash / watchdog inside a stuck
+            # window / untracked forced port: the scalar replay
+            # reproduces the event and its diagnostics exactly
+            records[li] = _scalar_trial(config, specs[li], lane_design)
+            continue
+        if not applied_any[li] and cpu.halted and \
+                cpu.halt_reason is not HaltReason.MAX_CYCLES:
+            # ended before the first fault landed: run_trial's early
+            # record (no checkpoint, empty log, rollback never reached)
+            try:
+                outcome, detail = _classify_state(lane_sim, design)
+            except Exception:  # noqa: BLE001
+                records[li] = _scalar_trial(config, specs[li], lane_design)
+                continue
+            records[li] = {
+                "seed": plans[li].seed,
+                "plan": plans[li].to_dict(),
+                "injected": [],
+                "rollbacks": 0,
+                "backoff_s": [],
+                "checkpoint_cycle": None,
+                "outcome": outcome,
+                "original_outcome": outcome,
+                "detail": detail or "program ended before the fault cycle",
+                "cycles": cpu.cycle,
+                "exit_code": cpu.exit_code,
+            }
+            continue
+        if not cpu.halted:
+            cpu.halted = True
+            cpu.halt_reason = HaltReason.MAX_CYCLES
+        try:
+            outcome, detail = _classify_state(lane_sim, design)
+        except Exception:  # noqa: BLE001 - classification itself raised
+            records[li] = _scalar_trial(config, specs[li], lane_design)
+            continue
+        if config.recovery == "rollback" and outcome in RECOVERABLE:
+            # rollback re-runs from the checkpoint on the scalar
+            # engine; replay the whole trial there
+            records[li] = _scalar_trial(config, specs[li], lane_design)
+            continue
+        records[li] = {
+            "seed": plans[li].seed,
+            "plan": plans[li].to_dict(),
+            "injected": injectors[li].log,
+            "rollbacks": 0,
+            "backoff_s": [],
+            "checkpoint_cycle": firsts[li],
+            "outcome": outcome,
+            "original_outcome": outcome,
+            "detail": detail,
+            "cycles": cpu.cycle,
+            "exit_code": cpu.exit_code,
+        }
+    return records
+
+
+def _run_campaign_batched(
+    config: CampaignConfig,
+    batch_width: int,
+    *,
+    progress: Callable[[SweepProgress], None] | None = None,
+) -> CampaignReport:
+    """The ``run_campaign(batch_width=...)`` engine: same report, one
+    program build and one lockstep vector run per ``batch_width``
+    trials instead of ``batch_width`` full scalar simulations."""
+    with engine_scope(config.engine):
+        design = build_design(config.app, config.design)
+        baseline = design.run()  # also validates the fault-free partition
+        sim = _make_sim(design, config.deadlock_window)
+    channels = tuple(c.name for c in sim.mb_block.channels())
+    ports = tuple(
+        f"{block.name}:{port}"
+        for model in sim._models
+        for block in model.blocks
+        for port in block.outputs
+    )
+    mem_words = max(1, len(design.program.image) // 4)
+    specs = campaign_specs(
+        config, baseline.cycles, channels, ports, mem_words
+    )
+
+    start = time.perf_counter()
+    trials: list[dict[str, Any]] = []
+    cycles_done = 0
+    for lo in range(0, config.trials, batch_width):
+        chunk = specs[lo:lo + batch_width]
+        for off, record in enumerate(_run_trial_batch(config, chunk, design)):
+            record["trial"] = lo + off
+            trials.append(record)
+            cycles_done += record.get("cycles") or 0
+            if progress is not None:
+                progress(SweepProgress(
+                    total=config.trials,
+                    done=len(trials),
+                    cache_hits=0,
+                    active_workers=1,
+                    wall_seconds=time.perf_counter() - start,
+                    cycles_done=cycles_done,
+                    last=DSEResult(
+                        point=chunk[off], result=None, estimate=None,
+                        status=STATUS_OK, metrics=record,
+                    ),
+                ))
+
+    return CampaignReport(
+        config=config,
+        baseline_cycles=baseline.cycles,
+        trials=trials,
+        workers=0,
     )

@@ -49,7 +49,7 @@ class FaultInjector:
                 return False
             cpu.resume()
         if cycle > cpu.cycle:
-            self.sim.run(max_cycles=cycle - cpu.cycle)
+            self.sim.run(until=cycle - cpu.cycle)
         return not cpu.halted or cpu.halt_reason is HaltReason.MAX_CYCLES
 
     def run(self, until_cycle: int) -> None:

@@ -1,0 +1,46 @@
+"""The unified run/result/engine API.
+
+Six PRs accreted three result types and four ways to pick an execution
+engine; this package is the one surface that ties them together:
+
+* :class:`RunOutcome` — the shared result protocol.  Every terminal
+  record the toolkit produces (a co-simulation result, a sweep point,
+  a fault-campaign trial) exposes ``status`` / ``error`` / ``cycles``
+  and a ``to_dict()`` whose key core is stable across all three (see
+  ``tests/golden/run_outcome_contract.json``).
+* :class:`RunPolicy` — per-call execution policy for
+  :meth:`repro.cosim.environment.CoSimulation.run`: cycle budget
+  default, wall-clock budget, fast-forward mode, watchdog window.
+* :func:`resolve_engine` / :func:`engine_scope` — the single engine
+  selector (``"auto" | "compiled" | "interpreter" | "batched"``) that
+  replaces ``model.force_interpreter``, ``REPRO_SYSGEN_INTERP=1`` and
+  per-call knobs.  The old spellings keep working as deprecated shims
+  that warn exactly once per process (:mod:`repro.runapi.deprecation`).
+"""
+
+from repro.runapi.deprecation import (
+    deprecated_once,
+    reset_deprecation_registry,
+)
+from repro.runapi.engine import (
+    ENGINES,
+    EngineError,
+    current_engine,
+    engine_scope,
+    resolve_engine,
+)
+from repro.runapi.outcome import OUTCOME_CORE_KEYS, RunOutcome
+from repro.runapi.policy import RunPolicy
+
+__all__ = [
+    "ENGINES",
+    "EngineError",
+    "OUTCOME_CORE_KEYS",
+    "RunOutcome",
+    "RunPolicy",
+    "current_engine",
+    "deprecated_once",
+    "engine_scope",
+    "reset_deprecation_registry",
+    "resolve_engine",
+]

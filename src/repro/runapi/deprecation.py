@@ -1,0 +1,31 @@
+"""Warn-once deprecation shims.
+
+Every deprecated spelling of the unified run API funnels through
+:func:`deprecated_once`, which emits a :class:`DeprecationWarning` the
+*first* time each distinct spelling is used in a process and stays
+silent afterwards — hot loops that still use an old spelling pay one
+warning, not one per call.  Tests reset the registry to assert the
+exactly-once contract.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+#: spellings that have already warned in this process
+_warned: set[str] = set()
+
+
+def deprecated_once(key: str, message: str) -> bool:
+    """Emit ``DeprecationWarning(message)`` the first time ``key`` is
+    seen; return True when the warning was actually emitted."""
+    if key in _warned:
+        return False
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+    return True
+
+
+def reset_deprecation_registry() -> None:
+    """Forget which spellings have warned (test hook)."""
+    _warned.clear()

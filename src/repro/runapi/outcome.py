@@ -1,0 +1,64 @@
+"""The shared result protocol.
+
+Three result types grew up independently:
+:class:`~repro.cosim.environment.CoSimResult` (one co-simulation),
+:class:`~repro.cosim.dse.DSEResult` (one sweep point) and the fault
+campaign's per-trial records.  :class:`RunOutcome` is the common base:
+every outcome answers *how did it end* (``status``), *what went wrong*
+(``error``, ``None`` when nothing did) and *how long did it simulate*
+(``cycles``, ``None`` when the run never got far enough to know), and
+serializes through ``to_dict()`` with those three keys always present.
+
+The contract is checked in ``tests/test_run_outcome_schema.py``
+against ``tests/golden/run_outcome_contract.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: keys every RunOutcome.to_dict() must carry, with stable meaning
+OUTCOME_CORE_KEYS = ("status", "error", "cycles")
+
+
+class RunOutcome:
+    """Base/mixin for every terminal result record.
+
+    Subclasses provide ``status`` (str), ``error`` (str | None) and
+    ``cycles`` (int | None) — as plain attributes, dataclass fields or
+    properties — and may extend :meth:`extra_dict` with their own
+    payload.  ``to_dict()`` composes the stable core with the extras;
+    an extra may override a core key only with an equal value (the
+    schema test enforces consistency).
+    """
+
+    # status / error / cycles are deliberately NOT declared here even
+    # as abstract properties: a getter-only property on the base would
+    # shadow same-named dataclass *fields* in subclasses (property
+    # descriptors block instance attribute assignment).  The contract
+    # is enforced structurally by the schema test instead.
+
+    status: str
+    error: str | None
+    cycles: int | None
+
+    @property
+    def ok(self) -> bool:
+        """Uniform success test: status says ok and nothing errored."""
+        return self.status == "ok" and self.error is None
+
+    def core_dict(self) -> dict[str, Any]:
+        return {
+            "status": self.status,
+            "error": self.error,
+            "cycles": self.cycles,
+        }
+
+    def extra_dict(self) -> dict[str, Any]:
+        """Subclass payload beyond the core keys."""
+        return {}
+
+    def to_dict(self) -> dict[str, Any]:
+        out = self.core_dict()
+        out.update(self.extra_dict())
+        return out

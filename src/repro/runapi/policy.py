@@ -1,0 +1,47 @@
+"""Per-call execution policy for ``CoSimulation.run``.
+
+A :class:`RunPolicy` carries everything about *how* one run should
+execute that previously travelled as loose keyword arguments and
+constructor knobs: the wall-clock budget, the fast-forward mode and
+the deadlock watchdog window.  ``None`` fields inherit the
+simulation's configured defaults, so ``RunPolicy()`` is always a
+no-op override::
+
+    sim.run(until=200_000, policy=RunPolicy(wall_timeout_s=30.0))
+    sim.run(policy=RunPolicy(fast_forward=False))   # reference loop
+
+Policies are frozen (hashable, safe to share across calls and lanes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: historical default cycle budget of ``CoSimulation.run``
+DEFAULT_UNTIL = 50_000_000
+
+
+@dataclass(frozen=True)
+class RunPolicy:
+    """How one ``run()`` call should execute.
+
+    ``max_cycles`` is the cycle budget used when the call gives no
+    explicit ``until``; the other fields override the simulation's
+    configured defaults for the duration of the call only.
+    """
+
+    max_cycles: int | None = None
+    wall_timeout_s: float | None = None
+    fast_forward: bool | None = None
+    verify_fast_forward: bool | None = None
+    deadlock_window: int | None = None
+
+    def budget(self, until: int | None) -> int:
+        """The effective cycle budget for a run: the explicit
+        ``until`` wins, then the policy default, then the historical
+        50M-cycle ceiling."""
+        if until is not None:
+            return until
+        if self.max_cycles is not None:
+            return self.max_cycles
+        return DEFAULT_UNTIL

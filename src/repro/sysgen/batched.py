@@ -1,0 +1,891 @@
+"""Batched lockstep execution of N structurally identical models.
+
+A parameter sweep or fault campaign simulates the *same* design many
+times with different constants, programs or seeds.  Run scalar, each
+variant pays the full python interpretation cost per cycle.  This
+module extends the compiled-schedule idea of
+:mod:`repro.sysgen.compiled` one axis further: N variants advance in
+lockstep through one generated step function whose values are numpy
+``int64`` arrays of shape ``(N,)`` — one lane per variant.  State that
+the scalar engines keep in python attributes (register contents, port
+values, FIFO occupancies, pipeline stages) moves into arrays with a
+batch axis, so a register update costs one vectorized ``np.where``
+instead of N python statements.
+
+Blocks contribute vectorized source through
+:meth:`~repro.sysgen.block.Block.emit_batched`.  Blocks that cannot be
+vectorized (FSL endpoints whose channel objects are shared with the
+CPU, fixed-point Convert, user subclasses) *fall back per lane*: the
+generated code dispatches their interpreter methods on the per-lane
+clone objects with port synchronization around the call, exactly like
+the scalar compiled engine's fallback — so telemetry, channel
+statistics and drop counters stay bit-identical with a scalar run.
+
+Divergence between lanes is handled by masking: the step function
+takes a boolean active-lane array, sequential state updates are
+wrapped in ``np.where(act & ..., new, old)``, probes sample active
+lanes only, and fallback dispatch loops over the active lane list.  A
+halted or evicted lane's clone objects and array rows freeze at their
+final values.  Events that cannot be expressed under a mask at all
+(GDB attach, checkpoint rollback, mid-run exceptions) are *evicted* by
+the batched co-simulation layer (:mod:`repro.cosim.batch`), which
+replays the lane on a scalar engine from cycle 0.
+
+``BatchUnsupported`` is the refusal signal: lanes that are not
+structurally identical, ports too wide for int64 lanes, or a missing
+numpy all raise it, and callers fall back to scalar simulation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Callable
+
+try:  # numpy is the only dependency; gate it so scalar paths never pay
+    import numpy as np
+except ImportError:  # pragma: no cover - baked into the toolchain image
+    np = None  # type: ignore[assignment]
+
+from repro.sysgen.block import IDLE_FOREVER
+from repro.sysgen.compiled import CompileError, _reindent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sysgen.block import Block
+    from repro.sysgen.model import Model
+    from repro.sysgen.ports import OutputPort
+
+#: widest output port a vectorized lane can carry: values live in
+#: int64 lanes and intermediates (a+b, sign extension) need headroom.
+MAX_VEC_WIDTH = 60
+
+
+class BatchUnsupported(RuntimeError):
+    """The model set cannot run as one lockstep batch; run scalar."""
+
+
+# ---------------------------------------------------------------------------
+# Structural identity
+# ---------------------------------------------------------------------------
+
+#: construction attributes that shape the generated code and therefore
+#: must match across lanes.  Value-like attributes (Constant.value,
+#: Register init, Counter.step, ROM contents) deliberately stay out:
+#: those become per-lane arrays.
+_STRUCT_ATTRS = (
+    "width", "latency", "depth", "n", "msb", "lsb", "widths", "op",
+    "signed", "direction", "arithmetic", "amount",
+    "width_a", "width_b", "out_width", "sequential",
+)
+
+
+def _lane_diff(a: "np.ndarray", b: "np.ndarray") -> "np.ndarray":
+    """(N,) bool: which lanes' rows of ``a`` differ from ``b``."""
+    neq = a != b
+    return neq.any(axis=1) if neq.ndim == 2 else neq
+
+
+def block_signature(block: "Block") -> tuple:
+    """Hashable structural fingerprint of one block."""
+    ins = tuple(
+        (p.name, p.default,
+         None if p.source is None
+         else (p.source.block.name, p.source.name))
+        for p in block.inputs.values()
+    )
+    outs = tuple((p.name, p.width) for p in block.outputs.values())
+    attrs = tuple(
+        (a, getattr(block, a)) for a in _STRUCT_ATTRS if hasattr(block, a)
+    )
+    # tuple-ify list attrs (Concat.widths) so the signature hashes
+    attrs = tuple((a, tuple(v) if isinstance(v, list) else v)
+                  for a, v in attrs)
+    return (type(block).__name__, block.name, ins, outs, attrs)
+
+
+def lockstep_signature(model: "Model") -> tuple:
+    """Structural fingerprint of a model: two models with equal
+    signatures can share one lockstep schedule (their value-like
+    parameters — constants, ROM contents, programs — may differ)."""
+    blocks = tuple(block_signature(b) for b in model.blocks)
+    probes = tuple((p.port.block.name, p.port.name, p.name)
+                   for p in model.probes)
+    return (model.name, blocks, probes)
+
+
+# ---------------------------------------------------------------------------
+# Emit context
+# ---------------------------------------------------------------------------
+
+
+class BatchEmitContext:
+    """Code-generation context handed to ``emit_batched``.
+
+    Mirrors :class:`repro.sysgen.compiled.EmitContext` — the same line
+    sinks (present / evaluate / clock / entry / exit) and value helpers
+    (inp / out / lit / bind / fresh / tmp) — but every port variable
+    holds an ``(N,)`` int64 array and sequential updates must be
+    masked by :attr:`act` (boolean active-lane array).  Extra helpers:
+
+    * :meth:`state` — a persistent ``(N, ...)`` state array slot,
+      (re)loadable from the per-lane clone blocks
+    * :meth:`lane_blocks` / :meth:`lane_ports` — the per-lane clone
+      objects behind a template block / port (fallback dispatch)
+    * :meth:`as_array` — force a possibly-literal expression to an
+      ``(N,)`` array (broadcast against a bound zeros array)
+    * :attr:`act` / :attr:`lanes` — the mask array and active lane
+      index list (function arguments, fixed for one ``step`` call)
+    * :attr:`arange` — a bound ``np.arange(N)`` for fancy indexing
+    """
+
+    def __init__(self, batched: "BatchedModel"):
+        self.batched = batched
+        self.model = batched.template
+        self.n = batched.n
+        self.ns: dict[str, object] = {"np": np}
+        self._bound: dict[int, str] = {}
+        self._port_var: dict[int, str] = {}
+        self._ports: list["OutputPort"] = []
+        self._entry: list[str] = []
+        self._present: list[str] = []
+        self._evaluate: list[str] = []
+        self._probe: list[str] = []
+        self._clock: list[str] = []
+        self._exit: list[str] = []
+        self._names = 0
+        self.state_loaders: list[Callable[[], "np.ndarray"]] = []
+        self.act = "_act"
+        self.lanes = "_ln"
+        self.arange = self.bind(np.arange(self.n), "ar")
+        self.zeros = self.bind(np.zeros(self.n, np.int64), "zz")
+        self._lane_block_memo: dict[int, list["Block"]] = {}
+
+    # -- line sinks (same contract as EmitContext) ----------------------
+    def entry(self, line: str) -> None:
+        self._entry.append(line)
+
+    def present(self, line: str) -> None:
+        self._present.append(line)
+
+    def evaluate(self, line: str) -> None:
+        self._evaluate.append(line)
+
+    def probe_line(self, line: str) -> None:
+        self._probe.append(line)
+
+    def clock(self, line: str) -> None:
+        self._clock.append(line)
+
+    def exit(self, line: str) -> None:
+        self._exit.append(line)
+
+    # -- names ----------------------------------------------------------
+    def _fresh_name(self, prefix: str) -> str:
+        self._names += 1
+        return f"{prefix}{self._names}"
+
+    def tmp(self) -> str:
+        return self._fresh_name("_t")
+
+    def bind(self, obj: object, hint: str = "b") -> str:
+        key = id(obj)
+        name = self._bound.get(key)
+        if name is None:
+            name = self._fresh_name(f"_{hint}")
+            self._bound[key] = name
+            self.ns[name] = obj
+        return name
+
+    def fresh(self, obj: object, attr: str, hint: str = "a") -> str:
+        name = self._fresh_name(f"_{hint}")
+        self.entry(f"{name} = {self.bind(obj)}.{attr}")
+        return name
+
+    # -- ports ----------------------------------------------------------
+    def port_var(self, port: "OutputPort") -> str:
+        name = self._port_var.get(id(port))
+        if name is None:
+            name = f"v{len(self._ports)}"
+            self._port_var[id(port)] = name
+            self._ports.append(port)
+        return name
+
+    def out(self, block: "Block", name: str) -> str:
+        return self.port_var(block.outputs[name])
+
+    def inp(self, block: "Block", name: str) -> str:
+        port = block.inputs[name]
+        if port.source is None:
+            return repr(port.default)
+        return self.port_var(port.source)
+
+    @staticmethod
+    def lit(expr: str) -> int | None:
+        try:
+            return int(expr)
+        except ValueError:
+            return None
+
+    def as_array(self, expr: str) -> str:
+        """``expr`` broadcast to an ``(N,)`` int64 array (no-op values:
+        adding the bound zeros array)."""
+        if self.lit(expr) is None and expr.startswith("v"):
+            return expr  # already a port array
+        return f"(({expr}) + {self.zeros})"
+
+    # -- state slots -----------------------------------------------------
+    def state(self, loader: Callable[[], "np.ndarray"], hint: str = "st") -> str:
+        """A persistent state array: loaded from the ``_S`` store at
+        call entry, written back in the exit ``finally``.
+        ``loader()`` rebuilds the array from the per-lane clone blocks
+        (used at construction and on :meth:`BatchedModel.reset`)."""
+        idx = len(self.state_loaders)
+        self.state_loaders.append(loader)
+        name = self._fresh_name(f"_{hint}")
+        self.entry(f"{name} = _S[{idx}]")
+        self.exit(f"_S[{idx}] = {name}")
+        return name
+
+    # -- per-lane clone access -------------------------------------------
+    def lane_blocks(self, block: "Block") -> list["Block"]:
+        """The clone of ``block`` in every lane (template included)."""
+        got = self._lane_block_memo.get(id(block))
+        if got is None:
+            got = [bm[block.name] for bm in self.batched._block_maps]
+            self._lane_block_memo[id(block)] = got
+        return got
+
+    def lane_ports(self, port: "OutputPort") -> list["OutputPort"]:
+        return [b.outputs[port.name]
+                for b in self.lane_blocks(port.block)]
+
+    def lane_values(self, port: "OutputPort") -> "np.ndarray":
+        return np.fromiter((p.value for p in self.lane_ports(port)),
+                           np.int64, self.n)
+
+    # -- masked-update helpers -------------------------------------------
+    def where(self, cond: str, a: str, b: str) -> str:
+        return f"np.where({cond}, {a}, {b})"
+
+    def masked_present(self, out: str, expr: str) -> None:
+        """Present ``out = expr`` for active lanes only.  Deactivated
+        lanes must keep the port value of their final executed cycle
+        (the scalar engine's value at the moment it stopped), so every
+        sequential present is masked; combinational re-evaluation then
+        reproduces the frozen values from these frozen inputs."""
+        self.present(f"{out} = np.where({self.act}, {expr}, {out})")
+
+    def flag(self, expr: str) -> str:
+        """Condition string for ``(expr) & 1`` with literal folding:
+        returns ``"1"``/``"0"`` for compile-time-constant guards."""
+        v = self.lit(expr)
+        if v is not None:
+            return "1" if v & 1 else "0"
+        return f"((({expr}) & 1) > 0)"
+
+
+def guarded_update_batched(ctx: BatchEmitContext, rst: str, en: str,
+                           rst_val: str, en_val: str, old: str) -> str | None:
+    """Masked ``np.where`` chain for the registered-update pattern
+    (``if rst: old = rst_val elif en: old = en_val``), pruned when a
+    guard is a literal.  Returns an expression for the new state array,
+    or None when the update is dead."""
+    act = ctx.act
+    rflag = ctx.flag(rst)
+    eflag = ctx.flag(en)
+    if rflag == "0":
+        if eflag == "0":
+            return None
+        cond = act if eflag == "1" else f"{act} & {eflag}"
+        return ctx.where(cond, en_val, old)
+    if rflag == "1":
+        return ctx.where(act, rst_val, old)
+    inner = old
+    if eflag == "1":
+        inner = ctx.where(act, en_val, old)
+    elif eflag != "0":
+        inner = ctx.where(f"{act} & {eflag}", en_val, old)
+    return ctx.where(f"{act} & {rflag}", rst_val, inner)
+
+
+_BARE_NAME = re.compile(r"[A-Za-z_]\w*\Z")
+
+
+def _unmask(line: str) -> str:
+    """Rewrite one generated line for the all-lanes-active fast path.
+
+    With every lane active the mask is the identity:
+    ``np.where(_act, A, B)`` is ``A`` (copied when ``A`` is a bare
+    array name, because the masked form produced a fresh array and
+    later in-place writes — fallback reloads, 2-D state stores — must
+    not leak through an alias), ``_act & F`` is ``F``, and a bare
+    ``_act`` is the bound all-true array.  Purely textual: the masked
+    and unmasked variants come from the same emitted source, so they
+    cannot diverge behaviourally.
+    """
+    token = "np.where(_act"
+    pos = 0
+    while True:
+        j = line.find(token, pos)
+        if j < 0:
+            break
+        k = j + len(token)
+        if line.startswith("[:, None], ", k):
+            k += len("[:, None], ")
+        elif line.startswith(", ", k):
+            k += 2
+        else:  # np.where(_act & F, …): the `_act & ` strip handles it
+            pos = k
+            continue
+        # split `A, B)` at the top-level comma, then the closing paren
+        depth, split, end = 0, None, None
+        for i in range(k, len(line)):
+            c = line[i]
+            if c in "([":
+                depth += 1
+            elif c in ")]":
+                if depth == 0:
+                    end = i
+                    break
+                depth -= 1
+            elif c == "," and depth == 0 and split is None:
+                split = i
+        if split is None or end is None:  # pragma: no cover - emitter bug
+            raise CompileError(f"unbalanced np.where in generated: {line}")
+        a = line[k:split].strip()
+        repl = f"{a}.copy()" if _BARE_NAME.match(a) else f"({a})"
+        line = line[:j] + repl + line[end + 1:]
+        pos = 0
+    line = line.replace("_act & ", "")
+    return re.sub(r"\b_act\b", "_TRUE", line)
+
+
+def _emit_fallback_batched(ctx: BatchEmitContext, block: "Block") -> None:
+    """Per-lane interpreter dispatch for a block without a vectorized
+    emitter: sync the clone's feeding ports from the lane arrays, run
+    the clone's method, read the outputs back — for active lanes only.
+    Bit-identical with a scalar run of each lane (same channel objects,
+    telemetry hooks and drop counters fire on the clones)."""
+    clones = ctx.bind(ctx.lane_blocks(block), "fb")
+    flush = []
+    for port in block.inputs.values():
+        if port.source is not None:
+            var = ctx.port_var(port.source)
+            pl = ctx.bind(ctx.lane_ports(port.source), "fp")
+            flush.append(f"    {pl}[_l].value = int({var}[_l])")
+    reload = []
+    for port in block.outputs.values():
+        var = ctx.port_var(port)
+        pl = ctx.bind(ctx.lane_ports(port), "fp")
+        reload.append(f"    {var}[_l] = {pl}[_l].value")
+
+    def loop(body: list[str], sink) -> None:
+        sink("\n".join([f"for _l in {ctx.lanes}:"] + body))
+
+    if block.sequential:
+        loop([f"    {clones}[_l].present()"] + reload, ctx.present)
+        loop(flush + [f"    {clones}[_l].clock()"] + reload, ctx.clock)
+    else:
+        loop(flush + [f"    {clones}[_l].evaluate()"] + reload, ctx.evaluate)
+
+
+# ---------------------------------------------------------------------------
+# Schedule
+# ---------------------------------------------------------------------------
+
+
+class BatchedSchedule:
+    """Generated lockstep step/settle functions for one batch.
+
+    ``source`` holds the generated python; ``step(cycles, act, lanes)``
+    advances every lane where ``act`` is True by ``cycles`` cycles.
+    """
+
+    def __init__(self, batched: "BatchedModel"):
+        template = batched.template
+        assert template._schedule is not None
+        ctx = BatchEmitContext(batched)
+        self.ctx = ctx
+        self.fallback_blocks: list[str] = []
+        for block in list(template._seq) + list(template._schedule):
+            if not block.emit_batched(ctx):
+                _emit_fallback_batched(ctx, block)
+                self.fallback_blocks.append(block.name)
+
+        for k, probe in enumerate(template.probes):
+            apps = [m.probes[k].samples.append for m in batched.models]
+            ap = ctx.bind(apps, "ap")
+            port = probe.port
+            if id(port) in ctx._port_var:
+                var = ctx.port_var(port)
+                ctx.probe_line(
+                    f"for _l in {ctx.lanes}: {ap}[_l](int({var}[_l]))"
+                )
+            else:  # probe on a port no block drives through the batch
+                pl = ctx.bind(ctx.lane_ports(port), "fp")
+                ctx.probe_line(
+                    f"for _l in {ctx.lanes}: {ap}[_l](int({pl}[_l].value))"
+                )
+
+        cycle_body = (ctx._present + ctx._evaluate + ctx._probe + ctx._clock)
+        # the all-lanes-active variant: identical source with the mask
+        # arithmetic elided — the hot path of campaign tails, where
+        # every lane advances together between divergence events
+        cycle_body_all = [_unmask(line) for line in cycle_body]
+        settle_body = ctx._present + ctx._evaluate
+
+        loads = [f"v{k} = _P[{k}]" for k in range(len(ctx._ports))]
+        stores = [f"_P[{k}] = v{k}" for k in range(len(ctx._ports))]
+
+        models = ctx.bind(batched.models, "lm")
+        bref = ctx.bind(batched, "bm")
+        ctx.ns["_P"] = self.port_store = [None] * len(ctx._ports)
+        ctx.ns["_S"] = self.state_store = [None] * len(ctx.state_loaders)
+        ctx.ns["_TRUE"] = np.ones(batched.n, dtype=bool)
+
+        args = ", ".join(f"{k}={k}" for k in ctx.ns)
+        head = f", {args}" if args else ""
+        src = []
+        for fname, body in (("_step", cycle_body),
+                            ("_step_all", cycle_body_all)):
+            src += [f"def {fname}(_n, _act, _ln{head}):"]
+            src += _reindent(ctx._entry + loads, "    ")
+            src += ["    _done = 0",
+                    "    try:",
+                    "        while _done < _n:"]
+            src += _reindent(body, "            ") or ["            pass"]
+            src += ["            _done += 1",
+                    "    finally:"]
+            src += _reindent(stores + ctx._exit, "        ")
+            src += [f"        for _l in _ln: {models}[_l].cycle += _done",
+                    f"        {bref}.cycle += _done", ""]
+        src += [f"def _settle(_act, _ln{head}):"]
+        src += _reindent(ctx._entry + loads, "    ")
+        src += ["    try:"]
+        src += _reindent(settle_body, "        ") or ["        pass"]
+        src += ["    finally:"]
+        src += _reindent(stores + ctx._exit, "        ") or ["        pass"]
+        src.append("")
+        self.source = "\n".join(src)
+
+        ns = dict(ctx.ns)
+        try:
+            code = compile(
+                self.source,
+                f"<sysgen-batched:{template.name}x{batched.n}>", "exec")
+            exec(code, ns)  # noqa: S102 - our own generated source
+        except SyntaxError as exc:  # pragma: no cover - emitter bug
+            raise CompileError(
+                f"generated lockstep schedule for model "
+                f"{template.name!r} does not compile: {exc}\n{self.source}"
+            ) from exc
+        self.step = ns["_step"]
+        self.step_all = ns["_step_all"]
+        self.settle = ns["_settle"]
+        self._cycle_body = cycle_body
+        self._batched = batched
+        self.ckernel = None
+        self.step_c = None
+
+    # -- native kernel (optional) ---------------------------------------
+    def build_ckernel(self) -> None:
+        """Translate the numpy runs of the cycle body into a compiled C
+        kernel (see :mod:`repro.sysgen.ckernel`).  Called after the
+        first :meth:`sync_from_clones`, when the port/state arrays
+        exist.  Any unsupported construct or missing compiler leaves
+        the pure-numpy step in place."""
+        from repro.sysgen.ckernel import CUnsupported, build_step_kernel
+
+        ctx = self.ctx
+        if "_ck" in ctx.ns:  # pragma: no cover - name-collision paranoia
+            return
+        state_names = {}
+        entry_extra = []
+        for line in ctx._entry:
+            m = re.match(r"(\w+) = _S\[(\d+)\]$", line)
+            if m:
+                state_names[m.group(1)] = int(m.group(2))
+            else:
+                entry_extra.append(line)
+        try:
+            built = build_step_kernel(
+                self._batched.n,
+                self._cycle_body,
+                self.port_store,
+                self.state_store,
+                {f"v{k}": k for k in range(len(ctx._ports))},
+                state_names,
+                ctx.ns,
+                ctx.act,
+                "_TRUE",
+                ctx.zeros,
+            )
+        except CUnsupported:
+            return
+        if built is None:
+            return
+        kernel, kbody = built
+        run = kernel.runner(self._batched)
+
+        loads = [f"v{k} = _P[{k}]" for k in range(len(ctx._ports))]
+        models = ctx.bind(self._batched.models, "lm")
+        bref = ctx.bind(self._batched, "bm")
+        args = ", ".join(f"{k}={k}" for k in ctx.ns)
+        head = f", {args}" if args else ""
+        src = [f"def _step_c(_n, _act, _ln{head}, _ck=_ck):"]
+        src += _reindent(ctx._entry + loads, "    ")
+        src += ["    _done = 0",
+                "    try:",
+                "        while _done < _n:"]
+        for item in kbody:
+            if isinstance(item, int):
+                src.append(f"            _ck({item})")
+            else:
+                src += _reindent([item], "            ")
+        src += ["            _done += 1",
+                "    finally:",
+                f"        for _l in _ln: {models}[_l].cycle += _done",
+                f"        {bref}.cycle += _done", ""]
+        source_c = "\n".join(src)
+        ns = dict(ctx.ns)
+        ns["_ck"] = run
+        code = compile(
+            source_c,
+            f"<sysgen-batched-c:{self._batched.template.name}"
+            f"x{self._batched.n}>", "exec")
+        exec(code, ns)  # noqa: S102 - our own generated source
+        self.ckernel = kernel
+        self.step_c = ns["_step_c"]
+        self._n_port_slots = len(ctx._ports)
+
+    def resync_kernel(self) -> None:
+        """Re-point the kernel's slot table after anything replaced a
+        port/state array object (numpy ``settle``, pokes, resets)."""
+        kernel = self.ckernel
+        if kernel is None:
+            return
+        for k, arr in enumerate(self.port_store):
+            kernel.arrays[k] = arr
+        base = self._n_port_slots
+        for j, arr in enumerate(self.state_store):
+            kernel.arrays[base + j] = arr
+        kernel._gen = -1
+
+    def sync_from_clones(self) -> None:
+        """(Re)build every port and state array from the per-lane clone
+        objects — at construction, and after ``reset``/``load``."""
+        ctx = self.ctx
+        for k, port in enumerate(ctx._ports):
+            self.port_store[k] = ctx.lane_values(port)
+        for k, loader in enumerate(ctx.state_loaders):
+            self.state_store[k] = loader()
+        self.resync_kernel()
+
+
+# ---------------------------------------------------------------------------
+# Batched model
+# ---------------------------------------------------------------------------
+
+
+class BatchedModel:
+    """N structurally identical models advancing in lockstep.
+
+    Construct with the N per-lane :class:`~repro.sysgen.model.Model`
+    instances (typically the same builder called N times with variant
+    parameters).  Lane 0's model doubles as the structural template.
+    Raises :class:`BatchUnsupported` when the models cannot share one
+    lockstep schedule — callers fall back to scalar simulation.
+    """
+
+    def __init__(self, models: list["Model"]):
+        if np is None:  # pragma: no cover - numpy is baked in
+            raise BatchUnsupported("numpy is not available")
+        if not models:
+            raise BatchUnsupported("empty batch")
+        self.models = list(models)
+        self.n = len(self.models)
+        self.template = self.models[0]
+        for m in self.models:
+            # clone models only ever run their interpreter methods (per
+            # lane, via fallback dispatch); skip their scalar codegen.
+            m.set_engine("interpreter")
+            if m._schedule is None:
+                m.compile()
+        sig0 = lockstep_signature(self.template)
+        for lane, m in enumerate(self.models[1:], start=1):
+            if lockstep_signature(m) != sig0:
+                raise BatchUnsupported(
+                    f"lane {lane} is not structurally identical to lane 0"
+                    " (block set, wiring, widths and probes must match)"
+                )
+        wide = [
+            f"{b.name}.{p.name}({p.width})"
+            for b in self.template.blocks
+            for p in b.outputs.values() if p.width > MAX_VEC_WIDTH
+        ]
+        if wide:
+            raise BatchUnsupported(
+                "ports too wide for int64 lanes: " + ", ".join(wide)
+            )
+        self.cycle = 0
+        self.active = np.ones(self.n, dtype=bool)
+        self._lanes = list(range(self.n))
+        self._block_maps = [{b.name: b for b in m.blocks}
+                            for m in self.models]
+        self._schedule = BatchedSchedule(self)
+        self._schedule.sync_from_clones()
+        self._schedule.build_ckernel()
+
+    # -- lane lifecycle --------------------------------------------------
+    @property
+    def lanes(self) -> list[int]:
+        """Active lane indices (in lane order)."""
+        return list(self._lanes)
+
+    def deactivate(self, lane: int) -> None:
+        """Freeze a lane: its state, probes and clone objects keep
+        their current values; subsequent steps skip it."""
+        self.active[lane] = False
+        self._lanes = [int(i) for i in np.flatnonzero(self.active)]
+
+    def activate(self, lane: int) -> None:
+        """Thaw a frozen lane.  Masked updates keep every lane's state
+        arrays exact while frozen, so a reactivated lane continues bit-
+        identically from the cycle it was frozen at — this is how the
+        batched co-simulation pauses lanes at per-lane cycle targets."""
+        self.active[lane] = True
+        self._lanes = [int(i) for i in np.flatnonzero(self.active)]
+
+    @property
+    def any_active(self) -> bool:
+        return bool(self._lanes)
+
+    # -- simulation ------------------------------------------------------
+    def step(self, cycles: int = 1) -> None:
+        """Advance every active lane ``cycles`` clock cycles."""
+        if cycles <= 0:
+            return
+        step_c = self._schedule.step_c
+        if step_c is not None:
+            step_c(cycles, self.active, self._lanes)
+        elif len(self._lanes) == self.n:
+            self._schedule.step_all(cycles, self.active, self._lanes)
+        else:
+            self._schedule.step(cycles, self.active, self._lanes)
+
+    def settle(self) -> None:
+        """Propagate combinational logic without a clock edge."""
+        self._schedule.settle(self.active, self._lanes)
+        self._schedule.resync_kernel()
+
+    # -- fast-forward ----------------------------------------------------
+    def state_image(self) -> tuple[list, list]:
+        """Snapshot of every port and state array (deep copies)."""
+        s = self._schedule
+        return ([a.copy() for a in s.port_store],
+                [a.copy() for a in s.state_store])
+
+    def state_unchanged(self, image: tuple[list, list]) -> bool:
+        """True when no port or state array differs from ``image``.
+
+        With unchanged inputs the step function is deterministic, so an
+        unchanged step proves the whole vectorized design sits at a
+        fixed point: every further step is the identity until an
+        external input (CPU FSL transfer, fault poke, fallback-block
+        output) changes.  This is the hardware-idle test the batched
+        engine uses in place of the scalar per-block ``idle_horizon``
+        walk, whose per-lane state it cannot see."""
+        ports, states = image
+        s = self._schedule
+        for a, b in zip(s.port_store, ports):
+            if not np.array_equal(a, b):
+                return False
+        for a, b in zip(s.state_store, states):
+            if not np.array_equal(a, b):
+                return False
+        return True
+
+    def changed_lanes(self, image: tuple[list, list]) -> "np.ndarray":
+        """Per-lane OR of :meth:`state_unchanged`'s comparison: a
+        ``(N,)`` bool mask of lanes whose slice of any port or state
+        array differs from ``image``.  A False lane sits at its own
+        fixed point (the masked step is per-lane deterministic), which
+        is the evidence the per-lane freeze needs where the global
+        fast-forward needs the whole batch quiet."""
+        changed = np.zeros(self.n, dtype=bool)
+        s = self._schedule
+        for a, b in zip(s.port_store, image[0]):
+            np.logical_or(changed, _lane_diff(a, b), out=changed)
+        for a, b in zip(s.state_store, image[1]):
+            np.logical_or(changed, _lane_diff(a, b), out=changed)
+        return changed
+
+    def fallback_idle_horizon(self, lanes: list[int] | None = None) -> int:
+        """Min ``idle_horizon`` over the fallback blocks of the given
+        lanes (their clone state is live — the generated step dispatches
+        them per lane every cycle, unlike the vectorized blocks)."""
+        names = self._schedule.fallback_blocks
+        if not names:
+            return IDLE_FOREVER
+        horizon = IDLE_FOREVER
+        for lane in (self._lanes if lanes is None else lanes):
+            bm = self._block_maps[lane]
+            for name in names:
+                h = bm[name].idle_horizon()
+                if h <= 0:
+                    return 0
+                if h < horizon:
+                    horizon = h
+        return horizon
+
+    def fallback_port_indices(self) -> list[int]:
+        """Port-store indices driven by fallback blocks (the external
+        inputs of the vectorized subgraph, alongside the CPU's FSL
+        traffic)."""
+        got = getattr(self, "_fb_ports", None)
+        if got is None:
+            ctx = self._schedule.ctx
+            got = []
+            for name in self._schedule.fallback_blocks:
+                for port in self.template.block(name).outputs.values():
+                    if id(port) in ctx._port_var:
+                        got.append(ctx._ports.index(port))
+            self._fb_ports = got
+        return got
+
+    def fallback_outputs_image(self) -> list:
+        """Copies of the fallback-driven port arrays — the frozen-input
+        evidence a fast-forward skip re-checks before committing."""
+        store = self._schedule.port_store
+        return [store[k].copy() for k in self.fallback_port_indices()]
+
+    def fallback_outputs_unchanged(self, image) -> bool:
+        store = self._schedule.port_store
+        for k, saved in zip(self.fallback_port_indices(), image):
+            if not np.array_equal(store[k], saved):
+                return False
+        return True
+
+    def _probe_sources(self) -> list[tuple]:
+        """(probe index, port-store index | None, clone ports) per
+        probe — where frozen probe samples are read from."""
+        srcs = getattr(self, "_probe_srcs", None)
+        if srcs is None:
+            ctx = self._schedule.ctx
+            srcs = []
+            for k, probe in enumerate(self.template.probes):
+                port = probe.port
+                if id(port) in ctx._port_var:
+                    srcs.append((k, ctx._ports.index(port), None))
+                else:
+                    srcs.append((k, None, ctx.lane_ports(port)))
+            self._probe_srcs = srcs
+        return srcs
+
+    def fast_forward(self, cycles: int) -> None:
+        """Advance every active lane ``cycles`` cycles without stepping.
+
+        Caller contract (mirrors the scalar
+        :meth:`~repro.sysgen.model.Model.fast_forward`): the design is
+        at a fixed point — :meth:`state_unchanged` held over a step and
+        :meth:`fallback_idle_horizon` covers the window — and no
+        external input changes meanwhile.  Probes record the frozen
+        values so traces stay bit-identical with a per-cycle run; every
+        block in the standard library has strict-fixed-point idleness,
+        so there is no per-block state to catch up."""
+        if cycles <= 0:
+            return
+        srcs = self._probe_sources()
+        for k, idx, clones in srcs:
+            if idx is not None:
+                arr = self._schedule.port_store[idx]
+                for lane in self._lanes:
+                    self.models[lane].probes[k].samples.extend(
+                        (int(arr[lane]),) * cycles)
+            else:
+                for lane in self._lanes:
+                    self.models[lane].probes[k].samples.extend(
+                        (int(clones[lane].value),) * cycles)
+        for lane in self._lanes:
+            self.models[lane].cycle += cycles
+        self.cycle += cycles
+
+    def fast_forward_lane(self, lane: int, cycles: int) -> None:
+        """:meth:`fast_forward` for one (typically frozen) lane: extend
+        its probes with the frozen values and advance its clone's cycle
+        counter, without touching the shared vector clock — the lane is
+        catching up to it."""
+        if cycles <= 0:
+            return
+        for k, idx, clones in self._probe_sources():
+            if idx is not None:
+                v = int(self._schedule.port_store[idx][lane])
+            else:
+                v = int(clones[lane].value)
+            self.models[lane].probes[k].samples.extend((v,) * cycles)
+        self.models[lane].cycle += cycles
+
+    def reset(self) -> None:
+        """Reset every lane (clone models included) to cycle 0."""
+        for m in self.models:
+            m.reset()
+        self.cycle = 0
+        self.active = np.ones(self.n, dtype=bool)
+        self._lanes = list(range(self.n))
+        self._schedule.sync_from_clones()
+
+    # -- introspection / pokes -------------------------------------------
+    @property
+    def fallback_blocks(self) -> list[str]:
+        """Blocks running per-lane interpreter dispatch (not vectorized)."""
+        return list(self._schedule.fallback_blocks)
+
+    @property
+    def batched_source(self) -> str:
+        return self._schedule.source
+
+    def _port_index(self, block_name: str, port_name: str) -> int:
+        port = self.template.block(block_name).outputs[port_name]
+        ctx = self._schedule.ctx
+        var = ctx._port_var.get(id(port))
+        if var is None:
+            raise BatchUnsupported(
+                f"port {block_name}.{port_name} is not tracked by the "
+                "lockstep schedule"
+            )
+        return ctx._ports.index(port)
+
+    def peek(self, block_name: str, port_name: str) -> "np.ndarray":
+        """Copy of the (N,) value array behind an output port."""
+        return self._schedule.port_store[
+            self._port_index(block_name, port_name)].copy()
+
+    def poke(self, block_name: str, port_name: str, lane: int,
+             value: int) -> None:
+        """Write one lane of an output port (fault injection's
+        ``stuck_at``).  Copy-on-write: port arrays may alias state
+        arrays, so the slot is replaced, never mutated."""
+        self.poke_slot(self._port_index(block_name, port_name), lane, value)
+
+    def force_handle(self, block_name: str, port_name: str,
+                     lane: int) -> tuple[int, "OutputPort"]:
+        """Resolve a (port-store index, per-lane clone port) pair for a
+        repeated per-cycle force — the ``stuck_at`` fast path.  Raises
+        :class:`BatchUnsupported` when the schedule does not track the
+        port (the lane must then be evicted to a scalar replay)."""
+        k = self._port_index(block_name, port_name)
+        port = self.template.block(block_name).outputs[port_name]
+        clone = self._schedule.ctx.lane_ports(port)[lane]
+        return k, clone
+
+    def poke_slot(self, k: int, lane: int, value: int) -> None:
+        """:meth:`poke` by pre-resolved port-store index."""
+        arr = self._schedule.port_store[k].copy()
+        arr[lane] = value
+        self._schedule.port_store[k] = arr
+        kernel = self._schedule.ckernel
+        if kernel is not None:
+            kernel.rebind(k, arr)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<BatchedModel {self.template.name!r} x{self.n}: "
+                f"{len(self._lanes)} active>")

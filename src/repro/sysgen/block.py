@@ -153,6 +153,23 @@ class Block:
         """
         return False
 
+    def emit_batched(self, ctx) -> bool:
+        """Contribute vectorized source for this block to a lockstep
+        batched schedule (see :mod:`repro.sysgen.batched`).
+
+        Same contract as :meth:`emit`, except every port variable holds
+        an ``(N,)`` int64 array (one lane per batched variant) and any
+        sequential state update must be masked by ``ctx.act`` so
+        inactive lanes stay frozen.  The default returns False: the
+        batch compiler then dispatches this block's interpreter methods
+        per active lane on the per-lane clone objects — bit-identical
+        with a scalar run, just not vectorized.
+
+        Implementations must either emit the complete block and return
+        True or emit nothing and return False — no partial output.
+        """
+        return False
+
     # -- metadata -------------------------------------------------------------
     def resources(self) -> Resources:
         """Estimated FPGA resources for this block."""

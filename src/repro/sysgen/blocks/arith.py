@@ -13,6 +13,7 @@ from collections import deque
 
 from repro.fixedpoint import FixedFormat, Overflow, Rounding
 from repro.resources.types import Resources
+from repro.sysgen.batched import guarded_update_batched, np
 from repro.sysgen.block import (
     IDLE_FOREVER,
     Block,
@@ -75,6 +76,58 @@ class _PipelinedBlock(Block):
         None to fall back to a bound ``_compute()`` call."""
         return None
 
+    #: scalar ``_emit_compute`` source is pure elementwise arithmetic
+    #: (no python branching, no int64 overflow risk), so it doubles as
+    #: the vectorized compute over (N,) arrays
+    batch_safe_compute = False
+
+    def _emit_compute_batched(self, ctx) -> str | None:
+        """Vectorized counterpart of :meth:`_emit_compute` over (N,)
+        int64 arrays, or None to fall back to per-lane dispatch."""
+        if self.batch_safe_compute:
+            return self._emit_compute(ctx)
+        return None
+
+    def emit_batched(self, ctx) -> bool:
+        if all(p.source is None for p in self.inputs.values()):
+            # all-literal inputs would collapse the expression to a
+            # python scalar; per-lane dispatch keeps the array contract
+            return False
+        expr = self._emit_compute_batched(ctx)
+        if expr is None:
+            return False
+        key = next(iter(self.outputs))
+        out = ctx.out(self, key)
+        if not self.sequential:
+            ctx.evaluate(f"{out} = {expr}")
+            return True
+        # latency-deep pipeline: per-stage (N,) value arrays plus a
+        # per-stage validity mask (the masked analogue of the deque of
+        # possibly-empty dicts) — inactive lanes neither pop nor push.
+        lanes = ctx.lane_blocks(self)
+        n = ctx.n
+        vals, oks = [], []
+        for k in range(self.latency):
+            vals.append(ctx.state(
+                lambda k=k: np.fromiter(
+                    (b._pipe[k].get(key, 0) for b in lanes), np.int64, n),
+                "pv"))
+            oks.append(ctx.state(
+                lambda k=k: np.fromiter(
+                    (key in b._pipe[k] for b in lanes), np.bool_, n),
+                "po"))
+        act = ctx.act
+        ctx.present(
+            f"{out} = np.where({act} & {oks[0]}, {vals[0]}, {out})")
+        for k in range(self.latency - 1):
+            ctx.clock(f"{vals[k]} = "
+                      f"np.where({act}, {vals[k + 1]}, {vals[k]})")
+            ctx.clock(f"{oks[k]} = np.where({act}, {oks[k + 1]}, {oks[k]})")
+        last = self.latency - 1
+        ctx.clock(f"{vals[last]} = np.where({act}, {expr}, {vals[last]})")
+        ctx.clock(f"{oks[last]} = {oks[last]} | {act}")
+        return True
+
     def emit(self, ctx) -> bool:
         key = next(iter(self.outputs))
         out = ctx.out(self, key)
@@ -119,6 +172,8 @@ class _PipelinedBlock(Block):
 class Add(_PipelinedBlock):
     """``s = a + b`` (wrap) over ``width`` bits."""
 
+    batch_safe_compute = True
+
     def __init__(self, name: str, width: int = 32, latency: int = 0):
         super().__init__(name, latency)
         self.width = width
@@ -140,6 +195,8 @@ class Add(_PipelinedBlock):
 
 class Sub(_PipelinedBlock):
     """``d = a - b`` (wrap)."""
+
+    batch_safe_compute = True
 
     def __init__(self, name: str, width: int = 32, latency: int = 0):
         super().__init__(name, latency)
@@ -191,6 +248,16 @@ class AddSub(_PipelinedBlock):
         return (f"((({a}) - ({b})) if ({sub}) & 1"
                 f" else (({a}) + ({b}))) & {m}")
 
+    def _emit_compute_batched(self, ctx) -> str:
+        if ctx.lit(ctx.inp(self, "sub")) is not None:
+            return self._emit_compute(ctx)  # pruned to pure add/sub
+        a = ctx.inp(self, "a")
+        b = ctx.inp(self, "b")
+        sub = ctx.inp(self, "sub")
+        m = (1 << self.width) - 1
+        return (f"np.where(({sub}) & 1, (({a}) - ({b})) & {m}, "
+                f"(({a}) + ({b})) & {m})")
+
     def resources(self) -> Resources:
         # add/sub sharing costs one extra LUT level: ~W LUTs + mode.
         regs = self.latency * slices_for_bits(self.width)
@@ -233,6 +300,12 @@ class Mult(_PipelinedBlock):
         b = signed_expr(ctx.inp(self, "b"), self.width_b)
         return f"({a} * {b}) & {(1 << self.out_width) - 1}"
 
+    def _emit_compute_batched(self, ctx) -> str | None:
+        # the signed product must fit an int64 lane
+        if self.width_a + self.width_b > 62:
+            return None
+        return self._emit_compute(ctx)
+
     def resources(self) -> Resources:
         regs = self.latency * slices_for_bits(self.out_width)
         if not self.use_embedded:
@@ -247,6 +320,8 @@ class Mult(_PipelinedBlock):
 
 
 class Negate(_PipelinedBlock):
+    batch_safe_compute = True
+
     def __init__(self, name: str, width: int = 32, latency: int = 0):
         super().__init__(name, latency)
         self.width = width
@@ -307,6 +382,24 @@ class Shift(_PipelinedBlock):
             return f"({signed_expr(a, self.width)} >> {self.amount}) & {m}"
         return f"((({a}) & {m}) >> {self.amount})"
 
+    def _emit_compute_batched(self, ctx) -> str | None:
+        # int64 lanes: pre-mask so shifted intermediates never exceed
+        # ``width`` bits, and clamp shift counts below the word size
+        # (python bigints make the scalar forms safe; numpy does not).
+        a = ctx.inp(self, "a")
+        m = (1 << self.width) - 1
+        if self.direction == "left":
+            if self.amount >= self.width:
+                return f"(({a}) & 0)"
+            keep = m >> self.amount
+            return f"((({a}) & {keep}) << {self.amount})"
+        if self.arithmetic:
+            amt = min(self.amount, self.width)  # sign fill is complete
+            return f"({signed_expr(a, self.width)} >> {amt}) & {m}"
+        if self.amount >= self.width:
+            return f"(({a}) & 0)"
+        return f"((({a}) & {m}) >> {self.amount})"
+
     def resources(self) -> Resources:
         return Resources(slices=self.latency * slices_for_bits(self.width))
 
@@ -345,6 +438,22 @@ class Accumulator(Block):
         )
         if upd:
             ctx.clock(upd)
+        return True
+
+    def emit_batched(self, ctx) -> bool:
+        lanes = ctx.lane_blocks(self)
+        st = ctx.state(
+            lambda: np.fromiter((b._state for b in lanes), np.int64, ctx.n),
+            "ac")
+        ctx.masked_present(ctx.out(self, "q"), st)
+        upd = guarded_update_batched(
+            ctx, ctx.inp(self, "rst"), ctx.inp(self, "en"),
+            "0",
+            f"({st} + ({ctx.inp(self, 'd')})) & {(1 << self.width) - 1}",
+            st,
+        )
+        if upd:
+            ctx.clock(f"{st} = {upd}")
         return True
 
     def reset(self) -> None:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.resources.types import Resources
+from repro.sysgen.batched import guarded_update_batched, np
 from repro.sysgen.block import (
     IDLE_FOREVER,
     CombBlock,
@@ -30,6 +31,16 @@ class Constant(CombBlock):
         # rebuilt/loaded model never runs a stale constant.
         val = ctx.fresh(self, "value", "k")
         ctx.evaluate(f"{ctx.out(self, 'out')} = {val}")
+        return True
+
+    def emit_batched(self, ctx) -> bool:
+        # per-lane values snapshot at codegen time (``value`` is a
+        # construction parameter untouched by reset/load_state; poking
+        # it after the batch is built is not supported)
+        vals = ctx.bind(
+            np.fromiter((b.value for b in ctx.lane_blocks(self)),
+                        np.int64, ctx.n), "kc")
+        ctx.evaluate(f"{ctx.out(self, 'out')} = {vals}")
         return True
 
     def idle_horizon(self) -> int:
@@ -70,6 +81,26 @@ class Counter(SeqBlock):
         )
         if upd:
             ctx.clock(upd)
+        return True
+
+    def emit_batched(self, ctx) -> bool:
+        lanes = ctx.lane_blocks(self)
+        st = ctx.state(
+            lambda: np.fromiter((b._state for b in lanes), np.int64, ctx.n),
+            "cn")
+        # the step increment may vary per lane (a common sweep axis)
+        steps = ctx.bind(
+            np.fromiter((wrap(b.step, self.width) for b in lanes),
+                        np.int64, ctx.n), "kn")
+        ctx.masked_present(ctx.out(self, "q"), st)
+        upd = guarded_update_batched(
+            ctx, ctx.inp(self, "rst"), ctx.inp(self, "en"),
+            "0",
+            f"({st} + {steps}) & {(1 << self.width) - 1}",
+            st,
+        )
+        if upd:
+            ctx.clock(f"{st} = {upd}")
         return True
 
     def reset(self) -> None:

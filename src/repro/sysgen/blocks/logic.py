@@ -52,6 +52,33 @@ class Mux(CombBlock):
             ctx.evaluate(f"{out} = ({tup})[{idx}] & {m}")
         return True
 
+    def emit_batched(self, ctx) -> bool:
+        out = ctx.out(self, "out")
+        sel = ctx.inp(self, "sel")
+        m = (1 << self.width) - 1
+        data = [ctx.inp(self, f"d{k}") for k in range(self.n)]
+        slit = ctx.lit(sel)
+        if slit is not None:
+            d = data[slit % self.n]
+            if ctx.lit(d) is not None:
+                return False  # constant select of a constant input
+            ctx.evaluate(f"{out} = ({d}) & {m}")
+            return True
+        if self.n == 2:
+            ctx.evaluate(f"{out} = np.where(({sel}) & 1, "
+                         f"({data[1]}), ({data[0]})) & {m}")
+            return True
+        idx = ctx.tmp()
+        if self.n & (self.n - 1) == 0:
+            ctx.evaluate(f"{idx} = ({sel}) & {self.n - 1}")
+        else:
+            ctx.evaluate(f"{idx} = ({sel}) % {self.n}")
+        acc = f"({data[0]})"
+        for k in range(1, self.n):
+            acc = f"np.where({idx} == {k}, ({data[k]}), {acc})"
+        ctx.evaluate(f"{out} = ({acc}) & {m}")
+        return True
+
     def resources(self) -> Resources:
         # one LUT per output bit per pair of inputs
         return Resources(slices=slices_for_bits(self.width) * (self.n - 1))
@@ -103,6 +130,21 @@ class Relational(CombBlock):
         ctx.evaluate(f"{ctx.out(self, 'out')} = 1 if {a} {sym} {b} else 0")
         return True
 
+    def emit_batched(self, ctx) -> bool:
+        if all(p.source is None for p in self.inputs.values()):
+            return False  # both constant: result would be a scalar
+        if self.signed:
+            a = signed_expr(ctx.inp(self, "a"), self.width)
+            b = signed_expr(ctx.inp(self, "b"), self.width)
+        else:
+            m = (1 << self.width) - 1
+            a = f"(({ctx.inp(self, 'a')}) & {m})"
+            b = f"(({ctx.inp(self, 'b')}) & {m})"
+        sym = _REL_SYMS[self.op]
+        ctx.evaluate(
+            f"{ctx.out(self, 'out')} = ({a} {sym} {b}).astype(np.int64)")
+        return True
+
     def resources(self) -> Resources:
         return Resources(slices=slices_for_bits(self.width))
 
@@ -151,6 +193,13 @@ class Logical(CombBlock):
         ctx.evaluate(f"{ctx.out(self, 'out')} = ({expr}) & {m}")
         return True
 
+    def emit_batched(self, ctx) -> bool:
+        # the scalar source is pure bitwise arithmetic — elementwise
+        # safe on (N,) int64 arrays as long as one operand is an array
+        if all(p.source is None for p in self.inputs.values()):
+            return False
+        return self.emit(ctx)
+
     def resources(self) -> Resources:
         return Resources(slices=slices_for_bits(self.width) * (self.n - 1))
 
@@ -173,6 +222,11 @@ class Inverter(CombBlock):
             f"{ctx.out(self, 'out')} = (~({ctx.inp(self, 'a')})) & {m}"
         )
         return True
+
+    def emit_batched(self, ctx) -> bool:
+        if self.inputs["a"].source is None:
+            return False
+        return self.emit(ctx)
 
     def resources(self) -> Resources:
         return Resources(slices=slices_for_bits(self.width))
@@ -210,6 +264,11 @@ class Slice(CombBlock):
         ctx.evaluate(f"{ctx.out(self, 'out')} = ({shifted}) & {m}")
         return True
 
+    def emit_batched(self, ctx) -> bool:
+        if self.inputs["a"].source is None:
+            return False
+        return self.emit(ctx)
+
     def resources(self) -> Resources:
         return Resources()  # pure wiring
 
@@ -241,6 +300,11 @@ class Concat(CombBlock):
             parts.append(f"({field} << {shift})" if shift else field)
         ctx.evaluate(f"{ctx.out(self, 'out')} = {' | '.join(parts)}")
         return True
+
+    def emit_batched(self, ctx) -> bool:
+        if all(p.source is None for p in self.inputs.values()):
+            return False
+        return self.emit(ctx)
 
     def resources(self) -> Resources:
         return Resources()  # pure wiring

@@ -5,6 +5,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.resources.types import Resources
+from repro.sysgen.batched import guarded_update_batched, np
 from repro.sysgen.block import (
     IDLE_FOREVER,
     CombBlock,
@@ -47,6 +48,25 @@ class Register(SeqBlock):
         )
         if upd:
             ctx.clock(upd)
+        return True
+
+    def emit_batched(self, ctx) -> bool:
+        lanes = ctx.lane_blocks(self)
+        st = ctx.state(
+            lambda: np.fromiter((b._state for b in lanes), np.int64, ctx.n),
+            "rg")
+        # reset values may vary per lane (a common sweep axis)
+        inits = ctx.bind(
+            np.fromiter((b.init for b in lanes), np.int64, ctx.n), "kr")
+        ctx.masked_present(ctx.out(self, "q"), st)
+        upd = guarded_update_batched(
+            ctx, ctx.inp(self, "rst"), ctx.inp(self, "en"),
+            inits,
+            f"({ctx.inp(self, 'd')}) & {(1 << self.width) - 1}",
+            st,
+        )
+        if upd:
+            ctx.clock(f"{st} = {upd}")
         return True
 
     def reset(self) -> None:
@@ -105,6 +125,20 @@ class Delay(SeqBlock):
         ctx.clock(
             f"{app}(({ctx.inp(self, 'd')}) & {(1 << self.width) - 1})"
         )
+        return True
+
+    def emit_batched(self, ctx) -> bool:
+        lanes = ctx.lane_blocks(self)
+        line = ctx.state(
+            lambda: np.array([list(b._line) for b in lanes], dtype=np.int64),
+            "dl")
+        ctx.masked_present(ctx.out(self, "q"), f"{line}[:, 0]")
+        d = ctx.as_array(
+            f"({ctx.inp(self, 'd')}) & {(1 << self.width) - 1}")
+        t = ctx.tmp()
+        ctx.clock(f"{t} = np.concatenate(({line}[:, 1:], "
+                  f"({d})[:, None]), axis=1)")
+        ctx.clock(f"{line} = np.where({ctx.act}[:, None], {t}, {line})")
         return True
 
     def reset(self) -> None:
@@ -194,6 +228,64 @@ class FIFO(SeqBlock):
             ctx.clock(f"if len({fifo}) < {self.depth}: {fifo}.append({din})")
         return True
 
+    def emit_batched(self, ctx) -> bool:
+        # circular-buffer vectorization: (N, depth) storage plus head
+        # and count arrays.  The clone deques are flattened to head 0
+        # on (re)load.  Pop advances head before push computes its slot
+        # (a push sees the post-pop count, as in clock()).
+        lanes = ctx.lane_blocks(self)
+        n, depth = ctx.n, self.depth
+
+        def load_storage():
+            arr = np.zeros((n, depth), dtype=np.int64)
+            for lane, b in enumerate(lanes):
+                for i, v in enumerate(b._fifo):
+                    arr[lane, i] = v
+            return arr
+
+        store = ctx.state(load_storage, "fs")
+        head = ctx.state(lambda: np.zeros(n, dtype=np.int64), "fh")
+        cnt = ctx.state(
+            lambda: np.fromiter((len(b._fifo) for b in lanes),
+                                np.int64, n), "fc")
+        ar = ctx.arange
+        ctx.masked_present(
+            ctx.out(self, "dout"),
+            f"np.where({cnt} > 0, {store}[{ar}, {head}], 0)")
+        ctx.masked_present(
+            ctx.out(self, "empty"), f"({cnt} == 0).astype(np.int64)")
+        ctx.masked_present(
+            ctx.out(self, "full"), f"({cnt} >= {depth}).astype(np.int64)")
+        ctx.masked_present(ctx.out(self, "count"), cnt)
+        act = ctx.act
+        popf = ctx.flag(ctx.inp(self, "pop"))
+        pushf = ctx.flag(ctx.inp(self, "push"))
+        after = cnt
+        if popf != "0":
+            t_pop = ctx.tmp()
+            after = ctx.tmp()
+            guard = f"{act} & ({cnt} > 0)" if popf == "1" \
+                else f"{act} & {popf} & ({cnt} > 0)"
+            ctx.clock(f"{t_pop} = {guard}")
+            ctx.clock(f"{after} = {cnt} - {t_pop}")
+            ctx.clock(f"{head} = "
+                      f"np.where({t_pop}, ({head} + 1) % {depth}, {head})")
+        if pushf != "0":
+            t_push = ctx.tmp()
+            t_pos = ctx.tmp()
+            guard = f"{act} & ({after} < {depth})" if pushf == "1" \
+                else f"{act} & {pushf} & ({after} < {depth})"
+            ctx.clock(f"{t_push} = {guard}")
+            din = ctx.as_array(
+                f"({ctx.inp(self, 'din')}) & {(1 << self.width) - 1}")
+            ctx.clock(f"{t_pos} = ({head} + {after}) % {depth}")
+            ctx.clock(f"{store}[{t_push}, {t_pos}[{t_push}]] = "
+                      f"({din})[{t_push}]")
+            ctx.clock(f"{cnt} = {after} + {t_push}")
+        elif popf != "0":
+            ctx.clock(f"{cnt} = {after}")
+        return True
+
     def reset(self) -> None:
         super().reset()
         self._fifo.clear()
@@ -251,6 +343,25 @@ class ROM(CombBlock):
         )
         return True
 
+    def emit_batched(self, ctx) -> bool:
+        addr = ctx.inp(self, "addr")
+        if ctx.lit(addr) is not None:
+            return False  # constant address: keep per-lane dispatch
+        lanes = ctx.lane_blocks(self)
+        length = len(self.contents)
+        # contents snapshot at codegen time (the table is a
+        # construction parameter; per-lane tables become a 2-D lookup)
+        if all(b.contents == self.contents for b in lanes):
+            rom = ctx.bind(np.array(self.contents, dtype=np.int64), "km")
+            ctx.evaluate(f"{ctx.out(self, 'data')} = "
+                         f"{rom}[({addr}) % {length}]")
+        else:
+            rom = ctx.bind(np.array([b.contents for b in lanes],
+                                    dtype=np.int64), "km")
+            ctx.evaluate(f"{ctx.out(self, 'data')} = "
+                         f"{rom}[{ctx.arange}, ({addr}) % {length}]")
+        return True
+
     def resources(self) -> Resources:
         luts = self.width * ((len(self.contents) + 15) // 16)
         return Resources(slices=(luts + 1) // 2)
@@ -295,6 +406,31 @@ class RAM(SeqBlock):
         elif wlit & 1:
             ctx.clock(f"{mem}[{t}] = {din}")
         ctx.clock(f"{rreg} = {mem}[{t}]")
+        return True
+
+    def emit_batched(self, ctx) -> bool:
+        lanes = ctx.lane_blocks(self)
+        n = ctx.n
+        mem = ctx.state(
+            lambda: np.array([b._mem for b in lanes], dtype=np.int64), "rm")
+        rreg = ctx.state(
+            lambda: np.fromiter((b._read_reg for b in lanes), np.int64, n),
+            "rr")
+        ctx.masked_present(ctx.out(self, "dout"), rreg)
+        act = ctx.act
+        t = ctx.tmp()
+        addr = ctx.as_array(f"({ctx.inp(self, 'addr')}) % {self.depth}")
+        ctx.clock(f"{t} = {addr}")
+        wef = ctx.flag(ctx.inp(self, "we"))
+        if wef != "0":
+            wm = ctx.tmp()
+            ctx.clock(f"{wm} = {act}" if wef == "1"
+                      else f"{wm} = {act} & {wef}")
+            din = ctx.as_array(
+                f"({ctx.inp(self, 'din')}) & {(1 << self.width) - 1}")
+            ctx.clock(f"{mem}[{wm}, {t}[{wm}]] = ({din})[{wm}]")
+        ctx.clock(f"{rreg} = "
+                  f"np.where({act}, {mem}[{ctx.arange}, {t}], {rreg})")
         return True
 
     def reset(self) -> None:

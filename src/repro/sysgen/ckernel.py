@@ -1,0 +1,620 @@
+"""Native step kernel for the batched lockstep schedule.
+
+The generated numpy cycle body (:mod:`repro.sysgen.batched`) pays
+~1 µs of ufunc dispatch per operation regardless of batch width, which
+caps the amortization the batch axis exists to deliver: at width 32 a
+~350-op design costs as much per cycle as 20 scalar lanes.  This
+module translates the same generated lines — a deliberately tiny
+expression grammar over ``(N,)`` int64 arrays — into one C loop over
+lanes, compiled with the system ``gcc`` at run time and driven through
+:mod:`ctypes`.  Per-lane semantics are preserved exactly:
+
+* ``np.where(c, a, b)`` becomes the C ternary (numpy truthiness of a
+  nonzero int64 equals C truthiness),
+* masked updates skip frozen lanes through the same ``act`` test the
+  numpy code applies element-wise,
+* ``%`` uses Python/numpy floored-modulo semantics via a helper,
+* the translation unit is compiled ``-fwrapv`` so signed arithmetic
+  wraps like numpy int64.
+
+Anything outside the grammar — 2-D delay-line state, unsupported
+calls, non-int64 or non-contiguous arrays — raises
+:class:`CUnsupported` and the caller silently keeps the numpy path,
+as does a missing or failing compiler.  Compiled objects are cached
+in-process by source hash, so the per-chunk rebuilds of a fault
+campaign share one ``gcc`` invocation.
+"""
+
+from __future__ import annotations
+
+import ast
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from typing import Callable
+
+try:  # pragma: no cover - numpy is baked into the environment
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+
+class CUnsupported(Exception):
+    """The generated line set falls outside the C-translatable grammar."""
+
+
+#: Environment switch: set to a non-empty value to disable the native
+#: kernel (the pure-numpy schedule is used instead).  The equivalence
+#: suite runs both ways.
+DISABLE_ENV = "REPRO_BATCH_NO_CKERNEL"
+
+
+def ckernel_enabled() -> bool:
+    return not os.environ.get(DISABLE_ENV)
+
+
+# ---------------------------------------------------------------------------
+# Expression translation (python AST -> C, fully parenthesized)
+# ---------------------------------------------------------------------------
+
+_BINOPS = {
+    ast.BitAnd: "&", ast.BitOr: "|", ast.BitXor: "^",
+    ast.Add: "+", ast.Sub: "-", ast.Mult: "*",
+    ast.LShift: "<<", ast.RShift: ">>",
+}
+_CMPOPS = {
+    ast.Eq: "==", ast.NotEq: "!=", ast.Lt: "<", ast.LtE: "<=",
+    ast.Gt: ">", ast.GtE: ">=",
+}
+
+
+class _ExprEmitter:
+    """Emit one C expression for one generated numpy line.
+
+    ``resolve(name)`` returns a ``("lane", slot)`` / ``("shared",
+    slot, length)`` / ``("const", int)`` / ``("act",)`` / ``("zero",)``
+    / ``("one",)`` tag for every identifier, raising
+    :class:`CUnsupported` for names it cannot place.
+    """
+
+    def __init__(self, resolve: Callable[[str], tuple]):
+        self.resolve = resolve
+        self.reads: set[int] = set()
+        self.shared_reads: set[int] = set()
+        self.dline_reads: set[int] = set()
+
+    def emit(self, node: ast.expr) -> str:
+        if isinstance(node, ast.Constant):
+            if not isinstance(node.value, int) or isinstance(node.value, bool):
+                raise CUnsupported(f"non-int constant {node.value!r}")
+            return f"INT64_C({node.value})"
+        if isinstance(node, ast.Name):
+            return self._name(node.id)
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.Invert):
+                return f"(~{self.emit(node.operand)})"
+            if isinstance(node.op, ast.USub):
+                return f"(-{self.emit(node.operand)})"
+            raise CUnsupported(f"unary op {node.op!r}")
+        if isinstance(node, ast.BinOp):
+            op = _BINOPS.get(type(node.op))
+            left, right = self.emit(node.left), self.emit(node.right)
+            if op is not None:
+                return f"({left} {op} {right})"
+            if isinstance(node.op, ast.Mod):
+                return f"pymod({left}, {right})"
+            raise CUnsupported(f"binary op {node.op!r}")
+        if isinstance(node, ast.Compare):
+            if len(node.ops) != 1:
+                raise CUnsupported("chained comparison")
+            op = _CMPOPS.get(type(node.ops[0]))
+            if op is None:
+                raise CUnsupported(f"comparison {node.ops[0]!r}")
+            return (f"((i64)({self.emit(node.left)} {op} "
+                    f"{self.emit(node.comparators[0])}))")
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Subscript):
+            return self._subscript(node)
+        raise CUnsupported(f"node {type(node).__name__}")
+
+    def _name(self, name: str) -> str:
+        kind, *info = self.resolve(name)
+        if kind == "lane":
+            self.reads.add(info[0])
+            return f"_v{info[0]}"
+        if kind == "const":
+            return f"INT64_C({info[0]})"
+        if kind == "act":
+            return "_a"
+        if kind == "zero":
+            return "INT64_C(0)"
+        if kind == "one":
+            return "INT64_C(1)"
+        raise CUnsupported(f"name {name!r} used as a scalar ({kind})")
+
+    def _call(self, node: ast.Call) -> str:
+        func = node.func
+        if node.keywords:
+            raise CUnsupported("keyword arguments")
+        if (isinstance(func, ast.Attribute) and func.attr == "where"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "np" and len(node.args) == 3):
+            cond, a, b = (self.emit(arg) for arg in node.args)
+            return f"({cond} ? {a} : {b})"
+        if (isinstance(func, ast.Attribute) and func.attr == "astype"
+                and len(node.args) == 1):
+            target = node.args[0]
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "np"
+                    and target.attr in ("int64", "int_")):
+                # comparisons already yield 0/1 int64 in the C emission
+                return self.emit(func.value)
+            raise CUnsupported("astype target")
+        raise CUnsupported(f"call {ast.dump(func)}")
+
+    def _subscript(self, node: ast.Subscript) -> str:
+        if not isinstance(node.value, ast.Name):
+            raise CUnsupported("computed subscript base")
+        kind, *info = self.resolve(node.value.id)
+        if kind == "dline":
+            # delay-line column read: ``_dl[:, K]``
+            slot, depth = info
+            sl = node.slice
+            if (isinstance(sl, ast.Tuple) and len(sl.elts) == 2
+                    and _is_full_slice(sl.elts[0])
+                    and isinstance(sl.elts[1], ast.Constant)
+                    and isinstance(sl.elts[1].value, int)
+                    and 0 <= sl.elts[1].value < depth):
+                self.dline_reads.add(slot)
+                return f"_d{slot}[_i * {depth} + {sl.elts[1].value}]"
+            raise CUnsupported(f"delay-line access {ast.dump(sl)}")
+        if kind != "shared":
+            raise CUnsupported(
+                f"subscript of non-shared array {node.value.id!r}")
+        slot, length = info
+        self.shared_reads.add(slot)
+        index = self.emit(node.slice)
+        # numpy would raise on out-of-range indices; every generated
+        # gather is masked (`rom[x % len]`), so clamping via floored
+        # modulo is exact for in-range indices and keeps C memory-safe.
+        return f"_T{slot}[(size_t)pymod({index}, INT64_C({length}))]"
+
+
+def _is_full_slice(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Slice) and node.lower is None
+            and node.upper is None and node.step is None)
+
+
+def _is_tail_slice(node: ast.expr) -> bool:
+    """``1:`` — the shift-left half of a delay-line update."""
+    return (isinstance(node, ast.Slice)
+            and isinstance(node.lower, ast.Constant)
+            and node.lower.value == 1
+            and node.upper is None and node.step is None)
+
+
+# ---------------------------------------------------------------------------
+# Kernel builder
+# ---------------------------------------------------------------------------
+
+
+class CStepKernel:
+    """Compiled per-lane segments of one batched cycle body.
+
+    ``segments`` holds, per python-interleaved run of numpy lines, the
+    list of original source lines it replaces.  ``run(j)`` executes
+    segment ``j`` over all N lanes (frozen lanes are skipped exactly
+    where the numpy code masked them).
+    """
+
+    def __init__(self, n: int, arrays: list["np.ndarray"],
+                 lib_path: str, seg_count: int, source: str):
+        self.n = n
+        self.arrays = arrays  # slot -> backing ndarray
+        self.source = source
+        self.seg_count = seg_count
+        self._lib = ctypes.CDLL(lib_path)
+        self._segs = []
+        for j in range(seg_count):
+            fn = getattr(self._lib, f"seg{j}")
+            fn.restype = None
+            fn.argtypes = [ctypes.POINTER(ctypes.c_void_p),
+                           ctypes.c_char_p, ctypes.c_longlong]
+            self._segs.append(fn)
+        self._table = (ctypes.c_void_p * len(arrays))()
+        self._gen = -1
+
+    def rebind(self, slot: int, array: "np.ndarray") -> None:
+        """Point a slot at a replacement array (copy-on-write pokes)."""
+        self.arrays[slot] = array
+        self._gen = -1
+
+    def _refresh(self) -> None:
+        table = self._table
+        for k, arr in enumerate(self.arrays):
+            table[k] = arr.ctypes.data
+        self._gen = 0
+
+    def runner(self, owner) -> Callable[[int], None]:
+        """A ``run(j)`` closure reading the live active-lane mask off
+        ``owner.active`` each call (``reset`` replaces that array).
+        The ctypes pointer is cached per mask-array identity."""
+        segs = self._segs
+        table = self._table
+        n = ctypes.c_longlong(self.n)
+        cache: list = [None, None]  # [mask array, its c_char_p]
+
+        def run(j: int, _self=self) -> None:
+            if _self._gen < 0:
+                _self._refresh()
+            act = owner.active
+            if act is not cache[0]:
+                cache[0] = act
+                cache[1] = act.ctypes.data_as(ctypes.c_char_p)
+            segs[j](table, cache[1], n)
+
+        return run
+
+
+def _match_dline_shift(assign: ast.Assign, resolve, n: int):
+    """``_t = np.concatenate((_dl[:, 1:], (EXPR)[:, None]), axis=1)``
+    → ``(slot, depth, EXPR-node)`` or None."""
+    v = assign.value
+    if not (isinstance(v, ast.Call) and isinstance(v.func, ast.Attribute)
+            and v.func.attr == "concatenate"
+            and isinstance(v.func.value, ast.Name)
+            and v.func.value.id == "np"
+            and len(v.args) == 1 and isinstance(v.args[0], ast.Tuple)
+            and len(v.args[0].elts) == 2
+            and len(v.keywords) == 1 and v.keywords[0].arg == "axis"
+            and isinstance(v.keywords[0].value, ast.Constant)
+            and v.keywords[0].value.value == 1):
+        return None
+    left, right = v.args[0].elts
+    if not (isinstance(left, ast.Subscript)
+            and isinstance(left.value, ast.Name)):
+        return None
+    sl = left.slice
+    if not (isinstance(sl, ast.Tuple) and len(sl.elts) == 2
+            and _is_full_slice(sl.elts[0]) and _is_tail_slice(sl.elts[1])):
+        return None
+    kind = resolve(left.value.id)
+    if kind[0] != "dline":
+        return None
+    if not isinstance(right, ast.Subscript):
+        return None
+    rs = right.slice
+    if not (isinstance(rs, ast.Tuple) and len(rs.elts) == 2
+            and _is_full_slice(rs.elts[0])
+            and isinstance(rs.elts[1], ast.Constant)
+            and rs.elts[1].value is None):
+        return None
+    return kind[1], kind[2], right.value
+
+
+def _match_dline_commit(assign: ast.Assign, resolve, act_name: str):
+    """``_dl = np.where(_act[:, None], _t, _dl)``
+    → ``(tmp_name, slot, depth)`` or None."""
+    target = assign.targets[0].id
+    v = assign.value
+    if not (isinstance(v, ast.Call) and isinstance(v.func, ast.Attribute)
+            and v.func.attr == "where"
+            and isinstance(v.func.value, ast.Name)
+            and v.func.value.id == "np"
+            and len(v.args) == 3 and not v.keywords):
+        return None
+    cond, a, b = v.args
+    if not (isinstance(cond, ast.Subscript)
+            and isinstance(cond.value, ast.Name)
+            and cond.value.id == act_name):
+        return None
+    cs = cond.slice
+    if not (isinstance(cs, ast.Tuple) and len(cs.elts) == 2
+            and _is_full_slice(cs.elts[0])
+            and isinstance(cs.elts[1], ast.Constant)
+            and cs.elts[1].value is None):
+        return None
+    if not (isinstance(a, ast.Name) and isinstance(b, ast.Name)
+            and b.id == target):
+        return None
+    kind = resolve(target)
+    if kind[0] != "dline":
+        return None
+    return a.id, kind[1], kind[2]
+
+
+def _slot_kind(arr, n: int, what: str) -> tuple:
+    """Classify a backing array: ``("i64",)`` / ``("u8",)`` lane arrays
+    or ``("dline", depth)`` for 2-D delay-line state."""
+    if not isinstance(arr, np.ndarray) or not arr.flags["C_CONTIGUOUS"]:
+        raise CUnsupported(f"{what}: not a contiguous ndarray")
+    if arr.shape == (n,) and arr.dtype == np.int64:
+        return ("i64",)
+    if arr.shape == (n,) and arr.dtype == np.bool_:
+        return ("u8",)
+    if arr.ndim == 2 and arr.shape[0] == n and arr.shape[1] >= 1 \
+            and arr.dtype == np.int64:
+        return ("dline", arr.shape[1])
+    raise CUnsupported(f"{what}: shape {arr.shape}, dtype {arr.dtype}")
+
+
+def build_step_kernel(
+    n: int,
+    cycle_lines: list[str],
+    port_store: list,
+    state_store: list,
+    port_names: dict[str, int],
+    state_names: dict[str, int],
+    bound: dict[str, object],
+    act_name: str,
+    true_name: str,
+    zeros_name: str,
+) -> tuple["CStepKernel", list[object]] | None:
+    """Translate + compile the numpy runs of one cycle body.
+
+    Returns ``(kernel, body)`` where ``body`` interleaves the
+    untranslated python lines (strings) with segment indices (ints),
+    or ``None`` when the native kernel is disabled or no ``gcc`` is
+    available.  Raises :class:`CUnsupported` when any numpy line falls
+    outside the grammar.
+    """
+    if np is None or not ckernel_enabled():
+        return None
+
+    # -- slot layout: ports, then states, then shared/scratch ----------
+    arrays: list["np.ndarray"] = []
+    slot_of: dict[str, int] = {}
+    elem: dict[int, tuple] = {}  # slot -> ("i64",) | ("u8",) | ("dline", D)
+    shared: dict[str, tuple[int, int]] = {}
+
+    def add_slot(name: str, arr, what: str) -> int:
+        kind = _slot_kind(arr, n, what)
+        slot = len(arrays)
+        slot_of[name] = slot
+        elem[slot] = kind
+        arrays.append(arr)
+        return slot
+
+    for name, k in port_names.items():
+        add_slot(name, port_store[k], f"port {name}")
+    for name, k in state_names.items():
+        add_slot(name, state_store[k], f"state {name}")
+
+    consts: dict[str, int] = {}
+    scratch: list["np.ndarray"] = []
+
+    def resolve(name: str) -> tuple:
+        if name in slot_of:
+            slot = slot_of[name]
+            if elem[slot][0] == "dline":
+                return ("dline", slot, elem[slot][1])
+            return ("lane", slot)
+        if name in consts:
+            return ("const", consts[name])
+        if name in shared:
+            return ("shared", *shared[name])
+        if name == act_name:
+            return ("act",)
+        if name == true_name:
+            return ("one",)
+        if name == zeros_name:
+            return ("zero",)
+        obj = bound.get(name)
+        if isinstance(obj, (int, np.integer)) and not isinstance(obj, bool):
+            consts[name] = int(obj)
+            return ("const", consts[name])
+        if isinstance(obj, np.ndarray):
+            if obj.shape != (n,) and obj.ndim == 1 \
+                    and obj.dtype == np.int64 and obj.flags["C_CONTIGUOUS"]:
+                shared[name] = (len(arrays), obj.shape[0])
+                arrays.append(obj)
+                return ("shared", *shared[name])
+            return resolve_slot_array(name, obj)
+        raise CUnsupported(f"unresolvable name {name!r} ({type(obj)})")
+
+    def resolve_slot_array(name: str, obj) -> tuple:
+        slot = add_slot(name, obj, f"array {name}")
+        if elem[slot][0] == "dline":
+            return ("dline", slot, elem[slot][1])
+        return ("lane", slot)
+
+    def fresh_scratch(name: str) -> int:
+        arr = np.zeros(n, dtype=np.int64)
+        scratch.append(arr)
+        return add_slot(name, arr, f"scratch {name}")
+
+    # -- partition into python runs and C segments ---------------------
+    # seg stmt: ("a", slot, c_expr) or ("raw", c_code)
+    body: list[object] = []
+    seg_stmts: list[list[tuple]] = []
+
+    current: list[tuple] | None = None
+    seg_reads: list[set[int]] = []
+    seg_shared: list[set[int]] = []
+    seg_dlines: list[set[int]] = []
+    # one-line lookahead state for the delay-line idiom:
+    #   _t = np.concatenate((_dl[:, 1:], (EXPR)[:, None]), axis=1)
+    #   _dl = np.where(_act[:, None], _t, _dl)
+    pending: tuple | None = None  # (tmp_name, slot, depth, c_expr)
+
+    def open_segment():
+        nonlocal current
+        if current is None:
+            current = []
+            seg_reads.append(set())
+            seg_shared.append(set())
+            seg_dlines.append(set())
+
+    def track(emitter):
+        seg_reads[-1] |= emitter.reads
+        seg_shared[-1] |= emitter.shared_reads
+        seg_dlines[-1] |= emitter.dline_reads
+
+    for line in cycle_lines:
+        if "\n" in line or "[_l]" in line or line.lstrip().startswith("for "):
+            if pending:
+                raise CUnsupported("uncommitted delay-line shift")
+            if current:
+                seg_stmts.append(current)
+                body.append(len(seg_stmts) - 1)
+                current = None
+            body.append(line)
+            continue
+        try:
+            tree = ast.parse(line.strip(), mode="exec")
+        except SyntaxError as exc:  # pragma: no cover - emitter bug
+            raise CUnsupported(f"unparsable line {line!r}: {exc}")
+        if len(tree.body) != 1 or not isinstance(tree.body[0], ast.Assign):
+            raise CUnsupported(f"not a single assignment: {line!r}")
+        assign = tree.body[0]
+        if len(assign.targets) != 1 \
+                or not isinstance(assign.targets[0], ast.Name):
+            raise CUnsupported(f"compound target: {line!r}")
+        target = assign.targets[0].id
+
+        commit = _match_dline_commit(assign, resolve, act_name)
+        if commit is not None:
+            tmp_name, slot, depth = commit
+            if pending is None or pending[0] != tmp_name \
+                    or pending[1] != slot:
+                raise CUnsupported(f"unmatched delay-line commit: {line!r}")
+            open_segment()
+            seg_dlines[-1].add(slot)
+            d = depth
+            code = (f"if (_a) {{ "
+                    f"for (i64 _j = 0; _j < {d - 1}; _j++) "
+                    f"_d{slot}[_i * {d} + _j] = _d{slot}[_i * {d} + _j + 1]; "
+                    f"_d{slot}[_i * {d} + {d - 1}] = {pending[3]}; }}")
+            current.append(("raw", code))
+            pending = None
+            continue
+        if pending:
+            raise CUnsupported("uncommitted delay-line shift")
+
+        shift = _match_dline_shift(assign, resolve, n)
+        if shift is not None:
+            slot, depth, expr_node = shift
+            emitter = _ExprEmitter(resolve)
+            c_expr = emitter.emit(expr_node)
+            if slot in emitter.dline_reads:
+                raise CUnsupported("delay-line shift reads itself")
+            open_segment()
+            track(emitter)
+            pending = (target, slot, depth, c_expr)
+            continue
+
+        emitter = _ExprEmitter(resolve)
+        expr = emitter.emit(assign.value)
+        if target not in slot_of:
+            if target in consts or target in shared \
+                    or target in (act_name, true_name, zeros_name) \
+                    or bound.get(target) is not None:
+                raise CUnsupported(f"assignment to bound name {target!r}")
+            fresh_scratch(target)
+        if elem[slot_of[target]][0] == "dline":
+            raise CUnsupported(f"whole-array delay-line write: {line!r}")
+        open_segment()
+        track(emitter)
+        current.append(("a", slot_of[target], expr))
+    if pending:
+        raise CUnsupported("uncommitted delay-line shift")
+    if current:
+        seg_stmts.append(current)
+        body.append(len(seg_stmts) - 1)
+
+    if not seg_stmts:
+        raise CUnsupported("no translatable lines")
+
+    # -- C source ------------------------------------------------------
+    src = [
+        "#include <stdint.h>",
+        "#include <stddef.h>",
+        "typedef int64_t i64;",
+        "static inline i64 pymod(i64 a, i64 b) {",
+        "    i64 r;",
+        "    if (b == 0) return 0;  /* numpy int64 x %% 0 == 0 */",
+        "    r = a % b;",
+        "    if (r != 0 && ((r < 0) != (b < 0))) r += b;",
+        "    return r;",
+        "}",
+        "",
+    ]
+    for j, stmts in enumerate(seg_stmts):
+        writes = {st[1] for st in stmts if st[0] == "a"}
+        lane_slots = sorted(seg_reads[j] | writes)
+        src.append(f"void seg{j}(void **T, const unsigned char *ACT, "
+                   "i64 N) {")
+        for s in sorted(seg_shared[j]):
+            src.append(f"    const i64 *_T{s} = (const i64 *)T[{s}];")
+        for s in sorted(seg_dlines[j]):
+            src.append(f"    i64 *_d{s} = (i64 *)T[{s}];")
+        for s in lane_slots:
+            ctyp = "unsigned char" if elem[s][0] == "u8" else "i64"
+            src.append(f"    {ctyp} *_p{s} = ({ctyp} *)T[{s}];")
+        src.append("    for (i64 _i = 0; _i < N; _i++) {")
+        src.append("        const i64 _a = (i64)ACT[_i];")
+        for s in lane_slots:
+            src.append(f"        i64 _v{s} = (i64)_p{s}[_i];")
+        for st in stmts:
+            if st[0] == "a":
+                src.append(f"        _v{st[1]} = {st[2]};")
+            else:
+                src.append(f"        {st[1]}")
+        for s in sorted(writes):
+            if elem[s][0] == "u8":
+                src.append(
+                    f"        _p{s}[_i] = (unsigned char)(_v{s} != 0);")
+            else:
+                src.append(f"        _p{s}[_i] = _v{s};")
+        src.append("    }")
+        src.append("}")
+        src.append("")
+    c_source = "\n".join(src)
+
+    lib_path = _compile_cached(c_source)
+    if lib_path is None:
+        return None
+    kernel = CStepKernel(n, arrays, lib_path, len(seg_stmts), c_source)
+    return kernel, body
+
+
+# ---------------------------------------------------------------------------
+# Compilation (in-process cache keyed by source hash)
+# ---------------------------------------------------------------------------
+
+_LIB_CACHE: dict[str, str | None] = {}
+_WORK_DIR: str | None = None
+
+
+def _compile_cached(c_source: str) -> str | None:
+    key = hashlib.sha256(c_source.encode()).hexdigest()
+    if key in _LIB_CACHE:
+        return _LIB_CACHE[key]
+    path = _compile(c_source, key)
+    _LIB_CACHE[key] = path
+    return path
+
+
+def _compile(c_source: str, key: str) -> str | None:
+    global _WORK_DIR
+    if _WORK_DIR is None:
+        _WORK_DIR = tempfile.mkdtemp(prefix="repro-ckernel-")
+    c_path = os.path.join(_WORK_DIR, f"{key[:16]}.c")
+    so_path = os.path.join(_WORK_DIR, f"{key[:16]}.so")
+    try:
+        with open(c_path, "w") as fh:
+            fh.write(c_source)
+        proc = subprocess.run(
+            ["gcc", "-O2", "-fwrapv", "-shared", "-fPIC",
+             "-o", so_path, c_path],
+            capture_output=True, timeout=120,
+        )
+        if proc.returncode != 0:
+            return None
+        return so_path
+    except (OSError, subprocess.SubprocessError):
+        return None

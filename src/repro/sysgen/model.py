@@ -18,8 +18,9 @@ from __future__ import annotations
 from collections import deque
 
 from repro.resources.types import Resources
+from repro.runapi.engine import EngineError, resolve_engine
 from repro.sysgen.block import IDLE_FOREVER, Block
-from repro.sysgen.compiled import CompiledSchedule, interpreter_forced
+from repro.sysgen.compiled import CompiledSchedule
 from repro.sysgen.ports import InputPort, OutputPort, PortRef
 
 
@@ -53,8 +54,12 @@ class Model:
         self._ff_blocks: list[Block] = []
         #: generated-code engine (None = interpreter; see compile())
         self._compiled: CompiledSchedule | None = None
-        #: per-model escape hatch mirroring REPRO_SYSGEN_INTERP
+        #: deprecated per-model escape hatch mirroring
+        #: REPRO_SYSGEN_INTERP; honored (with a one-time warning) when
+        #: the engine request is "auto" — use set_engine() instead
         self.force_interpreter = False
+        #: unified engine request; see repro.runapi.engine
+        self._engine_request = "auto"
         #: True once a full step() has run since the last reset/compile,
         #: i.e. every output port holds its settled post-evaluate value.
         self._settled = False
@@ -175,11 +180,27 @@ class Model:
 
     def _codegen(self) -> None:
         """(Re)generate the compiled step/settle functions for the
-        current schedule, unless the interpreter is forced."""
+        current schedule, unless the engine request (or, under
+        ``"auto"``, a deprecated interpreter knob) resolves to the
+        interpreter."""
         self._compiled = None
-        if interpreter_forced() or self.force_interpreter:
+        if resolve_engine(self._engine_request, model=self) == "interpreter":
             return
         self._compiled = CompiledSchedule(self)
+
+    def set_engine(self, engine: str) -> None:
+        """Pin this model to an engine (``"auto"``, ``"compiled"`` or
+        ``"interpreter"``); an explicit choice overrides the deprecated
+        ``force_interpreter`` / ``REPRO_SYSGEN_INTERP`` knobs."""
+        if engine == "batched":
+            raise EngineError(
+                "a scalar Model cannot run batched; construct a "
+                "repro.sysgen.batched.BatchedModel over N models instead"
+            )
+        resolve_engine(engine if engine != "auto" else "compiled")  # validate
+        self._engine_request = engine
+        if self._schedule is not None:
+            self._codegen()
 
     @property
     def engine(self) -> str:

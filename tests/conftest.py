@@ -2,8 +2,8 @@
 
 ``sysgen_engine`` parametrizes a test over both hardware-model
 execution engines — the compiled schedule (default) and the per-cycle
-interpreter (``REPRO_SYSGEN_INTERP=1``) — so every behavioural test
-that opts in becomes an equivalence check between them.  Modules that
+interpreter (via an ambient ``engine_scope``) — so every behavioural
+test that opts in becomes an equivalence check between them.  Modules that
 want *all* their tests doubled add::
 
     @pytest.fixture(autouse=True)
@@ -22,13 +22,13 @@ ENGINES = ("compiled", "interpreter")
 def sysgen_engine(request, monkeypatch):
     """Run the test once per sysgen execution engine.
 
-    The environment variable is set *before* the test body runs, so any
-    ``Model`` compiled inside the test picks the requested engine; the
-    fixture yields the engine name for tests that assert on
+    The ambient engine scope is entered *before* the test body runs, so
+    any ``Model`` compiled inside the test picks the requested engine;
+    the fixture yields the engine name for tests that assert on
     ``Model.engine`` directly.
     """
-    if request.param == "interpreter":
-        monkeypatch.setenv("REPRO_SYSGEN_INTERP", "1")
-    else:
-        monkeypatch.delenv("REPRO_SYSGEN_INTERP", raising=False)
-    return request.param
+    from repro.runapi import engine_scope
+
+    monkeypatch.delenv("REPRO_SYSGEN_INTERP", raising=False)
+    with engine_scope(request.param):
+        yield request.param

@@ -1,0 +1,250 @@
+"""Unit tests for the lockstep batched model engine.
+
+A kitchen-sink model exercises every vectorized block class plus a
+user-defined fallback block; N parameter variants run scalar
+(compiled engine) and batched, and every probe trace and port value
+must match bit for bit — including after lane deactivation and reset.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.sysgen.batched import (
+    BatchedModel,
+    BatchUnsupported,
+    lockstep_signature,
+)
+from repro.sysgen.block import SeqBlock
+from repro.sysgen.blocks.arith import Accumulator, Add, AddSub, Mult, Negate, Shift
+from repro.sysgen.blocks.control import Constant, Counter
+from repro.sysgen.blocks.logic import Concat, Inverter, Logical, Mux, Relational, Slice
+from repro.sysgen.blocks.memory import FIFO, RAM, ROM, Delay, Register
+from repro.sysgen.model import Model
+
+
+class Scrambler(SeqBlock):
+    """User block with no emitters: forces per-lane fallback dispatch."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.add_input("d")
+        self.add_output("q", 16)
+        self._acc = 0
+
+    def present(self) -> None:
+        self.outputs["q"].value = self._acc
+
+    def clock(self) -> None:
+        self._acc = (self._acc * 5 + self.in_value("d") + 1) & 0xFFFF
+
+    def reset(self) -> None:
+        super().reset()
+        self._acc = 0
+
+    def extra_state(self) -> dict:
+        return {"acc": self._acc}
+
+    def load_extra_state(self, extra: dict) -> None:
+        self._acc = extra["acc"]
+
+
+def build_sink(value: int = 5, step: int = 1, init: int = 0) -> Model:
+    """One model touching every vectorized block class."""
+    m = Model("sink")
+    cnt = m.add(Counter("cnt", width=8, step=step))
+    k = m.add(Constant("k", value, width=16))
+    add = m.add(Add("add", width=16, latency=2))
+    m.connect(cnt.o("q"), add.i("a"))
+    m.connect(k.o("out"), add.i("b"))
+    mult = m.add(Mult("mult", width_a=16, width_b=8, latency=3))
+    m.connect(add.o("s"), mult.i("a"))
+    m.connect(cnt.o("q"), mult.i("b"))
+    bit0 = m.add(Slice("bit0", 0, 0))
+    m.connect(cnt.o("q"), bit0.i("a"))
+    bit1 = m.add(Slice("bit1", 1, 1))
+    m.connect(cnt.o("q"), bit1.i("a"))
+    asb = m.add(AddSub("asb", width=16))
+    m.connect(add.o("s"), asb.i("a"))
+    m.connect(k.o("out"), asb.i("b"))
+    m.connect(bit0.o("out"), asb.i("sub"))
+    mux = m.add(Mux("mux", width=16, n=3))
+    m.connect(cnt.o("q"), mux.i("sel"))
+    m.connect(add.o("s"), mux.i("d0"))
+    m.connect(asb.o("s"), mux.i("d1"))
+    m.connect(k.o("out"), mux.i("d2"))
+    rel = m.add(Relational("rel", width=16, op="lt", signed=True))
+    m.connect(mux.o("out"), rel.i("a"))
+    m.connect(k.o("out"), rel.i("b"))
+    logi = m.add(Logical("logi", width=16, op="xnor"))
+    m.connect(add.o("s"), logi.i("d0"))
+    m.connect(asb.o("s"), logi.i("d1"))
+    inv = m.add(Inverter("inv", width=16))
+    m.connect(logi.o("out"), inv.i("a"))
+    cat = m.add(Concat("cat", [8, 8]))
+    m.connect(cnt.o("q"), cat.i("d0"))
+    m.connect(inv.o("out"), cat.i("d1"))
+    neg = m.add(Negate("neg", width=16))
+    m.connect(mux.o("out"), neg.i("a"))
+    shl = m.add(Shift("shl", width=16, amount=3, direction="left"))
+    m.connect(cat.o("out"), shl.i("a"))
+    shr = m.add(Shift("shr", width=16, amount=2, direction="right",
+                      arithmetic=True))
+    m.connect(neg.o("n"), shr.i("a"))
+    reg = m.add(Register("reg", width=16, init=init))
+    m.connect(mux.o("out"), reg.i("d"))
+    m.connect(rel.o("out"), reg.i("en"))
+    m.connect(bit1.o("out"), reg.i("rst"))
+    dly = m.add(Delay("dly", width=16, n=3))
+    m.connect(reg.o("q"), dly.i("d"))
+    acc = m.add(Accumulator("acc", width=24))
+    m.connect(mux.o("out"), acc.i("d"))
+    m.connect(bit1.o("out"), acc.i("rst"))
+    addr = m.add(Slice("addr", 3, 0))
+    m.connect(cnt.o("q"), addr.i("a"))
+    ram = m.add(RAM("ram", depth=16, width=16))
+    m.connect(addr.o("out"), ram.i("addr"))
+    m.connect(mux.o("out"), ram.i("din"))
+    m.connect(rel.o("out"), ram.i("we"))
+    rom = m.add(ROM("rom", [7, 1, 2, 9, 4, 11], width=16))
+    m.connect(cnt.o("q"), rom.i("addr"))
+    fifo = m.add(FIFO("fifo", width=16, depth=4))
+    m.connect(cnt.o("q"), fifo.i("din"))
+    m.connect(bit0.o("out"), fifo.i("push"))
+    m.connect(rel.o("out"), fifo.i("pop"))
+    scr = m.add(Scrambler("scr"))
+    m.connect(mux.o("out"), scr.i("d"))
+    for ref in (mult.o("p"), mux.o("out"), reg.o("q"), dly.o("q"),
+                acc.o("q"), ram.o("dout"), rom.o("data"), fifo.o("dout"),
+                fifo.o("count"), cat.o("out"), shl.o("s"), shr.o("s"),
+                rel.o("out"), scr.o("q")):
+        m.probe(ref)
+    return m
+
+
+PARAMS = [
+    {"value": 5, "step": 1, "init": 0},
+    {"value": 40000, "step": 3, "init": 7},
+    {"value": 17, "step": 5, "init": 1},
+    {"value": 0, "step": 7, "init": 65535},
+    {"value": 255, "step": 2, "init": 12},
+]
+
+
+def scalar_runs(cycles: int):
+    """Per-cycle scalar (compiled-engine) reference traces."""
+    runs = []
+    for p in PARAMS:
+        m = build_sink(**p)
+        m.step(cycles)
+        runs.append(m)
+    return runs
+
+
+def assert_lanes_match(batched, refs, cycles_per_lane=None):
+    for lane, ref in enumerate(refs):
+        want = cycles_per_lane[lane] if cycles_per_lane else None
+        for k, probe in enumerate(ref.probes):
+            got = batched.models[lane].probes[k].samples
+            expect = probe.samples if want is None else probe.samples[:want]
+            assert got == expect, (
+                f"lane {lane} probe {probe.name} diverged: "
+                f"{got[:10]}... != {expect[:10]}..."
+            )
+
+
+def test_lockstep_matches_scalar():
+    cycles = 200
+    refs = scalar_runs(cycles)
+    batch = BatchedModel([build_sink(**p) for p in PARAMS])
+    assert batch.fallback_blocks == ["scr"]
+    batch.step(cycles)
+    assert batch.cycle == cycles
+    assert_lanes_match(batch, refs)
+    # port arrays match the scalar ports too
+    for lane, ref in enumerate(refs):
+        for block in ref.blocks:
+            for port in block.outputs.values():
+                got = int(batch.peek(block.name, port.name)[lane])
+                assert got == port.value, (
+                    f"lane {lane} port {block.name}.{port.name}: "
+                    f"{got} != {port.value}"
+                )
+    # probe samples are plain ints (JSON-safe), not numpy scalars
+    sample = batch.models[0].probes[0].samples[5]
+    assert type(sample) is int
+
+
+def test_lane_masking_freezes_deactivated_lanes():
+    refs = scalar_runs(200)
+    batch = BatchedModel([build_sink(**p) for p in PARAMS])
+    stops = [200, 60, 125, 200, 1]
+    for cycle in range(200):
+        if not batch.any_active:
+            break
+        batch.step(1)
+        for lane, stop in enumerate(stops):
+            if cycle + 1 == stop and batch.active[lane]:
+                batch.deactivate(lane)
+    assert_lanes_match(batch, refs, cycles_per_lane=stops)
+    # frozen lanes hold their final port values
+    for lane, stop in enumerate(stops):
+        ref = build_sink(**PARAMS[lane])
+        ref.step(stop)
+        got = int(batch.peek("reg", "q")[lane])
+        assert got == ref.block("reg").outputs["q"].value
+        assert batch.models[lane].cycle == stop
+
+
+def test_reset_reruns_identically():
+    batch = BatchedModel([build_sink(**p) for p in PARAMS])
+    batch.step(150)
+    first = [list(p.samples) for m in batch.models for p in m.probes]
+    batch.reset()
+    assert batch.cycle == 0
+    assert all(not p.samples for m in batch.models for p in m.probes)
+    batch.step(150)
+    second = [list(p.samples) for m in batch.models for p in m.probes]
+    assert first == second
+
+
+def test_poke_is_copy_on_write():
+    batch = BatchedModel([build_sink(**p) for p in PARAMS])
+    batch.step(10)
+    before = batch.peek("reg", "q")
+    batch.poke("reg", "q", 2, 0x1234)
+    after = batch.peek("reg", "q")
+    assert int(after[2]) == 0x1234
+    others = [lane for lane in range(len(PARAMS)) if lane != 2]
+    assert [int(after[i]) for i in others] == [int(before[i]) for i in others]
+
+
+def test_structural_mismatch_rejected():
+    a = build_sink(**PARAMS[0])
+    b = build_sink(**PARAMS[1])
+    extra = Model("sink")
+    extra.add(Counter("cnt", width=8))
+    with pytest.raises(BatchUnsupported, match="lane 1"):
+        BatchedModel([a, extra])
+    # value-like parameters do NOT break structural identity
+    assert lockstep_signature(a) == lockstep_signature(b)
+
+
+def test_wide_ports_rejected():
+    def wide():
+        m = Model("wide")
+        c = m.add(Counter("c", width=61))
+        r = m.add(Register("r", width=61))
+        m.connect(c.o("q"), r.i("d"))
+        return m
+
+    with pytest.raises(BatchUnsupported, match="too wide"):
+        BatchedModel([wide(), wide()])
+
+
+def test_single_lane_batch():
+    ref = build_sink(**PARAMS[0])
+    ref.step(50)
+    batch = BatchedModel([build_sink(**PARAMS[0])])
+    batch.step(50)
+    assert_lanes_match(batch, [ref])

@@ -1,0 +1,161 @@
+"""Lockstep-vs-scalar equivalence for the batched co-simulation engine.
+
+The contract under test: every lane of a :class:`BatchedCoSimulation`
+— including lanes evicted to the scalar engine mid-run — produces the
+*complete* conformance observable surface bit-identically to an
+independent scalar run with the same budget.  Divergence is exercised
+with per-lane cycle budgets (lanes freeze at different cycles), forced
+evictions, and a genuine deadlock (watchdog eviction).
+
+``REPRO_BATCH_SMOKE_SCENARIOS`` / ``REPRO_BATCH_SMOKE_WIDTH`` scale the
+corpus sweep up for the CI batch-smoke job (25 scenarios at width 8)
+without slowing the default tier-1 run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.conformance.oracle import observe, observe_batched
+from repro.conformance.scenario import Scenario, ScenarioGenerator
+from repro.cosim.batch import BatchedCoSimulation, LaneResult, lane_factory
+from repro.cosim.environment import CoSimDeadlock, CoSimulation
+from repro.faults.campaign import build_design
+from repro.runapi import RunPolicy
+from repro.sysgen.batched import BatchUnsupported
+from repro.sysgen.model import Model
+
+N_SCENARIOS = int(os.environ.get("REPRO_BATCH_SMOKE_SCENARIOS", "4"))
+WIDTH = int(os.environ.get("REPRO_BATCH_SMOKE_WIDTH", "8"))
+
+#: staggered per-lane budget divisors — every lane freezes at its own
+#: cycle, so the lane mask is exercised on every scenario
+_DIVISORS = (1, 3, 7, 2, 5, 9, 4, 13, 6, 11, 8, 15)
+
+
+def _lane_budgets(scenario: Scenario, width: int) -> list[int]:
+    return [max(2, scenario.max_cycles // _DIVISORS[i % len(_DIVISORS)])
+            for i in range(width)]
+
+
+def _cordic_factory(**params):
+    return lane_factory(lambda: build_design("cordic", params))
+
+
+# --------------------------------------------------------------------------
+# conformance equivalence
+
+
+@pytest.mark.parametrize("index", range(N_SCENARIOS))
+def test_lockstep_matches_scalar_over_corpus(index):
+    scenario = ScenarioGenerator(seed=0).scenario(index)
+    budgets = _lane_budgets(scenario, WIDTH)
+    evict = (1 % WIDTH,)
+    observations = observe_batched(
+        scenario, budgets, force_evict=evict, force_evict_cycle=50
+    )
+    assert any(o.mode == "batched_evicted" for o in observations)
+    for lane, obs in enumerate(observations):
+        ref = observe(
+            dataclasses.replace(scenario, max_cycles=budgets[lane]),
+            "per_cycle",
+        )
+        assert obs.comparable() == ref.comparable(), (
+            f"lane {lane} (budget {budgets[lane]}, mode {obs.mode}) "
+            f"diverged from the scalar engine on scenario {scenario.name}"
+        )
+
+
+def test_watchdog_eviction_reproduces_scalar_deadlock():
+    path = Path(__file__).parent / "golden" / "s0-0026.json"
+    scenario = Scenario.from_dict(json.loads(path.read_text())["scenario"])
+    ref = observe(scenario, "per_cycle")
+    assert ref.status == "deadlock", "corpus scenario no longer deadlocks"
+    observations = observe_batched(scenario, [scenario.max_cycles] * 2)
+    for obs in observations:
+        # the lockstep watchdog cannot raise mid-vector; it must evict,
+        # and the scalar replay must land on the identical deadlock
+        assert obs.mode == "batched_evicted"
+        assert obs.status == "deadlock"
+        assert obs.comparable() == ref.comparable()
+
+
+# --------------------------------------------------------------------------
+# engine-level behaviour
+
+
+def test_per_lane_budgets_and_forced_eviction():
+    params = [dict(p=2, iters=8, ndata=6, seed=s) for s in (1, 2, 3, 4)]
+    budgets = [2_000_000, 400, 2_000_000, 700]
+    refs = []
+    for prm, budget in zip(params, budgets):
+        design = build_design("cordic", dict(prm))
+        sim = CoSimulation(design.program, design.model, design.mb,
+                           cpu_config=design.cpu_config)
+        refs.append(sim.run(until=budget))
+
+    batch = BatchedCoSimulation(
+        [_cordic_factory(**prm) for prm in params],
+        force_evict=[2], force_evict_cycle=100,
+    )
+    assert batch.fallback_blocks == ["fsl_out0", "fsl_in0"]
+    results = batch.run(until=budgets)
+
+    assert [r.evicted for r in results] == [False, False, True, False]
+    assert results[2].eviction_reason == "forced eviction"
+    for res, ref in zip(results, refs):
+        assert res.error is None
+        got = res.result
+        assert (got.exit_code, got.cycles, got.instructions,
+                got.stall_cycles, got.halt_reason) == (
+            ref.exit_code, ref.cycles, ref.instructions,
+            ref.stall_cycles, ref.halt_reason)
+
+
+def test_lane_result_status_folding():
+    ok = LaneResult(0, None, error=CoSimDeadlock("stuck"))
+    assert ok.status == "deadlock"
+    assert LaneResult(0, None, error=ValueError("x")).status == "error:ValueError"
+    assert LaneResult(0, None).status == "exit"
+
+
+def test_wall_timeout_records_per_lane_timeouts():
+    batch = BatchedCoSimulation(
+        [_cordic_factory(p=2, iters=8, ndata=6, seed=1)]
+    )
+    results = batch.run(until=2_000_000,
+                        policy=RunPolicy(wall_timeout_s=0.0))
+    assert results[0].status == "error:CoSimTimeout"
+    assert "wall-clock budget" in str(results[0].error)
+
+
+def test_structurally_different_lanes_rejected():
+    with pytest.raises(BatchUnsupported, match="lane 1"):
+        BatchedCoSimulation([
+            _cordic_factory(p=1, iters=8, ndata=6, seed=1),
+            _cordic_factory(p=2, iters=8, ndata=6, seed=1),
+        ])
+
+
+def test_extra_models_rejected():
+    def factory():
+        design = build_design("cordic", dict(p=1, iters=6, ndata=4, seed=1))
+        return CoSimulation(design.program, design.model, design.mb,
+                            cpu_config=design.cpu_config,
+                            extra_models=[Model("extra")])
+
+    with pytest.raises(BatchUnsupported, match="extra_models"):
+        BatchedCoSimulation([factory])
+
+
+def test_mismatched_budget_list_rejected():
+    batch = BatchedCoSimulation(
+        [_cordic_factory(p=1, iters=6, ndata=4, seed=1)]
+    )
+    with pytest.raises(ValueError, match="per-lane budgets"):
+        batch.run(until=[100, 200])

@@ -52,7 +52,7 @@ def _restored(scenario, program, *, fast_forward, cut, path):
     """Run to ``cut`` cycles, checkpoint to disk, restore into a fresh
     sim and finish the remaining budget there."""
     sim, _trace = _make_sim(scenario, program, fast_forward=fast_forward)
-    sim.run(max_cycles=cut)
+    sim.run(until=cut)
     save_checkpoint(sim, str(path), label=scenario.name)
 
     fresh, _trace2 = _make_sim(scenario, program, fast_forward=fast_forward)
@@ -142,7 +142,7 @@ def _small_sim():
     scenario = ScenarioGenerator(seed=11, max_cycles=30_000).scenario(0)
     program = build_program(scenario)
     sim, _trace = _make_sim(scenario, program, fast_forward=False)
-    sim.run(max_cycles=50)
+    sim.run(until=50)
     return scenario, program, sim
 
 

@@ -246,7 +246,7 @@ def test_environment_rerun_after_deadlock_is_identical():
     sim = CoSimulation(program, model, mb,
                        cpu_config=scenario.cpu_config())
     with pytest.raises(CoSimDeadlock):
-        sim.run(max_cycles=scenario.max_cycles)
+        sim.run(until=scenario.max_cycles)
     # The ungated flood must actually have dropped words, so a stale
     # counter would be visible after reset.
     wr = mb.write_blocks[0]
@@ -256,7 +256,7 @@ def test_environment_rerun_after_deadlock_is_identical():
     sim.reset()
     assert wr.dropped == 0
     with pytest.raises(CoSimDeadlock):
-        sim.run(max_cycles=scenario.max_cycles)
+        sim.run(until=scenario.max_cycles)
 
     fresh = observe(scenario, "per_cycle", program)
     rerun = observe(scenario, "reset_rerun", program)

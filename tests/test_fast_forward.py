@@ -283,7 +283,7 @@ def test_fast_forward_satellite_second_run_reports_deltas():
     reference = CoSimulation(program, ref_model, ref_mb).run()
 
     sim = CoSimulation(program, model, mb)
-    first = sim.run(max_cycles=50)
+    first = sim.run(until=50)
     assert first.halt_reason == HaltReason.MAX_CYCLES
     assert first.cycles == 50  # not the CPU's lifetime cycle count
     sim.cpu.resume()

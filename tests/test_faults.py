@@ -90,7 +90,7 @@ def _fresh_sim():
 
 def test_reg_flip_perturbs_exactly_one_bit():
     _design, sim = _fresh_sim()
-    sim.run(max_cycles=50)
+    sim.run(until=50)
     before = list(sim.cpu.regs)
     spec = FaultSpec(kind="reg_flip", cycle=60, index=4, bit=7)
     injector = FaultInjector(sim, FaultPlan(faults=[spec], seed="t"))
@@ -264,3 +264,95 @@ def test_cli_resume_needs_journal(capsys):
     rc, captured = _cli(["cordic", "--resume"], capsys)
     assert rc == 2
     assert "--journal" in captured.err
+
+
+# ----------------------------------------------------------------------
+# the lockstep vector engine: batched campaigns are byte-identical
+
+
+#: divergence axes of the batched engine: fault mix, app, recovery,
+#: and plans scheduled at/after the cycle budget (early-exit shapes)
+BATCH_EQUIV_CONFIGS = [
+    pytest.param(dict(app="cordic", design={"p": 2, "iters": 8, "ndata": 8},
+                      trials=16, seed=11, max_cycles=60_000,
+                      deadlock_window=512), id="cordic-all"),
+    pytest.param(dict(app="cordic", design={"p": 2, "iters": 8, "ndata": 8},
+                      trials=16, seed=12, max_cycles=60_000,
+                      deadlock_window=512, kinds=("stuck_at",)),
+                 id="cordic-stuck-at"),
+    pytest.param(dict(app="matmul", design={"block": 2, "matn": 6},
+                      trials=12, seed=14, max_cycles=120_000,
+                      deadlock_window=512), id="matmul-all"),
+    pytest.param(dict(app="cordic", design={"p": 2, "iters": 8, "ndata": 8},
+                      trials=10, seed=15, max_cycles=60_000,
+                      deadlock_window=512, recovery="rollback"),
+                 id="cordic-rollback"),
+    pytest.param(dict(app="cordic", design={"p": 2, "iters": 8, "ndata": 8},
+                      trials=10, seed=16, max_cycles=4_000,
+                      deadlock_window=512), id="cordic-near-end"),
+]
+
+
+@pytest.mark.parametrize("kw", BATCH_EQUIV_CONFIGS)
+def test_batched_campaign_matches_scalar(kw):
+    config = CampaignConfig(**kw)
+    scalar = run_campaign(config).to_dict()
+    batched = run_campaign(config, batch_width=8).to_dict()
+    assert json.dumps(batched, sort_keys=True) == \
+        json.dumps(scalar, sort_keys=True)
+
+
+def test_batched_campaign_matches_scalar_without_ckernel(monkeypatch):
+    # the numpy fallback of the vector step must be just as exact as
+    # the compiled per-lane C kernel
+    from repro.sysgen import ckernel
+
+    monkeypatch.setenv(ckernel.DISABLE_ENV, "1")
+    config = CampaignConfig(
+        app="cordic", design={"p": 2, "iters": 8, "ndata": 8},
+        trials=12, seed=11, max_cycles=60_000, deadlock_window=512,
+    )
+    scalar = run_campaign(config).to_dict()
+    batched = run_campaign(config, batch_width=8).to_dict()
+    assert json.dumps(batched, sort_keys=True) == \
+        json.dumps(scalar, sort_keys=True)
+
+
+def test_batched_campaign_width_does_not_change_report():
+    config = CampaignConfig(
+        app="cordic", design=dict(DESIGN), trials=9, seed=3,
+        deadlock_window=2_048, max_cycles=MAX_CYCLES,
+    )
+    ref = json.dumps(run_campaign(config).to_dict(), sort_keys=True)
+    for width in (1, 4, 32):
+        got = json.dumps(
+            run_campaign(config, batch_width=width).to_dict(),
+            sort_keys=True)
+        assert got == ref, f"width {width} changed the report"
+
+
+def test_batched_campaign_rejects_journal():
+    config = CampaignConfig(app="cordic", design=dict(DESIGN), trials=2)
+    with pytest.raises(ValueError, match="journal"):
+        run_campaign(config, batch_width=4, journal="x.jsonl")
+
+
+def test_cli_batch_matches_scalar_report(tmp_path, capsys):
+    args = ["cordic", "--p", "2", "--ndata", "8", "--trials", "6",
+            "--seed", "3", "--max-cycles", str(MAX_CYCLES), "--quiet"]
+    scalar_out = tmp_path / "scalar.json"
+    batched_out = tmp_path / "batched.json"
+    rc, _ = _cli(args + ["--json", str(scalar_out)], capsys)
+    assert rc == 0
+    rc, _ = _cli(args + ["--batch", "4", "--json", str(batched_out)],
+                 capsys)
+    assert rc == 0
+    assert json.loads(batched_out.read_text()) == \
+        json.loads(scalar_out.read_text())
+
+
+def test_cli_batch_conflicts_with_scalar_options(capsys):
+    rc, captured = _cli(
+        ["cordic", "--trials", "2", "--batch", "--jobs", "2"], capsys)
+    assert rc == 2
+    assert "--batch is incompatible" in captured.err

@@ -1,0 +1,135 @@
+"""The RunOutcome contract: one result schema across the toolkit.
+
+``CoSimResult`` (one co-simulation), ``DSEResult`` (one sweep point)
+and ``TrialOutcome`` (one fault-campaign trial) all derive from
+:class:`repro.runapi.RunOutcome` and serialize through ``to_dict()``
+with a stable shared key core (``status`` / ``error`` / ``cycles``).
+This suite diffs representative instances of all three against the
+checked-in contract in ``tests/contracts/run_outcome_contract.json`` —
+growing a result type's surface means updating the contract
+deliberately, in the same commit.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cosim.dse import DSEResult, STATUS_OK, STATUS_TIMEOUT
+from repro.cosim.environment import CoSimResult
+from repro.cosim.partition import DesignSpec
+from repro.faults.campaign import OUTCOME_MASKED, OUTCOME_SDC, TrialOutcome
+from repro.iss.cpu import HaltReason
+from repro.runapi import OUTCOME_CORE_KEYS, RunOutcome
+
+CONTRACT_PATH = (
+    pathlib.Path(__file__).parent / "contracts" / "run_outcome_contract.json"
+)
+CONTRACT = json.loads(CONTRACT_PATH.read_text())
+
+
+def make_cosim_result(exit_code=0, halt=HaltReason.EXIT) -> CoSimResult:
+    return CoSimResult(
+        exit_code=exit_code,
+        cycles=1234,
+        instructions=1000,
+        stall_cycles=234,
+        wall_seconds=0.5,
+        simulated_seconds=1234 / 50e6,
+        halt_reason=halt,
+    )
+
+
+def make_dse_result(status=STATUS_OK, error=None) -> DSEResult:
+    spec = DesignSpec(
+        name="pt", factory="repro.cosim.sweep:SyntheticDesign", params={}
+    )
+    return DSEResult(point=spec, result=None, estimate=None,
+                     status=status, error=error)
+
+
+def make_trial_record(outcome=OUTCOME_MASKED, detail="") -> dict:
+    # the exact key set run_trial/run_campaign produce per trial
+    return {
+        "seed": "2005/0",
+        "plan": {},
+        "injected": [],
+        "rollbacks": 0,
+        "backoff_s": [],
+        "checkpoint_cycle": 100,
+        "outcome": outcome,
+        "original_outcome": outcome,
+        "detail": detail,
+        "cycles": 5000,
+        "exit_code": 0,
+        "trial": 0,
+    }
+
+
+OUTCOMES = {
+    "CoSimResult": make_cosim_result,
+    "DSEResult": make_dse_result,
+    "TrialOutcome": lambda: TrialOutcome(make_trial_record()),
+}
+
+
+@pytest.mark.parametrize("name", sorted(OUTCOMES))
+def test_is_run_outcome(name):
+    assert isinstance(OUTCOMES[name](), RunOutcome)
+
+
+@pytest.mark.parametrize("name", sorted(OUTCOMES))
+def test_core_keys_present_and_typed(name):
+    out = OUTCOMES[name]().to_dict()
+    for key in CONTRACT["core_keys"]:
+        assert key in out, f"{name}.to_dict() missing core key {key!r}"
+    assert isinstance(out["status"], str)
+    assert out["error"] is None or isinstance(out["error"], str)
+    assert out["cycles"] is None or isinstance(out["cycles"], int)
+
+
+@pytest.mark.parametrize("name", sorted(OUTCOMES))
+def test_to_dict_matches_contract(name):
+    out = OUTCOMES[name]().to_dict()
+    assert sorted(out) == CONTRACT["schemas"][name], (
+        f"{name}.to_dict() key set drifted from the checked-in contract "
+        f"({CONTRACT_PATH.name}); update the contract in the same commit "
+        f"if the change is intentional"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(OUTCOMES))
+def test_core_matches_attributes(name):
+    outcome = OUTCOMES[name]()
+    out = outcome.to_dict()
+    assert out["status"] == outcome.status
+    assert out["error"] == outcome.error
+    assert out["cycles"] == outcome.cycles
+
+
+def test_contract_core_matches_runapi():
+    assert tuple(CONTRACT["core_keys"]) == OUTCOME_CORE_KEYS
+
+
+def test_ok_semantics():
+    assert make_cosim_result().ok
+    assert not make_cosim_result(exit_code=3).ok
+    assert make_cosim_result(exit_code=3).status == "exit"
+    budget = make_cosim_result(exit_code=None, halt=HaltReason.MAX_CYCLES)
+    assert budget.status == "max-cycles"
+    assert budget.error == "cycle budget exhausted without exit"
+
+    assert make_dse_result().ok
+    timed_out = make_dse_result(STATUS_TIMEOUT, "budget")
+    assert not timed_out.ok
+    assert timed_out.to_dict()["cycles"] is None
+
+    masked = TrialOutcome(make_trial_record())
+    assert masked.ok and masked.status == "ok"
+    sdc = TrialOutcome(make_trial_record(OUTCOME_SDC, "wrong answer"))
+    assert not sdc.ok
+    assert sdc.status == OUTCOME_SDC
+    assert sdc.error == "wrong answer"
+    # the full record survives alongside the core keys
+    assert sdc.to_dict()["outcome"] == OUTCOME_SDC
+    assert sdc.to_dict()["seed"] == "2005/0"

@@ -168,7 +168,7 @@ def test_cpu_reset_matches_fresh():
     program = build_program(scenario)
     fresh_sim, _t1 = _make_sim(scenario, program, fast_forward=False)
     used_sim, _t2 = _make_sim(scenario, program, fast_forward=False)
-    used_sim.run(max_cycles=200)
+    used_sim.run(until=200)
     assert used_sim.cpu.state_dict() != fresh_sim.cpu.state_dict()
     used_sim.cpu.reset(pc=program.entry)
     program.load_into(used_sim.cpu.mem.bram)
@@ -187,7 +187,7 @@ def test_full_sim_reset_matches_fresh():
     program = build_program(scenario)
     fresh_sim, _t1 = _make_sim(scenario, program, fast_forward=False)
     used_sim, _t2 = _make_sim(scenario, program, fast_forward=False)
-    used_sim.run(max_cycles=300)
+    used_sim.run(until=300)
     used_sim.reset()
     assert (_without_bram(used_sim.state_dict())
             == _without_bram(fresh_sim.state_dict()))

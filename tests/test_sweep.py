@@ -17,6 +17,7 @@ from repro.apps.cordic.design import cordic_design_specs
 from repro.cosim import CoSimulation, MicroBlazeBlock
 from repro.cosim.dse import (
     STATUS_DEADLOCK,
+    STATUS_ERROR,
     STATUS_OK,
     STATUS_SELF_CHECK,
     STATUS_TIMEOUT,
@@ -31,6 +32,7 @@ from repro.cosim.sweep import (
     synthetic_specs,
 )
 from repro.mcc import build_executable
+from repro.runapi import RunPolicy
 from repro.resources.estimator import estimate_design
 from repro.sysgen import Model
 
@@ -297,7 +299,7 @@ class TestRunTimeout:
         with run_timeout(0.0):
             # a generous explicit budget overrides the ambient zero
             result = CoSimulation(program, model, mb).run(
-                wall_timeout_s=60.0
+                policy=RunPolicy(wall_timeout_s=60.0)
             )
         assert result.exit_code == 0
 
@@ -399,3 +401,86 @@ class TestMb32DseSweepCli:
         bad.write_text("{}")
         assert dse_main([str(bad)]) == 2
         assert "spec error" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# The lockstep vector engine: sweep_batched mirrors the scalar sweep
+# ----------------------------------------------------------------------
+def _cordic_spec(name: str, **params) -> DesignSpec:
+    return DesignSpec(
+        name=name, factory="repro.apps.cordic.design:CordicDesign",
+        params=params,
+    )
+
+
+def _comparable(result):
+    """Everything but wall-clock fields, which are not conformance
+    observables (the batch shares one clock across lanes)."""
+    r = result.result
+    return (
+        result.point.name,
+        result.status,
+        result.error,
+        result.fingerprint,
+        result.cache_hit,
+        None if r is None else (
+            r.exit_code, r.cycles, r.instructions, r.stall_cycles,
+            r.halt_reason,
+        ),
+        None if result.estimate is None else result.estimate.total,
+    )
+
+
+class TestSweepBatched:
+    # software-only, one 4-lane lockstep group with per-lane programs,
+    # a structural singleton, and a self-check failure (iters=48
+    # overruns the fixed-point gain)
+    POINTS = [
+        dict(name="sw", p=0, **TINY),
+        dict(name="p2-a", p=2, **TINY),
+        dict(name="p2-b", p=2, iters=8, ndata=6),
+        dict(name="p2-c", p=2, iters=12, ndata=8),
+        dict(name="p2-bad", p=2, iters=48, ndata=8),
+        dict(name="p4", p=4, **TINY),
+    ]
+
+    def _points(self):
+        return [_cordic_spec(**dict(kw)) for kw in self.POINTS]
+
+    def test_matches_scalar_sweep_per_point(self):
+        from repro.cosim.sweep_batched import sweep_batched
+
+        scalar = sweep(self._points(), workers=0)
+        batched = sweep_batched(self._points(), batch_width=3)
+        assert [r.status for r in batched.results] == \
+            ["ok", "ok", "ok", "ok", "self-check-failed", "ok"]
+        for ref, got in zip(scalar.results, batched.results):
+            assert _comparable(got) == _comparable(ref)
+
+    def test_shares_the_scalar_result_cache(self, tmp_path):
+        from repro.cosim.sweep_batched import sweep_batched
+
+        cache = tmp_path / "cache"
+        first = sweep_batched(self._points(), batch_width=3,
+                              cache_dir=str(cache))
+        assert first.cache_hits == 0
+        # the scalar sweep re-reads what the batched sweep wrote
+        second = sweep(self._points(), workers=0, cache_dir=str(cache))
+        ok = [r for r in second.results if r.status == STATUS_OK]
+        assert ok and all(r.cache_hit for r in ok)
+
+    def test_width_one_and_bad_width(self):
+        from repro.cosim.sweep_batched import sweep_batched
+
+        with pytest.raises(ValueError, match="batch_width"):
+            sweep_batched(self._points(), batch_width=0)
+        report = sweep_batched(self._points()[1:3], batch_width=1)
+        assert [r.status for r in report.results] == ["ok", "ok"]
+
+    def test_build_failure_reported_as_error(self):
+        from repro.cosim.sweep_batched import sweep_batched
+
+        bad = DesignSpec(name="bad", factory="repro.nosuch:Thing")
+        report = sweep_batched([bad])
+        assert report.results[0].status == STATUS_ERROR
+        assert "build failed" in report.results[0].error
