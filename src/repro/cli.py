@@ -741,6 +741,17 @@ def conformance_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--count", type=int, default=50, metavar="N",
                         help="number of random scenarios to check "
                              "(default 50; 0 = corpus check only)")
+    parser.add_argument("--family", choices=("single", "multi"),
+                        default="single",
+                        help="scenario family: 'single' fuzzes one CPU "
+                             "with a random hardware pipeline, 'multi' "
+                             "fuzzes 2-4 CPUs over pipeline/ring/mesh "
+                             "FSL topologies (default single)")
+    parser.add_argument("--engine", choices=("auto", "compiled",
+                                             "interpreter"),
+                        default="auto",
+                        help="sysgen execution engine for every run "
+                             "(default auto)")
     parser.add_argument("--modes", default=None, metavar="M1,M2,...",
                         help="execution modes to diff against per_cycle "
                              "(default: all)")
@@ -766,6 +777,7 @@ def conformance_main(argv: list[str] | None = None) -> int:
     from repro.conformance import (
         ALL_MODES,
         ConformanceReport,
+        MultiScenarioGenerator,
         ScenarioGenerator,
         bless_golden,
         check_golden,
@@ -800,7 +812,9 @@ def conformance_main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
 
-    generator = ScenarioGenerator(seed=args.seed, max_cycles=args.max_cycles)
+    generator_cls = (MultiScenarioGenerator if args.family == "multi"
+                     else ScenarioGenerator)
+    generator = generator_cls(seed=args.seed, max_cycles=args.max_cycles)
 
     if args.pin is not None:
         try:
@@ -839,7 +853,7 @@ def conformance_main(argv: list[str] | None = None) -> int:
     if args.count > 0:
         for index in range(args.count):
             scenario = generator.scenario(index)
-            verdict = check_scenario(scenario, modes)
+            verdict = check_scenario(scenario, modes, engine=args.engine)
             if not verdict.ok and not verdict.build_error \
                     and not args.no_shrink:
                 failing = tuple(verdict.divergences)
@@ -891,7 +905,29 @@ def faultsim_main(argv: list[str] | None = None) -> int:
     matmul_p.add_argument("--matn", type=int, default=16)
     matmul_p.add_argument("--fifo-depth", type=int, default=16)
 
-    for p in (cordic_p, matmul_p):
+    pipe_p = sub.add_parser(
+        "cordic-pipe",
+        help="inject into the K-CPU pipelined CORDIC (adds link_drop "
+             "and node_stall fault kinds)")
+    pipe_p.add_argument("--stages", type=int, default=4,
+                        help="rotation-stage CPUs (n_cpus = stages + 2)")
+    pipe_p.add_argument("--iters", type=int, default=24)
+    pipe_p.add_argument("--ndata", type=int, default=32)
+    pipe_p.add_argument("--link-depth", type=int, default=16,
+                        help="inter-CPU FSL link depth")
+
+    mesh_p = sub.add_parser(
+        "mesh",
+        help="inject into a 2D-mesh dataflow design (one CPU per mesh "
+             "node; link_drop/node_stall in the kind pool)")
+    mesh_p.add_argument("--rows", type=int, default=2)
+    mesh_p.add_argument("--cols", type=int, default=2)
+    mesh_p.add_argument("--tokens", type=int, default=8,
+                        help="data words streamed through the mesh")
+    mesh_p.add_argument("--link-depth", type=int, default=8,
+                        help="inter-CPU FSL link depth")
+
+    for p in (cordic_p, matmul_p, pipe_p, mesh_p):
         p.add_argument("--trials", type=int, default=100,
                        help="number of seeded injections (default 100)")
         p.add_argument("--seed", type=int, default=2005,
@@ -938,6 +974,12 @@ def faultsim_main(argv: list[str] | None = None) -> int:
     if args.app == "cordic":
         design = {"p": args.p, "iters": args.iters, "ndata": args.ndata,
                   "fifo_depth": args.fifo_depth}
+    elif args.app == "cordic-pipe":
+        design = {"stages": args.stages, "iters": args.iters,
+                  "ndata": args.ndata, "link_depth": args.link_depth}
+    elif args.app == "mesh":
+        design = {"rows": args.rows, "cols": args.cols,
+                  "tokens": args.tokens, "link_depth": args.link_depth}
     else:
         design = {"block": args.block, "matn": args.matn,
                   "fifo_depth": args.fifo_depth}

@@ -33,6 +33,13 @@ from repro.conformance.golden import (
     load_golden,
     write_golden,
 )
+from repro.conformance.multicpu import (
+    MultiNodeSpec,
+    MultiScenario,
+    MultiScenarioGenerator,
+    build_multi_sim,
+    build_programs,
+)
 from repro.conformance.oracle import (
     ALL_MODES,
     REFERENCE_MODE,
@@ -51,6 +58,7 @@ from repro.conformance.scenario import (
     StageSpec,
     build_model,
     build_program,
+    scenario_from_dict,
 )
 from repro.conformance.shrink import shrink_scenario
 
@@ -59,6 +67,9 @@ __all__ = [
     "REFERENCE_MODE",
     "ConformanceReport",
     "DriftEntry",
+    "MultiNodeSpec",
+    "MultiScenario",
+    "MultiScenarioGenerator",
     "Observation",
     "OpSpec",
     "PipelineSpec",
@@ -68,12 +79,15 @@ __all__ = [
     "StageSpec",
     "bless_golden",
     "build_model",
+    "build_multi_sim",
     "build_program",
+    "build_programs",
     "check_golden",
     "check_scenario",
     "first_divergence",
     "load_golden",
     "observe",
+    "scenario_from_dict",
     "shrink_scenario",
     "write_golden",
 ]

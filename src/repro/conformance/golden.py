@@ -35,7 +35,7 @@ from repro.conformance.oracle import (
     first_divergence,
     observe,
 )
-from repro.conformance.scenario import Scenario
+from repro.conformance.scenario import Scenario, scenario_from_dict
 
 GOLDEN_VERSION = 1
 
@@ -93,7 +93,7 @@ def load_golden(path: str | Path) -> tuple[Scenario, dict]:
         raise ValueError(
             f"{path}: golden format version {version!r}, "
             f"expected {GOLDEN_VERSION}")
-    return Scenario.from_dict(data["scenario"]), data["observation"]
+    return scenario_from_dict(data["scenario"]), data["observation"]
 
 
 def bless_golden(corpus_dir: str | Path,

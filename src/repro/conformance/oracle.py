@@ -39,7 +39,17 @@ import multiprocessing
 from dataclasses import dataclass, field
 
 from repro.asm.linker import Program
-from repro.conformance.scenario import Scenario, build_model, build_program
+from repro.conformance.multicpu import (
+    MultiScenario,
+    build_multi_sim,
+    build_programs,
+)
+from repro.conformance.scenario import (
+    Scenario,
+    build_model,
+    build_program,
+    scenario_from_dict,
+)
 from repro.cosim.environment import (
     CoSimDeadlock,
     CoSimTimeout,
@@ -89,6 +99,9 @@ class Observation:
     trace_count: int = 0
     model_cycle: int = 0
     metrics: dict = field(default_factory=dict)
+    #: per-CPU detail for multi-CPU scenarios (node name -> surface);
+    #: empty for single-CPU observations and pre-multi golden files
+    cpus: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -113,6 +126,7 @@ class Observation:
             "trace_count": self.trace_count,
             "model_cycle": self.model_cycle,
             "metrics": self.metrics,
+            "cpus": self.cpus,
         }
 
     def comparable(self) -> dict:
@@ -188,6 +202,86 @@ def _capture(sim: CoSimulation, mode: str, status: str, error: str,
     )
 
 
+def _trace_surface(trace: FSLTrace | None) -> tuple[str, int]:
+    if trace is None:
+        return "", 0
+    payload = ";".join(
+        f"{t.cycle}:{t.channel}:{t.direction}:{t.data}:{int(t.control)}"
+        for t in trace.transactions)
+    return _digest(payload), len(trace.transactions)
+
+
+def _capture_multi(sim, mode: str, status: str, error: str,
+                   trace: FSLTrace | None) -> Observation:
+    """Capture a K-CPU simulation: aggregates at the top level (so the
+    single-CPU diffing machinery applies untouched), per-CPU detail in
+    ``Observation.cpus``."""
+    channels = {}
+    for ch in sim.all_channels():
+        channels[ch.name] = {
+            "total_pushed": ch.total_pushed,
+            "total_popped": ch.total_popped,
+            "push_rejects": ch.push_rejects,
+            "pop_rejects": ch.pop_rejects,
+            "max_occupancy": ch.max_occupancy,
+            "occupancy": ch.occupancy,
+        }
+    dropped = {}
+    probes = {}
+    per_cpu = {}
+    for node in sim.nodes:
+        if node.mb_block is not None:
+            for blk in node.mb_block.write_blocks.values():
+                dropped[blk.name] = blk.dropped
+        if node.model is not None:
+            for probe in node.model.probes:
+                samples = probe.samples
+                probes[f"{node.name}.{probe.name}"] = {
+                    "len": len(samples),
+                    "last": samples[-1] if samples else None,
+                    "digest": _digest(",".join(map(str, samples))),
+                }
+        cpu = node.cpu
+        halt = cpu.halt_reason
+        per_cpu[node.name] = {
+            "exit_code": cpu.exit_code,
+            "halt_reason": (halt.name if isinstance(halt, HaltReason)
+                            else str(halt or "")),
+            "cycles": cpu.cycle,
+            "instructions": cpu.stats.instructions,
+            "stall_cycles": cpu.stats.stall_cycles,
+            "carry": cpu.carry,
+            "fsl_error": cpu.fsl.error,
+            "pc": cpu.pc,
+            "regs": list(cpu.regs),
+            "console": cpu.mem.console.text,
+            "mem_digest": hashlib.sha256(cpu.mem.bram.dump()).hexdigest(),
+            "model_cycle": node.model.cycle if node.model is not None else 0,
+        }
+    trace_digest, trace_count = _trace_surface(trace)
+    halt = sim.halt_reason
+    return Observation(
+        mode=mode,
+        status=status,
+        error=error,
+        exit_code=sim.exit_code,
+        halt_reason=(halt.name if isinstance(halt, HaltReason)
+                     else str(halt or "")),
+        cycles=sim.cycle,
+        instructions=sum(c["instructions"] for c in per_cpu.values()),
+        stall_cycles=sum(c["stall_cycles"] for c in per_cpu.values()),
+        fsl_error=any(c["fsl_error"] for c in per_cpu.values()),
+        channels=channels,
+        dropped=dropped,
+        probes=probes,
+        trace_digest=trace_digest,
+        trace_count=trace_count,
+        metrics=(sim.telemetry.invariant_snapshot()
+                 if sim.telemetry is not None else {}),
+        cpus=per_cpu,
+    )
+
+
 def _make_sim(scenario: Scenario, program: Program, *,
               fast_forward: bool, verify: bool = False) -> tuple[CoSimulation, FSLTrace]:
     model, mb = build_model(scenario)
@@ -217,40 +311,52 @@ def _run(sim: CoSimulation, max_cycles: int) -> tuple[str, str]:
     return "exit", ""
 
 
-def observe(scenario: Scenario, mode: str,
-            program: Program | None = None,
+def observe(scenario: Scenario | MultiScenario, mode: str,
+            program: Program | list[Program] | None = None,
             engine: str = "auto") -> Observation:
     """Execute ``scenario`` under ``mode`` and capture the full surface.
 
-    ``engine`` selects the hardware execution engine
-    (``"auto" | "compiled" | "interpreter"``) for the run, threaded to
-    the simulation via :func:`~repro.runapi.engine_scope` — so the
-    oracle can diff engines as well as loop modes.
+    Accepts both families: a single-CPU :class:`Scenario` (``program``
+    is one :class:`Program`) or a :class:`MultiScenario` (``program``
+    is the node-ordered program list).  ``engine`` selects the hardware
+    execution engine (``"auto" | "compiled" | "interpreter"``) for the
+    run, threaded to the simulation via
+    :func:`~repro.runapi.engine_scope` — so the oracle can diff engines
+    as well as loop modes.
     """
     if mode not in ALL_MODES:
         raise ValueError(f"unknown execution mode {mode!r}; "
                          f"choose from {', '.join(ALL_MODES)}")
     if mode == "subprocess":
         return _observe_subprocess(scenario, engine)
+    multi = isinstance(scenario, MultiScenario)
     if program is None:
-        program = build_program(scenario)
+        program = (build_programs(scenario) if multi
+                   else build_program(scenario))
+
+    def make(*, fast_forward, verify=False):
+        if multi:
+            return build_multi_sim(scenario, program,
+                                   fast_forward=fast_forward, verify=verify)
+        return _make_sim(scenario, program,
+                         fast_forward=fast_forward, verify=verify)
 
     with engine_scope(engine):
         if mode == "per_cycle":
-            sim, trace = _make_sim(scenario, program, fast_forward=False)
+            sim, trace = make(fast_forward=False)
         elif mode == "fast_forward":
-            sim, trace = _make_sim(scenario, program, fast_forward=True)
+            sim, trace = make(fast_forward=True)
         elif mode == "verify":
-            sim, trace = _make_sim(scenario, program, fast_forward=True,
-                                   verify=True)
+            sim, trace = make(fast_forward=True, verify=True)
         else:  # reset_rerun
-            sim, trace = _make_sim(scenario, program, fast_forward=True)
+            sim, trace = make(fast_forward=True)
             _run(sim, scenario.max_cycles)  # first run: outcome discarded
             sim.reset()
             trace.transactions.clear()
 
     status, error = _run(sim, scenario.max_cycles)
-    return _capture(sim, mode, status, error, trace)
+    capture = _capture_multi if multi else _capture
+    return capture(sim, mode, status, error, trace)
 
 
 def observe_batched(
@@ -276,6 +382,11 @@ def observe_batched(
     """
     from repro.cosim.batch import BatchedCoSimulation
 
+    if isinstance(scenario, MultiScenario):
+        raise ValueError(
+            "observe_batched drives single-CPU lanes; multi-CPU scenarios "
+            "group by MultiCoSimulation.lockstep_signature() and replay on "
+            "the scalar engines")
     if program is None:
         program = build_program(scenario)
     traces: dict[int, FSLTrace] = {}
@@ -310,7 +421,7 @@ def observe_batched(
 def _subprocess_worker(conn, scenario_dict: dict,
                        engine: str = "auto") -> None:
     try:
-        scenario = Scenario.from_dict(scenario_dict)
+        scenario = scenario_from_dict(scenario_dict)
         obs = observe(scenario, "fast_forward", engine=engine)
         payload = obs.to_dict()
         payload["mode"] = "subprocess"
@@ -427,7 +538,10 @@ def check_scenario(scenario: Scenario,
     """
     verdict = ScenarioVerdict(scenario=scenario)
     try:
-        program = build_program(scenario)
+        if isinstance(scenario, MultiScenario):
+            program = build_programs(scenario)
+        else:
+            program = build_program(scenario)
     except Exception as exc:  # noqa: BLE001 - a generator bug, not a diff
         verdict.build_error = f"{type(exc).__name__}: {exc}"
         return verdict

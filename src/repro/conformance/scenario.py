@@ -235,6 +235,21 @@ class Scenario:
         )
 
 
+def scenario_from_dict(data: dict):
+    """Load a scenario of either family from its dict form.
+
+    Documents tagged ``family: "multi"`` become
+    :class:`~repro.conformance.multicpu.MultiScenario`; everything else
+    (including pre-multi-CPU documents with no ``family`` key) loads as
+    a single-CPU :class:`Scenario`.
+    """
+    if data.get("family") == "multi":
+        from repro.conformance.multicpu import MultiScenario
+
+        return MultiScenario.from_dict(data)
+    return Scenario.from_dict(data)
+
+
 # --------------------------------------------------------------------------
 # hardware builder
 

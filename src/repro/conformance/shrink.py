@@ -14,8 +14,18 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Iterator
 
+from repro.conformance.multicpu import MultiScenario, multi_variants
 from repro.conformance.oracle import ALL_MODES, check_scenario
 from repro.conformance.scenario import Scenario
+
+
+def _scenario_variants(scenario) -> Iterator:
+    """Family dispatch: multi-CPU scenarios shrink along their own
+    axes (hazard, trailing pipeline node, per-node hardware/polls/
+    arith, token count)."""
+    if isinstance(scenario, MultiScenario):
+        return multi_variants(scenario)
+    return _variants(scenario)
 
 
 def _variants(scenario: Scenario) -> Iterator[Scenario]:
@@ -89,7 +99,7 @@ def shrink_scenario(
     progress = True
     while progress and checks < max_checks:
         progress = False
-        for candidate in _variants(current):
+        for candidate in _scenario_variants(current):
             checks += 1
             if fails(candidate):
                 current = replace(candidate, name=scenario.name + "-min")

@@ -25,6 +25,17 @@ from repro.cosim.environment import (
     FastForwardError,
     run_timeout,
 )
+from repro.cosim.topology import (
+    LinkSpec,
+    TOPOLOGY_KINDS,
+    TopologyError,
+    TopologySpec,
+)
+from repro.cosim.multicpu import (
+    CPUNode,
+    MultiCoSimResult,
+    MultiCoSimulation,
+)
 from repro.cosim.partition import DesignPoint, DesignSpec, PartitionKind
 from repro.cosim.dse import DSEResult, explore
 from repro.cosim.report import format_sweep, format_table
@@ -45,6 +56,13 @@ __all__ = [
     "CoSimTimeout",
     "FastForwardError",
     "run_timeout",
+    "LinkSpec",
+    "TOPOLOGY_KINDS",
+    "TopologyError",
+    "TopologySpec",
+    "CPUNode",
+    "MultiCoSimResult",
+    "MultiCoSimulation",
     "DesignPoint",
     "DesignSpec",
     "PartitionKind",

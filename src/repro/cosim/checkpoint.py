@@ -24,8 +24,6 @@ import json
 import os
 from typing import Any
 
-from repro.cosim.environment import CoSimulation
-
 #: bump when the state-dict layout changes incompatibly
 CHECKPOINT_VERSION = 1
 
@@ -42,39 +40,63 @@ def _payload_digest(state: dict) -> str:
     return hashlib.sha256(_canonical(state).encode()).hexdigest()
 
 
-def sim_fingerprint(sim: CoSimulation) -> str:
+def sim_fingerprint(sim) -> str:
     """Deterministic identity of the *configuration* (not the state):
     program image + entry, CPU configuration, model structure (block
-    names/types, probe count) and FSL channel names/depths."""
+    names/types, probe count) and FSL channel names/depths.
+
+    Accepts a single-CPU :class:`CoSimulation` or a
+    :class:`~repro.cosim.multicpu.MultiCoSimulation`; the K-CPU
+    fingerprint additionally binds the topology wiring and every
+    node's program/configuration, so a checkpoint cannot restore into
+    a differently shaped system.
+    """
     h = hashlib.sha256()
-    h.update(sim.program.image)
-    h.update(str(sim.program.entry).encode())
-    h.update(repr(sim.cpu.config).encode())
+    if hasattr(sim, "topology"):  # MultiCoSimulation
+        h.update(repr(sim.topology.signature()).encode())
+        for node in sim.nodes:
+            h.update(node.name.encode())
+            h.update(node.program.image)
+            h.update(str(node.program.entry).encode())
+            h.update(repr(node.cpu.config).encode())
+        for channel in sim.links.values():
+            h.update(f"{channel.name}:{channel.depth}".encode())
+    else:
+        h.update(sim.program.image)
+        h.update(str(sim.program.entry).encode())
+        h.update(repr(sim.cpu.config).encode())
     for model in sim._models:
         h.update(model.name.encode())
         for block in model.blocks:
             h.update(f"{block.name}:{type(block).__name__}".encode())
         h.update(str(len(model.probes)).encode())
-    for channel in sim.mb_block.channels():
-        h.update(f"{channel.name}:{channel.depth}".encode())
+    if hasattr(sim, "topology"):
+        for node in sim.nodes:
+            if node.mb_block is not None:
+                for channel in node.mb_block.channels():
+                    h.update(f"{channel.name}:{channel.depth}".encode())
+    else:
+        for channel in sim.mb_block.channels():
+            h.update(f"{channel.name}:{channel.depth}".encode())
     return h.hexdigest()
 
 
-def checkpoint_to_dict(sim: CoSimulation, label: str = "") -> dict:
+def checkpoint_to_dict(sim, label: str = "") -> dict:
     """Build the full checkpoint document (in-memory form)."""
     state = sim.state_dict()
+    cycle = sim.cycle if hasattr(sim, "topology") else sim.cpu.cycle
     return {
         "format": "mb32-checkpoint",
         "version": CHECKPOINT_VERSION,
         "label": label,
         "fingerprint": sim_fingerprint(sim),
-        "cycle": sim.cpu.cycle,
+        "cycle": cycle,
         "digest": _payload_digest(state),
         "state": state,
     }
 
 
-def restore_from_dict(sim: CoSimulation, doc: dict) -> None:
+def restore_from_dict(sim, doc: dict) -> None:
     """Validate and load a checkpoint document into ``sim``."""
     if not isinstance(doc, dict) or doc.get("format") != "mb32-checkpoint":
         raise CheckpointError("not an mb32 checkpoint document")
@@ -99,7 +121,7 @@ def restore_from_dict(sim: CoSimulation, doc: dict) -> None:
     sim.load_state(state)
 
 
-def save_checkpoint(sim: CoSimulation, path: str, label: str = "") -> dict:
+def save_checkpoint(sim, path: str, label: str = "") -> dict:
     """Write a checkpoint atomically (tmp + rename); returns the doc."""
     doc = checkpoint_to_dict(sim, label)
     tmp = f"{path}.tmp.{os.getpid()}"
@@ -116,7 +138,7 @@ def save_checkpoint(sim: CoSimulation, path: str, label: str = "") -> dict:
     return doc
 
 
-def load_checkpoint(sim: CoSimulation, path: str) -> dict:
+def load_checkpoint(sim, path: str) -> dict:
     """Read, validate and load a checkpoint file into ``sim``."""
     try:
         with open(path) as fh:

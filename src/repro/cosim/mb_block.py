@@ -34,9 +34,16 @@ from repro.sysgen.model import Model
 class MicroBlazeBlock:
     """FSL hub between one CPU and one sysgen model."""
 
-    def __init__(self, model: Model, fifo_depth: int = FSLChannel.DEFAULT_DEPTH):
+    def __init__(self, model: Model, fifo_depth: int = FSLChannel.DEFAULT_DEPTH,
+                 prefix: str = "mb_"):
+        """``prefix`` namespaces the channel names (``{prefix}out{id}`` /
+        ``{prefix}in{id}``).  The default keeps the historical single-CPU
+        names; multi-CPU environments pass a per-node prefix so channel
+        names stay unique across the whole topology (checkpoint state
+        dicts, telemetry tracks and fault targets are keyed by name)."""
         self.model = model
         self.fifo_depth = fifo_depth
+        self.prefix = prefix
         self.fsl_ports = FSLPorts()  # plugs into the CPU
         self._to_hw: dict[int, FSLChannel] = {}
         self._from_hw: dict[int, FSLChannel] = {}
@@ -49,7 +56,8 @@ class MicroBlazeBlock:
         return the hardware-side :class:`FSLRead` block, already added
         to the model and bound to the channel."""
         self._check(channel_id, self._to_hw)
-        channel = FSLChannel(depth=self.fifo_depth, name=f"mb_out{channel_id}")
+        channel = FSLChannel(depth=self.fifo_depth,
+                             name=f"{self.prefix}out{channel_id}")
         self._to_hw[channel_id] = channel
         self.fsl_ports.connect_output(channel_id, channel)
         block = FSLRead(name or f"fsl_out{channel_id}")
@@ -62,7 +70,8 @@ class MicroBlazeBlock:
         """Create a peripheral→processor FSL (CPU ``get`` side) and
         return the hardware-side :class:`FSLWrite` block."""
         self._check(channel_id, self._from_hw)
-        channel = FSLChannel(depth=self.fifo_depth, name=f"mb_in{channel_id}")
+        channel = FSLChannel(depth=self.fifo_depth,
+                             name=f"{self.prefix}in{channel_id}")
         self._from_hw[channel_id] = channel
         self.fsl_ports.connect_input(channel_id, channel)
         block = FSLWrite(name or f"fsl_in{channel_id}")

@@ -1,0 +1,666 @@
+"""K-CPU co-simulation: soft-processor arrays over FSL links.
+
+:class:`MultiCoSimulation` generalizes the single-MicroBlaze
+:class:`~repro.cosim.environment.CoSimulation` to K processors wired
+into a :class:`~repro.cosim.topology.TopologySpec`: each inter-CPU link
+is one plain FSL FIFO connected as a master (``put``) channel on the
+source CPU's FSL unit and a slave (``get``) channel on the destination
+CPU's — no hardware block mediates, exactly like a physical FSL wire
+between two soft processors.  Every CPU may additionally carry its own
+hardware model behind its own
+:class:`~repro.cosim.mb_block.MicroBlazeBlock` (with a per-node channel
+name prefix so names stay system-unique).
+
+Deterministic inter-CPU ordering
+--------------------------------
+Per global cycle, non-halted CPUs tick in **node-index order**, then
+every hardware model steps (node order).  A word pushed by CPU *i* in
+cycle *t* is therefore visible to CPU *j*'s blocking/non-blocking get
+in the *same* cycle iff ``i < j``, and in cycle *t+1* otherwise.  This
+is the ordering contract all five conformance execution modes must
+reproduce bit-for-bit.
+
+Fast-forward soundness for K CPUs carries over from the single-CPU
+argument: a window is only skipped when every *active* CPU reports a
+positive ``advance_horizon()`` — i.e. none can issue an instruction or
+complete a pending FSL transfer during the window — so no FIFO (link
+or peripheral) changes state inside it, and every hardware model is
+quiescent.  ``cpu.advance()`` itself re-validates the preconditions
+and mirrors the per-cycle reject/stall accounting per CPU.
+
+CPUs that exit stop ticking (their local cycle freezes at the exit
+cycle, as it would under per-cycle execution); the run ends when all
+CPUs halted or the global budget is exhausted.  The progress watchdog
+trips when **no active CPU** has retired an instruction for a full
+window.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.asm.linker import Program
+from repro.bus.fsl import FSLChannel
+from repro.cosim.environment import (
+    CoSimDeadlock,
+    CoSimResult,
+    CoSimTimeout,
+    FastForwardError,
+)
+from repro.cosim import environment as _environment
+from repro.cosim.mb_block import MicroBlazeBlock
+from repro.cosim.topology import TopologySpec
+from repro.iss.cpu import ADVANCE_FOREVER, CPU, CPUConfig, HaltReason
+from repro.iss.run import make_cpu
+from repro.runapi import RunOutcome, RunPolicy
+from repro.runapi.engine import (
+    ENGINES,
+    SCALAR_ENGINES,
+    EngineError,
+    current_engine,
+)
+from repro.sysgen.model import Model
+from repro.telemetry import Telemetry, current_telemetry
+from repro.telemetry.events import (
+    COSIM_TRACK,
+    DEADLOCK,
+    FAST_FORWARD,
+    TelemetryEvent,
+)
+
+__all__ = [
+    "CPUNode",
+    "MultiCoSimResult",
+    "MultiCoSimulation",
+]
+
+
+@dataclass
+class CPUNode:
+    """One processor of a multi-CPU system.
+
+    ``model``/``mb_block`` attach node-local hardware (built with a
+    per-node :class:`MicroBlazeBlock` whose channel ids must not clash
+    with the node's topology link channels).  ``name`` becomes the
+    node's telemetry track and state-dict key; it defaults to
+    ``cpu{index}``.
+    """
+
+    program: Program
+    cpu_config: CPUConfig | None = None
+    model: Model | None = None
+    mb_block: MicroBlazeBlock | None = None
+    memory_size: int | None = None
+    name: str = ""
+    #: filled in by MultiCoSimulation
+    cpu: CPU = field(default=None, repr=False)  # type: ignore[assignment]
+
+
+@dataclass
+class MultiCoSimResult(RunOutcome):
+    """Outcome of one multi-CPU run: the aggregate plus one
+    :class:`~repro.cosim.environment.CoSimResult` per CPU (node order).
+
+    ``cycles`` counts *global* clock cycles of this run; per-CPU cycle
+    deltas can be shorter when a processor exited early.  ``exit_code``
+    aggregates: ``None`` while any CPU has not exited, else the first
+    nonzero code in node order, else 0.
+    """
+
+    exit_code: int | None
+    cycles: int
+    instructions: int
+    stall_cycles: int
+    wall_seconds: float
+    simulated_seconds: float
+    halt_reason: HaltReason | None
+    cpus: tuple[CoSimResult, ...] = ()
+
+    # the aggregate behaves exactly like a CoSimResult
+    status = CoSimResult.status
+    error = CoSimResult.error
+    cycles_per_wall_second = CoSimResult.cycles_per_wall_second
+    simulated_microseconds = CoSimResult.simulated_microseconds
+
+    def extra_dict(self) -> dict:
+        out = CoSimResult.extra_dict(self)
+        out["cpus"] = [r.to_dict() for r in self.cpus]
+        return out
+
+
+class MultiCoSimulation:
+    """Couples K CPUs over FSL point-to-point links (plus optional
+    per-node hardware models) under one global clock."""
+
+    DEADLOCK_WINDOW = _environment.CoSimulation.DEADLOCK_WINDOW
+
+    def __init__(
+        self,
+        nodes: list[CPUNode],
+        topology: TopologySpec,
+        *,
+        link_depth: int = FSLChannel.DEFAULT_DEPTH,
+        fast_forward: bool = True,
+        verify_fast_forward: bool = False,
+        telemetry: Telemetry | None = None,
+        deadlock_window: int | None = None,
+        engine: str = "auto",
+    ):
+        if len(nodes) != topology.n_cpus:
+            raise ValueError(
+                f"topology expects {topology.n_cpus} CPUs, "
+                f"got {len(nodes)} nodes")
+        self.nodes = list(nodes)
+        self.topology = topology
+        self.link_depth = link_depth
+        self.fast_forward = fast_forward
+        self.verify_fast_forward = verify_fast_forward
+        if engine not in ENGINES:
+            raise EngineError(
+                f"unknown engine {engine!r}; expected one of "
+                f"{', '.join(ENGINES)}")
+        if engine == "auto":
+            ambient = current_engine()
+            if ambient in SCALAR_ENGINES:
+                engine = ambient
+        if engine == "batched":
+            raise EngineError(
+                "engine='batched' is the N-simulations lockstep engine; "
+                "a multi-CPU system is one simulation — batch whole "
+                "MultiCoSimulations via scalar lanes instead")
+        self.engine_request = engine
+
+        #: inter-CPU FIFOs keyed by link name, in topology link order
+        self.links: dict[str, FSLChannel] = topology.build_channels(link_depth)
+
+        for index, node in enumerate(self.nodes):
+            if not node.name:
+                node.name = f"cpu{index}"
+            ports = (node.mb_block.fsl_ports if node.mb_block is not None
+                     else None)
+            node.cpu = make_cpu(
+                node.program,
+                config=node.cpu_config,
+                fsl=ports,
+                memory_size=node.memory_size,
+            )
+            node.cpu.track = node.name
+        for link in topology.links:
+            channel = self.links[link.name]
+            self.nodes[link.src].cpu.fsl.connect_output(
+                link.src_channel, channel)
+            self.nodes[link.dst].cpu.fsl.connect_input(
+                link.dst_channel, channel)
+
+        self.cpus: list[CPU] = [node.cpu for node in self.nodes]
+        self._models: list[Model] = [
+            node.model for node in self.nodes if node.model is not None
+        ]
+        if engine in SCALAR_ENGINES:
+            for model in self._models:
+                model.set_engine(engine)
+        for model in self._models:
+            model.compile()
+        self._stores_touch_hw = any(
+            hasattr(block, "opb_write")
+            for m in self._models
+            for block in m.blocks
+        )
+        if deadlock_window is not None:
+            if deadlock_window < 1:
+                raise ValueError("deadlock_window must be >= 1")
+            self.DEADLOCK_WINDOW = deadlock_window
+        #: the global clock — every non-halted CPU's local cycle tracks
+        #: it; halted CPUs freeze at their exit cycle
+        self._cycle = 0
+        self.telemetry = telemetry if telemetry is not None \
+            else current_telemetry()
+        if self.telemetry is not None:
+            self._attach_telemetry(self.telemetry)
+
+    def _attach_telemetry(self, telemetry: Telemetry) -> None:
+        clock = lambda: self._cycle  # noqa: E731
+        for node in self.nodes:
+            telemetry.attach_cpu(node.cpu)
+            if node.mb_block is not None:
+                for channel in node.mb_block.channels():
+                    telemetry.attach_channel(channel, clock)
+            if node.model is not None:
+                for block in node.model.blocks:
+                    telemetry.attach_block(block, clock)
+        for channel in self.links.values():
+            telemetry.attach_channel(channel, clock)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def cycle(self) -> int:
+        """The global clock (== every active CPU's local cycle)."""
+        return self._cycle
+
+    @property
+    def n_cpus(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def halted(self) -> bool:
+        return all(cpu.halted for cpu in self.cpus)
+
+    @property
+    def halt_reason(self) -> HaltReason | None:
+        """Aggregate halt reason: MAX_CYCLES while any CPU is parked on
+        the budget, else the first non-EXIT reason, else EXIT."""
+        reasons = [cpu.halt_reason for cpu in self.cpus]
+        if any(r is HaltReason.MAX_CYCLES for r in reasons):
+            return HaltReason.MAX_CYCLES
+        if any(r is None for r in reasons):
+            return None
+        for reason in reasons:
+            if reason is not HaltReason.EXIT:
+                return reason
+        return HaltReason.EXIT
+
+    @property
+    def exit_code(self) -> int | None:
+        codes = [cpu.exit_code for cpu in self.cpus]
+        if any(code is None for code in codes):
+            return None
+        return next((code for code in codes if code != 0), 0)
+
+    def resume(self) -> None:
+        """Clear MAX_CYCLES/breakpoint halts on every CPU (exited
+        processors stay exited) so a further ``run()`` segment
+        continues."""
+        for cpu in self.cpus:
+            if cpu.halted and cpu.halt_reason is not HaltReason.EXIT:
+                cpu.resume()
+
+    def all_channels(self) -> tuple[FSLChannel, ...]:
+        """Every FSL FIFO of the system: inter-CPU links (topology
+        order) then each node's peripheral channels (node order)."""
+        channels = list(self.links.values())
+        for node in self.nodes:
+            if node.mb_block is not None:
+                channels.extend(node.mb_block.channels())
+        return tuple(channels)
+
+    def channel_occupancies(self) -> dict[str, int]:
+        return {ch.name: ch.occupancy for ch in self.all_channels()}
+
+    def lockstep_signature(self) -> tuple:
+        """Structural grouping key (the K-CPU face of
+        :func:`repro.sysgen.batched.lockstep_signature`): topology
+        wiring plus each node's model signature."""
+        from repro.sysgen.batched import lockstep_signature as model_sig
+
+        return (
+            "multicpu",
+            self.topology.signature(),
+            tuple(
+                model_sig(node.model) if node.model is not None else None
+                for node in self.nodes
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self, cycles: int = 1,
+             skip_cpus: frozenset[int] | set[int] = frozenset()) -> None:
+        """Advance the whole system per-cycle (the reference ordering:
+        CPUs in node order, then models).
+
+        ``skip_cpus`` gates the named node indices off the clock for
+        these cycles — the ``node_stall`` fault model: a stalled
+        processor's local clock freezes while the rest of the system
+        runs on.
+        """
+        cpus = self.cpus
+        models = self._models
+        for _ in range(cycles):
+            if skip_cpus:
+                for index, cpu in enumerate(cpus):
+                    if index not in skip_cpus and not cpu.halted:
+                        cpu.tick()
+            else:
+                for cpu in cpus:
+                    if not cpu.halted:
+                        cpu.tick()
+            for m in models:
+                m.step()
+            self._cycle += 1
+
+    def run(
+        self,
+        until: int | None = None,
+        *,
+        policy: RunPolicy | None = None,
+    ) -> MultiCoSimResult:
+        """Run until every CPU exits (or the global cycle budget).
+
+        Mirrors :meth:`CoSimulation.run`: ``until`` is this call's
+        global-cycle budget, ``policy`` overrides wall-clock budget,
+        fast-forward mode and watchdog window for the call.
+        """
+        if policy is None:
+            policy = RunPolicy()
+        wall_timeout_s = policy.wall_timeout_s
+        budget = policy.budget(until)
+
+        override = (policy.fast_forward is not None
+                    or policy.verify_fast_forward is not None
+                    or policy.deadlock_window is not None)
+        if not override:
+            return self._run(budget, wall_timeout_s)
+        saved_ff = self.fast_forward
+        saved_vff = self.verify_fast_forward
+        had_window = "DEADLOCK_WINDOW" in self.__dict__
+        saved_window = self.DEADLOCK_WINDOW
+        if policy.fast_forward is not None:
+            self.fast_forward = policy.fast_forward
+        if policy.verify_fast_forward is not None:
+            self.verify_fast_forward = policy.verify_fast_forward
+        if policy.deadlock_window is not None:
+            if policy.deadlock_window < 1:
+                raise ValueError("deadlock_window must be >= 1")
+            self.DEADLOCK_WINDOW = policy.deadlock_window
+        try:
+            return self._run(budget, wall_timeout_s)
+        finally:
+            self.fast_forward = saved_ff
+            self.verify_fast_forward = saved_vff
+            if policy.deadlock_window is not None:
+                if had_window:
+                    self.DEADLOCK_WINDOW = saved_window
+                else:
+                    del self.__dict__["DEADLOCK_WINDOW"]
+
+    def _run(self, max_cycles: int,
+             wall_timeout_s: float | None) -> MultiCoSimResult:
+        telemetry = self.telemetry
+        events = telemetry.bus if telemetry is not None else None
+        cpus = self.cpus
+        models = self._models
+        fast = self.fast_forward or self.verify_fast_forward
+        verify = self.verify_fast_forward
+        stores_touch_hw = self._stores_touch_hw
+        if wall_timeout_s is None:
+            wall_timeout_s = _environment._default_wall_timeout
+
+        start = time.perf_counter()
+        deadline = None if wall_timeout_s is None else start + wall_timeout_s
+        cycles = 0
+        window = self.DEADLOCK_WINDOW
+        cycle0 = self._cycle
+        # Watchdog boundaries stay absolute-window-aligned (see
+        # CoSimulation._run) so a checkpoint-restored continuation
+        # checks at exactly the cycles an uninterrupted run would.
+        next_check = window - cycle0 % window
+        baseline = [
+            (cpu.cycle, cpu.stats.instructions, cpu.stats.stall_cycles)
+            for cpu in cpus
+        ]
+
+        active = [cpu for cpu in cpus if not cpu.halted]
+        hw_idle = False
+        fsl_ops = sum(c.stats.fsl_puts + c.stats.fsl_gets for c in cpus)
+        stores = sum(c.stats.stores for c in cpus)
+
+        while active and cycles < max_cycles:
+            if fast:
+                if hw_idle:
+                    hw_horizon = ADVANCE_FOREVER
+                elif models:
+                    hw_horizon = min(m.idle_horizon() for m in models)
+                    hw_idle = hw_horizon >= ADVANCE_FOREVER
+                else:
+                    hw_horizon = ADVANCE_FOREVER
+                    hw_idle = True
+                if hw_horizon > 0:
+                    skip = min(
+                        min(cpu.advance_horizon() for cpu in active),
+                        hw_horizon,
+                        next_check - cycles,
+                        max_cycles - cycles,
+                    )
+                    if skip > 0:
+                        if verify:
+                            self._skip_checked(skip, active)
+                        else:
+                            for cpu in active:
+                                cpu.advance(skip)
+                            for m in models:
+                                m.fast_forward(skip)
+                        cycles += skip
+                        self._cycle += skip
+                        if events is not None:
+                            events.emit(TelemetryEvent(
+                                FAST_FORWARD, self._cycle, COSIM_TRACK, skip
+                            ))
+                        if cycles >= next_check:
+                            if deadline is not None and \
+                                    time.perf_counter() >= deadline:
+                                self._raise_timeout(wall_timeout_s, cycles)
+                            if self._no_progress(cycle0 + cycles, window,
+                                                 active):
+                                self._raise_deadlock(window)
+                            next_check = cycles + window
+                        continue
+            halted_now = False
+            for cpu in active:
+                cpu.tick()
+                if cpu.halted:
+                    halted_now = True
+            if hw_idle:
+                ops = sum(c.stats.fsl_puts + c.stats.fsl_gets for c in cpus)
+                st = sum(c.stats.stores for c in cpus)
+                if ops != fsl_ops or (stores_touch_hw and st != stores):
+                    hw_idle = False
+                fsl_ops = ops
+                stores = st
+                if hw_idle and not verify:
+                    for m in models:
+                        m.fast_forward(1)
+                else:
+                    for m in models:
+                        m.step()
+            else:
+                for m in models:
+                    m.step()
+                fsl_ops = sum(c.stats.fsl_puts + c.stats.fsl_gets
+                              for c in cpus)
+                stores = sum(c.stats.stores for c in cpus)
+            cycles += 1
+            self._cycle += 1
+            if halted_now:
+                active = [cpu for cpu in active if not cpu.halted]
+            if cycles >= next_check:
+                if deadline is not None and time.perf_counter() >= deadline:
+                    self._raise_timeout(wall_timeout_s, cycles)
+                if active and self._no_progress(cycle0 + cycles, window,
+                                                active):
+                    self._raise_deadlock(window)
+                next_check = cycles + window
+
+        return self._finish(start, cycle0, baseline)
+
+    def _no_progress(self, boundary: int, window: int,
+                     active: list[CPU]) -> bool:
+        """No *active* CPU retired an instruction within the last full
+        window.  Retire cycles are per-CPU local clocks, which equal
+        the global clock for every active CPU — so the comparison is
+        exact and restore-transparent."""
+        return (
+            boundary >= 2 * window
+            and max(cpu.stats.last_retire_cycle for cpu in active)
+            <= boundary - window
+        )
+
+    def _skip_checked(self, skip: int, active: list[CPU]) -> None:
+        """verify_fast_forward: run a would-be skipped window per-cycle
+        and prove no CPU issued and no model moved."""
+        instr_before = [cpu.stats.instructions for cpu in active]
+        snapshot = [
+            (
+                m,
+                [(p, len(p.samples), p.port.value) for p in m.probes],
+                [
+                    (b, {k: o.value for k, o in b.outputs.items()})
+                    for b in m.blocks
+                ],
+            )
+            for m in self._models
+        ]
+        models = self._models
+        for _ in range(skip):
+            for cpu in active:
+                cpu.tick()
+            for m in models:
+                m.step()
+        for cpu, before in zip(active, instr_before):
+            if cpu.stats.instructions != before:
+                raise FastForwardError(
+                    f"{cpu.track}: an instruction retired inside a "
+                    f"{skip}-cycle fast-forward window"
+                )
+        for m, probes, blocks in snapshot:
+            for probe, n0, value in probes:
+                tail = probe.samples[n0:]
+                if len(tail) != skip or any(s != value for s in tail):
+                    raise FastForwardError(
+                        f"probe {probe.name!r} changed during a "
+                        f"fast-forward window of model {m.name!r}"
+                    )
+            for block, outs in blocks:
+                now = {k: o.value for k, o in block.outputs.items()}
+                if now != outs:
+                    raise FastForwardError(
+                        f"block {block.name!r} outputs changed during a "
+                        f"fast-forward window: {outs} -> {now}"
+                    )
+
+    def _finish(self, start: float, cycle0: int,
+                baseline: list[tuple[int, int, int]]) -> MultiCoSimResult:
+        wall = time.perf_counter() - start
+        for cpu in self.cpus:
+            if not cpu.halted:
+                cpu.halted = True
+                cpu.halt_reason = HaltReason.MAX_CYCLES
+        per_cpu = []
+        for cpu, (cyc0, instr0, stall0) in zip(self.cpus, baseline):
+            run_cycles = cpu.cycle - cyc0
+            per_cpu.append(CoSimResult(
+                exit_code=cpu.exit_code,
+                cycles=run_cycles,
+                instructions=cpu.stats.instructions - instr0,
+                stall_cycles=cpu.stats.stall_cycles - stall0,
+                wall_seconds=wall,
+                simulated_seconds=run_cycles / cpu.config.frequency_hz,
+                halt_reason=cpu.halt_reason,
+            ))
+        run_cycles = self._cycle - cycle0
+        frequency = self.cpus[0].config.frequency_hz
+        return MultiCoSimResult(
+            exit_code=self.exit_code,
+            cycles=run_cycles,
+            instructions=sum(r.instructions for r in per_cpu),
+            stall_cycles=sum(r.stall_cycles for r in per_cpu),
+            wall_seconds=wall,
+            simulated_seconds=run_cycles / frequency,
+            halt_reason=self.halt_reason,
+            cpus=tuple(per_cpu),
+        )
+
+    def _raise_timeout(self, budget: float, cycles: int) -> None:
+        pcs = ", ".join(f"{node.name}@{node.cpu.pc:#010x}"
+                        for node in self.nodes)
+        raise CoSimTimeout(
+            f"multi-CPU co-simulation exceeded its {budget:.3f}s "
+            f"wall-clock budget after {cycles} cycles ({pcs})"
+        )
+
+    def _raise_deadlock(self, window: int) -> None:
+        if self.telemetry is not None:
+            self.telemetry.bus.emit(TelemetryEvent(
+                DEADLOCK, self._cycle, COSIM_TRACK, self.cpus[0].pc
+            ))
+        pcs = ", ".join(
+            f"{node.name}@{node.cpu.pc:#010x}"
+            f"{'(halted)' if node.cpu.halted else ''}"
+            for node in self.nodes)
+        raise CoSimDeadlock(
+            f"no active CPU retired an instruction in {window} cycles "
+            f"({pcs}); FSL occupancies: {self.channel_occupancies()}"
+        )
+
+    # ------------------------------------------------------------------
+    # checkpointing / reuse
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Complete system state, JSON-safe: the global clock, every
+        CPU (keyed by node name), every model, every link FIFO and
+        every node-local peripheral channel set."""
+        state = {
+            "cycle": self._cycle,
+            "cpus": {node.name: node.cpu.state_dict()
+                     for node in self.nodes},
+            "models": [m.state_dict() for m in self._models],
+            "links": {name: ch.state_dict()
+                      for name, ch in self.links.items()},
+            "mb_channels": {
+                node.name: node.mb_block.state_dict()
+                for node in self.nodes if node.mb_block is not None
+            },
+        }
+        if self.telemetry is not None:
+            state["telemetry"] = self.telemetry.state_dict()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        names = {node.name for node in self.nodes}
+        if set(state["cpus"]) != names:
+            missing = names.symmetric_difference(state["cpus"])
+            raise ValueError(
+                "checkpoint CPU set does not match this system: "
+                + ", ".join(sorted(missing)))
+        if len(state["models"]) != len(self._models):
+            raise ValueError(
+                f"checkpoint has {len(state['models'])} models, "
+                f"system has {len(self._models)}")
+        if set(state["links"]) != set(self.links):
+            missing = set(self.links).symmetric_difference(state["links"])
+            raise ValueError(
+                "checkpoint link set does not match this topology: "
+                + ", ".join(sorted(missing)))
+        self._cycle = int(state["cycle"])
+        for node in self.nodes:
+            node.cpu.load_state(state["cpus"][node.name])
+        for model, payload in zip(self._models, state["models"]):
+            model.load_state(payload)
+        for name, channel in self.links.items():
+            channel.load_state(state["links"][name])
+        for node in self.nodes:
+            if node.mb_block is not None:
+                node.mb_block.load_state(state["mb_channels"][node.name])
+        if self.telemetry is not None and "telemetry" in state:
+            self.telemetry.load_state(state["telemetry"])
+
+    def reset(self) -> None:
+        """Per-CPU architectural reset (each clears its own sticky
+        ``fsl.error``), program image reload, link/peripheral FIFO and
+        statistics reset, model reset — a re-run must be byte-identical
+        to a fresh system."""
+        self._cycle = 0
+        for node in self.nodes:
+            node.cpu.reset(pc=node.program.entry)
+            node.program.load_into(node.cpu.mem.bram)
+            if node.model is not None:
+                node.model.reset()
+            if node.mb_block is not None:
+                node.mb_block.reset(reset_stats=True)
+        for channel in self.links.values():
+            channel.reset(reset_stats=True)
+        if self.telemetry is not None:
+            self.telemetry.reset()

@@ -44,18 +44,30 @@ class Transaction:
 
 @dataclass
 class FSLTrace:
-    """Subscribes to a MicroBlazeBlock's channels to log all transfers."""
+    """Subscribes to a channel owner's FSL channels to log transfers.
 
-    mb_block: MicroBlazeBlock
+    The owner is anything exposing ``all_channels()`` (e.g. a
+    :class:`~repro.cosim.multicpu.MultiCoSimulation`, covering every
+    inter-CPU link and node-local channel) or ``channels()`` (the
+    classic single :class:`MicroBlazeBlock`).
+    """
+
+    mb_block: MicroBlazeBlock  # or any object with (all_)channels()
     clock: Callable[[], int]  # returns the current cycle
     transactions: list[Transaction] = field(default_factory=list)
     _installed: bool = False
     _buses: list[EventBus] = field(default_factory=list)
 
+    def _channels(self):
+        owner = self.mb_block
+        if hasattr(owner, "all_channels"):
+            return owner.all_channels()
+        return owner.channels()
+
     def install(self) -> "FSLTrace":
         if self._installed:
             return self
-        for channel in self.mb_block.channels():
+        for channel in self._channels():
             self._attach(channel)
         self._installed = True
         return self

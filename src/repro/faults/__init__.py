@@ -19,8 +19,14 @@ from repro.faults.campaign import (
     run_trial,
 )
 from repro.faults.detect import check_invariants
-from repro.faults.inject import FaultInjector
-from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec, generate_plan
+from repro.faults.inject import FaultInjector, MultiFaultInjector
+from repro.faults.plan import (
+    FAULT_KINDS,
+    MULTI_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    generate_plan,
+)
 
 __all__ = [
     "ALL_OUTCOMES",
@@ -30,7 +36,9 @@ __all__ = [
     "run_trial",
     "check_invariants",
     "FaultInjector",
+    "MultiFaultInjector",
     "FAULT_KINDS",
+    "MULTI_FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
     "generate_plan",

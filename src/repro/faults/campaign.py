@@ -44,8 +44,13 @@ from repro.cosim.environment import CoSimDeadlock, CoSimulation
 from repro.cosim.partition import DesignSpec
 from repro.cosim.sweep import SweepProgress, retry_backoff_delay, sweep
 from repro.faults.detect import check_invariants
-from repro.faults.inject import FaultInjector
-from repro.faults.plan import FAULT_KINDS, FaultPlan, generate_plan
+from repro.faults.inject import FaultInjector, MultiFaultInjector
+from repro.faults.plan import (
+    FAULT_KINDS,
+    MULTI_FAULT_KINDS,
+    FaultPlan,
+    generate_plan,
+)
 from repro.iss.cpu import HaltReason
 from repro.runapi import RunOutcome
 from repro.runapi.engine import SCALAR_ENGINES, EngineError, engine_scope
@@ -77,7 +82,7 @@ class CampaignConfig:
     ``to_dict`` is embedded in the report for provenance.
     """
 
-    app: str                       # "cordic" | "matmul"
+    app: str        # "cordic" | "matmul" | "cordic-pipe" | "mesh"
     design: dict[str, Any] = field(default_factory=dict)
     trials: int = 100
     seed: int = 2005
@@ -91,8 +96,13 @@ class CampaignConfig:
     engine: str = "auto"           # scalar engine for each trial
 
     def __post_init__(self) -> None:
-        if self.app not in ("cordic", "matmul"):
+        if self.app not in ("cordic", "matmul", "cordic-pipe", "mesh"):
             raise ValueError(f"unknown campaign app {self.app!r}")
+        if (self.app in ("cordic-pipe", "mesh")
+                and self.kinds == FAULT_KINDS):
+            # the K-CPU apps default to the full kind pool, link and
+            # node faults included
+            self.kinds = MULTI_FAULT_KINDS
         if self.recovery not in ("none", "rollback"):
             raise ValueError(f"unknown recovery policy {self.recovery!r}")
         if self.trials < 1:
@@ -136,6 +146,14 @@ def build_design(app: str, design_params: dict[str, Any]):
             raise ValueError("fault campaigns need a hardware partition "
                              "(CORDIC p >= 1)")
         return design
+    if app == "cordic-pipe":
+        from repro.apps.cordic.pipeline import CordicPipelineDesign
+
+        return CordicPipelineDesign(**design_params)
+    if app == "mesh":
+        from repro.apps.meshflow import MeshFlowDesign
+
+        return MeshFlowDesign(**design_params)
     from repro.apps.matmul.design import MatmulDesign
 
     design = MatmulDesign(**design_params)
@@ -145,7 +163,9 @@ def build_design(app: str, design_params: dict[str, Any]):
     return design
 
 
-def _make_sim(design, deadlock_window: int) -> CoSimulation:
+def _make_sim(design, deadlock_window: int):
+    if getattr(design, "is_multi", False):
+        return design.build_sim(deadlock_window=deadlock_window)
     return CoSimulation(
         design.program,
         design.model,
@@ -170,18 +190,22 @@ def _finish_and_classify(
     return _classify_state(sim, design)
 
 
-def _classify_state(sim: CoSimulation, design) -> tuple[str, str]:
+def _classify_state(sim, design) -> tuple[str, str]:
     """Classify an already-finished simulation (the non-raising half of
     :func:`_finish_and_classify`; the batched path shares it so lockstep
     lanes land on exactly the scalar classification)."""
-    cpu = sim.cpu
-    if cpu.exit_code is None:
+    multi = hasattr(sim, "topology")
+    exit_code = sim.exit_code if multi else sim.cpu.exit_code
+    if exit_code is None:
         return OUTCOME_HANG, "cycle budget exhausted without exit"
     anomalies = check_invariants(sim)
     if anomalies:
         return OUTCOME_DETECTED, "; ".join(anomalies)
     try:
-        design._verify(cpu)
+        if multi:  # the K-CPU verify reads the sink node's BRAM
+            design._verify(sim)
+        else:
+            design._verify(sim.cpu)
     except AssertionError as exc:
         return OUTCOME_SDC, str(exc)
     return OUTCOME_MASKED, ""
@@ -223,7 +247,10 @@ def run_trial(
         design = (build_design(app, design_params)
                   if _design_factory is None else _design_factory())
         sim = _make_sim(design, deadlock_window)
-    cpu = sim.cpu
+    multi = hasattr(sim, "topology")
+    # the run-state facade: MultiCoSimulation exposes the same
+    # halted/halt_reason/cycle/exit_code/resume() surface as one CPU
+    cpu = sim if multi else sim.cpu
 
     record: dict[str, Any] = {
         "seed": fault_plan.seed,
@@ -251,7 +278,8 @@ def run_trial(
     checkpoint = checkpoint_to_dict(sim, label=f"pre-fault {fault_plan.seed}")
     record["checkpoint_cycle"] = checkpoint["cycle"]
 
-    injector = FaultInjector(sim, fault_plan)
+    injector_cls = MultiFaultInjector if multi else FaultInjector
+    injector = injector_cls(sim, fault_plan)
     outcome, detail = _finish_and_classify(
         sim, design, lambda: injector.run(max_cycles)
     )
@@ -443,9 +471,35 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+def _campaign_setup(config: CampaignConfig):
+    """Build + baseline the design and enumerate the injectable
+    targets; shared by the scalar and batched campaign paths."""
+    with engine_scope(config.engine):
+        design = build_design(config.app, config.design)
+        baseline = design.run()  # also validates the fault-free partition
+        sim = _make_sim(design, config.deadlock_window)
+    if hasattr(sim, "topology"):  # K-CPU design
+        channels = tuple(c.name for c in sim.all_channels())
+        cpus = tuple(node.name for node in sim.nodes)
+        mem_words = max(
+            1, max(len(p.image) for p in design.programs) // 4)
+    else:
+        channels = tuple(c.name for c in sim.mb_block.channels())
+        cpus = ()
+        mem_words = max(1, len(design.program.image) // 4)
+    ports = tuple(
+        f"{block.name}:{port}"
+        for model in sim._models
+        for block in model.blocks
+        for port in block.outputs
+    )
+    return design, baseline, channels, ports, cpus, mem_words
+
+
 def campaign_specs(
     config: CampaignConfig, baseline_cycles: int,
     channels: tuple[str, ...], ports: tuple[str, ...], mem_words: int,
+    cpus: tuple[str, ...] = (),
 ) -> list[DesignSpec]:
     """One picklable spec per trial, each carrying its full plan."""
     specs = []
@@ -456,6 +510,7 @@ def campaign_specs(
             mem_words=mem_words,
             channels=channels,
             ports=ports,
+            cpus=cpus,
             kinds=config.kinds,
             n_faults=config.faults_per_trial,
         )
@@ -513,21 +568,11 @@ def run_campaign(
                 "drop --batch or run the journal on the scalar engine"
             )
         return _run_campaign_batched(config, batch_width, progress=progress)
-    with engine_scope(config.engine):
-        design = build_design(config.app, config.design)
-        baseline = design.run()  # also validates the fault-free partition
-        sim = _make_sim(design, config.deadlock_window)
-    channels = tuple(c.name for c in sim.mb_block.channels())
-    ports = tuple(
-        f"{block.name}:{port}"
-        for model in sim._models
-        for block in model.blocks
-        for port in block.outputs
-    )
-    mem_words = max(1, len(design.program.image) // 4)
+    design, baseline, channels, ports, cpus, mem_words = (
+        _campaign_setup(config))
 
     specs = campaign_specs(
-        config, baseline.cycles, channels, ports, mem_words
+        config, baseline.cycles, channels, ports, mem_words, cpus
     )
     report = sweep(
         specs,
@@ -913,29 +958,32 @@ def _run_campaign_batched(
 ) -> CampaignReport:
     """The ``run_campaign(batch_width=...)`` engine: same report, one
     program build and one lockstep vector run per ``batch_width``
-    trials instead of ``batch_width`` full scalar simulations."""
-    with engine_scope(config.engine):
-        design = build_design(config.app, config.design)
-        baseline = design.run()  # also validates the fault-free partition
-        sim = _make_sim(design, config.deadlock_window)
-    channels = tuple(c.name for c in sim.mb_block.channels())
-    ports = tuple(
-        f"{block.name}:{port}"
-        for model in sim._models
-        for block in model.blocks
-        for port in block.outputs
-    )
-    mem_words = max(1, len(design.program.image) // 4)
+    trials instead of ``batch_width`` full scalar simulations.
+
+    K-CPU designs have no lockstep vector engine (lanes would need a
+    whole topology each); their trials replay on the scalar path one by
+    one, sharing the design's one-time program builds.  Determinism
+    keeps the report byte-identical to ``run_campaign`` without
+    ``batch_width``."""
+    design, baseline, channels, ports, cpus, mem_words = (
+        _campaign_setup(config))
     specs = campaign_specs(
-        config, baseline.cycles, channels, ports, mem_words
+        config, baseline.cycles, channels, ports, mem_words, cpus
     )
+    multi = getattr(design, "is_multi", False)
+
+    def run_chunk(chunk: list[DesignSpec]) -> list[dict[str, Any]]:
+        if multi:
+            return [_scalar_trial(config, spec, lambda: design)
+                    for spec in chunk]
+        return _run_trial_batch(config, chunk, design)
 
     start = time.perf_counter()
     trials: list[dict[str, Any]] = []
     cycles_done = 0
     for lo in range(0, config.trials, batch_width):
         chunk = specs[lo:lo + batch_width]
-        for off, record in enumerate(_run_trial_batch(config, chunk, design)):
+        for off, record in enumerate(run_chunk(chunk)):
             record["trial"] = lo + off
             trials.append(record)
             cycles_done += record.get("cycles") or 0

@@ -26,31 +26,54 @@ from repro.telemetry.events import (
 )
 
 
-def check_invariants(sim: CoSimulation) -> list[str]:
+def check_invariants(sim) -> list[str]:
     """Architectural anomalies visible in the simulation state.
 
-    Returns one human-readable string per tripped invariant (empty
-    list = clean) and mirrors each to the telemetry bus.
+    Accepts a single-CPU :class:`CoSimulation` or a K-CPU
+    :class:`~repro.cosim.multicpu.MultiCoSimulation` (every processor
+    and every channel — inter-CPU links included — is checked, with
+    the node name in the diagnostic).  Returns one human-readable
+    string per tripped invariant (empty list = clean) and mirrors each
+    to the telemetry bus.
     """
     anomalies: list[str] = []
-    if sim.cpu.fsl is not None and sim.cpu.fsl.error:
-        anomalies.append("fsl-error: control-bit mismatch flagged by "
-                         "the FSL interface")
-    for channel in sim.mb_block.channels():
-        if channel.occupancy > channel.depth:
-            anomalies.append(
-                f"fifo-overflow: {channel.name} holds "
-                f"{channel.occupancy} words (depth {channel.depth})"
-            )
-    if sim.cpu.halted and sim.cpu.exit_code not in (0, None):
-        anomalies.append(f"exit-code: program exited with "
-                         f"{sim.cpu.exit_code}")
+    if hasattr(sim, "topology"):  # MultiCoSimulation
+        cycle = sim.cycle
+        for node in sim.nodes:
+            if node.cpu.fsl is not None and node.cpu.fsl.error:
+                anomalies.append(
+                    f"fsl-error: control-bit mismatch flagged by "
+                    f"{node.name}'s FSL interface")
+        for channel in sim.all_channels():
+            if channel.occupancy > channel.depth:
+                anomalies.append(
+                    f"fifo-overflow: {channel.name} holds "
+                    f"{channel.occupancy} words (depth {channel.depth})"
+                )
+        for node in sim.nodes:
+            if node.cpu.halted and node.cpu.exit_code not in (0, None):
+                anomalies.append(f"exit-code: {node.name} exited with "
+                                 f"{node.cpu.exit_code}")
+    else:
+        cycle = sim.cpu.cycle
+        if sim.cpu.fsl is not None and sim.cpu.fsl.error:
+            anomalies.append("fsl-error: control-bit mismatch flagged by "
+                             "the FSL interface")
+        for channel in sim.mb_block.channels():
+            if channel.occupancy > channel.depth:
+                anomalies.append(
+                    f"fifo-overflow: {channel.name} holds "
+                    f"{channel.occupancy} words (depth {channel.depth})"
+                )
+        if sim.cpu.halted and sim.cpu.exit_code not in (0, None):
+            anomalies.append(f"exit-code: program exited with "
+                             f"{sim.cpu.exit_code}")
     if sim.telemetry is not None:
         for anomaly in anomalies:
             name = anomaly.split(":", 1)[0]
             sim.telemetry.bus.emit(
                 TelemetryEvent(
-                    FAULT_DETECTED, sim.cpu.cycle, COSIM_TRACK, text=name
+                    FAULT_DETECTED, cycle, COSIM_TRACK, text=name
                 )
             )
     return anomalies

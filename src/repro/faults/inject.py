@@ -29,7 +29,12 @@ from repro.telemetry.events import (
 
 
 class FaultInjector:
-    """Applies one :class:`FaultPlan` to one :class:`CoSimulation`."""
+    """Applies one :class:`FaultPlan` to one :class:`CoSimulation`.
+
+    :class:`MultiFaultInjector` retargets the same drive loop at a
+    K-CPU :class:`~repro.cosim.multicpu.MultiCoSimulation` by
+    overriding the clock/halt/CPU-resolution hooks below.
+    """
 
     def __init__(self, sim: CoSimulation, plan: FaultPlan):
         self.sim = sim
@@ -38,6 +43,17 @@ class FaultInjector:
         #: landed on, and whether it actually perturbed state (a FIFO
         #: fault on an empty FIFO is a recorded no-op)
         self.log: list[dict[str, Any]] = []
+
+    # -- simulation-shape hooks ----------------------------------------
+    def _cycle_now(self) -> int:
+        return self.sim.cpu.cycle
+
+    def _halted(self) -> bool:
+        return self.sim.cpu.halted
+
+    def _target_cpu(self, spec: FaultSpec):
+        """The CPU a register/memory fault lands on."""
+        return self.sim.cpu
 
     # ------------------------------------------------------------------
     def _advance_to(self, cycle: int) -> bool:
@@ -57,7 +73,6 @@ class FaultInjector:
         fault at its exact cycle.  Deadlocks and bus faults propagate
         to the caller (they are detection outcomes, not engine bugs).
         """
-        cpu = self.sim.cpu
         for spec in sorted(self.plan.faults, key=lambda f: f.cycle):
             if spec.cycle >= until_cycle:
                 break
@@ -65,7 +80,7 @@ class FaultInjector:
                 self.log.append(
                     {
                         "fault": spec.describe(),
-                        "cycle": cpu.cycle,
+                        "cycle": self._cycle_now(),
                         "applied": False,
                         "note": "program ended before the fault cycle",
                     }
@@ -84,13 +99,17 @@ class FaultInjector:
                 self._mem_flip(spec)
             elif spec.kind in ("fifo_corrupt", "fifo_drop", "fifo_dup"):
                 applied, note = self._fifo_fault(spec)
+            elif spec.kind == "link_drop":
+                applied, note = self._link_drop(spec)
+            elif spec.kind == "node_stall":
+                applied, note = self._node_stall(spec, until_cycle)
             elif spec.kind == "stuck_at":
                 applied, note = self._stuck_at(spec, until_cycle)
         finally:
             self.log.append(
                 {
                     "fault": spec.describe(),
-                    "cycle": self.sim.cpu.cycle,
+                    "cycle": self._cycle_now(),
                     "applied": applied,
                     "note": note,
                 }
@@ -98,7 +117,7 @@ class FaultInjector:
         if applied and self.sim.telemetry is not None:
             self.sim.telemetry.bus.emit(
                 TelemetryEvent(
-                    FAULT_INJECTED, self.sim.cpu.cycle, COSIM_TRACK,
+                    FAULT_INJECTED, self._cycle_now(), COSIM_TRACK,
                     text=spec.describe(),
                 )
             )
@@ -106,11 +125,11 @@ class FaultInjector:
     def _reg_flip(self, spec: FaultSpec) -> None:
         # r0 is hardwired zero on MicroBlaze; fault the other 31.
         idx = 1 + spec.index % 31
-        cpu = self.sim.cpu
+        cpu = self._target_cpu(spec)
         cpu.regs[idx] = (cpu.regs[idx] ^ (1 << (spec.bit % 32))) & 0xFFFFFFFF
 
     def _mem_flip(self, spec: FaultSpec) -> None:
-        cpu = self.sim.cpu
+        cpu = self._target_cpu(spec)
         size_words = cpu.mem.bram.size // 4
         addr = (spec.index % size_words) * 4
         word = cpu.mem.read_u32(addr)
@@ -145,6 +164,27 @@ class FaultInjector:
             fifo.insert(pos, FSLWord(word.data, word.control))
         return True, ""
 
+    def _link_drop(self, spec: FaultSpec) -> tuple[bool, str]:
+        """Lose up to ``duration`` words queued on an (inter-CPU) link.
+        The sender already saw its pushes accepted — the words vanish
+        in transit, statistics untouched, exactly like ``fifo_drop``
+        but sized for a burst loss."""
+        channel = self._channel(spec.target)
+        if channel is None:
+            return False, f"no channel named {spec.target!r}"
+        fifo = channel._fifo
+        if not fifo:
+            return False, "link idle at injection time"
+        lost = min(max(1, spec.duration), len(fifo))
+        for _ in range(lost):
+            fifo.popleft()
+        return True, f"dropped {lost} word(s)"
+
+    def _node_stall(
+        self, spec: FaultSpec, until_cycle: int
+    ) -> tuple[bool, str]:
+        return False, "node_stall needs a multi-CPU simulation"
+
     def _stuck_at(
         self, spec: FaultSpec, until_cycle: int
     ) -> tuple[bool, str]:
@@ -156,14 +196,82 @@ class FaultInjector:
                     port = block.outputs[port_name]
         if port is None:
             return False, f"no output port {spec.target!r}"
-        cpu = self.sim.cpu
         forced = spec.value & 0xFFFFFFFF
-        end = min(cpu.cycle + spec.duration, until_cycle)
+        end = min(self._cycle_now() + spec.duration, until_cycle)
         # Per-cycle stepping: a fast-forward skip would treat the forced
         # output as ordinary quiescent state, so pin it every cycle.
         port.value = forced
-        while not cpu.halted and cpu.cycle < end:
+        while not self._halted() and self._cycle_now() < end:
             self.sim.step(1)
-            if cpu.cycle <= end:
+            if self._cycle_now() <= end:
                 port.value = forced
+        return True, ""
+
+
+class MultiFaultInjector(FaultInjector):
+    """Applies a :class:`FaultPlan` to a K-CPU
+    :class:`~repro.cosim.multicpu.MultiCoSimulation`.
+
+    The drive loop is inherited; only the simulation-shape hooks
+    change: the clock is the global lockstep cycle, "halted" means
+    every CPU has halted, register/memory faults resolve their node by
+    name (``spec.target``) or index, FIFO faults see every channel in
+    the system (inter-CPU links included), and ``node_stall`` gates one
+    processor's clock off via ``step(skip_cpus=...)`` while the rest of
+    the topology keeps running.
+    """
+
+    def _cycle_now(self) -> int:
+        return self.sim.cycle
+
+    def _halted(self) -> bool:
+        return self.sim.halted
+
+    def _node_index(self, spec: FaultSpec) -> int:
+        if spec.target:
+            for k, node in enumerate(self.sim.nodes):
+                if node.name == spec.target:
+                    return k
+        return spec.index % self.sim.n_cpus
+
+    def _target_cpu(self, spec: FaultSpec):
+        return self.sim.nodes[self._node_index(spec)].cpu
+
+    def _channel(self, name: str) -> FSLChannel | None:
+        for channel in self.sim.all_channels():
+            if channel.name == name:
+                return channel
+        return None
+
+    def _advance_to(self, cycle: int) -> bool:
+        sim = self.sim
+        if sim.halted:
+            if sim.halt_reason is not HaltReason.MAX_CYCLES:
+                return False
+            sim.resume()
+        if cycle > sim.cycle:
+            sim.run(until=cycle - sim.cycle)
+        return not sim.halted or sim.halt_reason is HaltReason.MAX_CYCLES
+
+    def _node_stall(
+        self, spec: FaultSpec, until_cycle: int
+    ) -> tuple[bool, str]:
+        """Gate one CPU's clock off for ``duration`` global cycles.
+
+        The victim's local clock freezes behind the global one (its
+        retire timestamps lag by at most the stall length — far inside
+        any watchdog window); every other processor, model and link
+        keeps stepping, so downstream FIFOs drain and upstream ones
+        back up exactly as a held-in-reset processor would cause."""
+        victim = self._node_index(spec)
+        vcpu = self.sim.nodes[victim].cpu
+        if vcpu.halted and vcpu.halt_reason is HaltReason.EXIT:
+            return False, "node already exited at injection time"
+        # _advance_to parks every CPU on MAX_CYCLES at the segment end;
+        # clear it so the un-stalled processors actually run
+        self.sim.resume()
+        end = min(self.sim.cycle + spec.duration, until_cycle)
+        skip = frozenset({victim})
+        while not self.sim.halted and self.sim.cycle < end:
+            self.sim.step(1, skip_cpus=skip)
         return True, ""

@@ -16,7 +16,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any
 
-#: everything the injector knows how to break
+#: everything the injector knows how to break in a single-CPU design
 FAULT_KINDS = (
     "reg_flip",      # flip one bit of a general-purpose register
     "mem_flip",      # flip one bit of a BRAM word (code or data)
@@ -24,6 +24,14 @@ FAULT_KINDS = (
     "fifo_drop",     # silently lose the word at the head of a FIFO
     "fifo_dup",      # duplicate a queued FIFO word
     "stuck_at",      # force a hardware block output for N cycles
+)
+
+#: additional kinds for K-CPU topologies (inter-CPU link and node
+#: faults); kept out of :data:`FAULT_KINDS` so existing single-CPU
+#: campaign seeds keep drawing byte-identical plans
+MULTI_FAULT_KINDS = FAULT_KINDS + (
+    "link_drop",     # an inter-CPU FSL link loses queued words
+    "node_stall",    # one CPU's clock gates off for N cycles
 )
 
 
@@ -47,21 +55,29 @@ class FaultSpec:
     duration: int = 1
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in MULTI_FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.cycle < 1:
             raise ValueError("fault cycle must be >= 1")
 
     def describe(self) -> str:
+        # node-targeted kinds carry the CPU node name in ``target`` on
+        # multi-CPU plans ("" = the single CPU)
+        at = f" on {self.target}" if self.target else ""
         site = {
-            "reg_flip": lambda: f"r{1 + self.index % 31} bit {self.bit % 32}",
-            "mem_flip": lambda: f"word {self.index} bit {self.bit % 32}",
+            "reg_flip": lambda: f"r{1 + self.index % 31} "
+                                f"bit {self.bit % 32}{at}",
+            "mem_flip": lambda: f"word {self.index} bit {self.bit % 32}{at}",
             "fifo_corrupt": lambda: f"{self.target}[{self.index}] "
                                     f"bit {self.bit % 32}",
             "fifo_drop": lambda: f"{self.target} head",
             "fifo_dup": lambda: f"{self.target}[{self.index}]",
             "stuck_at": lambda: f"{self.target}={self.value:#x} "
                                 f"for {self.duration} cycles",
+            "link_drop": lambda: f"{self.target} loses "
+                                 f"{max(1, self.duration)} word(s)",
+            "node_stall": lambda: f"{self.target} gated for "
+                                  f"{self.duration} cycles",
         }[self.kind]()
         return f"{self.kind} {site} @cycle {self.cycle}"
 
@@ -113,6 +129,7 @@ def generate_plan(
     mem_words: int,
     channels: tuple[str, ...] = (),
     ports: tuple[str, ...] = (),
+    cpus: tuple[str, ...] = (),
     kinds: tuple[str, ...] = FAULT_KINDS,
     n_faults: int = 1,
 ) -> FaultPlan:
@@ -122,25 +139,34 @@ def generate_plan(
     cycle count so faults land while the program is actually running);
     ``channels``/``ports`` are the available FIFO and ``block:port``
     targets — kinds with no target available are silently excluded.
+    ``cpus`` names the processors of a K-CPU design: node-targeted
+    kinds (``node_stall``, plus ``reg_flip``/``mem_flip`` site
+    selection) draw from it; leave empty for single-CPU designs — the
+    draw sequence is then bit-compatible with pre-multi plans.
     """
     usable = tuple(
         k for k in kinds
         if not (k.startswith("fifo") and not channels)
-        and not (k == "stuck_at" and not ports)
+        and not (k == "link_drop" and not channels)
+        and not (k == "node_stall" and not cpus)
         and not (k == "mem_flip" and mem_words < 1)
+        and not (k == "stuck_at" and not ports)
     )
     if not usable:
         raise ValueError("no injectable fault kinds for this design")
     rng = random.Random(f"mb32-fault/{seed}")
     faults = []
+    node_kinds = ("node_stall", "reg_flip", "mem_flip")
     for _ in range(n_faults):
         kind = rng.choice(usable)
         spec = FaultSpec(
             kind=kind,
             cycle=rng.randrange(1, max(2, max_cycle)),
             target=(
-                rng.choice(channels) if kind.startswith("fifo")
+                rng.choice(channels)
+                if kind.startswith("fifo") or kind == "link_drop"
                 else rng.choice(ports) if kind == "stuck_at"
+                else rng.choice(cpus) if cpus and kind in node_kinds
                 else ""
             ),
             index=(
@@ -149,7 +175,12 @@ def generate_plan(
             ),
             bit=rng.randrange(32),
             value=rng.getrandbits(32),
-            duration=rng.randrange(1, 33) if kind == "stuck_at" else 1,
+            duration=(
+                rng.randrange(1, 33) if kind == "stuck_at"
+                else rng.randrange(8, 129) if kind == "node_stall"
+                else rng.randrange(1, 4) if kind == "link_drop"
+                else 1
+            ),
         )
         faults.append(spec)
     faults.sort(key=lambda f: (f.cycle, f.kind))

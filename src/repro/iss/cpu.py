@@ -131,6 +131,10 @@ class CPU:
         #: optional :class:`~repro.telemetry.events.EventBus`; when set,
         #: the CPU emits retire and stall begin/end events
         self.events = None
+        #: telemetry track retire events land on — multi-CPU simulations
+        #: rename this per processor (``cpu0``, ``cpu1``, …) so exported
+        #: traces keep one timeline per core
+        self.track = CPU_TRACK
         self._stall_since: int | None = None
         if self.config.decode_cache:
             self.mem.write_hook = self._invalidate
@@ -378,7 +382,7 @@ class CPU:
             self.trace_hook(self.pc, instr.word)
         if self.events is not None:
             self.events.emit(TelemetryEvent(
-                RETIRE, self.cycle, CPU_TRACK, self.pc, instr.word,
+                RETIRE, self.cycle, self.track, self.pc, instr.word,
                 spec.mnemonic,
             ))
 
@@ -676,13 +680,14 @@ class CPU:
     def _emit_stall_begin(self, pend: _PendingFSL, first_cycle: int) -> None:
         self._stall_since = first_cycle
         self.events.emit(TelemetryEvent(
-            STALL_BEGIN, first_cycle, self._stall_channel_name(pend)
+            STALL_BEGIN, first_cycle, self._stall_channel_name(pend),
+            text=self.track,
         ))
 
     def _emit_stall_end(self, pend: _PendingFSL) -> None:
         if self.events is not None:
             self.events.emit(TelemetryEvent(
                 STALL_END, self.cycle, self._stall_channel_name(pend),
-                aux=self.cycle - self._stall_since,
+                aux=self.cycle - self._stall_since, text=self.track,
             ))
         self._stall_since = None

@@ -80,6 +80,10 @@ class Telemetry:
         self.regions: RegionProfiler | None = None
         self.phases: PhaseTimer | None = None
         self.cpu: "CPU | None" = None
+        #: every attached CPU, in attach order — multi-CPU simulations
+        #: attach one per node; ``cpu`` stays the first for the
+        #: historical single-processor surface
+        self.cpus: list["CPU"] = []
         self.channels: list["FSLChannel"] = []
 
     # -- optional consumers --------------------------------------------
@@ -98,7 +102,9 @@ class Telemetry:
     # -- producer attachment -------------------------------------------
     def attach_cpu(self, cpu: "CPU") -> None:
         cpu.events = self.bus
-        self.cpu = cpu
+        if cpu not in self.cpus:
+            self.cpus.append(cpu)
+        self.cpu = self.cpus[0]
 
     def attach_channel(self, channel: "FSLChannel",
                        clock: Any = None) -> None:
@@ -119,9 +125,10 @@ class Telemetry:
 
     def detach(self) -> None:
         """Unhook every attached producer (bus subscribers stay)."""
-        if self.cpu is not None:
-            self.cpu.events = None
-            self.cpu = None
+        for cpu in self.cpus:
+            cpu.events = None
+        self.cpus.clear()
+        self.cpu = None
         for channel in self.channels:
             channel.events = None
             channel.clock = None
@@ -151,6 +158,10 @@ class Telemetry:
         out: dict[str, Any] = {"metrics": self.registry.snapshot()}
         if self.cpu is not None:
             out["cpu"] = self.cpu.stats.to_dict()
+        if len(self.cpus) > 1:
+            out["cpus"] = {
+                cpu.track: cpu.stats.to_dict() for cpu in self.cpus
+            }
         if self.channels:
             out["channels"] = {
                 ch.name: {
@@ -210,6 +221,10 @@ class Telemetry:
         out: dict[str, Any] = {"metrics": metrics}
         if self.cpu is not None:
             out["cpu"] = self.cpu.stats.to_dict()
+        if len(self.cpus) > 1:
+            out["cpus"] = {
+                cpu.track: cpu.stats.to_dict() for cpu in self.cpus
+            }
         return out
 
 

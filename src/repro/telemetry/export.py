@@ -52,7 +52,10 @@ class ChromeTraceExporter:
         self.dropped = 0
         self._events: list[dict[str, Any]] = []
         self._tids: dict[str, int] = {}
-        self._last_retire: tuple[int, int, str] | None = None  # cycle, pc, mn
+        #: per-CPU-track pending retire slice: track -> (cycle, pc, mn).
+        #: Multi-CPU runs retire on several tracks concurrently, so the
+        #: coalescing slot is keyed by track.
+        self._last_retire: dict[str, tuple[int, int, str]] = {}
         self._open_stalls: dict[str, int] = {}  # channel -> begin cycle
         self._final_cycle = 0
         bus.subscribe(self._on_event)
@@ -75,8 +78,9 @@ class ChromeTraceExporter:
         if event.cycle > self._final_cycle:
             self._final_cycle = event.cycle
         if kind == RETIRE:
-            self._flush_retire(next_cycle=event.cycle)
-            self._last_retire = (event.cycle, event.value, event.text)
+            self._flush_retire(event.track, next_cycle=event.cycle)
+            self._last_retire[event.track] = (
+                event.cycle, event.value, event.text)
         elif kind == STALL_BEGIN:
             self._open_stalls[event.track] = event.cycle
         elif kind == STALL_END:
@@ -87,7 +91,11 @@ class ChromeTraceExporter:
                 "ts": begin,
                 "dur": max(event.cycle - begin, 1),
                 "pid": self.PID,
-                "tid": self._tid(CPU_TRACK),
+                # the stalling CPU's track rides in the event text (the
+                # event's own track names the channel); absent — e.g.
+                # events recorded before the CPU grew tracks — fall
+                # back to the classic single-CPU track
+                "tid": self._tid(event.text or CPU_TRACK),
                 "args": {"channel": event.track, "cycles": event.aux},
             })
         elif kind == FSL_PUSH or kind == FSL_POP:
@@ -144,22 +152,25 @@ class ChromeTraceExporter:
                 "args": {"pc": f"{event.value:#010x}"},
             })
 
-    def _flush_retire(self, next_cycle: int | None = None) -> None:
-        if self._last_retire is None:
-            return
-        cycle, pc, mnemonic = self._last_retire
-        end = next_cycle if next_cycle is not None else \
-            max(self._final_cycle, cycle + 1)
-        self._add({
-            "name": mnemonic,
-            "ph": "X",
-            "ts": cycle,
-            "dur": max(end - cycle, 1),
-            "pid": self.PID,
-            "tid": self._tid(CPU_TRACK),
-            "args": {"pc": f"{pc:#010x}"},
-        })
-        self._last_retire = None
+    def _flush_retire(self, track: str | None = None,
+                      next_cycle: int | None = None) -> None:
+        tracks = (track,) if track is not None else tuple(self._last_retire)
+        for t in tracks:
+            pending = self._last_retire.pop(t, None)
+            if pending is None:
+                continue
+            cycle, pc, mnemonic = pending
+            end = next_cycle if next_cycle is not None else \
+                max(self._final_cycle, cycle + 1)
+            self._add({
+                "name": mnemonic,
+                "ph": "X",
+                "ts": cycle,
+                "dur": max(end - cycle, 1),
+                "pid": self.PID,
+                "tid": self._tid(t),
+                "args": {"pc": f"{pc:#010x}"},
+            })
 
     # ------------------------------------------------------------------
     def trace_events(self) -> list[dict[str, Any]]:
@@ -210,11 +221,21 @@ class CosimVCDExporter:
 
     def __init__(self, bus: EventBus, stream: IO[str],
                  channels: Iterable[FSLChannel] = (),
-                 timescale: str = "20 ns"):
+                 timescale: str = "20 ns",
+                 cpu_tracks: Iterable[str] = (CPU_TRACK,)):
+        """``cpu_tracks`` declares one ``{track}_pc``/``{track}_stall``
+        signal pair per processor (VCD headers cannot grow after
+        ``begin()``); multi-CPU simulations pass their node names.  The
+        single-entry default keeps the historical ``cpu_pc``/
+        ``cpu_stall`` signal names."""
         self._file = VCDFile(stream, timescale=timescale,
                              date="generated by repro.telemetry")
-        self._pc = self._file.add_var("cpu_pc", 32)
-        self._stall = self._file.add_var("cpu_stall", 1)
+        self._pc: dict[str, str] = {}
+        self._stall: dict[str, str] = {}
+        for track in cpu_tracks:
+            self._pc[track] = self._file.add_var(f"{track}_pc", 32)
+            self._stall[track] = self._file.add_var(f"{track}_stall", 1)
+        self._default_track = next(iter(self._pc))
         self._occ: dict[str, str] = {}
         self.changes = 0
         for channel in channels:
@@ -227,14 +248,21 @@ class CosimVCDExporter:
             kinds=(RETIRE, STALL_BEGIN, STALL_END, FSL_PUSH, FSL_POP),
         )
 
+    def _cpu_var(self, table: dict[str, str], track: str) -> str:
+        return table.get(track) or table[self._default_track]
+
     def _on_event(self, event: TelemetryEvent) -> None:
         kind = event.kind
         if kind == RETIRE:
-            self._file.change(event.cycle, self._pc, event.value)
+            self._file.change(event.cycle,
+                              self._cpu_var(self._pc, event.track),
+                              event.value)
         elif kind == STALL_BEGIN:
-            self._file.change(event.cycle, self._stall, 1)
+            self._file.change(event.cycle,
+                              self._cpu_var(self._stall, event.text), 1)
         elif kind == STALL_END:
-            self._file.change(event.cycle, self._stall, 0)
+            self._file.change(event.cycle,
+                              self._cpu_var(self._stall, event.text), 0)
         else:  # FSL_PUSH / FSL_POP
             ident = self._occ.get(event.track)
             if ident is not None:

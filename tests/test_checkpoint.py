@@ -209,6 +209,127 @@ def test_save_into_missing_directory_raises(tmp_path):
 
 
 # --------------------------------------------------------------------------
+# K-CPU systems: roundtrip, fresh-topology restore, engine switch
+
+
+def _multi_uninterrupted(scenario, programs, *, fast_forward):
+    from repro.conformance.multicpu import build_multi_sim
+    from repro.conformance.oracle import _capture_multi
+
+    sim, _trace = build_multi_sim(scenario, programs,
+                                  fast_forward=fast_forward)
+    status, error = _run(sim, scenario.max_cycles)
+    return _capture_multi(sim, "uninterrupted", status, error, None)
+
+
+def _multi_scenario(index, seed=4):
+    from repro.conformance.multicpu import (
+        MultiScenarioGenerator,
+        build_programs,
+    )
+
+    scenario = MultiScenarioGenerator(seed=seed).scenario(index)
+    return scenario, build_programs(scenario)
+
+
+@pytest.mark.parametrize("index", range(3))
+@pytest.mark.parametrize("mode", MODES)
+def test_multicpu_roundtrip(index, mode, tmp_path):
+    """Cut a K-CPU run mid-flight, restore the checkpoint into a
+    **freshly built topology** and finish there: every CPU, link FIFO
+    and hardware model must land bit-identically to the uninterrupted
+    run."""
+    from repro.conformance.multicpu import build_multi_sim
+    from repro.conformance.oracle import _capture_multi
+
+    fast_forward = mode == "fast_forward"
+    scenario, programs = _multi_scenario(index)
+    ref = _multi_uninterrupted(scenario, programs,
+                               fast_forward=fast_forward)
+    if ref.status not in INTERRUPTIBLE or ref.cycles < 6:
+        pytest.skip(f"{scenario.name}: {ref.status} in {ref.cycles} "
+                    "cycles cannot be interrupted")
+    for fraction in (3, 2):
+        cut = max(1, (ref.cycles * (fraction - 1)) // fraction)
+        cut = min(cut, ref.cycles - 1)
+        sim, _t = build_multi_sim(scenario, programs,
+                                  fast_forward=fast_forward)
+        sim.run(until=cut)
+        path = tmp_path / f"{scenario.name}.ckpt"
+        save_checkpoint(sim, str(path), label=scenario.name)
+
+        fresh, _t2 = build_multi_sim(scenario, programs,
+                                     fast_forward=fast_forward)
+        load_checkpoint(fresh, str(path))
+        fresh.resume()
+        status, error = _run(fresh, scenario.max_cycles - cut)
+        obs = _capture_multi(fresh, "restored", status, error, None)
+        hit = first_divergence(ref.comparable(), obs.comparable())
+        assert hit is None, (
+            f"{scenario.name} [{mode}] cut at {cut}/{ref.cycles}: "
+            f"diverges at {hit[0]}: {hit[1]!r} != {hit[2]!r}"
+        )
+
+
+def test_multicpu_engine_switch_across_checkpoint(tmp_path):
+    """A checkpoint taken on the compiled sysgen engine restores into a
+    topology built on the interpreter (and vice versa) with the final
+    surface unchanged — engine choice is not persisted state."""
+    from repro.conformance.multicpu import build_multi_sim
+    from repro.conformance.oracle import _capture_multi
+    from repro.runapi import engine_scope
+
+    # a scenario with node-local hardware, so both engines do real work
+    scenario, programs = next(
+        (s, p) for s, p in (_multi_scenario(i) for i in range(10))
+        if any(n.hw_stage is not None for n in s.nodes)
+    )
+    ref = _multi_uninterrupted(scenario, programs, fast_forward=False)
+    assert ref.status in INTERRUPTIBLE and ref.cycles >= 6
+    cut = max(1, ref.cycles // 2)
+    path = tmp_path / "switch.ckpt"
+    for first, second in (("compiled", "interpreter"),
+                          ("interpreter", "compiled")):
+        with engine_scope(first):
+            sim, _t = build_multi_sim(scenario, programs,
+                                      fast_forward=False)
+            sim.run(until=cut)
+            save_checkpoint(sim, str(path), label="switch")
+        with engine_scope(second):
+            fresh, _t2 = build_multi_sim(scenario, programs,
+                                         fast_forward=False)
+            load_checkpoint(fresh, str(path))
+            fresh.resume()
+            status, error = _run(fresh, scenario.max_cycles - cut)
+            obs = _capture_multi(fresh, "restored", status, error, None)
+        hit = first_divergence(ref.comparable(), obs.comparable())
+        assert hit is None, (
+            f"{first} -> {second}: diverges at {hit[0]}: "
+            f"{hit[1]!r} != {hit[2]!r}"
+        )
+
+
+def test_multicpu_checkpoint_rejects_other_topology():
+    """A K-CPU checkpoint must not load into a differently shaped
+    system (different node set / topology fingerprint)."""
+    from repro.conformance.multicpu import build_multi_sim
+
+    scenario_a, programs_a = _multi_scenario(0)
+    scenario_b, programs_b = next(
+        (s, p) for s, p in (_multi_scenario(i) for i in range(1, 10))
+        if s.to_dict() != scenario_a.to_dict()
+    )
+    sim_a, _t = build_multi_sim(scenario_a, programs_a,
+                                fast_forward=False)
+    sim_a.run(until=20)
+    doc = checkpoint_to_dict(sim_a)
+    sim_b, _t2 = build_multi_sim(scenario_b, programs_b,
+                                 fast_forward=False)
+    with pytest.raises(CheckpointError):
+        restore_from_dict(sim_b, doc)
+
+
+# --------------------------------------------------------------------------
 # wide sweep (CI tier): 25+ scenarios per mode
 
 

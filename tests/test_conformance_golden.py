@@ -140,13 +140,24 @@ def test_cli_empty_corpus_is_usage_error(tmp_path, capsys):
 
 
 def test_committed_corpus_loads():
+    from repro.conformance import MultiScenario
+
     files = sorted(CORPUS.glob("*.json"))
     assert len(files) >= 8
+    multi_seen = 0
     for path in files:
         scenario, stored = load_golden(path)
         assert scenario.name == path.stem
         assert stored["mode"] == "per_cycle"
-        assert len(stored["regs"]) == 32
+        if isinstance(scenario, MultiScenario):
+            # K-CPU traces keep the register files per node
+            multi_seen += 1
+            assert len(stored["cpus"]) == scenario.n_cpus
+            for surface in stored["cpus"].values():
+                assert len(surface["regs"]) == 32
+        else:
+            assert len(stored["regs"]) == 32
+    assert multi_seen >= 8, "the blessed multi-CPU corpus went missing"
 
 
 @pytest.mark.conformance

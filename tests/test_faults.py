@@ -356,3 +356,143 @@ def test_cli_batch_conflicts_with_scalar_options(capsys):
         ["cordic", "--trials", "2", "--batch", "--jobs", "2"], capsys)
     assert rc == 2
     assert "--batch is incompatible" in captured.err
+
+
+# ----------------------------------------------------------------------
+# K-CPU campaigns: mesh + pipelined CORDIC, link_drop / node_stall
+
+
+#: a 2x2 mesh design point every multi-CPU test shares
+MESH = {"rows": 2, "cols": 2, "tokens": 8}
+
+
+def _mesh_campaign(trials=12, seed=3, **kw):
+    config = CampaignConfig(
+        app="mesh", design=dict(MESH), trials=trials, seed=seed,
+        deadlock_window=2_048, max_cycles=120_000, **kw,
+    )
+    return run_campaign(config)
+
+
+def test_multi_kinds_enter_the_pool_only_for_multi_apps():
+    from repro.faults.plan import FAULT_KINDS, MULTI_FAULT_KINDS
+
+    single = CampaignConfig(app="cordic", design=dict(DESIGN), trials=1)
+    assert single.kinds == FAULT_KINDS
+    multi = CampaignConfig(app="mesh", design=dict(MESH), trials=1)
+    assert multi.kinds == MULTI_FAULT_KINDS
+
+
+def test_single_cpu_plans_unchanged_by_cpus_parameter():
+    """Adding the ``cpus`` axis must not disturb the draw sequence of
+    existing single-CPU campaign seeds (their reports are blessed)."""
+    kw = dict(max_cycle=3_000, mem_words=512,
+              channels=("fsl0",), ports=("pe0:out",), n_faults=5)
+    assert generate_plan("camp/0", **kw).to_dict() == \
+        generate_plan("camp/0", cpus=(), **kw).to_dict()
+
+
+def test_mesh_campaign_deterministic_classifications():
+    """link_drop / node_stall trials classify deterministically into
+    the campaign's outcome lattice."""
+    report = _mesh_campaign(kinds=("link_drop", "node_stall"))
+    outcomes = {t["outcome"] for t in report.trials}
+    assert outcomes <= {"masked", "sdc", "detected", "hang"}
+    again = _mesh_campaign(kinds=("link_drop", "node_stall"))
+    assert json.dumps(report.to_dict(), sort_keys=True) == \
+        json.dumps(again.to_dict(), sort_keys=True)
+    # every trial targeted a named link or a named node
+    for t in report.trials:
+        fault = t["plan"]["faults"][0]
+        if fault["kind"] == "link_drop":
+            assert fault["target"].startswith("link_")
+        else:
+            assert fault["target"].startswith("cpu")
+
+
+def test_node_stall_is_latency_tolerant_on_the_mesh():
+    """Gating one CPU's clock reorders nothing: the blocking FSL
+    handshake absorbs the stall, so the run verifies clean (masked) and
+    merely finishes later."""
+    from repro.faults import MultiFaultInjector
+
+    design = build_design("mesh", dict(MESH))
+    fault_free = design.run()
+    sim = _make_sim(design, 2_048)
+    plan = FaultPlan(faults=[FaultSpec(kind="node_stall", cycle=20,
+                                       target="cpu1", duration=64)],
+                     seed="t")
+    injector = MultiFaultInjector(sim, plan)
+    injector.run(until_cycle=120_000)
+    assert injector.log[0]["applied"]
+    assert sim.exit_code == 0
+    design._verify(sim)  # no corruption anywhere
+    assert sim.cycle > fault_free.cycles  # but the stall cost cycles
+
+
+def test_link_drop_on_a_busy_link_starves_the_sink():
+    """Dropping an in-flight word desynchronizes the stream: the sink
+    blocks on a token that never arrives and the watchdog reports the
+    hang."""
+    from repro.cosim.environment import CoSimDeadlock
+    from repro.faults import MultiFaultInjector
+
+    design = build_design("mesh", dict(MESH))
+    # find a cycle where the first route hop actually has words queued
+    probe = _make_sim(design, 2_048)
+    target = None
+    while not probe.halted and probe.cycle < 2_000:
+        probe.step(1)
+        for channel in probe.all_channels():
+            if channel.name.startswith("link_") and channel.occupancy:
+                target = (channel.name, probe.cycle)
+                break
+        if target:
+            break
+    assert target, "no link traffic observed in the fault-free run"
+    name, cycle = target
+    sim = _make_sim(design, 2_048)
+    plan = FaultPlan(faults=[FaultSpec(kind="link_drop", cycle=cycle,
+                                       target=name, duration=1)],
+                     seed="t")
+    injector = MultiFaultInjector(sim, plan)
+    with pytest.raises(CoSimDeadlock):
+        injector.run(until_cycle=120_000)
+    assert injector.log[0]["applied"]
+    assert "dropped 1 word(s)" in injector.log[0]["note"]
+
+
+#: the multi-CPU face of BATCH_EQUIV_CONFIGS: --batch must replay
+#: K-CPU trials to a byte-identical report
+MULTI_BATCH_CONFIGS = [
+    pytest.param(dict(app="mesh", design=dict(MESH), trials=10, seed=3,
+                      max_cycles=120_000, deadlock_window=2_048),
+                 id="mesh-all"),
+    pytest.param(dict(app="cordic-pipe",
+                      design={"stages": 2, "iters": 8, "ndata": 8},
+                      trials=8, seed=7, max_cycles=200_000,
+                      deadlock_window=2_048), id="cordic-pipe-all"),
+]
+
+
+@pytest.mark.parametrize("kw", MULTI_BATCH_CONFIGS)
+def test_multi_batched_campaign_matches_scalar(kw):
+    config = CampaignConfig(**kw)
+    scalar = run_campaign(config).to_dict()
+    batched = run_campaign(config, batch_width=4).to_dict()
+    assert json.dumps(batched, sort_keys=True) == \
+        json.dumps(scalar, sort_keys=True)
+
+
+def test_cli_mesh_smoke_writes_report(tmp_path, capsys):
+    out = tmp_path / "mesh.json"
+    rc, captured = _cli(
+        ["mesh", "--rows", "2", "--cols", "2", "--tokens", "8",
+         "--trials", "4", "--seed", "3", "--quiet",
+         "--json", str(out)], capsys)
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert doc["config"]["app"] == "mesh"
+    assert sum(doc["counts"].values()) == 4
+    assert "link_drop" in doc["config"]["kinds"]
+    assert "node_stall" in doc["config"]["kinds"]

@@ -191,3 +191,68 @@ def test_full_sim_reset_matches_fresh():
     used_sim.reset()
     assert (_without_bram(used_sim.state_dict())
             == _without_bram(fresh_sim.state_dict()))
+
+
+# ----------------------------------------------------------------------
+# K-CPU systems: reset must be per-CPU clean
+# ----------------------------------------------------------------------
+def _without_bram_multi(state: dict) -> dict:
+    """The multi-CPU face of :func:`_without_bram`: drop every node's
+    data-memory contents, keep all other state verbatim."""
+    state = dict(state)
+    state["cpus"] = {name: _without_bram({"cpu": cpu_state})["cpu"]
+                     for name, cpu_state in state["cpus"].items()}
+    return state
+
+
+def _multi_sim(index: int = 0, seed: int = 5):
+    from repro.conformance.multicpu import (
+        MultiScenarioGenerator,
+        build_multi_sim,
+    )
+
+    scenario = MultiScenarioGenerator(seed=seed).scenario(index)
+    sim, _trace = build_multi_sim(scenario, fast_forward=False)
+    return sim
+
+
+def test_multicpu_reset_matches_fresh():
+    """``MultiCoSimulation.reset()`` restores the whole-system state
+    dict — global clock, every CPU, every link, every node-local
+    peripheral — to a freshly built twin's (modulo data memory)."""
+    fresh = _multi_sim()
+    used = _multi_sim()
+    used.run(until=400)
+    assert used.state_dict() != fresh.state_dict()
+    used.reset()
+    assert (_without_bram_multi(used.state_dict())
+            == _without_bram_multi(fresh.state_dict()))
+
+
+def test_multicpu_reset_clears_fsl_error_per_cpu():
+    """Each CPU's sticky ``fsl.error`` and its FSL statistics clear
+    independently on reset — an error flagged on one node must not
+    survive anywhere, and the other nodes' stats must not be disturbed
+    before the reset."""
+    fresh = _multi_sim(index=1)
+    used = _multi_sim(index=1)
+    used.run(until=200)
+    # flag an error on exactly one CPU and scribble its link stats
+    victim, bystander = used.nodes[0], used.nodes[1]
+    victim.cpu.fsl.error = True
+    assert not bystander.cpu.fsl.error, (
+        "perturbation leaked across CPUs — each node must own its "
+        "FSL error flag")
+    for channel in used.all_channels():
+        channel.push(0xBAD, True)
+    used.reset()
+    for node in used.nodes:
+        assert not node.cpu.fsl.error, f"{node.name}: fsl.error survived"
+    for channel in used.all_channels():
+        assert channel.occupancy == 0
+        stats = channel.state_dict().get("stats")
+        if stats is not None:
+            assert not any(stats.values()), (
+                f"{channel.name}: statistics survived reset")
+    assert (_without_bram_multi(used.state_dict())
+            == _without_bram_multi(fresh.state_dict()))
