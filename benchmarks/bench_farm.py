@@ -1,0 +1,220 @@
+"""Farm service benches: concurrent throughput, cold-vs-cached
+latency, and worker scaling.
+
+The acceptance bar for the co-simulation-as-a-service gateway:
+
+* ≥ 1000 concurrent submissions of a mixed job set on localhost with
+  ≥ 4 workers, duplicates executing once and every submitter getting
+  byte-identical result payloads,
+* cached hits answered in < 10 ms,
+* sweep wall time scaling with the worker pool.
+
+The load generator is the farm's own asyncio HTTP client — many
+persistent keep-alive connections, each pipelining submissions — so
+the bench exercises exactly the multiplexing path a fleet of users
+would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import statistics
+import time
+
+from conftest import emit
+
+from repro.cosim.report import format_table
+from repro.farm import FarmClient, start_farm_thread
+from repro.farm.httpio import AsyncHTTPConnection
+
+
+def synth(seconds: float, cycles: int) -> dict:
+    return {
+        "design": {
+            "factory": "repro.cosim.sweep:SyntheticDesign",
+            "params": {"seconds": seconds, "cycles": cycles},
+        }
+    }
+
+
+def job_doc(kind: str, payload: dict, tenant: str) -> bytes:
+    return json.dumps(
+        {"kind": kind, "payload": payload, "tenant": tenant}
+    ).encode()
+
+
+async def _drive(host: str, port: int, jobs: list[bytes],
+                 connections: int) -> list[dict]:
+    """Submit every job (``?wait=1``) over ``connections`` persistent
+    connections; returns the final status documents."""
+    queue: asyncio.Queue[bytes] = asyncio.Queue()
+    for job in jobs:
+        queue.put_nowait(job)
+    results: list[dict] = []
+
+    async def worker() -> None:
+        conn = AsyncHTTPConnection(host, port)
+        try:
+            while True:
+                try:
+                    body = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                status, _, data = await conn.request(
+                    "POST", "/v1/jobs?wait=1", body
+                )
+                assert status == 200, (status, data[:200])
+                results.append(json.loads(data))
+        finally:
+            await conn.close()
+
+    await asyncio.gather(*(worker() for _ in range(connections)))
+    return results
+
+
+def test_farm_1000_concurrent_mixed(farm_smoke, once, tmp_path):
+    """1000 concurrent submissions, 4 workers, mixed kinds, heavy
+    duplication — measures end-to-end throughput and proves dedup at
+    load (the byte-identity itself is enforced by the test suite the
+    ``farm_smoke`` fixture just ran)."""
+    farm = start_farm_thread(workers=4,
+                             cache_dir=str(tmp_path / "cache"))
+    try:
+        # 1000 submissions over 125 distinct payloads (8 copies each):
+        # 100 unique simulate points + 25 unique scenarios
+        jobs: list[bytes] = []
+        for copy in range(8):
+            tenant = f"tenant-{copy % 4}"
+            for i in range(100):
+                jobs.append(job_doc(
+                    "simulate", synth(0.0, 10_000 + i), tenant))
+            for i in range(25):
+                jobs.append(job_doc(
+                    "scenario", {"seed": 7, "index": i}, tenant))
+        assert len(jobs) == 1000
+
+        t0 = time.perf_counter()
+        results = once(lambda: asyncio.run(
+            _drive(farm.host, farm.port, jobs, connections=64)))
+        wall = time.perf_counter() - t0
+        assert len(results) == 1000
+        assert all(r["state"] == "done" for r in results)
+
+        metrics = FarmClient(farm.host, farm.port).farm_status()["metrics"]
+        # counters are created lazily; absent means zero.  coalesced
+        # followers share their primary's completion, so executions
+        # are completions minus cache replays.
+        cache_hits = metrics.get("farm.jobs.cache_hits", 0)
+        coalesced = metrics.get("farm.jobs.coalesced", 0)
+        shed = metrics.get("farm.jobs.shed", 0)
+        executions = metrics["farm.jobs.completed"] - cache_hits
+        rows = [
+            ("submissions", 1000),
+            ("distinct payloads", 125),
+            ("workers", 4),
+            ("wall (s)", f"{wall:.2f}"),
+            ("throughput (jobs/s)", f"{1000 / wall:.0f}"),
+            ("executions", executions),
+            ("cache hits", cache_hits),
+            ("coalesced in-flight", coalesced),
+            ("shed", shed),
+        ]
+        emit(
+            "farm_throughput",
+            "Farm: 1000 concurrent mixed submissions, 4 workers",
+            format_table(("metric", "value"), rows),
+        )
+        assert shed == 0
+        # every duplicate was served without re-execution
+        assert executions == 125
+    finally:
+        farm.stop()
+
+
+def test_farm_cold_vs_cached_latency(farm_smoke, once, tmp_path):
+    """Round-trip submit latency: first execution vs content-addressed
+    replay of the identical job."""
+    farm = start_farm_thread(workers=4,
+                             cache_dir=str(tmp_path / "cache"))
+    try:
+        client = FarmClient(farm.host, farm.port)
+        colds, cacheds = [], []
+
+        def measure() -> None:
+            for i in range(30):
+                payload = synth(0.0, 77_000 + i)
+                t0 = time.perf_counter()
+                doc = client.submit("simulate", payload, wait=True)
+                colds.append((time.perf_counter() - t0) * 1e3)
+                assert doc["state"] == "done" and not doc["cache_hit"]
+                t0 = time.perf_counter()
+                doc = client.submit("simulate", payload, wait=True)
+                cacheds.append((time.perf_counter() - t0) * 1e3)
+                assert doc["cache_hit"]
+
+        once(measure)
+        rows = [
+            ("cold submit (median ms)",
+             f"{statistics.median(colds):.2f}"),
+            ("cold submit (p95 ms)",
+             f"{sorted(colds)[int(0.95 * len(colds))]:.2f}"),
+            ("cached submit (median ms)",
+             f"{statistics.median(cacheds):.2f}"),
+            ("cached submit (p95 ms)",
+             f"{sorted(cacheds)[int(0.95 * len(cacheds))]:.2f}"),
+        ]
+        emit(
+            "farm_latency",
+            "Farm: cold vs content-addressed cached submit latency",
+            format_table(("metric", "value"), rows),
+        )
+        # the acceptance bound, with margin for loaded CI hosts
+        assert statistics.median(cacheds) < 10.0
+    finally:
+        farm.stop()
+
+
+def test_farm_worker_scaling(farm_smoke, once):
+    """Wall time of one 16-point wait-bound sweep (0.1 s/point) as the
+    worker pool grows — the 'everything scales by adding workers'
+    table.  Wait-bound points make the ideal N× overlap measurable
+    independent of host core count."""
+    points = [
+        {"name": f"p{i}",
+         "factory": "repro.cosim.sweep:SyntheticDesign",
+         "params": {"seconds": 0.1, "cycles": 50_000}}
+        for i in range(16)
+    ]
+
+    def run_all() -> list[tuple[int, float]]:
+        timings = []
+        for workers in (1, 2, 4, 8):
+            farm = start_farm_thread(workers=workers)
+            try:
+                client = FarmClient(farm.host, farm.port)
+                t0 = time.perf_counter()
+                doc = client.submit("sweep", {"points": points},
+                                    cacheable=False, wait=True,
+                                    timeout_s=300)
+                wall = time.perf_counter() - t0
+                assert doc["state"] == "done"
+                assert doc["result"]["ok"] == 16
+                timings.append((workers, wall))
+            finally:
+                farm.stop()
+        return timings
+
+    timings = once(run_all)
+    base = timings[0][1]
+    rows = [
+        (w, f"{wall:.2f}", f"{base / wall:.2f}x")
+        for w, wall in timings
+    ]
+    emit(
+        "farm_scaling",
+        "Farm: 16-point wait-bound sweep (0.1 s/point) vs workers",
+        format_table(("workers", "wall (s)", "speedup"), rows),
+    )
+    # 4 workers must beat 1 worker clearly on wait-bound points
+    assert dict(timings)[4] < base / 2

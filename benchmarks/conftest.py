@@ -44,6 +44,13 @@ BATCHED_SMOKE = [
     sys.executable, "-m", "pytest", "tests", "-q", "-k", "batched",
 ]
 
+#: the farm smoke target — gateway behavior plus preempt/migrate
+#: bit-identity; farm throughput/latency numbers are only worth
+#: recording when dedup and migration are provably correct.
+FARM_SMOKE = [
+    sys.executable, "-m", "pytest", "tests", "-q", "-k", "farm",
+]
+
 
 def _run_smoke(target: list[str], label: str) -> None:
     env = dict(os.environ)
@@ -99,6 +106,15 @@ def batched_smoke():
     only meaningful when the vector engine is provably byte-identical
     to the scalar one."""
     _run_smoke(BATCHED_SMOKE, "batched-engine")
+
+
+@pytest.fixture(scope="session")
+def farm_smoke():
+    """Run the farm smoke target (``pytest tests -k farm``) once per
+    bench session; throughput and latency numbers are only meaningful
+    when dedup coalescing and checkpoint migration are provably
+    byte-identical."""
+    _run_smoke(FARM_SMOKE, "farm")
 
 
 @pytest.fixture

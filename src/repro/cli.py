@@ -14,6 +14,8 @@ uses:
   (Chrome trace, VCD, metrics snapshot, region/phase profilers)
 * ``mb32-faultsim`` — seeded fault-injection campaigns with detection
   and rollback recovery over a hardware/software partition
+* ``mb32-farm``    — co-simulation as a service: serve an asyncio job
+  farm, submit jobs to it, inspect it, drain it
 
 Images are stored in a simple container: a JSON header line (entry,
 sizes, symbols) followed by the raw memory image — enough for the
@@ -274,7 +276,17 @@ def gdbserver_main(argv: list[str] | None = None) -> int:
         description="serve an MB32 image over the GDB remote protocol",
     )
     parser.add_argument("image")
-    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to bind (default 0 = ephemeral: the kernel picks "
+             "a free port, so parallel CI jobs never race)",
+    )
+    parser.add_argument(
+        "--port-file", metavar="FILE",
+        help="write the actually bound port number to FILE (the "
+             "machine-readable handshake scripts poll instead of "
+             "parsing stdout)",
+    )
     _add_target_flags(parser)
     args = parser.parse_args(argv)
 
@@ -283,9 +295,19 @@ def gdbserver_main(argv: list[str] | None = None) -> int:
     program = load_image(args.image)
     cpu = make_cpu(program, config=TargetFlags.from_args(args).cpu_config())
     server = GdbServer(Debugger(cpu, program), port=args.port)
-    print(f"mb32-gdbserver: listening on {server.address[0]}:"
-          f"{server.address[1]}")
-    server.serve_one()
+    host, port = server.address[0], server.address[1]
+    print(f"mb32-gdbserver: listening on {host}:{port}")
+    # a stable, single-token machine-readable line (also on stdout)
+    print(f"mb32-gdbserver: port {port}", flush=True)
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as fh:
+            fh.write(f"{port}\n")
+    try:
+        server.serve_one()
+    except KeyboardInterrupt:
+        server.stop()
+        print("mb32-gdbserver: interrupted — shut down cleanly")
+        return 0
     print(f"mb32-gdbserver: session ended "
           f"(pc={cpu.pc:#010x}, exit={cpu.exit_code})")
     return 0
@@ -1057,10 +1079,183 @@ def faultsim_main(argv: list[str] | None = None) -> int:
     return 1 if counts["crash"] else 0
 
 
+# ----------------------------------------------------------------------
+# mb32-farm
+# ----------------------------------------------------------------------
+def _farm_client(args):
+    from repro.farm import FarmClient
+
+    return FarmClient(args.host, args.port, tenant=args.tenant)
+
+
+def _farm_serve(args) -> int:
+    import asyncio
+
+    from repro.farm.gateway import FarmGateway
+
+    async def main() -> None:
+        gateway = FarmGateway(
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            max_queue=args.max_queue,
+        )
+        await gateway.start()
+        host, port = gateway.address
+        print(f"mb32-farm: {args.workers} workers, "
+              f"listening on {host}:{port}")
+        print(f"mb32-farm: port {port}", flush=True)
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as fh:
+                fh.write(f"{port}\n")
+        try:
+            await gateway.serve_forever()
+        finally:
+            await gateway.close()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("mb32-farm: interrupted — shut down cleanly")
+        return 0
+    print("mb32-farm: drained")
+    return 0
+
+
+def _farm_submit(args) -> int:
+    from repro.farm import FarmError
+
+    if args.payload == "-":
+        payload = json.load(sys.stdin)
+    else:
+        with open(args.payload, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    client = _farm_client(args)
+    try:
+        doc = client.submit(
+            args.kind,
+            payload,
+            cacheable=not args.no_cache,
+            wait=args.wait,
+            timeout_s=args.timeout,
+        )
+    except FarmError as exc:
+        print(f"mb32-farm: error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    if args.wait and doc.get("state") != "done":
+        return 1
+    return 0
+
+
+def _farm_status(args) -> int:
+    from repro.farm import FarmError
+
+    client = _farm_client(args)
+    try:
+        if args.job:
+            doc = client.status(
+                args.job, wait=args.wait, timeout_s=args.timeout
+            )
+        else:
+            doc = client.farm_status()
+    except FarmError as exc:
+        print(f"mb32-farm: error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
+def _farm_drain(args) -> int:
+    from repro.farm import FarmError
+
+    try:
+        doc = _farm_client(args).drain()
+    except FarmError as exc:
+        print(f"mb32-farm: error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
+def farm_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mb32-farm",
+        description="co-simulation as a service: asyncio job farm with "
+                    "content-addressed caching and checkpoint migration",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run a gateway (foreground)")
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0 = ephemeral; actual port is printed "
+             "and written to --port-file)",
+    )
+    serve.add_argument(
+        "--port-file", metavar="FILE",
+        help="write the actually bound port to FILE",
+    )
+    serve.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="content-addressed result cache directory (no caching "
+             "across restarts without it)",
+    )
+    serve.add_argument("--max-queue", type=int, default=10_000,
+                       help="queue depth beyond which submissions are "
+                            "shed with 503")
+    serve.set_defaults(func=_farm_serve)
+
+    def _client_flags(p) -> None:
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, required=True)
+        p.add_argument("--tenant", default="default")
+
+    submit = sub.add_parser("submit", help="submit one job")
+    _client_flags(submit)
+    submit.add_argument(
+        "kind",
+        choices=("simulate", "scenario", "multi_scenario", "sweep",
+                 "campaign"),
+    )
+    submit.add_argument(
+        "payload", help='payload JSON file ("-" for stdin)'
+    )
+    submit.add_argument("--no-cache", action="store_true",
+                        help="bypass dedup/cache for this job")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="seconds to wait before returning anyway")
+    submit.set_defaults(func=_farm_submit)
+
+    status = sub.add_parser(
+        "status", help="farm status, or one job's status with --job"
+    )
+    _client_flags(status)
+    status.add_argument("--job", help="job id to inspect")
+    status.add_argument("--wait", action="store_true")
+    status.add_argument("--timeout", type=float, default=None)
+    status.set_defaults(func=_farm_status)
+
+    drain = sub.add_parser(
+        "drain", help="finish all jobs, then shut the gateway down"
+    )
+    _client_flags(drain)
+    drain.set_defaults(func=_farm_drain)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
 if __name__ == "__main__":  # pragma: no cover - manual dispatch
     tool = sys.argv[1] if len(sys.argv) > 1 else ""
     mains = {"cc": cc_main, "as": as_main, "run": run_main,
              "objdump": objdump_main, "gdbserver": gdbserver_main,
              "dse": dse_main, "conformance": conformance_main,
-             "profile": profile_main, "faultsim": faultsim_main}
+             "profile": profile_main, "faultsim": faultsim_main,
+             "farm": farm_main}
     sys.exit(mains.get(tool, cc_main)(sys.argv[2:]))

@@ -45,7 +45,6 @@ import json
 import multiprocessing
 import os
 import pathlib
-import random
 import time
 from collections import deque
 from dataclasses import asdict, dataclass
@@ -70,7 +69,9 @@ from repro.cosim.environment import (
 )
 from repro.cosim.partition import DesignPoint, DesignSpec
 from repro.iss.cpu import HaltReason
+from repro.runapi.backoff import retry_backoff_delay
 from repro.runapi.engine import engine_scope
+from repro.runapi.fingerprint import design_fingerprint
 from repro.resources.estimator import DesignEstimate
 from repro.resources.types import Resources
 from repro.telemetry import Telemetry, telemetry_scope
@@ -86,41 +87,18 @@ RETRIABLE = frozenset({STATUS_TIMEOUT, STATUS_ERROR})
 KILL_GRACE_S = 10.0
 
 
-def retry_backoff_delay(
-    base_s: float, name: str, attempt: int, seed: int = 0
-) -> float:
-    """Seeded jittered exponential backoff before retry ``attempt``
-    (1-based) of point ``name``: ``base * 2**(attempt-1) * U[0.5, 1.5)``
-    with the jitter drawn from a stream keyed by (seed, name, attempt),
-    so the schedule is reproducible across runs and worker counts."""
-    if base_s <= 0.0:
-        return 0.0
-    rng = random.Random(f"mb32-sweep-backoff/{seed}/{name}/{attempt}")
-    return base_s * (2 ** (attempt - 1)) * (0.5 + rng.random())
-
-
 # ----------------------------------------------------------------------
 # Fingerprinting and the on-disk result cache
 # ----------------------------------------------------------------------
 def point_fingerprint(point: DesignPoint | DesignSpec, instance) -> str:
     """Deterministic identity of an evaluated design point.
 
-    Hashes the built program image, the CPU configuration and the
-    model parameters, so a re-sweep recognizes work it has already
-    done even across processes and sessions.
+    Now an alias of the public, stability-tested
+    :func:`repro.runapi.design_fingerprint` (same recipe, same
+    digests — existing sweep caches stay valid); kept under its
+    historical name for the sweep-side callers.
     """
-    h = hashlib.sha256()
-    h.update(getattr(point, "factory", point.name).encode())
-    program = getattr(instance, "program", None)
-    if program is not None:
-        h.update(program.image)
-        h.update(str(program.entry).encode())
-    cpu_config = getattr(instance, "cpu_config", None)
-    h.update(repr(cpu_config).encode())
-    h.update(
-        json.dumps(point.params, sort_keys=True, default=repr).encode()
-    )
-    return h.hexdigest()
+    return design_fingerprint(point, instance)
 
 
 def _result_to_dict(result: CoSimResult) -> dict[str, Any]:

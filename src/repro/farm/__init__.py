@@ -1,0 +1,61 @@
+"""Co-simulation as a service: the asyncio job farm.
+
+The paper's own workflow is already client/server — ``mb-gdb`` talks
+to the cycle-accurate simulator over TCP — and this package extends
+that split to fleet scale: an asyncio **gateway**
+(:mod:`repro.farm.gateway`) accepts compile+simulate jobs over
+HTTP/JSON (stdlib-only: hand-rolled HTTP/1.1 on :mod:`asyncio`),
+multiplexes thousands of concurrent sessions, and dispatches work to a
+pool of process **workers** (:mod:`repro.farm.worker`).
+
+The pieces that make it a farm rather than a queue:
+
+* **content-addressed deduplication** — every job is keyed by
+  :func:`repro.farm.protocol.job_fingerprint` (built on the public
+  :mod:`repro.runapi.fingerprint` recipe).  A result already on disk
+  (:class:`repro.farm.cache.FarmCache`) is replayed byte-identically
+  in microseconds; concurrent duplicates coalesce onto one execution
+  and all receive the same bytes,
+* **checkpoint preempt + migrate** — long ``scenario`` /
+  ``multi_scenario`` runs are preempted at cycle granularity through
+  the deterministic checkpoint/restore of
+  :mod:`repro.cosim.checkpoint` and resumed on a *different* worker,
+  bit-identical to an uninterrupted run; sweep shards and fault
+  campaigns migrate at point/trial granularity by shipping their
+  completed-unit journal,
+* **sweep/campaign sharding** — ``sweep`` and ``campaign`` jobs split
+  their points across the worker pool and merge into the same report
+  documents ``repro.cosim.sweep`` / ``repro.faults.campaign`` produce
+  locally (byte-identical, enforced by tests),
+* **per-tenant accounting and load shedding** — queue depth, cache
+  hit-rate, simulated cycles/s and per-tenant usage hang off the
+  PR-4 telemetry :class:`~repro.telemetry.metrics.MetricsRegistry`
+  and are served by ``GET /v1/status``; past ``max_queue`` the
+  gateway sheds with ``503``.
+
+The ``mb32-farm`` CLI (``serve`` / ``submit`` / ``status`` /
+``drain``) fronts all of it; :class:`repro.farm.client.FarmClient` is
+the in-process client the CLI and the tests share.
+"""
+
+from repro.farm.cache import FarmCache
+from repro.farm.client import FarmClient, FarmError
+from repro.farm.gateway import FarmGateway, start_farm_thread
+from repro.farm.protocol import (
+    JOB_KINDS,
+    PROTOCOL_VERSION,
+    JobSpec,
+    job_fingerprint,
+)
+
+__all__ = [
+    "FarmCache",
+    "FarmClient",
+    "FarmError",
+    "FarmGateway",
+    "JOB_KINDS",
+    "JobSpec",
+    "PROTOCOL_VERSION",
+    "job_fingerprint",
+    "start_farm_thread",
+]

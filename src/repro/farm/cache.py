@@ -1,0 +1,61 @@
+"""Content-addressed result store: fingerprint -> result bytes.
+
+Unlike the sweep cache (which stores typed result/estimate records and
+re-hydrates them), the farm cache stores the **serialized result
+document verbatim** — ``get`` hands back exactly the bytes ``put``
+stored, so a cache hit is byte-identical to the response the original
+execution produced, at the cost of one small file read (microseconds,
+no simulation, no JSON round-trip).
+
+Writes are atomic (tmp + rename), so gateways and workers may share a
+directory; corrupt or missing entries read as a miss.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+
+class FarmCache:
+    """One file per job fingerprint under ``path``."""
+
+    SUFFIX = ".json"
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = pathlib.Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+
+    def _entry(self, fingerprint: str) -> pathlib.Path:
+        if not fingerprint or "/" in fingerprint or "." in fingerprint:
+            raise ValueError(f"bad fingerprint {fingerprint!r}")
+        return self.path / f"{fingerprint}{self.SUFFIX}"
+
+    def get(self, fingerprint: str) -> bytes | None:
+        try:
+            return self._entry(fingerprint).read_bytes()
+        except OSError:
+            return None
+
+    def put(self, fingerprint: str, payload: bytes) -> None:
+        entry = self._entry(fingerprint)
+        tmp = entry.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(payload)
+        tmp.replace(entry)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self._entry(fingerprint).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.path.glob(f"*{self.SUFFIX}"))
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number removed."""
+        n = 0
+        for entry in self.path.glob(f"*{self.SUFFIX}"):
+            try:
+                entry.unlink()
+                n += 1
+            except OSError:
+                pass
+        return n

@@ -1,0 +1,177 @@
+"""Synchronous farm client — what the ``mb32-farm`` CLI and the test
+suite talk through.
+
+Uses :class:`http.client.HTTPConnection` (stdlib) with a persistent
+keep-alive connection; the asyncio counterpart for load generation
+lives in :class:`repro.farm.httpio.AsyncHTTPConnection`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any
+
+from repro.farm.protocol import JobSpec
+
+
+class FarmError(RuntimeError):
+    """A non-2xx farm response.  ``status`` is the HTTP code and
+    ``body`` the decoded JSON error document (when there was one)."""
+
+    def __init__(self, status: int, body: Any):
+        self.status = status
+        self.body = body
+        detail = body.get("error") if isinstance(body, dict) else body
+        super().__init__(f"farm returned {status}: {detail}")
+
+
+class FarmClient:
+    """One keep-alive connection to a gateway."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        tenant: str = "default",
+        timeout: float = 600.0,
+    ):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Any = None
+    ) -> tuple[int, bytes]:
+        body = (
+            json.dumps(payload, sort_keys=True).encode()
+            if payload is not None else None
+        )
+        headers = {
+            "Content-Type": "application/json",
+            "X-MB32-Tenant": self.tenant,
+        }
+        for attempt in (1, 2):  # one transparent reconnect
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._conn.request(method, path, body=body, headers=headers)
+                response = self._conn.getresponse()
+                data = response.read()
+                if response.will_close:
+                    self._conn.close()
+                    self._conn = None
+                return response.status, data
+            except (ConnectionError, http.client.HTTPException, OSError):
+                self.close()
+                if attempt == 2:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _json(self, method: str, path: str, payload: Any = None) -> Any:
+        status, data = self._request(method, path, payload)
+        try:
+            doc = json.loads(data) if data else None
+        except ValueError:
+            doc = data.decode("latin-1", "replace")
+        if status >= 400:
+            raise FarmError(status, doc)
+        return doc
+
+    # ------------------------------------------------------------------
+    # job surface
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        payload: dict[str, Any],
+        *,
+        cacheable: bool = True,
+        priority: int = 0,
+        wait: bool = False,
+        timeout_s: float | None = None,
+    ) -> dict[str, Any]:
+        """Submit one job; returns its status document (with the
+        result inlined when ``wait=True`` and the job finished)."""
+        spec = JobSpec(
+            kind=kind,
+            payload=payload,
+            tenant=self.tenant,
+            priority=priority,
+            cacheable=cacheable,
+        )
+        path = "/v1/jobs"
+        if wait:
+            path += "?wait=1"
+            if timeout_s is not None:
+                path += f"&timeout_s={timeout_s}"
+        return self._json("POST", path, spec.to_dict())
+
+    def status(
+        self,
+        job_id: str,
+        *,
+        wait: bool = False,
+        timeout_s: float | None = None,
+    ) -> dict[str, Any]:
+        path = f"/v1/jobs/{job_id}"
+        if wait:
+            path += "?wait=1"
+            if timeout_s is not None:
+                path += f"&timeout_s={timeout_s}"
+        return self._json("GET", path)
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The raw result document bytes — byte-identical across cache
+        hits, coalesced duplicates and the original execution."""
+        status, data = self._request("GET", f"/v1/jobs/{job_id}/result")
+        if status != 200:
+            try:
+                doc = json.loads(data)
+            except ValueError:
+                doc = data.decode("latin-1", "replace")
+            raise FarmError(status, doc)
+        return data
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        return json.loads(self.result_bytes(job_id))
+
+    def preempt(self, job_id: str) -> dict[str, Any]:
+        """Checkpoint-and-migrate a running job."""
+        return self._json("POST", f"/v1/jobs/{job_id}/preempt")
+
+    # ------------------------------------------------------------------
+    # farm surface
+    # ------------------------------------------------------------------
+    def farm_status(self) -> dict[str, Any]:
+        return self._json("GET", "/v1/status")
+
+    def healthz(self) -> bool:
+        try:
+            doc = self._json("GET", "/v1/healthz")
+        except (FarmError, OSError, http.client.HTTPException):
+            return False
+        return bool(doc and doc.get("ok"))
+
+    def drain(self) -> dict[str, Any]:
+        """Ask the gateway to finish everything and shut down."""
+        return self._json("POST", "/v1/drain")
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "FarmClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

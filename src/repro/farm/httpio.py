@@ -1,0 +1,212 @@
+"""Hand-rolled HTTP/1.1 on asyncio — the farm's only wire format.
+
+Deliberately stdlib-only and minimal: request-line + headers + a
+``Content-Length`` body, persistent connections by default (HTTP/1.1
+keep-alive is what lets one load generator push thousands of
+submissions through a handful of sockets), no chunked encoding, no
+TLS.  Both halves live here: the server-side parser the gateway loops
+on, and a tiny async client used by the benchmarks and tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+#: request-line + headers may not exceed this (a farm request is JSON
+#: control traffic, not a file upload)
+MAX_HEADER_BYTES = 64 * 1024
+#: largest accepted body — big enough for a many-point sweep document
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HTTPProtocolError(Exception):
+    """Malformed inbound request — the connection is dropped."""
+
+
+@dataclass
+class Request:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: dict[str, list[str]] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body)
+        except ValueError as exc:
+            raise HTTPProtocolError(f"request body is not JSON: {exc}")
+
+    def flag(self, name: str, default: bool = False) -> bool:
+        """A ``?name=1`` style boolean query parameter."""
+        values = self.query.get(name)
+        if not values:
+            return default
+        return values[-1].lower() not in ("0", "false", "no", "")
+
+    def param(self, name: str, default: str | None = None) -> str | None:
+        values = self.query.get(name)
+        return values[-1] if values else default
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request; ``None`` on a clean EOF between requests."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HTTPProtocolError("connection closed mid-request")
+    except asyncio.LimitOverrunError:
+        raise HTTPProtocolError("request head exceeds buffer limit")
+    if len(head) > MAX_HEADER_BYTES:
+        raise HTTPProtocolError("request head too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, version = lines[0].split(" ", 2)
+    except ValueError:
+        raise HTTPProtocolError(f"malformed request line {lines[0]!r}")
+    if not version.startswith("HTTP/1."):
+        raise HTTPProtocolError(f"unsupported protocol {version!r}")
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HTTPProtocolError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise HTTPProtocolError("chunked bodies are not supported")
+    length = int(headers.get("content-length", "0") or "0")
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise HTTPProtocolError(f"bad content-length {length}")
+    body = await reader.readexactly(length) if length else b""
+
+    split = urlsplit(target)
+    return Request(
+        method=method.upper(),
+        path=split.path,
+        query=parse_qs(split.query),
+        headers=headers,
+        body=body,
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    """Render one full response (head + body) ready for ``write()``."""
+    reason = REASONS.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        head.append(f"{name}: {value}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_body(payload: Any) -> bytes:
+    """Compact deterministic JSON bytes (the farm's canonical body
+    encoding — sorted keys so equal documents are equal bytes)."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode()
+
+
+# ----------------------------------------------------------------------
+# A tiny async client (benchmarks / load tests)
+# ----------------------------------------------------------------------
+class AsyncHTTPConnection:
+    """One persistent client connection; not concurrency-safe — use
+    one per in-flight request stream (that *is* the load test)."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        if self._writer is None:
+            await self.connect()
+        assert self._reader is not None and self._writer is not None
+        payload = body or b""
+        head = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            f"Content-Length: {len(payload)}",
+            "Content-Type: application/json",
+        ]
+        for name, value in (headers or {}).items():
+            head.append(f"{name}: {value}")
+        self._writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + payload
+        )
+        await self._writer.drain()
+
+        status_line = await self._reader.readuntil(b"\r\n")
+        parts = status_line.decode("latin-1").split(" ", 2)
+        status = int(parts[1])
+        resp_headers: dict[str, str] = {}
+        while True:
+            line = (await self._reader.readuntil(b"\r\n")) \
+                .decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            resp_headers[name.strip().lower()] = value.strip()
+        length = int(resp_headers.get("content-length", "0") or "0")
+        data = await self._reader.readexactly(length) if length else b""
+        return status, resp_headers, data
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+            self._writer = None
+            self._reader = None

@@ -1,0 +1,122 @@
+"""The farm's job schema and wire-level contracts.
+
+A job travels as JSON with two identity-bearing fields — ``kind`` and
+``payload`` — plus routing metadata (``tenant``, ``priority``,
+``cacheable``) that deliberately does **not** enter the fingerprint:
+two tenants submitting the same work share one execution and one cache
+entry, while their accounting stays separate.
+
+Job kinds
+---------
+``simulate``
+    One design point: ``payload`` is a
+    :class:`~repro.cosim.partition.DesignSpec`-shaped object
+    (``factory``/``params``[/``name``]), evaluated through the sweep
+    engine's classification (status ``ok`` / ``self-check-failed`` /
+    ``deadlock`` / ``timeout`` / ``error``) with optional
+    ``timeout_s`` / ``retries`` / ``engine``.
+``scenario``
+    One seeded conformance scenario (single CPU): ``payload`` carries
+    either ``{"seed": S, "index": I}`` (generator coordinates) or a
+    full ``{"scenario": {...}}`` document, plus ``fast_forward``.
+    Preemptible at cycle granularity via checkpoint/restore.
+``multi_scenario``
+    The K-CPU equivalent over
+    :class:`~repro.conformance.multicpu.MultiScenario`.
+``sweep``
+    A whole design-space sweep: ``payload`` is
+    ``{"points": [spec...], "timeout_s":, "retries":,
+    "retry_backoff_s":, "backoff_seed":, "engine":}``.  The gateway
+    shards points across workers and merges one
+    :class:`~repro.cosim.sweep.SweepReport`-shaped document.
+``campaign``
+    A fault-injection campaign: ``payload`` is
+    ``{"config": CampaignConfig.to_dict()}``; trials are sharded
+    across workers and merged into the exact
+    :meth:`~repro.faults.campaign.CampaignReport.to_dict` document the
+    local scalar runner produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.runapi.fingerprint import fingerprint_json
+
+#: wire/protocol version — part of every job fingerprint, so a schema
+#: change can never alias a cache entry written by an older farm.
+PROTOCOL_VERSION = 1
+
+JOB_KINDS = ("simulate", "scenario", "multi_scenario", "sweep", "campaign")
+
+#: job lifecycle states, as reported by ``GET /v1/jobs/<id>``
+STATE_QUEUED = "queued"
+STATE_RUNNING = "running"
+STATE_DONE = "done"
+STATE_FAILED = "failed"
+
+JOB_STATES = (STATE_QUEUED, STATE_RUNNING, STATE_DONE, STATE_FAILED)
+
+
+class ProtocolError(ValueError):
+    """A malformed job submission (maps to HTTP 400)."""
+
+
+@dataclass
+class JobSpec:
+    """One job as submitted by a client."""
+
+    kind: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    tenant: str = "default"
+    priority: int = 0
+    cacheable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ProtocolError(
+                f"unknown job kind {self.kind!r} "
+                f"(expected one of {', '.join(JOB_KINDS)})"
+            )
+        if not isinstance(self.payload, dict):
+            raise ProtocolError('"payload" must be a JSON object')
+        if not isinstance(self.tenant, str) or not self.tenant:
+            raise ProtocolError('"tenant" must be a non-empty string')
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "payload": dict(self.payload),
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "cacheable": self.cacheable,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "JobSpec":
+        if not isinstance(data, dict):
+            raise ProtocolError("job must be a JSON object")
+        if "kind" not in data:
+            raise ProtocolError('job is missing required key "kind"')
+        return cls(
+            kind=data["kind"],
+            payload=dict(data.get("payload", {})),
+            tenant=str(data.get("tenant", "default")),
+            priority=int(data.get("priority", 0)),
+            cacheable=bool(data.get("cacheable", True)),
+        )
+
+
+def job_fingerprint(spec: JobSpec) -> str:
+    """Content-addressed identity of a job: protocol version + kind +
+    canonical payload.  Tenant/priority/cacheable are routing metadata
+    and deliberately excluded, so identical work deduplicates across
+    tenants."""
+    return fingerprint_json(
+        {
+            "mb32-farm-job": PROTOCOL_VERSION,
+            "kind": spec.kind,
+            "payload": spec.payload,
+        }
+    )

@@ -1,0 +1,83 @@
+"""The farm's process worker.
+
+One worker is one long-lived process holding a duplex pipe to the
+gateway and a shared preempt :class:`multiprocessing.Event`.  The
+protocol is strictly request/response — the gateway never sends a
+second command before the first answers — except for the preempt
+event, which the gateway may set at any moment and the running job
+polls at its unit/slice boundaries (see :mod:`repro.farm.jobs`).
+
+A worker never dies on a job failure: every exception is folded into
+an ``{"ok": False, "error": ...}`` reply, mirroring the sweep engine's
+"failures are data" stance.  A genuinely dead worker (killed, OOM) is
+detected gateway-side by pipe EOF and its task is re-dispatched.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Any
+
+from repro.farm.jobs import PREEMPT_SLICE, execute
+
+#: worker command verbs
+CMD_JOB = "job"
+CMD_EXIT = "exit"
+CMD_PING = "ping"
+
+
+def worker_main(conn, preempt_event, worker_id: int) -> None:
+    """Entry point of a worker process: serve commands until ``exit``.
+
+    ``conn`` is the child end of a duplex pipe; ``preempt_event`` is
+    set by the gateway to request checkpoint-and-yield and is cleared
+    by the gateway before each dispatch (never here — clearing in the
+    worker would race a preempt sent while the command was in
+    flight)."""
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return  # gateway went away
+        cmd = msg.get("cmd")
+        if cmd == CMD_EXIT:
+            conn.send({"ok": True, "cmd": CMD_EXIT})
+            return
+        if cmd == CMD_PING:
+            conn.send({"ok": True, "cmd": CMD_PING, "worker": worker_id})
+            continue
+        if cmd != CMD_JOB:
+            conn.send({"ok": False, "error": f"unknown command {cmd!r}"})
+            continue
+
+        start = time.perf_counter()
+        try:
+            outcome = execute(
+                msg["kind"],
+                msg.get("payload", {}),
+                units=msg.get("units"),
+                resume_state=msg.get("resume_state"),
+                should_preempt=preempt_event.is_set,
+                preempt_slice=msg.get("preempt_slice", PREEMPT_SLICE),
+            )
+            reply: dict[str, Any] = {
+                "ok": True,
+                "task": msg.get("task"),
+                "worker": worker_id,
+                "wall_s": time.perf_counter() - start,
+                **outcome,
+            }
+        except BaseException as exc:  # never let a worker die silently
+            reply = {
+                "ok": False,
+                "task": msg.get("task"),
+                "worker": worker_id,
+                "wall_s": time.perf_counter() - start,
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(limit=8),
+            }
+        try:
+            conn.send(reply)
+        except (OSError, ValueError, BrokenPipeError):
+            return

@@ -16,11 +16,25 @@ engine; this package is the one surface that ties them together:
   replaces ``model.force_interpreter``, ``REPRO_SYSGEN_INTERP=1`` and
   per-call knobs.  The old spellings keep working as deprecated shims
   that warn exactly once per process (:mod:`repro.runapi.deprecation`).
+* :func:`design_fingerprint` / :func:`fingerprint_json` — the
+  stability-tested content fingerprints that key the sweep result
+  cache and the farm's content-addressed job cache
+  (:mod:`repro.runapi.fingerprint`).
+* :func:`retry_backoff_delay` — the shared seeded jittered-retry
+  backoff policy used by sweep retries and farm worker retries
+  (:mod:`repro.runapi.backoff`).
 """
 
+from repro.runapi.backoff import retry_backoff_delay
 from repro.runapi.deprecation import (
     deprecated_once,
     reset_deprecation_registry,
+)
+from repro.runapi.fingerprint import (
+    FINGERPRINT_VERSION,
+    canonical_json,
+    design_fingerprint,
+    fingerprint_json,
 )
 from repro.runapi.engine import (
     ENGINES,
@@ -35,12 +49,17 @@ from repro.runapi.policy import RunPolicy
 __all__ = [
     "ENGINES",
     "EngineError",
+    "FINGERPRINT_VERSION",
     "OUTCOME_CORE_KEYS",
     "RunOutcome",
     "RunPolicy",
+    "canonical_json",
     "current_engine",
     "deprecated_once",
+    "design_fingerprint",
     "engine_scope",
+    "fingerprint_json",
     "reset_deprecation_registry",
     "resolve_engine",
+    "retry_backoff_delay",
 ]

@@ -1,0 +1,30 @@
+"""The one seeded jittered-retry backoff policy.
+
+Both retry loops in the toolkit — the sweep engine re-queueing a
+``timeout``/``error`` design point and a farm worker re-attempting a
+failed job unit — sleep the same schedule:
+``base * 2**(attempt-1) * U[0.5, 1.5)`` with the jitter drawn from a
+stream keyed by ``(seed, name, attempt)``.  Keying the jitter by
+content (not by wall clock or worker identity) keeps the schedule
+reproducible across runs, worker counts and hosts, so a retried
+point's recorded ``backoff_s`` trail is part of its deterministic
+provenance rather than noise.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def retry_backoff_delay(
+    base_s: float, name: str, attempt: int, seed: int = 0
+) -> float:
+    """Seeded jittered exponential backoff before retry ``attempt``
+    (1-based) of the unit ``name``: ``base * 2**(attempt-1) *
+    U[0.5, 1.5)`` with the jitter drawn from a stream keyed by
+    (seed, name, attempt), so the schedule is reproducible across runs
+    and worker counts."""
+    if base_s <= 0.0:
+        return 0.0
+    rng = random.Random(f"mb32-sweep-backoff/{seed}/{name}/{attempt}")
+    return base_s * (2 ** (attempt - 1)) * (0.5 + rng.random())

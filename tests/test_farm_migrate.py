@@ -1,0 +1,221 @@
+"""Checkpoint preempt + migrate bit-identity.
+
+Two layers:
+
+* **deterministic checkpoint chains** (no farm, no timing): drive a
+  job with an always-true preempt flag so every stint advances exactly
+  one slice and yields a checkpoint, feed each checkpoint into a fresh
+  ``execute`` call (exactly what a different worker process does), and
+  require the final result document to equal the uninterrupted run's
+  byte for byte — single-CPU, K-CPU, and the K-CPU deadlock-watchdog
+  case (the watchdog's absolute-cycle bookkeeping must be restore
+  transparent),
+* **farm-level migration** (real gateway, real worker processes): a
+  running job is preempted over HTTP until it has been checkpointed
+  on one worker and resumed on another, and the migrated result must
+  be byte-identical to an uninterrupted reference — for a conformance
+  scenario, a sharded sweep, and a mesh fault campaign (the acceptance
+  criteria's two named cases).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.farm import FarmClient, start_farm_thread
+from repro.farm.jobs import execute
+
+SCENARIO = {"seed": 3, "index": 1, "fast_forward": False}
+MULTI = {"seed": 1, "index": 0, "fast_forward": False}
+MULTI_DEADLOCK = {"seed": 3, "index": 0, "fast_forward": False}
+
+
+def canon(doc) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# deterministic checkpoint chains (single process, no timing)
+# ----------------------------------------------------------------------
+def chain_until_done(kind: str, payload: dict, preempt_slice: int):
+    """Run ``kind`` yielding a checkpoint after every slice; returns
+    (final outcome, number of stints)."""
+    state, stints = None, 0
+    while True:
+        out = execute(
+            kind,
+            dict(payload),
+            resume_state=state,
+            should_preempt=lambda: True,
+            preempt_slice=preempt_slice,
+        )
+        stints += 1
+        if out["outcome"] == "done":
+            return out, stints
+        state = out["state"]
+        assert state  # a checkpoint document travelled back
+
+
+class TestCheckpointChain:
+    def test_single_cpu_scenario_bit_identical(self):
+        ref = execute("scenario", dict(SCENARIO))
+        assert ref["outcome"] == "done"
+        chained, stints = chain_until_done("scenario", SCENARIO, 256)
+        assert stints > 5  # genuinely migrated many times
+        assert canon(chained["result"]) == canon(ref["result"])
+
+    def test_k_cpu_scenario_bit_identical(self):
+        ref = execute("multi_scenario", dict(MULTI))
+        assert ref["outcome"] == "done"
+        chained, stints = chain_until_done("multi_scenario", MULTI, 64)
+        assert stints > 2
+        assert canon(chained["result"]) == canon(ref["result"])
+
+    def test_k_cpu_deadlock_watchdog_is_restore_transparent(self):
+        """A scenario that ends in the deadlock watchdog must classify
+        identically when chopped into checkpointed stints."""
+        ref = execute("multi_scenario", dict(MULTI_DEADLOCK))
+        assert ref["outcome"] == "done"
+        assert ref["result"]["observation"]["status"] == "deadlock"
+        chained, stints = chain_until_done(
+            "multi_scenario", MULTI_DEADLOCK, 1024
+        )
+        assert stints > 10
+        assert canon(chained["result"]) == canon(ref["result"])
+
+    def test_sweep_shard_journal_migration(self):
+        """A preempted sweep shard hands back completed unit records
+        plus the untouched remainder; re-dispatching the remainder
+        reproduces the uninterrupted shard exactly."""
+        points = [
+            {"name": f"s{i}",
+             "factory": "repro.cosim.sweep:SyntheticDesign",
+             "params": {"seconds": 0.0, "cycles": 100 + i}}
+            for i in range(6)
+        ]
+        payload = {"points": points}
+        ref = execute("sweep", dict(payload), units=list(range(6)))
+        assert ref["outcome"] == "done"
+
+        records, remaining = [], list(range(6))
+        hops = 0
+        while remaining:
+            out = execute("sweep", dict(payload), units=remaining,
+                          should_preempt=lambda: True)
+            if out["outcome"] == "done":
+                records.extend(out["records"])
+                break
+            assert len(out["records"]) == 1  # the pos>0 guard's floor
+            records.extend(out["records"])
+            remaining = out["remaining"]
+            hops += 1
+        assert hops == 5  # one unit per stint, then the final one
+        assert canon(records) == canon(ref["records"])
+
+
+# ----------------------------------------------------------------------
+# farm-level migration across real worker processes
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def farm():
+    handle = start_farm_thread(workers=2, preempt_slice=256)
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture()
+def client(farm):
+    with FarmClient(farm.host, farm.port, tenant="migrate") as c:
+        yield c
+
+
+def submit_with_preempts(client, kind, payload, *, min_preempts=1,
+                         tries=5, timeout_s=120.0):
+    """Submit uncached and hammer /preempt until done; retries the
+    whole submission if the job finished before any preempt landed."""
+    for _ in range(tries):
+        doc = client.submit(kind, dict(payload), cacheable=False)
+        job_id = doc["id"]
+        deadline = time.time() + timeout_s
+        while time.time() < deadline:
+            status = client.status(job_id)
+            if status["state"] in ("done", "failed"):
+                break
+            client.preempt(job_id)
+            time.sleep(0.002)
+        final = client.status(job_id)
+        assert final["state"] == "done", final
+        if final["preempts"] >= min_preempts:
+            return final
+    pytest.fail(
+        f"no preempt landed on {kind} within {tries} submissions"
+    )
+
+
+class TestFarmMigration:
+    def test_scenario_migrates_bit_identical(self, client):
+        ref = client.submit("scenario", dict(SCENARIO),
+                            cacheable=False, wait=True, timeout_s=120)
+        assert ref["state"] == "done"
+        migrated = submit_with_preempts(client, "scenario", SCENARIO)
+        assert migrated["migrations"] >= 1
+        assert len(migrated["workers_used"]) == 2  # both workers ran it
+        assert canon(migrated["result"]) == canon(ref["result"])
+
+    def test_k_cpu_scenario_migrates_bit_identical(self, client):
+        payload = dict(MULTI_DEADLOCK)
+        ref = client.submit("multi_scenario", payload,
+                            cacheable=False, wait=True, timeout_s=120)
+        assert ref["state"] == "done"
+        migrated = submit_with_preempts(
+            client, "multi_scenario", payload
+        )
+        assert migrated["migrations"] >= 1
+        assert canon(migrated["result"]) == canon(ref["result"])
+
+    def test_sweep_migrates_and_matches_local_engine(self, client):
+        from repro.cosim.partition import DesignSpec
+        from repro.cosim.sweep import sweep
+
+        points = [
+            {"name": f"w{i}",
+             "factory": "repro.cosim.sweep:SyntheticDesign",
+             "params": {"seconds": 0.05, "cycles": 1000 + i}}
+            for i in range(8)
+        ]
+        local = sweep(
+            [DesignSpec(name=p["name"], factory=p["factory"],
+                        params=p["params"]) for p in points],
+            workers=0,
+        )
+        local_results = [r.to_dict() for r in local.results]
+
+        migrated = submit_with_preempts(
+            client, "sweep", {"points": points}
+        )
+        assert canon(migrated["result"]["results"]) == \
+            canon(local_results)
+
+    def test_mesh_campaign_migrates_bit_identical(self, client):
+        """The acceptance criteria's hard case: a mesh fault campaign,
+        sharded over workers and preempted mid-run, must merge into
+        the exact report the local scalar runner produces."""
+        from repro.faults.campaign import CampaignConfig, run_campaign
+
+        config = CampaignConfig(
+            app="mesh",
+            trials=8,
+            seed=9,
+            design={"rows": 2, "cols": 2, "tokens": 8},
+        )
+        local = run_campaign(config, workers=0).to_dict()
+
+        migrated = submit_with_preempts(
+            client, "campaign", {"config": config.to_dict()},
+            timeout_s=300,
+        )
+        farm_report = migrated["result"]["report"]
+        assert canon(farm_report) == canon(local)
