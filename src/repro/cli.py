@@ -1090,8 +1090,14 @@ def _farm_client(args):
 
 def _farm_serve(args) -> int:
     import asyncio
+    import contextlib
+    import signal
 
     from repro.farm.gateway import FarmGateway
+
+    if args.recover and not args.journal:
+        print("mb32-farm: --recover needs --journal", file=sys.stderr)
+        return 2
 
     async def main() -> None:
         gateway = FarmGateway(
@@ -1100,15 +1106,28 @@ def _farm_serve(args) -> int:
             port=args.port,
             cache_dir=args.cache_dir,
             max_queue=args.max_queue,
+            journal_path=args.journal,
+            recover=args.recover,
+            wal_fsync=args.wal_fsync,
         )
         await gateway.start()
         host, port = gateway.address
         print(f"mb32-farm: {args.workers} workers, "
               f"listening on {host}:{port}")
+        if args.recover:
+            print(f"mb32-farm: recovered {len(gateway.jobs)} job(s) "
+                  f"from {args.journal}")
         print(f"mb32-farm: port {port}", flush=True)
         if args.port_file:
             with open(args.port_file, "w", encoding="utf-8") as fh:
                 fh.write(f"{port}\n")
+        # graceful SIGTERM: finish queued/running jobs, then exit
+        loop = asyncio.get_running_loop()
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(
+                signal.SIGTERM,
+                lambda: asyncio.ensure_future(gateway.drain()),
+            )
         try:
             await gateway.serve_forever()
         finally:
@@ -1179,6 +1198,71 @@ def _farm_drain(args) -> int:
     return 0
 
 
+def _farm_chaos(args) -> int:
+    import tempfile
+
+    from repro.farm.chaos import CHAOS_KINDS, run_chaos_campaign
+
+    kinds = CHAOS_KINDS
+    if args.kinds:
+        kinds = tuple(
+            k.strip() for k in args.kinds.split(",") if k.strip()
+        )
+        unknown = [k for k in kinds if k not in CHAOS_KINDS]
+        if unknown:
+            print(f"mb32-farm: unknown chaos kind(s) {unknown} "
+                  f"(choose from {', '.join(CHAOS_KINDS)})",
+                  file=sys.stderr)
+            return 2
+
+    cleanup: tempfile.TemporaryDirectory | None = None
+    if args.root:
+        root = args.root
+    else:
+        cleanup = tempfile.TemporaryDirectory(prefix="mb32-chaos-")
+        root = cleanup.name
+    try:
+        report = run_chaos_campaign(
+            root,
+            seed=args.seed,
+            jobs=args.jobs,
+            faults=args.faults,
+            workers=args.workers,
+            kinds=kinds,
+            gateway_restarts=args.restarts,
+            progress=lambda msg: print(f"mb32-farm: {msg}", flush=True),
+            collect_timeout_s=args.timeout,
+        )
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+    print(report.table())
+    print(f"mb32-farm: {report.jobs} jobs, "
+          f"{report.faults_applied} faults, "
+          f"{report.restarts} gateway restart(s), "
+          f"{report.cache_quarantined} quarantined cache entr(ies), "
+          f"{report.wall_s:.1f}s")
+    if args.report:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.report == "-":
+            print(payload)
+        else:
+            with open(args.report, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            print(f"mb32-farm: wrote {args.report}")
+    if report.ok:
+        print("mb32-farm: invariant held — every job byte-identical "
+              "to the fault-free baseline")
+        return 0
+    print(f"mb32-farm: INVARIANT VIOLATED — divergent="
+          f"{report.divergent} failed={sorted(report.failed)} "
+          f"second_divergent={report.second_divergent} "
+          f"second_failed={sorted(report.second_failed)}",
+          file=sys.stderr)
+    return 1
+
+
 def farm_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="mb32-farm",
@@ -1207,6 +1291,22 @@ def farm_main(argv: list[str] | None = None) -> int:
     serve.add_argument("--max-queue", type=int, default=10_000,
                        help="queue depth beyond which submissions are "
                             "shed with 503")
+    serve.add_argument(
+        "--journal", metavar="FILE",
+        help="append-only write-ahead journal of job submissions and "
+             "state transitions (crash recovery)",
+    )
+    serve.add_argument(
+        "--recover", action="store_true",
+        help="replay --journal on startup: completed jobs serve from "
+             "cache, interrupted jobs resume from their last "
+             "checkpoint / completed units",
+    )
+    serve.add_argument(
+        "--wal-fsync", action="store_true",
+        help="fsync the journal on every append (power-loss "
+             "durability at a per-event fsync cost)",
+    )
     serve.set_defaults(func=_farm_serve)
 
     def _client_flags(p) -> None:
@@ -1246,6 +1346,39 @@ def farm_main(argv: list[str] | None = None) -> int:
     )
     _client_flags(drain)
     drain.set_defaults(func=_farm_drain)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded deterministic fault campaign against a live farm "
+             "(worker kills/stalls, corrupt cache writes, dropped "
+             "connections, gateway crash+recover); verifies every job "
+             "finishes byte-identical to a fault-free run",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--jobs", type=int, default=200,
+                       help="workload size (simulate/sweep/campaign mix)")
+    chaos.add_argument("--faults", type=int, default=30,
+                       help="total fault events to inject")
+    chaos.add_argument("--workers", type=int, default=3)
+    chaos.add_argument(
+        "--kinds", default=None,
+        help="comma-separated fault kinds to enable: worker_kill, "
+             "worker_stall, cache_torn_write, cache_bitflip, "
+             "conn_drop, conn_truncate, gateway_restart (default all)",
+    )
+    chaos.add_argument("--restarts", type=int, default=1,
+                       help="gateway crash+recover events")
+    chaos.add_argument(
+        "--root", metavar="DIR", default=None,
+        help="scratch directory (default: a fresh temp dir)",
+    )
+    chaos.add_argument(
+        "--report", metavar="FILE", default=None,
+        help='write the JSON report to FILE ("-" for stdout)',
+    )
+    chaos.add_argument("--timeout", type=float, default=600.0,
+                       help="per-phase collect deadline in seconds")
+    chaos.set_defaults(func=_farm_chaos)
 
     args = parser.parse_args(argv)
     return args.func(args)

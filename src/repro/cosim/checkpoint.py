@@ -11,6 +11,11 @@ A checkpoint is a JSON document with three layers of protection:
 * a **payload digest** (sha256 over the canonical state JSON) so a
   truncated or hand-edited file is rejected before any state is loaded.
 
+On disk the document travels inside the shared durable envelope
+(:mod:`repro.runapi.durable`): writes fsync the file and its parent
+directory (a host crash cannot lose the rename), and reads verify a
+whole-file length+sha256 frame before parsing.
+
 Restore-then-continue is bit-identical to an uninterrupted run: the
 state dict covers every observable (``tests/test_checkpoint.py``
 enforces this against the conformance oracle's observation surface in
@@ -21,8 +26,14 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from typing import Any
+
+from repro.runapi.durable import (
+    DurableError,
+    decode_envelope,
+    durable_write,
+    is_envelope,
+)
 
 #: bump when the state-dict layout changes incompatibly
 CHECKPOINT_VERSION = 1
@@ -122,29 +133,41 @@ def restore_from_dict(sim, doc: dict) -> None:
 
 
 def save_checkpoint(sim, path: str, label: str = "") -> dict:
-    """Write a checkpoint atomically (tmp + rename); returns the doc."""
+    """Write a checkpoint durably (tmp + rename + fsync of the file
+    *and* its parent directory, through the shared
+    :func:`repro.runapi.durable.durable_write` envelope — a host crash
+    can neither lose the rename nor leave torn contents); returns the
+    doc."""
     doc = checkpoint_to_dict(sim, label)
-    tmp = f"{path}.tmp.{os.getpid()}"
     try:
-        with open(tmp, "w") as fh:
-            json.dump(doc, fh)
-        os.replace(tmp, path)
+        durable_write(path, json.dumps(doc).encode())
     except OSError as exc:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
         raise CheckpointError(f"cannot write checkpoint {path}: {exc}") from exc
     return doc
 
 
 def load_checkpoint(sim, path: str) -> dict:
-    """Read, validate and load a checkpoint file into ``sim``."""
+    """Read, validate and load a checkpoint file into ``sim``.
+
+    Envelope-framed checkpoints are integrity-verified before any
+    JSON parsing; files written by pre-envelope versions (raw JSON)
+    load transparently, falling back to the in-document payload digest
+    for damage detection.
+    """
     try:
-        with open(path) as fh:
-            doc = json.load(fh)
+        with open(path, "rb") as fh:
+            blob = fh.read()
     except OSError as exc:
         raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if is_envelope(blob):
+        try:
+            blob = decode_envelope(blob)
+        except DurableError as exc:
+            raise CheckpointError(
+                f"checkpoint {path} is damaged ({exc.reason}): {exc}"
+            ) from exc
+    try:
+        doc = json.loads(blob)
     except ValueError as exc:
         raise CheckpointError(f"checkpoint {path} is not JSON: {exc}") from exc
     restore_from_dict(sim, doc)

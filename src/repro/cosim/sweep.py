@@ -51,6 +51,13 @@ from dataclasses import asdict, dataclass
 from multiprocessing.connection import wait as _conn_wait
 from typing import Any, Callable, Iterable
 
+from repro.runapi.durable import (
+    QUARANTINE_DIR,
+    durable_write,
+    read_verified,
+    record_intact,
+    seal_record,
+)
 from repro.cosim.dse import (
     DSEResult,
     STATUS_DEADLOCK,
@@ -147,8 +154,12 @@ class SweepCache:
 
     Entries store the :class:`CoSimResult` and
     :class:`DesignEstimate` of a successful run; failures are never
-    cached (they should re-evaluate).  Writes are atomic (tmp file +
-    rename) so concurrent workers can share one directory.
+    cached (they should re-evaluate).  Writes go through the shared
+    durable envelope (:mod:`repro.runapi.durable`: tmp + rename +
+    fsync) so concurrent workers can share one directory and a host
+    crash cannot leave a torn entry; reads verify the envelope and
+    quarantine damage as a miss.  Pre-envelope entries (raw JSON)
+    read transparently.
     """
 
     def __init__(self, path: str | os.PathLike):
@@ -161,15 +172,20 @@ class SweepCache:
     def get(
         self, fingerprint: str
     ) -> tuple[CoSimResult, DesignEstimate] | None:
-        entry = self._entry(fingerprint)
+        blob = read_verified(
+            self._entry(fingerprint),
+            quarantine_dir=self.path / QUARANTINE_DIR,
+        )
+        if blob is None:
+            return None  # missing or quarantined-as-damaged: miss
         try:
-            data = json.loads(entry.read_text())
+            data = json.loads(blob)
             return (
                 _result_from_dict(data["result"]),
                 _estimate_from_dict(data["estimate"]),
             )
-        except (OSError, ValueError, KeyError, TypeError):
-            return None  # missing or corrupt entries mean "miss"
+        except (ValueError, KeyError, TypeError):
+            return None  # legacy-format corruption also means "miss"
 
     def put(
         self,
@@ -177,17 +193,15 @@ class SweepCache:
         result: CoSimResult,
         estimate: DesignEstimate,
     ) -> None:
-        entry = self._entry(fingerprint)
-        tmp = entry.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(
+        durable_write(
+            self._entry(fingerprint),
             json.dumps(
                 {
                     "result": _result_to_dict(result),
                     "estimate": _estimate_to_dict(estimate),
                 }
-            )
+            ).encode(),
         )
-        tmp.replace(entry)
 
     def __len__(self) -> int:
         return sum(1 for _ in self.path.glob("*.json"))
@@ -257,9 +271,12 @@ class SweepJournal:
     Line 1 is a header binding the file to a sweep spec
     (:func:`sweep_spec_id`); every further line is one completed point
     (index, attempts, backoff schedule, full payload), flushed as it
-    lands so a killed sweep loses at most the in-flight points.  A
-    truncated final line (the kill landed mid-write) is silently
-    dropped on load.
+    lands so a killed sweep loses at most the in-flight points.  Every
+    record is sealed with a per-line digest
+    (:func:`repro.runapi.durable.seal_record`); on load, replay stops
+    at the first truncated *or* damaged line — the WAL-tail rule — so
+    a line torn by a crash mid-append can never replay as a completed
+    point.  Journals written before sealing (no digest) still load.
     """
 
     FORMAT = "mb32-dse-journal"
@@ -286,6 +303,8 @@ class SweepJournal:
                     rec = json.loads(line)
                 except ValueError:
                     break  # truncated tail from a mid-write kill
+                if not record_intact(rec):
+                    break  # damaged line: replay the intact prefix only
                 if not header_seen:
                     header_seen = True
                     if (
@@ -338,11 +357,13 @@ class SweepJournal:
         )
 
     def _write(self, rec: dict[str, Any]) -> None:
-        self._fh.write(json.dumps(rec) + "\n")
+        self._fh.write(json.dumps(seal_record(rec)) + "\n")
         self._fh.flush()
 
     def close(self) -> None:
         if self._fh is not None:
+            with contextlib.suppress(OSError, ValueError):
+                os.fsync(self._fh.fileno())
             self._fh.close()
             self._fh = None
 

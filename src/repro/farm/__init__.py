@@ -33,14 +33,33 @@ The pieces that make it a farm rather than a queue:
   and are served by ``GET /v1/status``; past ``max_queue`` the
   gateway sheds with ``503``.
 
+Durability and chaos (PR 10): every cache entry is written through the
+crash-safe envelope of :mod:`repro.runapi.durable` (torn or bit-flipped
+entries quarantine and re-execute instead of being served), the gateway
+journals submissions and state transitions to a write-ahead log
+(:mod:`repro.farm.wal`) replayed by ``mb32-farm serve --recover``, and
+the seeded deterministic chaos harness (:mod:`repro.farm.chaos`,
+``mb32-farm chaos``) proves the invariant: every accepted job completes
+with bytes identical to a fault-free run, under worker kills, stalls,
+corrupted cache writes, dropped connections and gateway crashes.
+
 The ``mb32-farm`` CLI (``serve`` / ``submit`` / ``status`` /
-``drain``) fronts all of it; :class:`repro.farm.client.FarmClient` is
-the in-process client the CLI and the tests share.
+``drain`` / ``chaos``) fronts all of it;
+:class:`repro.farm.client.FarmClient` is the in-process client the CLI
+and the tests share.
 """
 
 from repro.farm.cache import FarmCache
-from repro.farm.client import FarmClient, FarmError
+from repro.farm.chaos import (
+    CHAOS_KINDS,
+    ChaosPlan,
+    ChaosSpec,
+    generate_chaos_plan,
+    run_chaos_campaign,
+)
+from repro.farm.client import FarmClient, FarmError, FarmUnavailable
 from repro.farm.gateway import FarmGateway, start_farm_thread
+from repro.farm.wal import GatewayJournal
 from repro.farm.protocol import (
     JOB_KINDS,
     PROTOCOL_VERSION,
@@ -49,13 +68,20 @@ from repro.farm.protocol import (
 )
 
 __all__ = [
+    "CHAOS_KINDS",
+    "ChaosPlan",
+    "ChaosSpec",
     "FarmCache",
     "FarmClient",
     "FarmError",
     "FarmGateway",
+    "FarmUnavailable",
+    "GatewayJournal",
     "JOB_KINDS",
     "JobSpec",
     "PROTOCOL_VERSION",
+    "generate_chaos_plan",
     "job_fingerprint",
+    "run_chaos_campaign",
     "start_farm_thread",
 ]

@@ -1,0 +1,774 @@
+"""Deterministic chaos harness for the co-simulation farm.
+
+The durability work (:mod:`repro.runapi.durable`, the gateway
+write-ahead journal) claims that no infrastructure failure can change
+a result: a job the farm *accepted* either completes with exactly the
+bytes a fault-free farm would have produced, or visibly fails — never
+silently diverges, never serves torn bytes.  This module is the
+machine that earns that claim: a **seeded, replayable fault campaign**
+against a live farm, mirroring how :mod:`repro.faults.plan` attacks
+the simulated hardware.
+
+* :func:`generate_chaos_plan` expands a seed into a
+  :class:`ChaosPlan` — an ordered list of :class:`ChaosSpec` events
+  pinned to *submission indices* (not wall-clock), so the interleaving
+  of work and faults is identical on every run of the same seed,
+* :class:`ChaosController` injects each event into a running
+  :class:`~repro.farm.gateway.FarmThread`: ``SIGKILL``/``SIGSTOP`` of
+  worker processes, torn and bit-flipped cache writes (through
+  :func:`repro.runapi.durable.set_write_fault`), dropped and truncated
+  HTTP responses (through
+  :func:`repro.farm.httpio.set_response_fault`), and a full gateway
+  crash + ``recover=True`` restart on the same journal and cache,
+* :func:`run_chaos_campaign` drives a deterministic mixed workload
+  (``simulate`` / ``sweep`` / ``campaign``) through a fault-free
+  baseline farm and then through the chaos farm, and checks the
+  invariant byte for byte.  The epilogue re-verifies every cache entry
+  in place and replays the whole workload once more — quarantined
+  entries must re-execute to the same bytes, everything else must hit.
+
+``mb32-farm chaos`` fronts it from the CLI; every injected fault is
+also counted on the gateway's
+:class:`~repro.telemetry.metrics.MetricsRegistry` under
+``farm.chaos.*``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pathlib
+import random
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.farm import httpio
+from repro.farm.client import FarmClient, FarmError, FarmUnavailable
+from repro.farm.gateway import FarmThread, start_farm_thread
+from repro.runapi.durable import set_write_fault
+
+#: every fault kind the harness can inject
+CHAOS_KINDS = (
+    "worker_kill",       # SIGKILL a worker process mid-task
+    "worker_stall",      # SIGSTOP a worker, SIGCONT it shortly after
+    "cache_torn_write",  # next durable cache write loses its tail
+    "cache_bitflip",     # next durable cache write flips one bit
+    "conn_drop",         # next HTTP response is dropped unanswered
+    "conn_truncate",     # next HTTP response is cut mid-body
+    "gateway_restart",   # crash the gateway, restart with --recover
+)
+
+SYNTH_FACTORY = "repro.cosim.sweep:SyntheticDesign"
+
+
+# ----------------------------------------------------------------------
+# the plan (mirrors repro.faults.plan: seed -> frozen specs)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One fault event, pinned to a submission index.
+
+    ``at`` is the workload index *before* which the event fires —
+    index-pinning (rather than wall-clock) is what makes a chaos run
+    replayable.  ``param`` is a kind-specific knob: target selector
+    for worker kills/stalls, stall duration entropy, ignored
+    elsewhere.
+    """
+
+    kind: str
+    at: int
+    param: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise ValueError(f"unknown chaos kind {self.kind!r}")
+        if self.at < 0:
+            raise ValueError("chaos events fire at submission index >= 0")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "at": self.at, "param": self.param}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ChaosSpec":
+        return cls(
+            kind=str(data["kind"]),
+            at=int(data["at"]),
+            param=int(data.get("param", 0)),
+        )
+
+
+@dataclass
+class ChaosPlan:
+    """A complete seeded fault schedule for one campaign."""
+
+    seed: int
+    n_jobs: int
+    events: tuple[ChaosSpec, ...] = ()
+
+    def by_index(self) -> dict[int, list[ChaosSpec]]:
+        out: dict[int, list[ChaosSpec]] = {}
+        for ev in self.events:
+            out.setdefault(ev.at, []).append(ev)
+        return out
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for ev in self.events:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "n_jobs": self.n_jobs,
+            "events": [ev.to_dict() for ev in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ChaosPlan":
+        return cls(
+            seed=int(data["seed"]),
+            n_jobs=int(data["n_jobs"]),
+            events=tuple(
+                ChaosSpec.from_dict(ev) for ev in data.get("events", [])
+            ),
+        )
+
+
+def generate_chaos_plan(
+    seed: int = 0,
+    n_jobs: int = 200,
+    *,
+    faults: int = 30,
+    kinds: tuple[str, ...] = CHAOS_KINDS,
+    gateway_restarts: int = 1,
+) -> ChaosPlan:
+    """Expand ``seed`` into a deterministic fault schedule.
+
+    ``faults`` total events are drawn over the non-restart kinds in
+    ``kinds``; ``gateway_restarts`` crash+recover events (when the
+    kind is enabled) are spread evenly through the campaign so
+    recovery always happens mid-load.  Same arguments, same plan —
+    byte for byte.
+    """
+    for kind in kinds:
+        if kind not in CHAOS_KINDS:
+            raise ValueError(f"unknown chaos kind {kind!r}")
+    if n_jobs < 2:
+        raise ValueError("a chaos campaign needs at least 2 jobs")
+    rng = random.Random(f"mb32-chaos/{seed}")
+    events: list[ChaosSpec] = []
+    injectable = [k for k in kinds if k != "gateway_restart"]
+    restarts = gateway_restarts if "gateway_restart" in kinds else 0
+    for _ in range(max(0, faults - restarts)):
+        if not injectable:
+            break
+        events.append(
+            ChaosSpec(
+                kind=rng.choice(injectable),
+                at=rng.randrange(1, n_jobs),
+                param=rng.randrange(1 << 16),
+            )
+        )
+    for r in range(restarts):
+        at = max(1, min(n_jobs - 1, n_jobs * (r + 1) // (restarts + 1)))
+        events.append(ChaosSpec(kind="gateway_restart", at=at))
+    events.sort(key=lambda ev: (ev.at, ev.kind, ev.param))
+    return ChaosPlan(seed=seed, n_jobs=n_jobs, events=tuple(events))
+
+
+# ----------------------------------------------------------------------
+# the workload (deterministic mixed job stream)
+# ----------------------------------------------------------------------
+def build_workload(
+    seed: int = 0, n_jobs: int = 200
+) -> list[tuple[str, dict[str, Any]]]:
+    """A deterministic stream of ``(kind, payload)`` submissions:
+    mostly synthetic ``simulate`` points (some with nonzero runtime so
+    faults land on *running* jobs), a spread of small ``sweep`` jobs,
+    and a sprinkle of real fault-injection ``campaign`` jobs.  Every
+    payload is a pure function of ``(seed, index)``, so the fault-free
+    baseline and the chaos run execute identical work.
+    """
+    from repro.faults.campaign import CampaignConfig
+
+    rng = random.Random(f"mb32-chaos-workload/{seed}")
+    out: list[tuple[str, dict[str, Any]]] = []
+    for i in range(n_jobs):
+        roll = rng.random()
+        if i % 40 == 7:  # a real campaign every 40 jobs
+            config = CampaignConfig(
+                app="cordic",
+                design={"p": 2, "iters": 8, "ndata": 8},
+                trials=2,
+                seed=1000 + seed * 7 + i,
+                max_cycles=60_000,
+                deadlock_window=512,
+            )
+            out.append(("campaign", {"config": config.to_dict()}))
+        elif roll < 0.15:
+            n_points = 3 + rng.randrange(3)
+            points = [
+                {
+                    "factory": SYNTH_FACTORY,
+                    "params": {
+                        "seconds": 0.0,
+                        "cycles": 10_000 + i * 10 + k,
+                    },
+                }
+                for k in range(n_points)
+            ]
+            out.append(("sweep", {"points": points}))
+        else:
+            # ~25% of the simulate points take real wall time, so the
+            # queue stays occupied while faults fire
+            seconds = (
+                round(0.02 + rng.random() * 0.1, 3)
+                if rng.random() < 0.25 else 0.0
+            )
+            out.append((
+                "simulate",
+                {
+                    "design": {
+                        "factory": SYNTH_FACTORY,
+                        "params": {"seconds": seconds, "cycles": 1_000 + i},
+                    }
+                },
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# the controller (plan events -> live farm)
+# ----------------------------------------------------------------------
+class ChaosController:
+    """Applies :class:`ChaosSpec` events to a live farm it owns.
+
+    The controller boots the gateway (journal + cache under ``root``),
+    injects each event, and — for ``gateway_restart`` — crashes the
+    whole :class:`~repro.farm.gateway.FarmThread` and boots a
+    replacement with ``recover=True`` on the same journal and cache.
+    Callers must re-resolve ``controller.farm`` per request, since a
+    restart changes the ephemeral port.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        *,
+        workers: int = 3,
+        seed: int = 0,
+    ):
+        self.root = pathlib.Path(root)
+        self.workers = workers
+        self.rng = random.Random(f"mb32-chaos-targets/{seed}")
+        self.farm: FarmThread | None = None
+        self.applied: dict[str, int] = {}
+        self.fired: dict[str, int] = {}
+        self.skipped: dict[str, int] = {}
+        self.unfired = 0
+        self.restarts = 0
+        self._stalled: list[int] = []
+        self._armed_write: str | None = None
+        self._armed_conn: str | None = None
+        self._metric_totals: dict[str, int] = {}
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def cache_dir(self) -> str:
+        return str(self.root / "cache")
+
+    @property
+    def journal_path(self) -> str:
+        return str(self.root / "gateway.wal")
+
+    def start(self) -> FarmThread:
+        assert self.farm is None
+        self.farm = self._boot(recover=False)
+        return self.farm
+
+    def _boot(self, recover: bool) -> FarmThread:
+        return start_farm_thread(
+            workers=self.workers,
+            cache_dir=self.cache_dir,
+            journal_path=self.journal_path,
+            recover=recover,
+        )
+
+    def shutdown(self) -> None:
+        """Release every stall, clear the process-wide fault hooks and
+        stop the farm — always call from a ``finally``."""
+        self.release_stalls()
+        if self._armed_write is not None or self._armed_conn is not None:
+            self.unfired += 1  # an armed one-shot never got a chance
+        set_write_fault(None)
+        httpio.set_response_fault(None)
+        if self.farm is not None:
+            self._harvest(self.farm)
+            self.farm.stop()
+            self.farm = None
+
+    # -- event application ---------------------------------------------
+    def apply(self, spec: ChaosSpec) -> None:
+        self.applied[spec.kind] = self.applied.get(spec.kind, 0) + 1
+        assert self.farm is not None
+        self.farm.gateway.metrics.counter(
+            f"farm.chaos.{spec.kind}"
+        ).inc()
+        if spec.kind == "worker_kill":
+            self._signal_worker(spec, signal.SIGKILL)
+        elif spec.kind == "worker_stall":
+            self._stall_worker(spec)
+        elif spec.kind in ("cache_torn_write", "cache_bitflip"):
+            self._arm_write_fault(spec.kind)
+        elif spec.kind in ("conn_drop", "conn_truncate"):
+            self._arm_conn_fault(spec.kind)
+        elif spec.kind == "gateway_restart":
+            self.restart()
+        else:  # pragma: no cover - ChaosSpec validates kinds
+            raise ValueError(f"unknown chaos kind {spec.kind!r}")
+
+    def _live_handles(self) -> list[Any]:
+        assert self.farm is not None
+        return [
+            h for h in list(self.farm.gateway._workers.values())
+            if h.alive and h.process.is_alive()
+        ]
+
+    def _signal_worker(self, spec: ChaosSpec, signum: int) -> None:
+        handles = self._live_handles()
+        if not handles:
+            self.skipped[spec.kind] = self.skipped.get(spec.kind, 0) + 1
+            return
+        handle = handles[spec.param % len(handles)]
+        with contextlib.suppress(ProcessLookupError, OSError):
+            os.kill(handle.process.pid, signum)
+        self.fired[spec.kind] = self.fired.get(spec.kind, 0) + 1
+
+    def _stall_worker(self, spec: ChaosSpec) -> None:
+        handles = self._live_handles()
+        if not handles:
+            self.skipped[spec.kind] = self.skipped.get(spec.kind, 0) + 1
+            return
+        pid = handles[spec.param % len(handles)].process.pid
+        try:
+            os.kill(pid, signal.SIGSTOP)
+        except (ProcessLookupError, OSError):
+            self.skipped[spec.kind] = self.skipped.get(spec.kind, 0) + 1
+            return
+        self._stalled.append(pid)
+        self.fired[spec.kind] = self.fired.get(spec.kind, 0) + 1
+        # hung-then-slow: the worker stays frozen for a bounded window
+        delay_s = 0.05 + (spec.param % 400) / 1_000.0
+        timer = threading.Timer(delay_s, self._release_stall, args=(pid,))
+        timer.daemon = True
+        timer.start()
+
+    def _release_stall(self, pid: int) -> None:
+        if pid in self._stalled:
+            self._stalled.remove(pid)
+            with contextlib.suppress(ProcessLookupError, OSError):
+                os.kill(pid, signal.SIGCONT)
+
+    def release_stalls(self) -> None:
+        for pid in list(self._stalled):
+            self._release_stall(pid)
+
+    def _arm_write_fault(self, kind: str) -> None:
+        if self._armed_write is not None:
+            self.unfired += 1  # previous one-shot never saw a write
+        self._armed_write = kind
+
+        def fault(path: str, blob: bytes) -> bytes:
+            set_write_fault(None)
+            self._armed_write = None
+            self.fired[kind] = self.fired.get(kind, 0) + 1
+            if kind == "cache_torn_write":
+                return blob[: max(1, len(blob) // 2)]
+            mutated = bytearray(blob)
+            mutated[-1] ^= 0x01
+            return bytes(mutated)
+
+        set_write_fault(fault)
+
+    def _arm_conn_fault(self, kind: str) -> None:
+        if self._armed_conn is not None:
+            self.unfired += 1
+        self._armed_conn = kind
+
+        def fault(request, response: bytes):
+            httpio.set_response_fault(None)
+            self._armed_conn = None
+            self.fired[kind] = self.fired.get(kind, 0) + 1
+            if kind == "conn_drop":
+                return ("drop", 0)
+            return ("truncate", max(1, len(response) // 2))
+
+        httpio.set_response_fault(fault)
+
+    def restart(self) -> None:
+        """Crash the gateway (no drain, no bookkeeping — the WAL is
+        the only survivor) and boot a recovering replacement on the
+        same journal and cache."""
+        assert self.farm is not None
+        self.release_stalls()  # a SIGSTOPped worker cannot be reaped
+        crashed, self.farm = self.farm, None
+        self._harvest(crashed)
+        crashed.crash()
+        self.farm = self._boot(recover=True)
+        self.restarts += 1
+        self.fired["gateway_restart"] = \
+            self.fired.get("gateway_restart", 0) + 1
+
+    # -- accounting -----------------------------------------------------
+    _HARVEST_KEYS = (
+        "farm.workers.deaths",
+        "farm.wal.records",
+        "farm.chaos.conn_faults",
+        "farm.recovery.requeued",
+        "farm.recovery.replayed_done",
+        "farm.recovery.reexecuted",
+        "farm.recovery.failed",
+        "farm.jobs.completed",
+        "farm.jobs.submitted",
+    )
+
+    def _harvest(self, farm: FarmThread) -> None:
+        """Fold one gateway generation's counters into the campaign
+        totals (each restart starts a fresh MetricsRegistry)."""
+        snapshot = farm.gateway.metrics.snapshot()
+        for key in self._HARVEST_KEYS:
+            value = snapshot.get(key)
+            if isinstance(value, int):
+                self._metric_totals[key] = \
+                    self._metric_totals.get(key, 0) + value
+
+    def metric_totals(self) -> dict[str, int]:
+        totals = dict(self._metric_totals)
+        if self.farm is not None:
+            snapshot = self.farm.gateway.metrics.snapshot()
+            for key in self._HARVEST_KEYS:
+                value = snapshot.get(key)
+                if isinstance(value, int):
+                    totals[key] = totals.get(key, 0) + value
+        return totals
+
+
+# ----------------------------------------------------------------------
+# the campaign driver + invariant checker
+# ----------------------------------------------------------------------
+@dataclass
+class ChaosReport:
+    """What happened, and whether the durability invariant held."""
+
+    seed: int
+    jobs: int
+    workers: int
+    plan: ChaosPlan
+    wall_s: float = 0.0
+    applied: dict[str, int] = field(default_factory=dict)
+    fired: dict[str, int] = field(default_factory=dict)
+    skipped: dict[str, int] = field(default_factory=dict)
+    unfired: int = 0
+    restarts: int = 0
+    resubmissions: int = 0
+    divergent: list[int] = field(default_factory=list)
+    failed: dict[int, str] = field(default_factory=dict)
+    second_divergent: list[int] = field(default_factory=list)
+    second_failed: dict[int, str] = field(default_factory=dict)
+    cache_entries: int = 0
+    cache_quarantined: int = 0
+    cache_intact: int = 0
+    metrics: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def faults_applied(self) -> int:
+        return sum(self.applied.values())
+
+    @property
+    def ok(self) -> bool:
+        """The invariant: every accepted job completed with bytes
+        identical to the fault-free run, in both passes."""
+        return not (self.divergent or self.failed
+                    or self.second_divergent or self.second_failed)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": "mb32-chaos-report",
+            "version": 1,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "workers": self.workers,
+            "wall_s": round(self.wall_s, 3),
+            "ok": self.ok,
+            "faults_applied": self.faults_applied,
+            "applied": dict(sorted(self.applied.items())),
+            "fired": dict(sorted(self.fired.items())),
+            "skipped": dict(sorted(self.skipped.items())),
+            "unfired": self.unfired,
+            "restarts": self.restarts,
+            "resubmissions": self.resubmissions,
+            "divergent": list(self.divergent),
+            "failed": {str(k): v for k, v in self.failed.items()},
+            "second_divergent": list(self.second_divergent),
+            "second_failed": {
+                str(k): v for k, v in self.second_failed.items()
+            },
+            "cache_entries": self.cache_entries,
+            "cache_quarantined": self.cache_quarantined,
+            "cache_intact": self.cache_intact,
+            "metrics": dict(sorted(self.metrics.items())),
+            "plan": self.plan.to_dict(),
+        }
+
+    def table(self) -> str:
+        """The per-kind outcome table (CLI / EXPERIMENTS.md)."""
+        rows = [("fault kind", "planned", "applied", "fired", "skipped")]
+        planned = self.plan.counts()
+        for kind in CHAOS_KINDS:
+            if not (planned.get(kind) or self.applied.get(kind)):
+                continue
+            rows.append((
+                kind,
+                str(planned.get(kind, 0)),
+                str(self.applied.get(kind, 0)),
+                str(self.fired.get(kind, 0)),
+                str(self.skipped.get(kind, 0)),
+            ))
+        widths = [
+            max(len(row[col]) for row in rows) for col in range(5)
+        ]
+        lines = []
+        for i, row in enumerate(rows):
+            lines.append("  ".join(
+                cell.ljust(widths[col]) for col, cell in enumerate(row)
+            ).rstrip())
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+
+def _call(
+    get_farm: Callable[[], FarmThread | None],
+    fn: Callable[[FarmClient], Any],
+    *,
+    deadline_s: float = 120.0,
+) -> Any:
+    """Run ``fn`` against the *current* farm, retrying across dropped
+    connections and gateway restarts (the port changes, so the farm
+    handle is re-resolved on every attempt)."""
+    deadline = time.monotonic() + deadline_s
+    last: Exception | None = None
+    while time.monotonic() < deadline:
+        farm = get_farm()
+        if farm is None:
+            time.sleep(0.05)
+            continue
+        try:
+            with FarmClient(
+                farm.host, farm.port,
+                retries=2, backoff_s=0.02, deadline_s=5.0,
+            ) as client:
+                return fn(client)
+        except FarmUnavailable as exc:
+            last = exc
+            time.sleep(0.05)
+    raise RuntimeError(
+        f"farm stayed unreachable for {deadline_s:.0f}s"
+    ) from last
+
+
+def _submit_all(
+    get_farm: Callable[[], FarmThread | None],
+    workload: list[tuple[str, dict[str, Any]]],
+    *,
+    on_index: Callable[[int], None] | None = None,
+) -> dict[int, str]:
+    ids: dict[int, str] = {}
+    for index, (kind, payload) in enumerate(workload):
+        if on_index is not None:
+            on_index(index)
+        doc = _call(
+            get_farm,
+            lambda c, k=kind, p=payload: c.submit(k, p),
+        )
+        ids[index] = doc["id"]
+    return ids
+
+
+def _collect_all(
+    get_farm: Callable[[], FarmThread | None],
+    workload: list[tuple[str, dict[str, Any]]],
+    ids: dict[int, str],
+    *,
+    deadline_s: float = 600.0,
+) -> tuple[dict[int, bytes], dict[int, str], int]:
+    """Wait every job to a terminal state; returns
+    ``(bytes_by_index, failures_by_index, resubmissions)``.  A job id
+    lost to a restart race is re-submitted — idempotent, because the
+    farm coalesces on the content fingerprint."""
+    out: dict[int, bytes] = {}
+    failures: dict[int, str] = {}
+    resubmissions = 0
+    deadline = time.monotonic() + deadline_s
+    for index, (kind, payload) in enumerate(workload):
+        job_id = ids[index]
+        while True:
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"chaos collect timed out at job {index} "
+                    f"({kind}, id {job_id})"
+                )
+            try:
+                doc = _call(
+                    get_farm,
+                    lambda c, j=job_id: c.status(
+                        j, wait=True, timeout_s=5.0
+                    ),
+                )
+            except FarmError as exc:
+                if exc.status == 404:
+                    doc = _call(
+                        get_farm,
+                        lambda c, k=kind, p=payload: c.submit(k, p),
+                    )
+                    job_id = doc["id"]
+                    resubmissions += 1
+                    continue
+                raise
+            state = doc.get("state")
+            if state == "done":
+                try:
+                    out[index] = _call(
+                        get_farm,
+                        lambda c, j=job_id: c.result_bytes(j),
+                    )
+                except FarmError as exc:
+                    if exc.status == 404:
+                        continue  # raced a restart; poll again
+                    raise
+                break
+            if state == "failed":
+                failures[index] = str(doc.get("error"))
+                break
+            # queued/running: keep waiting
+    return out, failures, resubmissions
+
+
+def run_chaos_campaign(
+    root: str | os.PathLike,
+    *,
+    seed: int = 0,
+    jobs: int = 200,
+    faults: int = 30,
+    workers: int = 3,
+    kinds: tuple[str, ...] = CHAOS_KINDS,
+    gateway_restarts: int = 1,
+    plan: ChaosPlan | None = None,
+    progress: Callable[[str], None] | None = None,
+    collect_timeout_s: float = 600.0,
+) -> ChaosReport:
+    """Run the full campaign under ``root`` (scratch directory).
+
+    Phase 1 runs the deterministic workload through a fault-free farm
+    and records every result's bytes.  Phase 2 replays the same
+    workload through a journaled farm while injecting the plan's
+    faults at their pinned submission indices.  Phase 3 (epilogue)
+    re-verifies the cache in place and replays the workload once more
+    against the surviving farm — quarantined entries must re-execute
+    to identical bytes, intact entries must hit.  The report's ``ok``
+    is the durability invariant.
+    """
+    root = pathlib.Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    say = progress or (lambda _msg: None)
+    workload = build_workload(seed, jobs)
+    if plan is None:
+        plan = generate_chaos_plan(
+            seed, jobs, faults=faults, kinds=kinds,
+            gateway_restarts=gateway_restarts,
+        )
+    report = ChaosReport(
+        seed=seed, jobs=jobs, workers=workers, plan=plan
+    )
+    started = time.perf_counter()
+
+    # -- phase 1: fault-free baseline ----------------------------------
+    say(f"baseline: {jobs} jobs on {workers} workers")
+    baseline_farm = start_farm_thread(
+        workers=workers, cache_dir=str(root / "baseline-cache")
+    )
+    try:
+        ids = _submit_all(lambda: baseline_farm, workload)
+        baseline, base_failures, _ = _collect_all(
+            lambda: baseline_farm, workload, ids,
+            deadline_s=collect_timeout_s,
+        )
+    finally:
+        baseline_farm.stop()
+    if base_failures:
+        raise RuntimeError(
+            f"fault-free baseline failed jobs {sorted(base_failures)}: "
+            f"{base_failures}"
+        )
+
+    # -- phase 2: the chaos run ----------------------------------------
+    say(f"chaos: {len(plan.events)} faults over {jobs} submissions")
+    controller = ChaosController(root, workers=workers, seed=seed)
+    controller.start()
+    events_at = plan.by_index()
+    try:
+        def fire(index: int) -> None:
+            for event in events_at.get(index, []):
+                say(f"  @job {index}: {event.kind}")
+                controller.apply(event)
+
+        ids = _submit_all(
+            lambda: controller.farm, workload, on_index=fire
+        )
+        # events pinned past the last submission fire before collect
+        for index in sorted(k for k in events_at if k >= len(workload)):
+            fire(index)
+        results, failures, resubmissions = _collect_all(
+            lambda: controller.farm, workload, ids,
+            deadline_s=collect_timeout_s,
+        )
+        report.failed = failures
+        report.resubmissions = resubmissions
+        report.divergent = [
+            index for index, blob in sorted(results.items())
+            if blob != baseline.get(index)
+        ]
+
+        # -- phase 3: epilogue — verify the cache, replay everything --
+        say("epilogue: verify cache + second pass")
+        assert controller.farm is not None
+        cache = controller.farm.gateway.cache
+        assert cache is not None
+        report.cache_intact = cache.verify_all()
+        ids2 = _submit_all(lambda: controller.farm, workload)
+        second, second_failures, _ = _collect_all(
+            lambda: controller.farm, workload, ids2,
+            deadline_s=collect_timeout_s,
+        )
+        report.second_failed = second_failures
+        report.second_divergent = [
+            index for index, blob in sorted(second.items())
+            if blob != baseline.get(index)
+        ]
+        report.cache_entries = len(cache)
+        report.cache_quarantined = cache.quarantined()
+    finally:
+        controller.shutdown()
+
+    report.applied = dict(controller.applied)
+    report.fired = dict(controller.fired)
+    report.skipped = dict(controller.skipped)
+    report.unfired = controller.unfired
+    report.restarts = controller.restarts
+    report.metrics = controller.metric_totals()
+    report.wall_s = time.perf_counter() - started
+    return report

@@ -10,9 +10,11 @@ from __future__ import annotations
 
 import http.client
 import json
+import time
 from typing import Any
 
 from repro.farm.protocol import JobSpec
+from repro.runapi.backoff import retry_backoff_delay
 
 
 class FarmError(RuntimeError):
@@ -26,8 +28,28 @@ class FarmError(RuntimeError):
         super().__init__(f"farm returned {status}: {detail}")
 
 
+class FarmUnavailable(FarmError):
+    """The gateway could not be reached (connection refused/reset,
+    mid-response disconnect) or kept shedding load (503) until the
+    retry budget ran out.  ``status`` is 503 for shedding and 0 for
+    transport failures; the last low-level exception is chained as
+    ``__cause__`` — callers get one clean typed error, never a raw
+    socket traceback."""
+
+
 class FarmClient:
-    """One keep-alive connection to a gateway."""
+    """One keep-alive connection to a gateway.
+
+    ``retries``/``backoff_s``/``deadline_s`` make the client resilient
+    to a flapping gateway: transport errors (connection refused/reset,
+    truncated responses) and 503 load-shed responses are retried on
+    the shared seeded :func:`repro.runapi.backoff.retry_backoff_delay`
+    schedule until the retry budget *and* the total wall-clock
+    deadline are exhausted, then surface as one typed
+    :class:`FarmUnavailable`.  Retrying a submission is idempotent for
+    cacheable jobs — the farm's content-addressed dedup coalesces a
+    re-sent duplicate onto the original execution.
+    """
 
     def __init__(
         self,
@@ -36,25 +58,26 @@ class FarmClient:
         *,
         tenant: str = "default",
         timeout: float = 600.0,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+        deadline_s: float | None = None,
+        backoff_seed: int = 0,
     ):
         self.host = host
         self.port = port
         self.tenant = tenant
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.deadline_s = deadline_s
+        self.backoff_seed = backoff_seed
         self._conn: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------------
-    def _request(
-        self, method: str, path: str, payload: Any = None
+    def _request_once(
+        self, method: str, path: str, body: bytes | None,
+        headers: dict[str, str],
     ) -> tuple[int, bytes]:
-        body = (
-            json.dumps(payload, sort_keys=True).encode()
-            if payload is not None else None
-        )
-        headers = {
-            "Content-Type": "application/json",
-            "X-MB32-Tenant": self.tenant,
-        }
         for attempt in (1, 2):  # one transparent reconnect
             if self._conn is None:
                 self._conn = http.client.HTTPConnection(
@@ -73,6 +96,61 @@ class FarmClient:
                 if attempt == 2:
                     raise
         raise AssertionError("unreachable")
+
+    def _request(
+        self, method: str, path: str, payload: Any = None
+    ) -> tuple[int, bytes]:
+        body = (
+            json.dumps(payload, sort_keys=True).encode()
+            if payload is not None else None
+        )
+        headers = {
+            "Content-Type": "application/json",
+            "X-MB32-Tenant": self.tenant,
+        }
+        deadline = (
+            time.monotonic() + self.deadline_s
+            if self.deadline_s is not None else None
+        )
+        attempt = 0
+        last_exc: Exception | None = None
+        last_shed: tuple[int, bytes] | None = None
+        while True:
+            attempt += 1
+            try:
+                status, data = self._request_once(
+                    method, path, body, headers
+                )
+                if status != 503:
+                    return status, data
+                last_shed, last_exc = (status, data), None
+            except (ConnectionError, http.client.HTTPException,
+                    OSError) as exc:
+                last_exc, last_shed = exc, None
+            if attempt > self.retries:
+                break
+            delay = retry_backoff_delay(
+                self.backoff_s, f"{method} {path}", attempt,
+                self.backoff_seed,
+            )
+            if deadline is not None and \
+                    time.monotonic() + delay >= deadline:
+                break
+            if delay > 0:
+                time.sleep(delay)
+        if last_shed is not None:
+            if self.retries == 0:
+                return last_shed  # pre-retry behavior: raw 503 upward
+            try:
+                doc = json.loads(last_shed[1])
+            except ValueError:
+                doc = {"error": "overloaded"}
+            raise FarmUnavailable(503, doc)
+        raise FarmUnavailable(
+            0,
+            {"error": f"gateway {self.host}:{self.port} unreachable "
+                      f"after {attempt} attempt(s): {last_exc}"},
+        ) from last_exc
 
     def _json(self, method: str, path: str, payload: Any = None) -> Any:
         status, data = self._request(method, path, payload)

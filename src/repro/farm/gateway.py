@@ -53,6 +53,14 @@ from typing import Any
 from repro.farm import httpio
 from repro.farm.cache import FarmCache
 from repro.farm.jobs import PREEMPT_SLICE, _spec_from_payload
+from repro.farm.wal import (
+    EV_DONE,
+    EV_FAILED,
+    EV_PROGRESS,
+    EV_SUBMIT,
+    EV_UNITS,
+    GatewayJournal,
+)
 from repro.farm.protocol import (
     STATE_DONE,
     STATE_FAILED,
@@ -194,15 +202,25 @@ class FarmGateway:
         cache_dir: str | None = None,
         max_queue: int = 10_000,
         preempt_slice: int = PREEMPT_SLICE,
+        journal_path: str | None = None,
+        recover: bool = False,
+        wal_fsync: bool = False,
     ):
         if workers < 1:
             raise ValueError("a farm needs at least one worker")
+        if recover and journal_path is None:
+            raise ValueError("recover=True needs a journal_path")
         self.requested_workers = workers
         self.host = host
         self.port = port
         self.cache = FarmCache(cache_dir) if cache_dir else None
         self.max_queue = max_queue
         self.preempt_slice = preempt_slice
+        self.journal = (
+            GatewayJournal(journal_path, fsync=wal_fsync)
+            if journal_path else None
+        )
+        self.recover = recover
 
         self.metrics = MetricsRegistry()
         self.tenants: dict[str, dict[str, int]] = {}
@@ -231,11 +249,19 @@ class FarmGateway:
         return self._address
 
     async def start(self) -> None:
-        """Spawn the worker pool and start accepting connections."""
+        """Spawn the worker pool, replay the write-ahead journal when
+        recovering, and start accepting connections."""
         self._loop = asyncio.get_running_loop()
         self._drained = asyncio.Event()
+        recovered_events = None
+        if self.journal is not None and self.recover:
+            recovered_events = self.journal.replay()
         for _ in range(self.requested_workers):
             self._spawn_worker()
+        if self.journal is not None:
+            self.journal.open()
+        if recovered_events is not None:
+            self._recover(recovered_events)
         self._server = await asyncio.start_server(
             self._serve_connection, self.host, self.port
         )
@@ -255,6 +281,28 @@ class FarmGateway:
             if not job.done.is_set():
                 self._fail_job(job, "gateway closed")
         for handle in list(self._workers.values()):
+            handle.kill()
+        self._workers.clear()
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+        self._cancel_connections()
+        if self.journal is not None:
+            self.journal.close()
+        if self._drained is not None:
+            self._drained.set()
+
+    async def crash(self) -> None:
+        """Abrupt stop simulating a gateway crash: kill the workers
+        and the listener *without* recording any job outcome — the
+        write-ahead journal (flushed on every append) is the only
+        survivor, exactly as after a real ``SIGKILL``.  Chaos/test
+        infrastructure only."""
+        self._draining = True
+        self._queue.clear()
+        for handle in list(self._workers.values()):
+            handle.alive = False  # suppress the death-handler respawn
             handle.kill()
         self._workers.clear()
         if self._server is not None:
@@ -290,6 +338,8 @@ class FarmGateway:
             1 for j in self.jobs.values() if j.state == STATE_DONE
         )
         self._cancel_connections()
+        if self.journal is not None:
+            self.journal.close()
         if self._drained is not None:
             self._drained.set()
         return {"drained": True, "jobs_completed": completed}
@@ -365,28 +415,44 @@ class FarmGateway:
                 exclude_worker=handle.id,
             )
             if task.units is not None:  # shard: journal migration
-                for rec in msg.get("records", []):
-                    job.records[rec["index"]] = rec
-                if job.baseline_cycles is None:
-                    job.baseline_cycles = msg.get("baseline_cycles")
+                self._absorb_shard_records(job, msg)
                 follow.units = list(msg.get("remaining", []))
             else:  # checkpoint migration
                 follow.resume_state = msg.get("state")
+                self._journal({
+                    "ev": EV_PROGRESS,
+                    "id": job.id,
+                    "state": follow.resume_state,
+                })
             job.tasks_inflight -= 1
             self._enqueue_task(follow, front=True)
         else:
             job.tasks_inflight -= 1
             if task.units is not None:
-                for rec in msg.get("records", []):
-                    job.records[rec["index"]] = rec
-                if job.baseline_cycles is None:
-                    job.baseline_cycles = msg.get("baseline_cycles")
+                self._absorb_shard_records(job, msg)
                 if len(job.records) >= job.n_units and \
                         job.tasks_inflight <= 0:
                     self._finish_sharded_job(job)
             else:
                 self._finish_job(job, msg.get("result") or {})
         self._pump()
+
+    def _absorb_shard_records(self, job: Job, msg: dict) -> None:
+        """Fold a shard reply's completed-unit records into the job
+        (journaling them, so recovery re-runs only the missing
+        units)."""
+        records = msg.get("records", [])
+        for rec in records:
+            job.records[rec["index"]] = rec
+        if job.baseline_cycles is None:
+            job.baseline_cycles = msg.get("baseline_cycles")
+        if records:
+            self._journal({
+                "ev": EV_UNITS,
+                "id": job.id,
+                "records": records,
+                "baseline_cycles": job.baseline_cycles,
+            })
 
     # ------------------------------------------------------------------
     # dispatch
@@ -517,6 +583,11 @@ class FarmGateway:
         self._enqueue_job(job)
         return job, False, False
 
+    def _journal(self, event: dict[str, Any]) -> None:
+        if self.journal is not None:
+            self.journal.record(event)
+            self.metrics.counter("farm.wal.records").inc()
+
     def _new_job(self, spec: JobSpec, fingerprint: str) -> Job:
         self._next_job += 1
         job = Job(
@@ -527,6 +598,14 @@ class FarmGateway:
         )
         job.tenants[spec.tenant] = 1
         self.jobs[job.id] = job
+        # write-ahead: the submission is on disk before any state
+        # transition, so a crash cannot silently drop an accepted job
+        self._journal({
+            "ev": EV_SUBMIT,
+            "id": job.id,
+            "fingerprint": fingerprint,
+            "spec": spec.to_dict(),
+        })
         return job
 
     def _shed_job(self, spec: JobSpec) -> Job:
@@ -559,22 +638,148 @@ class FarmGateway:
                     )
                     return
                 job.n_units = int(config["trials"])
-            shards = max(1, min(len(self._workers), job.n_units))
-            bounds = [
-                (job.n_units * s // shards, job.n_units * (s + 1) // shards)
-                for s in range(shards)
-            ]
-            for lo, hi in bounds:
-                if lo < hi:
-                    self._enqueue_task(
-                        Task(
-                            id=self._new_task_id(),
-                            job=job,
-                            units=list(range(lo, hi)),
-                        )
-                    )
+            self._enqueue_units(job, list(range(job.n_units)))
         else:
             self._enqueue_task(Task(id=self._new_task_id(), job=job))
+
+    def _enqueue_units(self, job: Job, units: list[int]) -> None:
+        """Shard ``units`` across the worker pool as dispatch tasks."""
+        shards = max(1, min(len(self._workers), len(units)))
+        bounds = [
+            (len(units) * s // shards, len(units) * (s + 1) // shards)
+            for s in range(shards)
+        ]
+        for lo, hi in bounds:
+            if lo < hi:
+                self._enqueue_task(
+                    Task(
+                        id=self._new_task_id(),
+                        job=job,
+                        units=units[lo:hi],
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    def _recover(self, events: list[dict[str, Any]]) -> None:
+        """Rebuild the job table from the write-ahead journal.
+
+        Completed jobs serve from the content-addressed cache (or
+        their inlined bytes); jobs whose cached result was quarantined
+        as damaged re-queue and re-execute; queued jobs re-queue;
+        running cycle-granular jobs resume from their last journaled
+        checkpoint and sharded jobs re-run only their missing units —
+        all through the same dispatch paths a live job uses.
+        """
+        folded: dict[str, dict[str, Any]] = {}
+        order: list[str] = []
+        for ev in events:
+            kind, jid = ev.get("ev"), ev.get("id")
+            if kind == EV_SUBMIT and isinstance(jid, str):
+                if jid not in folded:
+                    order.append(jid)
+                folded[jid] = {"submit": ev, "records": {},
+                               "baseline": None, "state": None,
+                               "terminal": None}
+            elif jid in folded:
+                entry = folded[jid]
+                if kind == EV_PROGRESS:
+                    entry["state"] = ev.get("state")
+                elif kind == EV_UNITS:
+                    for rec in ev.get("records", []):
+                        entry["records"][int(rec["index"])] = rec
+                    if entry["baseline"] is None:
+                        entry["baseline"] = ev.get("baseline_cycles")
+                elif kind in (EV_DONE, EV_FAILED):
+                    entry["terminal"] = ev
+
+        for jid in order:
+            entry = folded[jid]
+            try:
+                spec = JobSpec.from_dict(entry["submit"]["spec"])
+            except ProtocolError:
+                continue  # journaled by a future/foreign version
+            job = Job(
+                id=jid,
+                spec=spec,
+                fingerprint=str(entry["submit"]["fingerprint"]),
+                submitted=time.perf_counter(),
+            )
+            job.tenants[spec.tenant] = 1
+            self.jobs[jid] = job
+            with contextlib.suppress(ValueError):
+                self._next_job = max(self._next_job, int(jid.lstrip("j")))
+            terminal = entry["terminal"]
+            if terminal is not None and terminal["ev"] == EV_FAILED:
+                job.state = STATE_FAILED
+                job.error = terminal.get("error")
+                job.finished = job.submitted
+                job.done.set()
+                self.metrics.counter("farm.recovery.failed").inc()
+                continue
+            body: bytes | None = None
+            if terminal is not None:  # EV_DONE
+                if terminal.get("cached"):
+                    if self.cache is not None:
+                        body = self.cache.get(job.fingerprint)
+                elif isinstance(terminal.get("body"), str):
+                    body = terminal["body"].encode("ascii")
+            elif spec.cacheable and self.cache is not None:
+                # completed-but-unjournaled (crash between cache.put
+                # and the WAL append) or a twin's bytes: serve them
+                body = self.cache.get(job.fingerprint)
+            if body is not None:
+                job.result_bytes = body
+                job.state = STATE_DONE
+                job.cache_hit = terminal is None or \
+                    bool(terminal.get("cached"))
+                job.finished = job.submitted
+                job.done.set()
+                self.metrics.counter("farm.recovery.replayed_done").inc()
+                continue
+            # pending (or done-but-quarantined): re-queue and run again
+            if terminal is not None:
+                self.metrics.counter("farm.recovery.reexecuted").inc()
+            if spec.cacheable:
+                self._inflight[job.fingerprint] = job
+            self.metrics.counter("farm.recovery.requeued").inc()
+            if spec.kind in SHARDED_KINDS:
+                self._requeue_sharded(job, entry)
+            else:
+                task = Task(
+                    id=self._new_task_id(),
+                    job=job,
+                    resume_state=entry["state"],
+                )
+                self._enqueue_task(task)
+
+    def _requeue_sharded(
+        self, job: Job, entry: dict[str, Any]
+    ) -> None:
+        """Re-queue a sharded job minus its journaled completed
+        units (falling back to full validation/sharding in
+        ``_enqueue_job`` when nothing completed yet)."""
+        job.records = dict(entry["records"])
+        if entry["baseline"] is not None:
+            job.baseline_cycles = int(entry["baseline"])
+        if not job.records:
+            self._enqueue_job(job)
+            return
+        spec = job.spec
+        if spec.kind == "sweep":
+            job.n_units = len(spec.payload.get("points") or [])
+        else:
+            job.n_units = int(
+                (spec.payload.get("config") or {}).get("trials", 0)
+            )
+        missing = [
+            i for i in range(job.n_units) if i not in job.records
+        ]
+        if not missing:
+            self._finish_sharded_job(job)
+        else:
+            self._enqueue_units(job, missing)
 
     def _fail_job(self, job: Job, error: str) -> None:
         job.state = STATE_FAILED
@@ -584,6 +789,7 @@ class FarmGateway:
         self.metrics.counter("farm.jobs.failed").inc()
         for tenant_name in job.tenants:
             self._tenant(tenant_name)["failed"] += 1
+        self._journal({"ev": EV_FAILED, "id": job.id, "error": error})
         job.done.set()
 
     def _finish_job(self, job: Job, result_doc: dict[str, Any]) -> None:
@@ -661,8 +867,20 @@ class FarmGateway:
         job.state = STATE_DONE
         job.finished = time.perf_counter()
         self._inflight.pop(job.fingerprint, None)
-        if job.spec.cacheable and self.cache is not None:
+        cached = job.spec.cacheable and self.cache is not None
+        if cached:
+            # cache first, then journal: a crash between the two
+            # re-queues the job on recovery (cache miss -> re-execute)
+            # rather than pointing at bytes that never landed
             self.cache.put(job.fingerprint, body)
+        done_event: dict[str, Any] = {
+            "ev": EV_DONE, "id": job.id, "cached": cached,
+        }
+        if not cached:
+            # json_body output is ASCII; inline it so even uncached
+            # results survive a restart byte-identically
+            done_event["body"] = body.decode("ascii")
+        self._journal(done_event)
         self._observe_latency(job)
         self.metrics.counter("farm.jobs.completed").inc()
         for tenant_name, n in job.tenants.items():
@@ -731,6 +949,13 @@ class FarmGateway:
             "draining": self._draining,
             "jobs": states,
             "cache_entries": len(self.cache) if self.cache else 0,
+            "cache_quarantined": (
+                self.cache.quarantined() if self.cache else 0
+            ),
+            "cache_stats": dict(self.cache.stats) if self.cache else {},
+            "wal_records": (
+                self.journal.records_written if self.journal else 0
+            ),
             "metrics": self.metrics.snapshot(),
             "tenants": {k: dict(v) for k, v in sorted(self.tenants.items())},
         }
@@ -760,6 +985,17 @@ class FarmGateway:
                 if request is None:
                     return
                 response = await self._route(request)
+                fault = httpio.response_fault
+                if fault is not None:
+                    action = fault(request, response)
+                    if action is not None:
+                        verb, n = action
+                        self.metrics.counter("farm.chaos.conn_faults").inc()
+                        if verb == "truncate" and n > 0:
+                            writer.write(response[:n])
+                            with contextlib.suppress(Exception):
+                                await writer.drain()
+                        return  # drop the connection mid-exchange
                 writer.write(response)
                 await writer.drain()
                 if request.headers.get("connection", "").lower() == "close":
@@ -934,6 +1170,19 @@ class FarmThread:
         if self._thread.is_alive():
             future = asyncio.run_coroutine_threadsafe(
                 self.gateway.close(), self.loop
+            )
+            with contextlib.suppress(Exception):
+                future.result(timeout=timeout)
+        self._thread.join(timeout=timeout)
+
+    def crash(self, timeout: float = 30.0) -> None:
+        """Kill the gateway as a crash would: no drain, no job-state
+        bookkeeping, only the write-ahead journal survives.  Pair with
+        ``start_farm_thread(..., recover=True)`` on the same journal
+        and cache to exercise the recovery path."""
+        if self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.gateway.crash(), self.loop
             )
             with contextlib.suppress(Exception):
                 future.result(timeout=timeout)

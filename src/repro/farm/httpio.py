@@ -38,6 +38,25 @@ class HTTPProtocolError(Exception):
     """Malformed inbound request — the connection is dropped."""
 
 
+# ----------------------------------------------------------------------
+# chaos hook: connection drops / response truncation
+# ----------------------------------------------------------------------
+#: when set (by :mod:`repro.farm.chaos`), the gateway consults this
+#: with ``(request, response_bytes)`` before writing each response.
+#: Return ``None`` for normal delivery, ``("drop", 0)`` to close the
+#: connection without answering, or ``("truncate", n)`` to send only
+#: the first ``n`` bytes and close — the wire-level failure modes a
+#: resilient client must survive.
+response_fault = None
+
+
+def set_response_fault(fault) -> None:
+    """Install (or clear, with ``None``) the process-wide response
+    fault hook.  Test/chaos infrastructure only."""
+    global response_fault
+    response_fault = fault
+
+
 @dataclass
 class Request:
     """One parsed request."""

@@ -1,0 +1,132 @@
+"""The gateway's write-ahead journal: crash-safe job state.
+
+PR 9's gateway kept its job table in memory only — a gateway crash
+silently dropped every queued *and* running job.  This module is the
+durability layer behind ``mb32-farm serve --recover``: an append-only
+JSON-lines log of job submissions and state transitions, written
+*before* the corresponding in-memory transition takes effect, so a
+crashed gateway can be restarted and replay itself back to a
+consistent table:
+
+* ``submit``  — the job id, full :class:`~repro.farm.protocol.JobSpec`
+  and fingerprint of every admitted job,
+* ``progress`` — the latest checkpoint document of a preempted
+  cycle-granular job (``scenario`` / ``multi_scenario``), so recovery
+  resumes from the last checkpoint instead of cycle 0,
+* ``units`` — completed shard records of a sharded job (``sweep`` /
+  ``campaign``), so recovery only re-runs the missing units,
+* ``done`` / ``failed`` — terminal transitions; a completed cacheable
+  job's bytes live in the content-addressed
+  :class:`~repro.farm.cache.FarmCache` (the WAL stores only the
+  pointer), while non-cacheable results are inlined so they survive
+  too.
+
+Every line is sealed with a per-record digest
+(:func:`repro.runapi.durable.seal_record`); replay stops at the first
+truncated or damaged line — the standard WAL-tail rule — so a crash
+mid-append costs at most the final record, never a corrupted table.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import pathlib
+from typing import Any
+
+from repro.runapi.durable import record_intact, seal_record
+
+WAL_FORMAT = "mb32-farm-wal"
+WAL_VERSION = 1
+
+#: journal event verbs
+EV_SUBMIT = "submit"
+EV_PROGRESS = "progress"
+EV_UNITS = "units"
+EV_DONE = "done"
+EV_FAILED = "failed"
+
+
+class GatewayJournal:
+    """Append-only, sealed, replayable journal of gateway events."""
+
+    def __init__(self, path: str | os.PathLike, *, fsync: bool = False):
+        self.path = pathlib.Path(path)
+        self.fsync = fsync
+        self._fh: Any = None
+        self.records_written = 0
+
+    def open(self) -> None:
+        """Open for appending, writing the header on a fresh file."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._fh = open(self.path, "a", encoding="utf-8")
+        if fresh:
+            self.record({"ev": "header", "format": WAL_FORMAT,
+                         "version": WAL_VERSION})
+
+    def record(self, event: dict[str, Any]) -> None:
+        """Seal and append one event, flushed to the OS immediately
+        (``fsync=True`` additionally syncs to stable storage — power
+        -loss durability at a per-event fsync cost)."""
+        if self._fh is None:
+            return
+        # canonicalize through a JSON round-trip so the seal digest is
+        # computed on exactly what replay will parse (tuples -> lists)
+        event = json.loads(json.dumps(event, default=repr))
+        self._fh.write(json.dumps(seal_record(event)) + "\n")
+        self._fh.flush()
+        if self.fsync:
+            with contextlib.suppress(OSError, ValueError):
+                os.fsync(self._fh.fileno())
+        self.records_written += 1
+
+    def replay(self) -> list[dict[str, Any]]:
+        """Parse the intact prefix of an existing journal.
+
+        Returns the event records in append order (header excluded);
+        replay stops at the first truncated or damaged line.  A
+        missing file replays as empty; a file that is not a farm WAL
+        raises ``ValueError`` (refusing to "recover" from garbage).
+        """
+        if not self.path.exists():
+            return []
+        events: list[dict[str, Any]] = []
+        header_seen = False
+        with open(self.path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    break  # torn tail from a crash mid-append
+                if not record_intact(rec):
+                    break  # damaged line: replay the intact prefix
+                if not header_seen:
+                    header_seen = True
+                    if (not isinstance(rec, dict)
+                            or rec.get("format") != WAL_FORMAT
+                            or rec.get("version") != WAL_VERSION):
+                        raise ValueError(
+                            f"{self.path} is not an mb32-farm "
+                            f"write-ahead journal"
+                        )
+                    continue
+                events.append(rec)
+        return events
+
+    def sync(self) -> None:
+        """Force everything appended so far to stable storage."""
+        if self._fh is not None:
+            self._fh.flush()
+            with contextlib.suppress(OSError, ValueError):
+                os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self.sync()
+            self._fh.close()
+            self._fh = None

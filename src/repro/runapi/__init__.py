@@ -26,6 +26,16 @@ engine; this package is the one surface that ties them together:
 """
 
 from repro.runapi.backoff import retry_backoff_delay
+from repro.runapi.durable import (
+    DurableError,
+    decode_envelope,
+    durable_write,
+    encode_envelope,
+    read_verified,
+    record_intact,
+    scavenge_tmp,
+    seal_record,
+)
 from repro.runapi.deprecation import (
     deprecated_once,
     reset_deprecation_registry,
@@ -48,8 +58,16 @@ from repro.runapi.policy import RunPolicy
 
 __all__ = [
     "ENGINES",
+    "DurableError",
     "EngineError",
     "FINGERPRINT_VERSION",
+    "decode_envelope",
+    "durable_write",
+    "encode_envelope",
+    "read_verified",
+    "record_intact",
+    "scavenge_tmp",
+    "seal_record",
     "OUTCOME_CORE_KEYS",
     "RunOutcome",
     "RunPolicy",

@@ -1,0 +1,160 @@
+"""The deterministic chaos harness, from plan algebra to the full
+acceptance campaign.
+
+Tier-1 runs the plan/workload determinism tests and a small live smoke
+campaign; the full acceptance campaign (200+ jobs, 30+ faults, a
+gateway crash + ``--recover`` mid-load) is marked ``chaos`` and runs
+in CI's chaos-smoke job:
+
+    PYTHONPATH=src python -m pytest tests/test_chaos.py -m chaos
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.farm.chaos import (
+    CHAOS_KINDS,
+    ChaosPlan,
+    ChaosSpec,
+    build_workload,
+    generate_chaos_plan,
+    run_chaos_campaign,
+)
+
+
+class TestPlan:
+    def test_same_seed_same_plan(self):
+        a = generate_chaos_plan(7, 100, faults=20)
+        b = generate_chaos_plan(7, 100, faults=20)
+        assert a.to_dict() == b.to_dict()
+
+    def test_different_seed_different_plan(self):
+        a = generate_chaos_plan(7, 100, faults=20)
+        b = generate_chaos_plan(8, 100, faults=20)
+        assert a.to_dict() != b.to_dict()
+
+    def test_round_trip(self):
+        plan = generate_chaos_plan(3, 50, faults=12)
+        assert ChaosPlan.from_dict(plan.to_dict()).to_dict() == \
+            plan.to_dict()
+
+    def test_fault_budget_and_restart_placement(self):
+        plan = generate_chaos_plan(1, 200, faults=30, gateway_restarts=1)
+        assert len(plan.events) == 30
+        restarts = [e for e in plan.events if e.kind == "gateway_restart"]
+        assert len(restarts) == 1
+        assert 0 < restarts[0].at < 200  # mid-load, never at the edges
+        assert all(0 < e.at < 200 for e in plan.events)
+
+    def test_kind_filter(self):
+        plan = generate_chaos_plan(
+            1, 50, faults=10,
+            kinds=("worker_kill", "conn_drop"), gateway_restarts=1,
+        )
+        assert {e.kind for e in plan.events} <= {"worker_kill", "conn_drop"}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos kind"):
+            generate_chaos_plan(1, 50, kinds=("meteor_strike",))
+        with pytest.raises(ValueError, match="unknown chaos kind"):
+            ChaosSpec(kind="meteor_strike", at=1)
+
+    def test_events_sorted_by_index(self):
+        plan = generate_chaos_plan(2, 120, faults=25)
+        assert [e.at for e in plan.events] == \
+            sorted(e.at for e in plan.events)
+
+
+class TestWorkload:
+    def test_deterministic(self):
+        assert build_workload(5, 80) == build_workload(5, 80)
+
+    def test_covers_all_three_kinds(self):
+        kinds = {kind for kind, _ in build_workload(0, 200)}
+        assert kinds == {"simulate", "sweep", "campaign"}
+
+    def test_payloads_are_json_clean(self):
+        for _kind, payload in build_workload(1, 60):
+            assert json.loads(json.dumps(payload)) == payload
+
+
+class TestSmokeCampaign:
+    """A small always-on campaign: every fault kind once, invariant
+    checked byte for byte (the full-size version is ``-m chaos``)."""
+
+    def test_small_campaign_invariant_holds(self, tmp_path):
+        report = run_chaos_campaign(
+            tmp_path,
+            seed=5,
+            jobs=24,
+            faults=8,
+            workers=2,
+            collect_timeout_s=300,
+        )
+        assert report.ok, {
+            "divergent": report.divergent,
+            "failed": report.failed,
+            "second_divergent": report.second_divergent,
+            "second_failed": report.second_failed,
+        }
+        assert report.faults_applied == 8
+        assert report.restarts == 1
+        # every fault counted on the gateway metrics registry
+        doc = report.to_dict()
+        assert doc["ok"] and doc["format"] == "mb32-chaos-report"
+        assert report.table().startswith("fault kind")
+
+    def test_cli_chaos_smoke(self, tmp_path, capsys):
+        from repro.cli import farm_main
+
+        code = farm_main([
+            "chaos", "--seed", "2", "--jobs", "14", "--faults", "4",
+            "--workers", "2", "--root", str(tmp_path),
+            "--report", str(tmp_path / "report.json"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "invariant held" in out
+        report = json.loads((tmp_path / "report.json").read_text())
+        assert report["ok"] is True
+        assert report["jobs"] == 14
+
+
+@pytest.mark.chaos
+class TestAcceptanceCampaign:
+    """The ISSUE's acceptance bar: 200+ jobs over simulate/sweep/
+    campaign, 30+ infrastructure faults including a gateway kill and
+    ``--recover``, every job byte-identical to the fault-free run."""
+
+    def test_full_campaign(self, tmp_path):
+        report = run_chaos_campaign(
+            tmp_path,
+            seed=0,
+            jobs=200,
+            faults=30,
+            workers=3,
+            gateway_restarts=1,
+            collect_timeout_s=900,
+        )
+        assert report.jobs >= 200
+        assert report.faults_applied >= 30
+        assert report.restarts >= 1
+        kinds_hit = {k for k, n in report.fired.items() if n > 0}
+        assert "gateway_restart" in kinds_hit
+        assert "worker_kill" in kinds_hit
+        assert report.ok, {
+            "divergent": report.divergent,
+            "failed": report.failed,
+            "second_divergent": report.second_divergent,
+            "second_failed": report.second_failed,
+        }
+        # damaged cache writes were quarantined, never served
+        torn = report.fired.get("cache_torn_write", 0)
+        flipped = report.fired.get("cache_bitflip", 0)
+        assert report.cache_quarantined <= torn + flipped
+        # the cache ends the campaign fully intact
+        assert report.cache_intact <= report.cache_entries
+        assert report.metrics.get("farm.recovery.requeued", 0) >= 1

@@ -149,7 +149,11 @@ def _small_sim():
 def test_checkpoint_document_shape(tmp_path):
     _scenario, _program, sim = _small_sim()
     doc = save_checkpoint(sim, str(tmp_path / "c.json"), label="probe")
-    on_disk = json.loads((tmp_path / "c.json").read_text())
+    # checkpoints are framed by the durable envelope (PR 10); the
+    # payload inside is still the plain JSON document
+    from repro.runapi.durable import read_verified
+
+    on_disk = json.loads(read_verified(tmp_path / "c.json"))
     assert on_disk == doc
     assert on_disk["format"] == "mb32-checkpoint"
     assert on_disk["version"] == CHECKPOINT_VERSION
